@@ -1,0 +1,133 @@
+// Fig. 3 reproduction: the four-tier fog pipeline.
+//
+// The figure's claim is architectural: edge filtering and fog-side early
+// exits shrink the data volume climbing the hierarchy while keeping
+// decision latency low. This bench sweeps (a) edge-filter selectivity and
+// (b) fog confidence (local-exit rate) on a 16-edge topology and reports,
+// per setting: bytes crossing each tier boundary, mean/p99 latency, and
+// analysis-server compute. The expected shape: upstream traffic falls
+// monotonically with both knobs; server compute falls with confidence.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fog/fog.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace metro;
+
+std::vector<fog::WorkItem> MakeWorkload(const fog::FogConfig& config,
+                                        int items_per_edge, double drop_rate,
+                                        double local_exit_rate,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<fog::WorkItem> items;
+  std::uint64_t id = 0;
+  for (int e = 0; e < config.num_edges; ++e) {
+    for (int i = 0; i < items_per_edge; ++i) {
+      fog::WorkItem item;
+      item.id = id++;
+      item.edge = e;
+      item.arrival = TimeNs(i) * 66 * kMillisecond;  // ~15 fps cameras
+      item.raw_bytes = 24'576;       // one 32x32x3 float frame + headers
+      item.feature_bytes = 3'072;    // 8x8x12 branch feature map
+      item.edge_filter_macs = 50'000;
+      item.local_macs = 4'000'000;   // split-model local half
+      item.server_macs = 40'000'000; // split-model server half
+      item.dropped_by_edge_filter = rng.Bernoulli(drop_rate);
+      item.local_exit = rng.Bernoulli(local_exit_rate);
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+void SweepEdgeFilter() {
+  bench::Table table({"edge-filter drop", "edge->fog", "fog->server",
+                      "server->cloud", "mean lat (ms)", "p99 lat (ms)"});
+  for (const double drop : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    fog::FogConfig config;
+    config.num_edges = 16;
+    fog::FogTopology topo(config);
+    auto items = MakeWorkload(config, 40, drop, 0.7, 42);
+    const auto result = fog::RunEarlyExitPipeline(topo, std::move(items));
+    table.AddRow({bench::Fmt(drop, 1),
+                  bench::FmtBytes(result.traffic.edge_to_fog),
+                  bench::FmtBytes(result.traffic.fog_to_server),
+                  bench::FmtBytes(result.traffic.server_to_cloud),
+                  bench::Fmt(result.mean_latency_ms, 2),
+                  bench::Fmt(result.p99_latency_ms, 2)});
+  }
+  table.Print(
+      "Fig. 3 / sweep A: edge filtering cuts upstream traffic "
+      "(16 edges, 640 frames, local-exit rate 0.7)");
+}
+
+void SweepConfidence() {
+  bench::Table table({"local-exit rate", "offloaded", "fog->server",
+                      "server MACs", "mean lat (ms)", "p99 lat (ms)"});
+  for (const double exit_rate : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    fog::FogConfig config;
+    config.num_edges = 16;
+    fog::FogTopology topo(config);
+    auto items = MakeWorkload(config, 40, 0.0, exit_rate, 43);
+    const auto result = fog::RunEarlyExitPipeline(topo, std::move(items));
+    table.AddRow({bench::Fmt(exit_rate, 2),
+                  bench::FmtInt(result.items_offloaded),
+                  bench::FmtBytes(result.traffic.fog_to_server),
+                  bench::Fmt(result.server_macs_total / 1e9, 2) + "G",
+                  bench::Fmt(result.mean_latency_ms, 2),
+                  bench::Fmt(result.p99_latency_ms, 2)});
+  }
+  table.Print(
+      "Fig. 3 / sweep B: fog confidence controls offload volume and server "
+      "load (16 edges, 640 frames, no edge filtering)");
+}
+
+void TierScaling() {
+  bench::Table table({"edges", "fogs", "servers", "total bytes",
+                      "mean lat (ms)", "sim horizon (s)"});
+  for (const int edges : {4, 16, 64, 128}) {
+    fog::FogConfig config;
+    config.num_edges = edges;
+    fog::FogTopology topo(config);
+    auto items = MakeWorkload(config, 20, 0.2, 0.7, 44);
+    const auto result = fog::RunEarlyExitPipeline(topo, std::move(items));
+    TimeNs horizon = 0;
+    for (const auto& o : result.outcomes) horizon = std::max(horizon, o.completed);
+    table.AddRow({bench::FmtInt(edges), bench::FmtInt(topo.num_fogs()),
+                  bench::FmtInt(topo.num_servers()),
+                  bench::FmtBytes(result.traffic.edge_to_fog +
+                                  result.traffic.fog_to_server +
+                                  result.traffic.server_to_cloud),
+                  bench::Fmt(result.mean_latency_ms, 2),
+                  bench::Fmt(double(horizon) / kSecond, 2)});
+  }
+  table.Print("Fig. 3 / sweep C: topology scaling (20 frames per edge)");
+}
+
+void BM_FogPipeline640Frames(benchmark::State& state) {
+  for (auto _ : state) {
+    fog::FogConfig config;
+    config.num_edges = 16;
+    fog::FogTopology topo(config);
+    auto items = MakeWorkload(config, 40, 0.2, 0.7, 45);
+    const auto result = fog::RunEarlyExitPipeline(topo, std::move(items));
+    benchmark::DoNotOptimize(result.mean_latency_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * 640);
+}
+BENCHMARK(BM_FogPipeline640Frames);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepEdgeFilter();
+  SweepConfidence();
+  TierScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

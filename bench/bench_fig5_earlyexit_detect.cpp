@@ -1,0 +1,127 @@
+// Fig. 5 reproduction: the split Tiny/Full early-exit vehicle detector.
+//
+// The figure's claim: run Tiny locally; when its best detection score is
+// below a threshold, ship the branch feature map to the analysis server for
+// the full model. This bench trains the split detector on synthetic vehicle
+// frames, then sweeps the exit threshold and reports accuracy, detection
+// precision/recall, offload fraction, bytes shipped per 1000 frames, and
+// mean per-frame latency on the fog topology. Expected shape: accuracy and
+// offloads rise together with the threshold; a mid threshold recovers most
+// of the full model's accuracy at a fraction of the offloads.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/vehicle_app.h"
+#include "bench_util.h"
+#include "fog/fog.h"
+
+namespace {
+
+using namespace metro;
+
+constexpr int kTrainSteps = 220;
+constexpr int kEvalFrames = 150;
+
+apps::VehicleDetectionApp& TrainedApp() {
+  static auto* app = [] {
+    zoo::DetectorConfig config;
+    auto* a = new apps::VehicleDetectionApp(config, 2026);
+    std::printf("[training split detector: %d steps ...]\n", kTrainSteps);
+    a->Train(kTrainSteps, 16);
+    return a;
+  }();
+  return *app;
+}
+
+void ThresholdSweep() {
+  auto& app = TrainedApp();
+  bench::Table table({"exit threshold", "offload %", "top-cls acc", "recall",
+                      "precision", "mean IoU", "bytes/1k frames",
+                      "mean lat (ms)"});
+
+  for (const float threshold :
+       {0.0f, 0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.7f, 0.9f, 1.01f}) {
+    const auto eval = app.Evaluate(kEvalFrames, threshold);
+
+    // Price the offloads on the Fig. 3 fog topology.
+    fog::FogConfig fog_config;
+    fog_config.num_edges = 8;
+    fog::FogTopology topo(fog_config);
+    std::vector<fog::WorkItem> items;
+    Rng gate(7);
+    const auto& det = app.detector();
+    for (int i = 0; i < kEvalFrames; ++i) {
+      fog::WorkItem item;
+      item.id = std::uint64_t(i);
+      item.edge = i % fog_config.num_edges;
+      item.arrival = TimeNs(i) * 66 * kMillisecond;
+      item.raw_bytes = std::uint64_t(det.config().image_size) *
+                       det.config().image_size * 3 * 4;
+      item.feature_bytes = det.FeatureMapBytes();
+      item.local_macs = det.StemMacs(1) + det.TinyHeadMacs(1);
+      item.server_macs = det.FullHeadMacs(1);
+      item.local_exit = !gate.Bernoulli(eval.offload_fraction);
+      items.push_back(item);
+    }
+    const auto fog_result = fog::RunEarlyExitPipeline(topo, std::move(items));
+
+    const double bytes_per_1k =
+        eval.offload_fraction * double(det.FeatureMapBytes()) * 1000.0;
+    table.AddRow({bench::Fmt(threshold, 2),
+                  bench::Fmt(eval.offload_fraction * 100, 1),
+                  bench::Fmt(eval.classification_accuracy, 3),
+                  bench::Fmt(eval.recall, 3), bench::Fmt(eval.precision, 3),
+                  bench::Fmt(eval.mean_iou, 3),
+                  bench::FmtBytes(std::uint64_t(bytes_per_1k)),
+                  bench::Fmt(fog_result.mean_latency_ms, 2)});
+  }
+  table.Print(
+      "Fig. 5: exit-threshold sweep of the split detector "
+      "(tiny head local, full head on analysis server)");
+
+  // Compute-cost context for the split (why the exit pays).
+  bench::Table costs({"stage", "MACs/frame", "output bytes"});
+  const auto& det = app.detector();
+  costs.AddRow({"shared stem (local)", bench::FmtInt(std::int64_t(det.StemMacs(1))),
+                bench::FmtBytes(det.FeatureMapBytes())});
+  costs.AddRow({"tiny head (local)", bench::FmtInt(std::int64_t(det.TinyHeadMacs(1))), "-"});
+  costs.AddRow({"full head (server)", bench::FmtInt(std::int64_t(det.FullHeadMacs(1))), "-"});
+  costs.Print("Fig. 5: per-stage compute of the split architecture");
+}
+
+void BM_TinyInference(benchmark::State& state) {
+  auto& app = TrainedApp();
+  auto frame = app.generator().Generate(1);
+  const auto& config = app.detector().config();
+  const auto batch = frame.image.Reshape(
+      {1, config.image_size, config.image_size, config.channels});
+  for (auto _ : state) {
+    auto result = app.ProcessFrame(batch, 0.0f);  // never offload
+    benchmark::DoNotOptimize(result.tiny_confidence);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TinyInference);
+
+void BM_FullInference(benchmark::State& state) {
+  auto& app = TrainedApp();
+  auto frame = app.generator().Generate(1);
+  const auto& config = app.detector().config();
+  const auto batch = frame.image.Reshape(
+      {1, config.image_size, config.image_size, config.channels});
+  for (auto _ : state) {
+    auto result = app.ProcessFrame(batch, 1.01f);  // always offload
+    benchmark::DoNotOptimize(result.detections.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullInference);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ThresholdSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Fig. 6 reproduction: qualitative vehicle detection & classification.
+//
+// The paper's Fig. 6 shows example detections from the prototype. This
+// bench trains the split detector, renders a few detections (ASCII, the
+// repo's stand-in for the figure's annotated photos), and quantifies what
+// the figure could only illustrate: per-class precision/recall and the
+// tiny-vs-full quality gap on the same frames.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/vehicle_app.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace metro;
+
+apps::VehicleDetectionApp& TrainedApp() {
+  static auto* app = [] {
+    zoo::DetectorConfig config;
+    auto* a = new apps::VehicleDetectionApp(config, 606);
+    std::printf("[training split detector: 220 steps ...]\n");
+    a->Train(220, 16);
+    return a;
+  }();
+  return *app;
+}
+
+void QualitativeExamples() {
+  auto& app = TrainedApp();
+  const auto& config = app.detector().config();
+  std::printf("\n=== Fig. 6: example detections (ASCII render; digits mark "
+              "predicted class at box corner) ===\n");
+  for (int i = 0; i < 3; ++i) {
+    datagen::LabeledFrame frame = app.generator().Generate(2);
+    const auto result = app.ProcessFrame(
+        frame.image.Reshape(
+            {1, config.image_size, config.image_size, config.channels}),
+        0.35f);
+    std::printf("\nframe %d  (ground truth:", i);
+    for (const auto& box : frame.boxes) std::printf(" cls%d", box.cls);
+    std::printf(")  path=%s  confidence=%.2f\n",
+                result.offloaded ? "server (full model)" : "local (tiny)",
+                result.tiny_confidence);
+    std::printf("%s",
+                apps::VehicleDetectionApp::RenderAscii(frame.image,
+                                                       result.detections)
+                    .c_str());
+    for (const auto& det : result.detections) {
+      std::printf("  -> class %d score %.2f box(%.2f, %.2f, %.2f, %.2f)\n",
+                  det.cls, det.score, det.cx, det.cy, det.w, det.h);
+    }
+  }
+  std::fflush(stdout);
+}
+
+void PerClassQuality() {
+  auto& app = TrainedApp();
+  const auto& config = app.detector().config();
+  const int per_class = 40;
+
+  struct Tally {
+    int truths = 0, hits = 0, detections = 0;
+  };
+  std::vector<Tally> tiny(std::size_t(config.num_classes));
+  std::vector<Tally> full(std::size_t(config.num_classes));
+
+  auto score = [&](bool use_full, std::vector<Tally>& tally) {
+    Rng unused(1);
+    for (int cls = 0; cls < config.num_classes; ++cls) {
+      for (int i = 0; i < per_class; ++i) {
+        datagen::LabeledFrame frame = app.generator().Generate(1);
+        const auto result = app.ProcessFrame(
+            frame.image.Reshape({1, config.image_size, config.image_size,
+                                 config.channels}),
+            use_full ? 1.01f : 0.0f);
+        for (const auto& box : frame.boxes) {
+          ++tally[std::size_t(box.cls)].truths;
+        }
+        for (const auto& det : result.detections) {
+          ++tally[std::size_t(det.cls)].detections;
+          for (const auto& box : frame.boxes) {
+            zoo::Detection gt;
+            gt.cx = box.cx;
+            gt.cy = box.cy;
+            gt.w = box.w;
+            gt.h = box.h;
+            if (det.cls == box.cls && zoo::Iou(det, gt) > 0.3f) {
+              ++tally[std::size_t(det.cls)].hits;
+              break;
+            }
+          }
+        }
+      }
+    }
+  };
+  score(false, tiny);
+  score(true, full);
+
+  bench::Table table({"class", "tiny recall", "tiny precision", "full recall",
+                      "full precision"});
+  for (int cls = 0; cls < config.num_classes; ++cls) {
+    const auto& t = tiny[std::size_t(cls)];
+    const auto& f = full[std::size_t(cls)];
+    table.AddRow(
+        {bench::FmtInt(cls),
+         bench::Fmt(t.truths ? double(t.hits) / t.truths : 0, 3),
+         bench::Fmt(t.detections ? double(t.hits) / t.detections : 0, 3),
+         bench::Fmt(f.truths ? double(f.hits) / f.truths : 0, 3),
+         bench::Fmt(f.detections ? double(f.hits) / f.detections : 0, 3)});
+  }
+  table.Print("Fig. 6: per-class detection quality, tiny exit vs full model");
+}
+
+void BM_DecodeAndNms(benchmark::State& state) {
+  auto& app = TrainedApp();
+  const auto& config = app.detector().config();
+  datagen::LabeledFrame frame = app.generator().Generate(2);
+  tensor::Tensor stem = app.detector().Stem(
+      frame.image.Reshape(
+          {1, config.image_size, config.image_size, config.channels}),
+      false);
+  tensor::Tensor out = app.detector().TinyHead(stem, false);
+  for (auto _ : state) {
+    auto dets = zoo::Nms(app.detector().Decode(out, 0, 0.1f), 0.4f, 0.1f);
+    benchmark::DoNotOptimize(dets.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeAndNms);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  QualitativeExamples();
+  PerClassQuality();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

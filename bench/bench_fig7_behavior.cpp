@@ -1,0 +1,144 @@
+// Fig. 7 reproduction: the split ResNet+LSTM behavior recognizer with an
+// entropy-gated early exit.
+//
+// Trains the joint two-exit model on synthetic action clips, then sweeps
+// the entropy threshold and reports gated accuracy, offload fraction, and
+// the exit-1 / exit-2 accuracy floor and ceiling. Expected shape: at
+// threshold 0 everything offloads (accuracy = exit-2 ceiling); raising the
+// threshold keeps more clips local, trading a little accuracy for large
+// offload savings; somewhere in between the gated accuracy tracks the
+// ceiling at well under 100% offloads.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/behavior_app.h"
+#include "bench_util.h"
+#include "fog/fog.h"
+
+namespace {
+
+using namespace metro;
+
+constexpr int kTrainSteps = 160;
+constexpr int kEvalClips = 150;
+
+apps::BehaviorRecognitionApp& TrainedApp() {
+  static auto* app = [] {
+    zoo::BehaviorConfig config;
+    auto* a = new apps::BehaviorRecognitionApp(config, 1276);
+    std::printf("[training split behavior net: %d steps ...]\n", kTrainSteps);
+    a->Train(kTrainSteps, 12);
+    return a;
+  }();
+  return *app;
+}
+
+void EntropySweep() {
+  auto& app = TrainedApp();
+  bench::Table table({"entropy threshold", "offload %", "gated acc",
+                      "exit-1 acc", "exit-2 acc", "bytes/clip shipped",
+                      "mean lat (ms)"});
+  for (const float threshold :
+       {0.0f, 0.1f, 0.25f, 0.5f, 0.75f, 1.0f, 1.3f, 1.61f}) {
+    const auto eval = app.Evaluate(kEvalClips, threshold);
+
+    fog::FogConfig fog_config;
+    fog_config.num_edges = 8;
+    fog::FogTopology topo(fog_config);
+    std::vector<fog::WorkItem> items;
+    Rng gate(9);
+    const auto& model = app.model();
+    const auto& config = app.model().config();
+    for (int i = 0; i < kEvalClips; ++i) {
+      fog::WorkItem item;
+      item.id = std::uint64_t(i);
+      item.edge = i % fog_config.num_edges;
+      item.arrival = TimeNs(i) * 200 * kMillisecond;
+      item.raw_bytes = std::uint64_t(config.clip_length) * config.frame_size *
+                       config.frame_size * config.channels * 4;
+      item.feature_bytes = model.FeatureMapBytes();
+      item.local_macs = model.LocalMacs();
+      item.server_macs = model.ServerMacs();
+      item.local_exit = !gate.Bernoulli(eval.offload_fraction);
+      items.push_back(item);
+    }
+    const auto fog_result = fog::RunEarlyExitPipeline(topo, std::move(items));
+
+    table.AddRow(
+        {bench::Fmt(threshold, 2), bench::Fmt(eval.offload_fraction * 100, 1),
+         bench::Fmt(eval.accuracy, 3), bench::Fmt(eval.exit1_accuracy, 3),
+         bench::Fmt(eval.exit2_accuracy, 3),
+         bench::FmtBytes(std::uint64_t(eval.offload_fraction *
+                                       double(model.FeatureMapBytes()))),
+         bench::Fmt(fog_result.mean_latency_ms, 2)});
+  }
+  table.Print(
+      "Fig. 7: entropy-threshold sweep of the split ResNet+LSTM recognizer "
+      "(exit 1 on local device, exit 2 on analysis server)");
+
+  bench::Table costs({"stage", "MACs/clip", "tensor bytes"});
+  const auto& model = app.model();
+  const auto& config = model.config();
+  costs.AddRow({"raw clip (edge->fog)", "-",
+                bench::FmtBytes(std::uint64_t(config.clip_length) *
+                                config.frame_size * config.frame_size *
+                                config.channels * 4)});
+  costs.AddRow({"block1+LSTM1+FC1 (local)",
+                bench::FmtInt(std::int64_t(model.LocalMacs())),
+                bench::FmtBytes(model.FeatureMapBytes())});
+  costs.AddRow({"blocks2-3+LSTM2+FC2 (server)",
+                bench::FmtInt(std::int64_t(model.ServerMacs())), "-"});
+  costs.Print("Fig. 7: per-stage compute/bytes of the split architecture");
+}
+
+void PerClassBreakdown() {
+  auto& app = TrainedApp();
+  bench::Table table({"behavior class", "clips", "gated acc", "offload %"});
+  for (int cls = 0; cls < app.model().config().num_classes; ++cls) {
+    int hits = 0, offloads = 0;
+    const int n = 40;
+    for (int i = 0; i < n; ++i) {
+      const auto clip = app.generator().Generate(cls);
+      const auto pred = app.model().Predict(clip, 0.5f);
+      if (pred.label == cls) ++hits;
+      if (pred.used_server) ++offloads;
+    }
+    table.AddRow({std::string(datagen::BehaviorName(datagen::BehaviorClass(cls))),
+                  bench::FmtInt(n), bench::Fmt(double(hits) / n, 3),
+                  bench::Fmt(double(offloads) / n * 100, 1)});
+  }
+  table.Print("Fig. 7: per-class gated accuracy at threshold 0.5");
+}
+
+void BM_LocalInference(benchmark::State& state) {
+  auto& app = TrainedApp();
+  const auto clip = app.generator().Generate(1);
+  for (auto _ : state) {
+    auto pass = app.model().RunLocal(clip);
+    benchmark::DoNotOptimize(pass.entropy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalInference);
+
+void BM_ServerEscalation(benchmark::State& state) {
+  auto& app = TrainedApp();
+  const auto clip = app.generator().Generate(1);
+  auto pass = app.model().RunLocal(clip);
+  for (auto _ : state) {
+    auto probs = app.model().RunServer(pass.block1_out);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerEscalation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  EntropySweep();
+  PerClassBreakdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared console-table helpers for the figure-reproduction benches. Each
+// bench binary prints the series/rows its paper figure implies, then runs
+// any registered google-benchmark micro-measurements.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace metro::bench {
+
+/// Fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title.c_str());
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        std::printf("| %-*s ", int(widths[c]), c < cells.size() ? cells[c].c_str() : "");
+      }
+      std::printf("|\n");
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("|%s", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("|\n");
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+inline std::string FmtInt(long long v) { return std::to_string(v); }
+
+inline std::string FmtBytes(unsigned long long bytes) {
+  char buf[64];
+  if (bytes >= 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", double(bytes) / 1e9);
+  } else if (bytes >= 1'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", double(bytes) / 1e6);
+  } else if (bytes >= 1'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", double(bytes) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace metro::bench

@@ -1,0 +1,61 @@
+#pragma once
+
+// Suspicious behavior / crime action recognition application
+// (Sec. IV-A2, Figs. 7-8).
+//
+// Wraps the split ResNet+LSTM model with training, entropy-gated early-exit
+// evaluation, and the deployment loop: recognized suspicious activity is
+// indexed into a collection (time, location, type) and raised to the human
+// operator through the AlertManager.
+
+#include "core/infrastructure.h"
+#include "datagen/video.h"
+#include "store/document_store.h"
+#include "zoo/behavior.h"
+
+namespace metro::apps {
+
+/// Per-threshold evaluation of the split behavior model.
+struct BehaviorEvaluation {
+  float entropy_threshold = 0;
+  double offload_fraction = 0;  ///< clips escalated to the server path
+  double accuracy = 0;          ///< gated (deployed) accuracy
+  double exit1_accuracy = 0;    ///< local head alone
+  double exit2_accuracy = 0;    ///< server path alone
+  std::size_t clips = 0;
+};
+
+/// The deployed application.
+class BehaviorRecognitionApp {
+ public:
+  BehaviorRecognitionApp(const zoo::BehaviorConfig& config, std::uint64_t seed);
+
+  /// Joint training of both exits; returns the final batch loss.
+  float Train(int steps, int batch_size = 12, float lr = 2e-3f);
+
+  /// Gated and ungated accuracy over fresh clips at one threshold.
+  BehaviorEvaluation Evaluate(int num_clips, float entropy_threshold);
+
+  /// Deployment step: classify a clip from a camera; when the predicted
+  /// class is a concern (altercation/zigzag), index it into `incidents` and
+  /// raise an operator alert. Returns the prediction.
+  zoo::BehaviorPrediction Monitor(const zoo::Clip& clip,
+                                  const geo::LatLon& camera_location,
+                                  TimeNs now, float entropy_threshold,
+                                  store::Collection& incidents,
+                                  core::AlertManager& alerts);
+
+  zoo::SplitBehaviorNet& model() { return model_; }
+  datagen::BehaviorClipGenerator& generator() { return generator_; }
+
+  /// True when the class is one the application alerts on.
+  static bool IsSuspicious(int label);
+
+ private:
+  zoo::BehaviorConfig config_;
+  Rng rng_;
+  zoo::SplitBehaviorNet model_;
+  datagen::BehaviorClipGenerator generator_;
+};
+
+}  // namespace metro::apps

@@ -1,0 +1,128 @@
+#include "apps/camera_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metro::apps {
+
+CameraEnv::CameraEnv(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void CameraEnv::PlaceIncident() {
+  incident_x_ = int(rng_.UniformU64(std::size_t(config_.grid)));
+  incident_y_ = int(rng_.UniformU64(std::size_t(config_.grid)));
+  incident_age_ = 0;
+}
+
+std::vector<float> CameraEnv::Reset() {
+  cam_x_ = config_.grid / 2;
+  cam_y_ = config_.grid / 2;
+  zoom_ = 0;
+  step_ = 0;
+  PlaceIncident();
+  return State();
+}
+
+std::vector<float> CameraEnv::State() const {
+  const float g = float(config_.grid - 1);
+  return {float(cam_x_) / g,
+          float(cam_y_) / g,
+          float(zoom_) / float(std::max(config_.zoom_levels - 1, 1)),
+          float(incident_x_) / g,
+          float(incident_y_) / g,
+          float(incident_age_) / float(config_.incident_lifetime)};
+}
+
+float CameraEnv::PoseReward() const {
+  const float dist = std::abs(float(cam_x_ - incident_x_)) +
+                     std::abs(float(cam_y_ - incident_y_));
+  const float g = float(config_.grid);
+  const float proximity = std::max(0.0f, 1.0f - dist / (g * 0.6f));
+  // Zoom only pays off when on target; zooming while off target hurts
+  // (narrow field of view pointed at nothing).
+  const float zoom_frac =
+      float(zoom_) / float(std::max(config_.zoom_levels - 1, 1));
+  const float aimed = dist <= 1.0f ? 1.0f : 0.0f;
+  return proximity * (0.5f + 0.5f * zoom_frac * aimed) -
+         zoom_frac * (1.0f - aimed) * 0.2f;
+}
+
+CameraEnv::StepResult CameraEnv::Step(int action) {
+  switch (action) {
+    case 0: cam_x_ = std::max(cam_x_ - 1, 0); break;
+    case 1: cam_x_ = std::min(cam_x_ + 1, config_.grid - 1); break;
+    case 2: cam_y_ = std::max(cam_y_ - 1, 0); break;
+    case 3: cam_y_ = std::min(cam_y_ + 1, config_.grid - 1); break;
+    case 4: zoom_ = std::min(zoom_ + 1, config_.zoom_levels - 1); break;
+    case 5: zoom_ = std::max(zoom_ - 1, 0); break;
+    default: break;  // hold
+  }
+  if (++incident_age_ >= config_.incident_lifetime) PlaceIncident();
+  ++step_;
+  StepResult result;
+  result.reward = PoseReward();
+  result.done = step_ >= config_.episode_steps;
+  result.state = State();
+  return result;
+}
+
+CameraControlApp::CameraControlApp(const CameraEnv::Config& env_config,
+                                   const zoo::DqnConfig& dqn_config,
+                                   std::uint64_t seed)
+    : rng_(seed),
+      env_(env_config, seed ^ 0xCA1),
+      agent_(CameraEnv::kStateDim, CameraEnv::kNumActions, dqn_config, rng_) {}
+
+double CameraControlApp::RunEpisode(float epsilon, bool learn) {
+  std::vector<float> state = env_.Reset();
+  double ret = 0;
+  while (true) {
+    const int action = agent_.Act(state, epsilon, rng_);
+    const auto step = env_.Step(action);
+    ret += step.reward;
+    if (learn) {
+      agent_.Observe({state, action, step.reward, step.state, step.done});
+      (void)agent_.TrainStep(rng_);
+    }
+    state = step.state;
+    if (step.done) break;
+  }
+  return ret;
+}
+
+double CameraControlApp::Train(int episodes) {
+  double tail_sum = 0;
+  int tail_count = 0;
+  for (int ep = 0; ep < episodes; ++ep) {
+    const float epsilon =
+        std::max(0.05f, 1.0f - float(ep) / std::max(1.0f, float(episodes) * 0.8f));
+    const double ret = RunEpisode(epsilon, true);
+    if (ep >= episodes - 10) {
+      tail_sum += ret;
+      ++tail_count;
+    }
+  }
+  return tail_count ? tail_sum / tail_count : 0;
+}
+
+double CameraControlApp::EvaluatePolicy(int episodes) {
+  double sum = 0;
+  for (int ep = 0; ep < episodes; ++ep) sum += RunEpisode(0.0f, false);
+  return sum / std::max(1, episodes);
+}
+
+double CameraControlApp::EvaluateRandom(int episodes) {
+  double sum = 0;
+  for (int ep = 0; ep < episodes; ++ep) {
+    std::vector<float> state = env_.Reset();
+    while (true) {
+      const auto step =
+          env_.Step(int(rng_.UniformU64(CameraEnv::kNumActions)));
+      sum += step.reward;
+      if (step.done) break;
+    }
+  }
+  return sum / std::max(1, episodes);
+}
+
+}  // namespace metro::apps

@@ -1,0 +1,105 @@
+#include "apps/gunshot_app.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+
+namespace metro::apps {
+
+GunshotDetectionApp::GunshotDetectionApp(const Config& config,
+                                         std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      generator_(config.video_dim, config.audio_dim, seed ^ 0x6416),
+      autoencoder_(
+          [&] {
+            zoo::FusionConfig fusion = config.fusion;
+            fusion.dim_a = config.video_dim;
+            fusion.dim_b = config.audio_dim;
+            return fusion;
+          }(),
+          rng_) {}
+
+tensor::Tensor GunshotDetectionApp::CodesFor(const tensor::Tensor& video,
+                                             const tensor::Tensor& audio) {
+  return autoencoder_.Encode(video, audio, false);
+}
+
+FusionEvaluation GunshotDetectionApp::TrainAndEvaluate(int train_events,
+                                                       int autoencoder_epochs,
+                                                       int eval_events) {
+  FusionEvaluation eval;
+
+  // 1. Train the fusion autoencoder (denoising across modalities).
+  auto train = generator_.GenerateBatch(train_events, config_.gunshot_fraction);
+  nn::Adam opt(1e-3f);
+  for (int epoch = 0; epoch < autoencoder_epochs; ++epoch) {
+    eval.autoencoder_loss =
+        autoencoder_.TrainStep(train.video, train.audio, opt, rng_);
+  }
+
+  // 2. CCA between raw modalities — the Sec. III-C analysis component.
+  auto cca = zoo::FitCca(train.video, train.audio, 2);
+  if (cca.ok()) {
+    eval.top_canonical_correlation = cca->correlations.front();
+  }
+
+  // 3. Train the logistic head on fused codes.
+  tensor::Tensor codes = CodesFor(train.video, train.audio);
+  std::vector<dataflow::LabeledPoint> points;
+  points.reserve(std::size_t(train_events));
+  const int bn = codes.dim(1);
+  for (int i = 0; i < train_events; ++i) {
+    dataflow::LabeledPoint pt;
+    pt.features.assign(codes.data().begin() + std::ptrdiff_t(i) * bn,
+                       codes.data().begin() + std::ptrdiff_t(i + 1) * bn);
+    pt.label = train.labels[std::size_t(i)];
+    points.push_back(std::move(pt));
+  }
+  dataflow::Engine engine(2);
+  auto model = dataflow::FitLogistic(
+      dataflow::Dataset<dataflow::LabeledPoint>::Parallelize(points, 2), bn,
+      engine, 200, 0.5f);
+  if (model.ok()) classifier_ = std::move(model).value();
+
+  // 4. Evaluate fused vs single-modality pathways on fresh events.
+  auto test = generator_.GenerateBatch(eval_events, config_.gunshot_fraction);
+  auto accuracy_of = [&](const tensor::Tensor& video,
+                         const tensor::Tensor& audio) {
+    tensor::Tensor test_codes = autoencoder_.Encode(video, audio, false);
+    int hits = 0;
+    dataflow::FeatureVec features(static_cast<std::size_t>(bn));
+    for (int i = 0; i < eval_events; ++i) {
+      std::copy(test_codes.data().begin() + std::ptrdiff_t(i) * bn,
+                test_codes.data().begin() + std::ptrdiff_t(i + 1) * bn,
+                features.begin());
+      const int pred = LogisticPredict(classifier_, features) >= 0.5f ? 1 : 0;
+      if (pred == test.labels[std::size_t(i)]) ++hits;
+    }
+    return double(hits) / std::max(1, eval_events);
+  };
+
+  tensor::Tensor zero_video(test.video.shape());
+  tensor::Tensor zero_audio(test.audio.shape());
+  eval.fused_accuracy = accuracy_of(test.video, test.audio);
+  eval.video_only_accuracy = accuracy_of(test.video, zero_audio);
+  eval.audio_only_accuracy = accuracy_of(zero_video, test.audio);
+  return eval;
+}
+
+float GunshotDetectionApp::Score(std::span<const float> video,
+                                 std::span<const float> audio) {
+  tensor::Tensor v({1, config_.video_dim});
+  tensor::Tensor a({1, config_.audio_dim});
+  if (!video.empty()) {
+    std::copy(video.begin(), video.end(), v.data().begin());
+  }
+  if (!audio.empty()) {
+    std::copy(audio.begin(), audio.end(), a.data().begin());
+  }
+  tensor::Tensor code = autoencoder_.Encode(v, a, false);
+  dataflow::FeatureVec features(code.data().begin(), code.data().end());
+  return LogisticPredict(classifier_, features);
+}
+
+}  // namespace metro::apps

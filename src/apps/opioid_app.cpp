@@ -1,0 +1,85 @@
+#include "apps/opioid_app.h"
+
+#include <algorithm>
+
+namespace metro::apps {
+
+namespace {
+
+const char* const kFactorNames[datagen::OpioidPanelGenerator::kNumFeatures] = {
+    "opioid prescriptions", "drug-related arrests", "911 overdose calls",
+    "traffic volume",       "poverty index",        "treatment availability",
+};
+
+}  // namespace
+
+OpioidAnalyticsApp::OpioidAnalyticsApp(
+    const datagen::OpioidPanelGenerator::Config& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+OpioidReport OpioidAnalyticsApp::Run(dataflow::Engine& engine,
+                                     int holdout_months) {
+  datagen::OpioidPanelGenerator generator(config_, seed_);
+  const auto panel = generator.Generate();
+  const int split_month = config_.num_months - holdout_months;
+
+  std::vector<dataflow::LabeledPoint> train;
+  std::vector<const datagen::TractMonth*> test;
+  for (const auto& obs : panel) {
+    if (obs.month < split_month) {
+      train.push_back({datagen::OpioidPanelGenerator::Features(obs),
+                       obs.high_overdose_next_month ? 1 : 0});
+    } else {
+      test.push_back(&obs);
+    }
+  }
+
+  OpioidReport report;
+  report.train_rows = int(train.size());
+  report.test_rows = int(test.size());
+
+  auto fitted = dataflow::FitLogistic(
+      dataflow::Dataset<dataflow::LabeledPoint>::Parallelize(train, 4),
+      datagen::OpioidPanelGenerator::kNumFeatures, engine, 250, 0.8f, 1e-4f);
+  if (!fitted.ok()) return report;
+  model_ = std::move(fitted).value();
+
+  // Held-out scoring.
+  int hits = 0, positives = 0;
+  std::vector<std::pair<float, bool>> ranked;
+  for (const auto* obs : test) {
+    const float score = Score(*obs);
+    const bool positive = obs->high_overdose_next_month;
+    if ((score >= 0.5f) == positive) ++hits;
+    if (positive) ++positives;
+    ranked.emplace_back(score, positive);
+  }
+  report.test_accuracy = test.empty() ? 0 : double(hits) / double(test.size());
+  const int majority = std::max(positives, int(test.size()) - positives);
+  report.baseline_accuracy =
+      test.empty() ? 0 : double(majority) / double(test.size());
+
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int top_hits = 0;
+  const int k = std::min<int>(10, int(ranked.size()));
+  for (int i = 0; i < k; ++i) top_hits += ranked[std::size_t(i)].second;
+  report.top10_precision = k == 0 ? 0 : double(top_hits) / k;
+
+  for (int f = 0; f < datagen::OpioidPanelGenerator::kNumFeatures; ++f) {
+    report.factor_weights.emplace_back(kFactorNames[f],
+                                       model_.weights[std::size_t(f)]);
+  }
+  std::sort(report.factor_weights.begin(), report.factor_weights.end(),
+            [](const auto& a, const auto& b) {
+              return std::abs(a.second) > std::abs(b.second);
+            });
+  return report;
+}
+
+float OpioidAnalyticsApp::Score(const datagen::TractMonth& obs) const {
+  return dataflow::LogisticPredict(
+      model_, datagen::OpioidPanelGenerator::Features(obs));
+}
+
+}  // namespace metro::apps

@@ -1,0 +1,45 @@
+#pragma once
+
+// Opioid-epidemic analytics (Sec. V future work, implemented).
+//
+// Fuses the multi-source tract panel (prescriptions, arrests, 911 calls,
+// traffic, census, treatment availability) and trains a risk model on the
+// dataflow engine, then ranks tracts for intervention. Evaluation scores
+// held-out months: accuracy, top-k precision of the ranked list, and the
+// learned factor weights — "uncovering additional factors that explain"
+// overdose rates, which is precisely the paper's stated goal.
+
+#include "dataflow/mllib.h"
+#include "datagen/health.h"
+
+namespace metro::apps {
+
+/// Result of a train+evaluate run.
+struct OpioidReport {
+  double test_accuracy = 0;
+  double baseline_accuracy = 0;   ///< always-majority-class baseline
+  double top10_precision = 0;     ///< true high-risk among 10 highest scores
+  std::vector<std::pair<std::string, float>> factor_weights;  ///< by |weight|
+  int train_rows = 0;
+  int test_rows = 0;
+};
+
+/// The analytics job.
+class OpioidAnalyticsApp {
+ public:
+  OpioidAnalyticsApp(const datagen::OpioidPanelGenerator::Config& config,
+                     std::uint64_t seed);
+
+  /// Trains on the first (num_months - holdout) months and scores the rest.
+  OpioidReport Run(dataflow::Engine& engine, int holdout_months = 3);
+
+  /// Risk score for one observation after Run().
+  float Score(const datagen::TractMonth& obs) const;
+
+ private:
+  datagen::OpioidPanelGenerator::Config config_;
+  std::uint64_t seed_;
+  dataflow::LogisticModel model_;
+};
+
+}  // namespace metro::apps

@@ -1,0 +1,160 @@
+#include "apps/sna_app.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace metro::apps {
+
+SnaApp::SnaApp(const Config& config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      network_(datagen::GenerateGangNetwork(config.network, seed ^ 0x6A96)),
+      tweet_gen_({.num_users = config.network.num_members}, seed ^ 0x7EE7),
+      tweets_("tweets"),
+      classifier_(2) {
+  // Train the incident-text classifier on a small labeled seed set (the
+  // "NLP techniques" of Sec. IV-B). Labels: 1 = incident-related.
+  const std::vector<std::pair<std::string, int>> seed_set = {
+      {"heard gunshots near the store", 1},
+      {"shooting reported downtown stay inside", 1},
+      {"police everywhere something happened", 1},
+      {"shots fired by the apartments", 1},
+      {"fight broke out near the park", 1},
+      {"robbery at the gas station", 1},
+      {"great food at the festival", 0},
+      {"traffic is moving fine", 0},
+      {"watching the game tonight", 0},
+      {"beautiful sunset over the river", 0},
+      {"coffee shop downtown is packed", 0},
+      {"new mural looks amazing", 0},
+  };
+  for (const auto& [txt, label] : seed_set) (void)classifier_.Train(txt, label);
+
+  (void)tweets_.CreateIndex("user");
+  (void)tweets_.CreateGeoIndex("lat", "lon");
+}
+
+NetworkStats SnaApp::Stats(int samples) {
+  NetworkStats stats;
+  stats.groups = std::size_t(config_.network.num_groups);
+  stats.members = network_.graph.num_people();
+  stats.mean_first_degree = network_.graph.MeanDegree();
+  double second_sum = 0;
+  const int n = std::min<int>(samples, int(stats.members));
+  for (int i = 0; i < n; ++i) {
+    const auto seed =
+        graph::PersonId(rng_.UniformU64(network_.graph.num_people()));
+    second_sum += double(network_.graph.KDegreeAssociates(seed, 2).size());
+  }
+  stats.mean_second_degree_field = n ? second_sum / n : 0;
+  return stats;
+}
+
+graph::PersonId SnaApp::StageIncident(TimeNs incident_time,
+                                      const geo::LatLon& incident_location) {
+  // Pick a well-connected seed so the field is non-trivial.
+  graph::PersonId seed = 0;
+  std::size_t best_degree = 0;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const auto candidate =
+        graph::PersonId(rng_.UniformU64(network_.graph.num_people()));
+    const std::size_t degree = network_.graph.Degree(candidate);
+    if (degree > best_degree) {
+      best_degree = degree;
+      seed = candidate;
+    }
+  }
+
+  // Background chatter from everyone, spread over the preceding day.
+  for (std::size_t person = 0; person < network_.graph.num_people(); ++person) {
+    for (int t = 0; t < config_.background_tweets_per_member; ++t) {
+      datagen::Tweet tweet = tweet_gen_.Generate(
+          incident_time - TimeNs(rng_.UniformInt(1, 24 * 3600)) * kSecond);
+      tweet.user = network_.twitter_id[person];
+      tweets_.Insert(datagen::CityDataGenerator::ToDocument(tweet));
+    }
+  }
+
+  // Plant present associates: 2nd-degree field members who tweeted
+  // incident-flavored text near the scene inside the window.
+  planted_.clear();
+  auto field = network_.graph.KDegreeAssociates(seed, 2);
+  rng_.Shuffle(field);
+  const int plant_count = std::min<int>(config_.planted_present_associates,
+                                        int(field.size()));
+  for (int i = 0; i < plant_count; ++i) {
+    const graph::PersonId person = field[std::size_t(i)];
+    datagen::Tweet tweet =
+        tweet_gen_.GenerateNearIncident(incident_time, incident_location);
+    tweet.user = network_.twitter_id[person];
+    tweets_.Insert(datagen::CityDataGenerator::ToDocument(tweet));
+    planted_.push_back(person);
+  }
+  return seed;
+}
+
+InvestigationResult SnaApp::Investigate(graph::PersonId seed,
+                                        TimeNs incident_time,
+                                        const geo::LatLon& incident_location) {
+  InvestigationResult result;
+  result.seed = seed;
+
+  const auto first = network_.graph.KDegreeAssociates(seed, 1);
+  const auto field = network_.graph.KDegreeAssociates(seed, 2);
+  result.first_degree = first.size();
+  result.second_degree_field = field.size();
+
+  // Twitter ids of the field.
+  std::unordered_map<std::int64_t, graph::PersonId> by_twitter;
+  for (const graph::PersonId person : field) {
+    by_twitter[std::int64_t(network_.twitter_id[person])] = person;
+  }
+
+  // Geo-temporal window query over the tweet store.
+  store::Query query;
+  query.near_center = incident_location;
+  query.near_radius_m = config_.window_radius_m;
+  store::Condition time_cond;
+  time_cond.field = "timestamp";
+  time_cond.op = store::Condition::Op::kRangeNumeric;
+  time_cond.lo = double(incident_time - config_.window_duration / 2);
+  time_cond.hi = double(incident_time + config_.window_duration);
+  query.conditions.push_back(time_cond);
+
+  std::unordered_set<graph::PersonId> geo_matched;
+  std::unordered_set<graph::PersonId> poi;
+  for (const auto& doc : tweets_.FindDocs(query)) {
+    const auto user = doc.find("user");
+    const auto text = doc.find("text");
+    if (user == doc.end() || text == doc.end()) continue;
+    const auto* uid = std::get_if<std::int64_t>(&user->second);
+    if (uid == nullptr) continue;
+    const auto pit = by_twitter.find(*uid);
+    if (pit == by_twitter.end()) continue;  // not in the associate field
+    geo_matched.insert(pit->second);
+    // NLP filter: only incident-flavored text promotes to person of interest.
+    const auto* txt = std::get_if<std::string>(&text->second);
+    if (txt != nullptr && classifier_.Predict(*txt) == 1) {
+      poi.insert(pit->second);
+    }
+  }
+
+  result.geo_time_matched = geo_matched.size();
+  result.persons_of_interest = poi.size();
+  result.poi.assign(poi.begin(), poi.end());
+  std::sort(result.poi.begin(), result.poi.end());
+  result.narrowing_factor =
+      poi.empty() ? double(result.second_degree_field)
+                  : double(result.second_degree_field) / double(poi.size());
+
+  std::size_t found = 0;
+  for (const graph::PersonId person : planted_) {
+    if (poi.count(person)) ++found;
+  }
+  result.plant_recall =
+      planted_.empty() ? 0 : double(found) / double(planted_.size());
+  result.plant_precision = poi.empty() ? 0 : double(found) / double(poi.size());
+  return result;
+}
+
+}  // namespace metro::apps

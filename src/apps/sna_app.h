@@ -1,0 +1,82 @@
+#pragma once
+
+// Social-network-analysis application (Sec. IV-B).
+//
+// Reproduces the paper's investigation workflow: expand a seed offender's
+// first- and second-degree associate field over the co-offender/gang graph,
+// then narrow it multi-modally — geo-tagged tweets inside the incident's
+// space-time window, filtered by NLP incident-text classification — to a
+// small persons-of-interest list. The generator plants "present" associates
+// (who tweeted near the incident) so precision/recall are measurable.
+
+#include <vector>
+
+#include "datagen/city.h"
+#include "datagen/social.h"
+#include "store/document_store.h"
+#include "text/text.h"
+
+namespace metro::apps {
+
+/// Stage-by-stage sizes of the narrowing funnel, plus quality vs the plant.
+struct InvestigationResult {
+  graph::PersonId seed = 0;
+  std::size_t first_degree = 0;
+  std::size_t second_degree_field = 0;  ///< 1st + 2nd degree associates
+  std::size_t geo_time_matched = 0;     ///< field members with tweets in window
+  std::size_t persons_of_interest = 0;  ///< after NLP incident filtering
+  double narrowing_factor = 0;          ///< field / persons-of-interest
+  double plant_recall = 0;              ///< planted present associates found
+  double plant_precision = 0;
+  std::vector<graph::PersonId> poi;
+};
+
+/// Network-wide degree statistics (the Sec. IV-B published numbers).
+struct NetworkStats {
+  std::size_t groups = 0;
+  std::size_t members = 0;
+  double mean_first_degree = 0;
+  double mean_second_degree_field = 0;  ///< sampled
+};
+
+/// The deployed application.
+class SnaApp {
+ public:
+  struct Config {
+    datagen::GangNetworkSpec network;
+    int background_tweets_per_member = 6;
+    int planted_present_associates = 5;  ///< 2nd-degree members at the scene
+    double window_radius_m = 1200;
+    TimeNs window_duration = 2 * 3600 * kSecond;
+  };
+
+  SnaApp(const Config& config, std::uint64_t seed);
+
+  /// Degree statistics of the generated network (`samples` seeds for the
+  /// second-degree mean).
+  NetworkStats Stats(int samples = 100);
+
+  /// Sets up one incident scenario: picks a seed member, plants present
+  /// associates from the seed's 2nd-degree field, and fills the tweet
+  /// collection. Returns the seed.
+  graph::PersonId StageIncident(TimeNs incident_time,
+                                const geo::LatLon& incident_location);
+
+  /// Runs the narrowing funnel for the staged incident.
+  InvestigationResult Investigate(graph::PersonId seed, TimeNs incident_time,
+                                  const geo::LatLon& incident_location);
+
+  const datagen::GangNetwork& network() const { return network_; }
+  store::Collection& tweets() { return tweets_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  datagen::GangNetwork network_;
+  datagen::TweetGenerator tweet_gen_;
+  store::Collection tweets_;
+  text::NaiveBayes classifier_;
+  std::vector<graph::PersonId> planted_;
+};
+
+}  // namespace metro::apps

@@ -1,0 +1,145 @@
+#include "apps/vehicle_app.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "nn/optimizer.h"
+
+namespace metro::apps {
+
+VehicleDetectionApp::VehicleDetectionApp(const zoo::DetectorConfig& config,
+                                         std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      detector_(config, rng_),
+      generator_(config, seed ^ 0xD1CE) {}
+
+float VehicleDetectionApp::Train(int steps, int batch_size, float lr) {
+  nn::Adam opt(lr);
+  float loss = 0;
+  for (int step = 0; step < steps; ++step) {
+    auto [images, truth] = generator_.Batch(batch_size);
+    loss = detector_.TrainStep(images, truth, opt);
+  }
+  return loss;
+}
+
+FrameResult VehicleDetectionApp::ProcessFrame(const tensor::Tensor& frame,
+                                              float threshold) {
+  FrameResult result;
+  tensor::Tensor stem_out = detector_.Stem(frame, false);
+  tensor::Tensor tiny_out = detector_.TinyHead(stem_out, false);
+  result.tiny_confidence = detector_.Confidence(tiny_out, 0);
+  if (result.tiny_confidence >= threshold) {
+    result.detections = zoo::Nms(detector_.Decode(tiny_out, 0, 0.1f), 0.4f, 0.1f);
+    result.offloaded = false;
+  } else {
+    // Below threshold: the pre-branch feature map goes to the full head
+    // (on the analysis server, in deployment).
+    tensor::Tensor full_out = detector_.FullHead(stem_out, false);
+    result.detections = zoo::Nms(detector_.Decode(full_out, 0, 0.1f), 0.4f, 0.1f);
+    result.offloaded = true;
+  }
+  return result;
+}
+
+DetectorEvaluation VehicleDetectionApp::Evaluate(int num_frames,
+                                                 float threshold) {
+  DetectorEvaluation eval;
+  eval.threshold = threshold;
+  eval.frames = std::size_t(num_frames);
+  std::size_t offloads = 0, class_hits = 0;
+  std::size_t matched = 0, total_gt = 0, total_det = 0;
+  double iou_sum = 0;
+
+  for (int f = 0; f < num_frames; ++f) {
+    datagen::LabeledFrame frame = generator_.Generate();
+    const tensor::Tensor batch1 = frame.image.Reshape(
+        {1, config_.image_size, config_.image_size, config_.channels});
+    FrameResult result = ProcessFrame(batch1, threshold);
+    if (result.offloaded) ++offloads;
+
+    total_gt += frame.boxes.size();
+    total_det += result.detections.size();
+
+    // Greedy match detections to ground truth by IoU.
+    std::vector<bool> used(frame.boxes.size(), false);
+    bool top_class_hit = false;
+    for (std::size_t d = 0; d < result.detections.size(); ++d) {
+      const zoo::Detection& det = result.detections[d];
+      double best_iou = 0;
+      int best_gt = -1;
+      for (std::size_t g = 0; g < frame.boxes.size(); ++g) {
+        if (used[g]) continue;
+        zoo::Detection gt;
+        gt.cx = frame.boxes[g].cx;
+        gt.cy = frame.boxes[g].cy;
+        gt.w = frame.boxes[g].w;
+        gt.h = frame.boxes[g].h;
+        const double iou = zoo::Iou(det, gt);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best_gt = int(g);
+        }
+      }
+      if (best_gt >= 0 && best_iou > 0.3 &&
+          det.cls == frame.boxes[std::size_t(best_gt)].cls) {
+        used[std::size_t(best_gt)] = true;
+        ++matched;
+        iou_sum += best_iou;
+        if (d == 0) top_class_hit = true;
+      }
+    }
+    if (top_class_hit) ++class_hits;
+  }
+
+  eval.offload_fraction = double(offloads) / std::max<std::size_t>(eval.frames, 1);
+  eval.classification_accuracy =
+      double(class_hits) / std::max<std::size_t>(eval.frames, 1);
+  eval.recall = total_gt ? double(matched) / double(total_gt) : 0;
+  eval.precision = total_det ? double(matched) / double(total_det) : 0;
+  eval.mean_iou = matched ? iou_sum / double(matched) : 0;
+  return eval;
+}
+
+std::string VehicleDetectionApp::RenderAscii(
+    const tensor::Tensor& frame, const std::vector<zoo::Detection>& dets) {
+  // frame: (H, W, 3) or (1, H, W, 3).
+  const int off = frame.rank() == 4 ? 1 : 0;
+  const int h = frame.dim(off), w = frame.dim(off + 1);
+  static constexpr std::string_view kRamp = " .:-=+*#%@";
+  std::vector<std::string> canvas(std::size_t(h), std::string(std::size_t(w), ' '));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float lum = 0;
+      for (int c = 0; c < 3; ++c) {
+        lum += frame[(std::size_t(y) * w + x) * 3 + std::size_t(c)];
+      }
+      lum /= 3.0f;
+      const auto idx = std::min<std::size_t>(
+          std::size_t(lum * float(kRamp.size())), kRamp.size() - 1);
+      canvas[std::size_t(y)][std::size_t(x)] = kRamp[idx];
+    }
+  }
+  // Overlay boxes with the class digit at the corners.
+  for (const zoo::Detection& det : dets) {
+    const int x0 = std::clamp(int((det.cx - det.w / 2) * w), 0, w - 1);
+    const int x1 = std::clamp(int((det.cx + det.w / 2) * w), 0, w - 1);
+    const int y0 = std::clamp(int((det.cy - det.h / 2) * h), 0, h - 1);
+    const int y1 = std::clamp(int((det.cy + det.h / 2) * h), 0, h - 1);
+    for (int x = x0; x <= x1; ++x) {
+      canvas[std::size_t(y0)][std::size_t(x)] = '-';
+      canvas[std::size_t(y1)][std::size_t(x)] = '-';
+    }
+    for (int y = y0; y <= y1; ++y) {
+      canvas[std::size_t(y)][std::size_t(x0)] = '|';
+      canvas[std::size_t(y)][std::size_t(x1)] = '|';
+    }
+    canvas[std::size_t(y0)][std::size_t(x0)] = char('0' + det.cls % 10);
+  }
+  std::ostringstream os;
+  for (const auto& line : canvas) os << line << '\n';
+  return os.str();
+}
+
+}  // namespace metro::apps

@@ -1,0 +1,64 @@
+#pragma once
+
+// Vehicle detection & classification application (Sec. IV-A1, Figs. 5-6).
+//
+// Wraps the split detector with its training loop, the early-exit policy
+// (accept Tiny output when its best detection score clears a threshold,
+// else "ship" the feature map to the full head), detection-quality scoring
+// against ground truth, and the ASCII rendering used by the Fig. 6 example.
+
+#include <string>
+#include <vector>
+
+#include "datagen/video.h"
+#include "zoo/detector.h"
+
+namespace metro::apps {
+
+/// Per-threshold evaluation of the split detector.
+struct DetectorEvaluation {
+  float threshold = 0;
+  double offload_fraction = 0;   ///< frames sent to the full head
+  double classification_accuracy = 0;  ///< top detection matches a gt class
+  double mean_iou = 0;           ///< IoU of matched detections
+  double recall = 0;             ///< gt boxes matched (IoU > 0.3, same class)
+  double precision = 0;
+  std::size_t frames = 0;
+};
+
+/// One processed frame.
+struct FrameResult {
+  std::vector<zoo::Detection> detections;
+  bool offloaded = false;
+  float tiny_confidence = 0;
+};
+
+/// The deployed application.
+class VehicleDetectionApp {
+ public:
+  VehicleDetectionApp(const zoo::DetectorConfig& config, std::uint64_t seed);
+
+  /// Joint training on synthetic labeled frames; returns final batch loss.
+  float Train(int steps, int batch_size = 16, float lr = 2e-3f);
+
+  /// Early-exit inference on one frame tensor (1, H, W, 3).
+  FrameResult ProcessFrame(const tensor::Tensor& frame, float threshold);
+
+  /// Sweeps frames from the generator at one exit threshold.
+  DetectorEvaluation Evaluate(int num_frames, float threshold);
+
+  /// ASCII rendering of a frame with detection boxes — the Fig. 6 stand-in.
+  static std::string RenderAscii(const tensor::Tensor& frame,
+                                 const std::vector<zoo::Detection>& dets);
+
+  zoo::SplitDetector& detector() { return detector_; }
+  datagen::VehicleFrameGenerator& generator() { return generator_; }
+
+ private:
+  zoo::DetectorConfig config_;
+  Rng rng_;
+  zoo::SplitDetector detector_;
+  datagen::VehicleFrameGenerator generator_;
+};
+
+}  // namespace metro::apps

@@ -1,0 +1,60 @@
+#include "core/infrastructure.h"
+
+#include <sstream>
+
+namespace metro::core {
+
+std::size_t AlertManager::Raise(Alert alert) {
+  std::lock_guard lock(mu_);
+  alerts_.push_back(std::move(alert));
+  return alerts_.size() - 1;
+}
+
+std::optional<Alert> AlertManager::ReviewNext() {
+  std::lock_guard lock(mu_);
+  if (next_review_ >= alerts_.size()) return std::nullopt;
+  alerts_[next_review_].reviewed = true;
+  return alerts_[next_review_++];
+}
+
+std::size_t AlertManager::pending() const {
+  std::lock_guard lock(mu_);
+  return alerts_.size() - next_review_;
+}
+
+std::size_t AlertManager::total() const {
+  std::lock_guard lock(mu_);
+  return alerts_.size();
+}
+
+std::vector<Alert> AlertManager::All() const {
+  std::lock_guard lock(mu_);
+  return alerts_;
+}
+
+Cyberinfrastructure::Cyberinfrastructure(const InfrastructureConfig& config,
+                                         Clock& clock)
+    : config_(config),
+      storage_(config.dfs_datanodes, config.dfs),
+      fog_(config.fog),
+      pipeline_(clock),
+      engine_(config.engine_parallelism),
+      scheduler_(config.yarn_policy),
+      annotations_("annotations") {
+  for (int i = 0; i < config.yarn_nodes; ++i) {
+    scheduler_.AddNode(config.yarn_node_capacity);
+  }
+}
+
+std::string Cyberinfrastructure::Describe() const {
+  std::ostringstream os;
+  os << "cyberinfrastructure: dfs=" << config_.dfs_datanodes
+     << " datanodes (replication " << config_.dfs.replication << "), fog="
+     << config_.fog.num_edges << " edges -> "
+     << fog_.num_fogs() << " fog nodes -> " << fog_.num_servers()
+     << " analysis servers -> cloud, engine=" << config_.engine_parallelism
+     << " workers, yarn=" << config_.yarn_nodes << " nodes";
+  return os.str();
+}
+
+}  // namespace metro::core

@@ -1,0 +1,101 @@
+#pragma once
+
+// The assembled cyberinfrastructure (Fig. 1).
+//
+// One object wiring the four layers together: the *data layer* is whatever
+// producers feed the pipeline (datagen in this repository); the *hardware
+// layer* is the fog topology plus the DFS storage cluster; the *software
+// layer* is the message log/pipeline, the wide-column and document stores,
+// the dataflow engine, and the resource manager; the *application layer* is
+// the set of registered applications raising alerts through AlertManager.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dataflow/engine.h"
+#include "dfs/dfs.h"
+#include "fog/fog.h"
+#include "geo/geo.h"
+#include "sched/resource_manager.h"
+#include "store/wide_column.h"
+
+namespace metro::core {
+
+/// An operator-facing alert (Sec. IV-A2: "An alert will be sent to a human
+/// operator who reviews the information...").
+struct Alert {
+  TimeNs time = 0;
+  geo::LatLon location;
+  std::string kind;     ///< "suspicious_behavior", "gunshot", "amber_match"...
+  std::string message;
+  int severity = 1;     ///< 1 (info) .. 5 (critical)
+  bool reviewed = false;
+};
+
+/// Thread-safe alert queue with an operator-review workflow.
+class AlertManager {
+ public:
+  /// Raises an alert; returns its index.
+  std::size_t Raise(Alert alert);
+
+  /// Oldest unreviewed alert, marking it reviewed (the operator workflow).
+  std::optional<Alert> ReviewNext();
+
+  std::size_t pending() const;
+  std::size_t total() const;
+  std::vector<Alert> All() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Alert> alerts_;
+  std::size_t next_review_ = 0;
+};
+
+/// Construction parameters for the whole stack.
+struct InfrastructureConfig {
+  int dfs_datanodes = 6;
+  dfs::DfsConfig dfs;
+  fog::FogConfig fog;
+  int engine_parallelism = 4;
+  int yarn_nodes = 4;
+  sched::Resource yarn_node_capacity{8, 16 * 1024};
+  sched::Policy yarn_policy = sched::Policy::kFair;
+};
+
+/// Owns every layer; see the class comment for the layer map.
+class Cyberinfrastructure {
+ public:
+  explicit Cyberinfrastructure(const InfrastructureConfig& config,
+                               Clock& clock);
+
+  // Hardware layer.
+  dfs::Cluster& storage() { return storage_; }
+  fog::FogTopology& fog() { return fog_; }
+
+  // Software layer.
+  CityPipeline& pipeline() { return pipeline_; }
+  dataflow::Engine& engine() { return engine_; }
+  sched::ResourceManager& scheduler() { return scheduler_; }
+  store::WideColumnTable& annotations() { return annotations_; }
+
+  // Application layer.
+  AlertManager& alerts() { return alerts_; }
+
+  /// One-line inventory for logs/docs.
+  std::string Describe() const;
+
+ private:
+  InfrastructureConfig config_;
+  dfs::Cluster storage_;
+  fog::FogTopology fog_;
+  CityPipeline pipeline_;
+  dataflow::Engine engine_;
+  sched::ResourceManager scheduler_;
+  store::WideColumnTable annotations_;
+  AlertManager alerts_;
+};
+
+}  // namespace metro::core

@@ -1,0 +1,202 @@
+#include "core/pipeline.h"
+
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace metro::core {
+
+std::string EncodeDocument(const store::Document& doc) {
+  ByteWriter w;
+  w.PutVarint(doc.size());
+  for (const auto& [field, value] : doc) {
+    w.PutString(field);
+    if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      w.PutU8(0);
+      w.PutI64(*i);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      w.PutU8(1);
+      w.PutF64(*d);
+    } else if (const auto* b = std::get_if<bool>(&value)) {
+      w.PutU8(2);
+      w.PutU8(*b ? 1 : 0);
+    } else {
+      w.PutU8(3);
+      w.PutString(std::get<std::string>(value));
+    }
+  }
+  return std::move(w).data();
+}
+
+std::optional<store::Document> DecodeDocument(const std::string& bytes) {
+  ByteReader r(bytes);
+  const auto count = r.GetVarint();
+  if (!count.ok()) return std::nullopt;
+  store::Document doc;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto field = r.GetString();
+    const auto tag = field.ok() ? r.GetU8() : Result<std::uint8_t>(field.status());
+    if (!tag.ok()) return std::nullopt;
+    switch (*tag) {
+      case 0: {
+        const auto v = r.GetI64();
+        if (!v.ok()) return std::nullopt;
+        doc[*field] = *v;
+        break;
+      }
+      case 1: {
+        const auto v = r.GetF64();
+        if (!v.ok()) return std::nullopt;
+        doc[*field] = *v;
+        break;
+      }
+      case 2: {
+        const auto v = r.GetU8();
+        if (!v.ok()) return std::nullopt;
+        doc[*field] = (*v != 0);
+        break;
+      }
+      case 3: {
+        auto v = r.GetString();
+        if (!v.ok()) return std::nullopt;
+        doc[*field] = std::move(*v);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return doc;
+}
+
+CityPipeline::CityPipeline(Clock& clock) : clock_(&clock), log_(clock) {}
+
+CityPipeline::~CityPipeline() { Stop(); }
+
+Status CityPipeline::AddTopic(TopicSpec spec) {
+  if (started_) return FailedPreconditionError("pipeline already started");
+  if (!spec.parser) spec.parser = [](const std::string&, const std::string& v) {
+    return DecodeDocument(v);
+  };
+  METRO_RETURN_IF_ERROR(log_.CreateTopic(spec.topic, spec.partitions));
+  auto state = std::make_unique<TopicState>();
+  state->spec = std::move(spec);
+  state->collection =
+      std::make_unique<store::Collection>(state->spec.topic);
+  const std::string key = state->spec.topic;
+  topics_.emplace(key, std::move(state));
+  return Status::Ok();
+}
+
+Result<store::Collection*> CityPipeline::collection(const std::string& topic) {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  return it->second->collection.get();
+}
+
+Status CityPipeline::Start() {
+  if (started_) return FailedPreconditionError("pipeline already started");
+  started_ = true;
+  for (auto& [name, state] : topics_) {
+    TopicState* raw = state.get();
+    state->consumer = std::jthread(
+        [this, raw](std::stop_token stop) { ConsumerLoop(*raw, stop); });
+  }
+  return Status::Ok();
+}
+
+void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
+  const std::string& topic = state.spec.topic;
+  const std::string group = "pipeline";
+  const std::string member = "consumer-" + topic;
+  const auto assignment = log_.JoinGroup(group + "-" + topic, topic, member);
+  if (!assignment.ok()) return;
+
+  // Poll all assigned partitions until stop is requested *and* the backlog
+  // is drained — a clean shutdown loses nothing.
+  while (true) {
+    bool progressed = false;
+    for (const int partition : *assignment) {
+      const std::int64_t committed =
+          log_.CommittedOffset(group + "-" + topic, topic, partition);
+      const auto records = log_.Fetch(topic, partition, committed, 128);
+      if (!records.ok() || records->empty()) continue;
+      progressed = true;
+      for (const mq::Record& rec : *records) {
+        records_consumed_.fetch_add(1, std::memory_order_relaxed);
+        auto doc = state.spec.parser(rec.key, rec.value);
+        if (!doc) continue;
+        // Storage stage.
+        (void)state.collection->Insert(*doc);
+        documents_stored_.fetch_add(1, std::memory_order_relaxed);
+        // Analysis stage.
+        if (state.spec.analyzer) {
+          auto annotation = state.spec.analyzer(*doc);
+          if (annotation) {
+            annotations_.fetch_add(1, std::memory_order_relaxed);
+            // Visualization stage: render to the web feed.
+            const std::string json = store::ToJson(*annotation);
+            {
+              std::lock_guard lock(web_mu_);
+              web_feed_.push_back(json);
+            }
+            latency_ms_.Record((clock_->Now() - rec.timestamp) / kMillisecond);
+          }
+        }
+      }
+      (void)log_.CommitOffset(group + "-" + topic, topic, partition,
+                              records->back().offset + 1);
+    }
+    if (!progressed) {
+      if (stop.stop_requested()) return;
+      clock_->SleepFor(kMillisecond / 2);
+    }
+  }
+}
+
+void CityPipeline::Stop() {
+  for (auto& [name, state] : topics_) {
+    if (state->consumer.joinable()) state->consumer.request_stop();
+  }
+  for (auto& [name, state] : topics_) {
+    if (state->consumer.joinable()) state->consumer.join();
+  }
+}
+
+void CityPipeline::Drain() {
+  for (auto& [name, state] : topics_) {
+    const std::string& topic = state->spec.topic;
+    const auto parts = log_.NumPartitions(topic);
+    if (!parts.ok()) continue;
+    for (int p = 0; p < *parts; ++p) {
+      while (true) {
+        const auto info = log_.GetPartitionInfo(topic, p);
+        if (!info.ok()) break;
+        const std::int64_t committed =
+            log_.CommittedOffset("pipeline-" + topic, topic, p);
+        if (committed >= info->end_offset) break;
+        clock_->SleepFor(kMillisecond);
+      }
+    }
+  }
+}
+
+std::vector<std::string> CityPipeline::WebFeed() const {
+  std::lock_guard lock(web_mu_);
+  return web_feed_;
+}
+
+PipelineStats CityPipeline::Stats() const {
+  PipelineStats s;
+  s.records_consumed = records_consumed_.load();
+  s.documents_stored = documents_stored_.load();
+  s.annotations = annotations_.load();
+  {
+    std::lock_guard lock(web_mu_);
+    s.web_items = std::int64_t(web_feed_.size());
+  }
+  s.mean_latency_ms = latency_ms_.mean();
+  s.p99_latency_ms = double(latency_ms_.p99());
+  return s;
+}
+
+}  // namespace metro::core

@@ -1,0 +1,115 @@
+#pragma once
+
+// The Fig. 4 pipeline: data collection -> NoSQL storage -> analysis servers
+// -> web/visualization.
+//
+// Producers (ingest agents, apps) publish raw records to message-log topics.
+// Per-topic storage consumers persist them into document-store collections.
+// Registered analyzers then annotate documents, and annotations flow to the
+// web sink — an in-memory JSON feed standing in for the project website.
+// Every stage is a real thread so throughput and end-to-end latency are
+// measured, not simulated.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mq/message_log.h"
+#include "store/document_store.h"
+#include "util/metrics.h"
+
+namespace metro::core {
+
+/// Analyzer: turns a stored document into an annotation document (or
+/// nullopt to pass). Runs on the analysis-server stage.
+using AnalyzerFn =
+    std::function<std::optional<store::Document>(const store::Document&)>;
+
+/// Parser: decodes a raw message-log record value into a document.
+/// Returning nullopt drops the record (malformed input).
+using ParserFn = std::function<std::optional<store::Document>(
+    const std::string& key, const std::string& value)>;
+
+/// End-to-end pipeline statistics.
+struct PipelineStats {
+  std::int64_t records_consumed = 0;
+  std::int64_t documents_stored = 0;
+  std::int64_t annotations = 0;
+  std::int64_t web_items = 0;
+  double mean_latency_ms = 0;  ///< produce -> web, for annotated records
+  double p99_latency_ms = 0;
+};
+
+/// The assembled Fig. 4 pipeline.
+class CityPipeline {
+ public:
+  struct TopicSpec {
+    std::string topic;
+    int partitions = 2;
+    ParserFn parser;          ///< raw record -> document
+    AnalyzerFn analyzer;      ///< optional annotation step
+  };
+
+  explicit CityPipeline(Clock& clock);
+  ~CityPipeline();
+
+  CityPipeline(const CityPipeline&) = delete;
+  CityPipeline& operator=(const CityPipeline&) = delete;
+
+  /// Declares a topic with its parser/analyzer before Start().
+  Status AddTopic(TopicSpec spec);
+
+  /// The broker producers publish into.
+  mq::MessageLog& log() { return log_; }
+
+  /// Stored documents for a topic (one collection per topic).
+  Result<store::Collection*> collection(const std::string& topic);
+
+  /// Starts one consumer thread per topic.
+  Status Start();
+
+  /// Signals consumers to finish the backlog and stop, then joins.
+  void Stop();
+
+  /// Blocks until every topic's committed offset reaches the end of its log
+  /// (producers must have stopped).
+  void Drain();
+
+  /// The rendered web feed (JSON lines), in arrival order.
+  std::vector<std::string> WebFeed() const;
+
+  PipelineStats Stats() const;
+
+ private:
+  struct TopicState {
+    TopicSpec spec;
+    std::unique_ptr<store::Collection> collection;
+    std::jthread consumer;
+  };
+
+  void ConsumerLoop(TopicState& state, std::stop_token stop);
+
+  Clock* clock_;
+  mq::MessageLog log_;
+  std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
+  bool started_ = false;
+
+  mutable std::mutex web_mu_;
+  std::vector<std::string> web_feed_;
+
+  std::atomic<std::int64_t> records_consumed_{0};
+  std::atomic<std::int64_t> documents_stored_{0};
+  std::atomic<std::int64_t> annotations_{0};
+  Histogram latency_ms_;
+};
+
+/// Standard parser for the datagen documents: the record value is expected
+/// to be a serialized document produced by EncodeDocument below.
+std::string EncodeDocument(const store::Document& doc);
+std::optional<store::Document> DecodeDocument(const std::string& bytes);
+
+}  // namespace metro::core

@@ -1,0 +1,323 @@
+#pragma once
+
+// Lazy, partitioned, lineage-tracked datasets (the RDD role in Sec. II-C2).
+//
+// A Dataset<T> is an immutable description of how to compute a set of
+// partitions. Narrow transformations (Map, Filter, FlatMap, Union, Sample)
+// compose lazily; wide transformations (ReduceByKey, GroupByKey, Join)
+// materialize a hash shuffle once per lineage, like a stage boundary's
+// shuffle files. Actions (Collect, Count, Reduce) run one task per partition
+// on an Engine. Lost cached partitions are recomputed from lineage —
+// Dataset::DropCachedPartition exists so tests can prove it.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/engine.h"
+#include "util/rng.h"
+
+namespace metro::dataflow {
+
+template <typename T>
+class Dataset {
+ public:
+  /// Distributes `data` round-robin across `partitions` partitions.
+  static Dataset Parallelize(std::vector<T> data, int partitions) {
+    auto chunks = std::make_shared<std::vector<std::vector<T>>>();
+    chunks->resize(std::size_t(std::max(partitions, 1)));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (*chunks)[i % chunks->size()].push_back(std::move(data[i]));
+    }
+    return Dataset(int(chunks->size()),
+                   [chunks](int p, Engine&) { return (*chunks)[std::size_t(p)]; });
+  }
+
+  /// A dataset whose partition p is produced by `fn(p)` (for generators).
+  static Dataset FromGenerator(int partitions,
+                               std::function<std::vector<T>(int)> fn) {
+    return Dataset(partitions,
+                   [fn = std::move(fn)](int p, Engine&) { return fn(p); });
+  }
+
+  int num_partitions() const { return node_->num_partitions; }
+
+  /// Element-wise transform.
+  template <typename F, typename U = std::invoke_result_t<F, const T&>>
+  Dataset<U> Map(F fn) const {
+    auto parent = node_;
+    return Dataset<U>(parent->num_partitions,
+                      [parent, fn = std::move(fn)](int p, Engine& eng) {
+                        std::vector<U> out;
+                        auto in = Materialize(parent, p, eng);
+                        out.reserve(in.size());
+                        for (const T& x : in) out.push_back(fn(x));
+                        return out;
+                      });
+  }
+
+  /// Keeps elements satisfying `pred`.
+  template <typename F>
+  Dataset<T> Filter(F pred) const {
+    auto parent = node_;
+    return Dataset<T>(parent->num_partitions,
+                      [parent, pred = std::move(pred)](int p, Engine& eng) {
+                        std::vector<T> out;
+                        for (auto& x : Materialize(parent, p, eng)) {
+                          if (pred(x)) out.push_back(std::move(x));
+                        }
+                        return out;
+                      });
+  }
+
+  /// Expands each element into zero or more outputs.
+  template <typename F,
+            typename U = typename std::invoke_result_t<F, const T&>::value_type>
+  Dataset<U> FlatMap(F fn) const {
+    auto parent = node_;
+    return Dataset<U>(parent->num_partitions,
+                      [parent, fn = std::move(fn)](int p, Engine& eng) {
+                        std::vector<U> out;
+                        for (const T& x : Materialize(parent, p, eng)) {
+                          for (auto& y : fn(x)) out.push_back(std::move(y));
+                        }
+                        return out;
+                      });
+  }
+
+  /// Concatenates two datasets (partitions are appended).
+  Dataset<T> Union(const Dataset<T>& other) const {
+    auto a = node_;
+    auto b = other.node_;
+    return Dataset<T>(a->num_partitions + b->num_partitions,
+                      [a, b](int p, Engine& eng) {
+                        return p < a->num_partitions
+                                   ? Materialize(a, p, eng)
+                                   : Materialize(b, p - a->num_partitions, eng);
+                      });
+  }
+
+  /// Bernoulli sample of roughly `fraction` of the elements.
+  Dataset<T> Sample(double fraction, std::uint64_t seed) const {
+    auto parent = node_;
+    return Dataset<T>(parent->num_partitions,
+                      [parent, fraction, seed](int p, Engine& eng) {
+                        Rng rng(seed ^ (std::uint64_t(p) * 0x9e3779b9ULL));
+                        std::vector<T> out;
+                        for (auto& x : Materialize(parent, p, eng)) {
+                          if (rng.Bernoulli(fraction)) out.push_back(std::move(x));
+                        }
+                        return out;
+                      });
+  }
+
+  /// Marks this dataset's partitions for caching on first computation.
+  Dataset<T>& Cache() {
+    node_->cache_enabled = true;
+    return *this;
+  }
+
+  /// Evicts one cached partition (fault injection: a lost executor). The
+  /// next action recomputes it from lineage.
+  void DropCachedPartition(int p) const {
+    std::lock_guard lock(node_->mu);
+    if (std::size_t(p) < node_->cache.size()) node_->cache[std::size_t(p)].reset();
+  }
+
+  // ---- actions ----
+
+  /// All elements, partition order preserved.
+  std::vector<T> Collect(Engine& engine) const {
+    std::vector<std::vector<T>> parts(std::size_t(node_->num_partitions));
+    auto node = node_;
+    engine.RunStage(node_->num_partitions, [&parts, node, &engine](int p) {
+      parts[std::size_t(p)] = Materialize(node, p, engine);
+    });
+    std::vector<T> out;
+    for (auto& part : parts) {
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
+
+  std::size_t Count(Engine& engine) const {
+    std::vector<std::size_t> counts(std::size_t(node_->num_partitions), 0);
+    auto node = node_;
+    engine.RunStage(node_->num_partitions, [&counts, node, &engine](int p) {
+      counts[std::size_t(p)] = Materialize(node, p, engine).size();
+    });
+    std::size_t total = 0;
+    for (const std::size_t c : counts) total += c;
+    return total;
+  }
+
+  /// Folds all elements with `combine` starting from `init` (must be
+  /// associative and commutative across partitions).
+  template <typename F>
+  T Reduce(Engine& engine, T init, F combine) const {
+    std::vector<std::optional<T>> partials(std::size_t(node_->num_partitions));
+    auto node = node_;
+    engine.RunStage(node_->num_partitions,
+                    [&partials, node, &engine, &combine](int p) {
+                      std::optional<T> acc;
+                      for (auto& x : Materialize(node, p, engine)) {
+                        acc = acc ? combine(*acc, x) : std::move(x);
+                      }
+                      partials[std::size_t(p)] = std::move(acc);
+                    });
+    T out = std::move(init);
+    for (auto& partial : partials) {
+      if (partial) out = combine(out, *partial);
+    }
+    return out;
+  }
+
+  // Internal node — public only for the shuffle free functions below.
+  struct Node {
+    int num_partitions;
+    std::function<std::vector<T>(int, Engine&)> compute;
+    bool cache_enabled = false;
+    std::mutex mu;
+    std::vector<std::optional<std::vector<T>>> cache;
+  };
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  Dataset(int partitions, std::function<std::vector<T>(int, Engine&)> compute)
+      : node_(std::make_shared<Node>()) {
+    node_->num_partitions = partitions;
+    node_->compute = std::move(compute);
+    node_->cache.resize(std::size_t(partitions));
+  }
+
+  /// Computes (or serves from cache) one partition of `node`.
+  static std::vector<T> Materialize(const std::shared_ptr<Node>& node, int p,
+                                    Engine& engine) {
+    if (node->cache_enabled) {
+      std::unique_lock lock(node->mu);
+      if (node->cache[std::size_t(p)]) return *node->cache[std::size_t(p)];
+      lock.unlock();
+      std::vector<T> data = node->compute(p, engine);
+      lock.lock();
+      node->cache[std::size_t(p)] = data;
+      return data;
+    }
+    return node->compute(p, engine);
+  }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+namespace internal {
+
+/// Materialized hash shuffle: computes every parent partition once (first
+/// touch) and buckets elements by key hash into `out_partitions` buckets —
+/// the moral equivalent of writing shuffle files at a stage boundary.
+template <typename K, typename V>
+struct Shuffle {
+  using Pair = std::pair<K, V>;
+  std::shared_ptr<typename Dataset<Pair>::Node> parent;
+  int out_partitions;
+  std::once_flag once;
+  std::vector<std::vector<Pair>> buckets;
+
+  const std::vector<Pair>& Bucket(int p, Engine& engine) {
+    std::call_once(once, [this, &engine] {
+      buckets.resize(std::size_t(out_partitions));
+      std::vector<std::vector<std::vector<Pair>>> per_parent(
+          std::size_t(parent->num_partitions));
+      engine.RunStage(parent->num_partitions, [this, &per_parent,
+                                               &engine](int pp) {
+        auto& local = per_parent[std::size_t(pp)];
+        local.resize(std::size_t(out_partitions));
+        for (auto& kv :
+             Dataset<Pair>::Materialize(parent, pp, engine)) {
+          const std::size_t b =
+              std::hash<K>{}(kv.first) % std::size_t(out_partitions);
+          local[b].push_back(std::move(kv));
+        }
+      });
+      for (auto& local : per_parent) {
+        for (int b = 0; b < out_partitions; ++b) {
+          auto& dst = buckets[std::size_t(b)];
+          auto& src = local[std::size_t(b)];
+          dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                     std::make_move_iterator(src.end()));
+        }
+      }
+    });
+    return buckets[std::size_t(p)];
+  }
+};
+
+}  // namespace internal
+
+/// Combines values of equal keys with `combine` (associative).
+template <typename K, typename V, typename F>
+Dataset<std::pair<K, V>> ReduceByKey(const Dataset<std::pair<K, V>>& ds,
+                                     int out_partitions, F combine) {
+  auto shuffle = std::make_shared<internal::Shuffle<K, V>>();
+  shuffle->parent = ds.node();
+  shuffle->out_partitions = out_partitions;
+  return Dataset<std::pair<K, V>>(
+      out_partitions,
+      [shuffle, combine = std::move(combine)](int p, Engine& engine) {
+        std::unordered_map<K, V> acc;
+        for (const auto& [k, v] : shuffle->Bucket(p, engine)) {
+          const auto [it, inserted] = acc.try_emplace(k, v);
+          if (!inserted) it->second = combine(it->second, v);
+        }
+        std::vector<std::pair<K, V>> out(acc.begin(), acc.end());
+        return out;
+      });
+}
+
+/// Groups values of equal keys.
+template <typename K, typename V>
+Dataset<std::pair<K, std::vector<V>>> GroupByKey(
+    const Dataset<std::pair<K, V>>& ds, int out_partitions) {
+  auto shuffle = std::make_shared<internal::Shuffle<K, V>>();
+  shuffle->parent = ds.node();
+  shuffle->out_partitions = out_partitions;
+  return Dataset<std::pair<K, std::vector<V>>>(
+      out_partitions, [shuffle](int p, Engine& engine) {
+        std::unordered_map<K, std::vector<V>> acc;
+        for (const auto& [k, v] : shuffle->Bucket(p, engine)) {
+          acc[k].push_back(v);
+        }
+        std::vector<std::pair<K, std::vector<V>>> out(acc.begin(), acc.end());
+        return out;
+      });
+}
+
+/// Inner hash join on key equality.
+template <typename K, typename V, typename W>
+Dataset<std::pair<K, std::pair<V, W>>> Join(const Dataset<std::pair<K, V>>& a,
+                                            const Dataset<std::pair<K, W>>& b,
+                                            int out_partitions) {
+  auto sa = std::make_shared<internal::Shuffle<K, V>>();
+  sa->parent = a.node();
+  sa->out_partitions = out_partitions;
+  auto sb = std::make_shared<internal::Shuffle<K, W>>();
+  sb->parent = b.node();
+  sb->out_partitions = out_partitions;
+  return Dataset<std::pair<K, std::pair<V, W>>>(
+      out_partitions, [sa, sb](int p, Engine& engine) {
+        std::unordered_map<K, std::vector<V>> left;
+        for (const auto& [k, v] : sa->Bucket(p, engine)) left[k].push_back(v);
+        std::vector<std::pair<K, std::pair<V, W>>> out;
+        for (const auto& [k, w] : sb->Bucket(p, engine)) {
+          const auto it = left.find(k);
+          if (it == left.end()) continue;
+          for (const V& v : it->second) out.emplace_back(k, std::make_pair(v, w));
+        }
+        return out;
+      });
+}
+
+}  // namespace metro::dataflow

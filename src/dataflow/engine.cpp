@@ -1,0 +1,41 @@
+#include "dataflow/engine.h"
+
+#include <atomic>
+#include <thread>
+
+namespace metro::dataflow {
+
+void Engine::RunStage(int num_partitions, const std::function<void(int)>& fn) {
+  stages_.Increment();
+  if (num_partitions <= 0) return;
+
+  // Caller-participates execution: the calling thread and up to
+  // (pool size - 1) helpers race on an atomic partition index. Because the
+  // caller always makes progress itself, a stage launched from *inside*
+  // another stage's task (the shuffle does this) cannot deadlock even when
+  // every pool worker is busy. Task functions must not throw (all dataset
+  // code reports failures via Status).
+  auto shared_fn = std::make_shared<std::function<void(int)>>(fn);
+  auto next = std::make_shared<std::atomic<int>>(0);
+  auto done = std::make_shared<std::atomic<int>>(0);
+  Counter* tasks = &tasks_;
+  auto run = [shared_fn, next, done, num_partitions, tasks] {
+    int i;
+    while ((i = next->fetch_add(1, std::memory_order_relaxed)) <
+           num_partitions) {
+      tasks->Increment();
+      (*shared_fn)(i);
+      done->fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  const auto helpers =
+      std::min<std::size_t>(pool_.num_threads(), std::size_t(num_partitions));
+  for (std::size_t h = 1; h < helpers; ++h) (void)pool_.Submit(run);
+  run();
+  while (done->load(std::memory_order_acquire) < num_partitions) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace metro::dataflow

@@ -1,0 +1,39 @@
+#pragma once
+
+// Execution engine for the dataflow layer (the Spark driver/executor role).
+//
+// Owns the worker pool and stage/task accounting. Dataset actions submit one
+// task per partition and block for the stage barrier, exactly the
+// stage-oriented execution model of the system it stands in for.
+
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace metro::dataflow {
+
+/// Runs dataset stages on a fixed worker pool.
+class Engine {
+ public:
+  /// `parallelism` worker threads (>= 1).
+  explicit Engine(int parallelism) : pool_(std::size_t(parallelism)) {}
+
+  /// Runs `fn(p)` for p in [0, num_partitions) on the pool; returns after
+  /// all tasks complete (stage barrier). Exceptions propagate.
+  void RunStage(int num_partitions, const std::function<void(int)>& fn);
+
+  std::int64_t stages_run() const { return stages_.value(); }
+  std::int64_t tasks_run() const { return tasks_.value(); }
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  Counter stages_;
+  Counter tasks_;
+};
+
+}  // namespace metro::dataflow

@@ -1,0 +1,198 @@
+#include "dataflow/mllib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+namespace metro::dataflow {
+namespace {
+
+double SquaredDistance(const FeatureVec& a, const FeatureVec& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = double(a[i]) - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::size_t NearestCentroid(const KMeansModel& model, const FeatureVec& x) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < model.centroids.size(); ++c) {
+    const double d = SquaredDistance(model.centroids[c], x);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<KMeansModel> FitKMeans(const Dataset<FeatureVec>& points, int k,
+                              Engine& engine, Rng& rng, int max_iters,
+                              double tol) {
+  if (k <= 0) return InvalidArgumentError("k must be positive");
+  std::vector<FeatureVec> sample = points.Collect(engine);
+  if (int(sample.size()) < k) {
+    return FailedPreconditionError("fewer points than clusters");
+  }
+  const std::size_t dim = sample.front().size();
+  for (const auto& p : sample) {
+    if (p.size() != dim) return InvalidArgumentError("ragged feature vectors");
+  }
+
+  KMeansModel model;
+  // k-means++ seeding over the collected sample.
+  model.centroids.push_back(sample[rng.UniformU64(sample.size())]);
+  std::vector<double> dist(sample.size());
+  while (int(model.centroids.size()) < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : model.centroids) {
+        best = std::min(best, SquaredDistance(c, sample[i]));
+      }
+      dist[i] = best;
+      total += best;
+    }
+    if (total <= 0) {
+      // All remaining points coincide with centroids; pad with copies.
+      model.centroids.push_back(sample[rng.UniformU64(sample.size())]);
+      continue;
+    }
+    double pick = rng.UniformDouble() * total;
+    std::size_t chosen = sample.size() - 1;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      pick -= dist[i];
+      if (pick <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    model.centroids.push_back(sample[chosen]);
+  }
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < max_iters; ++iter) {
+    model.iterations = iter + 1;
+    // Parallel assign step: per-partition centroid sums.
+    struct Partial {
+      std::vector<FeatureVec> sums;
+      std::vector<std::int64_t> counts;
+      double inertia = 0;
+    };
+    std::vector<Partial> partials(std::size_t(points.num_partitions()));
+    auto node = points.node();
+    const auto& centroids = model.centroids;
+    engine.RunStage(points.num_partitions(), [&](int p) {
+      Partial& part = partials[std::size_t(p)];
+      part.sums.assign(std::size_t(k), FeatureVec(dim, 0.0f));
+      part.counts.assign(std::size_t(k), 0);
+      for (const FeatureVec& x :
+           Dataset<FeatureVec>::Materialize(node, p, engine)) {
+        std::size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+          const double d = SquaredDistance(centroids[c], x);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        for (std::size_t f = 0; f < dim; ++f) part.sums[best][f] += x[f];
+        ++part.counts[best];
+        part.inertia += best_d;
+      }
+    });
+
+    // Combine partials into new centroids.
+    double inertia = 0;
+    std::vector<FeatureVec> sums(std::size_t(k), FeatureVec(dim, 0.0f));
+    std::vector<std::int64_t> counts(std::size_t(k), 0);
+    for (const Partial& part : partials) {
+      inertia += part.inertia;
+      for (int c = 0; c < k; ++c) {
+        counts[std::size_t(c)] += part.counts[std::size_t(c)];
+        for (std::size_t f = 0; f < dim; ++f) {
+          sums[std::size_t(c)][f] += part.sums[std::size_t(c)][f];
+        }
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[std::size_t(c)] == 0) continue;  // empty cluster keeps its seed
+      for (std::size_t f = 0; f < dim; ++f) {
+        model.centroids[std::size_t(c)][f] =
+            sums[std::size_t(c)][f] / float(counts[std::size_t(c)]);
+      }
+    }
+    model.inertia = inertia;
+    if (prev_inertia - inertia < tol * std::max(prev_inertia, 1.0)) break;
+    prev_inertia = inertia;
+  }
+  return model;
+}
+
+float LogisticPredict(const LogisticModel& model, const FeatureVec& x) {
+  double z = model.weights.back();  // bias
+  for (std::size_t i = 0; i < x.size(); ++i) z += double(model.weights[i]) * x[i];
+  return float(1.0 / (1.0 + std::exp(-z)));
+}
+
+Result<LogisticModel> FitLogistic(const Dataset<LabeledPoint>& data,
+                                  int num_features, Engine& engine,
+                                  int max_iters, float lr, float l2) {
+  if (num_features <= 0) return InvalidArgumentError("num_features must be > 0");
+  const std::size_t count = data.Count(engine);
+  if (count == 0) return FailedPreconditionError("no training data");
+
+  LogisticModel model;
+  model.weights.assign(std::size_t(num_features) + 1, 0.0f);
+  const std::size_t dim = std::size_t(num_features);
+  auto node = data.node();
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    model.iterations = iter + 1;
+    struct Partial {
+      std::vector<double> grad;
+      double loss = 0;
+    };
+    std::vector<Partial> partials(std::size_t(data.num_partitions()));
+    const auto& w = model.weights;
+    engine.RunStage(data.num_partitions(), [&](int p) {
+      Partial& part = partials[std::size_t(p)];
+      part.grad.assign(dim + 1, 0.0);
+      for (const LabeledPoint& pt :
+           Dataset<LabeledPoint>::Materialize(node, p, engine)) {
+        double z = w.back();
+        for (std::size_t i = 0; i < dim; ++i) z += double(w[i]) * pt.features[i];
+        const double pred = 1.0 / (1.0 + std::exp(-z));
+        const double err = pred - pt.label;
+        for (std::size_t i = 0; i < dim; ++i) part.grad[i] += err * pt.features[i];
+        part.grad[dim] += err;
+        part.loss -= pt.label ? std::log(std::max(pred, 1e-12))
+                              : std::log(std::max(1.0 - pred, 1e-12));
+      }
+    });
+
+    std::vector<double> grad(dim + 1, 0.0);
+    double loss = 0;
+    for (const Partial& part : partials) {
+      loss += part.loss;
+      for (std::size_t i = 0; i <= dim; ++i) grad[i] += part.grad[i];
+    }
+    const double invn = 1.0 / double(count);
+    for (std::size_t i = 0; i <= dim; ++i) {
+      double g = grad[i] * invn;
+      if (i < dim) g += l2 * model.weights[i];  // no regularization on bias
+      model.weights[i] -= lr * float(g);
+    }
+    model.final_loss = loss * invn;
+  }
+  return model;
+}
+
+}  // namespace metro::dataflow

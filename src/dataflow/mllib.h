@@ -1,0 +1,61 @@
+#pragma once
+
+// Distributed-style ML on the dataflow engine (the Spark MLlib role in
+// Sec. II-C3 "Data Mining").
+//
+// K-means and L2-regularized logistic regression, both implemented as
+// iterative parallel map-reduce over partitioned feature vectors — the
+// textbook data-parallel formulations the engine exists to serve. Used by
+// the applications for crime hot-spot clustering and incident-tweet scoring.
+
+#include <vector>
+
+#include "dataflow/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metro::dataflow {
+
+/// Dense feature vector.
+using FeatureVec = std::vector<float>;
+
+/// K-means result.
+struct KMeansModel {
+  std::vector<FeatureVec> centroids;
+  double inertia = 0;  ///< sum of squared distances to assigned centroids
+  int iterations = 0;
+};
+
+/// Fits k-means with k-means++-style seeding; runs until assignment inertia
+/// improves by less than `tol` or `max_iters` is hit.
+Result<KMeansModel> FitKMeans(const Dataset<FeatureVec>& points, int k,
+                              Engine& engine, Rng& rng, int max_iters = 50,
+                              double tol = 1e-4);
+
+/// Index of the nearest centroid.
+std::size_t NearestCentroid(const KMeansModel& model, const FeatureVec& x);
+
+/// Binary logistic-regression model.
+struct LogisticModel {
+  FeatureVec weights;  ///< includes bias as the last element
+  int iterations = 0;
+  double final_loss = 0;
+};
+
+/// One labeled example.
+struct LabeledPoint {
+  FeatureVec features;
+  int label = 0;  ///< 0 or 1
+};
+
+/// Fits by full-batch gradient descent; each iteration computes partition
+/// gradients in parallel and combines them (the MLlib pattern).
+Result<LogisticModel> FitLogistic(const Dataset<LabeledPoint>& data,
+                                  int num_features, Engine& engine,
+                                  int max_iters = 100, float lr = 0.5f,
+                                  float l2 = 1e-4f);
+
+/// P(label = 1 | x).
+float LogisticPredict(const LogisticModel& model, const FeatureVec& x);
+
+}  // namespace metro::dataflow

@@ -1,0 +1,157 @@
+#include "datagen/city.h"
+
+#include <cmath>
+
+namespace metro::datagen {
+namespace {
+
+const std::vector<std::pair<std::string, int>>& OffenseCatalog() {
+  // (offense, synthetic Louisiana offense code)
+  static const std::vector<std::pair<std::string, int>> catalog = {
+      {"homicide", 3001},          {"robbery", 6501},
+      {"aggravated assault", 3702}, {"illegal use of a weapon", 9401},
+      {"burglary", 6201},          {"vehicle theft", 6702},
+  };
+  return catalog;
+}
+
+const std::vector<std::string>& CallCategories() {
+  static const std::vector<std::string> categories = {
+      "shots fired", "medical", "traffic", "disturbance", "alarm",
+  };
+  return categories;
+}
+
+}  // namespace
+
+CityDataGenerator::CityDataGenerator(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  hotspots_.reserve(std::size_t(config_.num_hotspots));
+  for (int i = 0; i < config_.num_hotspots; ++i) {
+    hotspots_.push_back({kBatonRouge.lat + rng_.Normal(0.0, 0.06),
+                         kBatonRouge.lon + rng_.Normal(0.0, 0.06)});
+  }
+  BuildCameras();
+}
+
+void CityDataGenerator::BuildCameras() {
+  // Corridors radiate from the city center like the interstates of Fig. 2
+  // (I-10 E/W, I-12 E, I-110 N, plus two arterials).
+  struct Corridor {
+    std::string name;
+    double heading_deg;
+  };
+  const std::vector<Corridor> corridors = {
+      {"I-10-W", 250}, {"I-10-E", 110}, {"I-12-E", 85},
+      {"I-110-N", 5},  {"US-61", 320},  {"LA-1", 200},
+  };
+  cameras_.reserve(std::size_t(config_.num_cameras));
+  for (int i = 0; i < config_.num_cameras; ++i) {
+    const Corridor& corridor = corridors[std::size_t(i) % corridors.size()];
+    // Cameras every ~800 m along the corridor with lateral jitter.
+    const double dist_deg = 0.008 * double(i / int(corridors.size()) + 1);
+    const double heading = corridor.heading_deg * M_PI / 180.0;
+    Camera cam;
+    cam.id = i;
+    cam.corridor = corridor.name;
+    cam.location = {
+        kBatonRouge.lat + dist_deg * std::cos(heading) + rng_.Normal(0.0, 0.001),
+        kBatonRouge.lon + dist_deg * std::sin(heading) + rng_.Normal(0.0, 0.001)};
+    cam.fps = rng_.Bernoulli(0.5) ? 15.0 : 30.0;
+    cameras_.push_back(std::move(cam));
+  }
+}
+
+CrimeRecord CityDataGenerator::GenerateCrime(TimeNs now,
+                                             const GangNetwork* network) {
+  CrimeRecord rec;
+  rec.report_number = next_report_++;
+  const auto& [offense, code] =
+      OffenseCatalog()[rng_.UniformU64(OffenseCatalog().size())];
+  rec.offense = offense;
+  rec.offense_code = code;
+  rec.timestamp = now;
+  if (rng_.Bernoulli(config_.hotspot_fraction)) {
+    const auto& hs = hotspots_[rng_.UniformU64(hotspots_.size())];
+    rec.location = {hs.lat + rng_.Normal(0.0, config_.hotspot_sigma_deg),
+                    hs.lon + rng_.Normal(0.0, config_.hotspot_sigma_deg)};
+  } else {
+    rec.location = {kBatonRouge.lat + rng_.Normal(0.0, 0.08),
+                    kBatonRouge.lon + rng_.Normal(0.0, 0.08)};
+  }
+  rec.district = int(rng_.UniformU64(std::size_t(config_.num_districts)));
+  if (network != nullptr && rng_.Bernoulli(0.4) &&
+      network->graph.num_people() > 0) {
+    // Involve a member and possibly an associate (co-offending).
+    const auto seed_person =
+        graph::PersonId(rng_.UniformU64(network->graph.num_people()));
+    rec.involved.push_back(seed_person);
+    const auto neighbors = network->graph.Neighbors(seed_person);
+    if (!neighbors.empty() && rng_.Bernoulli(0.6)) {
+      rec.involved.push_back(neighbors[rng_.UniformU64(neighbors.size())]);
+    }
+  }
+  return rec;
+}
+
+EmergencyCall CityDataGenerator::GenerateCall(TimeNs now) {
+  EmergencyCall call;
+  call.id = next_call_++;
+  call.category = CallCategories()[rng_.Categorical({0.1, 0.3, 0.3, 0.2, 0.1})];
+  call.location = {kBatonRouge.lat + rng_.Normal(0.0, 0.08),
+                   kBatonRouge.lon + rng_.Normal(0.0, 0.08)};
+  call.timestamp = now;
+  return call;
+}
+
+store::Document CityDataGenerator::ToDocument(const CrimeRecord& record) {
+  store::Document doc;
+  doc["type"] = std::string("crime");
+  doc["report_number"] = std::int64_t(record.report_number);
+  doc["offense"] = record.offense;
+  doc["offense_code"] = std::int64_t(record.offense_code);
+  doc["lat"] = record.location.lat;
+  doc["lon"] = record.location.lon;
+  doc["timestamp"] = std::int64_t(record.timestamp);
+  doc["district"] = std::int64_t(record.district);
+  doc["num_involved"] = std::int64_t(record.involved.size());
+  return doc;
+}
+
+store::Document CityDataGenerator::ToDocument(const EmergencyCall& call) {
+  store::Document doc;
+  doc["type"] = std::string("911");
+  doc["id"] = std::int64_t(call.id);
+  doc["category"] = call.category;
+  doc["lat"] = call.location.lat;
+  doc["lon"] = call.location.lon;
+  doc["timestamp"] = std::int64_t(call.timestamp);
+  return doc;
+}
+
+store::Document CityDataGenerator::ToDocument(const Tweet& tweet) {
+  store::Document doc;
+  doc["type"] = std::string("tweet");
+  doc["id"] = std::int64_t(tweet.id);
+  doc["user"] = std::int64_t(tweet.user);
+  doc["lat"] = tweet.location.lat;
+  doc["lon"] = tweet.location.lon;
+  doc["timestamp"] = std::int64_t(tweet.timestamp);
+  doc["text"] = tweet.text;
+  doc["about_incident"] = tweet.about_incident;
+  return doc;
+}
+
+store::Document CityDataGenerator::ToDocument(const WazeReport& report) {
+  store::Document doc;
+  doc["type"] = std::string("waze");
+  doc["id"] = std::int64_t(report.id);
+  doc["kind"] = std::string(WazeKindName(report.kind));
+  doc["lat"] = report.location.lat;
+  doc["lon"] = report.location.lon;
+  doc["timestamp"] = std::int64_t(report.timestamp);
+  doc["severity"] = std::int64_t(report.severity);
+  return doc;
+}
+
+}  // namespace metro::datagen

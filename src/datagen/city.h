@@ -1,0 +1,93 @@
+#pragma once
+
+// Synthetic open city data and law-enforcement records (Sec. II-A3/4) plus
+// the DOTD camera network layout of Fig. 2.
+//
+// Crime incidents cluster around persistent spatial hot-spots; 911 calls,
+// potholes, and permits scatter city-wide; cameras sit along synthetic
+// "interstate" polylines radiating from the city center, approximating the
+// Fig. 2 highway corridors around Baton Rouge.
+
+#include <string>
+#include <vector>
+
+#include "datagen/social.h"
+#include "geo/geo.h"
+#include "store/document_store.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace metro::datagen {
+
+/// One law-enforcement incident record (the monthly crime-data schema of
+/// Sec. II-A4, minus personally identifying fields).
+struct CrimeRecord {
+  std::uint64_t report_number = 0;
+  std::string offense;     ///< "homicide", "robbery", ...
+  int offense_code = 0;    ///< Louisiana criminal offense code (synthetic)
+  geo::LatLon location;
+  TimeNs timestamp = 0;
+  int district = 0;
+  std::vector<std::uint64_t> involved;  ///< gang-network person ids, if any
+};
+
+/// A 911 call-for-service record.
+struct EmergencyCall {
+  std::uint64_t id = 0;
+  std::string category;  ///< "shots fired", "medical", "traffic", ...
+  geo::LatLon location;
+  TimeNs timestamp = 0;
+};
+
+/// One DOTD/city camera (Fig. 2).
+struct Camera {
+  int id = 0;
+  std::string corridor;  ///< synthetic interstate name ("I-10", "I-12", ...)
+  geo::LatLon location;
+  double fps = 15.0;
+  int width = 32, height = 32;
+};
+
+/// City data source with persistent hot-spots and a camera network.
+class CityDataGenerator {
+ public:
+  struct Config {
+    int num_hotspots = 6;
+    double hotspot_sigma_deg = 0.01;   ///< ~1 km clusters
+    double hotspot_fraction = 0.7;     ///< crimes that occur at hot-spots
+    int num_cameras = 200;             ///< Fig. 2: "more than 200 cameras"
+    int num_districts = 12;
+  };
+
+  CityDataGenerator(Config config, std::uint64_t seed);
+
+  /// A crime record at `now`; when `network` is non-null, a fraction of
+  /// records involve 1-3 connected members of the gang network (the
+  /// co-offender ground truth the SNA experiment plants).
+  CrimeRecord GenerateCrime(TimeNs now, const GangNetwork* network = nullptr);
+
+  EmergencyCall GenerateCall(TimeNs now);
+
+  /// The fixed camera network (generated once per instance).
+  const std::vector<Camera>& cameras() const { return cameras_; }
+
+  const std::vector<geo::LatLon>& hotspots() const { return hotspots_; }
+
+  /// Renders a record as a document for the document store.
+  static store::Document ToDocument(const CrimeRecord& record);
+  static store::Document ToDocument(const EmergencyCall& call);
+  static store::Document ToDocument(const Tweet& tweet);
+  static store::Document ToDocument(const WazeReport& report);
+
+ private:
+  void BuildCameras();
+
+  Config config_;
+  Rng rng_;
+  std::vector<geo::LatLon> hotspots_;
+  std::vector<Camera> cameras_;
+  std::uint64_t next_report_ = 202600001;
+  std::uint64_t next_call_ = 1;
+};
+
+}  // namespace metro::datagen

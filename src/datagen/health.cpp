@@ -1,0 +1,73 @@
+#include "datagen/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/social.h"
+
+namespace metro::datagen {
+
+OpioidPanelGenerator::OpioidPanelGenerator(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<TractMonth> OpioidPanelGenerator::Generate() {
+  std::vector<TractMonth> panel;
+  panel.reserve(std::size_t(config_.num_tracts) * config_.num_months);
+
+  // Persistent per-tract character: deprivation and baseline prescribing.
+  std::vector<float> poverty(std::size_t(config_.num_tracts));
+  std::vector<float> rx_base(std::size_t(config_.num_tracts));
+  std::vector<float> treatment(std::size_t(config_.num_tracts));
+  std::vector<geo::LatLon> centroid(std::size_t(config_.num_tracts));
+  for (int t = 0; t < config_.num_tracts; ++t) {
+    poverty[std::size_t(t)] = std::clamp(float(rng_.Normal(0.4, 0.2)), 0.0f, 1.0f);
+    rx_base[std::size_t(t)] = std::clamp(float(rng_.Normal(0.5, 0.2)), 0.05f, 1.0f);
+    treatment[std::size_t(t)] = std::clamp(float(rng_.Normal(0.3, 0.2)), 0.0f, 1.0f);
+    centroid[std::size_t(t)] = {kBatonRouge.lat + rng_.Normal(0.0, 0.08),
+                                kBatonRouge.lon + rng_.Normal(0.0, 0.08)};
+  }
+
+  for (int tract = 0; tract < config_.num_tracts; ++tract) {
+    float momentum = 0;  // last month's overdose-call level
+    for (int month = 0; month < config_.num_months; ++month) {
+      TractMonth obs;
+      obs.tract = tract;
+      obs.month = month;
+      obs.centroid = centroid[std::size_t(tract)];
+      obs.poverty_index = poverty[std::size_t(tract)];
+      obs.treatment_centers = treatment[std::size_t(tract)];
+      obs.prescriptions = std::clamp(
+          rx_base[std::size_t(tract)] + float(rng_.Normal(0.0, 0.08)), 0.0f, 1.5f);
+      obs.drug_arrests = std::clamp(
+          0.3f * obs.poverty_index + float(rng_.Normal(0.1, 0.08)), 0.0f, 1.0f);
+      obs.overdose_calls = std::clamp(momentum + float(rng_.Normal(0.05, 0.05)),
+                                      0.0f, 1.5f);
+      obs.traffic_volume = std::clamp(float(rng_.Normal(0.5, 0.15)), 0.0f, 1.0f);
+
+      // Hidden risk: prescribing x deprivation interaction, arrest and
+      // momentum terms, protective treatment effect, weak traffic term.
+      obs.latent_risk = 1.6f * obs.prescriptions * obs.poverty_index +
+                        0.8f * obs.drug_arrests + 0.9f * obs.overdose_calls -
+                        0.7f * obs.treatment_centers +
+                        0.1f * obs.traffic_volume;
+      // Threshold chosen so roughly base_rate of tract-months are positive.
+      const float noise = float(rng_.Normal(0.0, 0.15));
+      const float cutoff = 1.05f - 0.9f * float(config_.base_rate - 0.25);
+      obs.high_overdose_next_month = obs.latent_risk + noise > cutoff;
+
+      momentum = 0.6f * momentum +
+                 (obs.high_overdose_next_month ? 0.3f : 0.05f) +
+                 float(rng_.Normal(0.0, 0.03));
+      momentum = std::clamp(momentum, 0.0f, 1.2f);
+      panel.push_back(obs);
+    }
+  }
+  return panel;
+}
+
+std::vector<float> OpioidPanelGenerator::Features(const TractMonth& obs) {
+  return {obs.prescriptions,  obs.drug_arrests,     obs.overdose_calls,
+          obs.traffic_volume, obs.poverty_index,    obs.treatment_centers};
+}
+
+}  // namespace metro::datagen

@@ -1,0 +1,60 @@
+#pragma once
+
+// Synthetic health-care data (Sec. V future work).
+//
+// The paper's stated next step is integrating anonymized health data to
+// study the opioid epidemic, listing the sources to fuse: opioid
+// prescription counts, substance-related crime arrests, overdose locations,
+// 911 calls, and traffic/DOTD volume. This generator produces a monthly
+// census-tract panel with those features, where the (hidden) ground-truth
+// overdose risk is a nonlinear function of the drivers — so the analytics
+// layer has a real signal to recover and a label to score against.
+
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/rng.h"
+
+namespace metro::datagen {
+
+/// One tract-month observation.
+struct TractMonth {
+  int tract = 0;
+  int month = 0;
+  geo::LatLon centroid;
+  // Observable features (per 1k residents, normalized scales).
+  float prescriptions = 0;     ///< opioid prescriptions
+  float drug_arrests = 0;      ///< substance-use-related arrests
+  float overdose_calls = 0;    ///< 911 overdose calls, prior month
+  float traffic_volume = 0;    ///< DOTD corridor volume index
+  float poverty_index = 0;     ///< census deprivation index
+  float treatment_centers = 0; ///< per-capita treatment availability
+  // Outcome.
+  bool high_overdose_next_month = false;
+  float latent_risk = 0;  ///< ground-truth risk (hidden from models)
+};
+
+/// Panel generator over a grid of tracts.
+class OpioidPanelGenerator {
+ public:
+  struct Config {
+    int num_tracts = 120;
+    int num_months = 12;
+    double base_rate = 0.25;  ///< fraction of high-overdose tract-months
+  };
+
+  OpioidPanelGenerator(Config config, std::uint64_t seed);
+
+  /// The full panel, tract-major then month.
+  std::vector<TractMonth> Generate();
+
+  /// Feature vector of an observation, in a fixed order (6 features).
+  static std::vector<float> Features(const TractMonth& obs);
+  static constexpr int kNumFeatures = 6;
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace metro::datagen

@@ -1,0 +1,155 @@
+#include "datagen/social.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metro::datagen {
+namespace {
+
+const std::vector<std::string>& BackgroundPhrases() {
+  static const std::vector<std::string> phrases = {
+      "great food at the festival today",
+      "traffic is moving fine on the interstate",
+      "who else is watching the game tonight",
+      "beautiful sunset over the river",
+      "coffee shop downtown is packed",
+      "anyone know a good mechanic",
+      "can't believe this weather",
+      "new mural on government street looks amazing",
+  };
+  return phrases;
+}
+
+const std::vector<std::string>& IncidentPhrases() {
+  static const std::vector<std::string> phrases = {
+      "heard gunshots near the corner store stay safe",
+      "police everywhere something happened on florida blvd",
+      "shooting reported downtown everyone stay inside",
+      "just saw a robbery at the gas station scary",
+      "fight broke out near the park cops on the way",
+      "heard shots fired by the apartments be careful",
+  };
+  return phrases;
+}
+
+}  // namespace
+
+TweetGenerator::TweetGenerator(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::uint64_t TweetGenerator::PickUser() {
+  return rng_.Zipf(std::size_t(config_.num_users), 1.1);
+}
+
+Tweet TweetGenerator::Generate(TimeNs now) {
+  Tweet t;
+  t.id = next_id_++;
+  t.user = PickUser();
+  t.timestamp = now;
+  t.location = {kBatonRouge.lat + rng_.Normal(0.0, config_.geo_spread_deg),
+                kBatonRouge.lon + rng_.Normal(0.0, config_.geo_spread_deg)};
+  t.about_incident = rng_.Bernoulli(config_.incident_fraction);
+  const auto& phrases =
+      t.about_incident ? IncidentPhrases() : BackgroundPhrases();
+  t.text = phrases[rng_.UniformU64(phrases.size())];
+  return t;
+}
+
+Tweet TweetGenerator::GenerateNearIncident(TimeNs now,
+                                           const geo::LatLon& where) {
+  Tweet t;
+  t.id = next_id_++;
+  t.user = PickUser();
+  // Posted within minutes of the incident, geotagged within ~500 m.
+  t.timestamp = now + TimeNs(rng_.UniformInt(0, 10 * 60)) * kSecond;
+  t.location = {where.lat + rng_.Normal(0.0, 0.004),
+                where.lon + rng_.Normal(0.0, 0.004)};
+  t.about_incident = true;
+  const auto& phrases = IncidentPhrases();
+  t.text = phrases[rng_.UniformU64(phrases.size())];
+  return t;
+}
+
+std::string_view WazeKindName(WazeReport::Kind kind) {
+  switch (kind) {
+    case WazeReport::Kind::kJam: return "jam";
+    case WazeReport::Kind::kAccident: return "accident";
+    case WazeReport::Kind::kPothole: return "pothole";
+    case WazeReport::Kind::kHazard: return "hazard";
+  }
+  return "?";
+}
+
+WazeReport WazeGenerator::Generate(TimeNs now) {
+  WazeReport r;
+  r.id = next_id_++;
+  r.timestamp = now;
+  r.location = {kBatonRouge.lat + rng_.Normal(0.0, 0.1),
+                kBatonRouge.lon + rng_.Normal(0.0, 0.1)};
+  r.kind = WazeReport::Kind(rng_.Categorical({0.55, 0.2, 0.15, 0.1}));
+  r.severity = int(rng_.UniformInt(1, 5));
+  return r;
+}
+
+GangNetwork GenerateGangNetwork(const GangNetworkSpec& spec,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  GangNetwork net;
+  net.group_of.reserve(std::size_t(spec.num_members));
+  net.twitter_id.reserve(std::size_t(spec.num_members));
+
+  // Group sizes: multinomial with mild skew so some gangs are larger.
+  std::vector<double> weights(std::size_t(spec.num_groups));
+  for (auto& w : weights) w = 0.5 + rng.UniformDouble();
+
+  for (int person = 0; person < spec.num_members; ++person) {
+    (void)net.graph.AddPerson("member-" + std::to_string(person));
+    net.group_of.push_back(int(rng.Categorical(weights)));
+    net.twitter_id.push_back(std::uint64_t(10'000 + person));
+  }
+
+  // Group rosters.
+  std::vector<std::vector<graph::PersonId>> rosters(std::size_t(spec.num_groups));
+  for (int person = 0; person < spec.num_members; ++person) {
+    rosters[std::size_t(net.group_of[std::size_t(person)])].push_back(
+        graph::PersonId(person));
+  }
+
+  // Within-group ties: target mean degree implies
+  // total_ties ~= members * mean_degree / 2, split within/cross group.
+  const double total_ties = spec.num_members * spec.mean_first_degree / 2.0;
+  const auto within_ties =
+      std::int64_t(total_ties * (1.0 - spec.cross_group_tie_fraction));
+  const auto cross_ties = std::int64_t(total_ties) - within_ties;
+
+  // Ties within a group are proportional to its roster size.
+  std::int64_t placed = 0;
+  std::int64_t attempts = 0;
+  while (placed < within_ties && attempts < within_ties * 20) {
+    ++attempts;
+    const auto g = rng.Categorical(weights);
+    const auto& roster = rosters[g];
+    if (roster.size() < 2) continue;
+    const auto a = roster[rng.UniformU64(roster.size())];
+    const auto b = roster[rng.UniformU64(roster.size())];
+    if (a == b || net.graph.HasTie(a, b)) continue;
+    const auto kind = rng.Bernoulli(0.6) ? graph::TieKind::kCoOffender
+                                         : graph::TieKind::kGangAffiliate;
+    if (net.graph.AddTie(a, b, kind).ok()) ++placed;
+  }
+
+  placed = 0;
+  attempts = 0;
+  while (placed < cross_ties && attempts < cross_ties * 20) {
+    ++attempts;
+    const auto a = graph::PersonId(rng.UniformU64(std::size_t(spec.num_members)));
+    const auto b = graph::PersonId(rng.UniformU64(std::size_t(spec.num_members)));
+    if (a == b || net.group_of[a] == net.group_of[b] || net.graph.HasTie(a, b)) {
+      continue;
+    }
+    if (net.graph.AddTie(a, b, graph::TieKind::kCoOffender).ok()) ++placed;
+  }
+  return net;
+}
+
+}  // namespace metro::datagen

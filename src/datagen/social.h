@@ -1,0 +1,101 @@
+#pragma once
+
+// Synthetic online-social-network and crowd-sourced traffic data
+// (substitutes for the Twitter API and Waze CCP feeds of Sec. II-A2) and a
+// criminal/gang network calibrated to the statistics the paper publishes in
+// Sec. IV-B (67 groups, 982 members, mean first-degree field of ~14).
+
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "graph/social_graph.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace metro::datagen {
+
+/// Baton Rouge city center — the paper's deployment site (Fig. 2).
+inline constexpr geo::LatLon kBatonRouge{30.4515, -91.1871};
+
+/// One synthetic tweet.
+struct Tweet {
+  std::uint64_t id = 0;
+  std::uint64_t user = 0;
+  TimeNs timestamp = 0;
+  geo::LatLon location;
+  std::string text;
+  bool about_incident = false;  ///< ground truth for classifier scoring
+};
+
+/// Tweet stream with Zipfian users, keyword-bearing incident chatter, and
+/// geo-temporal bursts around planted incidents.
+class TweetGenerator {
+ public:
+  struct Config {
+    int num_users = 500;
+    double incident_fraction = 0.1;  ///< tweets that reference an incident
+    double geo_spread_deg = 0.15;    ///< city-scale scatter
+  };
+
+  TweetGenerator(Config config, std::uint64_t seed);
+
+  /// One background tweet at `now`.
+  Tweet Generate(TimeNs now);
+
+  /// A tweet about an incident at `where`, posted `now`, geotagged nearby.
+  Tweet GenerateNearIncident(TimeNs now, const geo::LatLon& where);
+
+  /// Assigns a tweet author id (Zipf-popular users tweet more).
+  std::uint64_t PickUser();
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// One Waze-style report.
+struct WazeReport {
+  std::uint64_t id = 0;
+  TimeNs timestamp = 0;
+  geo::LatLon location;
+  enum class Kind { kJam, kAccident, kPothole, kHazard } kind = Kind::kJam;
+  int severity = 1;  ///< 1..5
+};
+
+std::string_view WazeKindName(WazeReport::Kind kind);
+
+/// Crowd-sourced traffic report stream.
+class WazeGenerator {
+ public:
+  WazeGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  WazeReport Generate(TimeNs now);
+
+ private:
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Gang/co-offender network generator calibrated to Sec. IV-B.
+struct GangNetworkSpec {
+  int num_groups = 67;
+  int num_members = 982;
+  double mean_first_degree = 14.0;
+  double cross_group_tie_fraction = 0.65;  ///< ties bridging groups (calibrated so the 2nd-degree field approaches the paper's ~200)
+};
+
+/// The generated network plus bookkeeping the SNA app needs.
+struct GangNetwork {
+  graph::SocialGraph graph;
+  std::vector<int> group_of;            ///< person -> group index
+  std::vector<std::uint64_t> twitter_id;  ///< person -> twitter user id
+};
+
+/// Builds a network whose mean degree approximates the spec by wiring
+/// within-group random ties at the density that yields the target degree,
+/// plus a fraction of cross-group bridges.
+GangNetwork GenerateGangNetwork(const GangNetworkSpec& spec, std::uint64_t seed);
+
+}  // namespace metro::datagen

@@ -1,0 +1,234 @@
+#include "datagen/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metro::datagen {
+
+VehicleFrameGenerator::VehicleFrameGenerator(const zoo::DetectorConfig& config,
+                                             std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::array<float, 3> VehicleFrameGenerator::ClassColor(int cls) {
+  // Eight well-separated palette colors (sedan, SUV, truck, van, bus,
+  // motorcycle, pickup, emergency).
+  static constexpr std::array<std::array<float, 3>, 8> kPalette = {{
+      {0.9f, 0.1f, 0.1f},
+      {0.1f, 0.9f, 0.1f},
+      {0.1f, 0.2f, 0.9f},
+      {0.9f, 0.9f, 0.1f},
+      {0.9f, 0.1f, 0.9f},
+      {0.1f, 0.9f, 0.9f},
+      {0.9f, 0.5f, 0.1f},
+      {0.6f, 0.6f, 0.6f},
+  }};
+  return kPalette[std::size_t(cls) % kPalette.size()];
+}
+
+void VehicleFrameGenerator::DrawVehicle(Tensor& image,
+                                        const zoo::GroundTruthBox& box) {
+  const int hw = config_.image_size;
+  const auto color = ClassColor(box.cls);
+  const int x0 = std::clamp(int((box.cx - box.w / 2) * hw), 0, hw - 1);
+  const int x1 = std::clamp(int((box.cx + box.w / 2) * hw), 0, hw - 1);
+  const int y0 = std::clamp(int((box.cy - box.h / 2) * hw), 0, hw - 1);
+  const int y1 = std::clamp(int((box.cy + box.h / 2) * hw), 0, hw - 1);
+  // Stripe frequency encodes class parity — a second visual cue beyond color.
+  const int stripe = 2 + box.cls % 3;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float shade = (x / stripe) % 2 == 0 ? 1.0f : 0.7f;
+      for (int c = 0; c < 3; ++c) {
+        image[(std::size_t(y) * hw + x) * 3 + std::size_t(c)] =
+            color[std::size_t(c)] * shade;
+      }
+    }
+  }
+}
+
+LabeledFrame VehicleFrameGenerator::Generate(int max_vehicles) {
+  const int hw = config_.image_size;
+  LabeledFrame frame;
+  frame.image = Tensor({hw, hw, 3});
+  // Road-grey background with sensor noise.
+  for (auto& v : frame.image.data()) {
+    v = std::clamp(0.15f + float(rng_.Normal(0.0, 0.03)), 0.0f, 1.0f);
+  }
+  const int count = int(rng_.UniformInt(1, std::max(1, max_vehicles)));
+  for (int i = 0; i < count; ++i) {
+    zoo::GroundTruthBox box;
+    box.cls = int(rng_.UniformU64(std::size_t(config_.num_classes)));
+    box.w = rng_.UniformFloat(0.2f, 0.35f);
+    box.h = rng_.UniformFloat(0.15f, 0.3f);
+    box.cx = rng_.UniformFloat(box.w / 2, 1.0f - box.w / 2);
+    box.cy = rng_.UniformFloat(box.h / 2, 1.0f - box.h / 2);
+    DrawVehicle(frame.image, box);
+    frame.boxes.push_back(box);
+  }
+  return frame;
+}
+
+std::pair<Tensor, std::vector<std::vector<zoo::GroundTruthBox>>>
+VehicleFrameGenerator::Batch(int n, int max_vehicles) {
+  const int hw = config_.image_size;
+  Tensor images({n, hw, hw, 3});
+  std::vector<std::vector<zoo::GroundTruthBox>> truth;
+  truth.reserve(std::size_t(n));
+  const std::size_t frame_elems = std::size_t(hw) * hw * 3;
+  for (int i = 0; i < n; ++i) {
+    LabeledFrame frame = Generate(max_vehicles);
+    std::copy_n(frame.image.data().begin(), frame_elems,
+                images.data().begin() + std::ptrdiff_t(i) * std::ptrdiff_t(frame_elems));
+    truth.push_back(std::move(frame.boxes));
+  }
+  return {std::move(images), std::move(truth)};
+}
+
+std::string_view BehaviorName(BehaviorClass cls) {
+  switch (cls) {
+    case BehaviorClass::kLoitering: return "loitering";
+    case BehaviorClass::kWalking: return "walking";
+    case BehaviorClass::kRunning: return "running";
+    case BehaviorClass::kAltercation: return "altercation";
+    case BehaviorClass::kZigzag: return "zigzag";
+  }
+  return "?";
+}
+
+BehaviorClipGenerator::BehaviorClipGenerator(const zoo::BehaviorConfig& config,
+                                             std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void BehaviorClipGenerator::DrawBlob(Tensor& frames, int t, float cx, float cy,
+                                     float intensity) {
+  const int hw = config_.frame_size;
+  const int ch = config_.channels;
+  const float px = std::clamp(cx, 0.0f, 1.0f) * (hw - 1);
+  const float py = std::clamp(cy, 0.0f, 1.0f) * (hw - 1);
+  const float sigma = float(hw) / 10.0f;
+  for (int y = 0; y < hw; ++y) {
+    for (int x = 0; x < hw; ++x) {
+      const float d2 = (x - px) * (x - px) + (y - py) * (y - py);
+      const float v = intensity * std::exp(-d2 / (2 * sigma * sigma));
+      const std::size_t base =
+          ((std::size_t(t) * hw + y) * hw + x) * std::size_t(ch);
+      for (int c = 0; c < ch; ++c) {
+        auto& px_ref = frames[base + std::size_t(c)];
+        px_ref = std::min(1.0f, px_ref + v);
+      }
+    }
+  }
+}
+
+zoo::Clip BehaviorClipGenerator::Generate(int cls) {
+  if (cls < 0) cls = int(rng_.UniformU64(std::size_t(config_.num_classes)));
+  const int t_len = config_.clip_length;
+  zoo::Clip clip;
+  clip.label = cls;
+  clip.frames = Tensor(
+      {t_len, config_.frame_size, config_.frame_size, config_.channels});
+  for (auto& v : clip.frames.data()) {
+    v = std::clamp(float(rng_.Normal(0.05, 0.02)), 0.0f, 1.0f);
+  }
+
+  float x = rng_.UniformFloat(0.2f, 0.4f);
+  float y = rng_.UniformFloat(0.3f, 0.7f);
+  float x2 = rng_.UniformFloat(0.7f, 0.9f);  // second blob (altercation)
+  float y2 = y + rng_.UniformFloat(-0.1f, 0.1f);
+  int dir = 1;
+
+  for (int t = 0; t < t_len; ++t) {
+    switch (BehaviorClass(cls)) {
+      case BehaviorClass::kLoitering:
+        x += float(rng_.Normal(0.0, 0.01));
+        y += float(rng_.Normal(0.0, 0.01));
+        break;
+      case BehaviorClass::kWalking:
+        x += 0.08f + float(rng_.Normal(0.0, 0.01));
+        break;
+      case BehaviorClass::kRunning:
+        x += 0.16f + float(rng_.Normal(0.0, 0.01));
+        y += 0.10f + float(rng_.Normal(0.0, 0.01));
+        break;
+      case BehaviorClass::kAltercation: {
+        const float mid = (x + x2) / 2;
+        x += (mid - x) * 0.45f;
+        x2 += (mid - x2) * 0.45f;
+        DrawBlob(clip.frames, t, x2, y2, 0.9f);
+        break;
+      }
+      case BehaviorClass::kZigzag:
+        if (t % 2 == 0) dir = -dir;
+        x += 0.10f;
+        y += 0.18f * float(dir) + float(rng_.Normal(0.0, 0.01));
+        break;
+    }
+    DrawBlob(clip.frames, t, x, y, 0.9f);
+  }
+  return clip;
+}
+
+std::vector<zoo::Clip> BehaviorClipGenerator::Dataset(int n) {
+  std::vector<zoo::Clip> clips;
+  clips.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    clips.push_back(Generate(i % config_.num_classes));
+  }
+  rng_.Shuffle(clips);
+  return clips;
+}
+
+MultiModalEventGenerator::MultiModalEventGenerator(int video_dim, int audio_dim,
+                                                   std::uint64_t seed)
+    : video_dim_(video_dim), audio_dim_(audio_dim), rng_(seed) {
+  // Fixed random loading matrices from a 4-factor latent event signature.
+  video_mix_.resize(std::size_t(video_dim) * 4);
+  audio_mix_.resize(std::size_t(audio_dim) * 4);
+  for (auto& v : video_mix_) v = float(rng_.Normal(0.0, 1.0));
+  for (auto& v : audio_mix_) v = float(rng_.Normal(0.0, 1.0));
+}
+
+MultiModalEvent MultiModalEventGenerator::Generate(bool gunshot) {
+  MultiModalEvent ev;
+  ev.is_gunshot = gunshot;
+  // Latent signature: gunshots have a shifted, high-energy factor profile.
+  float latent[4];
+  for (int f = 0; f < 4; ++f) {
+    latent[f] = float(rng_.Normal(gunshot ? 1.5 : 0.0, 0.5));
+  }
+  ev.video_features.resize(std::size_t(video_dim_));
+  ev.audio_features.resize(std::size_t(audio_dim_));
+  for (int i = 0; i < video_dim_; ++i) {
+    float v = float(rng_.Normal(0.0, 0.3));
+    for (int f = 0; f < 4; ++f) v += video_mix_[std::size_t(i) * 4 + f] * latent[f] * 0.5f;
+    ev.video_features[std::size_t(i)] = v;
+  }
+  for (int i = 0; i < audio_dim_; ++i) {
+    float v = float(rng_.Normal(0.0, 0.3));
+    for (int f = 0; f < 4; ++f) v += audio_mix_[std::size_t(i) * 4 + f] * latent[f] * 0.5f;
+    ev.audio_features[std::size_t(i)] = v;
+  }
+  return ev;
+}
+
+MultiModalEventGenerator::Batch MultiModalEventGenerator::GenerateBatch(
+    int n, double gunshot_fraction) {
+  Batch batch;
+  batch.video = Tensor({n, video_dim_});
+  batch.audio = Tensor({n, audio_dim_});
+  batch.labels.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    const bool gunshot = rng_.Bernoulli(gunshot_fraction);
+    const MultiModalEvent ev = Generate(gunshot);
+    for (int j = 0; j < video_dim_; ++j) {
+      batch.video[std::size_t(i) * video_dim_ + j] = ev.video_features[std::size_t(j)];
+    }
+    for (int j = 0; j < audio_dim_; ++j) {
+      batch.audio[std::size_t(i) * audio_dim_ + j] = ev.audio_features[std::size_t(j)];
+    }
+    batch.labels.push_back(gunshot ? 1 : 0);
+  }
+  return batch;
+}
+
+}  // namespace metro::datagen

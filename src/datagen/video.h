@@ -1,0 +1,114 @@
+#pragma once
+
+// Synthetic traffic/surveillance video (substitute for the DOTD and city
+// camera feeds of Sec. II-A1).
+//
+// Frames are procedurally drawn tensors with known ground truth, so the
+// split detector (Fig. 5) and behavior recognizer (Fig. 7) can be *trained
+// and scored* — something the live feeds never allowed. Vehicles are
+// class-colored rectangles with patterning; behavior clips are moving-blob
+// motion patterns over time (loiter, walk, run, converge, zigzag).
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "zoo/behavior.h"
+#include "zoo/detector.h"
+
+namespace metro::datagen {
+
+using tensor::Tensor;
+
+/// One labeled detection frame.
+struct LabeledFrame {
+  Tensor image;  ///< (H, W, 3) in [0, 1]
+  std::vector<zoo::GroundTruthBox> boxes;
+};
+
+/// Vehicle frame generator matching a DetectorConfig's geometry.
+class VehicleFrameGenerator {
+ public:
+  VehicleFrameGenerator(const zoo::DetectorConfig& config, std::uint64_t seed);
+
+  /// A frame containing 1..max_vehicles vehicles with class-consistent
+  /// appearance plus sensor noise.
+  LabeledFrame Generate(int max_vehicles = 2);
+
+  /// A batch stacked into (N, H, W, 3) with per-image ground truth.
+  std::pair<Tensor, std::vector<std::vector<zoo::GroundTruthBox>>> Batch(
+      int n, int max_vehicles = 2);
+
+  /// The palette color of a class (for rendering / documentation).
+  static std::array<float, 3> ClassColor(int cls);
+
+ private:
+  void DrawVehicle(Tensor& image, const zoo::GroundTruthBox& box);
+
+  zoo::DetectorConfig config_;
+  Rng rng_;
+};
+
+/// Behavior categories of the synthetic clips, in label order.
+enum class BehaviorClass {
+  kLoitering = 0,   ///< blob stays put
+  kWalking = 1,     ///< steady left-to-right motion
+  kRunning = 2,     ///< fast diagonal motion
+  kAltercation = 3, ///< two blobs converge
+  kZigzag = 4,      ///< erratic direction changes
+};
+
+std::string_view BehaviorName(BehaviorClass cls);
+
+/// Labeled action-clip generator matching a BehaviorConfig's geometry.
+class BehaviorClipGenerator {
+ public:
+  BehaviorClipGenerator(const zoo::BehaviorConfig& config, std::uint64_t seed);
+
+  /// A clip of the given class (or a random class when cls < 0).
+  zoo::Clip Generate(int cls = -1);
+
+  /// A labeled dataset of `n` clips with a balanced class mix.
+  std::vector<zoo::Clip> Dataset(int n);
+
+ private:
+  void DrawBlob(Tensor& frames, int t, float cx, float cy, float intensity);
+
+  zoo::BehaviorConfig config_;
+  Rng rng_;
+};
+
+/// Paired multi-modal event features (Sec. III-C's video+audio gunshot
+/// example): both views are noisy linear functions of a shared latent event
+/// signature, so fusion and CCA have real cross-modal structure to find.
+struct MultiModalEvent {
+  std::vector<float> video_features;
+  std::vector<float> audio_features;
+  bool is_gunshot = false;
+};
+
+class MultiModalEventGenerator {
+ public:
+  MultiModalEventGenerator(int video_dim, int audio_dim, std::uint64_t seed);
+
+  MultiModalEvent Generate(bool gunshot);
+
+  /// Batch as two (N, dim) tensors plus labels; `gunshot_fraction` of rows
+  /// are gunshot events.
+  struct Batch {
+    Tensor video;  ///< (N, video_dim)
+    Tensor audio;  ///< (N, audio_dim)
+    std::vector<int> labels;
+  };
+  Batch GenerateBatch(int n, double gunshot_fraction);
+
+ private:
+  int video_dim_, audio_dim_;
+  Rng rng_;
+  std::vector<float> video_mix_;  ///< latent -> video loading matrix
+  std::vector<float> audio_mix_;  ///< latent -> audio loading matrix
+};
+
+}  // namespace metro::datagen

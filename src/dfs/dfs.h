@@ -1,0 +1,157 @@
+#pragma once
+
+// Distributed file system (Sec. II-C2's HDFS role).
+//
+// A NameNode tracks the namespace (path -> block list) and block placement;
+// DataNodes hold checksummed block replicas. Files are written once, split
+// into fixed-size blocks, and replicated across distinct DataNodes. Reads
+// verify checksums and fail over to healthy replicas; a replication monitor
+// re-replicates under-replicated blocks after node failures — the mechanism
+// behind the availability claim the paper leans on ("even though some
+// machines may fail, we can still access the data").
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace metro::dfs {
+
+/// Globally unique block identifier.
+using BlockId = std::uint64_t;
+
+/// Cluster-level tuning knobs.
+struct DfsConfig {
+  std::size_t block_size = 64 * 1024;  ///< bytes per block
+  int replication = 3;                 ///< target replicas per block
+};
+
+/// File metadata returned by Stat.
+struct FileInfo {
+  std::string path;
+  std::size_t size = 0;
+  int num_blocks = 0;
+  int replication = 0;
+};
+
+/// One storage node: block id -> (data, checksum).
+///
+/// DataNodes are owned by the Cluster; they are exposed for failure
+/// injection in tests and benches.
+class DataNode {
+ public:
+  explicit DataNode(int id) : id_(id) {}
+
+  int id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Stops serving reads/writes (process crash). Stored data survives and
+  /// becomes visible again on Revive (disk intact across restart).
+  void Kill() { alive_ = false; }
+  void Revive() { alive_ = true; }
+
+  Status StoreBlock(BlockId block, std::string data);
+  Result<std::string> ReadBlock(BlockId block) const;
+  Status DeleteBlock(BlockId block);
+  bool HasBlock(BlockId block) const;
+
+  /// Flips bits in a stored replica (fault injection for checksum tests).
+  Status CorruptBlock(BlockId block);
+
+  std::size_t num_blocks() const;
+  std::size_t bytes_stored() const;
+
+ private:
+  struct StoredBlock {
+    std::string data;
+    std::uint32_t crc = 0;
+  };
+
+  int id_;
+  bool alive_ = true;
+  mutable std::mutex mu_;
+  std::unordered_map<BlockId, StoredBlock> blocks_;
+  std::size_t bytes_ = 0;
+};
+
+/// The whole cluster: NameNode metadata plus its DataNodes.
+class Cluster {
+ public:
+  Cluster(int num_datanodes, DfsConfig config, std::uint64_t seed = 42);
+
+  const DfsConfig& config() const { return config_; }
+  int num_datanodes() const { return int(nodes_.size()); }
+  DataNode& node(int i) { return *nodes_[std::size_t(i)]; }
+
+  /// Writes a complete file (fails if the path exists).
+  Status Create(const std::string& path, std::string_view data);
+
+  /// Reads a complete file, failing over across replicas; kUnavailable if a
+  /// block has no healthy, uncorrupted replica.
+  Result<std::string> Read(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+  Result<FileInfo> Stat(const std::string& path) const;
+
+  /// Paths with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  /// One pass of the replication monitor: finds blocks whose live replica
+  /// count is below target and copies them to healthy nodes. Returns the
+  /// number of new replicas created.
+  int RunReplicationPass();
+
+  /// Count of blocks currently below the replication target.
+  int UnderReplicatedBlocks() const;
+
+  /// Gracefully drains a node: copies every replica it holds onto other
+  /// healthy nodes, then drops the node's copies. The node stays alive but
+  /// is excluded from future placement until RecommissionNode. Returns the
+  /// number of replicas moved; fails if the cluster cannot absorb them.
+  Result<int> DecommissionNode(int node);
+
+  /// Returns a decommissioned node to placement duty.
+  Status RecommissionNode(int node);
+
+  /// One balancing pass: moves block replicas from the most-loaded to the
+  /// least-loaded healthy nodes until the byte imbalance ratio is at most
+  /// `threshold` (max/min, with min floored at one block). Returns moves.
+  int BalanceCluster(double threshold = 1.5);
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct BlockMeta {
+    std::vector<int> replicas;  ///< datanode ids
+    std::size_t size = 0;
+  };
+  struct FileMeta {
+    std::vector<BlockId> blocks;
+    std::size_t size = 0;
+  };
+
+  /// Picks `n` distinct healthy nodes, least-loaded first with random
+  /// tie-breaking (stand-in for rack awareness).
+  std::vector<int> PlaceReplicas(int n, const std::vector<int>& exclude) const;
+
+  DfsConfig config_;
+  std::vector<std::unique_ptr<DataNode>> nodes_;
+  std::vector<char> decommissioned_;
+  mutable std::mutex mu_;  // namespace + block map
+  std::map<std::string, FileMeta> namespace_;
+  std::unordered_map<BlockId, BlockMeta> block_map_;
+  BlockId next_block_ = 1;
+  mutable Rng rng_;
+  mutable MetricsRegistry metrics_;
+};
+
+}  // namespace metro::dfs

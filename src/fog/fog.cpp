@@ -1,0 +1,156 @@
+#include "fog/fog.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace metro::fog {
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kEdge: return "edge";
+    case Tier::kFog: return "fog";
+    case Tier::kAnalysisServer: return "server";
+    case Tier::kCloud: return "cloud";
+  }
+  return "?";
+}
+
+FogTopology::FogTopology(const FogConfig& config) : config_(config) {
+  assert(config_.num_edges > 0 && config_.edges_per_fog > 0 &&
+         config_.fogs_per_server > 0);
+  num_fogs_ = (config_.num_edges + config_.edges_per_fog - 1) /
+              config_.edges_per_fog;
+  num_servers_ =
+      (num_fogs_ + config_.fogs_per_server - 1) / config_.fogs_per_server;
+
+  for (int i = 0; i < config_.num_edges; ++i) {
+    edges_.push_back(sim_.AddNode(
+        {"edge-" + std::to_string(i), config_.edge_macs_per_s}));
+  }
+  for (int i = 0; i < num_fogs_; ++i) {
+    fogs_.push_back(
+        sim_.AddNode({"fog-" + std::to_string(i), config_.fog_macs_per_s}));
+  }
+  for (int i = 0; i < num_servers_; ++i) {
+    servers_.push_back(sim_.AddNode(
+        {"server-" + std::to_string(i), config_.server_macs_per_s}));
+  }
+  cloud_ = sim_.AddNode({"cloud", config_.cloud_macs_per_s});
+
+  for (int i = 0; i < config_.num_edges; ++i) {
+    (void)sim_.Connect(edges_[std::size_t(i)], fog_of_edge(i), config_.edge_fog);
+  }
+  for (int f = 0; f < num_fogs_; ++f) {
+    (void)sim_.Connect(fogs_[std::size_t(f)], server_of_fog_index(f),
+                       config_.fog_server);
+  }
+  for (int s = 0; s < num_servers_; ++s) {
+    (void)sim_.Connect(servers_[std::size_t(s)], cloud_, config_.server_cloud);
+  }
+}
+
+FogTopology::TierTraffic FogTopology::Traffic() const {
+  TierTraffic t;
+  for (int i = 0; i < config_.num_edges; ++i) {
+    const auto stats = sim_.Stats(edges_[std::size_t(i)], fog_of_edge(i));
+    if (stats.ok()) t.edge_to_fog += stats->bytes;
+  }
+  for (int f = 0; f < num_fogs_; ++f) {
+    const auto stats =
+        sim_.Stats(fogs_[std::size_t(f)], server_of_fog_index(f));
+    if (stats.ok()) t.fog_to_server += stats->bytes;
+  }
+  for (int s = 0; s < num_servers_; ++s) {
+    const auto stats = sim_.Stats(servers_[std::size_t(s)], cloud_);
+    if (stats.ok()) t.server_to_cloud += stats->bytes;
+  }
+  return t;
+}
+
+PipelineResult RunEarlyExitPipeline(FogTopology& topology,
+                                    std::vector<WorkItem> items) {
+  net::Simulator& sim = topology.sim();
+  auto result = std::make_shared<PipelineResult>();
+  result->outcomes.reserve(items.size());
+  const auto before = topology.Traffic();
+
+  for (const WorkItem& item : items) {
+    sim.ScheduleAt(item.arrival, [item, &topology, &sim, result] {
+      const net::NodeId edge = topology.edge(item.edge);
+      const net::NodeId fog = topology.fog_of_edge(item.edge);
+      const net::NodeId server = topology.server_of_edge(item.edge);
+      const net::NodeId cloud = topology.cloud();
+      const TimeNs start = sim.Now();
+
+      auto finish = [item, result, start, &sim](bool offloaded, bool dropped) {
+        ItemOutcome outcome;
+        outcome.id = item.id;
+        outcome.completed = sim.Now();
+        outcome.latency = sim.Now() - start;
+        outcome.dropped = dropped;
+        outcome.offloaded = offloaded;
+        result->outcomes.push_back(outcome);
+      };
+
+      // Tier 1: elementary filtering on the edge device.
+      (void)sim.Compute(edge, item.edge_filter_macs, [=, &sim, &topology] {
+        if (item.dropped_by_edge_filter) {
+          finish(false, true);
+          return;
+        }
+        // Raw data moves edge -> fog.
+        (void)sim.Send(edge, fog, item.raw_bytes, [=, &sim] {
+          // Tier 2: the split model's local half runs on the fog node.
+          (void)sim.Compute(fog, item.local_macs, [=, &sim] {
+            if (item.local_exit) {
+              // Confident: only the annotation travels upstream for storage.
+              (void)sim.Send(fog, server, item.annotation_bytes, [=, &sim] {
+                (void)sim.Send(server, cloud, item.annotation_bytes,
+                               [=] { finish(false, false); });
+              });
+              return;
+            }
+            // Not confident: ship the branch feature map to the server.
+            (void)sim.Send(fog, server, item.feature_bytes, [=, &sim] {
+              (void)sim.Compute(server, item.server_macs, [=, &sim] {
+                result->server_macs_total += double(item.server_macs);
+                (void)sim.Send(server, cloud, item.annotation_bytes,
+                               [=] { finish(true, false); });
+              });
+            });
+          });
+        });
+      });
+    });
+  }
+
+  sim.RunUntilIdle();
+
+  const auto after = topology.Traffic();
+  result->traffic.edge_to_fog = after.edge_to_fog - before.edge_to_fog;
+  result->traffic.fog_to_server = after.fog_to_server - before.fog_to_server;
+  result->traffic.server_to_cloud =
+      after.server_to_cloud - before.server_to_cloud;
+
+  std::vector<TimeNs> latencies;
+  for (const ItemOutcome& o : result->outcomes) {
+    if (o.dropped) {
+      ++result->items_dropped;
+      continue;
+    }
+    (o.offloaded ? result->items_offloaded : result->items_local) += 1;
+    latencies.push_back(o.latency);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0;
+    for (const TimeNs l : latencies) sum += double(l);
+    result->mean_latency_ms = sum / double(latencies.size()) / kMillisecond;
+    result->p99_latency_ms =
+        double(latencies[std::size_t(double(latencies.size() - 1) * 0.99)]) /
+        kMillisecond;
+  }
+  return std::move(*result);
+}
+
+}  // namespace metro::fog

@@ -1,0 +1,163 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metro::geo {
+namespace {
+
+constexpr double kEarthRadiusM = 6'371'000.0;
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Meters per degree of longitude at a given latitude.
+double MetersPerLonDegree(double lat) {
+  return kDegToRad * kEarthRadiusM * std::cos(lat * kDegToRad);
+}
+
+constexpr double kMetersPerLatDegree = kDegToRad * kEarthRadiusM;
+
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double phi1 = a.lat * kDegToRad, phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) *
+                       std::sin(dlam / 2);
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+std::string Geohash(const LatLon& p, int precision) {
+  precision = std::clamp(precision, 1, 12);
+  double lat_lo = -90, lat_hi = 90, lon_lo = -180, lon_hi = 180;
+  std::string out;
+  out.reserve(std::size_t(precision));
+  int bit = 0, ch = 0;
+  bool even = true;  // longitude first
+  while (int(out.size()) < precision) {
+    if (even) {
+      const double mid = (lon_lo + lon_hi) / 2;
+      if (p.lon >= mid) {
+        ch |= 1 << (4 - bit);
+        lon_lo = mid;
+      } else {
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2;
+      if (p.lat >= mid) {
+        ch |= 1 << (4 - bit);
+        lat_lo = mid;
+      } else {
+        lat_hi = mid;
+      }
+    }
+    even = !even;
+    if (++bit == 5) {
+      out.push_back(kBase32[ch]);
+      bit = 0;
+      ch = 0;
+    }
+  }
+  return out;
+}
+
+Result<LatLon> GeohashDecode(const std::string& hash) {
+  if (hash.empty() || hash.size() > 12) {
+    return InvalidArgumentError("geohash length must be 1..12");
+  }
+  double lat_lo = -90, lat_hi = 90, lon_lo = -180, lon_hi = 180;
+  bool even = true;
+  for (const char c : hash) {
+    const char* pos = std::char_traits<char>::find(kBase32, 32, c);
+    if (pos == nullptr) return InvalidArgumentError("bad geohash character");
+    const int value = int(pos - kBase32);
+    for (int bit = 4; bit >= 0; --bit) {
+      const bool set = (value >> bit) & 1;
+      if (even) {
+        const double mid = (lon_lo + lon_hi) / 2;
+        (set ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2;
+        (set ? lat_lo : lat_hi) = mid;
+      }
+      even = !even;
+    }
+  }
+  return LatLon{(lat_lo + lat_hi) / 2, (lon_lo + lon_hi) / 2};
+}
+
+BoundingBox BoundingBox::Around(const LatLon& center, double radius_m) {
+  const double dlat = radius_m / kMetersPerLatDegree;
+  const double mpl = std::max(MetersPerLonDegree(center.lat), 1.0);
+  const double dlon = radius_m / mpl;
+  return {center.lat - dlat, center.lon - dlon, center.lat + dlat,
+          center.lon + dlon};
+}
+
+GridIndex::GridIndex(double cell_deg) : cell_deg_(cell_deg) {}
+
+std::int64_t GridIndex::CellKey(double lat, double lon) const {
+  const auto row = std::int64_t(std::floor((lat + 90.0) / cell_deg_));
+  const auto col = std::int64_t(std::floor((lon + 180.0) / cell_deg_));
+  return (row << 32) | (col & 0xffffffff);
+}
+
+void GridIndex::Insert(std::uint64_t id, const LatLon& p) {
+  cells_[CellKey(p.lat, p.lon)].push_back(Entry{id, p});
+  ++count_;
+}
+
+std::vector<std::uint64_t> GridIndex::QueryRadius(const LatLon& center,
+                                                  double radius_m) const {
+  const BoundingBox box = BoundingBox::Around(center, radius_m);
+  std::vector<std::uint64_t> out;
+  for (double lat = box.min_lat; lat < box.max_lat + cell_deg_;
+       lat += cell_deg_) {
+    for (double lon = box.min_lon; lon < box.max_lon + cell_deg_;
+         lon += cell_deg_) {
+      const auto it = cells_.find(CellKey(lat, lon));
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (HaversineMeters(center, e.pos) <= radius_m) out.push_back(e.id);
+      }
+    }
+  }
+  return out;
+}
+
+Status GridIndex::Remove(std::uint64_t id, const LatLon& p) {
+  const auto it = cells_.find(CellKey(p.lat, p.lon));
+  if (it == cells_.end()) return NotFoundError("no entry in cell");
+  auto& entries = it->second;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == id) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      if (entries.empty()) cells_.erase(it);
+      --count_;
+      return Status::Ok();
+    }
+  }
+  return NotFoundError("id not in cell");
+}
+
+std::vector<std::uint64_t> GridIndex::QueryBox(const BoundingBox& box) const {
+  std::vector<std::uint64_t> out;
+  for (double lat = box.min_lat; lat < box.max_lat + cell_deg_;
+       lat += cell_deg_) {
+    for (double lon = box.min_lon; lon < box.max_lon + cell_deg_;
+         lon += cell_deg_) {
+      const auto it = cells_.find(CellKey(lat, lon));
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (box.Contains(e.pos)) out.push_back(e.id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace metro::geo

@@ -1,0 +1,85 @@
+#pragma once
+
+// Geospatial primitives (Sec. II-C2 "geospatial processing", Sec. IV-B).
+//
+// Lat/lon points, haversine distance, geohash encoding, axis-aligned
+// geofences, and a uniform grid index for radius queries — what the
+// SNA field-narrowing application and the camera map (Fig. 2) need.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metro::geo {
+
+/// WGS-84 point in degrees.
+struct LatLon {
+  double lat = 0;
+  double lon = 0;
+};
+
+/// Great-circle distance in meters (haversine, spherical earth).
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Standard base-32 geohash of `precision` characters (1..12).
+std::string Geohash(const LatLon& p, int precision);
+
+/// Decodes a geohash to the center of its cell.
+Result<LatLon> GeohashDecode(const std::string& hash);
+
+/// Axis-aligned bounding box (a "field of interest" in the paper's terms).
+struct BoundingBox {
+  double min_lat = 0, min_lon = 0, max_lat = 0, max_lon = 0;
+
+  bool Contains(const LatLon& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+
+  /// Box of half-size `radius_m` around `center` (small-box approximation).
+  static BoundingBox Around(const LatLon& center, double radius_m);
+};
+
+/// Uniform-grid spatial index over id -> location entries.
+///
+/// Cells are `cell_deg` degrees square; radius queries scan the covering
+/// cells and filter by haversine distance. Good enough for city-scale data
+/// (Baton Rouge spans ~0.3 degrees).
+class GridIndex {
+ public:
+  explicit GridIndex(double cell_deg = 0.01);
+
+  /// Inserts or re-inserts an entry (duplicate ids accumulate; use distinct
+  /// ids per record).
+  void Insert(std::uint64_t id, const LatLon& p);
+
+  /// Ids within `radius_m` meters of `center`, unordered.
+  std::vector<std::uint64_t> QueryRadius(const LatLon& center,
+                                         double radius_m) const;
+
+  /// Ids inside the box, unordered.
+  std::vector<std::uint64_t> QueryBox(const BoundingBox& box) const;
+
+  /// Removes one entry previously inserted at `p` with this id; kNotFound if
+  /// no such entry exists in that cell.
+  Status Remove(std::uint64_t id, const LatLon& p);
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    LatLon pos;
+  };
+
+  std::int64_t CellKey(double lat, double lon) const;
+
+  double cell_deg_;
+  std::size_t count_ = 0;
+  std::unordered_map<std::int64_t, std::vector<Entry>> cells_;
+};
+
+}  // namespace metro::geo

@@ -1,0 +1,160 @@
+#include "graph/social_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace metro::graph {
+
+PersonId SocialGraph::AddPerson(std::string name) {
+  names_.push_back(std::move(name));
+  adj_.emplace_back();
+  return PersonId(names_.size() - 1);
+}
+
+Status SocialGraph::AddTie(PersonId a, PersonId b, TieKind kind) {
+  if (a >= names_.size() || b >= names_.size()) {
+    return InvalidArgumentError("unknown person id");
+  }
+  if (a == b) return InvalidArgumentError("self-ties are not allowed");
+  const bool new_pair = adj_[a].find(b) == adj_[a].end();
+  adj_[a][b].insert(kind);
+  adj_[b][a].insert(kind);
+  if (new_pair) ++num_ties_;
+  return Status::Ok();
+}
+
+bool SocialGraph::HasTie(PersonId a, PersonId b) const {
+  return a < adj_.size() && adj_[a].find(b) != adj_[a].end();
+}
+
+std::vector<PersonId> SocialGraph::Neighbors(PersonId id) const {
+  std::vector<PersonId> out;
+  out.reserve(adj_[id].size());
+  for (const auto& [nbr, kinds] : adj_[id]) out.push_back(nbr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SocialGraph::Degree(PersonId id) const { return adj_[id].size(); }
+
+std::vector<PersonId> SocialGraph::KDegreeAssociates(PersonId seed,
+                                                     int k) const {
+  std::vector<int> depth(names_.size(), -1);
+  depth[seed] = 0;
+  std::deque<PersonId> frontier{seed};
+  std::vector<PersonId> out;
+  while (!frontier.empty()) {
+    const PersonId cur = frontier.front();
+    frontier.pop_front();
+    if (depth[cur] >= k) continue;
+    for (const auto& [nbr, kinds] : adj_[cur]) {
+      if (depth[nbr] >= 0) continue;
+      depth[nbr] = depth[cur] + 1;
+      out.push_back(nbr);
+      frontier.push_back(nbr);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double SocialGraph::MeanDegree() const {
+  std::size_t sum = 0, connected = 0;
+  for (const auto& nbrs : adj_) {
+    if (nbrs.empty()) continue;
+    sum += nbrs.size();
+    ++connected;
+  }
+  return connected == 0 ? 0.0 : double(sum) / double(connected);
+}
+
+std::vector<int> SocialGraph::LabelPropagation(Rng& rng, int max_iters) const {
+  const std::size_t n = names_.size();
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = int(i);
+
+  std::vector<PersonId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = PersonId(i);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    rng.Shuffle(order);
+    bool changed = false;
+    for (const PersonId p : order) {
+      if (adj_[p].empty()) continue;
+      // Most frequent neighbor label. Ties keep the current label when it is
+      // among the winners (stability), else pick among winners at random —
+      // min-label tie-breaking would flood one label across bridges.
+      std::map<int, int> votes;
+      for (const auto& [nbr, kinds] : adj_[p]) ++votes[labels[nbr]];
+      int best_votes = 0;
+      for (const auto& [label, count] : votes) {
+        best_votes = std::max(best_votes, count);
+      }
+      std::vector<int> winners;
+      for (const auto& [label, count] : votes) {
+        if (count == best_votes) winners.push_back(label);
+      }
+      int best_label = labels[p];
+      if (std::find(winners.begin(), winners.end(), labels[p]) ==
+          winners.end()) {
+        best_label = winners[rng.UniformU64(winners.size())];
+      }
+      if (best_label != labels[p]) {
+        labels[p] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return labels;
+}
+
+std::vector<double> SocialGraph::DegreeCentrality() const {
+  const std::size_t n = names_.size();
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = double(adj_[i].size()) / double(n - 1);
+  }
+  return out;
+}
+
+std::vector<double> SocialGraph::ApproxBetweenness(Rng& rng,
+                                                   int samples) const {
+  const std::size_t n = names_.size();
+  std::vector<double> score(n, 0.0);
+  if (n == 0) return score;
+  std::vector<int> parent(n);
+  std::vector<int> depth(n);
+  for (int s = 0; s < samples; ++s) {
+    const auto src = PersonId(rng.UniformU64(n));
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(depth.begin(), depth.end(), -1);
+    depth[src] = 0;
+    std::deque<PersonId> q{src};
+    std::vector<PersonId> visited{src};
+    while (!q.empty()) {
+      const PersonId cur = q.front();
+      q.pop_front();
+      for (const auto& [nbr, kinds] : adj_[cur]) {
+        if (depth[nbr] >= 0) continue;
+        depth[nbr] = depth[cur] + 1;
+        parent[nbr] = int(cur);
+        visited.push_back(nbr);
+        q.push_back(nbr);
+      }
+    }
+    // Credit each interior node once per shortest path traversed.
+    for (const PersonId v : visited) {
+      int cur = parent[v];
+      while (cur >= 0 && PersonId(cur) != src) {
+        score[std::size_t(cur)] += 1.0;
+        cur = parent[std::size_t(cur)];
+      }
+    }
+  }
+  for (auto& v : score) v /= double(samples);
+  return score;
+}
+
+}  // namespace metro::graph

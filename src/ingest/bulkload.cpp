@@ -1,0 +1,131 @@
+#include "ingest/bulkload.h"
+
+#include <algorithm>
+#include <charconv>
+#include <future>
+
+namespace metro::ingest {
+
+Status RdbmsTable::InsertRow(std::vector<std::string> row) {
+  if (row.size() != columns_.size()) {
+    return InvalidArgumentError("row arity mismatch");
+  }
+  std::int64_t key = 0;
+  const auto [ptr, ec] =
+      std::from_chars(row[0].data(), row[0].data() + row[0].size(), key);
+  if (ec != std::errc{}) return InvalidArgumentError("primary key not integer");
+  const auto pos = std::lower_bound(
+      rows_.begin(), rows_.end(), key, [](const auto& r, std::int64_t k) {
+        std::int64_t rk = 0;
+        std::from_chars(r[0].data(), r[0].data() + r[0].size(), rk);
+        return rk < k;
+      });
+  rows_.insert(pos, std::move(row));
+  return Status::Ok();
+}
+
+namespace {
+
+std::int64_t RowKey(const std::vector<std::string>& row) {
+  std::int64_t k = 0;
+  std::from_chars(row[0].data(), row[0].data() + row[0].size(), k);
+  return k;
+}
+
+}  // namespace
+
+std::vector<const std::vector<std::string>*> RdbmsTable::SelectRange(
+    std::int64_t lo, std::int64_t hi) const {
+  std::vector<const std::vector<std::string>*> out;
+  for (const auto& row : rows_) {
+    const std::int64_t k = RowKey(row);
+    if (k >= lo && k < hi) out.push_back(&row);
+  }
+  return out;
+}
+
+std::int64_t RdbmsTable::min_key() const {
+  return rows_.empty() ? 0 : RowKey(rows_.front());
+}
+
+std::int64_t RdbmsTable::max_key() const {
+  return rows_.empty() ? 0 : RowKey(rows_.back());
+}
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Result<ImportReport> BulkImport(const RdbmsTable& table, dfs::Cluster& dfs,
+                                const std::string& target_dir, int num_splits,
+                                ThreadPool& pool) {
+  if (num_splits <= 0) return InvalidArgumentError("num_splits must be >= 1");
+  if (table.num_rows() == 0) {
+    return FailedPreconditionError("table is empty");
+  }
+  const std::int64_t lo = table.min_key();
+  const std::int64_t hi = table.max_key() + 1;
+  const double stride = double(hi - lo) / num_splits;
+
+  struct SliceResult {
+    std::string path;
+    std::string csv;
+    std::size_t rows = 0;
+  };
+  std::vector<std::future<SliceResult>> futures;
+  futures.reserve(std::size_t(num_splits));
+
+  for (int s = 0; s < num_splits; ++s) {
+    const auto slice_lo = std::int64_t(double(lo) + stride * s);
+    const auto slice_hi =
+        s + 1 == num_splits ? hi : std::int64_t(double(lo) + stride * (s + 1));
+    futures.push_back(pool.Async([&, s, slice_lo, slice_hi] {
+      SliceResult res;
+      char name[16];
+      std::snprintf(name, sizeof name, "part-%05d", s);
+      res.path = target_dir + "/" + name;
+      std::string csv;
+      if (s == 0) {
+        for (std::size_t c = 0; c < table.columns().size(); ++c) {
+          if (c) csv.push_back(',');
+          csv += CsvEscape(table.columns()[c]);
+        }
+        csv.push_back('\n');
+      }
+      for (const auto* row : table.SelectRange(slice_lo, slice_hi)) {
+        for (std::size_t c = 0; c < row->size(); ++c) {
+          if (c) csv.push_back(',');
+          csv += CsvEscape((*row)[c]);
+        }
+        csv.push_back('\n');
+        ++res.rows;
+      }
+      res.csv = std::move(csv);
+      return res;
+    }));
+  }
+
+  ImportReport report;
+  report.num_splits = num_splits;
+  for (auto& fut : futures) {
+    SliceResult res = fut.get();
+    METRO_RETURN_IF_ERROR(dfs.Create(res.path, res.csv));
+    report.rows_imported += res.rows;
+    report.bytes_written += res.csv.size();
+    report.part_files.push_back(std::move(res.path));
+  }
+  return report;
+}
+
+}  // namespace metro::ingest

@@ -1,0 +1,64 @@
+#pragma once
+
+// Bulk import from relational systems (the Sqoop role in Sec. II-C2).
+//
+// An in-memory RDBMS table stands in for the legacy database; the importer
+// splits its primary-key range into parallel "map" slices, renders each
+// slice to CSV, and writes one part-file per slice into the DFS — the
+// classic sqoop import layout (part-00000, part-00001, ...).
+
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace metro::ingest {
+
+/// Minimal relational table: named columns, string-typed cells, and an
+/// integer primary key (first column).
+class RdbmsTable {
+ public:
+  RdbmsTable(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row (must match the column count; first cell is the key).
+  Status InsertRow(std::vector<std::string> row);
+
+  /// Rows whose key k satisfies lo <= k < hi, in key order.
+  std::vector<const std::vector<std::string>*> SelectRange(std::int64_t lo,
+                                                           std::int64_t hi) const;
+
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;  // sorted by key
+};
+
+/// Result of a bulk import.
+struct ImportReport {
+  int num_splits = 0;
+  std::size_t rows_imported = 0;
+  std::size_t bytes_written = 0;
+  std::vector<std::string> part_files;
+};
+
+/// Imports `table` into `dfs` under `target_dir` using `num_splits` parallel
+/// slices on `pool`. Produces `<target_dir>/part-NNNNN` CSV files with a
+/// header row in part-00000 only.
+Result<ImportReport> BulkImport(const RdbmsTable& table, dfs::Cluster& dfs,
+                                const std::string& target_dir, int num_splits,
+                                ThreadPool& pool);
+
+/// Escapes one CSV field (quotes when it contains comma/quote/newline).
+std::string CsvEscape(std::string_view field);
+
+}  // namespace metro::ingest

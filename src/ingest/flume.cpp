@@ -1,0 +1,80 @@
+#include "ingest/flume.h"
+
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace metro::ingest {
+
+Agent::Agent(std::string name, SourceFn source, SinkFn sink, AgentConfig config)
+    : name_(std::move(name)),
+      source_(std::move(source)),
+      sink_(std::move(sink)),
+      config_(config),
+      channel_(config.channel_capacity) {}
+
+Agent::~Agent() { Stop(); }
+
+Status Agent::Start() {
+  if (started_) return FailedPreconditionError("agent already started");
+  started_ = true;
+  source_thread_ = std::jthread([this] { SourceLoop(); });
+  sink_thread_ = std::jthread([this] { SinkLoop(); });
+  return Status::Ok();
+}
+
+void Agent::SourceLoop() {
+  while (auto event = source_()) {
+    // Push blocks when the channel is full — back-pressure to the source.
+    if (!channel_.Push(std::move(*event)).ok()) break;  // channel closed
+    events_in_.fetch_add(1, std::memory_order_relaxed);
+  }
+  source_done_.store(true);
+  channel_.Close();
+}
+
+void Agent::SinkLoop() {
+  std::vector<Event> batch;
+  batch.reserve(config_.batch_size);
+  auto flush = [&] {
+    if (batch.empty()) return;
+    Status st;
+    for (int attempt = 0; attempt <= config_.max_sink_retries; ++attempt) {
+      st = sink_(batch);
+      if (st.ok()) break;
+    }
+    if (st.ok()) {
+      events_out_.fetch_add(std::int64_t(batch.size()), std::memory_order_relaxed);
+    } else {
+      events_dropped_.fetch_add(std::int64_t(batch.size()),
+                                std::memory_order_relaxed);
+      METRO_LOG(kWarning) << "agent " << name_ << " dropped batch of "
+                          << batch.size() << ": " << st;
+    }
+    batch.clear();
+  };
+
+  while (auto event = channel_.Pop()) {
+    batch.push_back(std::move(*event));
+    if (batch.size() >= config_.batch_size) flush();
+  }
+  flush();
+  sink_done_.store(true);
+}
+
+void Agent::Stop() {
+  channel_.Close();
+  if (source_thread_.joinable()) source_thread_.join();
+  if (sink_thread_.joinable()) sink_thread_.join();
+}
+
+bool Agent::Finished() const {
+  return source_done_.load() && sink_done_.load();
+}
+
+void Agent::WaitUntilFinished() {
+  while (!Finished()) {
+    WallClock::Instance().SleepFor(kMillisecond);
+  }
+}
+
+}  // namespace metro::ingest

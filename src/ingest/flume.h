@@ -1,0 +1,88 @@
+#pragma once
+
+// Streaming ingestion agents (the Flume role in Sec. II-C2).
+//
+// An Agent wires a Source (pull callback producing events) through a bounded
+// Channel to a Sink (push callback into the message log, a store, or the
+// DFS), with batching and back-pressure: a full channel blocks the source,
+// which is exactly the "edge devices act as buffers" behaviour of
+// Sec. II-B1. Agents run on their own threads and stop cleanly.
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/queue.h"
+#include "util/status.h"
+
+namespace metro::ingest {
+
+/// One ingestion event.
+struct Event {
+  std::string key;
+  std::string body;
+};
+
+/// Produces the next event, or nullopt when the source is exhausted.
+using SourceFn = std::function<std::optional<Event>()>;
+
+/// Consumes a batch of events; a failed status triggers retry of the batch.
+using SinkFn = std::function<Status(const std::vector<Event>&)>;
+
+/// Agent tuning.
+struct AgentConfig {
+  std::size_t channel_capacity = 1024;
+  std::size_t batch_size = 64;
+  int max_sink_retries = 3;
+};
+
+/// A single source -> channel -> sink pipeline.
+class Agent {
+ public:
+  Agent(std::string name, SourceFn source, SinkFn sink, AgentConfig config = {});
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Starts the source and sink threads. kFailedPrecondition if running.
+  Status Start();
+
+  /// Drains the channel and joins both threads. Idempotent.
+  void Stop();
+
+  /// True once the source is exhausted and the channel has drained.
+  bool Finished() const;
+
+  /// Blocks until Finished() (the source must be finite).
+  void WaitUntilFinished();
+
+  std::int64_t events_in() const { return events_in_.load(); }
+  std::int64_t events_out() const { return events_out_.load(); }
+  std::int64_t events_dropped() const { return events_dropped_.load(); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void SourceLoop();
+  void SinkLoop();
+
+  std::string name_;
+  SourceFn source_;
+  SinkFn sink_;
+  AgentConfig config_;
+  BoundedQueue<Event> channel_;
+  std::atomic<std::int64_t> events_in_{0};
+  std::atomic<std::int64_t> events_out_{0};
+  std::atomic<std::int64_t> events_dropped_{0};
+  std::atomic<bool> source_done_{false};
+  std::atomic<bool> sink_done_{false};
+  bool started_ = false;
+  std::jthread source_thread_;
+  std::jthread sink_thread_;
+};
+
+}  // namespace metro::ingest

@@ -1,0 +1,224 @@
+#include "mq/message_log.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace metro::mq {
+
+Status MessageLog::CreateTopic(const std::string& topic, int partitions) {
+  if (partitions < 1) return InvalidArgumentError("partitions must be >= 1");
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = topics_.try_emplace(topic);
+  if (!inserted) return AlreadyExistsError("topic " + topic);
+  it->second.partitions.resize(std::size_t(partitions));
+  return Status::Ok();
+}
+
+bool MessageLog::HasTopic(const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+Result<int> MessageLog::NumPartitions(const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  return int(it->second.partitions.size());
+}
+
+Result<MessageLog::ProduceAck> MessageLog::Produce(const std::string& topic,
+                                                   std::string key,
+                                                   std::string value) {
+  std::unique_lock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  Topic& t = it->second;
+  const std::size_t n = t.partitions.size();
+  const int partition =
+      key.empty() ? int(t.round_robin++ % n) : int(Fnv1a64(key) % n);
+  lock.unlock();
+  return ProduceTo(topic, partition, std::move(key), std::move(value));
+}
+
+Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
+                                                     int partition,
+                                                     std::string key,
+                                                     std::string value) {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  Partition& p = t.partitions[std::size_t(partition)];
+  Record rec;
+  rec.offset = p.begin_offset + std::int64_t(p.records.size());
+  rec.timestamp = clock_->Now();
+  rec.key = std::move(key);
+  rec.value = std::move(value);
+  const std::size_t bytes = rec.key.size() + rec.value.size();
+  p.records.push_back(std::move(rec));
+  metrics_.GetCounter("mq.records_produced").Increment();
+  metrics_.GetCounter("mq.bytes_produced").Increment(std::int64_t(bytes));
+  return ProduceAck{partition, p.begin_offset + std::int64_t(p.records.size()) - 1};
+}
+
+Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
+                                              int partition,
+                                              std::int64_t offset,
+                                              std::size_t max_records) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  const Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  const Partition& p = t.partitions[std::size_t(partition)];
+  const std::int64_t end = p.begin_offset + std::int64_t(p.records.size());
+  if (offset < p.begin_offset) {
+    return OutOfRangeError("offset " + std::to_string(offset) +
+                           " below retention floor " +
+                           std::to_string(p.begin_offset));
+  }
+  if (offset > end) {
+    return OutOfRangeError("offset beyond end of log");
+  }
+  std::vector<Record> out;
+  const std::size_t start = std::size_t(offset - p.begin_offset);
+  const std::size_t count = std::min(max_records, p.records.size() - start);
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(p.records[start + i]);
+  return out;
+}
+
+Result<PartitionInfo> MessageLog::GetPartitionInfo(const std::string& topic,
+                                                   int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  const Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  const Partition& p = t.partitions[std::size_t(partition)];
+  return PartitionInfo{partition, p.begin_offset,
+                       p.begin_offset + std::int64_t(p.records.size())};
+}
+
+std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
+  std::lock_guard lock(mu_);
+  const TimeNs cutoff = clock_->Now() - retention;
+  std::int64_t dropped = 0;
+  for (auto& [name, topic] : topics_) {
+    for (Partition& p : topic.partitions) {
+      std::size_t keep = 0;
+      while (keep < p.records.size() && p.records[keep].timestamp < cutoff) {
+        ++keep;
+      }
+      if (keep == 0) continue;
+      p.records.erase(p.records.begin(), p.records.begin() + std::ptrdiff_t(keep));
+      p.begin_offset += std::int64_t(keep);
+      dropped += std::int64_t(keep);
+    }
+  }
+  return dropped;
+}
+
+void MessageLog::Rebalance(Group& group) {
+  group.assignment.clear();
+  const auto tit = topics_.find(group.topic);
+  if (tit == topics_.end() || group.members.empty()) return;
+  const int parts = int(tit->second.partitions.size());
+  for (int p = 0; p < parts; ++p) {
+    const std::string& member =
+        group.members[std::size_t(p) % group.members.size()];
+    group.assignment[member].push_back(p);
+  }
+}
+
+Result<std::vector<int>> MessageLog::JoinGroup(const std::string& group,
+                                               const std::string& topic,
+                                               const std::string& member) {
+  std::lock_guard lock(mu_);
+  if (!topics_.count(topic)) return NotFoundError("topic " + topic);
+  Group& g = groups_[group];
+  if (g.topic.empty()) {
+    g.topic = topic;
+  } else if (g.topic != topic) {
+    return FailedPreconditionError("group already bound to topic " + g.topic);
+  }
+  if (std::find(g.members.begin(), g.members.end(), member) == g.members.end()) {
+    g.members.push_back(member);
+    std::sort(g.members.begin(), g.members.end());
+  }
+  Rebalance(g);
+  return g.assignment[member];
+}
+
+Status MessageLog::LeaveGroup(const std::string& group,
+                              const std::string& member) {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  auto& members = it->second.members;
+  const auto mit = std::find(members.begin(), members.end(), member);
+  if (mit == members.end()) return NotFoundError("member " + member);
+  members.erase(mit);
+  Rebalance(it->second);
+  return Status::Ok();
+}
+
+std::vector<int> MessageLog::Assignment(const std::string& group,
+                                        const std::string& member) const {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  const auto ait = it->second.assignment.find(member);
+  return ait == it->second.assignment.end() ? std::vector<int>{} : ait->second;
+}
+
+Status MessageLog::CommitOffset(const std::string& group,
+                                const std::string& topic, int partition,
+                                std::int64_t offset) {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  if (it->second.topic != topic) {
+    return FailedPreconditionError("group bound to topic " + it->second.topic);
+  }
+  it->second.committed[partition] = offset;
+  return Status::Ok();
+}
+
+std::int64_t MessageLog::CommittedOffset(const std::string& group,
+                                         const std::string& topic,
+                                         int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.topic != topic) return 0;
+  const auto oit = it->second.committed.find(partition);
+  return oit == it->second.committed.end() ? 0 : oit->second;
+}
+
+Result<std::int64_t> MessageLog::Lag(const std::string& group) const {
+  std::lock_guard lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  const auto tit = topics_.find(it->second.topic);
+  if (tit == topics_.end()) return NotFoundError("topic " + it->second.topic);
+  std::int64_t lag = 0;
+  for (std::size_t p = 0; p < tit->second.partitions.size(); ++p) {
+    const Partition& part = tit->second.partitions[p];
+    const std::int64_t end = part.begin_offset + std::int64_t(part.records.size());
+    const auto cit = it->second.committed.find(int(p));
+    const std::int64_t committed =
+        cit == it->second.committed.end() ? 0 : cit->second;
+    lag += std::max<std::int64_t>(end - committed, 0);
+  }
+  return lag;
+}
+
+}  // namespace metro::mq

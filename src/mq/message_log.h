@@ -1,0 +1,132 @@
+#pragma once
+
+// Durable partitioned message log (the Kafka role in Sec. II-C2's
+// streaming pipeline, feeding Fig. 4's collection stage).
+//
+// Topics are split into partitions; records are appended with monotonically
+// increasing per-partition offsets and fetched by offset. Consumer groups
+// commit offsets and get partitions assigned round-robin, rebalancing as
+// members join or leave.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace metro::mq {
+
+/// One record in a partition.
+struct Record {
+  std::int64_t offset = 0;
+  TimeNs timestamp = 0;
+  std::string key;
+  std::string value;
+};
+
+/// Per-partition high-water marks etc.
+struct PartitionInfo {
+  int partition = 0;
+  std::int64_t begin_offset = 0;  ///< first retained offset
+  std::int64_t end_offset = 0;    ///< next offset to be assigned
+};
+
+/// Broker: thread-safe in-memory log with retention and consumer groups.
+class MessageLog {
+ public:
+  explicit MessageLog(Clock& clock) : clock_(&clock) {}
+
+  /// Creates a topic with `partitions` partitions (>= 1).
+  Status CreateTopic(const std::string& topic, int partitions);
+
+  bool HasTopic(const std::string& topic) const;
+  Result<int> NumPartitions(const std::string& topic) const;
+
+  /// Appends a record; the partition is chosen by key hash (or round-robin
+  /// for empty keys). Returns (partition, offset).
+  struct ProduceAck {
+    int partition = 0;
+    std::int64_t offset = 0;
+  };
+  Result<ProduceAck> Produce(const std::string& topic, std::string key,
+                             std::string value);
+
+  /// Appends to an explicit partition.
+  Result<ProduceAck> ProduceTo(const std::string& topic, int partition,
+                               std::string key, std::string value);
+
+  /// Reads up to `max_records` records starting at `offset`.
+  /// An offset at the end returns an empty vector (not an error); an offset
+  /// before the retention window fails with kOutOfRange.
+  Result<std::vector<Record>> Fetch(const std::string& topic, int partition,
+                                    std::int64_t offset,
+                                    std::size_t max_records) const;
+
+  Result<PartitionInfo> GetPartitionInfo(const std::string& topic,
+                                         int partition) const;
+
+  /// Drops records older than `retention` from every partition; returns the
+  /// number of records dropped.
+  std::int64_t EnforceRetention(TimeNs retention);
+
+  // --- consumer groups ---
+
+  /// Adds a member and rebalances; returns the partitions now assigned to
+  /// this member.
+  Result<std::vector<int>> JoinGroup(const std::string& group,
+                                     const std::string& topic,
+                                     const std::string& member);
+
+  /// Removes a member and rebalances.
+  Status LeaveGroup(const std::string& group, const std::string& member);
+
+  /// Current assignment for a member (empty when not joined).
+  std::vector<int> Assignment(const std::string& group,
+                              const std::string& member) const;
+
+  Status CommitOffset(const std::string& group, const std::string& topic,
+                      int partition, std::int64_t offset);
+
+  /// Last committed offset, or 0 when the group never committed.
+  std::int64_t CommittedOffset(const std::string& group,
+                               const std::string& topic, int partition) const;
+
+  /// Total records the group has not yet committed across all partitions
+  /// of its topic (end offset minus committed, floored at 0 per partition)
+  /// — the standard backlog/health signal.
+  Result<std::int64_t> Lag(const std::string& group) const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Partition {
+    std::int64_t begin_offset = 0;
+    std::vector<Record> records;
+  };
+  struct Topic {
+    std::vector<Partition> partitions;
+    std::size_t round_robin = 0;
+  };
+  struct Group {
+    std::string topic;
+    std::vector<std::string> members;                 // sorted
+    std::unordered_map<std::string, std::vector<int>> assignment;
+    std::map<int, std::int64_t> committed;            // partition -> offset
+  };
+
+  void Rebalance(Group& group);
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Topic> topics_;
+  std::unordered_map<std::string, Group> groups_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace metro::mq

@@ -1,0 +1,110 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace metro::net {
+
+NodeId Simulator::AddNode(NodeSpec spec) {
+  nodes_.push_back(Node{std::move(spec), 0});
+  return int(nodes_.size()) - 1;
+}
+
+std::uint64_t Simulator::LinkKey(NodeId a, NodeId b) const {
+  const auto lo = std::uint64_t(std::min(a, b));
+  const auto hi = std::uint64_t(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+Status Simulator::Connect(NodeId a, NodeId b, LinkSpec spec) {
+  if (a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes() || a == b) {
+    return InvalidArgumentError("bad link endpoints");
+  }
+  auto [it, inserted] = links_.try_emplace(LinkKey(a, b), Link{spec, 0, {}});
+  if (!inserted) return AlreadyExistsError("link exists");
+  return Status::Ok();
+}
+
+void Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  queue_.push(Event{at, seq_++, std::move(fn)});
+}
+
+Status Simulator::Send(NodeId from, NodeId to, std::uint64_t bytes,
+                       std::function<void()> on_delivery) {
+  const auto it = links_.find(LinkKey(from, to));
+  if (it == links_.end()) {
+    return NotFoundError("no link " + nodes_[std::size_t(from)].spec.name +
+                         " <-> " + nodes_[std::size_t(to)].spec.name);
+  }
+  Link& link = it->second;
+  if (!link.up) {
+    return UnavailableError("link " + nodes_[std::size_t(from)].spec.name +
+                            " <-> " + nodes_[std::size_t(to)].spec.name +
+                            " is down");
+  }
+  const auto tx_ns = TimeNs(double(bytes) * 8.0 / link.spec.bandwidth_bps * kSecond);
+  const TimeNs start = std::max(now_, link.next_free);
+  link.next_free = start + tx_ns;  // FIFO serialization
+  const TimeNs arrival = link.next_free + link.spec.latency;
+  ++link.stats.messages;
+  link.stats.bytes += bytes;
+  ScheduleAt(arrival, std::move(on_delivery));
+  return Status::Ok();
+}
+
+Status Simulator::Compute(NodeId node, std::uint64_t macs,
+                          std::function<void()> fn) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgumentError("bad node id");
+  }
+  Node& n = nodes_[std::size_t(node)];
+  const auto dur =
+      TimeNs(double(macs) / n.spec.macs_per_second * kSecond);
+  const TimeNs start = std::max(now_, n.busy_until);
+  n.busy_until = start + dur;
+  ScheduleAt(n.busy_until, std::move(fn));
+  return Status::Ok();
+}
+
+void Simulator::RunUntilIdle() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event must be copied out before
+    // pop, and fn moved via const_cast-free copy of the shared function.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, ev.at);
+    ev.fn();
+  }
+}
+
+void Simulator::RunUntil(TimeNs deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, ev.at);
+    ev.fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+Status Simulator::SetLinkUp(NodeId a, NodeId b, bool up) {
+  const auto it = links_.find(LinkKey(a, b));
+  if (it == links_.end()) return NotFoundError("no such link");
+  it->second.up = up;
+  return Status::Ok();
+}
+
+Result<LinkStats> Simulator::Stats(NodeId a, NodeId b) const {
+  const auto it = links_.find(LinkKey(a, b));
+  if (it == links_.end()) return NotFoundError("no such link");
+  return it->second.stats;
+}
+
+std::uint64_t Simulator::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, link] : links_) total += link.stats.bytes;
+  return total;
+}
+
+}  // namespace metro::net

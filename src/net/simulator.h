@@ -1,0 +1,127 @@
+#pragma once
+
+// Discrete-event network simulator.
+//
+// Models the paper's inter-tier fabric (Sec. II-B3): nodes with a compute
+// rating, point-to-point links with bandwidth + propagation latency, and an
+// event queue over simulated time. The fog pipeline (Fig. 3) runs on top of
+// this, so per-tier latency and bytes-on-the-wire are measured, not guessed.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace metro::net {
+
+/// Index of a node within a Simulator.
+using NodeId = int;
+
+/// Point-to-point link characteristics.
+struct LinkSpec {
+  double bandwidth_bps = 1e9;   ///< serialization rate
+  TimeNs latency = kMillisecond; ///< one-way propagation delay
+};
+
+/// Cumulative per-link accounting.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Node compute/metadata.
+struct NodeSpec {
+  std::string name;
+  double macs_per_second = 1e9;  ///< DNN multiply-accumulate throughput
+};
+
+/// Single-threaded discrete-event simulator.
+///
+/// Callbacks run at their scheduled simulated time, in (time, insertion)
+/// order; they may schedule further events. Not thread-safe by design.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Registers a node; returns its id.
+  NodeId AddNode(NodeSpec spec);
+
+  /// Creates a bidirectional link between `a` and `b`.
+  Status Connect(NodeId a, NodeId b, LinkSpec spec);
+
+  /// Current simulated time.
+  TimeNs Now() const { return now_; }
+
+  /// Runs `fn` at absolute simulated time `at` (>= Now()).
+  void ScheduleAt(TimeNs at, std::function<void()> fn);
+
+  /// Runs `fn` after `delay` nanoseconds.
+  void ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Transfers `bytes` from `from` to `to` over their direct link. The link
+  /// serializes transfers FIFO (a busy link queues the message). Invokes
+  /// `on_delivery` at arrival. Fails if no link exists.
+  Status Send(NodeId from, NodeId to, std::uint64_t bytes,
+              std::function<void()> on_delivery);
+
+  /// Schedules `fn` after the time node `node` needs to execute `macs`
+  /// multiply-accumulates. The node serializes compute FIFO, modelling a
+  /// busy device (an edge board runs one inference at a time).
+  Status Compute(NodeId node, std::uint64_t macs, std::function<void()> fn);
+
+  /// Processes events until the queue is empty.
+  void RunUntilIdle();
+
+  /// Processes events with time <= `deadline`; later events stay queued.
+  void RunUntil(TimeNs deadline);
+
+  const NodeSpec& node(NodeId id) const { return nodes_[std::size_t(id)].spec; }
+  int num_nodes() const { return int(nodes_.size()); }
+
+  /// Stats for the (a, b) link regardless of direction argument order.
+  Result<LinkStats> Stats(NodeId a, NodeId b) const;
+
+  /// Marks the (a, b) link up or down; Sends over a down link fail with
+  /// kUnavailable (fault injection for resilience experiments).
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+
+  /// Total bytes moved across every link.
+  std::uint64_t TotalBytes() const;
+
+ private:
+  struct Link {
+    LinkSpec spec;
+    TimeNs next_free = 0;  ///< when the link finishes its queued transfers
+    LinkStats stats;
+    bool up = true;
+  };
+  struct Node {
+    NodeSpec spec;
+    TimeNs busy_until = 0;  ///< when the node's compute queue drains
+  };
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return std::tie(at, seq) > std::tie(other.at, other.seq);
+    }
+  };
+
+  std::uint64_t LinkKey(NodeId a, NodeId b) const;
+
+  std::vector<Node> nodes_;
+  std::map<std::uint64_t, Link> links_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace metro::net

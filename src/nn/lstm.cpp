@@ -1,0 +1,153 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace metro::nn {
+
+using tensor::MatMul;
+using tensor::MatMulTransposeA;
+using tensor::MatMulTransposeB;
+
+Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
+    : input_(input_size),
+      hidden_(hidden_size),
+      wx_("wx", Tensor::HeNormal({input_size, 4 * hidden_size}, input_size, rng)),
+      wh_("wh",
+          Tensor::HeNormal({hidden_size, 4 * hidden_size}, hidden_size, rng)),
+      b_("b", Tensor({4 * hidden_size})) {
+  // Forget-gate bias (+1) — second block of the packed layout.
+  auto bd = b_.value.data();
+  for (int j = hidden_; j < 2 * hidden_; ++j) bd[j] = 1.0f;
+}
+
+std::vector<Tensor> Lstm::Forward(const std::vector<Tensor>& xs,
+                                  bool /*training*/) {
+  assert(!xs.empty());
+  const int n = xs.front().dim(0);
+  const int h4 = 4 * hidden_;
+  cache_.clear();
+  cache_.reserve(xs.size());
+
+  Tensor h({n, hidden_});
+  Tensor c({n, hidden_});
+  std::vector<Tensor> outputs;
+  outputs.reserve(xs.size());
+
+  for (const Tensor& x : xs) {
+    assert(x.dim(0) == n && x.dim(1) == input_);
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+    sc.c_prev = c;
+
+    Tensor z = MatMul(x, wx_.value);
+    z += MatMul(h, wh_.value);
+    {
+      auto zd = z.data();
+      const auto bd = b_.value.data();
+      for (int r = 0; r < n; ++r) {
+        for (int j = 0; j < h4; ++j) zd[std::size_t(r) * h4 + j] += bd[j];
+      }
+    }
+
+    sc.i = Tensor({n, hidden_});
+    sc.f = Tensor({n, hidden_});
+    sc.g = Tensor({n, hidden_});
+    sc.o = Tensor({n, hidden_});
+    sc.c = Tensor({n, hidden_});
+    sc.tanh_c = Tensor({n, hidden_});
+
+    const auto zd = z.data();
+    const auto cp = sc.c_prev.data();
+    for (int r = 0; r < n; ++r) {
+      const std::size_t zrow = std::size_t(r) * h4;
+      const std::size_t row = std::size_t(r) * hidden_;
+      for (int j = 0; j < hidden_; ++j) {
+        const float zi = zd[zrow + j];
+        const float zf = zd[zrow + hidden_ + j];
+        const float zg = zd[zrow + 2 * hidden_ + j];
+        const float zo = zd[zrow + 3 * hidden_ + j];
+        const float gi = 1.0f / (1.0f + std::exp(-zi));
+        const float gf = 1.0f / (1.0f + std::exp(-zf));
+        const float gg = std::tanh(zg);
+        const float go = 1.0f / (1.0f + std::exp(-zo));
+        const float cv = gf * cp[row + j] + gi * gg;
+        sc.i.data()[row + j] = gi;
+        sc.f.data()[row + j] = gf;
+        sc.g.data()[row + j] = gg;
+        sc.o.data()[row + j] = go;
+        sc.c.data()[row + j] = cv;
+        sc.tanh_c.data()[row + j] = std::tanh(cv);
+      }
+    }
+
+    h = Tensor({n, hidden_});
+    for (std::size_t k = 0; k < h.size(); ++k) {
+      h[k] = sc.o[k] * sc.tanh_c[k];
+    }
+    c = sc.c;
+    outputs.push_back(h);
+    cache_.push_back(std::move(sc));
+  }
+  return outputs;
+}
+
+std::vector<Tensor> Lstm::Backward(const std::vector<Tensor>& grad_h) {
+  assert(grad_h.size() == cache_.size() && !cache_.empty());
+  const int n = cache_.front().x.dim(0);
+  const int h4 = 4 * hidden_;
+
+  std::vector<Tensor> grad_x(cache_.size());
+  Tensor dh_next({n, hidden_});
+  Tensor dc_next({n, hidden_});
+
+  for (int t = int(cache_.size()) - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[std::size_t(t)];
+    Tensor dh = grad_h[std::size_t(t)];
+    dh += dh_next;
+
+    Tensor dz({n, h4});
+    Tensor dc_prev({n, hidden_});
+    auto dzd = dz.data();
+    for (int r = 0; r < n; ++r) {
+      const std::size_t row = std::size_t(r) * hidden_;
+      const std::size_t zrow = std::size_t(r) * h4;
+      for (int j = 0; j < hidden_; ++j) {
+        const float i = sc.i[row + j], f = sc.f[row + j], g = sc.g[row + j],
+                    o = sc.o[row + j], tc = sc.tanh_c[row + j];
+        const float dhv = dh[row + j];
+        const float dcv = dhv * o * (1 - tc * tc) + dc_next[row + j];
+        const float dov = dhv * tc;
+        const float div = dcv * g;
+        const float dfv = dcv * sc.c_prev[row + j];
+        const float dgv = dcv * i;
+        dzd[zrow + j] = div * i * (1 - i);
+        dzd[zrow + hidden_ + j] = dfv * f * (1 - f);
+        dzd[zrow + 2 * hidden_ + j] = dgv * (1 - g * g);
+        dzd[zrow + 3 * hidden_ + j] = dov * o * (1 - o);
+        dc_prev[row + j] = dcv * f;
+      }
+    }
+
+    wx_.grad += MatMulTransposeA(sc.x, dz);
+    wh_.grad += MatMulTransposeA(sc.h_prev, dz);
+    {
+      auto gb = b_.grad.data();
+      for (int r = 0; r < n; ++r) {
+        for (int j = 0; j < h4; ++j) gb[j] += dzd[std::size_t(r) * h4 + j];
+      }
+    }
+    grad_x[std::size_t(t)] = MatMulTransposeB(dz, wx_.value);
+    dh_next = MatMulTransposeB(dz, wh_.value);
+    dc_next = std::move(dc_prev);
+  }
+  return grad_x;
+}
+
+std::size_t Lstm::ForwardMacs(int steps, int batch) const {
+  const std::size_t per_step =
+      std::size_t(batch) * (std::size_t(input_) + hidden_) * 4 * hidden_;
+  return per_step * std::size_t(steps);
+}
+
+}  // namespace metro::nn

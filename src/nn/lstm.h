@@ -1,0 +1,53 @@
+#pragma once
+
+// LSTM layer with truncated-BPTT training.
+//
+// The temporal-analysis module of Sec. III-B: consumes a sequence of feature
+// vectors (one per video frame) and produces hidden states whose last element
+// feeds the behavior classifier of Fig. 7.
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace metro::nn {
+
+/// Single-direction LSTM over a sequence of (N, input) tensors.
+///
+/// Gate order in the packed weight matrices is [i, f, g, o]; forget-gate bias
+/// is initialized to +1 (the standard trick for gradient flow).
+class Lstm {
+ public:
+  Lstm(int input_size, int hidden_size, Rng& rng);
+
+  int input_size() const { return input_; }
+  int hidden_size() const { return hidden_; }
+
+  /// Runs the cell across `xs` (time-major: T tensors of shape (N, input)).
+  /// Returns the hidden state at every step. Initial h/c are zero.
+  std::vector<Tensor> Forward(const std::vector<Tensor>& xs, bool training);
+
+  /// Backpropagates through time. `grad_h[t]` is dL/dh_t (commonly zero for
+  /// all but the last step); returns dL/dx_t per step.
+  std::vector<Tensor> Backward(const std::vector<Tensor>& grad_h);
+
+  std::vector<Param*> Params() { return {&wx_, &wh_, &b_}; }
+
+  /// MACs for a T-step forward at batch size n.
+  std::size_t ForwardMacs(int steps, int batch) const;
+
+ private:
+  struct StepCache {
+    Tensor x, h_prev, c_prev;
+    Tensor i, f, g, o;  // post-activation gates, each (N, H)
+    Tensor c, tanh_c;
+  };
+
+  int input_, hidden_;
+  Param wx_;  // (input, 4H)
+  Param wh_;  // (hidden, 4H)
+  Param b_;   // (4H)
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace metro::nn

@@ -1,0 +1,59 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace metro::nn {
+
+void Sgd::Step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor(p->value.shape()));
+    Tensor& vel = it->second;
+    auto v = vel.data();
+    auto val = p->value.data();
+    auto g = p->grad.data();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      float grad = g[i] + weight_decay_ * val[i];
+      v[i] = momentum_ * v[i] + grad;
+      val[i] -= lr_ * v[i];
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, float(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, float(t_));
+  for (Param* p : params) {
+    auto [it, inserted] = slots_.try_emplace(
+        p, Slot{Tensor(p->value.shape()), Tensor(p->value.shape())});
+    Slot& slot = it->second;
+    auto m = slot.m.data();
+    auto v = slot.v.data();
+    auto val = p->value.data();
+    auto g = p->grad.data();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1 - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1 - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      val[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+void ClipGradNorm(const std::vector<Param*>& params, float max_norm) {
+  double sq = 0.0;
+  for (const Param* p : params) {
+    for (const float g : p->grad.data()) sq += double(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = float(max_norm / norm);
+  for (Param* p : params) {
+    for (auto& g : p->grad.data()) g *= scale;
+  }
+}
+
+}  // namespace metro::nn

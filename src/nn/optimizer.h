@@ -1,0 +1,66 @@
+#pragma once
+
+// Gradient-descent optimizers.
+//
+// Optimizers hold per-parameter state keyed by the Param's address, so the
+// same optimizer instance must be used with a stable parameter set.
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace metro::nn {
+
+/// Base optimizer: applies accumulated grads and zeroes them.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// One update step over `params`; clears each param's gradient after use.
+  virtual void Step(const std::vector<Param*>& params) = 0;
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  explicit Optimizer(float lr) : lr_(lr) {}
+  float lr_;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+      : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(const std::vector<Param*>& params) override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::unordered_map<Param*, Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(const std::vector<Param*>& params) override;
+
+ private:
+  struct Slot {
+    Tensor m, v;
+  };
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::unordered_map<Param*, Slot> slots_;
+};
+
+/// Clips the global L2 norm of the gradients to `max_norm` (used by the LSTM
+/// training loops to keep BPTT stable).
+void ClipGradNorm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace metro::nn

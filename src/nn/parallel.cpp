@@ -1,0 +1,101 @@
+#include "nn/parallel.h"
+
+#include <cassert>
+#include <future>
+
+namespace metro::nn {
+
+DataParallelTrainer::DataParallelTrainer(std::function<Sequential()> factory,
+                                         int replicas, ThreadPool& pool)
+    : pool_(&pool) {
+  assert(replicas >= 1);
+  replicas_.reserve(std::size_t(replicas));
+  for (int r = 0; r < replicas; ++r) replicas_.push_back(factory());
+  // Architectural identity check: same parameter shapes everywhere.
+  const auto master_params = replicas_.front().Params();
+  for (auto& replica : replicas_) {
+    const auto params = replica.Params();
+    assert(params.size() == master_params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      assert(params[i]->value.shape() == master_params[i]->value.shape());
+    }
+  }
+}
+
+void DataParallelTrainer::Broadcast() {
+  auto master_params = replicas_.front().Params();
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    auto params = replicas_[r].Params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = master_params[i]->value;
+    }
+  }
+}
+
+StepStats DataParallelTrainer::Step(const Tensor& x,
+                                    const std::vector<int>& labels,
+                                    Optimizer& optimizer) {
+  const int n = x.dim(0);
+  assert(int(labels.size()) == n);
+  const int replicas = int(replicas_.size());
+  Broadcast();
+
+  // Shard boundaries (contiguous, first shards one larger on remainder).
+  struct Shard {
+    int begin = 0, end = 0;
+    float loss = 0;
+    int correct = 0;
+  };
+  std::vector<Shard> shards(static_cast<std::size_t>(replicas));
+  const int base = n / replicas, extra = n % replicas;
+  int cursor = 0;
+  for (int r = 0; r < replicas; ++r) {
+    shards[std::size_t(r)].begin = cursor;
+    cursor += base + (r < extra ? 1 : 0);
+    shards[std::size_t(r)].end = cursor;
+  }
+
+  std::vector<std::future<void>> futures;
+  for (int r = 0; r < replicas; ++r) {
+    futures.push_back(pool_->Async([this, &x, &labels, &shards, n, r] {
+      Shard& shard = shards[std::size_t(r)];
+      const int rows = shard.end - shard.begin;
+      if (rows <= 0) return;
+      Tensor xr = x.SliceBatch(shard.begin, shard.end);
+      std::vector<int> lr(labels.begin() + shard.begin,
+                          labels.begin() + shard.end);
+      Sequential& model = replicas_[std::size_t(r)];
+      model.ZeroGrads();
+      Tensor logits = model.Forward(xr, true);
+      auto ce = tensor::CrossEntropyLoss(logits, lr);
+      // CE grads are means over the shard; rescale so the cross-replica sum
+      // is the full-batch mean.
+      Tensor grad = ce.grad;
+      grad *= float(rows) / float(n);
+      model.Backward(grad);
+      shard.loss = ce.loss * float(rows) / float(n);
+      shard.correct = ce.correct;
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  // Reduce gradients into the master.
+  auto master_params = replicas_.front().Params();
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    auto params = replicas_[r].Params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      master_params[i]->grad += params[i]->grad;
+    }
+  }
+  optimizer.Step(master_params);
+
+  StepStats stats;
+  for (const Shard& shard : shards) {
+    stats.loss += shard.loss;
+    stats.accuracy += float(shard.correct);
+  }
+  stats.accuracy /= float(n);
+  return stats;
+}
+
+}  // namespace metro::nn

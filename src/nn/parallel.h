@@ -1,0 +1,50 @@
+#pragma once
+
+// Data-parallel training (Sec. II-C1: the paper picks its DL framework
+// because it "provides model and data parallelism and can be easily
+// distributed among multiple nodes and multiple workers per node").
+//
+// Synchronous data parallelism over a thread pool: N architecturally
+// identical replicas each process a shard of the batch; shard gradients are
+// averaged (weighted by shard size) into the master replica, the optimizer
+// steps the master, and updated weights broadcast back. One Step() is
+// numerically equivalent to a full-batch step on a single model (modulo
+// floating-point summation order; BatchNorm layers would use per-shard
+// batch statistics, as in synchronous multi-worker practice).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/thread_pool.h"
+
+namespace metro::nn {
+
+/// Synchronous data-parallel trainer for Sequential classifiers.
+class DataParallelTrainer {
+ public:
+  /// `factory` must build architecturally identical models (weights may
+  /// differ; the master's are broadcast before every step).
+  DataParallelTrainer(std::function<Sequential()> factory, int replicas,
+                      ThreadPool& pool);
+
+  /// One synchronous step of cross-entropy training on (x, labels).
+  /// Returns the full-batch loss and accuracy.
+  StepStats Step(const Tensor& x, const std::vector<int>& labels,
+                 Optimizer& optimizer);
+
+  /// The master model (for evaluation / checkpointing).
+  Sequential& master() { return replicas_.front(); }
+
+  int num_replicas() const { return int(replicas_.size()); }
+
+ private:
+  void Broadcast();
+
+  std::vector<Sequential> replicas_;
+  ThreadPool* pool_;
+};
+
+}  // namespace metro::nn

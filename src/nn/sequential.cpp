@@ -1,0 +1,69 @@
+#include "nn/sequential.h"
+
+namespace metro::nn {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->Forward(h, training);
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> params;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Tensor*> Sequential::Buffers() {
+  std::vector<Tensor*> buffers;
+  for (auto& layer : layers_) {
+    for (Tensor* b : layer->Buffers()) buffers.push_back(b);
+  }
+  return buffers;
+}
+
+void Sequential::ZeroGrads() {
+  for (Param* p : Params()) p->ZeroGrad();
+}
+
+std::size_t Sequential::ForwardMacs(const Shape& input_shape) const {
+  std::size_t total = 0;
+  Shape shape = input_shape;
+  for (const auto& layer : layers_) {
+    total += layer->ForwardMacs(shape);
+    shape = layer->OutputShape(shape);
+  }
+  return total;
+}
+
+Shape Sequential::OutputShape(const Shape& input_shape) const {
+  Shape shape = input_shape;
+  for (const auto& layer : layers_) shape = layer->OutputShape(shape);
+  return shape;
+}
+
+std::string Sequential::Summary() const {
+  std::string s;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) s += " -> ";
+    s += layers_[i]->name();
+  }
+  return s;
+}
+
+}  // namespace metro::nn

@@ -1,0 +1,136 @@
+#include "nn/serialize.h"
+
+namespace metro::nn {
+
+std::string SaveParams(const std::vector<Param*>& params) {
+  ByteWriter w;
+  w.PutU32(0x4d4e4e31);  // "MNN1"
+  w.PutVarint(params.size());
+  for (const Param* p : params) {
+    w.PutString(p->name);
+    w.PutVarint(p->value.shape().size());
+    for (const int d : p->value.shape()) w.PutVarint(std::uint64_t(d));
+    for (const float v : p->value.data()) w.PutF32(v);
+  }
+  const std::uint32_t crc = Crc32c(w.data());
+  w.PutU32(crc);
+  return std::move(w).data();
+}
+
+Status LoadParams(const std::vector<Param*>& params, std::string_view bytes) {
+  if (bytes.size() < 8) return CorruptionError("checkpoint too small");
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader crc_reader(bytes.substr(bytes.size() - 4));
+  METRO_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, crc_reader.GetU32());
+  if (Crc32c(body) != stored_crc) {
+    return CorruptionError("checkpoint checksum mismatch");
+  }
+
+  ByteReader r(body);
+  METRO_ASSIGN_OR_RETURN(const std::uint32_t magic, r.GetU32());
+  if (magic != 0x4d4e4e31) return CorruptionError("bad checkpoint magic");
+  METRO_ASSIGN_OR_RETURN(const std::uint64_t count, r.GetVarint());
+  if (count != params.size()) {
+    return InvalidArgumentError("checkpoint has " + std::to_string(count) +
+                                " params, model has " +
+                                std::to_string(params.size()));
+  }
+  for (Param* p : params) {
+    METRO_ASSIGN_OR_RETURN(const std::string name, r.GetString());
+    (void)name;  // informational; matching is positional
+    METRO_ASSIGN_OR_RETURN(const std::uint64_t rank, r.GetVarint());
+    tensor::Shape shape(rank);
+    for (auto& d : shape) {
+      METRO_ASSIGN_OR_RETURN(const std::uint64_t dim, r.GetVarint());
+      d = int(dim);
+    }
+    if (shape != p->value.shape()) {
+      return InvalidArgumentError("shape mismatch for param " + p->name +
+                                  ": checkpoint " + tensor::ShapeToString(shape) +
+                                  " vs model " +
+                                  tensor::ShapeToString(p->value.shape()));
+    }
+    for (auto& v : p->value.data()) {
+      METRO_ASSIGN_OR_RETURN(v, r.GetF32());
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void WriteTensor(ByteWriter& w, const tensor::Tensor& t) {
+  w.PutVarint(t.shape().size());
+  for (const int d : t.shape()) w.PutVarint(std::uint64_t(d));
+  for (const float v : t.data()) w.PutF32(v);
+}
+
+Status ReadTensorInto(ByteReader& r, tensor::Tensor& t) {
+  METRO_ASSIGN_OR_RETURN(const std::uint64_t rank, r.GetVarint());
+  tensor::Shape shape(rank);
+  for (auto& d : shape) {
+    METRO_ASSIGN_OR_RETURN(const std::uint64_t dim, r.GetVarint());
+    d = int(dim);
+  }
+  if (shape != t.shape()) {
+    return InvalidArgumentError("buffer shape mismatch: checkpoint " +
+                                tensor::ShapeToString(shape) + " vs model " +
+                                tensor::ShapeToString(t.shape()));
+  }
+  for (auto& v : t.data()) {
+    METRO_ASSIGN_OR_RETURN(v, r.GetF32());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SaveCheckpoint(const std::vector<Param*>& params,
+                           const std::vector<tensor::Tensor*>& buffers) {
+  ByteWriter w;
+  w.PutU32(0x4d4e4e32);  // "MNN2"
+  w.PutVarint(params.size());
+  for (const Param* p : params) {
+    w.PutString(p->name);
+    WriteTensor(w, p->value);
+  }
+  w.PutVarint(buffers.size());
+  for (const tensor::Tensor* b : buffers) WriteTensor(w, *b);
+  const std::uint32_t crc = Crc32c(w.data());
+  w.PutU32(crc);
+  return std::move(w).data();
+}
+
+Status LoadCheckpoint(const std::vector<Param*>& params,
+                      const std::vector<tensor::Tensor*>& buffers,
+                      std::string_view bytes) {
+  if (bytes.size() < 8) return CorruptionError("checkpoint too small");
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader crc_reader(bytes.substr(bytes.size() - 4));
+  METRO_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, crc_reader.GetU32());
+  if (Crc32c(body) != stored_crc) {
+    return CorruptionError("checkpoint checksum mismatch");
+  }
+  ByteReader r(body);
+  METRO_ASSIGN_OR_RETURN(const std::uint32_t magic, r.GetU32());
+  if (magic != 0x4d4e4e32) return CorruptionError("bad checkpoint magic");
+  METRO_ASSIGN_OR_RETURN(const std::uint64_t param_count, r.GetVarint());
+  if (param_count != params.size()) {
+    return InvalidArgumentError("checkpoint param count mismatch");
+  }
+  for (Param* p : params) {
+    METRO_ASSIGN_OR_RETURN(const std::string name, r.GetString());
+    (void)name;
+    METRO_RETURN_IF_ERROR(ReadTensorInto(r, p->value));
+  }
+  METRO_ASSIGN_OR_RETURN(const std::uint64_t buffer_count, r.GetVarint());
+  if (buffer_count != buffers.size()) {
+    return InvalidArgumentError("checkpoint buffer count mismatch");
+  }
+  for (tensor::Tensor* b : buffers) {
+    METRO_RETURN_IF_ERROR(ReadTensorInto(r, *b));
+  }
+  return Status::Ok();
+}
+
+}  // namespace metro::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+// Model checkpointing.
+//
+// Parameters serialize in order (shape + raw floats + checksum), so a model
+// can be trained on an "analysis server" and its first half shipped to an
+// edge device — the deployment story of Figs. 5 and 7.
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace metro::nn {
+
+/// Serializes `params` (shapes and values) with a trailing CRC32C.
+std::string SaveParams(const std::vector<Param*>& params);
+
+/// Restores into `params`; shapes must match exactly and the checksum must
+/// verify, else kCorruption / kInvalidArgument.
+Status LoadParams(const std::vector<Param*>& params, std::string_view bytes);
+
+/// Full deployment checkpoint: trainable parameters plus non-trainable
+/// buffers (BatchNorm running statistics). This is what must ship to an
+/// edge device — LoadParams alone leaves a BatchNorm model normalizing
+/// with fresh statistics.
+std::string SaveCheckpoint(const std::vector<Param*>& params,
+                           const std::vector<tensor::Tensor*>& buffers);
+
+Status LoadCheckpoint(const std::vector<Param*>& params,
+                      const std::vector<tensor::Tensor*>& buffers,
+                      std::string_view bytes);
+
+}  // namespace metro::nn

@@ -1,0 +1,213 @@
+#include "sched/resource_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace metro::sched {
+
+int ResourceManager::AddNode(Resource capacity) {
+  std::lock_guard lock(mu_);
+  nodes_.push_back(Node{capacity, {0, 0}});
+  return int(nodes_.size()) - 1;
+}
+
+void ResourceManager::SetQueueShare(const std::string& queue, double share) {
+  std::lock_guard lock(mu_);
+  queue_share_[queue] = share;
+}
+
+std::uint64_t ResourceManager::SubmitApp(AppSpec spec) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_app_++;
+  apps_.emplace(id, App{std::move(spec), 0, false});
+  return id;
+}
+
+Status ResourceManager::RequestContainers(std::uint64_t app_id,
+                                          Resource resource, int count) {
+  std::lock_guard lock(mu_);
+  const auto it = apps_.find(app_id);
+  if (it == apps_.end()) return NotFoundError("unknown app");
+  if (it->second.finished) return FailedPreconditionError("app finished");
+  if (count <= 0 || resource.vcores <= 0 || resource.memory_mb <= 0) {
+    return InvalidArgumentError("bad container request");
+  }
+  for (int i = 0; i < count; ++i) pending_.push_back(Request{app_id, resource});
+  return Status::Ok();
+}
+
+std::optional<int> ResourceManager::PickNode(const Resource& r) const {
+  std::optional<int> best;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!Fits(n, r)) continue;
+    const double load =
+        double(n.used.vcores) / std::max(n.capacity.vcores, 1) +
+        double(n.used.memory_mb) / double(std::max<std::int64_t>(n.capacity.memory_mb, 1));
+    if (load < best_load) {
+      best_load = load;
+      best = int(i);
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> ResourceManager::PickRequest() const {
+  if (pending_.empty()) return std::nullopt;
+  switch (policy_) {
+    case Policy::kFifo: {
+      // Strict order: only the head may run.
+      if (PickNode(pending_.front().resource)) return std::size_t{0};
+      return std::nullopt;
+    }
+    case Policy::kFair: {
+      // Request from the app with the fewest allocated vcores that fits.
+      std::optional<std::size_t> best;
+      std::int64_t best_alloc = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const auto ait = apps_.find(pending_[i].app_id);
+        if (ait == apps_.end()) continue;
+        if (ait->second.allocated_vcores < best_alloc &&
+            PickNode(pending_[i].resource)) {
+          best_alloc = ait->second.allocated_vcores;
+          best = i;
+        }
+      }
+      return best;
+    }
+    case Policy::kCapacity: {
+      // Queue furthest below its guaranteed share goes first.
+      double total_share = 0;
+      for (const auto& [q, s] : queue_share_) total_share += s;
+      std::int64_t total_used = 0;
+      for (const auto& [q, used] : queue_used_vcores_) total_used += used;
+
+      std::optional<std::size_t> best;
+      double best_deficit = -std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const auto ait = apps_.find(pending_[i].app_id);
+        if (ait == apps_.end()) continue;
+        const std::string& queue = ait->second.spec.queue;
+        const auto sit = queue_share_.find(queue);
+        const double share =
+            (sit != queue_share_.end() && total_share > 0)
+                ? sit->second / total_share
+                : 1.0 / std::max<std::size_t>(queue_share_.size(), 1);
+        const auto uit = queue_used_vcores_.find(queue);
+        const double used = uit == queue_used_vcores_.end() ? 0 : double(uit->second);
+        const double frac = total_used == 0 ? 0 : used / double(total_used);
+        const double deficit = share - frac;
+        if (deficit > best_deficit && PickNode(pending_[i].resource)) {
+          best_deficit = deficit;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Container> ResourceManager::Schedule() {
+  std::lock_guard lock(mu_);
+  std::vector<Container> granted;
+  while (true) {
+    const auto pick = PickRequest();
+    if (!pick) break;
+    const Request req = pending_[*pick];
+    pending_.erase(pending_.begin() + std::ptrdiff_t(*pick));
+    const auto node = PickNode(req.resource);
+    if (!node) continue;  // raced with capacity; retry next pass
+
+    Node& n = nodes_[std::size_t(*node)];
+    n.used.vcores += req.resource.vcores;
+    n.used.memory_mb += req.resource.memory_mb;
+
+    Container c;
+    c.id = next_container_++;
+    c.app_id = req.app_id;
+    c.node = *node;
+    c.resource = req.resource;
+    live_.emplace(c.id, c);
+    granted.push_back(c);
+
+    App& app = apps_.at(req.app_id);
+    app.allocated_vcores += req.resource.vcores;
+    queue_used_vcores_[app.spec.queue] += req.resource.vcores;
+    ++stats_.containers_granted;
+  }
+  stats_.pending_requests = std::int64_t(pending_.size());
+  return granted;
+}
+
+Status ResourceManager::ReleaseContainer(std::uint64_t container_id) {
+  std::lock_guard lock(mu_);
+  const auto it = live_.find(container_id);
+  if (it == live_.end()) return NotFoundError("unknown container");
+  const Container& c = it->second;
+  Node& n = nodes_[std::size_t(c.node)];
+  n.used.vcores -= c.resource.vcores;
+  n.used.memory_mb -= c.resource.memory_mb;
+  const auto ait = apps_.find(c.app_id);
+  if (ait != apps_.end()) {
+    ait->second.allocated_vcores -= c.resource.vcores;
+    queue_used_vcores_[ait->second.spec.queue] -= c.resource.vcores;
+  }
+  live_.erase(it);
+  ++stats_.containers_released;
+  return Status::Ok();
+}
+
+Status ResourceManager::FinishApp(std::uint64_t app_id) {
+  std::vector<std::uint64_t> to_release;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = apps_.find(app_id);
+    if (it == apps_.end()) return NotFoundError("unknown app");
+    it->second.finished = true;
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&](const Request& r) {
+                                    return r.app_id == app_id;
+                                  }),
+                   pending_.end());
+    for (const auto& [id, c] : live_) {
+      if (c.app_id == app_id) to_release.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : to_release) {
+    METRO_RETURN_IF_ERROR(ReleaseContainer(id));
+  }
+  return Status::Ok();
+}
+
+SchedulerStats ResourceManager::Stats() const {
+  std::lock_guard lock(mu_);
+  SchedulerStats s = stats_;
+  s.pending_requests = std::int64_t(pending_.size());
+  return s;
+}
+
+Result<Resource> ResourceManager::NodeAvailable(int node) const {
+  std::lock_guard lock(mu_);
+  if (node < 0 || std::size_t(node) >= nodes_.size()) {
+    return InvalidArgumentError("bad node id");
+  }
+  const Node& n = nodes_[std::size_t(node)];
+  return Resource{n.capacity.vcores - n.used.vcores,
+                  n.capacity.memory_mb - n.used.memory_mb};
+}
+
+std::vector<Container> ResourceManager::AppContainers(
+    std::uint64_t app_id) const {
+  std::lock_guard lock(mu_);
+  std::vector<Container> out;
+  for (const auto& [id, c] : live_) {
+    if (c.app_id == app_id) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Container& a, const Container& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace metro::sched

@@ -1,0 +1,126 @@
+#pragma once
+
+// Cluster resource scheduler (the YARN role in Sec. II-C2).
+//
+// A ResourceManager tracks NodeManager capacities (vcores, memory) and
+// places application container requests under a pluggable policy: FIFO
+// (strict submission order), Fair (least-allocated application first), or
+// Capacity (per-queue guaranteed shares). The dataflow engine acquires its
+// task slots through this scheduler in the integrated pipeline.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metro::sched {
+
+/// Container resource ask/grant.
+struct Resource {
+  int vcores = 1;
+  std::int64_t memory_mb = 1024;
+};
+
+/// A granted container.
+struct Container {
+  std::uint64_t id = 0;
+  std::uint64_t app_id = 0;
+  int node = 0;
+  Resource resource;
+};
+
+enum class Policy { kFifo, kFair, kCapacity };
+
+/// Application submission descriptor.
+struct AppSpec {
+  std::string name;
+  std::string queue = "default";  ///< kCapacity only
+};
+
+/// Live scheduler counters.
+struct SchedulerStats {
+  std::int64_t containers_granted = 0;
+  std::int64_t containers_released = 0;
+  std::int64_t pending_requests = 0;
+};
+
+/// The cluster resource manager.
+class ResourceManager {
+ public:
+  explicit ResourceManager(Policy policy) : policy_(policy) {}
+
+  /// Registers a NodeManager with the given capacity; returns its node id.
+  int AddNode(Resource capacity);
+
+  /// Sets a queue's guaranteed capacity share (kCapacity policy). Shares are
+  /// weights, normalized across queues.
+  void SetQueueShare(const std::string& queue, double share);
+
+  /// Submits an application; returns its id.
+  std::uint64_t SubmitApp(AppSpec spec);
+
+  /// Queues a container request for the app.
+  Status RequestContainers(std::uint64_t app_id, Resource resource, int count);
+
+  /// Runs one scheduling pass, granting as many queued requests as capacity
+  /// and policy allow; returns the granted containers.
+  std::vector<Container> Schedule();
+
+  /// Returns a container's resources to its node.
+  Status ReleaseContainer(std::uint64_t container_id);
+
+  /// Releases all containers of an app and drops its pending requests.
+  Status FinishApp(std::uint64_t app_id);
+
+  SchedulerStats Stats() const;
+
+  /// Free resources on a node.
+  Result<Resource> NodeAvailable(int node) const;
+
+  /// Containers currently allocated to the app.
+  std::vector<Container> AppContainers(std::uint64_t app_id) const;
+
+ private:
+  struct Node {
+    Resource capacity;
+    Resource used;
+  };
+  struct Request {
+    std::uint64_t app_id;
+    Resource resource;
+  };
+  struct App {
+    AppSpec spec;
+    std::int64_t allocated_vcores = 0;
+    bool finished = false;
+  };
+
+  bool Fits(const Node& n, const Resource& r) const {
+    return n.capacity.vcores - n.used.vcores >= r.vcores &&
+           n.capacity.memory_mb - n.used.memory_mb >= r.memory_mb;
+  }
+  /// Least-loaded node that fits, or nullopt.
+  std::optional<int> PickNode(const Resource& r) const;
+  /// Picks the next request index per policy, or nullopt when none can run.
+  std::optional<std::size_t> PickRequest() const;
+
+  Policy policy_;
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, App> apps_;
+  std::deque<Request> pending_;
+  std::unordered_map<std::uint64_t, Container> live_;
+  std::map<std::string, double> queue_share_;
+  std::map<std::string, std::int64_t> queue_used_vcores_;
+  std::uint64_t next_app_ = 1;
+  std::uint64_t next_container_ = 1;
+  SchedulerStats stats_;
+};
+
+}  // namespace metro::sched

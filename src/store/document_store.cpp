@@ -1,0 +1,247 @@
+#include "store/document_store.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace metro::store {
+
+std::string ToJson(const Document& doc) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out.push_back(c);
+      }
+    }
+    return out;
+  };
+  for (const auto& [field, value] : doc) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(field) << "\":";
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, std::string>) {
+            os << '"' << escape(v) << '"';
+          } else if constexpr (std::is_same_v<T, bool>) {
+            os << (v ? "true" : "false");
+          } else {
+            os << v;
+          }
+        },
+        value);
+  }
+  os << '}';
+  return os.str();
+}
+
+std::optional<double> AsNumber(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return double(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? 1.0 : 0.0;
+  return std::nullopt;
+}
+
+std::string Collection::IndexKey(const Value& v) {
+  // Type-tagged so int64(1) and "1" index differently.
+  return std::visit(
+      [](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::string>) return "s:" + x;
+        else if constexpr (std::is_same_v<T, bool>) return std::string(x ? "b:1" : "b:0");
+        else if constexpr (std::is_same_v<T, double>) return "d:" + std::to_string(x);
+        else return "i:" + std::to_string(x);
+      },
+      v);
+}
+
+std::size_t Collection::size() const {
+  std::lock_guard lock(mu_);
+  return docs_.size();
+}
+
+void Collection::IndexDoc(DocId id, const Document& doc) {
+  for (auto& [field, posting] : indexes_) {
+    const auto it = doc.find(field);
+    if (it != doc.end()) posting[IndexKey(it->second)].push_back(id);
+  }
+  if (geo_index_) {
+    const auto lat = doc.find(geo_index_->lat_field);
+    const auto lon = doc.find(geo_index_->lon_field);
+    if (lat != doc.end() && lon != doc.end()) {
+      const auto latn = AsNumber(lat->second);
+      const auto lonn = AsNumber(lon->second);
+      if (latn && lonn) geo_index_->index.Insert(id, {*latn, *lonn});
+    }
+  }
+}
+
+void Collection::UnindexDoc(DocId id, const Document& doc) {
+  for (auto& [field, posting] : indexes_) {
+    const auto it = doc.find(field);
+    if (it == doc.end()) continue;
+    const auto pit = posting.find(IndexKey(it->second));
+    if (pit == posting.end()) continue;
+    auto& ids = pit->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) posting.erase(pit);
+  }
+  if (geo_index_) {
+    const auto lat = doc.find(geo_index_->lat_field);
+    const auto lon = doc.find(geo_index_->lon_field);
+    if (lat != doc.end() && lon != doc.end()) {
+      const auto latn = AsNumber(lat->second);
+      const auto lonn = AsNumber(lon->second);
+      if (latn && lonn) (void)geo_index_->index.Remove(id, {*latn, *lonn});
+    }
+  }
+}
+
+DocId Collection::Insert(Document doc) {
+  std::lock_guard lock(mu_);
+  const DocId id = next_id_++;
+  IndexDoc(id, doc);
+  docs_.emplace(id, std::move(doc));
+  return id;
+}
+
+Result<Document> Collection::FindById(DocId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
+  return it->second;
+}
+
+Status Collection::Update(DocId id, Document doc) {
+  std::lock_guard lock(mu_);
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
+  UnindexDoc(id, it->second);
+  it->second = std::move(doc);
+  IndexDoc(id, it->second);
+  return Status::Ok();
+}
+
+Status Collection::Remove(DocId id) {
+  std::lock_guard lock(mu_);
+  const auto it = docs_.find(id);
+  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
+  UnindexDoc(id, it->second);
+  docs_.erase(it);
+  return Status::Ok();
+}
+
+Status Collection::CreateIndex(const std::string& field) {
+  std::lock_guard lock(mu_);
+  auto& posting = indexes_[field];
+  posting.clear();
+  for (const auto& [id, doc] : docs_) {
+    const auto it = doc.find(field);
+    if (it != doc.end()) posting[IndexKey(it->second)].push_back(id);
+  }
+  return Status::Ok();
+}
+
+Status Collection::CreateGeoIndex(const std::string& lat_field,
+                                  const std::string& lon_field) {
+  std::lock_guard lock(mu_);
+  geo_index_.emplace(GeoIndexSpec{lat_field, lon_field, geo::GridIndex()});
+  for (const auto& [id, doc] : docs_) {
+    const auto lat = doc.find(lat_field);
+    const auto lon = doc.find(lon_field);
+    if (lat != doc.end() && lon != doc.end()) {
+      const auto latn = AsNumber(lat->second);
+      const auto lonn = AsNumber(lon->second);
+      if (latn && lonn) geo_index_->index.Insert(id, {*latn, *lonn});
+    }
+  }
+  return Status::Ok();
+}
+
+bool Collection::Matches(const Document& doc, const Query& query) const {
+  for (const Condition& cond : query.conditions) {
+    const auto it = doc.find(cond.field);
+    if (it == doc.end()) return false;
+    if (cond.op == Condition::Op::kEquals) {
+      if (!(it->second == cond.equals)) return false;
+    } else {
+      const auto num = AsNumber(it->second);
+      if (!num || *num < cond.lo || *num > cond.hi) return false;
+    }
+  }
+  if (query.near_center) {
+    const auto& spec = geo_index_;
+    // Without a geo index, fall back to canonical field names.
+    const std::string lat_field = spec ? spec->lat_field : "lat";
+    const std::string lon_field = spec ? spec->lon_field : "lon";
+    const auto lat = doc.find(lat_field);
+    const auto lon = doc.find(lon_field);
+    if (lat == doc.end() || lon == doc.end()) return false;
+    const auto latn = AsNumber(lat->second);
+    const auto lonn = AsNumber(lon->second);
+    if (!latn || !lonn) return false;
+    if (geo::HaversineMeters(*query.near_center, {*latn, *lonn}) >
+        query.near_radius_m) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<DocId> Collection::Find(const Query& query) const {
+  std::lock_guard lock(mu_);
+  // Pick the cheapest candidate source: an equality index, the geo index,
+  // else a full scan. Remaining conditions filter the candidates.
+  std::vector<DocId> candidates;
+  bool have_candidates = false;
+
+  for (const Condition& cond : query.conditions) {
+    if (cond.op != Condition::Op::kEquals) continue;
+    const auto idx = indexes_.find(cond.field);
+    if (idx == indexes_.end()) continue;
+    const auto pit = idx->second.find(IndexKey(cond.equals));
+    candidates = pit == idx->second.end() ? std::vector<DocId>{} : pit->second;
+    have_candidates = true;
+    break;
+  }
+  if (!have_candidates && query.near_center && geo_index_) {
+    const auto ids =
+        geo_index_->index.QueryRadius(*query.near_center, query.near_radius_m);
+    candidates.assign(ids.begin(), ids.end());
+    have_candidates = true;
+  }
+  if (!have_candidates) {
+    candidates.reserve(docs_.size());
+    for (const auto& [id, doc] : docs_) candidates.push_back(id);
+  }
+
+  std::vector<DocId> out;
+  for (const DocId id : candidates) {
+    const auto it = docs_.find(id);
+    if (it != docs_.end() && Matches(it->second, query)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Document> Collection::FindDocs(const Query& query) const {
+  std::vector<Document> out;
+  for (const DocId id : Find(query)) {
+    std::lock_guard lock(mu_);
+    const auto it = docs_.find(id);
+    if (it != docs_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace metro::store

@@ -1,0 +1,110 @@
+#pragma once
+
+// Document store (the MongoDB role in Sec. II-C2).
+//
+// Collections of schemaless documents (flat field -> value maps) with
+// secondary hash indexes, numeric range queries, and a geospatial index —
+// the store behind tweets, Waze reports, and open city records, and the
+// query engine for the SNA application's geo-temporal narrowing.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/status.h"
+
+namespace metro::store {
+
+/// Field value: the JSON-ish scalar types the city feeds use.
+using Value = std::variant<std::int64_t, double, bool, std::string>;
+
+/// Flat document.
+using Document = std::map<std::string, Value>;
+
+/// Document id assigned at insert.
+using DocId = std::uint64_t;
+
+/// Serializes a document as a single-line JSON object (for export and the
+/// web/visualization sink).
+std::string ToJson(const Document& doc);
+
+/// Numeric view of a value (bool -> 0/1; strings have no numeric view).
+std::optional<double> AsNumber(const Value& v);
+
+/// One query condition.
+struct Condition {
+  enum class Op { kEquals, kRangeNumeric };
+  std::string field;
+  Op op = Op::kEquals;
+  Value equals;          ///< kEquals
+  double lo = 0, hi = 0; ///< kRangeNumeric: lo <= x <= hi
+};
+
+/// Conjunctive query with an optional geo-radius clause.
+struct Query {
+  std::vector<Condition> conditions;
+  std::optional<geo::LatLon> near_center;
+  double near_radius_m = 0;
+};
+
+/// A mutable collection of documents.
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const;
+
+  /// Inserts and returns the new document's id.
+  DocId Insert(Document doc);
+
+  Result<Document> FindById(DocId id) const;
+
+  /// Replaces the document (indexes update automatically).
+  Status Update(DocId id, Document doc);
+
+  Status Remove(DocId id);
+
+  /// Builds (or rebuilds) a hash index on `field` for kEquals conditions.
+  Status CreateIndex(const std::string& field);
+
+  /// Builds a geo index over `lat_field`/`lon_field` (documents lacking the
+  /// fields are simply not indexed).
+  Status CreateGeoIndex(const std::string& lat_field,
+                        const std::string& lon_field);
+
+  /// Ids matching all conditions (uses indexes when available, otherwise
+  /// scans), ascending.
+  std::vector<DocId> Find(const Query& query) const;
+
+  /// Convenience: the matching documents themselves.
+  std::vector<Document> FindDocs(const Query& query) const;
+
+ private:
+  static std::string IndexKey(const Value& v);
+  bool Matches(const Document& doc, const Query& query) const;
+  void IndexDoc(DocId id, const Document& doc);
+  void UnindexDoc(DocId id, const Document& doc);
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<DocId, Document> docs_;
+  DocId next_id_ = 1;
+  // field -> (value key -> ids)
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<DocId>>>
+      indexes_;
+  struct GeoIndexSpec {
+    std::string lat_field, lon_field;
+    geo::GridIndex index;
+  };
+  std::optional<GeoIndexSpec> geo_index_;
+};
+
+}  // namespace metro::store

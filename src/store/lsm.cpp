@@ -1,0 +1,201 @@
+#include "store/lsm.h"
+
+#include <algorithm>
+
+namespace metro::store {
+namespace {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+
+}  // namespace
+
+LsmEngine::LsmEngine(LsmConfig config) : config_(config) {}
+
+void LsmEngine::AppendWal(std::string_view key,
+                          std::optional<std::string_view> value) {
+  // Record: [u32 len][payload][u32 crc(payload)] where payload is
+  // [u8 op][string key][string value?].
+  ByteWriter payload;
+  payload.PutU8(value ? kOpPut : kOpDelete);
+  payload.PutString(key);
+  if (value) payload.PutString(*value);
+  ByteWriter rec;
+  rec.PutU32(std::uint32_t(payload.size()));
+  rec.PutRaw(payload.data());
+  rec.PutU32(Crc32c(payload.data()));
+  wal_ += rec.data();
+}
+
+Status LsmEngine::Write(std::string_view key,
+                        std::optional<std::string_view> value) {
+  if (key.empty()) return InvalidArgumentError("empty key");
+  std::lock_guard lock(mu_);
+  AppendWal(key, value);
+  auto it = memtable_.find(key);
+  const std::size_t add =
+      key.size() + (value ? value->size() : 0) + 32 /*node overhead*/;
+  if (it != memtable_.end()) {
+    memtable_bytes_ -= it->first.size() + (it->second ? it->second->size() : 0) + 32;
+    it->second = value ? std::optional<std::string>(std::string(*value))
+                       : std::nullopt;
+  } else {
+    memtable_.emplace(std::string(key),
+                      value ? std::optional<std::string>(std::string(*value))
+                            : std::nullopt);
+  }
+  memtable_bytes_ += add;
+  MaybeFlushLocked();
+  return Status::Ok();
+}
+
+Status LsmEngine::Put(std::string_view key, std::string_view value) {
+  return Write(key, value);
+}
+
+Status LsmEngine::Delete(std::string_view key) {
+  return Write(key, std::nullopt);
+}
+
+Result<std::string> LsmEngine::Get(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  const auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (!mit->second) return NotFoundError(std::string(key));
+    return *mit->second;
+  }
+  // Newest SSTable wins.
+  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
+    const auto& entries = it->entries;
+    const auto eit = std::lower_bound(
+        entries.begin(), entries.end(), key,
+        [](const auto& entry, std::string_view k) { return entry.first < k; });
+    if (eit != entries.end() && eit->first == key) {
+      if (!eit->second) return NotFoundError(std::string(key));
+      return *eit->second;
+    }
+  }
+  return NotFoundError(std::string(key));
+}
+
+std::vector<std::pair<std::string, std::string>> LsmEngine::Scan(
+    std::string_view begin, std::string_view end, std::size_t limit) const {
+  std::lock_guard lock(mu_);
+  // Merge view: memtable shadows all SSTables; newer SSTables shadow older.
+  std::map<std::string, std::optional<std::string>, std::less<>> merged;
+  auto in_range = [&](std::string_view k) {
+    return k >= begin && (end.empty() || k < end);
+  };
+  for (const SsTable& sst : sstables_) {  // oldest -> newest so newer wins
+    for (const auto& [k, v] : sst.entries) {
+      if (in_range(k)) merged[k] = v;
+    }
+  }
+  for (const auto& [k, v] : memtable_) {
+    if (in_range(k)) merged[k] = v;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [k, v] : merged) {
+    if (!v) continue;  // tombstone
+    out.emplace_back(k, *v);
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+void LsmEngine::MaybeFlushLocked() {
+  if (memtable_bytes_ < config_.memtable_limit_bytes) return;
+  SsTable sst;
+  sst.entries.reserve(memtable_.size());
+  for (auto& [k, v] : memtable_) sst.entries.emplace_back(k, v);
+  sstables_.push_back(std::move(sst));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.seals;
+  if (sstables_.size() >= config_.compaction_trigger) CompactLocked();
+}
+
+Status LsmEngine::Flush() {
+  std::lock_guard lock(mu_);
+  if (memtable_.empty()) return Status::Ok();
+  SsTable sst;
+  sst.entries.reserve(memtable_.size());
+  for (auto& [k, v] : memtable_) sst.entries.emplace_back(k, v);
+  sstables_.push_back(std::move(sst));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.seals;
+  return Status::Ok();
+}
+
+void LsmEngine::CompactLocked() {
+  if (sstables_.size() <= 1) return;
+  std::map<std::string, std::optional<std::string>> merged;
+  for (const SsTable& sst : sstables_) {  // oldest -> newest
+    for (const auto& [k, v] : sst.entries) merged[k] = v;
+  }
+  SsTable compacted;
+  compacted.entries.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (v) compacted.entries.emplace_back(k, std::move(v));
+    // Tombstones drop: nothing older remains to shadow.
+  }
+  sstables_.clear();
+  if (!compacted.entries.empty()) sstables_.push_back(std::move(compacted));
+  ++stats_.compactions;
+}
+
+Status LsmEngine::CompactAll() {
+  std::lock_guard lock(mu_);
+  CompactLocked();
+  return Status::Ok();
+}
+
+LsmStats LsmEngine::Stats() const {
+  std::lock_guard lock(mu_);
+  LsmStats s = stats_;
+  s.memtable_entries = memtable_.size();
+  s.memtable_bytes = memtable_bytes_;
+  s.num_sstables = sstables_.size();
+  for (const SsTable& sst : sstables_) s.sstable_entries += sst.entries.size();
+  return s;
+}
+
+std::pair<std::string, std::string> LsmEngine::KeyRange() const {
+  auto rows = Scan("", "", SIZE_MAX);
+  if (rows.empty()) return {};
+  return {rows.front().first, rows.back().first};
+}
+
+std::size_t LsmEngine::ApproxEntries() const { return Scan("", "").size(); }
+
+Result<std::int64_t> LsmEngine::RecoverFromWal(std::string_view wal) {
+  std::int64_t applied = 0;
+  std::size_t pos = 0;
+  while (pos + 4 <= wal.size()) {
+    ByteReader header(wal.substr(pos, 4));
+    const std::uint32_t len = header.GetU32().value();
+    if (pos + 4 + len + 4 > wal.size()) break;  // truncated tail
+    const std::string_view payload = wal.substr(pos + 4, len);
+    ByteReader crc_reader(wal.substr(pos + 4 + len, 4));
+    if (Crc32c(payload) != crc_reader.GetU32().value()) break;  // corrupt tail
+    ByteReader r(payload);
+    auto op = r.GetU8();
+    auto key = op.ok() ? r.GetString() : Result<std::string>(op.status());
+    if (!key.ok()) break;
+    if (op.value() == kOpPut) {
+      auto value = r.GetString();
+      if (!value.ok()) break;
+      METRO_RETURN_IF_ERROR(Put(*key, *value));
+    } else if (op.value() == kOpDelete) {
+      METRO_RETURN_IF_ERROR(Delete(*key));
+    } else {
+      break;
+    }
+    ++applied;
+    pos += 4 + len + 4;
+  }
+  return applied;
+}
+
+}  // namespace metro::store

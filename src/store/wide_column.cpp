@@ -1,0 +1,154 @@
+#include "store/wide_column.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace metro::store {
+
+namespace {
+constexpr char kSep = '\x01';
+}
+
+WideColumnTable::WideColumnTable(std::string name, WideColumnConfig config)
+    : name_(std::move(name)), config_(config) {
+  regions_.push_back(
+      Region{"", std::make_unique<LsmEngine>(config_.lsm)});
+}
+
+std::string WideColumnTable::EncodeKey(std::string_view row,
+                                       std::string_view column) {
+  std::string key;
+  key.reserve(row.size() + 1 + column.size());
+  key.append(row);
+  key.push_back(kSep);
+  key.append(column);
+  return key;
+}
+
+std::pair<std::string, std::string> WideColumnTable::DecodeKey(
+    std::string_view key) {
+  const auto sep = key.find(kSep);
+  assert(sep != std::string_view::npos);
+  return {std::string(key.substr(0, sep)), std::string(key.substr(sep + 1))};
+}
+
+std::size_t WideColumnTable::RegionFor(std::string_view row) const {
+  // Last region whose start_row <= row.
+  std::size_t lo = 0;
+  for (std::size_t i = 1; i < regions_.size(); ++i) {
+    if (regions_[i].start_row <= row) {
+      lo = i;
+    } else {
+      break;
+    }
+  }
+  return lo;
+}
+
+Status WideColumnTable::Put(std::string_view row, std::string_view column,
+                            std::string_view value) {
+  if (row.empty()) return InvalidArgumentError("empty row key");
+  if (row.find(kSep) != std::string_view::npos) {
+    return InvalidArgumentError("row key contains reserved byte 0x01");
+  }
+  std::lock_guard lock(mu_);
+  return regions_[RegionFor(row)].engine->Put(EncodeKey(row, column), value);
+}
+
+Result<std::string> WideColumnTable::Get(std::string_view row,
+                                         std::string_view column) const {
+  std::lock_guard lock(mu_);
+  return regions_[RegionFor(row)].engine->Get(EncodeKey(row, column));
+}
+
+std::map<std::string, std::string> WideColumnTable::GetRow(
+    std::string_view row) const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::string> out;
+  std::string begin = EncodeKey(row, "");
+  std::string end = std::string(row);
+  end.push_back(kSep + 1);  // just past every column of this row
+  for (auto& [key, value] :
+       regions_[RegionFor(row)].engine->Scan(begin, end)) {
+    out.emplace(DecodeKey(key).second, std::move(value));
+  }
+  return out;
+}
+
+Status WideColumnTable::DeleteCell(std::string_view row,
+                                   std::string_view column) {
+  std::lock_guard lock(mu_);
+  return regions_[RegionFor(row)].engine->Delete(EncodeKey(row, column));
+}
+
+std::size_t WideColumnTable::DeleteRow(std::string_view row) {
+  std::lock_guard lock(mu_);
+  LsmEngine& engine = *regions_[RegionFor(row)].engine;
+  std::string begin = EncodeKey(row, "");
+  std::string end = std::string(row);
+  end.push_back(kSep + 1);
+  const auto cells = engine.Scan(begin, end);
+  for (const auto& [key, value] : cells) (void)engine.Delete(key);
+  return cells.size();
+}
+
+std::vector<Cell> WideColumnTable::Scan(std::string_view begin_row,
+                                        std::string_view end_row,
+                                        std::size_t limit) const {
+  std::lock_guard lock(mu_);
+  std::vector<Cell> out;
+  const std::string begin_key =
+      begin_row.empty() ? std::string() : EncodeKey(begin_row, "");
+  const std::string end_key =
+      end_row.empty() ? std::string() : EncodeKey(end_row, "");
+  for (const Region& region : regions_) {
+    if (out.size() >= limit) break;
+    for (auto& [key, value] :
+         region.engine->Scan(begin_key, end_key, limit - out.size())) {
+      auto [row, column] = DecodeKey(key);
+      out.push_back(Cell{std::move(row), std::move(column), std::move(value)});
+    }
+  }
+  return out;
+}
+
+int WideColumnTable::MaybeSplitRegions() {
+  std::lock_guard lock(mu_);
+  int splits = 0;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto rows = regions_[i].engine->Scan("", "");
+    if (rows.size() < config_.region_split_threshold) continue;
+    // Split at the median *row* boundary (a row never straddles regions).
+    const std::string mid_row = DecodeKey(rows[rows.size() / 2].first).first;
+    if (mid_row <= regions_[i].start_row) continue;  // degenerate: one row
+
+    auto upper = std::make_unique<LsmEngine>(config_.lsm);
+    const std::string split_key = EncodeKey(mid_row, "");
+    for (const auto& [key, value] : rows) {
+      if (key >= split_key) {
+        (void)upper->Put(key, value);
+        (void)regions_[i].engine->Delete(key);
+      }
+    }
+    (void)regions_[i].engine->CompactAll();
+    regions_.insert(regions_.begin() + std::ptrdiff_t(i) + 1,
+                    Region{mid_row, std::move(upper)});
+    ++splits;
+    ++i;  // skip the freshly created region this pass
+  }
+  return splits;
+}
+
+int WideColumnTable::num_regions() const {
+  std::lock_guard lock(mu_);
+  return int(regions_.size());
+}
+
+std::size_t WideColumnTable::ApproxCells() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const Region& region : regions_) total += region.engine->ApproxEntries();
+  return total;
+}
+
+}  // namespace metro::store

@@ -1,0 +1,86 @@
+#pragma once
+
+// Wide-column store (the HBase role in Sec. II-C2).
+//
+// A table is a sorted map of (row, column) -> value served by one or more
+// key-range *regions*, each backed by an LSM engine. Hot regions split at
+// their median row when they exceed a size threshold, mirroring HBase's
+// region lifecycle. Rows and columns are arbitrary strings except that rows
+// must not contain the 0x01 separator byte.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/lsm.h"
+
+namespace metro::store {
+
+/// Table tuning.
+struct WideColumnConfig {
+  LsmConfig lsm;
+  std::size_t region_split_threshold = 4096;  ///< entries before a split
+};
+
+/// One (row, column, value) cell.
+struct Cell {
+  std::string row;
+  std::string column;
+  std::string value;
+};
+
+/// A sorted, range-partitioned wide-column table.
+class WideColumnTable {
+ public:
+  explicit WideColumnTable(std::string name, WideColumnConfig config = {});
+
+  const std::string& name() const { return name_; }
+
+  Status Put(std::string_view row, std::string_view column,
+             std::string_view value);
+
+  Result<std::string> Get(std::string_view row, std::string_view column) const;
+
+  /// All columns of a row (empty map when the row has no cells).
+  std::map<std::string, std::string> GetRow(std::string_view row) const;
+
+  Status DeleteCell(std::string_view row, std::string_view column);
+
+  /// Deletes every cell of the row; returns the number removed.
+  std::size_t DeleteRow(std::string_view row);
+
+  /// Cells with begin_row <= row < end_row (end empty = unbounded), ordered
+  /// by (row, column).
+  std::vector<Cell> Scan(std::string_view begin_row, std::string_view end_row,
+                         std::size_t limit = SIZE_MAX) const;
+
+  /// Checks split thresholds and splits oversized regions; returns the number
+  /// of splits performed (normally driven after bulk loads).
+  int MaybeSplitRegions();
+
+  int num_regions() const;
+
+  /// Sum of live cells across regions.
+  std::size_t ApproxCells() const;
+
+ private:
+  struct Region {
+    std::string start_row;  ///< inclusive; first region uses ""
+    std::unique_ptr<LsmEngine> engine;
+  };
+
+  static std::string EncodeKey(std::string_view row, std::string_view column);
+  static std::pair<std::string, std::string> DecodeKey(std::string_view key);
+
+  /// Region index owning `row` (regions_ is sorted by start_row).
+  std::size_t RegionFor(std::string_view row) const;
+
+  std::string name_;
+  WideColumnConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace metro::store

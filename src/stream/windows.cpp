@@ -1,0 +1,118 @@
+#include "stream/windows.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace metro::stream {
+
+WindowedAggregator::WindowedAggregator(Config config) : config_(config) {
+  assert(config_.window_size > 0);
+  if (config_.slide <= 0) config_.slide = config_.window_size;
+  assert(config_.slide <= config_.window_size &&
+         "slide larger than window leaves gaps");
+}
+
+std::vector<TimeNs> WindowedAggregator::WindowsFor(TimeNs t) const {
+  // Windows are aligned to multiples of `slide`; a window [s, s+size)
+  // covers t iff s <= t < s + size and s = k * slide.
+  std::vector<TimeNs> starts;
+  const TimeNs first_after = (t / config_.slide) * config_.slide;
+  for (TimeNs s = first_after; s > t - config_.window_size; s -= config_.slide) {
+    starts.push_back(s);
+    if (s < config_.slide) break;  // avoid wrapping below zero-aligned start
+  }
+  return starts;
+}
+
+Status WindowedAggregator::Add(const Event& event) {
+  if (watermark_ != INT64_MIN &&
+      event.event_time + config_.window_size + config_.allowed_lateness <=
+          watermark_) {
+    ++late_events_;
+    return FailedPreconditionError("event older than watermark + lateness");
+  }
+  for (const TimeNs start : WindowsFor(event.event_time)) {
+    // Skip windows already fired (possible for slightly-late events that are
+    // inside lateness for some windows but not others).
+    if (watermark_ != INT64_MIN &&
+        start + config_.window_size + config_.allowed_lateness <= watermark_) {
+      continue;
+    }
+    Accumulator& acc = open_[start][event.key];
+    if (acc.count == 0) {
+      acc.min = acc.max = event.value;
+    } else {
+      acc.min = std::min(acc.min, event.value);
+      acc.max = std::max(acc.max, event.value);
+    }
+    acc.sum += event.value;
+    ++acc.count;
+  }
+  return Status::Ok();
+}
+
+double WindowedAggregator::Finalize(const Accumulator& acc) const {
+  switch (config_.agg) {
+    case AggKind::kCount: return double(acc.count);
+    case AggKind::kSum: return acc.sum;
+    case AggKind::kMin: return acc.min;
+    case AggKind::kMax: return acc.max;
+    case AggKind::kMean: return acc.count ? acc.sum / double(acc.count) : 0;
+  }
+  return 0;
+}
+
+void WindowedAggregator::Fire(TimeNs start,
+                              const std::map<std::string, Accumulator>& keys) {
+  for (const auto& [key, acc] : keys) {
+    WindowResult result;
+    result.window_start = start;
+    result.window_end = start + config_.window_size;
+    result.key = key;
+    result.value = Finalize(acc);
+    result.count = acc.count;
+    fired_.push_back(std::move(result));
+  }
+}
+
+void WindowedAggregator::AdvanceWatermark(TimeNs watermark) {
+  watermark_ = std::max(watermark_, watermark);
+  while (!open_.empty()) {
+    const auto it = open_.begin();
+    const TimeNs end = it->first + config_.window_size;
+    if (end + config_.allowed_lateness > watermark_) break;
+    Fire(it->first, it->second);
+    open_.erase(it);
+  }
+}
+
+std::vector<WindowResult> WindowedAggregator::TakeFired() {
+  std::vector<WindowResult> out = std::move(fired_);
+  fired_.clear();
+  return out;
+}
+
+void WindowedAggregator::Close() {
+  for (const auto& [start, keys] : open_) Fire(start, keys);
+  open_.clear();
+}
+
+std::optional<SpikeDetector::Spike> SpikeDetector::Observe(
+    const WindowResult& window) {
+  auto& past = history_[window.key];
+  std::optional<Spike> spike;
+  if (int(past.size()) >= config_.history) {
+    double mean = 0;
+    for (const double v : past) mean += v;
+    mean /= double(past.size());
+    if (window.value >= config_.min_count &&
+        window.value > config_.factor * std::max(mean, 1e-9)) {
+      spike = Spike{window.window_start, window.key, window.value, mean};
+    }
+  }
+  past.push_back(window.value);
+  while (int(past.size()) > config_.history) past.pop_front();
+  return spike;
+}
+
+}  // namespace metro::stream

@@ -1,0 +1,120 @@
+#pragma once
+
+// Windowed stream processing (Sec. II-C2's "streaming processing"
+// workload).
+//
+// Event-time tumbling/sliding windows with watermark-driven firing: events
+// may arrive out of order; a window fires once the watermark passes its end
+// plus the allowed lateness, and later events for fired windows are counted
+// as dropped-late. A SpikeDetector composes windows into the city
+// application need: flag a keyword/location whose current window count
+// jumps far above its trailing mean (e.g. gunshot chatter bursts).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace metro::stream {
+
+/// One keyed, event-timestamped observation.
+struct Event {
+  TimeNs event_time = 0;
+  std::string key;
+  double value = 1.0;
+};
+
+enum class AggKind { kCount, kSum, kMin, kMax, kMean };
+
+/// One fired window for one key.
+struct WindowResult {
+  TimeNs window_start = 0;
+  TimeNs window_end = 0;  ///< exclusive
+  std::string key;
+  double value = 0;
+  std::int64_t count = 0;
+};
+
+/// Event-time windowed aggregation with watermarks.
+class WindowedAggregator {
+ public:
+  struct Config {
+    TimeNs window_size = 60 * kSecond;
+    TimeNs slide = 0;  ///< 0 => tumbling (slide == window_size)
+    TimeNs allowed_lateness = 0;
+    AggKind agg = AggKind::kCount;
+  };
+
+  explicit WindowedAggregator(Config config);
+
+  /// Adds an event. Events older than the watermark minus lateness are
+  /// dropped and counted (kFailedPrecondition), mirroring late-data policy.
+  Status Add(const Event& event);
+
+  /// Advances the watermark (monotonic); fires every window whose
+  /// end + lateness <= watermark.
+  void AdvanceWatermark(TimeNs watermark);
+
+  /// Fired windows in (window_start, key) order; clears the fired buffer.
+  std::vector<WindowResult> TakeFired();
+
+  /// Flushes all open windows regardless of the watermark (end of stream).
+  void Close();
+
+  TimeNs watermark() const { return watermark_; }
+  std::int64_t late_events() const { return late_events_; }
+  std::size_t open_windows() const { return open_.size(); }
+
+ private:
+  struct Accumulator {
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::int64_t count = 0;
+  };
+
+  /// Start times of the windows covering `t`.
+  std::vector<TimeNs> WindowsFor(TimeNs t) const;
+  double Finalize(const Accumulator& acc) const;
+  void Fire(TimeNs start, const std::map<std::string, Accumulator>& keys);
+
+  Config config_;
+  TimeNs watermark_ = INT64_MIN;
+  std::int64_t late_events_ = 0;
+  // window start -> key -> accumulator
+  std::map<TimeNs, std::map<std::string, Accumulator>> open_;
+  std::vector<WindowResult> fired_;
+};
+
+/// Flags keys whose window value spikes above `factor` x the trailing mean
+/// of the previous `history` windows (with at least `min_count` events).
+class SpikeDetector {
+ public:
+  struct Config {
+    int history = 6;
+    double factor = 3.0;
+    double min_count = 5;
+  };
+
+  explicit SpikeDetector(Config config) : config_(config) {}
+
+  struct Spike {
+    TimeNs window_start = 0;
+    std::string key;
+    double value = 0;
+    double trailing_mean = 0;
+  };
+
+  /// Feeds one fired window; returns a spike if it qualifies.
+  std::optional<Spike> Observe(const WindowResult& window);
+
+ private:
+  Config config_;
+  std::map<std::string, std::deque<double>> history_;
+};
+
+}  // namespace metro::stream

@@ -1,0 +1,335 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace metro::tensor {
+namespace {
+
+int ConvOutDim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, int stride, int pad) {
+  assert(input.rank() == 4 && weights.rank() == 4);
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            cin = input.dim(3);
+  const int kh = weights.dim(0), kw = weights.dim(1), cout = weights.dim(3);
+  assert(weights.dim(2) == cin);
+  assert(bias.empty() || int(bias.size()) == cout);
+  const int oh = ConvOutDim(h, kh, stride, pad);
+  const int ow = ConvOutDim(w, kw, stride, pad);
+  assert(oh > 0 && ow > 0);
+
+  Tensor out({n, oh, ow, cout});
+  const auto in_d = input.data();
+  const auto w_d = weights.data();
+  auto out_d = out.data();
+
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float* out_px =
+            &out_d[((std::size_t(b) * oh + oy) * ow + ox) * cout];
+        if (!bias.empty()) {
+          for (int oc = 0; oc < cout; ++oc) out_px[oc] = bias[oc];
+        }
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= w) continue;
+            const float* in_px =
+                &in_d[((std::size_t(b) * h + iy) * w + ix) * cin];
+            const float* w_px =
+                &w_d[(std::size_t(ky) * kw + kx) * cin * cout];
+            for (int ic = 0; ic < cin; ++ic) {
+              const float iv = in_px[ic];
+              if (iv == 0.0f) continue;
+              const float* w_row = &w_px[std::size_t(ic) * cout];
+              for (int oc = 0; oc < cout; ++oc) out_px[oc] += iv * w_row[oc];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConvGrads Conv2dBackward(const Tensor& input, const Tensor& weights,
+                         const Tensor& grad_out, int stride, int pad) {
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            cin = input.dim(3);
+  const int kh = weights.dim(0), kw = weights.dim(1), cout = weights.dim(3);
+  const int oh = grad_out.dim(1), ow = grad_out.dim(2);
+  assert(grad_out.dim(0) == n && grad_out.dim(3) == cout);
+
+  ConvGrads grads{Tensor(input.shape()), Tensor(weights.shape()),
+                  Tensor({cout})};
+  const auto in_d = input.data();
+  const auto w_d = weights.data();
+  const auto go_d = grad_out.data();
+  auto gi_d = grads.input.data();
+  auto gw_d = grads.weights.data();
+  auto gb_d = grads.bias.data();
+
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        const float* go_px =
+            &go_d[((std::size_t(b) * oh + oy) * ow + ox) * cout];
+        for (int oc = 0; oc < cout; ++oc) gb_d[oc] += go_px[oc];
+        for (int ky = 0; ky < kh; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < kw; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= w) continue;
+            const std::size_t in_off =
+                ((std::size_t(b) * h + iy) * w + ix) * cin;
+            const std::size_t w_off = (std::size_t(ky) * kw + kx) * cin * cout;
+            for (int ic = 0; ic < cin; ++ic) {
+              const float iv = in_d[in_off + ic];
+              const float* w_row = &w_d[w_off + std::size_t(ic) * cout];
+              float* gw_row = &gw_d[w_off + std::size_t(ic) * cout];
+              float gi_acc = 0.0f;
+              for (int oc = 0; oc < cout; ++oc) {
+                const float go = go_px[oc];
+                gw_row[oc] += iv * go;
+                gi_acc += w_row[oc] * go;
+              }
+              gi_d[in_off + ic] += gi_acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+MaxPoolResult MaxPool2dForward(const Tensor& input, int k, int stride) {
+  assert(input.rank() == 4);
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  const int oh = (h - k) / stride + 1;
+  const int ow = (w - k) / stride + 1;
+  assert(oh > 0 && ow > 0);
+
+  MaxPoolResult res;
+  res.output = Tensor({n, oh, ow, c});
+  res.argmax.assign(res.output.size(), 0);
+  const auto in_d = input.data();
+  auto out_d = res.output.data();
+
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < k; ++ky) {
+            const int iy = oy * stride + ky;
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ox * stride + kx;
+              const std::size_t idx =
+                  ((std::size_t(b) * h + iy) * w + ix) * c + ch;
+              if (in_d[idx] > best) {
+                best = in_d[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t oidx =
+              ((std::size_t(b) * oh + oy) * ow + ox) * c + ch;
+          out_d[oidx] = best;
+          res.argmax[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor MaxPool2dBackward(const Shape& input_shape, const MaxPoolResult& fwd,
+                         const Tensor& grad_out) {
+  Tensor grad_in(input_shape);
+  auto gi = grad_in.data();
+  const auto go = grad_out.data();
+  assert(grad_out.size() == fwd.argmax.size());
+  for (std::size_t i = 0; i < fwd.argmax.size(); ++i) {
+    gi[fwd.argmax[i]] += go[i];
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPoolForward(const Tensor& input) {
+  assert(input.rank() == 4);
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / float(h * w);
+  const auto in_d = input.data();
+  auto out_d = out.data();
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float* px = &in_d[((std::size_t(b) * h + y) * w + x) * c];
+        float* orow = &out_d[std::size_t(b) * c];
+        for (int ch = 0; ch < c; ++ch) orow[ch] += px[ch] * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out) {
+  assert(input_shape.size() == 4);
+  const int n = input_shape[0], h = input_shape[1], w = input_shape[2],
+            c = input_shape[3];
+  Tensor grad_in(input_shape);
+  const float inv = 1.0f / float(h * w);
+  auto gi = grad_in.data();
+  const auto go = grad_out.data();
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        float* px = &gi[((std::size_t(b) * h + y) * w + x) * c];
+        const float* grow = &go[std::size_t(b) * c];
+        for (int ch = 0; ch < c; ++ch) px[ch] = grow[ch] * inv;
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor ReluForward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.data()) v = std::max(v, 0.0f);
+  return y;
+}
+
+Tensor ReluBackward(const Tensor& x, const Tensor& grad_out) {
+  assert(x.size() == grad_out.size());
+  Tensor g = grad_out;
+  auto gd = g.data();
+  const auto xd = x.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    if (xd[i] <= 0.0f) gd[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor LeakyReluForward(const Tensor& x, float alpha) {
+  Tensor y = x;
+  for (auto& v : y.data()) {
+    if (v < 0.0f) v *= alpha;
+  }
+  return y;
+}
+
+Tensor LeakyReluBackward(const Tensor& x, const Tensor& grad_out, float alpha) {
+  assert(x.size() == grad_out.size());
+  Tensor g = grad_out;
+  auto gd = g.data();
+  const auto xd = x.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    if (xd[i] < 0.0f) gd[i] *= alpha;
+  }
+  return g;
+}
+
+Tensor SigmoidForward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.data()) v = 1.0f / (1.0f + std::exp(-v));
+  return y;
+}
+
+Tensor SigmoidBackward(const Tensor& y, const Tensor& grad_out) {
+  assert(y.size() == grad_out.size());
+  Tensor g = grad_out;
+  auto gd = g.data();
+  const auto yd = y.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= yd[i] * (1.0f - yd[i]);
+  return g;
+}
+
+Tensor TanhForward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.data()) v = std::tanh(v);
+  return y;
+}
+
+Tensor TanhBackward(const Tensor& y, const Tensor& grad_out) {
+  assert(y.size() == grad_out.size());
+  Tensor g = grad_out;
+  auto gd = g.data();
+  const auto yd = y.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= 1.0f - yd[i] * yd[i];
+  return g;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    const float* row = &logits.data()[std::size_t(i) * c];
+    float* orow = &out.data()[std::size_t(i) * c];
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+CrossEntropyResult CrossEntropyLoss(const Tensor& logits,
+                                    const std::vector<int>& labels) {
+  assert(logits.rank() == 2 && int(labels.size()) == logits.dim(0));
+  const int n = logits.dim(0), c = logits.dim(1);
+  CrossEntropyResult res{0.0f, Tensor(logits.shape()), Softmax(logits), 0};
+  const float invn = 1.0f / float(n);
+  for (int i = 0; i < n; ++i) {
+    const int label = labels[std::size_t(i)];
+    assert(label >= 0 && label < c);
+    const float* prow = &res.probs.data()[std::size_t(i) * c];
+    float* grow = &res.grad.data()[std::size_t(i) * c];
+    res.loss -= std::log(std::max(prow[label], 1e-12f)) * invn;
+    for (int j = 0; j < c; ++j) grow[j] = prow[j] * invn;
+    grow[label] -= invn;
+    std::size_t am = 0;
+    for (int j = 1; j < c; ++j) {
+      if (prow[j] > prow[am]) am = std::size_t(j);
+    }
+    if (int(am) == label) ++res.correct;
+  }
+  return res;
+}
+
+float Entropy(std::span<const float> probs) {
+  float h = 0.0f;
+  for (const float p : probs) {
+    if (p > 1e-12f) h -= p * std::log(p);
+  }
+  return h;
+}
+
+float MaxProb(std::span<const float> probs) {
+  float mx = 0.0f;
+  for (const float p : probs) mx = std::max(mx, p);
+  return mx;
+}
+
+}  // namespace metro::tensor

@@ -1,0 +1,86 @@
+#pragma once
+
+// Stateless neural-network kernels over NHWC tensors.
+//
+// Forward and backward passes for convolution, pooling, activations, and the
+// softmax/cross-entropy head. Stateful layers (parameters, batch-norm running
+// stats) live in nn/; these are the math underneath them.
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metro::tensor {
+
+/// Gradients produced by Conv2dBackward.
+struct ConvGrads {
+  Tensor input;    ///< dL/dx, same shape as the forward input
+  Tensor weights;  ///< dL/dW, shape [KH, KW, Cin, Cout]
+  Tensor bias;     ///< dL/db, shape [Cout]
+};
+
+/// 2-D convolution.
+///
+/// `input` is NHWC, `weights` is [KH, KW, Cin, Cout], `bias` is [Cout] (may be
+/// empty for no bias). Zero padding of `pad` pixels on each side; output size
+/// is (H + 2p - KH)/stride + 1.
+Tensor Conv2dForward(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, int stride, int pad);
+
+/// Backward pass matching Conv2dForward.
+ConvGrads Conv2dBackward(const Tensor& input, const Tensor& weights,
+                         const Tensor& grad_out, int stride, int pad);
+
+/// Output of MaxPool2dForward: the pooled tensor plus per-output argmax
+/// offsets (into the input) needed by the backward pass.
+struct MaxPoolResult {
+  Tensor output;
+  std::vector<std::size_t> argmax;  ///< flat input index per output element
+};
+
+/// Max pooling with square window `k` and stride `stride` (no padding).
+MaxPoolResult MaxPool2dForward(const Tensor& input, int k, int stride);
+
+/// Routes each output gradient to the input element that won the max.
+Tensor MaxPool2dBackward(const Shape& input_shape, const MaxPoolResult& fwd,
+                         const Tensor& grad_out);
+
+/// Mean over H and W: NHWC -> (N, C).
+Tensor GlobalAvgPoolForward(const Tensor& input);
+Tensor GlobalAvgPoolBackward(const Shape& input_shape, const Tensor& grad_out);
+
+// Elementwise activations. Backward takes the *forward input* (x) except for
+// sigmoid/tanh which take the forward output (y) — the cheaper formulation.
+Tensor ReluForward(const Tensor& x);
+Tensor ReluBackward(const Tensor& x, const Tensor& grad_out);
+Tensor LeakyReluForward(const Tensor& x, float alpha);
+Tensor LeakyReluBackward(const Tensor& x, const Tensor& grad_out, float alpha);
+Tensor SigmoidForward(const Tensor& x);
+Tensor SigmoidBackward(const Tensor& y, const Tensor& grad_out);
+Tensor TanhForward(const Tensor& x);
+Tensor TanhBackward(const Tensor& y, const Tensor& grad_out);
+
+/// Row-wise softmax of a (N, C) tensor (numerically stabilized).
+Tensor Softmax(const Tensor& logits);
+
+/// Mean cross-entropy over a batch plus the gradient w.r.t. the logits.
+struct CrossEntropyResult {
+  float loss;      ///< mean negative log-likelihood
+  Tensor grad;     ///< dL/dlogits, shape (N, C)
+  Tensor probs;    ///< softmax(logits)
+  int correct;     ///< argmax hits, for accuracy tracking
+};
+
+/// `labels[i]` in [0, C). Gradient is already divided by the batch size.
+CrossEntropyResult CrossEntropyLoss(const Tensor& logits,
+                                    const std::vector<int>& labels);
+
+/// Shannon entropy (nats) of one probability row — the early-exit gate
+/// signal used by the Fig. 7 architecture.
+float Entropy(std::span<const float> probs);
+
+/// Max probability of one row — the confidence gate used by Fig. 5.
+float MaxProb(std::span<const float> probs);
+
+}  // namespace metro::tensor

@@ -1,0 +1,167 @@
+#include "text/text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace metro::text {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(char(std::tolower(c)));
+    } else if (!cur.empty()) {
+      if (cur.size() > 1) tokens.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (cur.size() > 1) tokens.push_back(cur);
+  return tokens;
+}
+
+KeywordMatcher::KeywordMatcher(const std::vector<std::string>& keywords) {
+  for (const auto& k : keywords) {
+    std::string lower;
+    lower.reserve(k.size());
+    for (const char c : k) {
+      lower.push_back(char(std::tolower(static_cast<unsigned char>(c))));
+    }
+    keywords_.insert(std::move(lower));
+  }
+}
+
+bool KeywordMatcher::Matches(std::string_view text) const {
+  for (const auto& token : Tokenize(text)) {
+    if (keywords_.count(token)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> KeywordMatcher::MatchedKeywords(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const auto& token : Tokenize(text)) {
+    if (keywords_.count(token) && seen.insert(token).second) {
+      out.push_back(token);
+    }
+  }
+  return out;
+}
+
+int Vocabulary::GetOrAdd(const std::string& token) {
+  const auto [it, inserted] = token_to_id_.try_emplace(token, int(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+int Vocabulary::Get(const std::string& token) const {
+  const auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? -1 : it->second;
+}
+
+void TfIdf::Fit(const std::vector<std::string>& corpus) {
+  num_docs_ = corpus.size();
+  std::vector<std::int64_t> doc_freq;
+  for (const auto& doc : corpus) {
+    std::unordered_set<int> seen;
+    for (const auto& token : Tokenize(doc)) {
+      const int id = vocab_.GetOrAdd(token);
+      if (std::size_t(id) >= doc_freq.size()) doc_freq.resize(std::size_t(id) + 1, 0);
+      if (seen.insert(id).second) ++doc_freq[std::size_t(id)];
+    }
+  }
+  idf_.resize(doc_freq.size());
+  for (std::size_t i = 0; i < doc_freq.size(); ++i) {
+    // Smoothed IDF.
+    idf_[i] = std::log((1.0f + float(num_docs_)) / (1.0f + float(doc_freq[i]))) + 1.0f;
+  }
+}
+
+SparseVector TfIdf::Transform(std::string_view text) const {
+  std::unordered_map<int, int> tf;
+  for (const auto& token : Tokenize(text)) {
+    const int id = vocab_.Get(token);
+    if (id >= 0) ++tf[id];
+  }
+  SparseVector vec;
+  vec.reserve(tf.size());
+  double norm_sq = 0;
+  for (const auto& [id, count] : tf) {
+    const float w = float(count) * idf_[std::size_t(id)];
+    vec.emplace_back(id, w);
+    norm_sq += double(w) * w;
+  }
+  std::sort(vec.begin(), vec.end());
+  if (norm_sq > 0) {
+    const float inv = float(1.0 / std::sqrt(norm_sq));
+    for (auto& [id, w] : vec) w *= inv;
+  }
+  return vec;
+}
+
+float TfIdf::Cosine(const SparseVector& a, const SparseVector& b) {
+  float dot = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first == b[j].first) {
+      dot += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    } else if (a[i].first < b[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;  // inputs are L2-normalized
+}
+
+Status NaiveBayes::Train(std::string_view text, int label) {
+  if (label < 0 || label >= num_classes_) {
+    return InvalidArgumentError("label out of range");
+  }
+  ++class_docs_[std::size_t(label)];
+  ++total_docs_;
+  for (const auto& token : Tokenize(text)) {
+    const int id = vocab_.GetOrAdd(token);
+    if (std::size_t(id) >= counts_.size()) {
+      counts_.resize(std::size_t(id) + 1,
+                     std::vector<std::int64_t>(std::size_t(num_classes_), 0));
+    }
+    ++counts_[std::size_t(id)][std::size_t(label)];
+    ++class_tokens_[std::size_t(label)];
+  }
+  return Status::Ok();
+}
+
+std::vector<double> NaiveBayes::Scores(std::string_view text) const {
+  std::vector<double> scores(std::size_t(num_classes_), 0.0);
+  const double v = double(vocab_.size()) + 1.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    // Log prior with Laplace smoothing over classes.
+    scores[std::size_t(c)] =
+        std::log((double(class_docs_[std::size_t(c)]) + 1.0) /
+                 (double(total_docs_) + num_classes_));
+  }
+  for (const auto& token : Tokenize(text)) {
+    const int id = vocab_.Get(token);
+    for (int c = 0; c < num_classes_; ++c) {
+      const double count =
+          id >= 0 ? double(counts_[std::size_t(id)][std::size_t(c)]) : 0.0;
+      scores[std::size_t(c)] += std::log(
+          (count + 1.0) / (double(class_tokens_[std::size_t(c)]) + v));
+    }
+  }
+  return scores;
+}
+
+int NaiveBayes::Predict(std::string_view text) const {
+  const auto scores = Scores(text);
+  return int(std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace metro::text

@@ -1,0 +1,107 @@
+#pragma once
+
+// Lightweight NLP (Sec. IV-B).
+//
+// Tokenization, keyword matching (the Twitter collector filters by keyword
+// sets), TF-IDF vectorization, and a multinomial naive-Bayes classifier used
+// to flag incident-related tweet text in the SNA application.
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metro::text {
+
+/// Lowercases and splits on non-alphanumeric characters; drops empties and
+/// single characters. '#' and '@' prefixes are stripped (hashtags/mentions
+/// match their bare word).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Case-insensitive keyword set matcher (whole-token matching).
+class KeywordMatcher {
+ public:
+  /// `keywords` are lowercased on ingestion.
+  explicit KeywordMatcher(const std::vector<std::string>& keywords);
+
+  /// True if any token of `text` is a keyword.
+  bool Matches(std::string_view text) const;
+
+  /// The keywords present in `text` (deduplicated, in first-seen order).
+  std::vector<std::string> MatchedKeywords(std::string_view text) const;
+
+ private:
+  std::unordered_set<std::string> keywords_;
+};
+
+/// Incrementally built vocabulary mapping tokens to dense ids.
+class Vocabulary {
+ public:
+  /// Id for `token`, adding it if absent.
+  int GetOrAdd(const std::string& token);
+
+  /// Id or -1 when absent (for frozen inference-time lookups).
+  int Get(const std::string& token) const;
+
+  std::size_t size() const { return token_to_id_.size(); }
+  const std::string& token(int id) const { return tokens_[std::size_t(id)]; }
+
+ private:
+  std::unordered_map<std::string, int> token_to_id_;
+  std::vector<std::string> tokens_;
+};
+
+/// Sparse term vector: (term id, weight) pairs sorted by id.
+using SparseVector = std::vector<std::pair<int, float>>;
+
+/// TF-IDF vectorizer; fit on a corpus, then transform documents.
+class TfIdf {
+ public:
+  /// Counts document frequencies across `corpus` and freezes the vocabulary.
+  void Fit(const std::vector<std::string>& corpus);
+
+  /// TF-IDF weights for `text` (unknown tokens are ignored); L2-normalized.
+  SparseVector Transform(std::string_view text) const;
+
+  /// Cosine similarity of two sparse vectors.
+  static float Cosine(const SparseVector& a, const SparseVector& b);
+
+  std::size_t vocab_size() const { return vocab_.size(); }
+
+ private:
+  Vocabulary vocab_;
+  std::vector<float> idf_;
+  std::size_t num_docs_ = 0;
+};
+
+/// Multinomial naive Bayes over token counts with Laplace smoothing.
+class NaiveBayes {
+ public:
+  explicit NaiveBayes(int num_classes) : num_classes_(num_classes) {}
+
+  /// Adds one labeled document to the training counts.
+  Status Train(std::string_view text, int label);
+
+  /// Most probable class for `text` (ties break to the lower label).
+  /// Returns 0 when nothing has been trained.
+  int Predict(std::string_view text) const;
+
+  /// Per-class log-posterior scores (unnormalized).
+  std::vector<double> Scores(std::string_view text) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  int num_classes_;
+  std::vector<std::int64_t> class_docs_ = std::vector<std::int64_t>(std::size_t(num_classes_), 0);
+  std::vector<std::int64_t> class_tokens_ = std::vector<std::int64_t>(std::size_t(num_classes_), 0);
+  Vocabulary vocab_;
+  // token id -> per-class counts
+  std::vector<std::vector<std::int64_t>> counts_;
+  std::int64_t total_docs_ = 0;
+};
+
+}  // namespace metro::text

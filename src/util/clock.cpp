@@ -1,0 +1,22 @@
+#include "util/clock.h"
+
+#include <thread>
+
+namespace metro {
+
+TimeNs WallClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WallClock::SleepFor(TimeNs ns) {
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+WallClock& WallClock::Instance() {
+  static WallClock clock;
+  return clock;
+}
+
+}  // namespace metro

@@ -1,0 +1,82 @@
+#pragma once
+
+// Time sources.
+//
+// Distributed components take a `Clock&` so the same code runs against wall
+// time in production-style runs and against `SimClock` in deterministic
+// benches (the fog/network simulator advances simulated time explicitly).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace metro {
+
+/// Nanoseconds since an arbitrary epoch.
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kMicrosecond = 1'000;
+constexpr TimeNs kMillisecond = 1'000'000;
+constexpr TimeNs kSecond = 1'000'000'000;
+
+/// Abstract monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in nanoseconds since the clock's epoch.
+  virtual TimeNs Now() const = 0;
+
+  /// Blocks (or advances simulation) for `ns` nanoseconds.
+  virtual void SleepFor(TimeNs ns) = 0;
+};
+
+/// Real monotonic clock backed by std::chrono::steady_clock.
+class WallClock final : public Clock {
+ public:
+  TimeNs Now() const override;
+  void SleepFor(TimeNs ns) override;
+
+  /// Process-wide instance (the common case outside simulations).
+  static WallClock& Instance();
+};
+
+/// Manually advanced clock for deterministic simulation.
+///
+/// `SleepFor` advances the clock immediately; discrete-event drivers use
+/// `AdvanceTo`/`Advance` directly.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeNs start = 0) : now_(start) {}
+
+  TimeNs Now() const override { return now_; }
+  void SleepFor(TimeNs ns) override { Advance(ns); }
+
+  /// Moves simulated time forward by `ns` (>= 0).
+  void Advance(TimeNs ns) { now_ += ns; }
+
+  /// Moves simulated time to `t`; never goes backwards.
+  void AdvanceTo(TimeNs t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  TimeNs now_;
+};
+
+/// Scoped stopwatch measuring wall time in nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(WallClock::Instance().Now()) {}
+
+  /// Nanoseconds since construction or the last Reset().
+  TimeNs ElapsedNs() const { return WallClock::Instance().Now() - start_; }
+  double ElapsedSeconds() const { return double(ElapsedNs()) / kSecond; }
+  void Reset() { start_ = WallClock::Instance().Now(); }
+
+ private:
+  TimeNs start_;
+};
+
+}  // namespace metro

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace metro {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "-";
+  }
+  return "?";
+}
+
+std::mutex& OutputMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel SetLogLevel(LogLevel level) {
+  return g_level.exchange(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= GetLogLevel() && level != LogLevel::kOff) {
+  if (!enabled_) return;
+  // Basename keeps lines short.
+  const auto slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  stream_ << LevelName(level) << " [" << file << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string s = stream_.str();
+  std::lock_guard lock(OutputMutex());
+  std::fwrite(s.data(), 1, s.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace metro

@@ -1,0 +1,109 @@
+#pragma once
+
+// Lightweight metrics: counters, gauges, and latency histograms.
+//
+// Every subsystem exports its operational numbers through a `MetricsRegistry`
+// so benches and the core pipeline can print a single coherent report.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metro {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) {
+    std::lock_guard lock(mu_);
+    value_ = v;
+  }
+  void Add(double delta) {
+    std::lock_guard lock(mu_);
+    value_ += delta;
+  }
+  double value() const {
+    std::lock_guard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0;
+};
+
+/// Log-bucketed histogram for latency/size distributions.
+///
+/// Buckets are powers of two from 1 to 2^62, giving ~2x resolution over the
+/// full int64 range — the classic trade-off for operational latency tracking.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 63;
+
+  /// Records a sample (values < 0 are clamped to 0).
+  void Record(std::int64_t value);
+
+  std::int64_t count() const;
+  std::int64_t sum() const;
+  double mean() const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+
+  /// Approximate quantile via linear interpolation within the bucket.
+  /// q in [0, 1]; returns 0 for an empty histogram.
+  std::int64_t Quantile(double q) const;
+
+  std::int64_t p50() const { return Quantile(0.50); }
+  std::int64_t p95() const { return Quantile(0.95); }
+  std::int64_t p99() const { return Quantile(0.99); }
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t buckets_[kNumBuckets] = {};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Named collection of metrics shared across a subsystem.
+///
+/// Lookup lazily creates the metric; returned references stay valid for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Multi-line human-readable dump, sorted by name.
+  std::string Report() const;
+
+  /// Resets by dropping all metrics (references become stale; use only
+  /// between bench iterations that re-acquire their metrics).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metro

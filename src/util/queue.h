@@ -1,0 +1,105 @@
+#pragma once
+
+// Bounded blocking MPMC queue.
+//
+// The workhorse channel between producer and consumer threads across the
+// ingest, message-queue, and fog subsystems. Close() drains gracefully:
+// producers fail fast, consumers keep receiving until empty.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/status.h"
+
+namespace metro {
+
+/// Thread-safe bounded queue with blocking push/pop and graceful shutdown.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available; fails with kAborted once closed.
+  Status Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return AbortedError("queue closed");
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Non-blocking push; kResourceExhausted when full, kAborted when closed.
+  Status TryPush(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return AbortedError("queue closed");
+      if (items_.size() >= capacity_) return ResourceExhaustedError("queue full");
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocks until an item is available; nullopt once closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes all waiters; pops drain what remains.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace metro

@@ -1,0 +1,135 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace metro {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to kill modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % n;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? NextU64() : UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return static_cast<float>(UniformDouble(lo, hi));
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  while (u1 <= 1e-300) u1 = UniformDouble();
+  const double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0);
+  double u = UniformDouble();
+  while (u <= 1e-300) u = UniformDouble();
+  return -std::log(u) / lambda;
+}
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= UniformDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t Rng::Zipf(std::size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF over the harmonic weights; n is small for our generators.
+  double total = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(double(i), s);
+  double u = UniformDouble() * total;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(double(i), s);
+    if (u <= 0) return i - 1;
+  }
+  return n - 1;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double u = UniformDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace metro

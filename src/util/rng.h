@@ -1,0 +1,81 @@
+#pragma once
+
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in metropolis draws randomness through `Rng`
+// (xoshiro256++ seeded via splitmix64), so benches and tests are reproducible
+// from a single seed.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace metro {
+
+/// xoshiro256++ generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t UniformU64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box–Muller.
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda (> 0); mean is 1/lambda.
+  double Exponential(double lambda);
+
+  /// Poisson-distributed count with the given mean (Knuth's method; fine for
+  /// the small means used by the traffic generators).
+  int Poisson(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (rejection-free inverse
+  /// CDF over a precomputed table would be faster; n here is small).
+  std::size_t Zipf(std::size_t n, double s);
+
+  /// A random index drawn proportionally to `weights` (all >= 0, sum > 0).
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = UniformU64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace metro

@@ -1,0 +1,156 @@
+#pragma once
+
+// Status / Result error model for metropolis.
+//
+// Operational failures (a missing key, an unreachable node, a full queue) are
+// reported through `Status` and `Result<T>`; exceptions are reserved for
+// programming errors and construction failures, per C++ Core Guidelines E.*.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace metro {
+
+/// Canonical error space shared by every subsystem.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,       ///< transient: retrying may succeed (node down, queue full)
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCorruption,        ///< checksum mismatch, torn write, bad record
+  kPermissionDenied,
+  kUnimplemented,
+  kAborted,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail without a payload.
+///
+/// `Status` is cheap to copy in the OK case and carries a message otherwise.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: key missing".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Factory helpers, mirroring absl::*Error.
+inline Status NotFoundError(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+inline Status AlreadyExistsError(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+inline Status InvalidArgumentError(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+inline Status FailedPreconditionError(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+inline Status OutOfRangeError(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+inline Status UnavailableError(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+inline Status DeadlineExceededError(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+inline Status ResourceExhaustedError(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+inline Status CorruptionError(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+inline Status PermissionDeniedError(std::string m) { return {StatusCode::kPermissionDenied, std::move(m)}; }
+inline Status UnimplementedError(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+inline Status AbortedError(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+inline Status InternalError(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+/// The result of an operation that yields a `T` on success.
+///
+/// Accessing `value()` on an error result is a programming error and asserts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return NotFoundError("k");`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result(Status) requires an error");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; `Status::Ok()` when holding a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when holding an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define METRO_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::metro::Status _metro_st = (expr);              \
+    if (!_metro_st.ok()) return _metro_st;           \
+  } while (false)
+
+/// `METRO_ASSIGN_OR_RETURN(auto v, Compute())` — unwraps or propagates.
+#define METRO_ASSIGN_OR_RETURN(decl, expr)                       \
+  METRO_ASSIGN_OR_RETURN_IMPL_(                                  \
+      METRO_STATUS_CONCAT_(_metro_res, __LINE__), decl, expr)
+#define METRO_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  decl = std::move(tmp).value()
+#define METRO_STATUS_CONCAT_(a, b) METRO_STATUS_CONCAT_IMPL_(a, b)
+#define METRO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace metro

@@ -1,0 +1,30 @@
+#include "util/thread_pool.h"
+
+#include <cassert>
+
+namespace metro {
+
+ThreadPool::ThreadPool(std::size_t num_threads) : tasks_(1 << 16) {
+  assert(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.Pop()) (*task)();
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace metro

@@ -1,0 +1,57 @@
+#pragma once
+
+// Fixed-size worker pool used by the dataflow engine and analysis servers.
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/queue.h"
+
+namespace metro {
+
+/// Fixed set of worker threads draining a shared task queue.
+///
+/// Tasks submitted after Shutdown() are rejected. The destructor joins all
+/// workers after draining outstanding tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; kAborted after shutdown.
+  Status Submit(std::function<void()> task);
+
+  /// Enqueues a callable and exposes its result as a future.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> Async(F&& f) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    const Status st = Submit([task] { (*task)(); });
+    if (!st.ok()) {
+      // Surface the rejection through the future rather than losing it.
+      task->reset();
+      std::promise<R> p;
+      p.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool shut down")));
+      return p.get_future();
+    }
+    return fut;
+  }
+
+  /// Stops accepting tasks, drains the queue, and joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace metro

@@ -1,0 +1,92 @@
+#include "viz/viz.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace metro::viz {
+
+std::string ToGeoJson(const std::vector<GeoFeature>& features) {
+  std::ostringstream os;
+  os << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const GeoFeature& f = features[i];
+    if (i) os << ',';
+    std::string label;
+    label.reserve(f.label.size());
+    for (const char c : f.label) {
+      if (c == '"' || c == '\\') label.push_back('\\');
+      label.push_back(c);
+    }
+    os << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+          "\"coordinates\":["
+       << f.location.lon << ',' << f.location.lat
+       << "]},\"properties\":{\"label\":\"" << label
+       << "\",\"value\":" << f.value << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+AsciiHeatmap::AsciiHeatmap(const geo::BoundingBox& box, int cols, int rows)
+    : box_(box),
+      cols_(std::max(cols, 1)),
+      rows_(std::max(rows, 1)),
+      density_(std::size_t(cols_) * rows_, 0.0),
+      markers_(std::size_t(cols_) * rows_, '\0') {}
+
+bool AsciiHeatmap::CellFor(const geo::LatLon& p, int& col, int& row) const {
+  if (!box_.Contains(p)) return false;
+  const double fx =
+      (p.lon - box_.min_lon) / std::max(box_.max_lon - box_.min_lon, 1e-12);
+  const double fy =
+      (p.lat - box_.min_lat) / std::max(box_.max_lat - box_.min_lat, 1e-12);
+  col = std::min(int(fx * cols_), cols_ - 1);
+  row = std::min(int(fy * rows_), rows_ - 1);
+  return true;
+}
+
+void AsciiHeatmap::Add(const geo::LatLon& p, double weight) {
+  int col, row;
+  if (CellFor(p, col, row)) {
+    density_[std::size_t(row) * cols_ + std::size_t(col)] += weight;
+  }
+}
+
+void AsciiHeatmap::Mark(const geo::LatLon& p, char glyph) {
+  int col, row;
+  if (CellFor(p, col, row)) {
+    markers_[std::size_t(row) * cols_ + std::size_t(col)] = glyph;
+  }
+}
+
+double AsciiHeatmap::max_density() const {
+  double mx = 0;
+  for (const double d : density_) mx = std::max(mx, d);
+  return mx;
+}
+
+std::string AsciiHeatmap::Render() const {
+  static constexpr std::string_view kRamp = " .:-=+*#%@";
+  const double mx = std::max(max_density(), 1e-12);
+  std::string out;
+  out.reserve(std::size_t(rows_) * (cols_ + 3));
+  // North (max_lat) at the top: iterate rows from last to first.
+  for (int row = rows_ - 1; row >= 0; --row) {
+    out.push_back('|');
+    for (int col = 0; col < cols_; ++col) {
+      const std::size_t idx = std::size_t(row) * cols_ + std::size_t(col);
+      if (markers_[idx] != '\0') {
+        out.push_back(markers_[idx]);
+        continue;
+      }
+      const auto level = std::min<std::size_t>(
+          std::size_t(density_[idx] / mx * double(kRamp.size())),
+          kRamp.size() - 1);
+      out.push_back(kRamp[level]);
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace metro::viz

@@ -1,0 +1,55 @@
+#pragma once
+
+// Visualization layer (Sec. II-C3: "our cyberinfrastructure provides
+// visualization capability for displaying both raw and analyzed data" —
+// the D3 role).
+//
+// Two renderers: GeoJSON export (what a web map like the paper's D3 site
+// would consume) and an ASCII density heatmap for terminal-side inspection
+// of hot-spots, camera coverage, and incident clusters.
+
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace metro::viz {
+
+/// One point feature to plot.
+struct GeoFeature {
+  geo::LatLon location;
+  std::string label;
+  double value = 1.0;
+};
+
+/// A GeoJSON FeatureCollection of point features (label/value properties).
+std::string ToGeoJson(const std::vector<GeoFeature>& features);
+
+/// Terminal density map over a bounding box.
+class AsciiHeatmap {
+ public:
+  /// `cols` x `rows` character cells covering `box`.
+  AsciiHeatmap(const geo::BoundingBox& box, int cols = 48, int rows = 18);
+
+  /// Accumulates weight at a location (outside-the-box points ignored).
+  void Add(const geo::LatLon& p, double weight = 1.0);
+
+  /// Marks a fixed glyph at a location (e.g. 'C' for a camera); markers
+  /// overlay the density ramp.
+  void Mark(const geo::LatLon& p, char glyph);
+
+  /// Renders rows top-to-bottom (north at the top) using a density ramp.
+  std::string Render() const;
+
+  double max_density() const;
+
+ private:
+  bool CellFor(const geo::LatLon& p, int& col, int& row) const;
+
+  geo::BoundingBox box_;
+  int cols_, rows_;
+  std::vector<double> density_;
+  std::vector<char> markers_;
+};
+
+}  // namespace metro::viz

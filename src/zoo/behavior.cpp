@@ -1,0 +1,228 @@
+#include "zoo/behavior.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace metro::zoo {
+
+SplitBehaviorNet::SplitBehaviorNet(const BehaviorConfig& config, Rng& rng)
+    : config_(config),
+      block1_(config.channels, config.block1_channels, 2, config.shortcut, rng),
+      lstm1_(config.block1_channels, config.lstm1_hidden, rng),
+      fc1_(config.lstm1_hidden, config.num_classes, rng),
+      block2_(config.block1_channels, config.block2_channels, 2,
+              config.shortcut, rng),
+      block3_(config.block2_channels, config.block3_channels, 2,
+              config.shortcut, rng),
+      lstm2_(config.block3_channels, config.lstm2_hidden, rng),
+      fc2_(config.lstm2_hidden, config.num_classes, rng) {
+  block1_out_shape_ = block1_.OutputShape(
+      {1, config.frame_size, config.frame_size, config.channels});
+}
+
+std::vector<nn::Tensor> SplitBehaviorNet::ToSequence(const nn::Tensor& flat,
+                                                     int n_clips) const {
+  const int t_len = config_.clip_length;
+  assert(flat.rank() == 2 && flat.dim(0) == n_clips * t_len);
+  const int features = flat.dim(1);
+  std::vector<nn::Tensor> steps;
+  steps.reserve(std::size_t(t_len));
+  for (int t = 0; t < t_len; ++t) {
+    nn::Tensor step({n_clips, features});
+    for (int c = 0; c < n_clips; ++c) {
+      const std::size_t src = std::size_t(c * t_len + t) * features;
+      const std::size_t dst = std::size_t(c) * features;
+      for (int f = 0; f < features; ++f) step[dst + f] = flat[src + f];
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+nn::Tensor SplitBehaviorNet::FromSequence(
+    const std::vector<nn::Tensor>& steps) const {
+  const int t_len = config_.clip_length;
+  assert(int(steps.size()) == t_len);
+  const int n_clips = steps.front().dim(0);
+  const int features = steps.front().dim(1);
+  nn::Tensor flat({n_clips * t_len, features});
+  for (int t = 0; t < t_len; ++t) {
+    for (int c = 0; c < n_clips; ++c) {
+      const std::size_t dst = std::size_t(c * t_len + t) * features;
+      const std::size_t src = std::size_t(c) * features;
+      for (int f = 0; f < features; ++f) flat[dst + f] = steps[std::size_t(t)][src + f];
+    }
+  }
+  return flat;
+}
+
+nn::Tensor SplitBehaviorNet::Block1(const nn::Tensor& frames, bool training) {
+  return block1_.Forward(frames, training);
+}
+
+nn::Tensor SplitBehaviorNet::LocalLogits(const nn::Tensor& frames, int n_clips,
+                                         bool training) {
+  nn::Tensor b1 = block1_.Forward(frames, training);
+  nn::Tensor f1 = gap1_.Forward(b1, training);
+  auto outs = lstm1_.Forward(ToSequence(f1, n_clips), training);
+  return fc1_.Forward(outs.back(), training);
+}
+
+nn::Tensor SplitBehaviorNet::ServerLogits(const nn::Tensor& block1_out,
+                                          int n_clips, bool training) {
+  nn::Tensor b3 = block3_.Forward(block2_.Forward(block1_out, training), training);
+  nn::Tensor f2 = gap2_.Forward(b3, training);
+  auto outs = lstm2_.Forward(ToSequence(f2, n_clips), training);
+  return fc2_.Forward(outs.back(), training);
+}
+
+float SplitBehaviorNet::TrainStep(const std::vector<Clip>& batch,
+                                  nn::Optimizer& opt) {
+  const int n = int(batch.size());
+  const int t_len = config_.clip_length;
+  const int hw = config_.frame_size;
+  const int ch = config_.channels;
+
+  // Stack clips into (N*T, H, W, C), clip-major.
+  nn::Tensor frames({n * t_len, hw, hw, ch});
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  const std::size_t frame_elems = std::size_t(t_len) * hw * hw * ch;
+  for (int c = 0; c < n; ++c) {
+    const auto& clip = batch[std::size_t(c)];
+    assert(clip.frames.size() == frame_elems);
+    const std::size_t dst = std::size_t(c) * frame_elems;
+    for (std::size_t i = 0; i < frame_elems; ++i) {
+      frames[dst + i] = clip.frames[i];
+    }
+    labels[std::size_t(c)] = clip.label;
+  }
+
+  // --- Forward, both exits share block 1.
+  nn::Tensor b1 = block1_.Forward(frames, true);
+
+  nn::Tensor f1 = gap1_.Forward(b1, true);
+  auto outs1 = lstm1_.Forward(ToSequence(f1, n), true);
+  nn::Tensor logits1 = fc1_.Forward(outs1.back(), true);
+  auto ce1 = tensor::CrossEntropyLoss(logits1, labels);
+
+  nn::Tensor b2 = block2_.Forward(b1, true);
+  nn::Tensor b3 = block3_.Forward(b2, true);
+  nn::Tensor f2 = gap2_.Forward(b3, true);
+  auto outs2 = lstm2_.Forward(ToSequence(f2, n), true);
+  nn::Tensor logits2 = fc2_.Forward(outs2.back(), true);
+  auto ce2 = tensor::CrossEntropyLoss(logits2, labels);
+
+  // --- Backward: exit 1.
+  nn::Tensor grad_h1 = fc1_.Backward(ce1.grad);
+  std::vector<nn::Tensor> grad_steps1(std::size_t(t_len),
+                                      nn::Tensor({n, config_.lstm1_hidden}));
+  grad_steps1.back() = grad_h1;
+  auto grad_x1 = lstm1_.Backward(grad_steps1);
+  nn::Tensor grad_b1 = gap1_.Backward(FromSequence(grad_x1));
+
+  // --- Backward: exit 2, accumulate into the shared block-1 gradient.
+  nn::Tensor grad_h2 = fc2_.Backward(ce2.grad);
+  std::vector<nn::Tensor> grad_steps2(std::size_t(t_len),
+                                      nn::Tensor({n, config_.lstm2_hidden}));
+  grad_steps2.back() = grad_h2;
+  auto grad_x2 = lstm2_.Backward(grad_steps2);
+  nn::Tensor grad_b3 = gap2_.Backward(FromSequence(grad_x2));
+  grad_b1 += block2_.Backward(block3_.Backward(grad_b3));
+
+  block1_.Backward(grad_b1);
+
+  auto params = Params();
+  nn::ClipGradNorm(params, 5.0f);
+  opt.Step(params);
+  return ce1.loss + ce2.loss;
+}
+
+SplitBehaviorNet::LocalPass SplitBehaviorNet::RunLocal(const Clip& clip) {
+  LocalPass pass;
+  pass.block1_out = block1_.Forward(clip.frames, false);
+  nn::Tensor f1 = gap1_.Forward(pass.block1_out, false);
+  auto outs = lstm1_.Forward(ToSequence(f1, 1), false);
+  pass.logits = fc1_.Forward(outs.back(), false);
+  nn::Tensor probs = tensor::Softmax(pass.logits);
+  pass.entropy = tensor::Entropy(probs.data());
+  return pass;
+}
+
+std::vector<float> SplitBehaviorNet::RunServer(const nn::Tensor& block1_out) {
+  nn::Tensor logits = ServerLogits(block1_out, 1, false);
+  nn::Tensor probs = tensor::Softmax(logits);
+  return {probs.data().begin(), probs.data().end()};
+}
+
+BehaviorPrediction SplitBehaviorNet::Predict(const Clip& clip,
+                                             float entropy_threshold) {
+  LocalPass pass = RunLocal(clip);
+  BehaviorPrediction pred;
+  if (pass.entropy <= entropy_threshold) {
+    nn::Tensor probs = tensor::Softmax(pass.logits);
+    pred.probs.assign(probs.data().begin(), probs.data().end());
+    pred.entropy = pass.entropy;
+    pred.used_server = false;
+  } else {
+    pred.probs = RunServer(pass.block1_out);
+    pred.entropy = tensor::Entropy(
+        std::span<const float>(pred.probs.data(), pred.probs.size()));
+    pred.used_server = true;
+  }
+  pred.label = int(std::max_element(pred.probs.begin(), pred.probs.end()) -
+                   pred.probs.begin());
+  return pred;
+}
+
+std::vector<nn::Param*> SplitBehaviorNet::Params() {
+  std::vector<nn::Param*> params;
+  auto add = [&params](std::vector<nn::Param*> ps) {
+    params.insert(params.end(), ps.begin(), ps.end());
+  };
+  add(block1_.Params());
+  add(lstm1_.Params());
+  add(fc1_.Params());
+  add(block2_.Params());
+  add(block3_.Params());
+  add(lstm2_.Params());
+  add(fc2_.Params());
+  return params;
+}
+
+std::vector<nn::Tensor*> SplitBehaviorNet::Buffers() {
+  std::vector<nn::Tensor*> buffers;
+  for (zoo::ResNetBlock* block : {&block1_, &block2_, &block3_}) {
+    for (auto* b : block->Buffers()) buffers.push_back(b);
+  }
+  return buffers;
+}
+
+std::size_t SplitBehaviorNet::FeatureMapBytes() const {
+  return tensor::NumElements(block1_out_shape_) * std::size_t(config_.clip_length) *
+         sizeof(float);
+}
+
+std::size_t SplitBehaviorNet::LocalMacs() const {
+  const int t_len = config_.clip_length;
+  nn::Shape in = {t_len, config_.frame_size, config_.frame_size,
+                  config_.channels};
+  std::size_t macs = block1_.ForwardMacs(in);
+  macs += lstm1_.ForwardMacs(t_len, 1);
+  macs += fc1_.ForwardMacs({1, config_.lstm1_hidden});
+  return macs;
+}
+
+std::size_t SplitBehaviorNet::ServerMacs() const {
+  const int t_len = config_.clip_length;
+  nn::Shape b1 = block1_out_shape_;
+  b1[0] = t_len;
+  std::size_t macs = block2_.ForwardMacs(b1);
+  const nn::Shape b2 = block2_.OutputShape(b1);
+  macs += block3_.ForwardMacs(b2);
+  macs += lstm2_.ForwardMacs(t_len, 1);
+  macs += fc2_.ForwardMacs({1, config_.lstm2_hidden});
+  return macs;
+}
+
+}  // namespace metro::zoo

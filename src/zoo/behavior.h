@@ -1,0 +1,126 @@
+#pragma once
+
+// Split behavior/action recognizer (Fig. 7).
+//
+// Local device: ResNet block 1 -> per-frame features -> LSTM 1 -> FC1 ->
+// Output 1 with an entropy gate. When the gate is uncertain, the block-1
+// feature map is shipped to the analysis server, which runs ResNet blocks
+// 2-3 -> LSTM 2 -> FC2 -> Output 2. Per Fig. 8, every residual block uses a
+// convolutional shortcut. Both exits train jointly on labeled clips.
+
+#include <memory>
+#include <vector>
+
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "zoo/resnet_block.h"
+
+namespace metro::zoo {
+
+/// Capacity knobs for the Fig. 7 architecture.
+struct BehaviorConfig {
+  int frame_size = 16;     ///< square frames
+  int channels = 3;        ///< RGB street-camera frames; the 3->8 channel,
+                           ///< /2 spatial block-1 cut point then *compresses*
+                           ///< (shipping features beats shipping raw frames)
+  int clip_length = 6;     ///< frames per clip (T)
+  int num_classes = 5;     ///< behavior categories
+  int block1_channels = 8;
+  int block2_channels = 12;
+  int block3_channels = 16;
+  int lstm1_hidden = 16;
+  int lstm2_hidden = 24;
+  ShortcutKind shortcut = ShortcutKind::kConv;  ///< Fig. 8 design choice
+};
+
+/// One labeled video clip: T frames of (H, W, C) stacked into a single
+/// (T, H, W, C) tensor.
+struct Clip {
+  nn::Tensor frames;
+  int label = 0;
+};
+
+/// Result of a gated inference on one clip.
+struct BehaviorPrediction {
+  int label = 0;
+  float entropy = 0;       ///< entropy of the exit used
+  bool used_server = false;
+  std::vector<float> probs;
+};
+
+/// The Fig. 7 split CNN+LSTM model.
+class SplitBehaviorNet {
+ public:
+  SplitBehaviorNet(const BehaviorConfig& config, Rng& rng);
+
+  const BehaviorConfig& config() const { return config_; }
+
+  /// Local path on a batch of clips (N clips, each T frames):
+  /// returns exit-1 logits (N, classes). `frames` is (N*T, H, W, C),
+  /// time-major within each clip.
+  nn::Tensor LocalLogits(const nn::Tensor& frames, int n_clips, bool training);
+
+  /// Server path continuing from the block-1 feature map (N*T, h, w, c1).
+  nn::Tensor ServerLogits(const nn::Tensor& block1_out, int n_clips,
+                          bool training);
+
+  /// Block-1 feature map for a batch of stacked frames (the tensor an
+  /// early-exit miss ships upstream).
+  nn::Tensor Block1(const nn::Tensor& frames, bool training);
+
+  /// Joint training step (CE on both exits); returns combined loss.
+  float TrainStep(const std::vector<Clip>& batch, nn::Optimizer& opt);
+
+  /// Gated inference on one clip: accept exit 1 iff its entropy is at most
+  /// `entropy_threshold` (nats), else run the server path.
+  /// (The paper's prose says "higher than a predefined threshold" for
+  /// *accepting* output 1, but entropy is an uncertainty measure — accepting
+  /// high-entropy outputs would keep the *least* confident results local; we
+  /// implement the evidently intended gate.)
+  BehaviorPrediction Predict(const Clip& clip, float entropy_threshold);
+
+  /// Exit-1 logits plus the block-1 feature map for one clip — used by the
+  /// fog pipeline, which makes the offload decision itself.
+  struct LocalPass {
+    nn::Tensor logits;      ///< (1, classes)
+    nn::Tensor block1_out;  ///< (T, h, w, c1)
+    float entropy = 0;
+  };
+  LocalPass RunLocal(const Clip& clip);
+
+  /// Server-side classification of a shipped feature map.
+  std::vector<float> RunServer(const nn::Tensor& block1_out);
+
+  std::vector<nn::Param*> Params();
+
+  /// Checkpoint buffers (BatchNorm running stats) across all blocks.
+  std::vector<nn::Tensor*> Buffers();
+
+  /// Bytes of the block-1 feature map for one clip.
+  std::size_t FeatureMapBytes() const;
+
+  std::size_t LocalMacs() const;   ///< block1 + LSTM1 + FC1 for one clip
+  std::size_t ServerMacs() const;  ///< blocks 2-3 + LSTM2 + FC2 for one clip
+
+ private:
+  /// Splits a (N*T, features) tensor into T time-major (N, features) steps.
+  std::vector<nn::Tensor> ToSequence(const nn::Tensor& flat, int n_clips) const;
+  /// Inverse of ToSequence for gradients.
+  nn::Tensor FromSequence(const std::vector<nn::Tensor>& steps) const;
+
+  BehaviorConfig config_;
+  ResNetBlock block1_;
+  nn::GlobalAvgPool gap1_;
+  nn::Lstm lstm1_;
+  nn::Dense fc1_;
+
+  ResNetBlock block2_;
+  ResNetBlock block3_;
+  nn::GlobalAvgPool gap2_;
+  nn::Lstm lstm2_;
+  nn::Dense fc2_;
+
+  nn::Shape block1_out_shape_;  // for one frame
+};
+
+}  // namespace metro::zoo

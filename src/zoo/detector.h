@@ -1,0 +1,115 @@
+#pragma once
+
+// Split early-exit object detector (Fig. 5).
+//
+// The paper runs Tiny YOLO on the local device and, when the classification
+// score falls below a threshold, ships the pre-branch feature map to an
+// analysis server that runs the remaining YOLOv2 layers. This module is the
+// same architecture at laptop scale: a shared stem computes the branch-point
+// feature map; a tiny head decodes it locally; a deeper trunk + head decodes
+// it on the server. Both heads emit a YOLO-style S x S grid of
+// (objectness, box, class) predictions and train jointly.
+
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace metro::zoo {
+
+using nn::Tensor;
+
+/// Geometry/capacity knobs for the detector pair.
+struct DetectorConfig {
+  int image_size = 32;    ///< square input, NHWC with `channels` channels
+  int channels = 3;
+  int grid = 4;           ///< S: predictions form an S x S grid
+  int num_classes = 8;    ///< vehicle classes
+  int stem_channels = 12; ///< channel width at the branch point
+  float lambda_coord = 5.0f;   ///< YOLO-style loss weights
+  float lambda_noobj = 0.5f;
+};
+
+/// Ground-truth object: class plus center/size in [0,1] image coordinates.
+struct GroundTruthBox {
+  int cls = 0;
+  float cx = 0, cy = 0, w = 0, h = 0;
+};
+
+/// A decoded detection.
+struct Detection {
+  float score = 0;  ///< objectness * best class probability
+  int cls = 0;
+  float cx = 0, cy = 0, w = 0, h = 0;
+};
+
+/// Intersection-over-union of two center/size boxes.
+float Iou(const Detection& a, const Detection& b);
+
+/// Greedy non-maximum suppression; keeps detections above `score_floor`.
+std::vector<Detection> Nms(std::vector<Detection> dets, float iou_thresh,
+                           float score_floor);
+
+/// Loss value and raw-output gradient for one head.
+struct DetectLossResult {
+  float loss = 0;
+  Tensor grad;  ///< dL/d(raw head output), shape (N, S, S, 5 + C)
+};
+
+/// The Fig. 5 architecture: shared stem, tiny exit head, full trunk+head.
+class SplitDetector {
+ public:
+  SplitDetector(const DetectorConfig& config, Rng& rng);
+
+  const DetectorConfig& config() const { return config_; }
+
+  /// Runs the shared stem: images (N, S*8, S*8-ish, C) -> branch feature map.
+  Tensor Stem(const Tensor& images, bool training);
+
+  /// The local ("Tiny YOLO") head over the branch feature map.
+  Tensor TinyHead(const Tensor& stem_out, bool training);
+
+  /// The server ("remaining YOLOv2 layers") trunk + head.
+  Tensor FullHead(const Tensor& stem_out, bool training);
+
+  /// YOLO-style loss for a head output against per-image ground truth.
+  DetectLossResult DetectLoss(const Tensor& head_out,
+                              const std::vector<std::vector<GroundTruthBox>>&
+                                  truth) const;
+
+  /// One joint training step on a batch (both exits supervised); returns the
+  /// combined loss. The caller owns the optimizer schedule.
+  float TrainStep(const Tensor& images,
+                  const std::vector<std::vector<GroundTruthBox>>& truth,
+                  nn::Optimizer& opt);
+
+  /// Decodes a head output row into detections (pre-NMS).
+  std::vector<Detection> Decode(const Tensor& head_out, int batch_index,
+                                float score_floor) const;
+
+  /// Best detection score in one image's head output — the Fig. 5 exit gate.
+  float Confidence(const Tensor& head_out, int batch_index) const;
+
+  std::vector<nn::Param*> Params();
+
+  /// Checkpoint buffers (BatchNorm running stats) across both halves.
+  std::vector<nn::Tensor*> Buffers();
+
+  /// Bytes of the branch-point feature map for one image — what an early-exit
+  /// miss ships to the analysis server.
+  std::size_t FeatureMapBytes() const;
+
+  std::size_t StemMacs(int batch) const;
+  std::size_t TinyHeadMacs(int batch) const;
+  std::size_t FullHeadMacs(int batch) const;
+
+ private:
+  DetectorConfig config_;
+  nn::Sequential stem_;
+  nn::Sequential tiny_head_;
+  nn::Sequential full_head_;
+  nn::Shape stem_out_shape_;  // for batch 1
+};
+
+}  // namespace metro::zoo

@@ -1,0 +1,126 @@
+#include "zoo/dqn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace metro::zoo {
+
+using nn::ActKind;
+using nn::Activation;
+using nn::Dense;
+using nn::Tensor;
+
+void ReplayBuffer::Add(Transition t) {
+  if (items_.size() >= capacity_) items_.pop_front();
+  items_.push_back(std::move(t));
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(std::size_t n,
+                                                    Rng& rng) const {
+  assert(!items_.empty());
+  std::vector<const Transition*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(&items_[rng.UniformU64(items_.size())]);
+  }
+  return out;
+}
+
+nn::Sequential DqnAgent::BuildNet(Rng& rng) const {
+  nn::Sequential net;
+  int in = state_dim_;
+  for (const int h : config_.hidden) {
+    net.Emplace<Dense>(in, h, rng).Emplace<Activation>(ActKind::kRelu);
+    in = h;
+  }
+  net.Emplace<Dense>(in, num_actions_, rng);
+  return net;
+}
+
+DqnAgent::DqnAgent(int state_dim, int num_actions, const DqnConfig& config,
+                   Rng& rng)
+    : state_dim_(state_dim),
+      num_actions_(num_actions),
+      config_(config),
+      online_(BuildNet(rng)),
+      target_(BuildNet(rng)),
+      opt_(config.learning_rate),
+      replay_(config.replay_capacity) {
+  SyncTarget();
+}
+
+void DqnAgent::SyncTarget() {
+  auto src = online_.Params();
+  auto dst = target_.Params();
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i]->value = src[i]->value;
+  }
+}
+
+int DqnAgent::Act(std::span<const float> state, float epsilon, Rng& rng) {
+  if (rng.Bernoulli(epsilon)) return int(rng.UniformU64(std::size_t(num_actions_)));
+  const auto q = QValues(state);
+  return int(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::vector<float> DqnAgent::QValues(std::span<const float> state) {
+  assert(int(state.size()) == state_dim_);
+  Tensor x({1, state_dim_});
+  std::copy(state.begin(), state.end(), x.data().begin());
+  Tensor q = online_.Forward(x, false);
+  return {q.data().begin(), q.data().end()};
+}
+
+void DqnAgent::Observe(Transition t) { replay_.Add(std::move(t)); }
+
+float DqnAgent::TrainStep(Rng& rng) {
+  if (replay_.size() < config_.batch_size) return 0.0f;
+  const auto batch = replay_.Sample(config_.batch_size, rng);
+  const int n = int(batch.size());
+
+  Tensor states({n, state_dim_});
+  Tensor next_states({n, state_dim_});
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[std::size_t(i)];
+    std::copy(t.state.begin(), t.state.end(),
+              states.data().begin() + std::ptrdiff_t(i) * state_dim_);
+    std::copy(t.next_state.begin(), t.next_state.end(),
+              next_states.data().begin() + std::ptrdiff_t(i) * state_dim_);
+  }
+
+  // TD targets from the frozen network: r + gamma * max_a' Q_target(s', a').
+  Tensor next_q = target_.Forward(next_states, false);
+  std::vector<float> targets(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[std::size_t(i)];
+    float best = next_q[std::size_t(i) * num_actions_];
+    for (int a = 1; a < num_actions_; ++a) {
+      best = std::max(best, next_q[std::size_t(i) * num_actions_ + a]);
+    }
+    targets[std::size_t(i)] =
+        t.done ? t.reward : t.reward + config_.gamma * best;
+  }
+
+  // MSE on the taken action's Q only.
+  Tensor q = online_.Forward(states, true);
+  Tensor grad(q.shape());
+  double loss = 0;
+  const float scale = 2.0f / float(n);
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[std::size_t(i)];
+    const std::size_t idx = std::size_t(i) * num_actions_ + std::size_t(t.action);
+    const float d = q[idx] - targets[std::size_t(i)];
+    loss += double(d) * d / n;
+    grad[idx] = scale * d;
+  }
+  online_.Backward(grad);
+  auto params = online_.Params();
+  nn::ClipGradNorm(params, 10.0f);
+  opt_.Step(params);
+
+  if (++steps_ % config_.target_sync_interval == 0) SyncTarget();
+  return float(loss);
+}
+
+}  // namespace metro::zoo

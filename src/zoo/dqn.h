@@ -1,0 +1,90 @@
+#pragma once
+
+// Deep Q-learning agent (Sec. III-D).
+//
+// The paper's DRL component drives smart camera control (pan/zoom toward
+// incidents). This is a standard DQN: an MLP Q-network, a frozen target
+// network synced periodically, an experience-replay buffer, and epsilon-
+// greedy exploration.
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace metro::zoo {
+
+/// One environment step stored for replay.
+struct Transition {
+  std::vector<float> state;
+  int action = 0;
+  float reward = 0;
+  std::vector<float> next_state;
+  bool done = false;
+};
+
+/// Fixed-capacity FIFO replay buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void Add(Transition t);
+  std::size_t size() const { return items_.size(); }
+
+  /// Samples `n` transitions with replacement.
+  std::vector<const Transition*> Sample(std::size_t n, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Transition> items_;
+};
+
+/// DQN hyperparameters.
+struct DqnConfig {
+  std::vector<int> hidden = {32, 32};
+  float gamma = 0.97f;
+  float learning_rate = 1e-3f;
+  std::size_t replay_capacity = 10'000;
+  std::size_t batch_size = 32;
+  int target_sync_interval = 100;  ///< train steps between target syncs
+};
+
+/// Deep Q-network agent over flat float observations.
+class DqnAgent {
+ public:
+  DqnAgent(int state_dim, int num_actions, const DqnConfig& config, Rng& rng);
+
+  /// Epsilon-greedy action for `state`.
+  int Act(std::span<const float> state, float epsilon, Rng& rng);
+
+  /// Greedy Q-values for `state` (diagnostics, evaluation).
+  std::vector<float> QValues(std::span<const float> state);
+
+  /// Stores a transition for replay.
+  void Observe(Transition t);
+
+  /// One minibatch TD update; returns the TD loss, or 0 if the buffer is
+  /// still smaller than a batch. Syncs the target network on schedule.
+  float TrainStep(Rng& rng);
+
+  int num_actions() const { return num_actions_; }
+  std::size_t replay_size() const { return replay_.size(); }
+
+  /// Copies online weights into the target network.
+  void SyncTarget();
+
+ private:
+  nn::Sequential BuildNet(Rng& rng) const;
+
+  int state_dim_, num_actions_;
+  DqnConfig config_;
+  nn::Sequential online_;
+  nn::Sequential target_;
+  nn::Adam opt_;
+  ReplayBuffer replay_;
+  int steps_ = 0;
+};
+
+}  // namespace metro::zoo

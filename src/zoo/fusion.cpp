@@ -1,0 +1,138 @@
+#include "zoo/fusion.h"
+
+#include <cassert>
+
+namespace metro::zoo {
+
+using nn::ActKind;
+using nn::Activation;
+using nn::Dense;
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0));
+  const int n = a.dim(0), da = a.dim(1), db = b.dim(1);
+  Tensor out({n, da + db});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < da; ++j) {
+      out[std::size_t(i) * (da + db) + j] = a[std::size_t(i) * da + j];
+    }
+    for (int j = 0; j < db; ++j) {
+      out[std::size_t(i) * (da + db) + da + j] = b[std::size_t(i) * db + j];
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> SplitCols(const Tensor& x, int da) {
+  assert(x.rank() == 2 && x.dim(1) >= da);
+  const int n = x.dim(0), d = x.dim(1), db = d - da;
+  Tensor a({n, da}), b({n, db});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < da; ++j) {
+      a[std::size_t(i) * da + j] = x[std::size_t(i) * d + j];
+    }
+    for (int j = 0; j < db; ++j) {
+      b[std::size_t(i) * db + j] = x[std::size_t(i) * d + da + j];
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+MultiModalAutoencoder::MultiModalAutoencoder(const FusionConfig& config,
+                                             Rng& rng)
+    : config_(config) {
+  enc_a_.Emplace<Dense>(config.dim_a, config.hidden, rng)
+      .Emplace<Activation>(ActKind::kRelu);
+  enc_b_.Emplace<Dense>(config.dim_b, config.hidden, rng)
+      .Emplace<Activation>(ActKind::kRelu);
+  enc_joint_.Emplace<Dense>(2 * config.hidden, config.bottleneck, rng)
+      .Emplace<Activation>(ActKind::kRelu);
+  dec_joint_.Emplace<Dense>(config.bottleneck, 2 * config.hidden, rng)
+      .Emplace<Activation>(ActKind::kRelu);
+  dec_a_.Emplace<Dense>(config.hidden, config.dim_a, rng);
+  dec_b_.Emplace<Dense>(config.hidden, config.dim_b, rng);
+}
+
+Tensor MultiModalAutoencoder::Encode(const Tensor& a, const Tensor& b,
+                                     bool training) {
+  Tensor ha = enc_a_.Forward(a, training);
+  Tensor hb = enc_b_.Forward(b, training);
+  return enc_joint_.Forward(ConcatCols(ha, hb), training);
+}
+
+MultiModalAutoencoder::Reconstruction MultiModalAutoencoder::Decode(
+    const Tensor& code, bool training) {
+  Tensor h = dec_joint_.Forward(code, training);
+  auto [ha, hb] = SplitCols(h, config_.hidden);
+  return {dec_a_.Forward(ha, training), dec_b_.Forward(hb, training)};
+}
+
+float MultiModalAutoencoder::TrainStep(const Tensor& a, const Tensor& b,
+                                       nn::Optimizer& opt, Rng& rng) {
+  const int n = a.dim(0);
+  // Modality dropout: zero one input occasionally so the code cross-predicts.
+  Tensor in_a = a, in_b = b;
+  if (rng.Bernoulli(config_.modality_dropout)) {
+    (rng.Bernoulli(0.5) ? in_a : in_b).Fill(0.0f);
+  }
+
+  Tensor code = Encode(in_a, in_b, true);
+  Reconstruction recon = Decode(code, true);
+
+  // MSE against the unmasked targets; grad = 2 (y - t) / (n * dim).
+  auto mse = [n](const Tensor& y, const Tensor& target, Tensor& grad) {
+    grad = Tensor(y.shape());
+    const float scale = 2.0f / float(y.size());
+    double loss = 0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const float d = y[i] - target[i];
+      loss += double(d) * d;
+      grad[i] = scale * d;
+    }
+    return float(loss / double(y.size()));
+  };
+
+  Tensor grad_a, grad_b;
+  const float loss = mse(recon.a, a, grad_a) + mse(recon.b, b, grad_b);
+
+  Tensor gha = dec_a_.Backward(grad_a);
+  Tensor ghb = dec_b_.Backward(grad_b);
+  Tensor gcode = dec_joint_.Backward(ConcatCols(gha, ghb));
+  Tensor gjoint = enc_joint_.Backward(gcode);
+  auto [ga, gb] = SplitCols(gjoint, config_.hidden);
+  enc_a_.Backward(ga);
+  enc_b_.Backward(gb);
+
+  auto params = Params();
+  nn::ClipGradNorm(params, 5.0f);
+  opt.Step(params);
+  return loss;
+}
+
+float MultiModalAutoencoder::ReconstructionError(const Tensor& a,
+                                                 const Tensor& b) {
+  Tensor code = Encode(a, b, false);
+  Reconstruction recon = Decode(code, false);
+  double loss = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = recon.a[i] - a[i];
+    loss += double(d) * d / double(a.size());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const float d = recon.b[i] - b[i];
+    loss += double(d) * d / double(b.size());
+  }
+  return float(loss);
+}
+
+std::vector<nn::Param*> MultiModalAutoencoder::Params() {
+  std::vector<nn::Param*> params;
+  for (nn::Sequential* s :
+       {&enc_a_, &enc_b_, &enc_joint_, &dec_joint_, &dec_a_, &dec_b_}) {
+    auto ps = s->Params();
+    params.insert(params.end(), ps.begin(), ps.end());
+  }
+  return params;
+}
+
+}  // namespace metro::zoo

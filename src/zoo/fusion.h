@@ -1,0 +1,71 @@
+#pragma once
+
+// Multi-modal fusion via deep autoencoders (Sec. III-C).
+//
+// Two modality-specific encoders (e.g. video features and audio features for
+// gunshot detection) meet in a shared bottleneck whose activations are the
+// fused representation; decoders reconstruct both inputs. Following the
+// multimodal-autoencoder recipe, training randomly drops a modality so the
+// fused code learns cross-modal structure and inference tolerates a missing
+// channel.
+
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace metro::zoo {
+
+using nn::Tensor;
+
+/// Layer widths of the fusion autoencoder.
+struct FusionConfig {
+  int dim_a = 16;       ///< modality A feature width (e.g. video embedding)
+  int dim_b = 8;        ///< modality B feature width (e.g. audio embedding)
+  int hidden = 24;      ///< per-modality encoder width
+  int bottleneck = 12;  ///< fused representation width
+  float modality_dropout = 0.3f;  ///< chance a modality is zeroed in training
+};
+
+/// Deep autoencoder that fuses two feature modalities.
+class MultiModalAutoencoder {
+ public:
+  MultiModalAutoencoder(const FusionConfig& config, Rng& rng);
+
+  const FusionConfig& config() const { return config_; }
+
+  /// Fused bottleneck code for a batch: a (N, dim_a), b (N, dim_b).
+  /// Either input may be a zero tensor to model a missing modality.
+  Tensor Encode(const Tensor& a, const Tensor& b, bool training);
+
+  /// Reconstructions of both modalities from a fused code.
+  struct Reconstruction {
+    Tensor a, b;
+  };
+  Reconstruction Decode(const Tensor& code, bool training);
+
+  /// One denoising training step (MSE on both reconstructions against the
+  /// *unmasked* inputs); returns the batch loss.
+  float TrainStep(const Tensor& a, const Tensor& b, nn::Optimizer& opt,
+                  Rng& rng);
+
+  /// Mean reconstruction error of a batch (no training, no modality drop).
+  float ReconstructionError(const Tensor& a, const Tensor& b);
+
+  std::vector<nn::Param*> Params();
+
+ private:
+  FusionConfig config_;
+  nn::Sequential enc_a_, enc_b_;   // per-modality encoders -> hidden
+  nn::Sequential enc_joint_;       // concat(hidden, hidden) -> bottleneck
+  nn::Sequential dec_joint_;       // bottleneck -> concat widths
+  nn::Sequential dec_a_, dec_b_;   // -> reconstructions
+};
+
+/// Concatenates two (N, Da) and (N, Db) tensors along columns.
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Splits a (N, Da+Db) tensor back into (N, Da) and (N, Db).
+std::pair<Tensor, Tensor> SplitCols(const Tensor& x, int da);
+
+}  // namespace metro::zoo

@@ -1,0 +1,125 @@
+// Tests for the AMBER-alert vehicle tracker (Sec. IV-A1's motivating case).
+
+#include <gtest/gtest.h>
+
+#include "apps/amber_app.h"
+
+namespace metro::apps {
+namespace {
+
+Sighting At(int camera, double lat, double lon, TimeNs time, int cls,
+            float score = 0.8f) {
+  Sighting s;
+  s.camera = camera;
+  s.location = {lat, lon};
+  s.time = time;
+  s.vehicle_class = cls;
+  s.score = score;
+  return s;
+}
+
+TEST(AmberTrackerTest, IgnoresUnwatchedClassesAndLowScores) {
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  tracker.Watch(3);
+  EXPECT_FALSE(tracker.Observe(At(0, 30.45, -91.18, kSecond, 5)).has_value());
+  EXPECT_FALSE(
+      tracker.Observe(At(0, 30.45, -91.18, kSecond, 3, 0.1f)).has_value());
+  EXPECT_TRUE(tracker.Observe(At(0, 30.45, -91.18, kSecond, 3)).has_value());
+  EXPECT_EQ(tracker.AllTracks().size(), 1u);
+}
+
+TEST(AmberTrackerTest, ChainsReachableSightings) {
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  tracker.Watch(2);
+  // ~800 m apart, 60 s apart: ~13 m/s — reachable.
+  const auto t1 = tracker.Observe(At(0, 30.450, -91.180, 10 * kSecond, 2));
+  const auto t2 = tracker.Observe(At(1, 30.457, -91.180, 70 * kSecond, 2));
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(*t1, *t2);
+  const auto& track = tracker.AllTracks().front();
+  EXPECT_EQ(track.sightings.size(), 2u);
+  EXPECT_NEAR(track.LastSpeedMps(), 13.0, 3.0);
+  EXPECT_EQ(alerts.total(), 1u);  // alert_after = 2 sightings
+}
+
+TEST(AmberTrackerTest, UnreachableSightingOpensNewTrack) {
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  tracker.Watch(2);
+  ASSERT_TRUE(tracker.Observe(At(0, 30.45, -91.18, 10 * kSecond, 2)));
+  // 50 km away 30 seconds later: impossible at road speed.
+  ASSERT_TRUE(tracker.Observe(At(9, 30.90, -91.18, 40 * kSecond, 2)));
+  EXPECT_EQ(tracker.AllTracks().size(), 2u);
+  EXPECT_EQ(alerts.total(), 0u);  // no track reached 2 sightings
+}
+
+TEST(AmberTrackerTest, ExpiredTracksNotActive) {
+  AmberTracker::Config config;
+  config.max_gap = 5 * 60 * kSecond;
+  core::AlertManager alerts;
+  AmberTracker tracker(config, &alerts);
+  tracker.Watch(1);
+  ASSERT_TRUE(tracker.Observe(At(0, 30.45, -91.18, kSecond, 1)));
+  EXPECT_EQ(tracker.ActiveTracks(2 * kSecond).size(), 1u);
+  EXPECT_TRUE(tracker.ActiveTracks(20 * 60 * kSecond).empty());
+  // A sighting after expiry opens a fresh track rather than teleporting.
+  ASSERT_TRUE(tracker.Observe(At(3, 30.47, -91.18, 30 * 60 * kSecond, 1)));
+  EXPECT_EQ(tracker.AllTracks().size(), 2u);
+}
+
+TEST(AmberTrackerTest, DistinctClassesTrackSeparately) {
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  tracker.Watch(1);
+  tracker.Watch(2);
+  ASSERT_TRUE(tracker.Observe(At(0, 30.450, -91.18, 10 * kSecond, 1)));
+  ASSERT_TRUE(tracker.Observe(At(0, 30.450, -91.18, 11 * kSecond, 2)));
+  ASSERT_TRUE(tracker.Observe(At(1, 30.455, -91.18, 70 * kSecond, 1)));
+  ASSERT_EQ(tracker.AllTracks().size(), 2u);
+  EXPECT_EQ(tracker.AllTracks()[0].sightings.size(), 2u);
+  EXPECT_EQ(tracker.AllTracks()[1].sightings.size(), 1u);
+}
+
+TEST(AmberScenarioTest, RecoversPlantedCorridorDrive) {
+  datagen::CityDataGenerator city({}, 77);
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  const auto result = RunAmberScenario(tracker, city, /*wanted_class=*/4,
+                                       /*background_sightings=*/400, 7);
+  EXPECT_GE(result.planted_sightings, 8);
+  // The longest track recovers most of the drive, in order.
+  EXPECT_GE(result.recovered_in_one_track, result.planted_sightings * 2 / 3);
+  EXPECT_TRUE(result.ordering_correct);
+  EXPECT_GE(alerts.total(), 1u);
+}
+
+TEST(AmberScenarioTest, BackgroundOnlyNoLongTracks) {
+  datagen::CityDataGenerator city({}, 78);
+  core::AlertManager alerts;
+  AmberTracker tracker({}, &alerts);
+  tracker.Watch(4);
+  // Pure background noise: scattered false sightings shouldn't form a track
+  // anywhere near the planted-route length of the positive scenario.
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const auto& cam = city.cameras()[rng.UniformU64(city.cameras().size())];
+    Sighting s;
+    s.camera = cam.id;
+    s.location = cam.location;
+    s.time = TimeNs(rng.UniformU64(600)) * kSecond;
+    s.vehicle_class = rng.Bernoulli(0.1) ? 4 : int(rng.UniformU64(8));
+    s.score = rng.UniformFloat(0.2f, 0.9f);
+    (void)tracker.Observe(s);
+  }
+  std::size_t longest = 0;
+  for (const auto& track : tracker.AllTracks()) {
+    longest = std::max(longest, track.sightings.size());
+  }
+  EXPECT_LT(longest, 8u);
+}
+
+}  // namespace
+}  // namespace metro::apps

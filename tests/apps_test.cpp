@@ -1,0 +1,276 @@
+// Tests for the application layer: the four Sec. IV applications train and
+// behave as the paper claims (early exits, field narrowing, fusion gains,
+// DRL camera control beating random).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/behavior_app.h"
+#include "apps/camera_control.h"
+#include "apps/gunshot_app.h"
+#include "apps/sna_app.h"
+#include "apps/vehicle_app.h"
+
+namespace metro::apps {
+namespace {
+
+// ---------------------------------------------------------------- Vehicle
+
+class VehicleAppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo::DetectorConfig config;
+    config.num_classes = 4;
+    app_ = new VehicleDetectionApp(config, 7);
+    app_->Train(/*steps=*/120, /*batch_size=*/16);
+  }
+  static void TearDownTestSuite() {
+    delete app_;
+    app_ = nullptr;
+  }
+  static VehicleDetectionApp* app_;
+};
+VehicleDetectionApp* VehicleAppTest::app_ = nullptr;
+
+TEST_F(VehicleAppTest, TrainedModelDetectsVehicles) {
+  const auto eval = app_->Evaluate(60, /*threshold=*/0.0f);  // all local
+  EXPECT_GT(eval.recall, 0.5) << "trained tiny head should find most boxes";
+  EXPECT_GT(eval.precision, 0.4);
+}
+
+TEST_F(VehicleAppTest, ThresholdControlsOffload) {
+  const auto never = app_->Evaluate(40, 0.0f);
+  const auto always = app_->Evaluate(40, 1.1f);
+  EXPECT_EQ(never.offload_fraction, 0.0);
+  EXPECT_EQ(always.offload_fraction, 1.0);
+  const auto mid = app_->Evaluate(40, 0.5f);
+  EXPECT_GE(mid.offload_fraction, 0.0);
+  EXPECT_LE(mid.offload_fraction, 1.0);
+}
+
+TEST_F(VehicleAppTest, OffloadFractionMonotoneInThreshold) {
+  double prev = -1;
+  for (const float t : {0.0f, 0.3f, 0.6f, 0.9f, 1.1f}) {
+    const auto eval = app_->Evaluate(40, t);
+    EXPECT_GE(eval.offload_fraction, prev - 1e-9);
+    prev = eval.offload_fraction;
+  }
+}
+
+TEST_F(VehicleAppTest, ProcessFrameReportsConfidence) {
+  datagen::LabeledFrame frame = app_->generator().Generate(1);
+  const auto& config = app_->detector().config();
+  const auto result = app_->ProcessFrame(
+      frame.image.Reshape(
+          {1, config.image_size, config.image_size, config.channels}),
+      0.5f);
+  EXPECT_GE(result.tiny_confidence, 0.0f);
+  EXPECT_LE(result.tiny_confidence, 1.0f);
+}
+
+TEST_F(VehicleAppTest, AsciiRenderingShowsBoxes) {
+  datagen::LabeledFrame frame = app_->generator().Generate(1);
+  std::vector<zoo::Detection> dets;
+  zoo::Detection d;
+  d.cx = 0.5f;
+  d.cy = 0.5f;
+  d.w = 0.4f;
+  d.h = 0.4f;
+  d.cls = 3;
+  d.score = 0.9f;
+  dets.push_back(d);
+  const std::string art = VehicleDetectionApp::RenderAscii(frame.image, dets);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+  EXPECT_NE(art.find('3'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Behavior
+
+class BehaviorAppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    zoo::BehaviorConfig config;
+    app_ = new BehaviorRecognitionApp(config, 11);
+    app_->Train(/*steps=*/80, /*batch_size=*/10);
+  }
+  static void TearDownTestSuite() {
+    delete app_;
+    app_ = nullptr;
+  }
+  static BehaviorRecognitionApp* app_;
+};
+BehaviorRecognitionApp* BehaviorAppTest::app_ = nullptr;
+
+TEST_F(BehaviorAppTest, TrainedModelBeatsChance) {
+  const auto eval = app_->Evaluate(60, /*entropy_threshold=*/0.5f);
+  EXPECT_GT(eval.exit2_accuracy, 0.4);  // chance is 0.2 for 5 classes
+  EXPECT_GT(eval.accuracy, 0.4);
+}
+
+TEST_F(BehaviorAppTest, OffloadMonotoneInEntropyThreshold) {
+  // Higher threshold -> fewer clips exceed it -> fewer offloads.
+  double prev = 2.0;
+  for (const float t : {0.0f, 0.4f, 0.8f, 1.3f, 2.0f}) {
+    const auto eval = app_->Evaluate(40, t);
+    EXPECT_LE(eval.offload_fraction, prev + 1e-9);
+    prev = eval.offload_fraction;
+  }
+}
+
+TEST_F(BehaviorAppTest, ExtremesMatchUngatedPaths) {
+  const auto all_server = app_->Evaluate(40, 0.0f);
+  EXPECT_EQ(all_server.offload_fraction, 1.0);
+  EXPECT_NEAR(all_server.accuracy, all_server.exit2_accuracy, 1e-9);
+  const auto all_local = app_->Evaluate(40, 10.0f);
+  EXPECT_EQ(all_local.offload_fraction, 0.0);
+  EXPECT_NEAR(all_local.accuracy, all_local.exit1_accuracy, 1e-9);
+}
+
+TEST_F(BehaviorAppTest, MonitorLogsAndAlertsOnSuspicious) {
+  store::Collection incidents("incidents");
+  core::AlertManager alerts;
+  const geo::LatLon cam{30.45, -91.18};
+  int suspicious = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto clip = app_->generator().Generate(
+        int(datagen::BehaviorClass::kAltercation));
+    const auto pred =
+        app_->Monitor(clip, cam, TimeNs(i) * kSecond, 0.8f, incidents, alerts);
+    if (BehaviorRecognitionApp::IsSuspicious(pred.label)) ++suspicious;
+  }
+  EXPECT_EQ(incidents.size(), std::size_t(suspicious));
+  EXPECT_EQ(alerts.total(), std::size_t(suspicious));
+  // A trained model should flag at least some staged altercations.
+  EXPECT_GT(suspicious, 0);
+}
+
+TEST(BehaviorAppStaticTest, SuspiciousClassification) {
+  EXPECT_TRUE(BehaviorRecognitionApp::IsSuspicious(
+      int(datagen::BehaviorClass::kAltercation)));
+  EXPECT_FALSE(BehaviorRecognitionApp::IsSuspicious(
+      int(datagen::BehaviorClass::kWalking)));
+}
+
+// ---------------------------------------------------------------- SNA
+
+TEST(SnaAppTest, StatsMatchPaperScale) {
+  SnaApp::Config config;
+  SnaApp app(config, 21);
+  const auto stats = app.Stats(80);
+  EXPECT_EQ(stats.members, 982u);
+  EXPECT_NEAR(stats.mean_first_degree, 14.0, 3.5);
+  EXPECT_GT(stats.mean_second_degree_field, 100);
+  EXPECT_LT(stats.mean_second_degree_field, 320);
+}
+
+TEST(SnaAppTest, InvestigationNarrowsFieldAndFindsPlants) {
+  SnaApp::Config config;
+  config.planted_present_associates = 5;
+  SnaApp app(config, 22);
+  const geo::LatLon scene{30.41, -91.15};
+  const TimeNs when = 1000 * kSecond;
+  const auto seed = app.StageIncident(when, scene);
+  const auto result = app.Investigate(seed, when, scene);
+
+  EXPECT_GT(result.first_degree, 5u);
+  EXPECT_GT(result.second_degree_field, result.first_degree);
+  // The funnel narrows monotonically.
+  EXPECT_LE(result.geo_time_matched, result.second_degree_field);
+  EXPECT_LE(result.persons_of_interest, result.geo_time_matched);
+  // Plants are recovered with high recall.
+  EXPECT_GE(result.plant_recall, 0.8);
+  // And the field shrinks by an order of magnitude (the paper's pitch).
+  EXPECT_GT(result.narrowing_factor, 10.0);
+}
+
+TEST(SnaAppTest, PoiAreFieldMembers) {
+  SnaApp::Config config;
+  SnaApp app(config, 23);
+  const geo::LatLon scene{30.43, -91.12};
+  const TimeNs when = 500 * kSecond;
+  const auto seed = app.StageIncident(when, scene);
+  const auto result = app.Investigate(seed, when, scene);
+  const auto field = app.network().graph.KDegreeAssociates(seed, 2);
+  for (const auto person : result.poi) {
+    EXPECT_TRUE(std::binary_search(field.begin(), field.end(), person));
+  }
+}
+
+// ---------------------------------------------------------------- Gunshot
+
+TEST(GunshotAppTest, FusionBeatsMissingModality) {
+  GunshotDetectionApp::Config config;
+  GunshotDetectionApp app(config, 31);
+  const auto eval = app.TrainAndEvaluate(384, 80, 256);
+  // The fused pathway should comfortably beat chance and not be worse than
+  // the degraded single-modality pathways (Sec. III-C's claim).
+  EXPECT_GT(eval.fused_accuracy, 0.8);
+  EXPECT_GE(eval.fused_accuracy, eval.video_only_accuracy - 0.05);
+  EXPECT_GE(eval.fused_accuracy, eval.audio_only_accuracy - 0.05);
+  // The two views share a latent event signature -> high CCA correlation.
+  EXPECT_GT(eval.top_canonical_correlation, 0.6);
+}
+
+TEST(GunshotAppTest, ScoreSeparatesClasses) {
+  GunshotDetectionApp::Config config;
+  GunshotDetectionApp app(config, 32);
+  (void)app.TrainAndEvaluate(256, 60, 64);
+  double gun_score = 0, bg_score = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto gun = app.generator().Generate(true);
+    const auto bg = app.generator().Generate(false);
+    gun_score += app.Score(gun.video_features, gun.audio_features);
+    bg_score += app.Score(bg.video_features, bg.audio_features);
+  }
+  EXPECT_GT(gun_score, bg_score);
+}
+
+// ---------------------------------------------------------------- Camera DRL
+
+TEST(CameraControlTest, EnvironmentMechanics) {
+  CameraEnv env({.grid = 5, .zoom_levels = 2, .episode_steps = 10}, 41);
+  auto state = env.Reset();
+  ASSERT_EQ(state.size(), std::size_t(CameraEnv::kStateDim));
+  int steps = 0;
+  while (true) {
+    const auto res = env.Step(6);  // hold
+    ++steps;
+    if (res.done) break;
+  }
+  EXPECT_EQ(steps, 10);
+}
+
+TEST(CameraControlTest, RewardPeaksOnTargetAtZoom) {
+  CameraEnv env({.grid = 5, .zoom_levels = 3, .episode_steps = 100}, 42);
+  env.Reset();
+  // Drive the camera somewhere and compare pose rewards indirectly: zooming
+  // while off target should not beat holding.
+  const float before = env.PoseReward();
+  (void)env.Step(4);  // zoom in
+  const float zoomed = env.PoseReward();
+  // Either on target (reward up) or off target (reward down) — but bounded.
+  EXPECT_LE(std::fabs(zoomed - before), 1.0f);
+}
+
+TEST(CameraControlTest, TrainedPolicyBeatsRandom) {
+  CameraEnv::Config env_config;
+  env_config.grid = 5;
+  env_config.zoom_levels = 2;
+  env_config.episode_steps = 25;
+  env_config.incident_lifetime = 25;  // static incident per episode
+  zoo::DqnConfig dqn;
+  dqn.hidden = {24, 24};
+  dqn.batch_size = 32;
+  dqn.learning_rate = 2e-3f;
+  dqn.target_sync_interval = 50;
+  CameraControlApp app(env_config, dqn, 43);
+  (void)app.Train(120);
+  const double policy = app.EvaluatePolicy(30);
+  const double random = app.EvaluateRandom(30);
+  EXPECT_GT(policy, random + 1.0) << "policy " << policy << " random " << random;
+}
+
+}  // namespace
+}  // namespace metro::apps

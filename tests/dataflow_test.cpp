@@ -1,0 +1,259 @@
+// Tests for the dataflow engine: lazy datasets, shuffles, caching with
+// lineage recompute, and the MLlib-style algorithms.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dataflow/dataset.h"
+#include "dataflow/mllib.h"
+
+namespace metro::dataflow {
+namespace {
+
+std::vector<int> Iota(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(DatasetTest, ParallelizeCollectRoundTrip) {
+  Engine engine(4);
+  auto ds = Dataset<int>::Parallelize(Iota(100), 7);
+  EXPECT_EQ(ds.num_partitions(), 7);
+  auto out = ds.Collect(engine);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Iota(100));
+}
+
+TEST(DatasetTest, MapFilterFlatMap) {
+  Engine engine(2);
+  auto ds = Dataset<int>::Parallelize(Iota(10), 3);
+  auto mapped = ds.Map([](const int& x) { return x * 2; });
+  auto filtered = mapped.Filter([](const int& x) { return x % 4 == 0; });
+  auto flat = filtered.FlatMap([](const int& x) {
+    return std::vector<int>{x, x + 1};
+  });
+  auto out = flat.Collect(engine);
+  std::sort(out.begin(), out.end());
+  // Evens doubled: 0,4,8,12,16 -> pairs (x, x+1).
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 4, 5, 8, 9, 12, 13, 16, 17}));
+}
+
+TEST(DatasetTest, CountAndReduce) {
+  Engine engine(4);
+  auto ds = Dataset<int>::Parallelize(Iota(1000), 8);
+  EXPECT_EQ(ds.Count(engine), 1000u);
+  EXPECT_EQ(ds.Reduce(engine, 0, [](int a, int b) { return a + b; }),
+            999 * 1000 / 2);
+}
+
+TEST(DatasetTest, UnionConcatenates) {
+  Engine engine(2);
+  auto a = Dataset<int>::Parallelize({1, 2}, 1);
+  auto b = Dataset<int>::Parallelize({3, 4}, 1);
+  auto out = a.Union(b).Collect(engine);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(DatasetTest, SampleApproximatesFraction) {
+  Engine engine(2);
+  auto ds = Dataset<int>::Parallelize(Iota(10000), 4);
+  const auto n = ds.Sample(0.3, 42).Count(engine);
+  EXPECT_NEAR(double(n) / 10000, 0.3, 0.03);
+}
+
+TEST(DatasetTest, FromGeneratorLazy) {
+  Engine engine(2);
+  auto ds = Dataset<int>::FromGenerator(
+      3, [](int p) { return std::vector<int>{p, p * 10}; });
+  auto out = ds.Collect(engine);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{0, 0, 1, 2, 10, 20}));
+}
+
+TEST(DatasetTest, CacheAvoidsRecompute) {
+  Engine engine(2);
+  auto compute_count = std::make_shared<std::atomic<int>>(0);
+  auto ds = Dataset<int>::FromGenerator(2, [compute_count](int p) {
+    compute_count->fetch_add(1);
+    return std::vector<int>{p};
+  });
+  ds.Cache();
+  (void)ds.Collect(engine);
+  EXPECT_EQ(compute_count->load(), 2);
+  (void)ds.Collect(engine);
+  EXPECT_EQ(compute_count->load(), 2);  // served from cache
+}
+
+TEST(DatasetTest, LostPartitionRecomputedFromLineage) {
+  Engine engine(2);
+  auto compute_count = std::make_shared<std::atomic<int>>(0);
+  auto ds = Dataset<int>::FromGenerator(3, [compute_count](int p) {
+    compute_count->fetch_add(1);
+    return std::vector<int>{p * 100};
+  });
+  ds.Cache();
+  auto first = ds.Collect(engine);
+  ds.DropCachedPartition(1);  // simulate a lost executor
+  auto second = ds.Collect(engine);
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(compute_count->load(), 4);  // 3 initial + 1 recompute
+}
+
+TEST(ShuffleTest, ReduceByKeySumsPerKey) {
+  Engine engine(4);
+  std::vector<std::pair<std::string, int>> pairs;
+  for (int i = 0; i < 100; ++i) {
+    pairs.emplace_back("k" + std::to_string(i % 5), 1);
+  }
+  auto ds = Dataset<std::pair<std::string, int>>::Parallelize(pairs, 6);
+  auto reduced = ReduceByKey(ds, 3, [](int a, int b) { return a + b; });
+  auto out = reduced.Collect(engine);
+  ASSERT_EQ(out.size(), 5u);
+  for (const auto& [k, v] : out) EXPECT_EQ(v, 20);
+}
+
+TEST(ShuffleTest, GroupByKeyCollectsValues) {
+  Engine engine(2);
+  std::vector<std::pair<int, int>> pairs = {{1, 10}, {2, 20}, {1, 11}, {2, 21}, {1, 12}};
+  auto ds = Dataset<std::pair<int, int>>::Parallelize(pairs, 3);
+  auto grouped = GroupByKey(ds, 2);
+  auto out = grouped.Collect(engine);
+  ASSERT_EQ(out.size(), 2u);
+  for (auto& [k, vals] : out) {
+    std::sort(vals.begin(), vals.end());
+    if (k == 1) {
+      EXPECT_EQ(vals, (std::vector<int>{10, 11, 12}));
+    }
+    if (k == 2) {
+      EXPECT_EQ(vals, (std::vector<int>{20, 21}));
+    }
+  }
+}
+
+TEST(ShuffleTest, JoinMatchesKeys) {
+  Engine engine(2);
+  std::vector<std::pair<int, std::string>> users = {{1, "alice"}, {2, "bob"}, {3, "carol"}};
+  std::vector<std::pair<int, int>> scores = {{1, 90}, {2, 80}, {4, 70}};
+  auto joined = Join(Dataset<std::pair<int, std::string>>::Parallelize(users, 2),
+                     Dataset<std::pair<int, int>>::Parallelize(scores, 2), 2);
+  auto out = joined.Collect(engine);
+  ASSERT_EQ(out.size(), 2u);  // keys 1 and 2 only
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(out[0].second.first, "alice");
+  EXPECT_EQ(out[0].second.second, 90);
+}
+
+TEST(ShuffleTest, ChainedWideAndNarrowOps) {
+  Engine engine(4);
+  // Word-count over synthetic text, then filter the counts — the canonical
+  // dataflow pipeline.
+  std::vector<std::string> docs;
+  for (int i = 0; i < 30; ++i) {
+    docs.push_back(i % 3 == 0 ? "crime report downtown" : "traffic jam downtown");
+  }
+  auto words =
+      Dataset<std::string>::Parallelize(docs, 5).FlatMap([](const std::string& d) {
+        std::vector<std::string> out;
+        std::size_t pos = 0;
+        while (pos < d.size()) {
+          const auto space = d.find(' ', pos);
+          out.push_back(d.substr(pos, space - pos));
+          if (space == std::string::npos) break;
+          pos = space + 1;
+        }
+        return out;
+      });
+  auto counts = ReduceByKey(
+      words.Map([](const std::string& w) { return std::make_pair(w, 1); }), 4,
+      [](int a, int b) { return a + b; });
+  auto frequent =
+      counts.Filter([](const std::pair<std::string, int>& kv) { return kv.second >= 20; });
+  auto out = frequent.Collect(engine);
+  // downtown=30, traffic=20, jam=20, crime=10, report=10 -> three survive.
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(EngineTest, NestedStagesDoNotDeadlock) {
+  Engine engine(2);
+  std::atomic<int> inner_runs{0};
+  engine.RunStage(4, [&](int) {
+    engine.RunStage(4, [&](int) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
+TEST(EngineTest, CountsStagesAndTasks) {
+  Engine engine(2);
+  engine.RunStage(5, [](int) {});
+  EXPECT_EQ(engine.stages_run(), 1);
+  EXPECT_EQ(engine.tasks_run(), 5);
+}
+
+// ---------------------------------------------------------------- MLlib
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(5);
+  Engine engine(4);
+  std::vector<FeatureVec> points;
+  const std::vector<FeatureVec> centers = {{0, 0}, {10, 10}, {-10, 5}};
+  for (int i = 0; i < 300; ++i) {
+    const auto& c = centers[std::size_t(i) % 3];
+    points.push_back(
+        {c[0] + float(rng.Normal(0, 0.5)), c[1] + float(rng.Normal(0, 0.5))});
+  }
+  auto ds = Dataset<FeatureVec>::Parallelize(points, 4);
+  auto model = FitKMeans(ds, 3, engine, rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->inertia / 300.0, 1.0);
+  // Every true center has a fitted centroid nearby.
+  for (const auto& c : centers) {
+    const auto idx = NearestCentroid(*model, c);
+    const auto& fitted = model->centroids[idx];
+    const double d = std::hypot(fitted[0] - c[0], fitted[1] - c[1]);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  Rng rng(6);
+  Engine engine(2);
+  auto tiny = Dataset<FeatureVec>::Parallelize({{1.0f, 2.0f}}, 1);
+  EXPECT_FALSE(FitKMeans(tiny, 5, engine, rng).ok());
+  EXPECT_FALSE(FitKMeans(tiny, 0, engine, rng).ok());
+}
+
+TEST(LogisticTest, LearnsLinearBoundary) {
+  Rng rng(7);
+  Engine engine(4);
+  std::vector<LabeledPoint> data;
+  for (int i = 0; i < 400; ++i) {
+    LabeledPoint pt;
+    pt.features = {float(rng.Normal(0, 1)), float(rng.Normal(0, 1))};
+    pt.label = pt.features[0] + pt.features[1] > 0 ? 1 : 0;
+    data.push_back(std::move(pt));
+  }
+  auto ds = Dataset<LabeledPoint>::Parallelize(data, 4);
+  auto model = FitLogistic(ds, 2, engine, 150, 1.0f);
+  ASSERT_TRUE(model.ok());
+  int hits = 0;
+  for (const auto& pt : data) {
+    const int pred = LogisticPredict(*model, pt.features) >= 0.5f ? 1 : 0;
+    if (pred == pt.label) ++hits;
+  }
+  EXPECT_GT(double(hits) / double(data.size()), 0.95);
+}
+
+TEST(LogisticTest, EmptyDataRejected) {
+  Engine engine(2);
+  auto empty = Dataset<LabeledPoint>::Parallelize({}, 2);
+  EXPECT_FALSE(FitLogistic(empty, 2, engine).ok());
+}
+
+}  // namespace
+}  // namespace metro::dataflow

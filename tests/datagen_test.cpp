@@ -1,0 +1,270 @@
+// Tests for the synthetic data generators, including calibration of the
+// gang network to the paper's Sec. IV-B statistics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/city.h"
+#include "datagen/social.h"
+#include "datagen/video.h"
+
+namespace metro::datagen {
+namespace {
+
+TEST(VehicleFrameTest, FrameGeometryAndLabels) {
+  zoo::DetectorConfig config;
+  VehicleFrameGenerator gen(config, 1);
+  const LabeledFrame frame = gen.Generate(3);
+  EXPECT_EQ(frame.image.shape(),
+            (tensor::Shape{config.image_size, config.image_size, 3}));
+  EXPECT_GE(frame.boxes.size(), 1u);
+  EXPECT_LE(frame.boxes.size(), 3u);
+  for (const auto& box : frame.boxes) {
+    EXPECT_GE(box.cls, 0);
+    EXPECT_LT(box.cls, config.num_classes);
+    EXPECT_GT(box.w, 0);
+    EXPECT_GE(box.cx - box.w / 2, -1e-5f);
+    EXPECT_LE(box.cx + box.w / 2, 1.0f + 1e-5f);
+  }
+  for (const float v : frame.image.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(VehicleFrameTest, VehiclePixelsBrighterThanBackground) {
+  zoo::DetectorConfig config;
+  VehicleFrameGenerator gen(config, 2);
+  const LabeledFrame frame = gen.Generate(1);
+  const auto& box = frame.boxes[0];
+  const int hw = config.image_size;
+  const int cx = int(box.cx * hw), cy = int(box.cy * hw);
+  float center = 0;
+  for (int c = 0; c < 3; ++c) {
+    center = std::max(center, frame.image[(std::size_t(cy) * hw + cx) * 3 + std::size_t(c)]);
+  }
+  EXPECT_GT(center, 0.4f);  // a palette color, not background grey
+}
+
+TEST(VehicleFrameTest, BatchStacksFrames) {
+  zoo::DetectorConfig config;
+  VehicleFrameGenerator gen(config, 3);
+  auto [images, truth] = gen.Batch(5, 2);
+  EXPECT_EQ(images.dim(0), 5);
+  EXPECT_EQ(truth.size(), 5u);
+}
+
+TEST(VehicleFrameTest, ClassColorsDistinct) {
+  std::set<std::array<float, 3>> colors;
+  for (int c = 0; c < 8; ++c) {
+    colors.insert(VehicleFrameGenerator::ClassColor(c));
+  }
+  EXPECT_EQ(colors.size(), 8u);
+}
+
+TEST(BehaviorClipTest, ClipShapeAndLabels) {
+  zoo::BehaviorConfig config;
+  BehaviorClipGenerator gen(config, 4);
+  const zoo::Clip clip = gen.Generate(2);
+  EXPECT_EQ(clip.label, 2);
+  EXPECT_EQ(clip.frames.shape(),
+            (tensor::Shape{config.clip_length, config.frame_size,
+                           config.frame_size, config.channels}));
+}
+
+TEST(BehaviorClipTest, DatasetBalanced) {
+  zoo::BehaviorConfig config;
+  BehaviorClipGenerator gen(config, 5);
+  const auto clips = gen.Dataset(50);
+  std::vector<int> counts(std::size_t(config.num_classes), 0);
+  for (const auto& clip : clips) ++counts[std::size_t(clip.label)];
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(BehaviorClipTest, WalkingMovesRight) {
+  zoo::BehaviorConfig config;
+  BehaviorClipGenerator gen(config, 6);
+  const zoo::Clip clip = gen.Generate(int(BehaviorClass::kWalking));
+  // Center of mass of the last frame is right of the first frame's.
+  auto center_x = [&](int t) {
+    const int hw = config.frame_size;
+    const int ch = config.channels;
+    double sum = 0, weight = 0;
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        const float v =
+            clip.frames[((std::size_t(t) * hw + y) * hw + x) * std::size_t(ch)];
+        sum += v * x;
+        weight += v;
+      }
+    }
+    return sum / weight;
+  };
+  EXPECT_GT(center_x(config.clip_length - 1), center_x(0) + 1.0);
+}
+
+TEST(MultiModalTest, ViewsCorrelateThroughLatent) {
+  MultiModalEventGenerator gen(8, 4, 7);
+  // Gunshot events should have larger feature energy than background.
+  double gun_energy = 0, bg_energy = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto gun = gen.Generate(true);
+    const auto bg = gen.Generate(false);
+    for (const float v : gun.video_features) gun_energy += double(v) * v;
+    for (const float v : bg.video_features) bg_energy += double(v) * v;
+  }
+  EXPECT_GT(gun_energy, bg_energy);
+}
+
+TEST(MultiModalTest, BatchShapesAndFraction) {
+  MultiModalEventGenerator gen(6, 3, 8);
+  const auto batch = gen.GenerateBatch(200, 0.25);
+  EXPECT_EQ(batch.video.shape(), (tensor::Shape{200, 6}));
+  EXPECT_EQ(batch.audio.shape(), (tensor::Shape{200, 3}));
+  int positives = 0;
+  for (const int label : batch.labels) positives += label;
+  EXPECT_NEAR(double(positives) / 200, 0.25, 0.1);
+}
+
+// ---------------------------------------------------------------- Social
+
+TEST(TweetGeneratorTest, BackgroundTweetFields) {
+  TweetGenerator gen({.num_users = 100}, 9);
+  const Tweet t = gen.Generate(5 * kSecond);
+  EXPECT_GT(t.id, 0u);
+  EXPECT_LT(t.user, 100u);
+  EXPECT_EQ(t.timestamp, 5 * kSecond);
+  EXPECT_FALSE(t.text.empty());
+  EXPECT_NEAR(t.location.lat, kBatonRouge.lat, 1.0);
+}
+
+TEST(TweetGeneratorTest, IncidentTweetNearLocationAndTime) {
+  TweetGenerator gen({.num_users = 100}, 10);
+  const geo::LatLon scene{30.40, -91.10};
+  const TimeNs when = 100 * kSecond;
+  const Tweet t = gen.GenerateNearIncident(when, scene);
+  EXPECT_TRUE(t.about_incident);
+  EXPECT_LT(geo::HaversineMeters(t.location, scene), 3000);
+  EXPECT_GE(t.timestamp, when);
+  EXPECT_LE(t.timestamp, when + 11 * 60 * kSecond);
+}
+
+TEST(WazeGeneratorTest, ReportsValid) {
+  WazeGenerator gen(11);
+  for (int i = 0; i < 50; ++i) {
+    const WazeReport r = gen.Generate(TimeNs(i) * kSecond);
+    EXPECT_GE(r.severity, 1);
+    EXPECT_LE(r.severity, 5);
+    EXPECT_FALSE(std::string(WazeKindName(r.kind)).empty());
+  }
+}
+
+TEST(GangNetworkTest, MatchesPaperStatistics) {
+  // Sec. IV-B: 67 groups, 982 members, mean first-degree field ~14.
+  GangNetworkSpec spec;
+  const GangNetwork net = GenerateGangNetwork(spec, 42);
+  EXPECT_EQ(net.graph.num_people(), 982u);
+  EXPECT_EQ(net.group_of.size(), 982u);
+  int max_group = 0;
+  for (const int g : net.group_of) max_group = std::max(max_group, g);
+  EXPECT_LT(max_group, 67);
+  // Mean degree within 25% of the paper's 14.
+  EXPECT_NEAR(net.graph.MeanDegree(), 14.0, 3.5);
+}
+
+TEST(GangNetworkTest, SecondDegreeFieldScale) {
+  // The paper reports ~200 second-degree associates for typical members.
+  GangNetworkSpec spec;
+  const GangNetwork net = GenerateGangNetwork(spec, 43);
+  Rng rng(44);
+  double sum = 0;
+  const int samples = 100;
+  for (int i = 0; i < samples; ++i) {
+    const auto person = graph::PersonId(rng.UniformU64(net.graph.num_people()));
+    sum += double(net.graph.KDegreeAssociates(person, 2).size());
+  }
+  const double mean = sum / samples;
+  EXPECT_GT(mean, 120);
+  EXPECT_LT(mean, 300);
+}
+
+TEST(GangNetworkTest, CrossGroupTiesExist) {
+  GangNetworkSpec spec;
+  const GangNetwork net = GenerateGangNetwork(spec, 45);
+  int cross = 0;
+  for (std::size_t p = 0; p < net.graph.num_people(); ++p) {
+    for (const auto nbr : net.graph.Neighbors(graph::PersonId(p))) {
+      if (net.group_of[p] != net.group_of[nbr]) ++cross;
+    }
+  }
+  EXPECT_GT(cross, 0);
+}
+
+// ---------------------------------------------------------------- City
+
+TEST(CityDataTest, CameraNetworkMatchesFig2Scale) {
+  CityDataGenerator gen({}, 46);
+  EXPECT_EQ(gen.cameras().size(), 200u);  // "more than 200 cameras"
+  std::set<std::string> corridors;
+  for (const auto& cam : gen.cameras()) {
+    corridors.insert(cam.corridor);
+    EXPECT_NEAR(cam.location.lat, kBatonRouge.lat, 2.0);
+  }
+  EXPECT_GE(corridors.size(), 4u);  // multiple interstates, like Fig. 2
+}
+
+TEST(CityDataTest, CrimesClusterAtHotspots) {
+  CityDataGenerator::Config config;
+  config.hotspot_fraction = 1.0;  // all crimes at hot-spots
+  CityDataGenerator gen(config, 47);
+  int near_hotspot = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const CrimeRecord rec = gen.GenerateCrime(TimeNs(i) * kSecond);
+    for (const auto& hs : gen.hotspots()) {
+      if (geo::HaversineMeters(rec.location, hs) < 5000) {
+        ++near_hotspot;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near_hotspot, n * 9 / 10);
+}
+
+TEST(CityDataTest, CrimeInvolvesNetworkMembers) {
+  GangNetworkSpec spec;
+  const GangNetwork net = GenerateGangNetwork(spec, 48);
+  CityDataGenerator gen({}, 49);
+  int with_involved = 0, co_offender_pairs = 0;
+  for (int i = 0; i < 300; ++i) {
+    const CrimeRecord rec = gen.GenerateCrime(TimeNs(i) * kSecond, &net);
+    if (!rec.involved.empty()) ++with_involved;
+    if (rec.involved.size() == 2) {
+      EXPECT_TRUE(net.graph.HasTie(graph::PersonId(rec.involved[0]),
+                                   graph::PersonId(rec.involved[1])));
+      ++co_offender_pairs;
+    }
+  }
+  EXPECT_GT(with_involved, 50);
+  EXPECT_GT(co_offender_pairs, 10);
+}
+
+TEST(CityDataTest, DocumentsCarryGeoAndType) {
+  CityDataGenerator gen({}, 50);
+  const CrimeRecord rec = gen.GenerateCrime(7 * kSecond);
+  const auto doc = CityDataGenerator::ToDocument(rec);
+  EXPECT_EQ(std::get<std::string>(doc.at("type")), "crime");
+  EXPECT_TRUE(doc.count("lat"));
+  EXPECT_TRUE(doc.count("lon"));
+  EXPECT_EQ(std::get<std::int64_t>(doc.at("timestamp")), 7 * kSecond);
+
+  TweetGenerator tgen({.num_users = 10}, 51);
+  const auto tweet_doc =
+      CityDataGenerator::ToDocument(tgen.Generate(1 * kSecond));
+  EXPECT_EQ(std::get<std::string>(tweet_doc.at("type")), "tweet");
+  EXPECT_TRUE(tweet_doc.count("text"));
+}
+
+}  // namespace
+}  // namespace metro::datagen

@@ -1,0 +1,145 @@
+// Deployment-workflow tests: the Figs. 5/7 operational story — train a
+// split model on the analysis server, checkpoint it, load it on an "edge
+// device" instance, and get bit-identical inference — plus a property check
+// that the document store's geo index stays consistent under mutation.
+
+#include <gtest/gtest.h>
+
+#include "apps/vehicle_app.h"
+#include "nn/serialize.h"
+#include "store/document_store.h"
+#include "zoo/behavior.h"
+
+namespace metro {
+namespace {
+
+TEST(DeploymentTest, DetectorCheckpointShipsToEdge) {
+  // "Server": train briefly.
+  zoo::DetectorConfig config;
+  config.num_classes = 4;
+  Rng server_rng(1);
+  zoo::SplitDetector server(config, server_rng);
+  datagen::VehicleFrameGenerator gen(config, 2);
+  nn::Adam opt(2e-3f);
+  for (int step = 0; step < 15; ++step) {
+    auto [images, truth] = gen.Batch(8, 1);
+    server.TrainStep(images, truth, opt);
+  }
+  const std::string checkpoint =
+      nn::SaveCheckpoint(server.Params(), server.Buffers());
+
+  // "Edge device": fresh instance, different init, load the checkpoint.
+  Rng edge_rng(999);
+  zoo::SplitDetector edge(config, edge_rng);
+  ASSERT_TRUE(nn::LoadCheckpoint(edge.Params(), edge.Buffers(), checkpoint).ok());
+
+  // Identical inference on identical frames.
+  auto [images, truth] = gen.Batch(4, 1);
+  tensor::Tensor server_out = server.TinyHead(server.Stem(images, false), false);
+  tensor::Tensor edge_out = edge.TinyHead(edge.Stem(images, false), false);
+  ASSERT_EQ(server_out.size(), edge_out.size());
+  for (std::size_t i = 0; i < server_out.size(); ++i) {
+    EXPECT_FLOAT_EQ(server_out[i], edge_out[i]);
+  }
+  // And identical gate decisions — the deployment-critical bit.
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_FLOAT_EQ(server.Confidence(server_out, b),
+                    edge.Confidence(edge_out, b));
+  }
+}
+
+TEST(DeploymentTest, BehaviorCheckpointPreservesGateDecisions) {
+  zoo::BehaviorConfig config;
+  config.num_classes = 3;
+  Rng rng_a(3);
+  zoo::SplitBehaviorNet trained(config, rng_a);
+  datagen::BehaviorClipGenerator gen(config, 4);
+  nn::Adam opt(2e-3f);
+  for (int step = 0; step < 10; ++step) {
+    std::vector<zoo::Clip> batch;
+    for (int i = 0; i < 6; ++i) batch.push_back(gen.Generate(i % 3));
+    trained.TrainStep(batch, opt);
+  }
+  const std::string checkpoint =
+      nn::SaveCheckpoint(trained.Params(), trained.Buffers());
+
+  Rng rng_b(777);
+  zoo::SplitBehaviorNet deployed(config, rng_b);
+  ASSERT_TRUE(
+      nn::LoadCheckpoint(deployed.Params(), deployed.Buffers(), checkpoint)
+          .ok());
+
+  for (int i = 0; i < 6; ++i) {
+    const auto clip = gen.Generate(i % 3);
+    auto a = trained.RunLocal(clip);
+    auto b = deployed.RunLocal(clip);
+    EXPECT_FLOAT_EQ(a.entropy, b.entropy);
+    const auto pa = trained.Predict(clip, 0.7f);
+    const auto pb = deployed.Predict(clip, 0.7f);
+    EXPECT_EQ(pa.label, pb.label);
+    EXPECT_EQ(pa.used_server, pb.used_server);
+  }
+}
+
+// Property: the geo index answers exactly like a brute-force scan after an
+// arbitrary interleaving of inserts, updates (including location moves),
+// and removes.
+class GeoIndexConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeoIndexConsistency, MatchesBruteForceAfterMutations) {
+  Rng rng(GetParam());
+  store::Collection coll("c");
+  ASSERT_TRUE(coll.CreateGeoIndex("lat", "lon").ok());
+
+  auto random_doc = [&rng] {
+    store::Document doc;
+    doc["lat"] = 30.3 + rng.UniformDouble() * 0.3;
+    doc["lon"] = -91.3 + rng.UniformDouble() * 0.3;
+    doc["tag"] = std::int64_t(rng.UniformU64(5));
+    return doc;
+  };
+
+  std::vector<store::DocId> live;
+  for (int op = 0; op < 400; ++op) {
+    const double dice = rng.UniformDouble();
+    if (dice < 0.5 || live.empty()) {
+      live.push_back(coll.Insert(random_doc()));
+    } else if (dice < 0.75) {
+      const auto id = live[rng.UniformU64(live.size())];
+      ASSERT_TRUE(coll.Update(id, random_doc()).ok());
+    } else {
+      const std::size_t pick = rng.UniformU64(live.size());
+      ASSERT_TRUE(coll.Remove(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+
+  // Compare indexed geo query against brute force over FindById.
+  for (int q = 0; q < 10; ++q) {
+    const geo::LatLon center{30.3 + rng.UniformDouble() * 0.3,
+                             -91.3 + rng.UniformDouble() * 0.3};
+    const double radius = 500 + rng.UniformDouble() * 8000;
+    store::Query query;
+    query.near_center = center;
+    query.near_radius_m = radius;
+    auto indexed = coll.Find(query);
+
+    std::vector<store::DocId> brute;
+    for (const auto id : live) {
+      const auto doc = coll.FindById(id);
+      ASSERT_TRUE(doc.ok());
+      const geo::LatLon p{std::get<double>(doc->at("lat")),
+                          std::get<double>(doc->at("lon"))};
+      if (geo::HaversineMeters(center, p) <= radius) brute.push_back(id);
+    }
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(indexed, brute) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoIndexConsistency,
+                         ::testing::Range<std::uint64_t>(80, 88));
+
+}  // namespace
+}  // namespace metro

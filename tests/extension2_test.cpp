@@ -1,0 +1,382 @@
+// Tests for the Sec. II-C workload extensions: the Pregel-style graph
+// engine (graph-based processing), windowed stream processing, the
+// data-parallel trainer (Sec. II-C1's parallelism claim), and the
+// visualization layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/social.h"
+#include "graph/pregel.h"
+#include "graph/social_graph.h"
+#include "nn/parallel.h"
+#include "stream/windows.h"
+#include "viz/viz.h"
+
+namespace metro {
+namespace {
+
+// ---------------------------------------------------------------- Pregel
+
+graph::PregelGraph Ring(int n) {
+  graph::PregelGraph g;
+  g.AddVertices(std::size_t(n));
+  for (int i = 0; i < n; ++i) {
+    (void)g.AddEdge(graph::VertexId(i), graph::VertexId((i + 1) % n));
+    (void)g.AddEdge(graph::VertexId((i + 1) % n), graph::VertexId(i));
+  }
+  return g;
+}
+
+TEST(PregelTest, EdgeValidation) {
+  graph::PregelGraph g;
+  g.AddVertices(2);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(PregelTest, PageRankUniformOnRing) {
+  ThreadPool pool(3);
+  const auto g = Ring(8);
+  const auto ranks = graph::PageRank(g, pool, 30);
+  double total = 0;
+  for (const double r : ranks) {
+    EXPECT_NEAR(r, 1.0 / 8, 1e-6);  // symmetric graph -> uniform rank
+    total += r;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PregelTest, PageRankFavorsHub) {
+  // Star: every spoke points at the hub; hub points at spoke 1.
+  graph::PregelGraph g;
+  g.AddVertices(6);
+  for (int s = 1; s < 6; ++s) (void)g.AddEdge(graph::VertexId(s), 0);
+  (void)g.AddEdge(0, 1);
+  ThreadPool pool(2);
+  const auto ranks = graph::PageRank(g, pool, 30);
+  for (int s = 2; s < 6; ++s) EXPECT_GT(ranks[0], ranks[std::size_t(s)]);
+  EXPECT_GT(ranks[1], ranks[2]);  // spoke 1 gets the hub's endorsement
+}
+
+TEST(PregelTest, ConnectedComponentsTwoIslands) {
+  graph::PregelGraph g;
+  g.AddVertices(7);
+  // Component {0,1,2}, component {3,4,5}, isolate {6}.
+  for (const auto& [a, b] : {std::pair{0, 1}, {1, 2}, {3, 4}, {4, 5}}) {
+    (void)g.AddEdge(graph::VertexId(a), graph::VertexId(b));
+    (void)g.AddEdge(graph::VertexId(b), graph::VertexId(a));
+  }
+  ThreadPool pool(2);
+  const auto labels = graph::ConnectedComponents(g, pool);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[6], 6u);
+  EXPECT_EQ(labels[0], 0u);  // labeled by the component's min id
+  EXPECT_EQ(labels[3], 3u);
+}
+
+TEST(PregelTest, ConnectedComponentsLongChain) {
+  // Label propagation must traverse the whole chain (stresses supersteps).
+  graph::PregelGraph g;
+  const int n = 60;
+  g.AddVertices(std::size_t(n));
+  for (int i = 0; i + 1 < n; ++i) {
+    (void)g.AddEdge(graph::VertexId(i), graph::VertexId(i + 1));
+    (void)g.AddEdge(graph::VertexId(i + 1), graph::VertexId(i));
+  }
+  ThreadPool pool(4);
+  const auto labels = graph::ConnectedComponents(g, pool);
+  for (const auto label : labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(PregelTest, ShortestPathsWeighted) {
+  // 0 ->(1) 1 ->(1) 2 and a direct 0 ->(5) 2; plus unreachable 3.
+  graph::PregelGraph g;
+  g.AddVertices(4);
+  (void)g.AddEdge(0, 1, 1.0);
+  (void)g.AddEdge(1, 2, 1.0);
+  (void)g.AddEdge(0, 2, 5.0);
+  ThreadPool pool(2);
+  const auto dist = graph::ShortestPaths(g, 0, pool);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // via the two-hop path
+  EXPECT_TRUE(std::isinf(dist[3]));
+}
+
+TEST(PregelTest, SocialNetworkComponentCount) {
+  // The gang network imported into the engine: component structure of the
+  // co-offender graph is computable at Sec. IV-B scale.
+  const auto net = datagen::GangNetworkSpec{};
+  ThreadPool pool(4);
+  graph::PregelGraph g;
+  const auto gang = datagen::GenerateGangNetwork(net, 42);
+  g.AddVertices(gang.graph.num_people());
+  for (std::size_t p = 0; p < gang.graph.num_people(); ++p) {
+    for (const auto nbr : gang.graph.Neighbors(graph::PersonId(p))) {
+      (void)g.AddEdge(graph::VertexId(p), graph::VertexId(nbr));
+    }
+  }
+  const auto labels = graph::ConnectedComponents(g, pool);
+  std::set<graph::VertexId> components(labels.begin(), labels.end());
+  // Densely cross-tied network: a giant component plus few stragglers.
+  EXPECT_LT(components.size(), 20u);
+}
+
+// ---------------------------------------------------------------- Streams
+
+TEST(WindowTest, TumblingCountsPerKey) {
+  stream::WindowedAggregator agg(
+      {.window_size = 10 * kSecond, .agg = stream::AggKind::kCount});
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(agg.Add({TimeNs(i) * kSecond, i % 2 ? "a" : "b", 1.0}).ok());
+  }
+  agg.AdvanceWatermark(20 * kSecond);
+  const auto fired = agg.TakeFired();
+  ASSERT_EQ(fired.size(), 4u);  // two windows x two keys
+  for (const auto& w : fired) {
+    EXPECT_EQ(w.value, 5.0);  // 5 odd + 5 even per 10 s window
+    EXPECT_EQ(w.window_end - w.window_start, 10 * kSecond);
+  }
+  EXPECT_EQ(agg.open_windows(), 1u);  // the [20, 30) window still open
+}
+
+TEST(WindowTest, SlidingWindowsOverlap) {
+  stream::WindowedAggregator agg({.window_size = 10 * kSecond,
+                                  .slide = 5 * kSecond,
+                                  .agg = stream::AggKind::kCount});
+  // One event at t=7 belongs to windows [0,10) and [5,15).
+  ASSERT_TRUE(agg.Add({7 * kSecond, "k", 1.0}).ok());
+  agg.AdvanceWatermark(30 * kSecond);
+  const auto fired = agg.TakeFired();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].window_start, 0);
+  EXPECT_EQ(fired[1].window_start, 5 * kSecond);
+}
+
+TEST(WindowTest, AggregationKinds) {
+  for (const auto& [kind, expected] :
+       {std::pair{stream::AggKind::kSum, 9.0},
+        {stream::AggKind::kMin, 2.0},
+        {stream::AggKind::kMax, 4.0},
+        {stream::AggKind::kMean, 3.0}}) {
+    stream::WindowedAggregator agg(
+        {.window_size = 10 * kSecond, .agg = kind});
+    ASSERT_TRUE(agg.Add({1 * kSecond, "k", 2.0}).ok());
+    ASSERT_TRUE(agg.Add({2 * kSecond, "k", 3.0}).ok());
+    ASSERT_TRUE(agg.Add({3 * kSecond, "k", 4.0}).ok());
+    agg.Close();
+    const auto fired = agg.TakeFired();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_DOUBLE_EQ(fired[0].value, expected);
+    EXPECT_EQ(fired[0].count, 3);
+  }
+}
+
+TEST(WindowTest, OutOfOrderWithinLatenessAccepted) {
+  stream::WindowedAggregator agg({.window_size = 10 * kSecond,
+                                  .allowed_lateness = 5 * kSecond,
+                                  .agg = stream::AggKind::kCount});
+  ASSERT_TRUE(agg.Add({1 * kSecond, "k", 1.0}).ok());
+  agg.AdvanceWatermark(12 * kSecond);   // window [0,10) not yet fired (10+5 > 12)
+  ASSERT_TRUE(agg.Add({9 * kSecond, "k", 1.0}).ok());  // late but allowed
+  agg.AdvanceWatermark(15 * kSecond);   // now fires
+  const auto fired = agg.TakeFired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].value, 2.0);
+  EXPECT_EQ(agg.late_events(), 0);
+}
+
+TEST(WindowTest, TooLateEventsDroppedAndCounted) {
+  stream::WindowedAggregator agg(
+      {.window_size = 10 * kSecond, .agg = stream::AggKind::kCount});
+  ASSERT_TRUE(agg.Add({1 * kSecond, "k", 1.0}).ok());
+  agg.AdvanceWatermark(30 * kSecond);
+  EXPECT_EQ(agg.Add({2 * kSecond, "k", 1.0}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(agg.late_events(), 1);
+  // The fired window holds only the on-time event.
+  const auto fired = agg.TakeFired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].value, 1.0);
+}
+
+TEST(WindowTest, WatermarkMonotonic) {
+  stream::WindowedAggregator agg({.window_size = kSecond});
+  agg.AdvanceWatermark(10 * kSecond);
+  agg.AdvanceWatermark(5 * kSecond);  // ignored
+  EXPECT_EQ(agg.watermark(), 10 * kSecond);
+}
+
+TEST(SpikeDetectorTest, FlagsBurstsOnly) {
+  stream::SpikeDetector detector({.history = 3, .factor = 3.0, .min_count = 5});
+  auto window = [](TimeNs start, double value) {
+    stream::WindowResult w;
+    w.window_start = start;
+    w.window_end = start + kSecond;
+    w.key = "gunshots";
+    w.value = value;
+    w.count = std::int64_t(value);
+    return w;
+  };
+  // Warm-up: steady chatter, no spikes possible yet.
+  EXPECT_FALSE(detector.Observe(window(0, 2)).has_value());
+  EXPECT_FALSE(detector.Observe(window(1, 3)).has_value());
+  EXPECT_FALSE(detector.Observe(window(2, 2)).has_value());
+  // Steady window: no spike.
+  EXPECT_FALSE(detector.Observe(window(3, 3)).has_value());
+  // Burst: 12 >> 3x trailing mean (~2.7) and >= min_count.
+  const auto spike = detector.Observe(window(4, 12));
+  ASSERT_TRUE(spike.has_value());
+  EXPECT_EQ(spike->key, "gunshots");
+  EXPECT_GT(spike->value, spike->trailing_mean * 3);
+}
+
+// ---------------------------------------------------------------- Parallel
+
+TEST(DataParallelTest, MatchesSingleWorkerStep) {
+  // One data-parallel step == one full-batch step (same init, same data).
+  Rng rng_seed(3);
+  auto factory = [] {
+    Rng rng(99);  // identical init for every replica and the reference
+    nn::Sequential net;
+    net.Emplace<nn::Dense>(4, 8, rng)
+        .Emplace<nn::Activation>(nn::ActKind::kRelu)
+        .Emplace<nn::Dense>(8, 3, rng);
+    return net;
+  };
+
+  Rng data_rng(5);
+  nn::Tensor x = nn::Tensor::RandomNormal({12, 4}, 1.0f, data_rng);
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) labels.push_back(int(data_rng.UniformU64(3)));
+
+  // Reference: single model, full batch.
+  nn::Sequential reference = factory();
+  nn::Sgd ref_opt(0.1f, 0.0f);
+  reference.ZeroGrads();
+  auto ce = tensor::CrossEntropyLoss(reference.Forward(x, true), labels);
+  reference.Backward(ce.grad);
+  auto ref_params = reference.Params();
+  ref_opt.Step(ref_params);
+
+  // Data-parallel: 3 replicas.
+  ThreadPool pool(3);
+  nn::DataParallelTrainer trainer(factory, 3, pool);
+  nn::Sgd par_opt(0.1f, 0.0f);
+  const auto stats = trainer.Step(x, labels, par_opt);
+  EXPECT_NEAR(stats.loss, ce.loss, 1e-4f);
+
+  auto par_params = trainer.master().Params();
+  ASSERT_EQ(par_params.size(), ref_params.size());
+  for (std::size_t i = 0; i < par_params.size(); ++i) {
+    for (std::size_t j = 0; j < par_params[i]->value.size(); ++j) {
+      EXPECT_NEAR(par_params[i]->value[j], ref_params[i]->value[j], 1e-4f)
+          << "param " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(DataParallelTest, TrainsToConvergence) {
+  auto factory = [] {
+    Rng rng(7);
+    nn::Sequential net;
+    net.Emplace<nn::Dense>(2, 16, rng)
+        .Emplace<nn::Activation>(nn::ActKind::kRelu)
+        .Emplace<nn::Dense>(16, 2, rng);
+    return net;
+  };
+  ThreadPool pool(4);
+  nn::DataParallelTrainer trainer(factory, 4, pool);
+  nn::Adam opt(5e-3f);
+  Rng rng(11);
+  auto make = [&rng](int n, nn::Tensor& x, std::vector<int>& labels) {
+    x = nn::Tensor({n, 2});
+    labels.resize(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = int(rng.UniformU64(2));
+      labels[std::size_t(i)] = cls;
+      x[std::size_t(i) * 2] = (cls ? 1.0f : -1.0f) + float(rng.Normal(0, 0.4));
+      x[std::size_t(i) * 2 + 1] =
+          (cls ? -1.0f : 1.0f) + float(rng.Normal(0, 0.4));
+    }
+  };
+  nn::StepStats last;
+  for (int step = 0; step < 150; ++step) {
+    nn::Tensor x;
+    std::vector<int> labels;
+    make(32, x, labels);
+    last = trainer.Step(x, labels, opt);
+  }
+  EXPECT_GT(last.accuracy, 0.9f);
+}
+
+TEST(DataParallelTest, UnevenShardsHandled) {
+  auto factory = [] {
+    Rng rng(13);
+    nn::Sequential net;
+    net.Emplace<nn::Dense>(2, 2, rng);
+    return net;
+  };
+  ThreadPool pool(4);
+  nn::DataParallelTrainer trainer(factory, 4, pool);
+  nn::Sgd opt(0.01f);
+  nn::Tensor x({5, 2}, 0.5f);  // 5 rows across 4 replicas
+  const std::vector<int> labels = {0, 1, 0, 1, 0};
+  const auto stats = trainer.Step(x, labels, opt);
+  EXPECT_TRUE(std::isfinite(stats.loss));
+  EXPECT_GE(stats.accuracy, 0.0f);
+  EXPECT_LE(stats.accuracy, 1.0f);
+}
+
+// ---------------------------------------------------------------- Viz
+
+TEST(VizTest, GeoJsonWellFormed) {
+  const std::string json = viz::ToGeoJson(
+      {{{30.45, -91.18}, "hotspot \"A\"", 3.5}, {{30.46, -91.19}, "cam", 1}});
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinates\":[-91.18,30.45]"), std::string::npos);
+  EXPECT_NE(json.find("\\\"A\\\""), std::string::npos);  // escaped quotes
+  EXPECT_NE(json.find("\"value\":3.5"), std::string::npos);
+}
+
+TEST(VizTest, HeatmapDensityAndMarkers) {
+  const geo::BoundingBox box{30.0, -92.0, 31.0, -91.0};
+  viz::AsciiHeatmap map(box, 10, 5);
+  for (int i = 0; i < 50; ++i) map.Add({30.5, -91.5});
+  map.Add({30.9, -91.1});  // faint corner
+  map.Mark({30.1, -91.9}, 'C');
+  const std::string art = map.Render();
+  EXPECT_NE(art.find('@'), std::string::npos);  // saturated center cell
+  EXPECT_NE(art.find('C'), std::string::npos);  // marker survives
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 5);
+  EXPECT_DOUBLE_EQ(map.max_density(), 50.0);
+}
+
+TEST(VizTest, HeatmapIgnoresOutOfBox) {
+  const geo::BoundingBox box{30.0, -92.0, 31.0, -91.0};
+  viz::AsciiHeatmap map(box, 4, 4);
+  map.Add({50.0, 10.0});
+  EXPECT_DOUBLE_EQ(map.max_density(), 0.0);
+}
+
+TEST(VizTest, NorthAtTop) {
+  const geo::BoundingBox box{30.0, -92.0, 31.0, -91.0};
+  viz::AsciiHeatmap map(box, 4, 4);
+  map.Mark({30.95, -91.95}, 'N');  // north-west corner
+  const std::string art = map.Render();
+  // 'N' appears in the first rendered row.
+  const auto first_newline = art.find('\n');
+  EXPECT_NE(art.substr(0, first_newline).find('N'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metro

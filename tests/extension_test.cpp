@@ -1,0 +1,221 @@
+// Tests for the extension modules: the inception CNN block (Sec. III-A's
+// "inception types of CNN"), the health-data generator, and the opioid
+// analytics application (Sec. V future work).
+
+#include <gtest/gtest.h>
+
+#include "apps/opioid_app.h"
+#include "datagen/health.h"
+#include "nn/optimizer.h"
+#include "zoo/inception.h"
+
+namespace metro {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+// ---------------------------------------------------------------- channels
+
+TEST(ChannelOpsTest, ConcatSplitRoundTrip) {
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal({2, 3, 3, 2}, 1.0f, rng);
+  Tensor b = Tensor::RandomNormal({2, 3, 3, 5}, 1.0f, rng);
+  Tensor cat = zoo::ConcatChannels({&a, &b});
+  EXPECT_EQ(cat.shape(), (Shape{2, 3, 3, 7}));
+  EXPECT_EQ(cat.at(1, 2, 2, 0), a.at(1, 2, 2, 0));
+  EXPECT_EQ(cat.at(1, 2, 2, 2), b.at(1, 2, 2, 0));
+  auto parts = zoo::SplitChannels(cat, {2, 5});
+  ASSERT_EQ(parts.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(parts[0][i], a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(parts[1][i], b[i]);
+}
+
+// ---------------------------------------------------------------- inception
+
+TEST(InceptionTest, OutputShapePreservesSpatial) {
+  Rng rng(2);
+  zoo::InceptionConfig config;
+  zoo::InceptionBlock block(3, config, rng);
+  Tensor x = Tensor::RandomNormal({2, 8, 8, 3}, 1.0f, rng);
+  Tensor y = block.Forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 8, config.total_out()}));
+  EXPECT_EQ(block.OutputShape(x.shape()), y.shape());
+  EXPECT_GT(block.ForwardMacs(x.shape()), 0u);
+}
+
+TEST(InceptionTest, BackwardShapeAndParamGrads) {
+  Rng rng(3);
+  zoo::InceptionBlock block(2, {}, rng);
+  Tensor x = Tensor::RandomNormal({1, 6, 6, 2}, 1.0f, rng);
+  Tensor y = block.Forward(x, true);
+  Tensor gx = block.Backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(gx.shape(), x.shape());
+  // Every branch's conv received gradient.
+  int with_grad = 0;
+  for (nn::Param* p : block.Params()) {
+    for (const float g : p->grad.data()) {
+      if (g != 0.0f) {
+        ++with_grad;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(with_grad, 6);  // 6 convs x (w) at least
+}
+
+TEST(InceptionTest, GradientCheck) {
+  Rng rng(4);
+  zoo::InceptionConfig config;
+  config.out_1x1 = 2;
+  config.reduce_3x3 = 2;
+  config.out_3x3 = 2;
+  config.reduce_5x5 = 1;
+  config.out_5x5 = 2;
+  config.out_pool = 2;
+  zoo::InceptionBlock block(2, config, rng);
+  Tensor x = Tensor::RandomNormal({1, 5, 5, 2}, 1.0f, rng);
+  Tensor y = block.Forward(x, true);
+  Tensor probe = Tensor::RandomNormal(y.shape(), 1.0f, rng);
+  Tensor gx = block.Backward(probe);
+
+  auto loss = [&] {
+    Tensor o = block.Forward(x, true);
+    double acc = 0;
+    for (std::size_t i = 0; i < o.size(); ++i) acc += double(o[i]) * probe[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (const std::size_t idx : {std::size_t{0}, x.size() / 2, x.size() - 1}) {
+    const float saved = x[idx];
+    x[idx] = saved + eps;
+    const double hi = loss();
+    x[idx] = saved - eps;
+    const double lo = loss();
+    x[idx] = saved;
+    EXPECT_NEAR(gx[idx], (hi - lo) / (2 * eps), 8e-2) << idx;
+  }
+}
+
+TEST(InceptionTest, TrainsAsClassifierBackbone) {
+  // Inception block + GAP + head learns the bright-half task.
+  Rng rng(5);
+  zoo::InceptionConfig config;
+  zoo::InceptionBlock block(1, config, rng);
+  nn::GlobalAvgPool gap;
+  nn::Dense head(config.total_out(), 2, rng);
+  nn::Adam opt(4e-3f);
+
+  auto make = [&rng](int n, Tensor& x, std::vector<int>& labels) {
+    x = Tensor({n, 8, 8, 1});
+    labels.resize(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      const int cls = int(rng.UniformU64(2));
+      labels[std::size_t(i)] = cls;
+      for (int r = 0; r < 8; ++r) {
+        const bool bright = cls == 0 ? r < 4 : r >= 4;
+        for (int c = 0; c < 8; ++c) {
+          x[(std::size_t(i) * 8 + r) * 8 + std::size_t(c)] =
+              (bright ? 0.9f : 0.1f) + float(rng.Normal(0, 0.05));
+        }
+      }
+    }
+  };
+  for (int step = 0; step < 80; ++step) {
+    Tensor x;
+    std::vector<int> labels;
+    make(16, x, labels);
+    Tensor logits =
+        head.Forward(gap.Forward(block.Forward(x, true), true), true);
+    auto ce = tensor::CrossEntropyLoss(logits, labels);
+    block.Backward(gap.Backward(head.Backward(ce.grad)));
+    std::vector<nn::Param*> params = block.Params();
+    for (nn::Param* p : head.Params()) params.push_back(p);
+    opt.Step(params);
+  }
+  Tensor x;
+  std::vector<int> labels;
+  make(64, x, labels);
+  auto ce = tensor::CrossEntropyLoss(
+      head.Forward(gap.Forward(block.Forward(x, false), false), false),
+      labels);
+  EXPECT_GT(double(ce.correct) / 64.0, 0.9);
+}
+
+// ---------------------------------------------------------------- health
+
+TEST(OpioidPanelTest, PanelShapeAndRanges) {
+  datagen::OpioidPanelGenerator gen({.num_tracts = 30, .num_months = 6}, 6);
+  const auto panel = gen.Generate();
+  EXPECT_EQ(panel.size(), 180u);
+  for (const auto& obs : panel) {
+    EXPECT_GE(obs.tract, 0);
+    EXPECT_LT(obs.tract, 30);
+    EXPECT_GE(obs.prescriptions, 0.0f);
+    EXPECT_GE(obs.overdose_calls, 0.0f);
+    EXPECT_LE(obs.poverty_index, 1.0f);
+    const auto features = datagen::OpioidPanelGenerator::Features(obs);
+    EXPECT_EQ(int(features.size()),
+              datagen::OpioidPanelGenerator::kNumFeatures);
+  }
+}
+
+TEST(OpioidPanelTest, BaseRateApproximatelyHonored) {
+  datagen::OpioidPanelGenerator gen({.num_tracts = 150, .num_months = 10}, 7);
+  const auto panel = gen.Generate();
+  int positives = 0;
+  for (const auto& obs : panel) positives += obs.high_overdose_next_month;
+  const double rate = double(positives) / double(panel.size());
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(OpioidPanelTest, RiskDriversCorrelateWithLabel) {
+  datagen::OpioidPanelGenerator gen({.num_tracts = 200, .num_months = 8}, 8);
+  const auto panel = gen.Generate();
+  double rx_pos = 0, rx_neg = 0;
+  int pos = 0, neg = 0;
+  for (const auto& obs : panel) {
+    if (obs.high_overdose_next_month) {
+      rx_pos += obs.prescriptions;
+      ++pos;
+    } else {
+      rx_neg += obs.prescriptions;
+      ++neg;
+    }
+  }
+  ASSERT_GT(pos, 0);
+  ASSERT_GT(neg, 0);
+  EXPECT_GT(rx_pos / pos, rx_neg / neg);
+}
+
+// ---------------------------------------------------------------- opioid app
+
+TEST(OpioidAppTest, BeatsBaselineOnHeldOutMonths) {
+  dataflow::Engine engine(4);
+  apps::OpioidAnalyticsApp app({.num_tracts = 120, .num_months = 12}, 9);
+  const auto report = app.Run(engine, 3);
+  EXPECT_GT(report.train_rows, 900);
+  EXPECT_GT(report.test_rows, 300);
+  EXPECT_GT(report.test_accuracy, report.baseline_accuracy)
+      << "model should beat majority-class baseline";
+  EXPECT_GT(report.top10_precision, 0.6);
+}
+
+TEST(OpioidAppTest, RecoversProtectiveAndRiskFactors) {
+  dataflow::Engine engine(4);
+  apps::OpioidAnalyticsApp app({.num_tracts = 150, .num_months = 12}, 10);
+  const auto report = app.Run(engine, 3);
+  ASSERT_EQ(report.factor_weights.size(), 6u);
+  float treatment_weight = 0, rx_weight = 0;
+  for (const auto& [name, weight] : report.factor_weights) {
+    if (name == "treatment availability") treatment_weight = weight;
+    if (name == "opioid prescriptions") rx_weight = weight;
+  }
+  // Signs recover the planted causal structure.
+  EXPECT_LT(treatment_weight, 0.0f);
+  EXPECT_GT(rx_weight, 0.0f);
+}
+
+}  // namespace
+}  // namespace metro

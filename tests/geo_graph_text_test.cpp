@@ -1,0 +1,306 @@
+// Tests for the geospatial, social-graph, and NLP substrates.
+
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+#include "graph/social_graph.h"
+#include "text/text.h"
+
+namespace metro {
+namespace {
+
+// ---------------------------------------------------------------- Geo
+
+TEST(GeoTest, HaversineKnownDistances) {
+  // Baton Rouge -> New Orleans is roughly 130 km.
+  const geo::LatLon br{30.4515, -91.1871};
+  const geo::LatLon nola{29.9511, -90.0715};
+  const double d = geo::HaversineMeters(br, nola);
+  EXPECT_GT(d, 110'000);
+  EXPECT_LT(d, 135'000);
+  EXPECT_NEAR(geo::HaversineMeters(br, br), 0.0, 1e-6);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  const geo::LatLon a{30.0, -91.0}, b{31.0, -90.0};
+  EXPECT_NEAR(geo::HaversineMeters(a, b), geo::HaversineMeters(b, a), 1e-6);
+}
+
+TEST(GeoTest, GeohashKnownValue) {
+  // A classic reference point: (57.64911, 10.40744) -> "u4pruydqqvj".
+  const std::string h = geo::Geohash({57.64911, 10.40744}, 11);
+  EXPECT_EQ(h, "u4pruydqqvj");
+}
+
+TEST(GeoTest, GeohashDecodeRoundTrip) {
+  const geo::LatLon p{30.4515, -91.1871};
+  const std::string h = geo::Geohash(p, 9);
+  const auto decoded = geo::GeohashDecode(h);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NEAR(decoded->lat, p.lat, 1e-3);
+  EXPECT_NEAR(decoded->lon, p.lon, 1e-3);
+}
+
+TEST(GeoTest, GeohashPrefixSharedByNearbyPoints) {
+  const std::string a = geo::Geohash({30.4515, -91.1871}, 6);
+  const std::string b = geo::Geohash({30.4520, -91.1875}, 6);
+  EXPECT_EQ(a.substr(0, 5), b.substr(0, 5));
+}
+
+TEST(GeoTest, GeohashDecodeRejectsBadInput) {
+  EXPECT_FALSE(geo::GeohashDecode("").ok());
+  EXPECT_FALSE(geo::GeohashDecode("!!!").ok());
+}
+
+TEST(GeoTest, BoundingBoxAroundContainsCenter) {
+  const geo::LatLon center{30.45, -91.18};
+  const auto box = geo::BoundingBox::Around(center, 1000);
+  EXPECT_TRUE(box.Contains(center));
+  EXPECT_FALSE(box.Contains({31.0, -91.18}));
+}
+
+TEST(GridIndexTest, RadiusQueryFindsNearbyOnly) {
+  geo::GridIndex index;
+  index.Insert(1, {30.4515, -91.1871});
+  index.Insert(2, {30.4520, -91.1875});  // ~70 m away
+  index.Insert(3, {30.5200, -91.1000});  // ~11 km away
+  const auto near = index.QueryRadius({30.4515, -91.1871}, 500);
+  EXPECT_EQ(near.size(), 2u);
+  const auto far = index.QueryRadius({30.4515, -91.1871}, 20'000);
+  EXPECT_EQ(far.size(), 3u);
+  EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(GridIndexTest, BoxQuery) {
+  geo::GridIndex index;
+  index.Insert(1, {30.0, -91.0});
+  index.Insert(2, {30.5, -91.0});
+  const geo::BoundingBox box{29.9, -91.1, 30.1, -90.9};
+  const auto hits = index.QueryBox(box);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(GridIndexTest, RemoveDeletesEntry) {
+  geo::GridIndex index;
+  const geo::LatLon p{30.0, -91.0};
+  index.Insert(7, p);
+  ASSERT_TRUE(index.Remove(7, p).ok());
+  EXPECT_TRUE(index.QueryRadius(p, 1000).empty());
+  EXPECT_EQ(index.Remove(7, p).code(), StatusCode::kNotFound);
+}
+
+TEST(GridIndexTest, CrossCellRadius) {
+  geo::GridIndex index(0.01);
+  // Points straddling cell boundaries still found.
+  for (int i = 0; i < 20; ++i) {
+    index.Insert(std::uint64_t(i), {30.0 + i * 0.005, -91.0});
+  }
+  const auto hits = index.QueryRadius({30.05, -91.0}, 3000);
+  EXPECT_GT(hits.size(), 3u);
+}
+
+// ---------------------------------------------------------------- Graph
+
+TEST(SocialGraphTest, AddPeopleAndTies) {
+  graph::SocialGraph g;
+  const auto a = g.AddPerson("a");
+  const auto b = g.AddPerson("b");
+  const auto c = g.AddPerson("c");
+  ASSERT_TRUE(g.AddTie(a, b, graph::TieKind::kCoOffender).ok());
+  ASSERT_TRUE(g.AddTie(b, c, graph::TieKind::kGangAffiliate).ok());
+  EXPECT_EQ(g.num_people(), 3u);
+  EXPECT_EQ(g.num_ties(), 2u);
+  EXPECT_EQ(g.Degree(b), 2u);
+  EXPECT_EQ(g.Neighbors(b), (std::vector<graph::PersonId>{a, c}));
+  EXPECT_TRUE(g.HasTie(a, b));
+  EXPECT_FALSE(g.HasTie(a, c));
+}
+
+TEST(SocialGraphTest, SelfAndInvalidTiesRejected) {
+  graph::SocialGraph g;
+  const auto a = g.AddPerson("a");
+  EXPECT_EQ(g.AddTie(a, a, graph::TieKind::kCoOffender).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddTie(a, 99, graph::TieKind::kCoOffender).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SocialGraphTest, DuplicatePairCountsOnce) {
+  graph::SocialGraph g;
+  const auto a = g.AddPerson("a");
+  const auto b = g.AddPerson("b");
+  ASSERT_TRUE(g.AddTie(a, b, graph::TieKind::kCoOffender).ok());
+  ASSERT_TRUE(g.AddTie(a, b, graph::TieKind::kGangAffiliate).ok());
+  EXPECT_EQ(g.num_ties(), 1u);
+  EXPECT_EQ(g.Degree(a), 1u);
+}
+
+TEST(SocialGraphTest, KDegreeAssociatesByHops) {
+  // Path: 0 - 1 - 2 - 3 - 4.
+  graph::SocialGraph g;
+  for (int i = 0; i < 5; ++i) g.AddPerson(std::to_string(i));
+  for (int i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(g.AddTie(graph::PersonId(i), graph::PersonId(i + 1),
+                         graph::TieKind::kCoOffender)
+                    .ok());
+  }
+  EXPECT_EQ(g.KDegreeAssociates(0, 1),
+            (std::vector<graph::PersonId>{1}));
+  EXPECT_EQ(g.KDegreeAssociates(0, 2),
+            (std::vector<graph::PersonId>{1, 2}));
+  EXPECT_EQ(g.KDegreeAssociates(2, 2),
+            (std::vector<graph::PersonId>{0, 1, 3, 4}));
+  EXPECT_EQ(g.KDegreeAssociates(0, 10).size(), 4u);
+}
+
+TEST(SocialGraphTest, MeanDegreeIgnoresIsolates) {
+  graph::SocialGraph g;
+  const auto a = g.AddPerson("a");
+  const auto b = g.AddPerson("b");
+  g.AddPerson("isolated");
+  ASSERT_TRUE(g.AddTie(a, b, graph::TieKind::kCoOffender).ok());
+  EXPECT_DOUBLE_EQ(g.MeanDegree(), 1.0);
+}
+
+TEST(SocialGraphTest, LabelPropagationFindsTwoCliques) {
+  graph::SocialGraph g;
+  for (int i = 0; i < 8; ++i) g.AddPerson(std::to_string(i));
+  // Two 4-cliques with one bridge.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      ASSERT_TRUE(g.AddTie(graph::PersonId(i), graph::PersonId(j),
+                           graph::TieKind::kGangAffiliate)
+                      .ok());
+      ASSERT_TRUE(g.AddTie(graph::PersonId(i + 4), graph::PersonId(j + 4),
+                           graph::TieKind::kGangAffiliate)
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(g.AddTie(0, 4, graph::TieKind::kCoOffender).ok());
+  Rng rng(11);
+  const auto labels = g.LabelPropagation(rng);
+  // Within each clique labels agree; across cliques they differ.
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_EQ(labels[5], labels[6]);
+  EXPECT_EQ(labels[6], labels[7]);
+  EXPECT_NE(labels[1], labels[5]);
+}
+
+TEST(SocialGraphTest, DegreeCentralityNormalized) {
+  graph::SocialGraph g;
+  const auto hub = g.AddPerson("hub");
+  for (int i = 0; i < 4; ++i) {
+    const auto spoke = g.AddPerson("s" + std::to_string(i));
+    ASSERT_TRUE(g.AddTie(hub, spoke, graph::TieKind::kCoOffender).ok());
+  }
+  const auto centrality = g.DegreeCentrality();
+  EXPECT_DOUBLE_EQ(centrality[hub], 1.0);
+  EXPECT_DOUBLE_EQ(centrality[1], 0.25);
+}
+
+TEST(SocialGraphTest, ApproxBetweennessFavorsBridge) {
+  // Two hubs joined by a single bridge node.
+  graph::SocialGraph g;
+  const auto bridge = g.AddPerson("bridge");
+  for (int side = 0; side < 2; ++side) {
+    const auto hub = g.AddPerson("hub" + std::to_string(side));
+    ASSERT_TRUE(g.AddTie(bridge, hub, graph::TieKind::kCoOffender).ok());
+    for (int i = 0; i < 4; ++i) {
+      const auto leaf = g.AddPerson("leaf");
+      ASSERT_TRUE(g.AddTie(hub, leaf, graph::TieKind::kCoOffender).ok());
+    }
+  }
+  Rng rng(13);
+  const auto scores = g.ApproxBetweenness(rng, 200);
+  // The bridge should outrank every leaf.
+  for (std::size_t i = 0; i < g.num_people(); ++i) {
+    if (g.name(graph::PersonId(i)) == "leaf") {
+      EXPECT_GT(scores[bridge], scores[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Text
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = text::Tokenize("Heard GUNSHOTS near 3rd-Street!");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"heard", "gunshots", "near", "3rd",
+                                      "street"}));
+}
+
+TEST(TokenizeTest, DropsSingleCharsAndEmpties) {
+  const auto tokens = text::Tokenize("a I , ... ok");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ok"}));
+}
+
+TEST(KeywordMatcherTest, WholeTokenMatch) {
+  text::KeywordMatcher matcher({"shooting", "Robbery"});
+  EXPECT_TRUE(matcher.Matches("ROBBERY reported downtown"));
+  EXPECT_TRUE(matcher.Matches("possible shooting on 5th"));
+  EXPECT_FALSE(matcher.Matches("shoot hoops later"));
+  const auto matched = matcher.MatchedKeywords("robbery then another robbery and shooting");
+  EXPECT_EQ(matched, (std::vector<std::string>{"robbery", "shooting"}));
+}
+
+TEST(TfIdfTest, CosineSimilarityRanksRelated) {
+  text::TfIdf tfidf;
+  tfidf.Fit({"gunshots heard downtown", "traffic jam on interstate",
+             "shooting downtown tonight", "beautiful weather today"});
+  const auto q = tfidf.Transform("downtown shooting");
+  const auto related = tfidf.Transform("gunshots heard downtown tonight");
+  const auto unrelated = tfidf.Transform("beautiful weather");
+  EXPECT_GT(text::TfIdf::Cosine(q, related), text::TfIdf::Cosine(q, unrelated));
+}
+
+TEST(TfIdfTest, UnknownTokensIgnored) {
+  text::TfIdf tfidf;
+  tfidf.Fit({"alpha beta"});
+  const auto vec = tfidf.Transform("gamma delta");
+  EXPECT_TRUE(vec.empty());
+}
+
+TEST(TfIdfTest, VectorsAreL2Normalized) {
+  text::TfIdf tfidf;
+  tfidf.Fit({"alpha beta gamma", "beta gamma delta"});
+  const auto v = tfidf.Transform("alpha beta beta gamma");
+  double norm = 0;
+  for (const auto& [id, w] : v) norm += double(w) * w;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(NaiveBayesTest, SeparatesTwoClasses) {
+  text::NaiveBayes nb(2);
+  ASSERT_TRUE(nb.Train("gunshots fired downtown police", 1).ok());
+  ASSERT_TRUE(nb.Train("shooting reported weapon", 1).ok());
+  ASSERT_TRUE(nb.Train("robbery armed suspect", 1).ok());
+  ASSERT_TRUE(nb.Train("sunny weather park picnic", 0).ok());
+  ASSERT_TRUE(nb.Train("coffee morning traffic fine", 0).ok());
+  ASSERT_TRUE(nb.Train("game tonight watch party", 0).ok());
+
+  EXPECT_EQ(nb.Predict("police report shooting downtown"), 1);
+  EXPECT_EQ(nb.Predict("nice weather for a picnic"), 0);
+}
+
+TEST(NaiveBayesTest, LabelValidation) {
+  text::NaiveBayes nb(2);
+  EXPECT_EQ(nb.Train("x", 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(nb.Train("x", -1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NaiveBayesTest, ScoresOrderedWithPrediction) {
+  text::NaiveBayes nb(3);
+  ASSERT_TRUE(nb.Train("aaa bbb", 0).ok());
+  ASSERT_TRUE(nb.Train("ccc ddd", 1).ok());
+  ASSERT_TRUE(nb.Train("eee fff", 2).ok());
+  const auto scores = nb.Scores("ccc ddd ccc");
+  const int pred = nb.Predict("ccc ddd ccc");
+  EXPECT_EQ(pred, 1);
+  EXPECT_GE(scores[1], scores[0]);
+  EXPECT_GE(scores[1], scores[2]);
+}
+
+}  // namespace
+}  // namespace metro

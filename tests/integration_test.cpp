@@ -1,0 +1,255 @@
+// Cross-module integration tests: the full Fig. 1 stack exercised end to
+// end — ingest agents feeding the message log, the Fig. 4 pipeline storing
+// and analyzing, the DFS archiving, the dataflow engine mining the stored
+// documents, and the fog model carrying a trained split model's gate
+// decisions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/behavior_app.h"
+#include "apps/vehicle_app.h"
+#include "core/infrastructure.h"
+#include "core/pipeline.h"
+#include "dataflow/dataset.h"
+#include "dataflow/mllib.h"
+#include "datagen/city.h"
+#include "ingest/bulkload.h"
+#include "ingest/flume.h"
+
+namespace metro {
+namespace {
+
+TEST(IntegrationTest, IngestAgentFeedsPipelineToWeb) {
+  // Flume-style agent -> message log -> storage -> analyzer -> web feed,
+  // with synthetic tweets as the source (Sec. II-A2 + Fig. 4, end to end).
+  core::CityPipeline pipeline(WallClock::Instance());
+  core::CityPipeline::TopicSpec spec;
+  spec.topic = "tweets";
+  spec.partitions = 2;
+  spec.analyzer = [](const store::Document& doc)
+      -> std::optional<store::Document> {
+    // Analysis stage: only incident chatter reaches the web feed.
+    const auto it = doc.find("about_incident");
+    if (it == doc.end() || !std::get<bool>(it->second)) return std::nullopt;
+    return doc;
+  };
+  ASSERT_TRUE(pipeline.AddTopic(std::move(spec)).ok());
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  datagen::TweetGenerator tweets({.num_users = 50, .incident_fraction = 0.3},
+                                 77);
+  std::atomic<int> produced{0};
+  std::atomic<int> incident_count{0};
+  ingest::SourceFn source = [&]() -> std::optional<ingest::Event> {
+    const int i = produced.fetch_add(1);
+    if (i >= 200) return std::nullopt;
+    const datagen::Tweet t = tweets.Generate(TimeNs(i) * kSecond);
+    if (t.about_incident) incident_count.fetch_add(1);
+    return ingest::Event{std::to_string(t.user),
+                         core::EncodeDocument(
+                             datagen::CityDataGenerator::ToDocument(t))};
+  };
+  ingest::SinkFn sink = [&](const std::vector<ingest::Event>& batch) {
+    for (const auto& e : batch) {
+      METRO_RETURN_IF_ERROR(
+          pipeline.log().Produce("tweets", e.key, e.body).status());
+    }
+    return Status::Ok();
+  };
+  ingest::Agent agent("twitter-collector", source, sink);
+  ASSERT_TRUE(agent.Start().ok());
+  agent.WaitUntilFinished();
+  agent.Stop();
+
+  pipeline.Drain();
+  pipeline.Stop();
+
+  const auto stats = pipeline.Stats();
+  EXPECT_EQ(stats.documents_stored, 200);
+  EXPECT_EQ(stats.web_items, incident_count.load());
+  EXPECT_GT(stats.web_items, 10);
+}
+
+TEST(IntegrationTest, BulkImportThenArchiveRoundTrip) {
+  // Sqoop-style RDBMS import into the DFS, then read-back through failover
+  // (Sec. II-C2's legacy-data path on Sec. II-B2's storage).
+  ingest::RdbmsTable legacy("police_rms", {"id", "offense", "code"});
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(legacy
+                    .InsertRow({std::to_string(i), "offense",
+                                std::to_string(3000 + i)})
+                    .ok());
+  }
+  dfs::Cluster archive(5, {.block_size = 2048, .replication = 3});
+  ThreadPool pool(3);
+  const auto report =
+      ingest::BulkImport(legacy, archive, "/archive/rms", 3, pool);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_imported, 60u);
+
+  archive.node(0).Kill();
+  archive.node(1).Kill();
+  for (const auto& path : report->part_files) {
+    EXPECT_TRUE(archive.Read(path).ok()) << path;
+  }
+}
+
+TEST(IntegrationTest, PipelineDocumentsMinedByDataflow) {
+  // Documents stored by the pipeline are clustered by the MLlib layer —
+  // crime hot-spot discovery over the document store (Sec. II-C3).
+  core::CityPipeline pipeline(WallClock::Instance());
+  core::CityPipeline::TopicSpec spec;
+  spec.topic = "crimes";
+  spec.partitions = 2;
+  ASSERT_TRUE(pipeline.AddTopic(std::move(spec)).ok());
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  datagen::CityDataGenerator::Config city_config;
+  city_config.num_hotspots = 3;
+  city_config.hotspot_fraction = 1.0;
+  datagen::CityDataGenerator city(city_config, 88);
+  for (int i = 0; i < 150; ++i) {
+    const auto rec = city.GenerateCrime(TimeNs(i) * kSecond);
+    ASSERT_TRUE(pipeline.log()
+                    .Produce("crimes", std::to_string(rec.report_number),
+                             core::EncodeDocument(
+                                 datagen::CityDataGenerator::ToDocument(rec)))
+                    .ok());
+  }
+  pipeline.Drain();
+  pipeline.Stop();
+
+  // Pull (lat, lon) features from the stored collection.
+  auto coll = pipeline.collection("crimes");
+  ASSERT_TRUE(coll.ok());
+  std::vector<dataflow::FeatureVec> points;
+  store::Query all;
+  for (const auto& doc : (*coll)->FindDocs(all)) {
+    points.push_back({float(std::get<double>(doc.at("lat"))),
+                      float(std::get<double>(doc.at("lon")))});
+  }
+  ASSERT_EQ(points.size(), 150u);
+
+  dataflow::Engine engine(4);
+  Rng rng(9);
+  auto model = dataflow::FitKMeans(
+      dataflow::Dataset<dataflow::FeatureVec>::Parallelize(points, 4), 3,
+      engine, rng);
+  ASSERT_TRUE(model.ok());
+  // Each fitted centroid sits near a true hot-spot.
+  for (const auto& centroid : model->centroids) {
+    double best = 1e18;
+    for (const auto& hs : city.hotspots()) {
+      const double d = geo::HaversineMeters({centroid[0], centroid[1]}, hs);
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 3000) << "centroid far from every hot-spot";
+  }
+}
+
+TEST(IntegrationTest, TrainedBehaviorModelDrivesFogPipeline) {
+  // Fig. 7 model gate decisions feed the Fig. 3 fog simulation: real
+  // entropies decide offloads; the fog model prices them in bytes/latency.
+  zoo::BehaviorConfig config;
+  apps::BehaviorRecognitionApp app(config, 55);
+  app.Train(40, 8);
+
+  fog::FogConfig fog_config;
+  fog_config.num_edges = 4;
+  fog::FogTopology topology(fog_config);
+
+  const float threshold = 1.0f;
+  std::vector<fog::WorkItem> items;
+  int expected_offloads = 0;
+  for (int i = 0; i < 24; ++i) {
+    const auto clip = app.generator().Generate(i % config.num_classes);
+    auto local = app.model().RunLocal(clip);
+    fog::WorkItem item;
+    item.id = std::uint64_t(i);
+    item.edge = i % fog_config.num_edges;
+    item.arrival = TimeNs(i) * 100 * kMillisecond;
+    item.raw_bytes = clip.frames.size() * sizeof(float);
+    item.feature_bytes = app.model().FeatureMapBytes();
+    item.local_macs = app.model().LocalMacs();
+    item.server_macs = app.model().ServerMacs();
+    item.local_exit = local.entropy <= threshold;
+    if (!item.local_exit) ++expected_offloads;
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topology, items);
+  EXPECT_EQ(result.items_offloaded, expected_offloads);
+  EXPECT_EQ(result.items_local + result.items_offloaded, 24);
+  // Feature maps are smaller than raw clips: upstream traffic shrinks.
+  EXPECT_LT(result.traffic.fog_to_server, result.traffic.edge_to_fog);
+}
+
+TEST(IntegrationTest, InfrastructureRunsVehicleAppWithAlerts) {
+  // The Fig. 1 facade hosting the Fig. 5 application: frames processed via
+  // the early-exit detector, annotations into the wide-column store, AMBER
+  // matches raised as alerts.
+  core::InfrastructureConfig config;
+  config.dfs_datanodes = 3;
+  config.fog.num_edges = 4;
+  core::Cyberinfrastructure infra(config, WallClock::Instance());
+
+  zoo::DetectorConfig det_config;
+  det_config.num_classes = 4;
+  apps::VehicleDetectionApp app(det_config, 66);
+  app.Train(50, 12);
+
+  const int amber_class = 2;  // the wanted vehicle's class
+  int processed = 0, alerts_raised = 0;
+  for (int i = 0; i < 30; ++i) {
+    datagen::LabeledFrame frame = app.generator().Generate(1);
+    const auto result = app.ProcessFrame(
+        frame.image.Reshape({1, det_config.image_size, det_config.image_size,
+                             det_config.channels}),
+        0.4f);
+    ++processed;
+    for (const auto& det : result.detections) {
+      ASSERT_TRUE(infra.annotations()
+                      .Put("frame-" + std::to_string(i),
+                           "det-" + std::to_string(det.cls),
+                           std::to_string(det.score))
+                      .ok());
+      if (det.cls == amber_class && det.score > 0.3f) {
+        infra.alerts().Raise({.location = {},
+                              .kind = "amber_match",
+                              .message = "candidate vehicle sighted",
+                              .severity = 5});
+        ++alerts_raised;
+      }
+    }
+  }
+  EXPECT_EQ(processed, 30);
+  EXPECT_GT(infra.annotations().ApproxCells(), 0u);
+  EXPECT_EQ(infra.alerts().total(), std::size_t(alerts_raised));
+  // The operator reviews the queue down to empty.
+  while (infra.alerts().ReviewNext()) {
+  }
+  EXPECT_EQ(infra.alerts().pending(), 0u);
+}
+
+TEST(IntegrationTest, SchedulerBacksDataflowStage) {
+  // Containers acquired from the YARN-style RM gate a dataflow stage's
+  // parallelism — the Sec. II-C2 wiring of scheduler + engine.
+  sched::ResourceManager rm(sched::Policy::kFair);
+  rm.AddNode({4, 8192});
+  const auto app_id = rm.SubmitApp({"analytics", "default"});
+  ASSERT_TRUE(rm.RequestContainers(app_id, {1, 1024}, 4).ok());
+  const auto containers = rm.Schedule();
+  ASSERT_EQ(containers.size(), 4u);
+
+  dataflow::Engine engine(int(containers.size()));
+  auto ds = dataflow::Dataset<int>::Parallelize(
+      std::vector<int>(1000, 1), int(containers.size()));
+  EXPECT_EQ(ds.Reduce(engine, 0, [](int a, int b) { return a + b; }), 1000);
+
+  ASSERT_TRUE(rm.FinishApp(app_id).ok());
+  EXPECT_EQ(rm.Stats().containers_released, 4);
+}
+
+}  // namespace
+}  // namespace metro

@@ -1,0 +1,208 @@
+// Tests for the partitioned message log: produce/fetch semantics, key
+// partitioning, retention, and consumer-group rebalancing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mq/message_log.h"
+
+namespace metro::mq {
+namespace {
+
+TEST(MessageLogTest, CreateTopicValidation) {
+  SimClock clock;
+  MessageLog log(clock);
+  EXPECT_TRUE(log.CreateTopic("t", 3).ok());
+  EXPECT_EQ(log.CreateTopic("t", 3).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(log.CreateTopic("bad", 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(log.HasTopic("t"));
+  EXPECT_FALSE(log.HasTopic("u"));
+  EXPECT_EQ(log.NumPartitions("t").value(), 3);
+}
+
+TEST(MessageLogTest, ProduceFetchRoundTrip) {
+  SimClock clock(1000);
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  const auto ack = log.Produce("t", "k", "v");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->partition, 0);
+  EXPECT_EQ(ack->offset, 0);
+  const auto records = log.Fetch("t", 0, 0, 10);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].key, "k");
+  EXPECT_EQ((*records)[0].value, "v");
+  EXPECT_EQ((*records)[0].timestamp, 1000);
+}
+
+TEST(MessageLogTest, OffsetsMonotonic) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.ProduceTo("t", 0, "", std::to_string(i))->offset, i);
+  }
+  const auto info = log.GetPartitionInfo("t", 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->begin_offset, 0);
+  EXPECT_EQ(info->end_offset, 5);
+}
+
+TEST(MessageLogTest, SameKeySamePartition) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 8).ok());
+  const int p1 = log.Produce("t", "camera-42", "a")->partition;
+  const int p2 = log.Produce("t", "camera-42", "b")->partition;
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(MessageLogTest, EmptyKeyRoundRobins) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 4).ok());
+  std::set<int> partitions;
+  for (int i = 0; i < 4; ++i) {
+    partitions.insert(log.Produce("t", "", "v")->partition);
+  }
+  EXPECT_EQ(partitions.size(), 4u);
+}
+
+TEST(MessageLogTest, FetchBeyondEndEmptyOrError) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(log.ProduceTo("t", 0, "", "v").ok());
+  // At end: empty (a consumer polling an idle partition).
+  const auto at_end = log.Fetch("t", 0, 1, 10);
+  ASSERT_TRUE(at_end.ok());
+  EXPECT_TRUE(at_end->empty());
+  // Past end: error.
+  EXPECT_EQ(log.Fetch("t", 0, 5, 10).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MessageLogTest, FetchRespectsMaxRecords) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(log.ProduceTo("t", 0, "", "v").ok());
+  EXPECT_EQ(log.Fetch("t", 0, 0, 3)->size(), 3u);
+  EXPECT_EQ(log.Fetch("t", 0, 7, 100)->size(), 3u);
+}
+
+TEST(MessageLogTest, RetentionDropsOldRecords) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(log.ProduceTo("t", 0, "", "old").ok());
+  clock.Advance(10 * kSecond);
+  ASSERT_TRUE(log.ProduceTo("t", 0, "", "new").ok());
+  const auto dropped = log.EnforceRetention(5 * kSecond);
+  EXPECT_EQ(dropped, 1);
+  // The old offset is now below the retention floor.
+  EXPECT_EQ(log.Fetch("t", 0, 0, 10).status().code(), StatusCode::kOutOfRange);
+  const auto records = log.Fetch("t", 0, 1, 10);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].value, "new");
+}
+
+TEST(ConsumerGroupTest, SingleMemberGetsAllPartitions) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 4).ok());
+  const auto assignment = log.JoinGroup("g", "t", "m1");
+  ASSERT_TRUE(assignment.ok());
+  EXPECT_EQ(assignment->size(), 4u);
+}
+
+TEST(ConsumerGroupTest, RebalanceOnJoinAndLeave) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 4).ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m1").ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m2").ok());
+  const auto a1 = log.Assignment("g", "m1");
+  const auto a2 = log.Assignment("g", "m2");
+  EXPECT_EQ(a1.size() + a2.size(), 4u);
+  EXPECT_EQ(a1.size(), 2u);
+  // No overlap.
+  for (const int p : a1) {
+    EXPECT_EQ(std::find(a2.begin(), a2.end(), p), a2.end());
+  }
+  ASSERT_TRUE(log.LeaveGroup("g", "m1").ok());
+  EXPECT_EQ(log.Assignment("g", "m2").size(), 4u);
+  EXPECT_TRUE(log.Assignment("g", "m1").empty());
+}
+
+TEST(ConsumerGroupTest, GroupBoundToOneTopic) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t1", 1).ok());
+  ASSERT_TRUE(log.CreateTopic("t2", 1).ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t1", "m").ok());
+  EXPECT_EQ(log.JoinGroup("g", "t2", "m").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConsumerGroupTest, CommitAndFetchCommitted) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m").ok());
+  EXPECT_EQ(log.CommittedOffset("g", "t", 0), 0);
+  ASSERT_TRUE(log.CommitOffset("g", "t", 0, 17).ok());
+  EXPECT_EQ(log.CommittedOffset("g", "t", 0), 17);
+  EXPECT_EQ(log.CommittedOffset("g", "t", 1), 0);
+}
+
+TEST(ConsumerGroupTest, EndToEndConsumeLoop) {
+  // A consumer using committed offsets sees every record exactly once.
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(log.Produce("t", "k" + std::to_string(i), "v").ok());
+  }
+  const auto assignment = log.JoinGroup("g", "t", "m");
+  ASSERT_TRUE(assignment.ok());
+  int consumed = 0;
+  for (const int p : *assignment) {
+    while (true) {
+      const std::int64_t committed = log.CommittedOffset("g", "t", p);
+      const auto records = log.Fetch("t", p, committed, 7);
+      ASSERT_TRUE(records.ok());
+      if (records->empty()) break;
+      consumed += int(records->size());
+      ASSERT_TRUE(
+          log.CommitOffset("g", "t", p, records->back().offset + 1).ok());
+    }
+  }
+  EXPECT_EQ(consumed, 20);
+}
+
+TEST(MessageLogTest, UnknownTopicErrors) {
+  SimClock clock;
+  MessageLog log(clock);
+  EXPECT_EQ(log.Produce("nope", "k", "v").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(log.Fetch("nope", 0, 0, 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.JoinGroup("g", "nope", "m").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MessageLogTest, PartitionOutOfRange) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  EXPECT_EQ(log.ProduceTo("t", 5, "", "v").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.Fetch("t", -1, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metro::mq

@@ -1,0 +1,257 @@
+// Tests for the discrete-event network simulator and the Fig. 3 fog model.
+
+#include <gtest/gtest.h>
+
+#include "fog/fog.h"
+#include "net/simulator.h"
+#include "util/rng.h"
+
+namespace metro {
+namespace {
+
+using net::LinkSpec;
+using net::NodeSpec;
+using net::Simulator;
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.ScheduleAt(5, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int hits = 0;
+  std::function<void()> tick = [&] {
+    if (++hits < 5) sim.ScheduleAfter(10, tick);
+  };
+  sim.ScheduleAt(0, tick);
+  sim.RunUntilIdle();
+  EXPECT_EQ(hits, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int hits = 0;
+  sim.ScheduleAt(10, [&] { ++hits; });
+  sim.ScheduleAt(100, [&] { ++hits; });
+  sim.RunUntil(50);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.RunUntilIdle();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimulatorTest, SendLatencyIsTransmitPlusPropagation) {
+  Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  // 1 MB at 8 Mbps = 1 s transmit; 10 ms propagation.
+  ASSERT_TRUE(sim.Connect(a, b, {8e6, 10 * kMillisecond}).ok());
+  TimeNs arrival = -1;
+  ASSERT_TRUE(sim.Send(a, b, 1'000'000, [&] { arrival = sim.Now(); }).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrival, kSecond + 10 * kMillisecond);
+}
+
+TEST(SimulatorTest, LinkSerializesFifo) {
+  Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  ASSERT_TRUE(sim.Connect(a, b, {8e6, 0}).ok());  // 1 MB/s in bytes
+  TimeNs first = -1, second = -1;
+  ASSERT_TRUE(sim.Send(a, b, 1'000'000, [&] { first = sim.Now(); }).ok());
+  ASSERT_TRUE(sim.Send(a, b, 1'000'000, [&] { second = sim.Now(); }).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(first, kSecond);
+  EXPECT_EQ(second, 2 * kSecond);  // queued behind the first transfer
+}
+
+TEST(SimulatorTest, SendWithoutLinkFails) {
+  Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  EXPECT_EQ(sim.Send(a, b, 100, [] {}).code(), StatusCode::kNotFound);
+}
+
+TEST(SimulatorTest, ComputeDurationScalesWithRating) {
+  Simulator sim;
+  const auto slow = sim.AddNode({"slow", 1e6});   // 1M MACs/s
+  const auto fast = sim.AddNode({"fast", 1e9});
+  TimeNs slow_done = 0, fast_done = 0;
+  ASSERT_TRUE(sim.Compute(slow, 1'000'000, [&] { slow_done = sim.Now(); }).ok());
+  ASSERT_TRUE(sim.Compute(fast, 1'000'000, [&] { fast_done = sim.Now(); }).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(slow_done, kSecond);
+  EXPECT_EQ(fast_done, kMillisecond);
+}
+
+TEST(SimulatorTest, NodeComputeSerializes) {
+  Simulator sim;
+  const auto n = sim.AddNode({"n", 1e6});
+  TimeNs first = 0, second = 0;
+  ASSERT_TRUE(sim.Compute(n, 1'000'000, [&] { first = sim.Now(); }).ok());
+  ASSERT_TRUE(sim.Compute(n, 1'000'000, [&] { second = sim.Now(); }).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(first, kSecond);
+  EXPECT_EQ(second, 2 * kSecond);
+}
+
+TEST(SimulatorTest, LinkStatsAccumulate) {
+  Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  ASSERT_TRUE(sim.Connect(a, b, {1e9, 0}).ok());
+  ASSERT_TRUE(sim.Send(a, b, 100, [] {}).ok());
+  ASSERT_TRUE(sim.Send(b, a, 50, [] {}).ok());
+  sim.RunUntilIdle();
+  const auto stats = sim.Stats(a, b);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->messages, 2u);
+  EXPECT_EQ(stats->bytes, 150u);
+  EXPECT_EQ(sim.TotalBytes(), 150u);
+}
+
+TEST(SimulatorTest, DuplicateLinkRejected) {
+  Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  ASSERT_TRUE(sim.Connect(a, b, {}).ok());
+  EXPECT_EQ(sim.Connect(b, a, {}).code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------- Fog
+
+fog::FogConfig SmallFog() {
+  fog::FogConfig config;
+  config.num_edges = 4;
+  config.edges_per_fog = 2;
+  config.fogs_per_server = 2;
+  return config;
+}
+
+TEST(FogTopologyTest, TreeShape) {
+  fog::FogTopology topo(SmallFog());
+  EXPECT_EQ(topo.num_edges(), 4);
+  EXPECT_EQ(topo.num_fogs(), 2);
+  EXPECT_EQ(topo.num_servers(), 1);
+  EXPECT_EQ(topo.fog_of_edge(0), topo.fog_of_edge(1));
+  EXPECT_NE(topo.fog_of_edge(1), topo.fog_of_edge(2));
+  EXPECT_EQ(topo.server_of_edge(0), topo.server_of_edge(3));
+}
+
+fog::WorkItem MakeItem(std::uint64_t id, int edge) {
+  fog::WorkItem item;
+  item.id = id;
+  item.edge = edge;
+  item.arrival = TimeNs(id) * kMillisecond;
+  item.raw_bytes = 20'000;
+  item.feature_bytes = 8'000;
+  item.edge_filter_macs = 10'000;
+  item.local_macs = 2'000'000;
+  item.server_macs = 20'000'000;
+  return item;
+}
+
+TEST(FogPipelineTest, AllLocalNoServerTraffic) {
+  fog::FogTopology topo(SmallFog());
+  std::vector<fog::WorkItem> items;
+  for (int i = 0; i < 8; ++i) {
+    auto item = MakeItem(std::uint64_t(i), i % 4);
+    item.local_exit = true;
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topo, items);
+  EXPECT_EQ(result.items_local, 8);
+  EXPECT_EQ(result.items_offloaded, 0);
+  EXPECT_EQ(result.server_macs_total, 0.0);
+  // Only annotations cross fog->server.
+  EXPECT_EQ(result.traffic.fog_to_server, 8u * 256u);
+  EXPECT_EQ(result.traffic.edge_to_fog, 8u * 20'000u);
+}
+
+TEST(FogPipelineTest, OffloadShipsFeatureMaps) {
+  fog::FogTopology topo(SmallFog());
+  std::vector<fog::WorkItem> items;
+  for (int i = 0; i < 6; ++i) {
+    auto item = MakeItem(std::uint64_t(i), i % 4);
+    item.local_exit = false;
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topo, items);
+  EXPECT_EQ(result.items_offloaded, 6);
+  EXPECT_EQ(result.traffic.fog_to_server, 6u * 8'000u);
+  EXPECT_GT(result.server_macs_total, 0.0);
+}
+
+TEST(FogPipelineTest, EdgeFilterDropsBeforeUplink) {
+  fog::FogTopology topo(SmallFog());
+  std::vector<fog::WorkItem> items;
+  for (int i = 0; i < 10; ++i) {
+    auto item = MakeItem(std::uint64_t(i), i % 4);
+    item.dropped_by_edge_filter = i % 2 == 0;
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topo, items);
+  EXPECT_EQ(result.items_dropped, 5);
+  EXPECT_EQ(result.traffic.edge_to_fog, 5u * 20'000u);
+}
+
+TEST(FogPipelineTest, OffloadLatencyExceedsLocal) {
+  fog::FogTopology topo1(SmallFog());
+  std::vector<fog::WorkItem> local_items{MakeItem(0, 0)};
+  local_items[0].local_exit = true;
+  const auto local = fog::RunEarlyExitPipeline(topo1, local_items);
+
+  fog::FogTopology topo2(SmallFog());
+  std::vector<fog::WorkItem> off_items{MakeItem(0, 0)};
+  off_items[0].local_exit = false;
+  const auto off = fog::RunEarlyExitPipeline(topo2, off_items);
+
+  // The offloaded item pays feature shipping + server compute; the local one
+  // pays only annotation shipping past the fog tier. Completion counts the
+  // annotation's arrival at the cloud in both cases.
+  EXPECT_GT(off.mean_latency_ms, 0.0);
+  EXPECT_GT(local.mean_latency_ms, 0.0);
+  EXPECT_GT(off.mean_latency_ms, local.mean_latency_ms * 0.9);
+}
+
+TEST(FogPipelineTest, TrafficDecreasesUpTheHierarchyWhenConfident) {
+  // The fog-computing claim: with edge filtering and early exits, bytes fall
+  // monotonically from edge->fog to fog->server to server->cloud.
+  fog::FogTopology topo(SmallFog());
+  std::vector<fog::WorkItem> items;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    auto item = MakeItem(std::uint64_t(i), i % 4);
+    item.dropped_by_edge_filter = rng.Bernoulli(0.2);
+    item.local_exit = rng.Bernoulli(0.8);
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topo, items);
+  EXPECT_GT(result.traffic.edge_to_fog, result.traffic.fog_to_server);
+  EXPECT_GE(result.traffic.fog_to_server, result.traffic.server_to_cloud);
+}
+
+TEST(FogPipelineTest, TierNames) {
+  EXPECT_EQ(fog::TierName(fog::Tier::kEdge), "edge");
+  EXPECT_EQ(fog::TierName(fog::Tier::kCloud), "cloud");
+}
+
+}  // namespace
+}  // namespace metro

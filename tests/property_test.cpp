@@ -1,0 +1,318 @@
+// Property-based tests (parameterized sweeps) on cross-cutting invariants:
+// the LSM engine against a model map, WAL prefix-recovery, simulator
+// latency arithmetic, geohash round-trips, queue ordering under threads,
+// and fog pipeline conservation laws.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "fog/fog.h"
+#include "geo/geo.h"
+#include "net/simulator.h"
+#include "store/lsm.h"
+#include "util/queue.h"
+#include "util/rng.h"
+
+namespace metro {
+namespace {
+
+// ---------------------------------------------------------- LSM model check
+
+struct LsmCase {
+  std::uint64_t seed;
+  std::size_t memtable_limit;
+  std::size_t compaction_trigger;
+};
+
+class LsmModelCheck : public ::testing::TestWithParam<LsmCase> {};
+
+TEST_P(LsmModelCheck, AgreesWithStdMapAfterRandomOps) {
+  const LsmCase param = GetParam();
+  store::LsmConfig config;
+  config.memtable_limit_bytes = param.memtable_limit;
+  config.compaction_trigger = param.compaction_trigger;
+  store::LsmEngine lsm(config);
+  std::map<std::string, std::string> model;
+  Rng rng(param.seed);
+
+  for (int op = 0; op < 1200; ++op) {
+    const std::string key = "k" + std::to_string(rng.UniformU64(60));
+    const double dice = rng.UniformDouble();
+    if (dice < 0.55) {
+      const std::string value = "v" + std::to_string(rng.NextU64() % 1000);
+      ASSERT_TRUE(lsm.Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.8) {
+      ASSERT_TRUE(lsm.Delete(key).ok());
+      model.erase(key);
+    } else if (dice < 0.9) {
+      ASSERT_TRUE(lsm.Flush().ok());
+    } else {
+      ASSERT_TRUE(lsm.CompactAll().ok());
+    }
+  }
+
+  // Point reads agree.
+  for (int k = 0; k < 60; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    const auto got = lsm.Get(key);
+    const auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_FALSE(got.ok()) << key;
+    } else {
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+  // Full scans agree.
+  const auto rows = lsm.Scan("", "");
+  ASSERT_EQ(rows.size(), model.size());
+  auto mit = model.begin();
+  for (const auto& [key, value] : rows) {
+    EXPECT_EQ(key, mit->first);
+    EXPECT_EQ(value, mit->second);
+    ++mit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, LsmModelCheck,
+    ::testing::Values(LsmCase{1, 256, 2}, LsmCase{2, 256, 6},
+                      LsmCase{3, 1024, 3}, LsmCase{4, 64, 2},
+                      LsmCase{5, 1 << 20, 4}, LsmCase{6, 512, 2},
+                      LsmCase{7, 128, 8}, LsmCase{8, 2048, 3}));
+
+// ---------------------------------------------------------- WAL prefix
+
+class WalPrefixRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalPrefixRecovery, TruncatedWalRecoversAPrefix) {
+  // Property: recovering from any truncation of a WAL yields exactly the
+  // state after some prefix of the original operations.
+  Rng rng(GetParam());
+  store::LsmEngine original;
+  std::vector<std::pair<std::string, std::optional<std::string>>> ops;
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(rng.UniformU64(10));
+    if (rng.Bernoulli(0.7)) {
+      const std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(original.Put(key, value).ok());
+      ops.emplace_back(key, value);
+    } else {
+      ASSERT_TRUE(original.Delete(key).ok());
+      ops.emplace_back(key, std::nullopt);
+    }
+  }
+  const std::string wal = original.Wal();
+  const std::size_t cut = rng.UniformU64(wal.size() + 1);
+
+  store::LsmEngine recovered;
+  const auto applied = recovered.RecoverFromWal(wal.substr(0, cut));
+  ASSERT_TRUE(applied.ok());
+  ASSERT_LE(*applied, std::int64_t(ops.size()));
+
+  // Replay the same prefix into a model map and compare.
+  std::map<std::string, std::string> model;
+  for (std::int64_t i = 0; i < *applied; ++i) {
+    const auto& [key, value] = ops[std::size_t(i)];
+    if (value) {
+      model[key] = *value;
+    } else {
+      model.erase(key);
+    }
+  }
+  const auto rows = recovered.Scan("", "");
+  ASSERT_EQ(rows.size(), model.size());
+  auto mit = model.begin();
+  for (const auto& [key, value] : rows) {
+    EXPECT_EQ(key, mit->first);
+    EXPECT_EQ(value, mit->second);
+    ++mit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalPrefixRecovery,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// ---------------------------------------------------------- Simulator math
+
+struct TransferCase {
+  std::uint64_t bytes;
+  double bandwidth_bps;
+  TimeNs latency;
+};
+
+class SimulatorLatencyLaw : public ::testing::TestWithParam<TransferCase> {};
+
+TEST_P(SimulatorLatencyLaw, ArrivalEqualsTransmitPlusPropagation) {
+  const TransferCase param = GetParam();
+  net::Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  ASSERT_TRUE(sim.Connect(a, b, {param.bandwidth_bps, param.latency}).ok());
+  TimeNs arrival = -1;
+  ASSERT_TRUE(sim.Send(a, b, param.bytes, [&] { arrival = sim.Now(); }).ok());
+  sim.RunUntilIdle();
+  const auto expected =
+      TimeNs(double(param.bytes) * 8.0 / param.bandwidth_bps * kSecond) +
+      param.latency;
+  EXPECT_NEAR(double(arrival), double(expected), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulatorLatencyLaw,
+    ::testing::Values(TransferCase{1000, 1e6, 0},
+                      TransferCase{1000, 1e6, 5 * kMillisecond},
+                      TransferCase{1 << 20, 1e9, kMillisecond},
+                      TransferCase{64, 56'000, 30 * kMillisecond},
+                      TransferCase{100'000'000, 10e9, 15 * kMillisecond},
+                      TransferCase{1, 1e9, 0}));
+
+// ---------------------------------------------------------- Geohash
+
+class GeohashRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeohashRoundTrip, DecodeWithinCellError) {
+  const int precision = GetParam();
+  Rng rng(7000 + std::uint64_t(precision));
+  // Cell sizes shrink ~x8 per 2 characters; derive a loose error bound.
+  const double max_err_deg = 180.0 / std::pow(2.0, 2.5 * precision - 2);
+  for (int i = 0; i < 50; ++i) {
+    const geo::LatLon p{rng.UniformDouble(-85, 85),
+                        rng.UniformDouble(-180, 180)};
+    const auto decoded = geo::GeohashDecode(geo::Geohash(p, precision));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_NEAR(decoded->lat, p.lat, max_err_deg);
+    EXPECT_NEAR(decoded->lon, p.lon, max_err_deg * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, GeohashRoundTrip,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 12));
+
+// ---------------------------------------------------------- Queue ordering
+
+class QueueOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueOrdering, PerProducerOrderPreserved) {
+  const int producers = GetParam();
+  constexpr int kPerProducer = 300;
+  BoundedQueue<std::pair<int, int>> queue(8);
+
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push({p, i}).ok());
+      }
+    });
+  }
+  std::vector<int> last_seen(std::size_t(producers), -1);
+  int received = 0;
+  std::thread consumer([&] {
+    while (auto item = queue.Pop()) {
+      const auto [p, i] = *item;
+      EXPECT_GT(i, last_seen[std::size_t(p)]);
+      last_seen[std::size_t(p)] = i;
+      ++received;
+    }
+  });
+  for (auto& t : threads) t.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(received, producers * kPerProducer);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProducerCounts, QueueOrdering,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------- Fog conservation
+
+class FogConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FogConservation, ItemsAndBytesConserved) {
+  Rng rng(GetParam());
+  fog::FogConfig config;
+  config.num_edges = 1 + int(rng.UniformU64(8));
+  config.edges_per_fog = 1 + int(rng.UniformU64(4));
+  config.fogs_per_server = 1 + int(rng.UniformU64(3));
+  fog::FogTopology topology(config);
+
+  const int n = 30;
+  std::uint64_t raw_sent = 0, features_sent = 0, annotations = 0;
+  std::uint64_t local_annotations = 0;
+  std::vector<fog::WorkItem> items;
+  for (int i = 0; i < n; ++i) {
+    fog::WorkItem item;
+    item.id = std::uint64_t(i);
+    item.edge = int(rng.UniformU64(std::uint64_t(config.num_edges)));
+    item.arrival = TimeNs(rng.UniformU64(100)) * kMillisecond;
+    item.raw_bytes = 1000 + rng.UniformU64(50'000);
+    item.feature_bytes = 100 + rng.UniformU64(5'000);
+    item.local_macs = 1'000'000;
+    item.server_macs = 10'000'000;
+    item.dropped_by_edge_filter = rng.Bernoulli(0.2);
+    item.local_exit = rng.Bernoulli(0.6);
+    if (!item.dropped_by_edge_filter) {
+      raw_sent += item.raw_bytes;
+      annotations += item.annotation_bytes;
+      if (item.local_exit) {
+        local_annotations += item.annotation_bytes;
+      } else {
+        features_sent += item.feature_bytes;
+      }
+    }
+    items.push_back(item);
+  }
+  const auto result = fog::RunEarlyExitPipeline(topology, items);
+
+  // Every item is accounted for exactly once.
+  EXPECT_EQ(result.items_dropped + result.items_local + result.items_offloaded,
+            n);
+  EXPECT_EQ(result.outcomes.size(), std::size_t(n));
+  // Byte accounting matches the analytic sums exactly: fog->server carries
+  // feature maps for offloads plus annotations for local exits; the cloud
+  // link carries every surviving item's annotation.
+  EXPECT_EQ(result.traffic.edge_to_fog, raw_sent);
+  EXPECT_EQ(result.traffic.fog_to_server, features_sent + local_annotations);
+  EXPECT_EQ(result.traffic.server_to_cloud, annotations);
+  // Latencies are positive and ordered sanely.
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.dropped) {
+      EXPECT_GT(outcome.latency, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FogConservation,
+                         ::testing::Range<std::uint64_t>(500, 510));
+
+// ---------------------------------------------------------- Rng uniformity
+
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, ChiSquaredWithinBounds) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 16'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[std::size_t(rng.UniformU64(kBuckets))];
+  }
+  const double expected = double(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof: p=0.001 critical value ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Range<std::uint64_t>(9000, 9010));
+
+}  // namespace
+}  // namespace metro

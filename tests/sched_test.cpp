@@ -1,0 +1,155 @@
+// Tests for the YARN-style resource manager: placement, policies, release.
+
+#include <gtest/gtest.h>
+
+#include "sched/resource_manager.h"
+
+namespace metro::sched {
+namespace {
+
+TEST(SchedTest, GrantsWithinCapacity) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({4, 8192});
+  const auto app = rm.SubmitApp({"job"});
+  ASSERT_TRUE(rm.RequestContainers(app, {2, 2048}, 2).ok());
+  const auto granted = rm.Schedule();
+  EXPECT_EQ(granted.size(), 2u);
+  const auto avail = rm.NodeAvailable(0);
+  ASSERT_TRUE(avail.ok());
+  EXPECT_EQ(avail->vcores, 0);
+  EXPECT_EQ(avail->memory_mb, 4096);
+}
+
+TEST(SchedTest, OverCapacityStaysPending) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({2, 4096});
+  const auto app = rm.SubmitApp({"job"});
+  ASSERT_TRUE(rm.RequestContainers(app, {2, 2048}, 3).ok());
+  EXPECT_EQ(rm.Schedule().size(), 1u);
+  EXPECT_EQ(rm.Stats().pending_requests, 2);
+}
+
+TEST(SchedTest, ReleaseFreesResources) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({2, 4096});
+  const auto app = rm.SubmitApp({"job"});
+  ASSERT_TRUE(rm.RequestContainers(app, {2, 4096}, 2).ok());
+  auto granted = rm.Schedule();
+  ASSERT_EQ(granted.size(), 1u);
+  ASSERT_TRUE(rm.ReleaseContainer(granted[0].id).ok());
+  EXPECT_EQ(rm.Schedule().size(), 1u);  // the queued request now fits
+}
+
+TEST(SchedTest, FifoRespectsSubmissionOrder) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({2, 4096});
+  const auto a = rm.SubmitApp({"first"});
+  const auto b = rm.SubmitApp({"second"});
+  ASSERT_TRUE(rm.RequestContainers(a, {2, 4096}, 1).ok());
+  ASSERT_TRUE(rm.RequestContainers(b, {1, 1024}, 1).ok());
+  const auto granted = rm.Schedule();
+  // Strict FIFO: the head (a) fills the node; b waits even though it fits
+  // nothing after a... a takes everything, so only a runs.
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].app_id, a);
+}
+
+TEST(SchedTest, FifoHeadOfLineBlocks) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({1, 1024});
+  const auto big = rm.SubmitApp({"big"});
+  const auto small = rm.SubmitApp({"small"});
+  ASSERT_TRUE(rm.RequestContainers(big, {8, 65536}, 1).ok());  // never fits
+  ASSERT_TRUE(rm.RequestContainers(small, {1, 512}, 1).ok());
+  // FIFO refuses to skip the head.
+  EXPECT_TRUE(rm.Schedule().empty());
+  EXPECT_EQ(rm.Stats().pending_requests, 2);
+}
+
+TEST(SchedTest, FairPolicySkipsBlockedHead) {
+  ResourceManager rm(Policy::kFair);
+  rm.AddNode({1, 1024});
+  const auto big = rm.SubmitApp({"big"});
+  const auto small = rm.SubmitApp({"small"});
+  ASSERT_TRUE(rm.RequestContainers(big, {8, 65536}, 1).ok());
+  ASSERT_TRUE(rm.RequestContainers(small, {1, 512}, 1).ok());
+  const auto granted = rm.Schedule();
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0].app_id, small);
+}
+
+TEST(SchedTest, FairPolicyBalancesApps) {
+  ResourceManager rm(Policy::kFair);
+  rm.AddNode({4, 8192});
+  const auto a = rm.SubmitApp({"a"});
+  const auto b = rm.SubmitApp({"b"});
+  ASSERT_TRUE(rm.RequestContainers(a, {1, 1024}, 4).ok());
+  ASSERT_TRUE(rm.RequestContainers(b, {1, 1024}, 4).ok());
+  const auto granted = rm.Schedule();
+  ASSERT_EQ(granted.size(), 4u);
+  int a_count = 0, b_count = 0;
+  for (const auto& c : granted) (c.app_id == a ? a_count : b_count)++;
+  EXPECT_EQ(a_count, 2);
+  EXPECT_EQ(b_count, 2);
+}
+
+TEST(SchedTest, CapacityPolicyHonorsQueueShares) {
+  ResourceManager rm(Policy::kCapacity);
+  rm.AddNode({4, 8192});
+  rm.SetQueueShare("prod", 3.0);
+  rm.SetQueueShare("research", 1.0);
+  const auto prod = rm.SubmitApp({"p", "prod"});
+  const auto research = rm.SubmitApp({"r", "research"});
+  ASSERT_TRUE(rm.RequestContainers(prod, {1, 1024}, 4).ok());
+  ASSERT_TRUE(rm.RequestContainers(research, {1, 1024}, 4).ok());
+  const auto granted = rm.Schedule();
+  ASSERT_EQ(granted.size(), 4u);
+  int prod_count = 0;
+  for (const auto& c : granted) {
+    if (c.app_id == prod) ++prod_count;
+  }
+  EXPECT_EQ(prod_count, 3);  // 75% share
+}
+
+TEST(SchedTest, PlacementSpreadsAcrossNodes) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({4, 8192});
+  rm.AddNode({4, 8192});
+  const auto app = rm.SubmitApp({"job"});
+  ASSERT_TRUE(rm.RequestContainers(app, {2, 2048}, 2).ok());
+  const auto granted = rm.Schedule();
+  ASSERT_EQ(granted.size(), 2u);
+  EXPECT_NE(granted[0].node, granted[1].node);
+}
+
+TEST(SchedTest, FinishAppReleasesEverything) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({4, 8192});
+  const auto app = rm.SubmitApp({"job"});
+  ASSERT_TRUE(rm.RequestContainers(app, {1, 1024}, 3).ok());
+  ASSERT_TRUE(rm.RequestContainers(app, {1, 1024}, 5).ok());
+  EXPECT_EQ(rm.Schedule().size(), 4u);
+  ASSERT_TRUE(rm.FinishApp(app).ok());
+  EXPECT_TRUE(rm.AppContainers(app).empty());
+  EXPECT_EQ(rm.Stats().pending_requests, 0);
+  const auto avail = rm.NodeAvailable(0);
+  EXPECT_EQ(avail->vcores, 4);
+  EXPECT_EQ(rm.RequestContainers(app, {1, 1024}, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchedTest, BadRequestsRejected) {
+  ResourceManager rm(Policy::kFifo);
+  rm.AddNode({4, 8192});
+  EXPECT_EQ(rm.RequestContainers(999, {1, 1}, 1).code(),
+            StatusCode::kNotFound);
+  const auto app = rm.SubmitApp({"job"});
+  EXPECT_EQ(rm.RequestContainers(app, {0, 1024}, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rm.RequestContainers(app, {1, 1024}, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rm.ReleaseContainer(12345).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace metro::sched

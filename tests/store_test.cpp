@@ -1,0 +1,414 @@
+// Tests for the storage engines: LSM core (WAL recovery, compaction),
+// the wide-column table (regions, splits), and the document store
+// (indexes, geo queries).
+
+#include <gtest/gtest.h>
+
+#include "store/document_store.h"
+#include "store/lsm.h"
+#include "store/wide_column.h"
+
+namespace metro::store {
+namespace {
+
+// ---------------------------------------------------------------- LSM
+
+TEST(LsmTest, PutGetDelete) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("k1", "v1").ok());
+  EXPECT_EQ(lsm.Get("k1").value(), "v1");
+  ASSERT_TRUE(lsm.Put("k1", "v2").ok());
+  EXPECT_EQ(lsm.Get("k1").value(), "v2");
+  ASSERT_TRUE(lsm.Delete("k1").ok());
+  EXPECT_EQ(lsm.Get("k1").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(lsm.Get("never").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LsmTest, EmptyKeyRejected) {
+  LsmEngine lsm;
+  EXPECT_EQ(lsm.Put("", "v").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LsmTest, GetAfterFlushReadsSsTable) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("a", "1").ok());
+  ASSERT_TRUE(lsm.Put("b", "2").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_EQ(lsm.Stats().memtable_entries, 0u);
+  EXPECT_EQ(lsm.Stats().num_sstables, 1u);
+  EXPECT_EQ(lsm.Get("a").value(), "1");
+  EXPECT_EQ(lsm.Get("b").value(), "2");
+}
+
+TEST(LsmTest, MemtableShadowsSsTable) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("k", "old").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Put("k", "new").ok());
+  EXPECT_EQ(lsm.Get("k").value(), "new");
+}
+
+TEST(LsmTest, NewerSsTableShadowsOlder) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("k", "v1").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Put("k", "v2").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_EQ(lsm.Get("k").value(), "v2");
+}
+
+TEST(LsmTest, TombstoneSurvivesFlush) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("k", "v").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Delete("k").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_EQ(lsm.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LsmTest, ScanMergesAndOrders) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("c", "3").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Put("a", "1").ok());
+  ASSERT_TRUE(lsm.Put("b", "2").ok());
+  ASSERT_TRUE(lsm.Put("d", "4").ok());
+  ASSERT_TRUE(lsm.Delete("d").ok());
+  const auto rows = lsm.Scan("", "");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[2].first, "c");
+}
+
+TEST(LsmTest, ScanRangeAndLimit) {
+  LsmEngine lsm;
+  for (const char c : {'a', 'b', 'c', 'd', 'e'}) {
+    ASSERT_TRUE(lsm.Put(std::string(1, c), "v").ok());
+  }
+  const auto rows = lsm.Scan("b", "e");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "b");
+  EXPECT_EQ(rows[2].first, "d");
+  EXPECT_EQ(lsm.Scan("", "", 2).size(), 2u);
+}
+
+TEST(LsmTest, AutoFlushAndCompactionTriggers) {
+  LsmConfig config;
+  config.memtable_limit_bytes = 512;
+  config.compaction_trigger = 3;
+  LsmEngine lsm(config);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(lsm.Put("key" + std::to_string(i), std::string(40, 'x')).ok());
+  }
+  const auto stats = lsm.Stats();
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_LT(stats.num_sstables, 3u);
+  // All data still visible.
+  EXPECT_EQ(lsm.Scan("", "").size(), 200u);
+}
+
+TEST(LsmTest, CompactionDropsTombstones) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("a", "1").ok());
+  ASSERT_TRUE(lsm.Put("b", "2").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Delete("a").ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.CompactAll().ok());
+  const auto stats = lsm.Stats();
+  EXPECT_EQ(stats.num_sstables, 1u);
+  EXPECT_EQ(stats.sstable_entries, 1u);  // only "b"; tombstone gone
+}
+
+TEST(LsmTest, WalRecoveryRebuildsState) {
+  LsmEngine original;
+  ASSERT_TRUE(original.Put("a", "1").ok());
+  ASSERT_TRUE(original.Put("b", "2").ok());
+  ASSERT_TRUE(original.Delete("a").ok());
+  ASSERT_TRUE(original.Put("c", "3").ok());
+
+  LsmEngine recovered;
+  const auto applied = recovered.RecoverFromWal(original.Wal());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 4);
+  EXPECT_EQ(recovered.Get("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(recovered.Get("b").value(), "2");
+  EXPECT_EQ(recovered.Get("c").value(), "3");
+}
+
+TEST(LsmTest, WalRecoveryToleratesTruncatedTail) {
+  LsmEngine original;
+  ASSERT_TRUE(original.Put("a", "1").ok());
+  ASSERT_TRUE(original.Put("b", "2").ok());
+  const std::string wal = original.Wal();
+  // Chop the last few bytes (torn write at crash).
+  const std::string torn = wal.substr(0, wal.size() - 3);
+  LsmEngine recovered;
+  const auto applied = recovered.RecoverFromWal(torn);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1);  // only the intact first record
+  EXPECT_EQ(recovered.Get("a").value(), "1");
+  EXPECT_FALSE(recovered.Get("b").ok());
+}
+
+TEST(LsmTest, WalRecoveryStopsAtCorruptRecord) {
+  LsmEngine original;
+  ASSERT_TRUE(original.Put("a", "1").ok());
+  ASSERT_TRUE(original.Put("b", "2").ok());
+  std::string wal = original.Wal();
+  wal[wal.size() / 2 + 3] ^= 0x40;  // flip a bit in the second record
+  LsmEngine recovered;
+  const auto applied = recovered.RecoverFromWal(wal);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_LE(*applied, 1);
+}
+
+TEST(LsmTest, KeyRangeAndApproxEntries) {
+  LsmEngine lsm;
+  ASSERT_TRUE(lsm.Put("m", "1").ok());
+  ASSERT_TRUE(lsm.Put("a", "2").ok());
+  ASSERT_TRUE(lsm.Put("z", "3").ok());
+  const auto [lo, hi] = lsm.KeyRange();
+  EXPECT_EQ(lo, "a");
+  EXPECT_EQ(hi, "z");
+  EXPECT_EQ(lsm.ApproxEntries(), 3u);
+}
+
+// ---------------------------------------------------------------- WideColumn
+
+TEST(WideColumnTest, PutGetRow) {
+  WideColumnTable table("crimes");
+  ASSERT_TRUE(table.Put("row1", "offense", "robbery").ok());
+  ASSERT_TRUE(table.Put("row1", "district", "5").ok());
+  EXPECT_EQ(table.Get("row1", "offense").value(), "robbery");
+  const auto row = table.GetRow("row1");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row.at("district"), "5");
+  EXPECT_TRUE(table.GetRow("missing").empty());
+}
+
+TEST(WideColumnTest, RowKeyValidation) {
+  WideColumnTable table("t");
+  EXPECT_EQ(table.Put("", "c", "v").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Put(std::string{'a', '\x01', 'b'}, "c", "v").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WideColumnTest, DeleteCellAndRow) {
+  WideColumnTable table("t");
+  ASSERT_TRUE(table.Put("r", "a", "1").ok());
+  ASSERT_TRUE(table.Put("r", "b", "2").ok());
+  ASSERT_TRUE(table.DeleteCell("r", "a").ok());
+  EXPECT_FALSE(table.Get("r", "a").ok());
+  EXPECT_TRUE(table.Get("r", "b").ok());
+  EXPECT_EQ(table.DeleteRow("r"), 1u);
+  EXPECT_TRUE(table.GetRow("r").empty());
+}
+
+TEST(WideColumnTest, ScanOrderedByRowThenColumn) {
+  WideColumnTable table("t");
+  ASSERT_TRUE(table.Put("r2", "a", "3").ok());
+  ASSERT_TRUE(table.Put("r1", "b", "2").ok());
+  ASSERT_TRUE(table.Put("r1", "a", "1").ok());
+  const auto cells = table.Scan("", "");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].row, "r1");
+  EXPECT_EQ(cells[0].column, "a");
+  EXPECT_EQ(cells[1].column, "b");
+  EXPECT_EQ(cells[2].row, "r2");
+}
+
+TEST(WideColumnTest, ScanRowRange) {
+  WideColumnTable table("t");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table.Put("row" + std::to_string(i), "c", std::to_string(i)).ok());
+  }
+  const auto cells = table.Scan("row3", "row6");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells.front().row, "row3");
+  EXPECT_EQ(cells.back().row, "row5");
+}
+
+TEST(WideColumnTest, RegionSplitKeepsDataAndOrder) {
+  WideColumnConfig config;
+  config.region_split_threshold = 100;
+  WideColumnTable table("t", config);
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "row%04d", i);
+    ASSERT_TRUE(table.Put(key, "c", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(table.num_regions(), 1);
+  const int splits = table.MaybeSplitRegions();
+  EXPECT_GE(splits, 1);
+  EXPECT_GT(table.num_regions(), 1);
+
+  // Every row still readable, scan still globally ordered.
+  EXPECT_EQ(table.Get("row0000", "c").value(), "0");
+  EXPECT_EQ(table.Get("row0499", "c").value(), "499");
+  const auto cells = table.Scan("", "");
+  ASSERT_EQ(cells.size(), 500u);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_LT(cells[i - 1].row, cells[i].row);
+  }
+  EXPECT_EQ(table.ApproxCells(), 500u);
+}
+
+TEST(WideColumnTest, WritesAfterSplitRouteCorrectly) {
+  WideColumnConfig config;
+  config.region_split_threshold = 50;
+  WideColumnTable table("t", config);
+  for (int i = 0; i < 200; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof key, "k%04d", i);
+    ASSERT_TRUE(table.Put(key, "c", "x").ok());
+  }
+  table.MaybeSplitRegions();
+  ASSERT_GT(table.num_regions(), 1);
+  ASSERT_TRUE(table.Put("k0000", "c", "updated").ok());
+  ASSERT_TRUE(table.Put("k0199", "c", "updated").ok());
+  ASSERT_TRUE(table.Put("zzz", "c", "new").ok());
+  EXPECT_EQ(table.Get("k0000", "c").value(), "updated");
+  EXPECT_EQ(table.Get("k0199", "c").value(), "updated");
+  EXPECT_EQ(table.Get("zzz", "c").value(), "new");
+}
+
+// ---------------------------------------------------------------- DocumentStore
+
+Document MakeDoc(std::int64_t id, const std::string& kind, double lat,
+                 double lon) {
+  Document doc;
+  doc["id"] = id;
+  doc["kind"] = kind;
+  doc["lat"] = lat;
+  doc["lon"] = lon;
+  return doc;
+}
+
+TEST(DocumentStoreTest, InsertFindById) {
+  Collection coll("c");
+  const DocId id = coll.Insert(MakeDoc(1, "crime", 30.0, -91.0));
+  const auto doc = coll.FindById(id);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(std::get<std::string>(doc->at("kind")), "crime");
+  EXPECT_FALSE(coll.FindById(999).ok());
+}
+
+TEST(DocumentStoreTest, UpdateAndRemove) {
+  Collection coll("c");
+  const DocId id = coll.Insert(MakeDoc(1, "crime", 30.0, -91.0));
+  ASSERT_TRUE(coll.Update(id, MakeDoc(1, "traffic", 30.0, -91.0)).ok());
+  EXPECT_EQ(std::get<std::string>(coll.FindById(id)->at("kind")), "traffic");
+  ASSERT_TRUE(coll.Remove(id).ok());
+  EXPECT_FALSE(coll.FindById(id).ok());
+  EXPECT_EQ(coll.Remove(id).code(), StatusCode::kNotFound);
+}
+
+TEST(DocumentStoreTest, EqualityQueryWithAndWithoutIndex) {
+  Collection coll("c");
+  for (int i = 0; i < 20; ++i) {
+    coll.Insert(MakeDoc(i, i % 2 == 0 ? "crime" : "traffic", 30.0, -91.0));
+  }
+  Query q;
+  q.conditions.push_back({"kind", Condition::Op::kEquals, std::string("crime")});
+  EXPECT_EQ(coll.Find(q).size(), 10u);  // full scan path
+  ASSERT_TRUE(coll.CreateIndex("kind").ok());
+  EXPECT_EQ(coll.Find(q).size(), 10u);  // indexed path
+}
+
+TEST(DocumentStoreTest, IndexTracksUpdates) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.CreateIndex("kind").ok());
+  const DocId id = coll.Insert(MakeDoc(1, "crime", 30.0, -91.0));
+  ASSERT_TRUE(coll.Update(id, MakeDoc(1, "traffic", 30.0, -91.0)).ok());
+  Query crime;
+  crime.conditions.push_back(
+      {"kind", Condition::Op::kEquals, std::string("crime")});
+  EXPECT_TRUE(coll.Find(crime).empty());
+  Query traffic;
+  traffic.conditions.push_back(
+      {"kind", Condition::Op::kEquals, std::string("traffic")});
+  EXPECT_EQ(coll.Find(traffic).size(), 1u);
+}
+
+TEST(DocumentStoreTest, RangeQuery) {
+  Collection coll("c");
+  for (int i = 0; i < 10; ++i) {
+    Document doc;
+    doc["ts"] = std::int64_t(i * 100);
+    coll.Insert(std::move(doc));
+  }
+  Query q;
+  Condition c;
+  c.field = "ts";
+  c.op = Condition::Op::kRangeNumeric;
+  c.lo = 250;
+  c.hi = 650;
+  q.conditions.push_back(c);
+  EXPECT_EQ(coll.Find(q).size(), 4u);  // 300, 400, 500, 600
+}
+
+TEST(DocumentStoreTest, GeoRadiusQuery) {
+  Collection coll("c");
+  // One doc at center, one ~1.1 km east, one far away.
+  coll.Insert(MakeDoc(1, "a", 30.4515, -91.1871));
+  coll.Insert(MakeDoc(2, "b", 30.4515, -91.1757));  // ~1.1 km
+  coll.Insert(MakeDoc(3, "c", 30.6, -91.0));        // tens of km
+  ASSERT_TRUE(coll.CreateGeoIndex("lat", "lon").ok());
+  Query q;
+  q.near_center = geo::LatLon{30.4515, -91.1871};
+  q.near_radius_m = 2000;
+  const auto ids = coll.Find(q);
+  EXPECT_EQ(ids.size(), 2u);
+  q.near_radius_m = 500;
+  EXPECT_EQ(coll.Find(q).size(), 1u);
+}
+
+TEST(DocumentStoreTest, CombinedGeoAndEqualityQuery) {
+  Collection coll("c");
+  coll.Insert(MakeDoc(1, "crime", 30.4515, -91.1871));
+  coll.Insert(MakeDoc(2, "traffic", 30.4515, -91.1871));
+  ASSERT_TRUE(coll.CreateGeoIndex("lat", "lon").ok());
+  Query q;
+  q.near_center = geo::LatLon{30.4515, -91.1871};
+  q.near_radius_m = 1000;
+  q.conditions.push_back({"kind", Condition::Op::kEquals, std::string("crime")});
+  EXPECT_EQ(coll.Find(q).size(), 1u);
+}
+
+TEST(DocumentStoreTest, TypeTaggedIndexKeys) {
+  Collection coll("c");
+  ASSERT_TRUE(coll.CreateIndex("v").ok());
+  Document a;
+  a["v"] = std::int64_t(1);
+  Document b;
+  b["v"] = std::string("1");
+  coll.Insert(std::move(a));
+  coll.Insert(std::move(b));
+  Query q;
+  q.conditions.push_back({"v", Condition::Op::kEquals, std::int64_t(1)});
+  EXPECT_EQ(coll.Find(q).size(), 1u);
+}
+
+TEST(DocumentStoreTest, ToJsonEscapesAndTypes) {
+  Document doc;
+  doc["s"] = std::string("he said \"hi\"\n");
+  doc["i"] = std::int64_t(42);
+  doc["b"] = true;
+  const std::string json = ToJson(doc);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"i\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":true"), std::string::npos);
+}
+
+TEST(DocumentStoreTest, AsNumberConversions) {
+  EXPECT_EQ(AsNumber(Value(std::int64_t(3))).value(), 3.0);
+  EXPECT_EQ(AsNumber(Value(2.5)).value(), 2.5);
+  EXPECT_EQ(AsNumber(Value(true)).value(), 1.0);
+  EXPECT_FALSE(AsNumber(Value(std::string("x"))).has_value());
+}
+
+}  // namespace
+}  // namespace metro::store

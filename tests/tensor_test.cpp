@@ -1,0 +1,299 @@
+// Unit tests for the tensor math kernels, including numerical gradient
+// checks of the convolution/pooling backward passes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace metro::tensor {
+namespace {
+
+TEST(TensorTest, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(ShapeToString(t.shape()), "[2, 3, 4]");
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FillAndArithmetic) {
+  Tensor a({2, 2}, 1.0f);
+  Tensor b({2, 2}, 2.0f);
+  a += b;
+  for (const float v : a.data()) EXPECT_EQ(v, 3.0f);
+  a -= b;
+  for (const float v : a.data()) EXPECT_EQ(v, 1.0f);
+  a *= 4.0f;
+  EXPECT_EQ(a.Sum(), 16.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({2, 3});
+  EXPECT_EQ(r.at(1, 2), 6.0f);
+  EXPECT_EQ(r.at(0, 0), 1.0f);
+}
+
+TEST(TensorTest, SliceBatch) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}).Reshape({3, 2});
+  Tensor s = t.SliceBatch(1, 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(TensorTest, ArgMax) {
+  Tensor t = Tensor::FromVector({0.1f, 0.9f, 0.3f});
+  EXPECT_EQ(t.ArgMax(), 1u);
+}
+
+TEST(TensorTest, HeNormalStddev) {
+  Rng rng(5);
+  Tensor t = Tensor::HeNormal({10000}, 50, rng);
+  double sq = 0;
+  for (const float v : t.data()) sq += double(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / double(t.size())), std::sqrt(2.0 / 50.0), 0.01);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}).Reshape({2, 3});
+  Tensor b = Tensor::FromVector({7, 8, 9, 10, 11, 12}).Reshape({3, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposeVariantsAgree) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal({4, 6}, 1.0f, rng);
+  Tensor b = Tensor::RandomNormal({6, 5}, 1.0f, rng);
+  Tensor c = MatMul(a, b);
+
+  // MatMulTransposeB(a, b') with b' = b^T stored as (5, 6).
+  Tensor bt({5, 6});
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c2 = MatMulTransposeB(a, bt);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c2[i], 1e-4f);
+
+  // MatMulTransposeA(a', b) == a'^T b, with a' = a^T stored as (6, 4):
+  // (a^T)^T b == a b == c.
+  Tensor at({6, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 6; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor c3 = MatMulTransposeA(at, b);
+  ASSERT_EQ(c3.shape(), c.shape());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], c3[i], 1e-4f);
+}
+
+TEST(ConvTest, IdentityKernelPreservesInput) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor input({1, 3, 3, 1});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = float(i);
+  Tensor w({1, 1, 1, 1});
+  w[0] = 1.0f;
+  Tensor out = Conv2dForward(input, w, Tensor({1}), 1, 0);
+  ASSERT_EQ(out.shape(), input.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], input[i]);
+}
+
+TEST(ConvTest, KnownSum3x3) {
+  // All-ones 3x3 kernel over all-ones 3x3 input, pad 1: center sees 9.
+  Tensor input({1, 3, 3, 1}, 1.0f);
+  Tensor w({3, 3, 1, 1}, 1.0f);
+  Tensor out = Conv2dForward(input, w, Tensor(), 1, 1);
+  EXPECT_EQ(out.at(0, 1, 1, 0), 9.0f);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4.0f);  // corner sees 2x2
+  EXPECT_EQ(out.at(0, 0, 1, 0), 6.0f);  // edge sees 2x3
+}
+
+TEST(ConvTest, StrideHalvesOutput) {
+  Tensor input({2, 8, 8, 3});
+  Rng rng(3);
+  Tensor w = Tensor::RandomNormal({3, 3, 3, 4}, 0.1f, rng);
+  Tensor out = Conv2dForward(input, w, Tensor({4}), 2, 1);
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 4, 4}));
+}
+
+// Numerical gradient check helper: compares analytic grads to central
+// differences for a scalar loss L = sum(out * probe).
+void CheckConvGradients(int n, int h, int w, int cin, int cout, int k,
+                        int stride, int pad) {
+  Rng rng(42);
+  Tensor input = Tensor::RandomNormal({n, h, w, cin}, 1.0f, rng);
+  Tensor weights = Tensor::RandomNormal({k, k, cin, cout}, 0.5f, rng);
+  Tensor bias = Tensor::RandomNormal({cout}, 0.5f, rng);
+  Tensor out = Conv2dForward(input, weights, bias, stride, pad);
+  Tensor probe = Tensor::RandomNormal(out.shape(), 1.0f, rng);
+
+  auto loss = [&](const Tensor& in, const Tensor& wt, const Tensor& b) {
+    Tensor o = Conv2dForward(in, wt, b, stride, pad);
+    double acc = 0;
+    for (std::size_t i = 0; i < o.size(); ++i) acc += double(o[i]) * probe[i];
+    return acc;
+  };
+
+  ConvGrads grads = Conv2dBackward(input, weights, probe, stride, pad);
+
+  const float eps = 1e-3f;
+  // Sample a handful of coordinates in each tensor.
+  for (const std::size_t idx : {std::size_t{0}, input.size() / 3, input.size() - 1}) {
+    Tensor in_hi = input, in_lo = input;
+    in_hi[idx] += eps;
+    in_lo[idx] -= eps;
+    const double numeric = (loss(in_hi, weights, bias) - loss(in_lo, weights, bias)) / (2 * eps);
+    EXPECT_NEAR(grads.input[idx], numeric, 2e-2) << "input grad @" << idx;
+  }
+  for (const std::size_t idx : {std::size_t{0}, weights.size() / 2, weights.size() - 1}) {
+    Tensor w_hi = weights, w_lo = weights;
+    w_hi[idx] += eps;
+    w_lo[idx] -= eps;
+    const double numeric = (loss(input, w_hi, bias) - loss(input, w_lo, bias)) / (2 * eps);
+    EXPECT_NEAR(grads.weights[idx], numeric, 2e-2) << "weight grad @" << idx;
+  }
+  {
+    Tensor b_hi = bias, b_lo = bias;
+    b_hi[0] += eps;
+    b_lo[0] -= eps;
+    const double numeric = (loss(input, weights, b_hi) - loss(input, weights, b_lo)) / (2 * eps);
+    EXPECT_NEAR(grads.bias[0], numeric, 2e-2);
+  }
+}
+
+TEST(ConvTest, GradientCheckStride1) { CheckConvGradients(2, 5, 5, 2, 3, 3, 1, 1); }
+TEST(ConvTest, GradientCheckStride2) { CheckConvGradients(1, 6, 6, 3, 2, 3, 2, 1); }
+TEST(ConvTest, GradientCheck1x1) { CheckConvGradients(2, 4, 4, 3, 4, 1, 1, 0); }
+
+TEST(MaxPoolTest, ForwardPicksMax) {
+  Tensor input({1, 4, 4, 1});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = float(i);
+  auto res = MaxPool2dForward(input, 2, 2);
+  EXPECT_EQ(res.output.shape(), (Shape{1, 2, 2, 1}));
+  EXPECT_EQ(res.output.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(res.output.at(0, 1, 1, 0), 15.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  Tensor input({1, 4, 4, 1});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = float(i);
+  auto res = MaxPool2dForward(input, 2, 2);
+  Tensor grad_out(res.output.shape(), 1.0f);
+  Tensor grad_in = MaxPool2dBackward(input.shape(), res, grad_out);
+  EXPECT_EQ(grad_in[5], 1.0f);
+  EXPECT_EQ(grad_in[15], 1.0f);
+  EXPECT_EQ(grad_in[0], 0.0f);
+  float total = 0;
+  for (const float v : grad_in.data()) total += v;
+  EXPECT_EQ(total, 4.0f);
+}
+
+TEST(GlobalAvgPoolTest, ForwardAndBackward) {
+  Tensor input({1, 2, 2, 2});
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = float(i);
+  Tensor out = GlobalAvgPoolForward(input);
+  EXPECT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0), (0 + 2 + 4 + 6) / 4.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), (1 + 3 + 5 + 7) / 4.0f);
+  Tensor grad = GlobalAvgPoolBackward(input.shape(), Tensor({1, 2}, 1.0f));
+  for (const float v : grad.data()) EXPECT_FLOAT_EQ(v, 0.25f);
+}
+
+TEST(ActivationTest, ReluAndBackward) {
+  Tensor x = Tensor::FromVector({-1, 0, 2});
+  Tensor y = ReluForward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor g = ReluBackward(x, Tensor({3}, 1.0f));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[2], 1.0f);
+}
+
+TEST(ActivationTest, LeakyRelu) {
+  Tensor x = Tensor::FromVector({-10, 10});
+  Tensor y = LeakyReluForward(x, 0.1f);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(ActivationTest, SigmoidRange) {
+  Tensor x = Tensor::FromVector({-100, 0, 100});
+  Tensor y = SigmoidForward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-6f);
+}
+
+TEST(ActivationTest, TanhGradientAtZero) {
+  Tensor x = Tensor::FromVector({0.0f});
+  Tensor y = TanhForward(x);
+  Tensor g = TanhBackward(y, Tensor({1}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 1.0f);  // 1 - tanh(0)^2
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(5);
+  Tensor logits = Tensor::RandomNormal({4, 7}, 3.0f, rng);
+  Tensor p = Softmax(logits);
+  for (int i = 0; i < 4; ++i) {
+    float sum = 0;
+    for (int j = 0; j < 7; ++j) sum += p.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, LargeLogitsStable) {
+  Tensor logits = Tensor::FromVector({1000.0f, 1000.0f}).Reshape({1, 2});
+  Tensor p = Softmax(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({10.0f, -10.0f, -10.0f}).Reshape({1, 3});
+  auto res = CrossEntropyLoss(logits, {0});
+  EXPECT_LT(res.loss, 1e-3f);
+  EXPECT_EQ(res.correct, 1);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHot) {
+  Tensor logits = Tensor::FromVector({0.0f, 0.0f}).Reshape({1, 2});
+  auto res = CrossEntropyLoss(logits, {1});
+  EXPECT_NEAR(res.grad[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(res.grad[1], -0.5f, 1e-5f);
+}
+
+TEST(CrossEntropyTest, NumericalGradientCheck) {
+  Rng rng(9);
+  Tensor logits = Tensor::RandomNormal({3, 4}, 1.0f, rng);
+  const std::vector<int> labels = {2, 0, 3};
+  auto res = CrossEntropyLoss(logits, labels);
+  const float eps = 1e-3f;
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    Tensor hi = logits, lo = logits;
+    hi[idx] += eps;
+    lo[idx] -= eps;
+    const float numeric = (CrossEntropyLoss(hi, labels).loss -
+                           CrossEntropyLoss(lo, labels).loss) /
+                          (2 * eps);
+    EXPECT_NEAR(res.grad[idx], numeric, 1e-3f);
+  }
+}
+
+TEST(EntropyTest, UniformIsMaximal) {
+  const std::vector<float> uniform = {0.25f, 0.25f, 0.25f, 0.25f};
+  const std::vector<float> peaked = {0.97f, 0.01f, 0.01f, 0.01f};
+  EXPECT_NEAR(Entropy(uniform), std::log(4.0f), 1e-5f);
+  EXPECT_LT(Entropy(peaked), Entropy(uniform));
+  EXPECT_FLOAT_EQ(MaxProb(peaked), 0.97f);
+}
+
+}  // namespace
+}  // namespace metro::tensor
