@@ -44,6 +44,23 @@ Cyberinfrastructure::Cyberinfrastructure(const InfrastructureConfig& config,
   for (int i = 0; i < config.yarn_nodes; ++i) {
     scheduler_.AddNode(config.yarn_node_capacity);
   }
+  health_.Register("dfs", [this] {
+    const int under = storage_.UnderReplicatedBlocks();
+    if (under == 0) return Status::Ok();
+    return UnavailableError(std::to_string(under) +
+                            " under-replicated block(s)");
+  });
+  health_.Register("fog.server", [this] {
+    int down = 0;
+    for (int f = 0; f < fog_.num_fogs(); ++f) {
+      const auto up =
+          fog_.sim().LinkUp(fog_.fog_node(f), fog_.server_of_fog_index(f));
+      if (up.ok() && !*up) ++down;
+    }
+    if (down == 0) return Status::Ok();
+    return UnavailableError(std::to_string(down) +
+                            " fog->server link(s) down");
+  });
 }
 
 std::string Cyberinfrastructure::Describe() const {

@@ -19,6 +19,7 @@
 #include "dfs/dfs.h"
 #include "fog/fog.h"
 #include "geo/geo.h"
+#include "resilience/health.h"
 #include "sched/resource_manager.h"
 #include "store/wide_column.h"
 
@@ -84,6 +85,11 @@ class Cyberinfrastructure {
   // Application layer.
   AlertManager& alerts() { return alerts_; }
 
+  /// Deployment-wide health probes; construction registers probes for DFS
+  /// replication ("dfs") and the fog -> analysis-server links ("fog.server").
+  /// Applications may register their own.
+  resilience::HealthRegistry& health() { return health_; }
+
   /// One-line inventory for logs/docs.
   std::string Describe() const;
 
@@ -96,6 +102,7 @@ class Cyberinfrastructure {
   sched::ResourceManager scheduler_;
   store::WideColumnTable annotations_;
   AlertManager alerts_;
+  resilience::HealthRegistry health_;
 };
 
 }  // namespace metro::core

@@ -87,6 +87,20 @@ Status CityPipeline::AddTopic(TopicSpec spec) {
   return Status::Ok();
 }
 
+Result<mq::MessageLog::ProduceAck> CityPipeline::Produce(
+    const std::string& topic, std::string key, std::string value) {
+  resilience::RetryConfig config;
+  config.max_attempts = 4;
+  config.initial_backoff = kMillisecond / 2;
+  config.max_backoff = 8 * kMillisecond;
+  resilience::RetryPolicy retry(config, *clock_);
+  auto ack = retry.Run([&]() -> Result<mq::MessageLog::ProduceAck> {
+    return log_.Produce(topic, key, value);
+  });
+  produce_retries_.fetch_add(retry.retries(), std::memory_order_relaxed);
+  return ack;
+}
+
 Result<store::Collection*> CityPipeline::collection(const std::string& topic) {
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
@@ -119,7 +133,26 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
       const std::int64_t committed =
           log_.CommittedOffset(group + "-" + topic, topic, partition);
       const auto records = log_.Fetch(topic, partition, committed, 128);
-      if (!records.ok() || records->empty()) continue;
+      if (!records.ok()) {
+        if (records.status().code() == StatusCode::kUnavailable) {
+          // Partition leader down; back off (below) and retry the fetch.
+          fetch_retries_.fetch_add(1, std::memory_order_relaxed);
+        } else if (records.status().code() == StatusCode::kOutOfRange) {
+          // Retention truncated past our committed offset. Skip the
+          // committed position forward to the retention floor so the pump
+          // does not stall forever on offsets that no longer exist.
+          const auto info = log_.GetPartitionInfo(topic, partition);
+          if (info.ok() && info->begin_offset > committed) {
+            records_skipped_.fetch_add(info->begin_offset - committed,
+                                       std::memory_order_relaxed);
+            (void)log_.CommitOffset(group + "-" + topic, topic, partition,
+                                    info->begin_offset);
+            progressed = true;
+          }
+        }
+        continue;
+      }
+      if (records->empty()) continue;
       progressed = true;
       for (const mq::Record& rec : *records) {
         records_consumed_.fetch_add(1, std::memory_order_relaxed);
@@ -190,6 +223,9 @@ PipelineStats CityPipeline::Stats() const {
   s.records_consumed = records_consumed_.load();
   s.documents_stored = documents_stored_.load();
   s.annotations = annotations_.load();
+  s.produce_retries = produce_retries_.load();
+  s.fetch_retries = fetch_retries_.load();
+  s.records_skipped = records_skipped_.load();
   {
     std::lock_guard lock(web_mu_);
     s.web_items = std::int64_t(web_feed_.size());

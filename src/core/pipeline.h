@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mq/message_log.h"
+#include "resilience/policy.h"
 #include "store/document_store.h"
 #include "util/metrics.h"
 
@@ -40,6 +41,9 @@ struct PipelineStats {
   std::int64_t documents_stored = 0;
   std::int64_t annotations = 0;
   std::int64_t web_items = 0;
+  std::int64_t produce_retries = 0;  ///< Produce() attempts beyond the first
+  std::int64_t fetch_retries = 0;    ///< consumer fetches hitting kUnavailable
+  std::int64_t records_skipped = 0;  ///< offsets lost to retention truncation
   double mean_latency_ms = 0;  ///< produce -> web, for annotated records
   double p99_latency_ms = 0;
 };
@@ -65,6 +69,14 @@ class CityPipeline {
 
   /// The broker producers publish into.
   mq::MessageLog& log() { return log_; }
+
+  /// Publishes through the resilience layer: a produce hitting an
+  /// unavailable partition retries with jittered exponential backoff
+  /// (round-robin produces land on the next partition). Terminal errors
+  /// surface immediately. Thread-safe.
+  Result<mq::MessageLog::ProduceAck> Produce(const std::string& topic,
+                                             std::string key,
+                                             std::string value);
 
   /// Stored documents for a topic (one collection per topic).
   Result<store::Collection*> collection(const std::string& topic);
@@ -104,6 +116,9 @@ class CityPipeline {
   std::atomic<std::int64_t> records_consumed_{0};
   std::atomic<std::int64_t> documents_stored_{0};
   std::atomic<std::int64_t> annotations_{0};
+  std::atomic<std::int64_t> produce_retries_{0};
+  std::atomic<std::int64_t> fetch_retries_{0};
+  std::atomic<std::int64_t> records_skipped_{0};
   Histogram latency_ms_;
 };
 

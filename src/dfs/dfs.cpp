@@ -9,6 +9,11 @@ namespace metro::dfs {
 Status DataNode::StoreBlock(BlockId block, std::string data) {
   if (!alive_) return UnavailableError("datanode " + std::to_string(id_) + " down");
   std::lock_guard lock(mu_);
+  if (fail_stores_ > 0) {
+    --fail_stores_;
+    return UnavailableError("datanode " + std::to_string(id_) +
+                            " store failed (injected)");
+  }
   const std::uint32_t crc = Crc32c(data);
   const auto [it, inserted] =
       blocks_.try_emplace(block, StoredBlock{std::move(data), crc});
@@ -50,6 +55,11 @@ Status DataNode::CorruptBlock(BlockId block) {
   if (it->second.data.empty()) return FailedPreconditionError("empty block");
   it->second.data[it->second.data.size() / 2] ^= char(0x5a);
   return Status::Ok();
+}
+
+void DataNode::FailNextStores(int n) {
+  std::lock_guard lock(mu_);
+  fail_stores_ = n;
 }
 
 std::size_t DataNode::num_blocks() const {
@@ -112,10 +122,28 @@ Status Cluster::Create(const std::string& path, std::string_view data) {
     }
     BlockMeta bmeta;
     bmeta.size = len;
+    std::vector<int> tried;
     for (const int id : targets) {
+      tried.push_back(id);
       const Status st = nodes_[std::size_t(id)]->StoreBlock(
           block, std::string(data.substr(offset, len)));
       if (st.ok()) bmeta.replicas.push_back(id);
+    }
+    // Write failover: a node that died between placement and store leaves the
+    // block short — re-place the missing replicas on nodes not yet tried.
+    while (int(bmeta.replicas.size()) < config_.replication) {
+      const auto extra = PlaceReplicas(
+          config_.replication - int(bmeta.replicas.size()), tried);
+      if (extra.empty()) break;
+      for (const int id : extra) {
+        tried.push_back(id);
+        const Status st = nodes_[std::size_t(id)]->StoreBlock(
+            block, std::string(data.substr(offset, len)));
+        if (st.ok()) {
+          bmeta.replicas.push_back(id);
+          metrics_.GetCounter("dfs.write_failovers").Increment();
+        }
+      }
     }
     if (bmeta.replicas.empty()) {
       return UnavailableError("all replica writes failed");
@@ -149,6 +177,7 @@ Result<std::string> Cluster::Read(const std::string& path) const {
   out.reserve(expect);
   for (const auto& [block, replicas] : plan) {
     bool got = false;
+    std::string failures;  // which replica failed, and how
     for (const int id : replicas) {
       auto res = nodes_[std::size_t(id)]->ReadBlock(block);
       if (res.ok()) {
@@ -156,11 +185,18 @@ Result<std::string> Cluster::Read(const std::string& path) const {
         got = true;
         break;
       }
+      if (res.status().code() == StatusCode::kCorruption) {
+        metrics_.GetCounter("dfs.corrupt_replicas_read").Increment();
+      }
       metrics_.GetCounter("dfs.replica_read_failovers").Increment();
+      if (!failures.empty()) failures += "; ";
+      failures += "node " + std::to_string(id) + ": " +
+                  std::string(StatusCodeName(res.status().code())) + ": " +
+                  res.status().message();
     }
     if (!got) {
       return UnavailableError("block " + std::to_string(block) +
-                              " has no readable replica");
+                              " has no readable replica (" + failures + ")");
     }
   }
   metrics_.GetCounter("dfs.bytes_read").Increment(std::int64_t(out.size()));

@@ -67,6 +67,11 @@ class DataNode {
   /// Flips bits in a stored replica (fault injection for checksum tests).
   Status CorruptBlock(BlockId block);
 
+  /// Fails the next `n` StoreBlock calls with kUnavailable (write-path fault
+  /// injection: a full disk or a crash mid-handshake). The node stays alive
+  /// for reads, so the NameNode's placement still selects it.
+  void FailNextStores(int n);
+
   std::size_t num_blocks() const;
   std::size_t bytes_stored() const;
 
@@ -78,6 +83,7 @@ class DataNode {
 
   int id_;
   bool alive_ = true;
+  int fail_stores_ = 0;  // guarded by mu_
   mutable std::mutex mu_;
   std::unordered_map<BlockId, StoredBlock> blocks_;
   std::size_t bytes_ = 0;

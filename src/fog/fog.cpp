@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <unordered_map>
 
 namespace metro::fog {
 
@@ -67,6 +69,65 @@ FogTopology::TierTraffic FogTopology::Traffic() const {
   return t;
 }
 
+double PipelineResult::AccuracyOver(const std::vector<WorkItem>& items) const {
+  if (items.empty()) return 0;
+  std::unordered_map<std::uint64_t, const WorkItem*> by_id;
+  by_id.reserve(items.size());
+  for (const WorkItem& item : items) by_id.emplace(item.id, &item);
+  std::int64_t correct = 0;
+  for (const ItemOutcome& o : outcomes) {
+    if (o.dropped || o.failed) continue;
+    const auto it = by_id.find(o.id);
+    if (it == by_id.end()) continue;
+    if (o.offloaded ? it->second->server_correct : it->second->local_correct) {
+      ++correct;
+    }
+  }
+  return double(correct) / double(items.size());
+}
+
+namespace {
+
+/// Shared post-run bookkeeping: traffic deltas and latency aggregates.
+void Summarize(PipelineResult& result, FogTopology& topology,
+               const FogTopology::TierTraffic& before) {
+  const auto after = topology.Traffic();
+  result.traffic.edge_to_fog = after.edge_to_fog - before.edge_to_fog;
+  result.traffic.fog_to_server = after.fog_to_server - before.fog_to_server;
+  result.traffic.server_to_cloud =
+      after.server_to_cloud - before.server_to_cloud;
+
+  std::vector<TimeNs> latencies;
+  for (const ItemOutcome& o : result.outcomes) {
+    if (o.dropped) {
+      ++result.items_dropped;
+      continue;
+    }
+    if (o.failed) {
+      ++result.items_failed;
+      continue;
+    }
+    result.send_retries += o.retries;
+    if (o.degraded) {
+      ++result.items_degraded;
+    } else {
+      (o.offloaded ? result.items_offloaded : result.items_local) += 1;
+    }
+    latencies.push_back(o.latency);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0;
+    for (const TimeNs l : latencies) sum += double(l);
+    result.mean_latency_ms = sum / double(latencies.size()) / kMillisecond;
+    result.p99_latency_ms =
+        double(latencies[std::size_t(double(latencies.size() - 1) * 0.99)]) /
+        kMillisecond;
+  }
+}
+
+}  // namespace
+
 PipelineResult RunEarlyExitPipeline(FogTopology& topology,
                                     std::vector<WorkItem> items) {
   net::Simulator& sim = topology.sim();
@@ -82,15 +143,18 @@ PipelineResult RunEarlyExitPipeline(FogTopology& topology,
       const net::NodeId cloud = topology.cloud();
       const TimeNs start = sim.Now();
 
-      auto finish = [item, result, start, &sim](bool offloaded, bool dropped) {
+      auto finish = [item, result, start, &sim](bool offloaded, bool dropped,
+                                                bool failed = false) {
         ItemOutcome outcome;
         outcome.id = item.id;
         outcome.completed = sim.Now();
         outcome.latency = sim.Now() - start;
         outcome.dropped = dropped;
         outcome.offloaded = offloaded;
+        outcome.failed = failed;
         result->outcomes.push_back(outcome);
       };
+      auto fail = [finish] { finish(false, false, true); };
 
       // Tier 1: elementary filtering on the edge device.
       (void)sim.Compute(edge, item.edge_filter_macs, [=, &sim, &topology] {
@@ -99,58 +163,218 @@ PipelineResult RunEarlyExitPipeline(FogTopology& topology,
           return;
         }
         // Raw data moves edge -> fog.
-        (void)sim.Send(edge, fog, item.raw_bytes, [=, &sim] {
+        Status st = sim.Send(edge, fog, item.raw_bytes, [=, &sim] {
           // Tier 2: the split model's local half runs on the fog node.
           (void)sim.Compute(fog, item.local_macs, [=, &sim] {
             if (item.local_exit) {
               // Confident: only the annotation travels upstream for storage.
-              (void)sim.Send(fog, server, item.annotation_bytes, [=, &sim] {
+              Status up = sim.Send(fog, server, item.annotation_bytes,
+                                   [=, &sim] {
                 (void)sim.Send(server, cloud, item.annotation_bytes,
                                [=] { finish(false, false); });
               });
+              if (!up.ok()) fail();
               return;
             }
             // Not confident: ship the branch feature map to the server.
-            (void)sim.Send(fog, server, item.feature_bytes, [=, &sim] {
+            Status off = sim.Send(fog, server, item.feature_bytes, [=, &sim] {
               (void)sim.Compute(server, item.server_macs, [=, &sim] {
                 result->server_macs_total += double(item.server_macs);
                 (void)sim.Send(server, cloud, item.annotation_bytes,
                                [=] { finish(true, false); });
               });
             });
+            if (!off.ok()) fail();
           });
         });
+        if (!st.ok()) fail();
       });
     });
   }
 
   sim.RunUntilIdle();
-
-  const auto after = topology.Traffic();
-  result->traffic.edge_to_fog = after.edge_to_fog - before.edge_to_fog;
-  result->traffic.fog_to_server = after.fog_to_server - before.fog_to_server;
-  result->traffic.server_to_cloud =
-      after.server_to_cloud - before.server_to_cloud;
-
-  std::vector<TimeNs> latencies;
-  for (const ItemOutcome& o : result->outcomes) {
-    if (o.dropped) {
-      ++result->items_dropped;
-      continue;
-    }
-    (o.offloaded ? result->items_offloaded : result->items_local) += 1;
-    latencies.push_back(o.latency);
-  }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    double sum = 0;
-    for (const TimeNs l : latencies) sum += double(l);
-    result->mean_latency_ms = sum / double(latencies.size()) / kMillisecond;
-    result->p99_latency_ms =
-        double(latencies[std::size_t(double(latencies.size() - 1) * 0.99)]) /
-        kMillisecond;
-  }
+  Summarize(*result, topology, before);
   return std::move(*result);
+}
+
+namespace {
+
+/// Per-run shared state for the resilient pipeline.
+struct ResilientCtx {
+  ResilientCtx(FogTopology& topo, const FogResilienceOptions& opts)
+      : topology(&topo),
+        sim(&topo.sim()),
+        options(opts),
+        breaker(opts.breaker, topo.sim().clock()),
+        jitter(opts.retry, topo.sim().clock(), opts.seed) {}
+
+  FogTopology* topology;
+  net::Simulator* sim;
+  FogResilienceOptions options;
+  resilience::CircuitBreaker breaker;
+  resilience::RetryPolicy jitter;  ///< used for BackoffFor only
+  PipelineResult result;
+
+  void Count(const char* name) {
+    if (options.metrics != nullptr) {
+      options.metrics->GetCounter(name).Increment();
+    }
+  }
+
+  /// Sends with retries on simulated time. `deadline_at` bounds the retry
+  /// schedule (<= 0 means unbounded). `on_give_up(deadline_exceeded)` fires
+  /// when the attempts or the deadline budget are exhausted.
+  void SendWithRetry(net::NodeId from, net::NodeId to, std::uint64_t bytes,
+                     TimeNs deadline_at, int* retry_slot,
+                     std::function<void()> on_delivery,
+                     std::function<void(bool)> on_give_up, int attempt = 1) {
+    Status st = sim->Send(from, to, bytes, on_delivery);
+    if (st.ok()) return;
+    if (attempt >= options.retry.max_attempts) {
+      on_give_up(false);
+      return;
+    }
+    const TimeNs backoff = jitter.BackoffFor(attempt);
+    if (deadline_at > 0 && sim->Now() + backoff >= deadline_at) {
+      on_give_up(true);
+      return;
+    }
+    if (retry_slot != nullptr) ++*retry_slot;
+    Count("fog.retries");
+    sim->ScheduleAfter(backoff, [=, this] {
+      SendWithRetry(from, to, bytes, deadline_at, retry_slot,
+                    std::move(on_delivery), std::move(on_give_up),
+                    attempt + 1);
+    });
+  }
+};
+
+}  // namespace
+
+PipelineResult RunResilientPipeline(FogTopology& topology,
+                                    std::vector<WorkItem> items,
+                                    const FogResilienceOptions& options) {
+  auto ctx = std::make_shared<ResilientCtx>(topology, options);
+  net::Simulator& sim = *ctx->sim;
+  ctx->result.outcomes.reserve(items.size());
+  const auto before = topology.Traffic();
+
+  for (const WorkItem& item : items) {
+    sim.ScheduleAt(item.arrival, [item, ctx] {
+      net::Simulator& sim = *ctx->sim;
+      FogTopology& topology = *ctx->topology;
+      const net::NodeId edge = topology.edge(item.edge);
+      const net::NodeId fog = topology.fog_of_edge(item.edge);
+      const net::NodeId server = topology.server_of_edge(item.edge);
+      const net::NodeId cloud = topology.cloud();
+      const TimeNs start = sim.Now();
+
+      // Each item's retry count lives on the shared context until the item
+      // finishes (the outcome is built at completion time).
+      auto retries = std::make_shared<int>(0);
+      auto finish = [item, ctx, start, retries](bool offloaded, bool dropped,
+                                                bool degraded, bool failed) {
+        ItemOutcome outcome;
+        outcome.id = item.id;
+        outcome.completed = ctx->sim->Now();
+        outcome.latency = ctx->sim->Now() - start;
+        outcome.dropped = dropped;
+        outcome.offloaded = offloaded;
+        outcome.degraded = degraded;
+        outcome.failed = failed;
+        outcome.retries = *retries;
+        ctx->result.outcomes.push_back(outcome);
+      };
+
+      // Tier 1: elementary filtering on the edge device.
+      (void)sim.Compute(edge, item.edge_filter_macs, [=, &sim, &topology] {
+        if (item.dropped_by_edge_filter) {
+          finish(false, true, false, false);
+          return;
+        }
+        // Raw data moves edge -> fog, with retries; an unreachable fog
+        // uplink is the one hard failure (no compute tier to fall back to).
+        ctx->SendWithRetry(
+            edge, fog, item.raw_bytes, /*deadline_at=*/0, retries.get(),
+            [=, &sim] {
+              // Tier 2: the split model's local half runs on the fog node.
+              (void)sim.Compute(fog, item.local_macs, [=, &sim] {
+                // The local answer now exists; nothing past this point may
+                // hard-fail the item.
+                auto degrade = [=](const char* counter) {
+                  ctx->Count(counter);
+                  finish(false, false, true, false);
+                };
+
+                if (item.local_exit) {
+                  // Confident: annotation travels upstream for storage. If
+                  // the uplink stays down the answer is still served
+                  // locally — a degraded success, not an error.
+                  ctx->SendWithRetry(
+                      fog, server, item.annotation_bytes, 0, retries.get(),
+                      [=, &sim] {
+                        Status up = sim.Send(server, cloud,
+                                             item.annotation_bytes, [=] {
+                          finish(false, false, false, false);
+                        });
+                        if (!up.ok()) {
+                          degrade("fog.degraded.annotation_upstream");
+                        }
+                      },
+                      [=](bool) {
+                        degrade("fog.degraded.annotation_upstream");
+                      });
+                  return;
+                }
+
+                // Wants the server. Fast-fail on an open breaker.
+                const TimeNs deadline_at =
+                    ctx->options.offload_deadline > 0
+                        ? sim.Now() + ctx->options.offload_deadline
+                        : 0;
+                if (!ctx->breaker.Allow()) {
+                  degrade("fog.degraded.server_unavailable");
+                  return;
+                }
+                ctx->SendWithRetry(
+                    fog, server, item.feature_bytes, deadline_at,
+                    retries.get(),
+                    [=, &sim] {
+                      ctx->breaker.RecordSuccess();
+                      (void)sim.Compute(server, item.server_macs, [=, &sim] {
+                        ctx->result.server_macs_total +=
+                            double(item.server_macs);
+                        // The server answered; a failed archive hop does not
+                        // demote the item, it just defers the annotation.
+                        Status up = sim.Send(server, cloud,
+                                             item.annotation_bytes, [=] {
+                          finish(true, false, false, false);
+                        });
+                        if (!up.ok()) {
+                          ctx->Count("fog.annotation_deferred.cloud");
+                          finish(true, false, false, false);
+                        }
+                      });
+                    },
+                    [=](bool deadline_exceeded) {
+                      ctx->breaker.RecordFailure();
+                      degrade(deadline_exceeded
+                                  ? "fog.degraded.offload_deadline"
+                                  : "fog.degraded.offload_failed");
+                    });
+              });
+            },
+            [=](bool) {
+              ctx->Count("fog.failed.edge_uplink");
+              finish(false, false, false, true);
+            });
+      });
+    });
+  }
+
+  sim.RunUntilIdle();
+  Summarize(ctx->result, topology, before);
+  return std::move(ctx->result);
 }
 
 }  // namespace metro::fog

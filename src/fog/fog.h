@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/simulator.h"
+#include "resilience/policy.h"
 #include "util/metrics.h"
 
 namespace metro::fog {
@@ -55,6 +56,8 @@ class FogTopology {
   int num_servers() const { return num_servers_; }
 
   net::NodeId edge(int i) const { return edges_[std::size_t(i)]; }
+  net::NodeId fog_node(int f) const { return fogs_[std::size_t(f)]; }
+  net::NodeId server(int s) const { return servers_[std::size_t(s)]; }
   net::NodeId fog_of_edge(int i) const {
     return fogs_[std::size_t(i / config_.edges_per_fog)];
   }
@@ -101,6 +104,8 @@ struct WorkItem {
   std::uint64_t server_macs = 0;         ///< split-model server half
   bool dropped_by_edge_filter = false;   ///< edge filtering discards it
   bool local_exit = true;                ///< local gate accepts (no offload)
+  bool local_correct = true;   ///< the local (early-exit) answer is right
+  bool server_correct = true;  ///< the server (full-model) answer is right
 };
 
 /// Per-item outcome.
@@ -110,6 +115,9 @@ struct ItemOutcome {
   TimeNs latency = 0;
   bool dropped = false;
   bool offloaded = false;
+  bool degraded = false;  ///< wanted the server but fell back to local
+  bool failed = false;    ///< no answer produced (hard failure)
+  int retries = 0;        ///< link sends retried for this item
 };
 
 /// Aggregate pipeline results.
@@ -119,15 +127,71 @@ struct PipelineResult {
   std::int64_t items_dropped = 0;
   std::int64_t items_local = 0;
   std::int64_t items_offloaded = 0;
+  std::int64_t items_degraded = 0;  ///< answered locally under degradation
+  std::int64_t items_failed = 0;    ///< hard failures (no answer at all)
+  std::int64_t send_retries = 0;    ///< total link-send retries
   double mean_latency_ms = 0;
   double p99_latency_ms = 0;
   double server_macs_total = 0;  ///< compute spent on analysis servers
+
+  /// Fraction of non-dropped items that produced an answer (degraded local
+  /// answers count; hard failures do not).
+  double Availability() const {
+    const std::int64_t answered =
+        items_local + items_offloaded + items_degraded;
+    const std::int64_t total = answered + items_failed;
+    return total == 0 ? 1.0 : double(answered) / double(total);
+  }
+
+  /// Deployed accuracy given the per-item correctness flags: offloaded items
+  /// use the server answer, everything else (local exits and degraded
+  /// fallbacks) the local answer. Dropped and failed items score as wrong.
+  double AccuracyOver(const std::vector<WorkItem>& items) const;
+};
+
+/// Tuning for `RunResilientPipeline`.
+struct FogResilienceOptions {
+  /// Per-send retry schedule (backoff waits run on simulated time).
+  resilience::RetryConfig retry{
+      .max_attempts = 3,
+      .initial_backoff = 4 * kMillisecond,
+      .max_backoff = 64 * kMillisecond,
+      .multiplier = 2.0,
+      .jitter = 0.2,
+      .deadline = 0,
+  };
+  /// Breaker guarding the analysis-server tier, driven by simulated time.
+  resilience::BreakerConfig breaker{
+      .failure_threshold = 3,
+      .cooldown = 200 * kMillisecond,
+      .half_open_probes = 1,
+  };
+  /// Total budget for the offload path, measured from the offload decision;
+  /// when it cannot be met the item degrades to its local answer. 0 = none.
+  TimeNs offload_deadline = 400 * kMillisecond;
+  /// Optional per-tier degradation/retry counters
+  /// (`fog.degraded.*`, `fog.failed.*`, `fog.retries`).
+  MetricsRegistry* metrics = nullptr;
+  std::uint64_t seed = 19;  ///< retry jitter
 };
 
 /// Runs a batch of work items through the Fig. 3 pipeline on `topology`:
 /// edge filter -> raw to fog -> local half -> (exit: annotation upstream |
 /// offload: feature map to server -> server half -> annotation to cloud).
+/// Send failures (downed links) leave the item `failed` — this is the
+/// baseline without the resilience layer.
 PipelineResult RunEarlyExitPipeline(FogTopology& topology,
                                     std::vector<WorkItem> items);
+
+/// The same pipeline wrapped in the resilience layer: link sends retry with
+/// jittered exponential backoff on simulated time; a circuit breaker guards
+/// the analysis-server tier; and when the server is unreachable, the breaker
+/// is open, or the offload deadline cannot be met, items that wanted the
+/// server fall back to their local answer and complete `degraded` instead of
+/// failing. Only an unreachable fog uplink (edge -> fog, after retries) still
+/// hard-fails an item — there is nowhere to compute even a local answer.
+PipelineResult RunResilientPipeline(FogTopology& topology,
+                                    std::vector<WorkItem> items,
+                                    const FogResilienceOptions& options);
 
 }  // namespace metro::fog

@@ -35,13 +35,17 @@ void Agent::SourceLoop() {
 void Agent::SinkLoop() {
   std::vector<Event> batch;
   batch.reserve(config_.batch_size);
+  resilience::RetryConfig retry_config;
+  retry_config.max_attempts = config_.max_sink_retries + 1;
+  retry_config.initial_backoff = config_.sink_retry_backoff;
+  retry_config.max_backoff = config_.sink_retry_max_backoff;
+  Clock& clock = config_.clock ? *config_.clock : WallClock::Instance();
+  resilience::RetryPolicy retry(retry_config, clock,
+                                /*seed=*/std::hash<std::string>{}(name_));
   auto flush = [&] {
     if (batch.empty()) return;
-    Status st;
-    for (int attempt = 0; attempt <= config_.max_sink_retries; ++attempt) {
-      st = sink_(batch);
-      if (st.ok()) break;
-    }
+    const Status st = retry.Run([&] { return sink_(batch); });
+    sink_retries_.store(retry.retries(), std::memory_order_relaxed);
     if (st.ok()) {
       events_out_.fetch_add(std::int64_t(batch.size()), std::memory_order_relaxed);
     } else {

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "resilience/policy.h"
+#include "util/clock.h"
 #include "util/metrics.h"
 #include "util/queue.h"
 #include "util/status.h"
@@ -32,11 +34,16 @@ using SourceFn = std::function<std::optional<Event>()>;
 /// Consumes a batch of events; a failed status triggers retry of the batch.
 using SinkFn = std::function<Status(const std::vector<Event>&)>;
 
-/// Agent tuning.
+/// Agent tuning. Failed batch flushes retry with jittered exponential
+/// backoff, but only for retryable failures (kUnavailable /
+/// kDeadlineExceeded); terminal sink errors drop the batch immediately.
 struct AgentConfig {
   std::size_t channel_capacity = 1024;
   std::size_t batch_size = 64;
-  int max_sink_retries = 3;
+  int max_sink_retries = 3;                       ///< retries after 1st attempt
+  TimeNs sink_retry_backoff = kMillisecond;       ///< initial backoff
+  TimeNs sink_retry_max_backoff = 32 * kMillisecond;
+  Clock* clock = nullptr;  ///< backoff sleeps; wall clock when null
 };
 
 /// A single source -> channel -> sink pipeline.
@@ -63,6 +70,7 @@ class Agent {
   std::int64_t events_in() const { return events_in_.load(); }
   std::int64_t events_out() const { return events_out_.load(); }
   std::int64_t events_dropped() const { return events_dropped_.load(); }
+  std::int64_t sink_retries() const { return sink_retries_.load(); }
 
   const std::string& name() const { return name_; }
 
@@ -78,6 +86,7 @@ class Agent {
   std::atomic<std::int64_t> events_in_{0};
   std::atomic<std::int64_t> events_out_{0};
   std::atomic<std::int64_t> events_dropped_{0};
+  std::atomic<std::int64_t> sink_retries_{0};
   std::atomic<bool> source_done_{false};
   std::atomic<bool> sink_done_{false};
   bool started_ = false;

@@ -53,6 +53,11 @@ Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
     return InvalidArgumentError("partition out of range");
   }
   Partition& p = t.partitions[std::size_t(partition)];
+  if (!p.up) {
+    metrics_.GetCounter("mq.produce_unavailable").Increment();
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " unavailable");
+  }
   Record rec;
   rec.offset = p.begin_offset + std::int64_t(p.records.size());
   rec.timestamp = clock_->Now();
@@ -77,6 +82,10 @@ Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
     return InvalidArgumentError("partition out of range");
   }
   const Partition& p = t.partitions[std::size_t(partition)];
+  if (!p.up) {
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " unavailable");
+  }
   const std::int64_t end = p.begin_offset + std::int64_t(p.records.size());
   if (offset < p.begin_offset) {
     return OutOfRangeError("offset " + std::to_string(offset) +
@@ -125,6 +134,31 @@ std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
     }
   }
   return dropped;
+}
+
+Status MessageLog::SetPartitionUp(const std::string& topic, int partition,
+                                  bool up) {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  t.partitions[std::size_t(partition)].up = up;
+  return Status::Ok();
+}
+
+Result<bool> MessageLog::PartitionUp(const std::string& topic,
+                                     int partition) const {
+  std::lock_guard lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  const Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  return t.partitions[std::size_t(partition)].up;
 }
 
 void MessageLog::Rebalance(Group& group) {

@@ -75,6 +75,15 @@ class MessageLog {
   /// number of records dropped.
   std::int64_t EnforceRetention(TimeNs retention);
 
+  /// Marks a partition available or unavailable (a failed leader broker —
+  /// fault injection for resilience experiments). Produce and Fetch against
+  /// an unavailable partition fail with kUnavailable; the stored records
+  /// survive and serve again once the partition comes back.
+  Status SetPartitionUp(const std::string& topic, int partition, bool up);
+
+  /// Whether a partition is currently available.
+  Result<bool> PartitionUp(const std::string& topic, int partition) const;
+
   // --- consumer groups ---
 
   /// Adds a member and rebalances; returns the partitions now assigned to
@@ -108,6 +117,7 @@ class MessageLog {
   struct Partition {
     std::int64_t begin_offset = 0;
     std::vector<Record> records;
+    bool up = true;  ///< leader available (fault injection)
   };
   struct Topic {
     std::vector<Partition> partitions;

@@ -46,7 +46,8 @@ Status Simulator::Send(NodeId from, NodeId to, std::uint64_t bytes,
   const auto tx_ns = TimeNs(double(bytes) * 8.0 / link.spec.bandwidth_bps * kSecond);
   const TimeNs start = std::max(now_, link.next_free);
   link.next_free = start + tx_ns;  // FIFO serialization
-  const TimeNs arrival = link.next_free + link.spec.latency;
+  const TimeNs arrival =
+      link.next_free + TimeNs(double(link.spec.latency) * link.latency_scale);
   ++link.stats.messages;
   link.stats.bytes += bytes;
   ScheduleAt(arrival, std::move(on_delivery));
@@ -92,6 +93,20 @@ Status Simulator::SetLinkUp(NodeId a, NodeId b, bool up) {
   const auto it = links_.find(LinkKey(a, b));
   if (it == links_.end()) return NotFoundError("no such link");
   it->second.up = up;
+  return Status::Ok();
+}
+
+Result<bool> Simulator::LinkUp(NodeId a, NodeId b) const {
+  const auto it = links_.find(LinkKey(a, b));
+  if (it == links_.end()) return NotFoundError("no such link");
+  return it->second.up;
+}
+
+Status Simulator::ScaleLinkLatency(NodeId a, NodeId b, double factor) {
+  if (factor < 0) return InvalidArgumentError("latency factor must be >= 0");
+  const auto it = links_.find(LinkKey(a, b));
+  if (it == links_.end()) return NotFoundError("no such link");
+  it->second.latency_scale = factor;
   return Status::Ok();
 }
 

@@ -92,15 +92,38 @@ class Simulator {
   /// kUnavailable (fault injection for resilience experiments).
   Status SetLinkUp(NodeId a, NodeId b, bool up);
 
+  /// Whether the (a, b) link is currently up; kNotFound for missing links.
+  Result<bool> LinkUp(NodeId a, NodeId b) const;
+
+  /// Multiplies the (a, b) link's propagation latency by `factor` (>= 0),
+  /// replacing any previous factor — a congestion / degraded-route fault.
+  /// `factor` 1.0 restores nominal latency.
+  Status ScaleLinkLatency(NodeId a, NodeId b, double factor);
+
   /// Total bytes moved across every link.
   std::uint64_t TotalBytes() const;
 
+  /// A `Clock` view of simulated time, for clock-driven policies (circuit
+  /// breaker cool-downs) living inside a simulation. `SleepFor` is a no-op:
+  /// simulated time only advances through the event loop.
+  Clock& clock() { return clock_view_; }
+
  private:
+  class ClockView final : public Clock {
+   public:
+    explicit ClockView(const Simulator& sim) : sim_(&sim) {}
+    TimeNs Now() const override { return sim_->Now(); }
+    void SleepFor(TimeNs) override {}
+   private:
+    const Simulator* sim_;
+  };
+
   struct Link {
     LinkSpec spec;
     TimeNs next_free = 0;  ///< when the link finishes its queued transfers
     LinkStats stats;
     bool up = true;
+    double latency_scale = 1.0;  ///< fault-injected latency multiplier
   };
   struct Node {
     NodeSpec spec;
@@ -122,6 +145,26 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   TimeNs now_ = 0;
   std::uint64_t seq_ = 0;
+  ClockView clock_view_{*this};
+};
+
+/// RAII link fault: takes the (a, b) link down on construction and brings it
+/// back up on destruction, so a test cannot leak a downed link past scope.
+class ScopedLinkFault {
+ public:
+  ScopedLinkFault(Simulator& sim, NodeId a, NodeId b)
+      : sim_(&sim), a_(a), b_(b) {
+    (void)sim_->SetLinkUp(a_, b_, false);
+  }
+  ~ScopedLinkFault() { (void)sim_->SetLinkUp(a_, b_, true); }
+
+  ScopedLinkFault(const ScopedLinkFault&) = delete;
+  ScopedLinkFault& operator=(const ScopedLinkFault&) = delete;
+
+ private:
+  Simulator* sim_;
+  NodeId a_;
+  NodeId b_;
 };
 
 }  // namespace metro::net

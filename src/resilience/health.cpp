@@ -1,0 +1,67 @@
+#include "resilience/health.h"
+
+namespace metro::resilience {
+
+void HealthRegistry::Register(std::string component, ProbeFn probe) {
+  std::lock_guard lock(mu_);
+  probes_[std::move(component)] = std::move(probe);
+}
+
+void HealthRegistry::Unregister(const std::string& component) {
+  std::lock_guard lock(mu_);
+  probes_.erase(component);
+}
+
+Status HealthRegistry::Check(const std::string& component) const {
+  ProbeFn probe;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = probes_.find(component);
+    if (it == probes_.end()) {
+      return NotFoundError("no health probe for " + component);
+    }
+    probe = it->second;
+  }
+  // Probes run outside the registry lock so a slow probe cannot stall
+  // unrelated health checks (and probes may re-enter the registry).
+  return probe();
+}
+
+std::vector<ComponentHealth> HealthRegistry::CheckAll() const {
+  std::vector<std::pair<std::string, ProbeFn>> probes;
+  {
+    std::lock_guard lock(mu_);
+    probes.assign(probes_.begin(), probes_.end());
+  }
+  std::vector<ComponentHealth> out;
+  out.reserve(probes.size());
+  for (const auto& [name, probe] : probes) {
+    out.push_back({name, probe()});
+  }
+  return out;
+}
+
+bool HealthRegistry::AllHealthy() const {
+  for (const auto& health : CheckAll()) {
+    if (!health.status.ok()) return false;
+  }
+  return true;
+}
+
+std::string HealthRegistry::Report() const {
+  std::string out;
+  for (const auto& health : CheckAll()) {
+    out += health.component;
+    out += ": ";
+    out += health.status.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t HealthRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return probes_.size();
+}
+
+}  // namespace metro::resilience

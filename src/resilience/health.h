@@ -1,0 +1,59 @@
+#pragma once
+
+// Component health probes.
+//
+// Each subsystem registers a cheap probe ("dfs", "mq", "fog.server", ...)
+// returning Ok when the component can serve; the registry snapshots the
+// whole deployment in one call. Degradation decisions (fall back to local
+// inference, shed load) key off these probes rather than poking subsystem
+// internals, and the chaos benches assert that injected faults surface here.
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace metro::resilience {
+
+/// A health probe: Ok when the component is serving normally; an error
+/// status (typically kUnavailable) with a diagnostic message otherwise.
+using ProbeFn = std::function<Status()>;
+
+/// One probed component's result.
+struct ComponentHealth {
+  std::string component;
+  Status status;
+};
+
+/// Named collection of per-component health probes. Thread-safe.
+class HealthRegistry {
+ public:
+  /// Registers (or replaces) the probe for `component`.
+  void Register(std::string component, ProbeFn probe);
+
+  /// Removes a probe; unknown components are ignored.
+  void Unregister(const std::string& component);
+
+  /// Runs one component's probe; kNotFound for unregistered components.
+  Status Check(const std::string& component) const;
+
+  /// Runs every probe, sorted by component name.
+  std::vector<ComponentHealth> CheckAll() const;
+
+  /// True when every registered probe returns Ok.
+  bool AllHealthy() const;
+
+  /// Multi-line "component: status" dump, sorted by name.
+  std::string Report() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ProbeFn> probes_;
+};
+
+}  // namespace metro::resilience

@@ -1,0 +1,14 @@
+#include "resilience/policy.h"
+
+namespace metro::resilience {
+
+std::string_view BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace metro::resilience

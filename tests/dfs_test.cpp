@@ -137,6 +137,47 @@ TEST(DfsTest, CorruptReplicaFailsOverToHealthyCopy) {
   EXPECT_GE(cluster.metrics().GetCounter("dfs.replica_read_failovers").value(), 1);
 }
 
+TEST(DfsTest, UnreadableBlockNamesEveryFailingReplica) {
+  // Corrupt every replica: the read must fail AND the error must say which
+  // replica failed and why, so an operator can find the bad disks.
+  Cluster cluster(3, SmallConfig());  // replication 3 -> all nodes hold it
+  ASSERT_TRUE(cluster.Create("/f", MakeData(800, 11)).ok());
+  for (int i = 0; i < 3; ++i) {
+    for (BlockId b = 1; b < 10; ++b) {
+      if (cluster.node(i).HasBlock(b)) {
+        ASSERT_TRUE(cluster.node(i).CorruptBlock(b).ok());
+      }
+    }
+  }
+  const auto read = cluster.Read("/f");
+  ASSERT_EQ(read.status().code(), StatusCode::kUnavailable);
+  const std::string& msg = read.status().message();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(msg.find("node " + std::to_string(i)), std::string::npos) << msg;
+  }
+  EXPECT_NE(msg.find("CORRUPTION"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("failed checksum"), std::string::npos) << msg;
+  EXPECT_GE(cluster.metrics().GetCounter("dfs.corrupt_replicas_read").value(),
+            3);
+}
+
+TEST(DfsTest, WriteFailoverReplacesFailedTarget) {
+  DfsConfig config;
+  config.block_size = 1024;
+  config.replication = 1;
+  Cluster cluster(2, config);
+  // Load node 1 well past the placement jitter so node 0 is the certain
+  // first choice, then make node 0 reject the store.
+  ASSERT_TRUE(cluster.node(1).StoreBlock(999, std::string(8192, 'x')).ok());
+  cluster.node(0).FailNextStores(1);
+  ASSERT_TRUE(cluster.Create("/f", MakeData(512, 12)).ok());
+  EXPECT_EQ(cluster.metrics().GetCounter("dfs.write_failovers").value(), 1);
+  const auto info = cluster.Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->replication, 1);
+  EXPECT_TRUE(cluster.Read("/f").ok());
+}
+
 TEST(DfsTest, AllReplicasDeadIsUnavailable) {
   Cluster cluster(3, SmallConfig());
   ASSERT_TRUE(cluster.Create("/f", "payload").ok());

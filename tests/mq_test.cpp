@@ -184,6 +184,87 @@ TEST(ConsumerGroupTest, EndToEndConsumeLoop) {
   EXPECT_EQ(consumed, 20);
 }
 
+TEST(ConsumerGroupTest, MemberDeathMidPollRedeliversUncommitted) {
+  // m1 fetches a batch but dies before committing. After the rebalance the
+  // surviving member inherits the partition at the old committed offset and
+  // sees the same records again — at-least-once delivery, nothing lost.
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(log.ProduceTo("t", 0, "k", "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m1").ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m2").ok());
+  // Partition 0 belongs to exactly one member; make m1 the one polling it.
+  const auto owner = log.Assignment("g", "m1");
+  const bool m1_owns = !owner.empty();
+
+  // The owner consumes and commits the first 3 records, then fetches the
+  // next batch and crashes before committing it.
+  ASSERT_TRUE(log.CommitOffset("g", "t", 0, 3).ok());
+  const auto in_flight = log.Fetch("t", 0, 3, 5);
+  ASSERT_TRUE(in_flight.ok());
+  ASSERT_EQ(in_flight->size(), 5u);
+  ASSERT_TRUE(log.LeaveGroup("g", m1_owns ? "m1" : "m2").ok());
+
+  // The survivor now owns every partition.
+  const std::string survivor = m1_owns ? "m2" : "m1";
+  EXPECT_EQ(log.Assignment("g", survivor).size(), 1u);
+
+  // It resumes from the committed offset: the uncommitted in-flight batch is
+  // redelivered verbatim.
+  const std::int64_t committed = log.CommittedOffset("g", "t", 0);
+  EXPECT_EQ(committed, 3);
+  const auto redelivered = log.Fetch("t", 0, committed, 5);
+  ASSERT_TRUE(redelivered.ok());
+  ASSERT_EQ(redelivered->size(), in_flight->size());
+  for (std::size_t i = 0; i < redelivered->size(); ++i) {
+    EXPECT_EQ((*redelivered)[i].offset, (*in_flight)[i].offset);
+    EXPECT_EQ((*redelivered)[i].value, (*in_flight)[i].value);
+  }
+  // Finishing the log from the committed offset yields all 8 records with
+  // offsets 3..7 seen twice in total across the two polls — at least once.
+  ASSERT_TRUE(
+      log.CommitOffset("g", "t", 0, redelivered->back().offset + 1).ok());
+  const auto rest = log.Fetch("t", 0, log.CommittedOffset("g", "t", 0), 10);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->empty(), redelivered->back().offset == 7);
+}
+
+TEST(MessageLogTest, PartitionFaultInjectionRoundTrip) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(log.ProduceTo("t", 0, "k", "before").ok());
+
+  ASSERT_TRUE(log.SetPartitionUp("t", 0, false).ok());
+  EXPECT_FALSE(log.PartitionUp("t", 0).value());
+  EXPECT_EQ(log.ProduceTo("t", 0, "k", "x").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(log.Fetch("t", 0, 0, 10).status().code(),
+            StatusCode::kUnavailable);
+  // The other partition still serves.
+  EXPECT_TRUE(log.ProduceTo("t", 1, "k", "y").ok());
+
+  // Keyless produce retried after a failure round-robins onto the healthy
+  // partition instead of sticking to the dead one.
+  bool produced = false;
+  for (int attempt = 0; attempt < 2 && !produced; ++attempt) {
+    produced = log.Produce("t", "", "v").ok();
+  }
+  EXPECT_TRUE(produced);
+
+  ASSERT_TRUE(log.SetPartitionUp("t", 0, true).ok());
+  const auto records = log.Fetch("t", 0, 0, 10);
+  ASSERT_TRUE(records.ok());  // stored records survived the outage
+  ASSERT_FALSE(records->empty());
+  EXPECT_EQ((*records)[0].value, "before");
+  EXPECT_EQ(log.SetPartitionUp("t", 9, true).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.SetPartitionUp("nope", 0, true).code(), StatusCode::kNotFound);
+}
+
 TEST(MessageLogTest, UnknownTopicErrors) {
   SimClock clock;
   MessageLog log(clock);

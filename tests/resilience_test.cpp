@@ -133,6 +133,24 @@ TEST(LinkFaultTest, DownLinkRejectsSends) {
   EXPECT_EQ(sim.SetLinkUp(a, 99, false).code(), StatusCode::kNotFound);
 }
 
+TEST(LinkFaultTest, ScopedLinkFaultRestoresLinkOnExit) {
+  net::Simulator sim;
+  const auto a = sim.AddNode({"a", 1e9});
+  const auto b = sim.AddNode({"b", 1e9});
+  ASSERT_TRUE(sim.Connect(a, b, {1e9, 0}).ok());
+  {
+    net::ScopedLinkFault fault(sim, a, b);
+    EXPECT_EQ(sim.Send(a, b, 100, [] {}).code(), StatusCode::kUnavailable);
+    EXPECT_FALSE(sim.LinkUp(a, b).value());
+  }
+  // The fault heals when the scope exits — no manual SetLinkUp.
+  EXPECT_TRUE(sim.LinkUp(a, b).value());
+  int delivered = 0;
+  ASSERT_TRUE(sim.Send(a, b, 100, [&] { ++delivered; }).ok());
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+}
+
 TEST(LinkFaultTest, InFlightTransfersUnaffectedByLaterFailure) {
   net::Simulator sim;
   const auto a = sim.AddNode({"a", 1e9});
