@@ -55,13 +55,31 @@ int main() {
   datagen::TweetGenerator tweets({.num_users = 800}, 22);
   datagen::WazeGenerator waze(23);
 
+  // Everything shares one span collector: the agents open a trace per
+  // event, the sink hands the context to Produce, and the consumer stages
+  // (mq.queue / store / analyze / web) join the same trace.
+  obs::SpanCollector& tracer = infra.pipeline().tracer();
+  infra.storage().SetTracer(&tracer);
+  ingest::AgentConfig agent_config;
+  agent_config.spans = &tracer;
+  // Small sink batches: events sitting in a half-flushed batch are latency
+  // the stage spans cannot attribute, so a latency-focused deployment keeps
+  // flushes short (the throughput benches use the default 64).
+  agent_config.batch_size = 8;
+
   // Publishing goes through the pipeline's retrying Produce, so a transient
   // partition outage costs retries (visible in the stats below), not data.
   auto make_sink = [&infra](std::string topic) {
     return [&infra, topic](const std::vector<ingest::Event>& batch) {
       for (const auto& e : batch) {
+        obs::TraceContext trace;
+        const auto it = e.headers.find(std::string(obs::kTraceHeader));
+        if (it != e.headers.end()) {
+          trace = obs::TraceContext::Parse(it->second).value_or(
+              obs::TraceContext{});
+        }
         METRO_RETURN_IF_ERROR(
-            infra.pipeline().Produce(topic, e.key, e.body).status());
+            infra.pipeline().Produce(topic, e.key, e.body, trace).status());
       }
       return Status::Ok();
     };
@@ -76,7 +94,7 @@ int main() {
             "", core::EncodeDocument(datagen::CityDataGenerator::ToDocument(
                     tweets.Generate(WallClock::Instance().Now())))};
       },
-      make_sink("tweets"));
+      make_sink("tweets"), agent_config);
   ingest::Agent waze_agent(
       "waze-ccp",
       [&]() -> std::optional<ingest::Event> {
@@ -85,7 +103,7 @@ int main() {
             "", core::EncodeDocument(datagen::CityDataGenerator::ToDocument(
                     waze.Generate(WallClock::Instance().Now())))};
       },
-      make_sink("waze"));
+      make_sink("waze"), agent_config);
   ingest::Agent crime_agent(
       "records-upload",
       [&]() -> std::optional<ingest::Event> {
@@ -94,7 +112,7 @@ int main() {
             "", core::EncodeDocument(datagen::CityDataGenerator::ToDocument(
                     city.GenerateCrime(WallClock::Instance().Now())))};
       },
-      make_sink("crimes"));
+      make_sink("crimes"), agent_config);
 
   (void)tweet_agent.Start();
   (void)waze_agent.Start();
@@ -119,6 +137,16 @@ int main() {
                           waze_agent.sink_retries() +
                           crime_agent.sink_retries()),
               infra.health().AllHealthy() ? "all healthy" : "degraded");
+
+  // Where does the latency go? Span-derived per-stage quantiles.
+  std::printf("\nstage latency (ms):\n");
+  for (const auto& st : stats.stage_latency) {
+    std::printf("  %-16s count=%-6lld mean=%-8.3f p50=%-8.3f p95=%-8.3f "
+                "p99=%.3f\n",
+                st.stage.c_str(), (long long)st.count, st.mean_ms, st.p50_ms,
+                st.p95_ms, st.p99_ms);
+  }
+  std::printf("\n%s\n", tracer.CriticalPathReport().c_str());
 
   // Mine crime hot-spots from the stored documents (Sec. II-C3).
   auto crimes = infra.pipeline().collection("crimes").value();

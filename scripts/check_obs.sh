@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the observability/resilience concurrency gate.
+#
+# 1. Plain build, full test suite (the tier-1 bar every PR must hold).
+# 2. ThreadSanitizer build of the tree, running the obs- and
+#    resilience-labelled tests — the span collector and the breaker's
+#    state-listener hand-off are the lock-heavy paths this PR touches.
+#
+# Usage: scripts/check_obs.sh [build-dir-prefix]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: plain build + full ctest"
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "==> tsan: METRO_SANITIZE=thread build + obs/resilience tests"
+cmake -B "${PREFIX}-tsan" -S . -DMETRO_SANITIZE=thread >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target \
+  obs_test resilience_test chaos_test util_test
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -L "obs|resilience"
+
+echo "==> check_obs: OK"

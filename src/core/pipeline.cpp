@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "util/bytes.h"
 #include "util/logging.h"
 
@@ -68,7 +70,8 @@ std::optional<store::Document> DecodeDocument(const std::string& bytes) {
   return doc;
 }
 
-CityPipeline::CityPipeline(Clock& clock) : clock_(&clock), log_(clock) {}
+CityPipeline::CityPipeline(Clock& clock)
+    : clock_(&clock), log_(clock), spans_(clock) {}
 
 CityPipeline::~CityPipeline() { Stop(); }
 
@@ -88,16 +91,30 @@ Status CityPipeline::AddTopic(TopicSpec spec) {
 }
 
 Result<mq::MessageLog::ProduceAck> CityPipeline::Produce(
-    const std::string& topic, std::string key, std::string value) {
+    const std::string& topic, std::string key, std::string value,
+    obs::TraceContext parent) {
+  // The trace root rides in the record header; consumer-side stage spans
+  // attach to it. An invalid parent opens a fresh trace, so every record
+  // produced through the pipeline is traced.
+  const obs::TraceContext root =
+      parent.valid() ? parent : spans_.StartTrace();
+  obs::Span span = spans_.Begin("produce", spans_.Child(root));
+  span.SetTag("topic", topic);
+  mq::Headers headers;
+  headers[std::string(obs::kTraceHeader)] = root.Serialize();
+
   resilience::RetryConfig config;
   config.max_attempts = 4;
   config.initial_backoff = kMillisecond / 2;
   config.max_backoff = 8 * kMillisecond;
   resilience::RetryPolicy retry(config, *clock_);
   auto ack = retry.Run([&]() -> Result<mq::MessageLog::ProduceAck> {
-    return log_.Produce(topic, key, value);
+    return log_.Produce(topic, key, value, headers);
   });
   produce_retries_.fetch_add(retry.retries(), std::memory_order_relaxed);
+  if (retry.retries() > 0) span.SetTag("retried", "true");
+  if (!ack.ok()) span.SetTag("error", std::string(ack.status().message()));
+  spans_.End(std::move(span));
   return ack;
 }
 
@@ -156,14 +173,40 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
       progressed = true;
       for (const mq::Record& rec : *records) {
         records_consumed_.fetch_add(1, std::memory_order_relaxed);
+        // Continue the producer's trace from the record header. Stage spans
+        // chain off a cursor (each start = the previous end), so per-trace
+        // stage durations sum to the produce -> web latency.
+        obs::TraceContext trace;
+        if (const auto it = rec.headers.find(std::string(obs::kTraceHeader));
+            it != rec.headers.end()) {
+          if (const auto parsed = obs::TraceContext::Parse(it->second)) {
+            trace = *parsed;
+          }
+        }
+        TimeNs cursor = rec.timestamp;
+        auto stage = [&](const char* name) {
+          if (!trace.valid()) return;
+          const TimeNs now = clock_->Now();
+          obs::Span span;
+          span.name = name;
+          span.context = spans_.Child(trace);
+          span.start = cursor;
+          span.end = now;
+          spans_.Record(std::move(span));
+          cursor = now;
+        };
+        // Queue-wait stage: broker append time -> consumer pickup.
+        stage("mq.queue");
         auto doc = state.spec.parser(rec.key, rec.value);
         if (!doc) continue;
         // Storage stage.
         (void)state.collection->Insert(*doc);
         documents_stored_.fetch_add(1, std::memory_order_relaxed);
+        stage("store");
         // Analysis stage.
         if (state.spec.analyzer) {
           auto annotation = state.spec.analyzer(*doc);
+          stage("analyze");
           if (annotation) {
             annotations_.fetch_add(1, std::memory_order_relaxed);
             // Visualization stage: render to the web feed.
@@ -172,7 +215,7 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
               std::lock_guard lock(web_mu_);
               web_feed_.push_back(json);
             }
-            latency_ms_.Record((clock_->Now() - rec.timestamp) / kMillisecond);
+            stage("web");
           }
         }
       }
@@ -230,8 +273,23 @@ PipelineStats CityPipeline::Stats() const {
     std::lock_guard lock(web_mu_);
     s.web_items = std::int64_t(web_feed_.size());
   }
-  s.mean_latency_ms = latency_ms_.mean();
-  s.p99_latency_ms = double(latency_ms_.p99());
+  s.stage_latency = spans_.StageBreakdown();
+  // End-to-end latency from the same spans that feed the breakdown: the
+  // extent of every trace that reached the web stage (i.e. was annotated).
+  std::vector<double> e2e_ms;
+  for (const obs::TraceSummary& t : spans_.Traces()) {
+    if (t.stage_ns.count("web") > 0) {
+      e2e_ms.push_back(double(t.total()) / double(kMillisecond));
+    }
+  }
+  if (!e2e_ms.empty()) {
+    std::sort(e2e_ms.begin(), e2e_ms.end());
+    double sum = 0;
+    for (const double v : e2e_ms) sum += v;
+    s.mean_latency_ms = sum / double(e2e_ms.size());
+    s.p99_latency_ms =
+        e2e_ms[std::size_t(double(e2e_ms.size() - 1) * 0.99)];
+  }
   return s;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "mq/message_log.h"
+#include "obs/trace.h"
 #include "resilience/policy.h"
 #include "store/document_store.h"
 #include "util/metrics.h"
@@ -46,6 +47,11 @@ struct PipelineStats {
   std::int64_t records_skipped = 0;  ///< offsets lost to retention truncation
   double mean_latency_ms = 0;  ///< produce -> web, for annotated records
   double p99_latency_ms = 0;
+  /// Span-derived per-stage latency (produce / mq.queue / store / analyze /
+  /// web), critical-path order. Replaces the old single end-to-end
+  /// histogram: the same spans that yield `mean_latency_ms` break the
+  /// latency down by Fig. 4 stage.
+  std::vector<obs::StageStats> stage_latency;
 };
 
 /// The assembled Fig. 4 pipeline.
@@ -74,9 +80,19 @@ class CityPipeline {
   /// unavailable partition retries with jittered exponential backoff
   /// (round-robin produces land on the next partition). Terminal errors
   /// surface immediately. Thread-safe.
+  ///
+  /// Every record is traced: `parent` continues an upstream trace (an
+  /// ingest agent's), an invalid parent opens a fresh one. The context
+  /// travels to the consumer in the record's `x-trace` header, so the
+  /// consumer-side stage spans (mq.queue / store / analyze / web) join the
+  /// same trace.
   Result<mq::MessageLog::ProduceAck> Produce(const std::string& topic,
                                              std::string key,
-                                             std::string value);
+                                             std::string value,
+                                             obs::TraceContext parent = {});
+
+  /// The pipeline's span collector (stage spans, critical-path report).
+  obs::SpanCollector& tracer() { return spans_; }
 
   /// Stored documents for a topic (one collection per topic).
   Result<store::Collection*> collection(const std::string& topic);
@@ -119,7 +135,7 @@ class CityPipeline {
   std::atomic<std::int64_t> produce_retries_{0};
   std::atomic<std::int64_t> fetch_retries_{0};
   std::atomic<std::int64_t> records_skipped_{0};
-  Histogram latency_ms_;
+  obs::SpanCollector spans_;
 };
 
 /// Standard parser for the datagen documents: the record value is expected

@@ -105,7 +105,33 @@ std::vector<int> Cluster::PlaceReplicas(int n,
   return picks;
 }
 
-Status Cluster::Create(const std::string& path, std::string_view data) {
+obs::Span Cluster::BeginOp(const char* name,
+                           const obs::TraceContext& parent) const {
+  // Under a caller's trace the operation annotates time the caller's
+  // enclosing stage already covers (overlay); standalone calls open their
+  // own trace with a stage span.
+  const bool nested = parent.valid();
+  return spans_->Begin(
+      name, nested ? spans_->Child(parent) : spans_->StartTrace(),
+      nested ? obs::SpanKind::kOverlay : obs::SpanKind::kStage);
+}
+
+Status Cluster::Create(const std::string& path, std::string_view data,
+                       obs::TraceContext parent) {
+  if (spans_ == nullptr) return CreateImpl(path, data, nullptr);
+  obs::Span span = BeginOp("dfs.write", parent);
+  std::int64_t failovers = 0;
+  const Status st = CreateImpl(path, data, &failovers);
+  span.SetTag("path", path);
+  span.SetTag("bytes", std::to_string(data.size()));
+  if (failovers > 0) span.SetTag("failovers", std::to_string(failovers));
+  if (!st.ok()) span.SetTag("error", std::string(st.message()));
+  spans_->End(std::move(span));
+  return st;
+}
+
+Status Cluster::CreateImpl(const std::string& path, std::string_view data,
+                           std::int64_t* failovers) {
   std::lock_guard lock(mu_);
   if (namespace_.count(path)) return AlreadyExistsError(path);
 
@@ -142,6 +168,7 @@ Status Cluster::Create(const std::string& path, std::string_view data) {
         if (st.ok()) {
           bmeta.replicas.push_back(id);
           metrics_.GetCounter("dfs.write_failovers").Increment();
+          if (failovers != nullptr) ++*failovers;
         }
       }
     }
@@ -160,7 +187,22 @@ Status Cluster::Create(const std::string& path, std::string_view data) {
   return Status::Ok();
 }
 
-Result<std::string> Cluster::Read(const std::string& path) const {
+Result<std::string> Cluster::Read(const std::string& path,
+                                  obs::TraceContext parent) const {
+  if (spans_ == nullptr) return ReadImpl(path, nullptr);
+  obs::Span span = BeginOp("dfs.read", parent);
+  std::int64_t failovers = 0;
+  auto res = ReadImpl(path, &failovers);
+  span.SetTag("path", path);
+  if (res.ok()) span.SetTag("bytes", std::to_string(res->size()));
+  if (failovers > 0) span.SetTag("failovers", std::to_string(failovers));
+  if (!res.ok()) span.SetTag("error", std::string(res.status().message()));
+  spans_->End(std::move(span));
+  return res;
+}
+
+Result<std::string> Cluster::ReadImpl(const std::string& path,
+                                      std::int64_t* failovers) const {
   std::unique_lock lock(mu_);
   const auto it = namespace_.find(path);
   if (it == namespace_.end()) return NotFoundError(path);
@@ -189,6 +231,7 @@ Result<std::string> Cluster::Read(const std::string& path) const {
         metrics_.GetCounter("dfs.corrupt_replicas_read").Increment();
       }
       metrics_.GetCounter("dfs.replica_read_failovers").Increment();
+      if (failovers != nullptr) ++*failovers;
       if (!failures.empty()) failures += "; ";
       failures += "node " + std::to_string(id) + ": " +
                   std::string(StatusCodeName(res.status().code())) + ": " +

@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -98,12 +99,21 @@ class Cluster {
   int num_datanodes() const { return int(nodes_.size()); }
   DataNode& node(int i) { return *nodes_[std::size_t(i)]; }
 
-  /// Writes a complete file (fails if the path exists).
-  Status Create(const std::string& path, std::string_view data);
+  /// Attaches a tracer: Create/Read record `dfs.write`/`dfs.read` spans
+  /// tagged with path, byte count, and replica failovers. Set before
+  /// concurrent use; pass nullptr to detach.
+  void SetTracer(obs::SpanCollector* spans) { spans_ = spans; }
+
+  /// Writes a complete file (fails if the path exists). With a tracer
+  /// attached the write is spanned: under a valid `parent` as an overlay of
+  /// the caller's trace, otherwise as a stage span in a fresh trace.
+  Status Create(const std::string& path, std::string_view data,
+                obs::TraceContext parent = {});
 
   /// Reads a complete file, failing over across replicas; kUnavailable if a
-  /// block has no healthy, uncorrupted replica.
-  Result<std::string> Read(const std::string& path) const;
+  /// block has no healthy, uncorrupted replica. Traced like Create.
+  Result<std::string> Read(const std::string& path,
+                           obs::TraceContext parent = {}) const;
 
   Status Delete(const std::string& path);
   Result<FileInfo> Stat(const std::string& path) const;
@@ -149,7 +159,16 @@ class Cluster {
   /// tie-breaking (stand-in for rack awareness).
   std::vector<int> PlaceReplicas(int n, const std::vector<int>& exclude) const;
 
+  Status CreateImpl(const std::string& path, std::string_view data,
+                    std::int64_t* failovers);
+  Result<std::string> ReadImpl(const std::string& path,
+                               std::int64_t* failovers) const;
+
+  /// Opens the span for a traced operation (spans_ must be non-null).
+  obs::Span BeginOp(const char* name, const obs::TraceContext& parent) const;
+
   DfsConfig config_;
+  obs::SpanCollector* spans_ = nullptr;
   std::vector<std::unique_ptr<DataNode>> nodes_;
   std::vector<char> decommissioned_;
   mutable std::mutex mu_;  // namespace + block map

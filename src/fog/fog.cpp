@@ -199,6 +199,15 @@ PipelineResult RunEarlyExitPipeline(FogTopology& topology,
 
 namespace {
 
+/// Per-item trace state: the root context plus a stage cursor. All of an
+/// item's callbacks run sequentially on the simulator, so advancing the
+/// cursor at each stage boundary yields contiguous stage spans whose
+/// durations sum exactly to the item's end-to-end latency.
+struct ItemTrace {
+  obs::TraceContext root;
+  TimeNs cursor = 0;
+};
+
 /// Per-run shared state for the resilient pipeline.
 struct ResilientCtx {
   ResilientCtx(FogTopology& topo, const FogResilienceOptions& opts)
@@ -221,11 +230,35 @@ struct ResilientCtx {
     }
   }
 
+  /// Closes the stage `[tr->cursor, now]` and advances the cursor.
+  void Stage(const std::shared_ptr<ItemTrace>& tr, const char* name) {
+    if (options.spans == nullptr || !tr->root.valid()) return;
+    const TimeNs now = sim->Now();
+    obs::Span span;
+    span.name = name;
+    span.context = options.spans->Child(tr->root);
+    span.kind = obs::SpanKind::kStage;
+    span.start = tr->cursor;
+    span.end = now;
+    options.spans->Record(std::move(span));
+    tr->cursor = now;
+  }
+
+  /// Marks the item's trace degraded with the fallback cause.
+  void MarkDegraded(const std::shared_ptr<ItemTrace>& tr, const char* cause) {
+    if (options.spans == nullptr || !tr->root.valid()) return;
+    options.spans->Event("degrade", options.spans->Child(tr->root),
+                         {{"degraded", cause}});
+  }
+
   /// Sends with retries on simulated time. `deadline_at` bounds the retry
   /// schedule (<= 0 means unbounded). `on_give_up(deadline_exceeded)` fires
-  /// when the attempts or the deadline budget are exhausted.
+  /// when the attempts or the deadline budget are exhausted. Each backoff
+  /// wait is recorded as a `retry.backoff` overlay span on `trace` — it
+  /// annotates time the enclosing stage span already covers.
   void SendWithRetry(net::NodeId from, net::NodeId to, std::uint64_t bytes,
                      TimeNs deadline_at, int* retry_slot,
+                     obs::TraceContext trace,
                      std::function<void()> on_delivery,
                      std::function<void(bool)> on_give_up, int attempt = 1) {
     Status st = sim->Send(from, to, bytes, on_delivery);
@@ -241,8 +274,19 @@ struct ResilientCtx {
     }
     if (retry_slot != nullptr) ++*retry_slot;
     Count("fog.retries");
+    if (options.spans != nullptr && trace.valid()) {
+      obs::Span span;
+      span.name = "retry.backoff";
+      span.context = options.spans->Child(trace);
+      span.kind = obs::SpanKind::kOverlay;
+      span.start = sim->Now();
+      span.end = sim->Now() + backoff;
+      span.SetTag("retried", "true");
+      span.SetTag("attempt", std::to_string(attempt));
+      options.spans->Record(std::move(span));
+    }
     sim->ScheduleAfter(backoff, [=, this] {
-      SendWithRetry(from, to, bytes, deadline_at, retry_slot,
+      SendWithRetry(from, to, bytes, deadline_at, retry_slot, trace,
                     std::move(on_delivery), std::move(on_give_up),
                     attempt + 1);
     });
@@ -259,6 +303,23 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
   ctx->result.outcomes.reserve(items.size());
   const auto before = topology.Traffic();
 
+  if (options.spans != nullptr) {
+    // Breaker transitions are run-scoped, not item-scoped: they land as
+    // event markers on one trace for the whole run. The listener captures
+    // raw pointers (not ctx) so the breaker does not own its owner.
+    obs::SpanCollector* spans = options.spans;
+    const obs::TraceContext run_trace = spans->StartTrace();
+    ctx->breaker.SetStateListener(
+        [spans, run_trace](resilience::CircuitBreaker::State from,
+                           resilience::CircuitBreaker::State to) {
+          spans->Event(
+              "breaker." + std::string(resilience::BreakerStateName(to)),
+              spans->Child(run_trace),
+              {{"from", std::string(resilience::BreakerStateName(from))},
+               {"to", std::string(resilience::BreakerStateName(to))}});
+        });
+  }
+
   for (const WorkItem& item : items) {
     sim.ScheduleAt(item.arrival, [item, ctx] {
       net::Simulator& sim = *ctx->sim;
@@ -272,6 +333,11 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
       // Each item's retry count lives on the shared context until the item
       // finishes (the outcome is built at completion time).
       auto retries = std::make_shared<int>(0);
+      auto tr = std::make_shared<ItemTrace>();
+      if (ctx->options.spans != nullptr) {
+        tr->root = ctx->options.spans->StartTrace();
+        tr->cursor = start;
+      }
       auto finish = [item, ctx, start, retries](bool offloaded, bool dropped,
                                                 bool degraded, bool failed) {
         ItemOutcome outcome;
@@ -288,6 +354,7 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
 
       // Tier 1: elementary filtering on the edge device.
       (void)sim.Compute(edge, item.edge_filter_macs, [=, &sim, &topology] {
+        ctx->Stage(tr, "edge.filter");
         if (item.dropped_by_edge_filter) {
           finish(false, true, false, false);
           return;
@@ -296,32 +363,41 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
         // uplink is the one hard failure (no compute tier to fall back to).
         ctx->SendWithRetry(
             edge, fog, item.raw_bytes, /*deadline_at=*/0, retries.get(),
+            tr->root,
             [=, &sim] {
+              ctx->Stage(tr, "edge.uplink");
               // Tier 2: the split model's local half runs on the fog node.
               (void)sim.Compute(fog, item.local_macs, [=, &sim] {
+                ctx->Stage(tr, "fog.local");
                 // The local answer now exists; nothing past this point may
                 // hard-fail the item.
                 auto degrade = [=](const char* counter) {
                   ctx->Count(counter);
+                  ctx->MarkDegraded(tr, counter);
                   finish(false, false, true, false);
                 };
 
                 if (item.local_exit) {
                   // Confident: annotation travels upstream for storage. If
                   // the uplink stays down the answer is still served
-                  // locally — a degraded success, not an error.
+                  // locally — a degraded success, not an error. Both hops
+                  // roll up into one `upstream.annotation` stage.
                   ctx->SendWithRetry(
                       fog, server, item.annotation_bytes, 0, retries.get(),
+                      tr->root,
                       [=, &sim] {
                         Status up = sim.Send(server, cloud,
                                              item.annotation_bytes, [=] {
+                          ctx->Stage(tr, "upstream.annotation");
                           finish(false, false, false, false);
                         });
                         if (!up.ok()) {
+                          ctx->Stage(tr, "upstream.annotation");
                           degrade("fog.degraded.annotation_upstream");
                         }
                       },
                       [=](bool) {
+                        ctx->Stage(tr, "upstream.annotation");
                         degrade("fog.degraded.annotation_upstream");
                       });
                   return;
@@ -338,16 +414,19 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
                 }
                 ctx->SendWithRetry(
                     fog, server, item.feature_bytes, deadline_at,
-                    retries.get(),
+                    retries.get(), tr->root,
                     [=, &sim] {
+                      ctx->Stage(tr, "offload.transfer");
                       ctx->breaker.RecordSuccess();
                       (void)sim.Compute(server, item.server_macs, [=, &sim] {
+                        ctx->Stage(tr, "server.compute");
                         ctx->result.server_macs_total +=
                             double(item.server_macs);
                         // The server answered; a failed archive hop does not
                         // demote the item, it just defers the annotation.
                         Status up = sim.Send(server, cloud,
                                              item.annotation_bytes, [=] {
+                          ctx->Stage(tr, "cloud.annotate");
                           finish(true, false, false, false);
                         });
                         if (!up.ok()) {
@@ -357,6 +436,7 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
                       });
                     },
                     [=](bool deadline_exceeded) {
+                      ctx->Stage(tr, "offload.transfer");
                       ctx->breaker.RecordFailure();
                       degrade(deadline_exceeded
                                   ? "fog.degraded.offload_deadline"
@@ -365,6 +445,7 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
               });
             },
             [=](bool) {
+              ctx->Stage(tr, "edge.uplink");
               ctx->Count("fog.failed.edge_uplink");
               finish(false, false, false, true);
             });

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/simulator.h"
+#include "obs/trace.h"
 #include "resilience/policy.h"
 #include "util/metrics.h"
 
@@ -172,6 +173,13 @@ struct FogResilienceOptions {
   /// Optional per-tier degradation/retry counters
   /// (`fog.degraded.*`, `fog.failed.*`, `fog.retries`).
   MetricsRegistry* metrics = nullptr;
+  /// Optional tracer. When set, every item gets a trace with contiguous
+  /// stage spans per tier hop (`edge.filter`, `edge.uplink`, `fog.local`,
+  /// then `upstream.annotation` or `offload.transfer` / `server.compute` /
+  /// `cloud.annotate`), `retry.backoff` overlays around retried sends, and
+  /// `degrade` / breaker-transition event markers. The collector should run
+  /// on the topology's simulated clock (`topology.sim().clock()`).
+  obs::SpanCollector* spans = nullptr;
   std::uint64_t seed = 19;  ///< retry jitter
 };
 

@@ -23,7 +23,15 @@ Status Agent::Start() {
 }
 
 void Agent::SourceLoop() {
+  Clock& clock = config_.clock ? *config_.clock : WallClock::Instance();
+  const std::string trace_key(obs::kTraceHeader);
   while (auto event = source_()) {
+    // Open a trace per event unless the source already propagated one.
+    if (config_.spans != nullptr &&
+        event->headers.find(trace_key) == event->headers.end()) {
+      event->headers[trace_key] = config_.spans->StartTrace().Serialize();
+    }
+    event->enqueued_at = clock.Now();
     // Push blocks when the channel is full — back-pressure to the source.
     if (!channel_.Push(std::move(*event)).ok()) break;  // channel closed
     events_in_.fetch_add(1, std::memory_order_relaxed);
@@ -42,10 +50,49 @@ void Agent::SinkLoop() {
   Clock& clock = config_.clock ? *config_.clock : WallClock::Instance();
   resilience::RetryPolicy retry(retry_config, clock,
                                 /*seed=*/std::hash<std::string>{}(name_));
+  const std::string trace_key(obs::kTraceHeader);
   auto flush = [&] {
     if (batch.empty()) return;
+    // Close each traced event's channel-wait stage before the sink runs, so
+    // the sink's own stage spans (e.g. the pipeline's `produce`) follow it
+    // contiguously on the trace timeline.
+    std::vector<obs::TraceContext> traced;
+    const TimeNs flush_start = clock.Now();
+    if (config_.spans != nullptr) {
+      for (const Event& event : batch) {
+        const auto it = event.headers.find(trace_key);
+        if (it == event.headers.end()) continue;
+        const auto ctx = obs::TraceContext::Parse(it->second);
+        if (!ctx) continue;
+        obs::Span span;
+        span.name = "ingest.channel";
+        span.context = config_.spans->Child(*ctx);
+        span.start = event.enqueued_at;
+        span.end = flush_start;
+        config_.spans->Record(std::move(span));
+        traced.push_back(*ctx);
+      }
+    }
+    const std::int64_t retries_before = retry.retries();
     const Status st = retry.Run([&] { return sink_(batch); });
     sink_retries_.store(retry.retries(), std::memory_order_relaxed);
+    if (config_.spans != nullptr && !traced.empty()) {
+      // Overlay (not stage): the sink's time is already accounted for by
+      // the downstream stages the sink itself records.
+      const TimeNs flush_end = clock.Now();
+      const bool retried = retry.retries() > retries_before;
+      for (const obs::TraceContext& ctx : traced) {
+        obs::Span span;
+        span.name = "ingest.flush";
+        span.context = config_.spans->Child(ctx);
+        span.kind = obs::SpanKind::kOverlay;
+        span.start = flush_start;
+        span.end = flush_end;
+        if (retried) span.SetTag("retried", "true");
+        if (!st.ok()) span.SetTag("error", std::string(st.message()));
+        config_.spans->Record(std::move(span));
+      }
+    }
     if (st.ok()) {
       events_out_.fetch_add(std::int64_t(batch.size()), std::memory_order_relaxed);
     } else {

@@ -10,10 +10,12 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "resilience/policy.h"
 #include "util/clock.h"
 #include "util/metrics.h"
@@ -26,6 +28,10 @@ namespace metro::ingest {
 struct Event {
   std::string key;
   std::string body;
+  /// Opaque metadata forwarded to the sink; the tracing layer rides on the
+  /// `x-trace` key so downstream stages continue the event's trace.
+  std::map<std::string, std::string> headers;
+  TimeNs enqueued_at = 0;  ///< when the source pushed it into the channel
 };
 
 /// Produces the next event, or nullopt when the source is exhausted.
@@ -44,6 +50,12 @@ struct AgentConfig {
   TimeNs sink_retry_backoff = kMillisecond;       ///< initial backoff
   TimeNs sink_retry_max_backoff = 32 * kMillisecond;
   Clock* clock = nullptr;  ///< backoff sleeps; wall clock when null
+  /// Optional tracer. When set the source opens a trace per event (unless
+  /// the event already carries an `x-trace` header), the sink records an
+  /// `ingest.channel` stage span per event (channel enqueue -> flush) and an
+  /// `ingest.flush` overlay around each sink call, tagged `retried` when the
+  /// batch needed retries. Should share the agent's clock.
+  obs::SpanCollector* spans = nullptr;
 };
 
 /// A single source -> channel -> sink pipeline.

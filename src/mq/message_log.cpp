@@ -29,7 +29,8 @@ Result<int> MessageLog::NumPartitions(const std::string& topic) const {
 
 Result<MessageLog::ProduceAck> MessageLog::Produce(const std::string& topic,
                                                    std::string key,
-                                                   std::string value) {
+                                                   std::string value,
+                                                   Headers headers) {
   std::unique_lock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
@@ -38,13 +39,15 @@ Result<MessageLog::ProduceAck> MessageLog::Produce(const std::string& topic,
   const int partition =
       key.empty() ? int(t.round_robin++ % n) : int(Fnv1a64(key) % n);
   lock.unlock();
-  return ProduceTo(topic, partition, std::move(key), std::move(value));
+  return ProduceTo(topic, partition, std::move(key), std::move(value),
+                   std::move(headers));
 }
 
 Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
                                                      int partition,
                                                      std::string key,
-                                                     std::string value) {
+                                                     std::string value,
+                                                     Headers headers) {
   std::lock_guard lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
@@ -63,6 +66,7 @@ Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
   rec.timestamp = clock_->Now();
   rec.key = std::move(key);
   rec.value = std::move(value);
+  rec.headers = std::move(headers);
   const std::size_t bytes = rec.key.size() + rec.value.size();
   p.records.push_back(std::move(rec));
   metrics_.GetCounter("mq.records_produced").Increment();

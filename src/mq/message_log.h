@@ -22,12 +22,18 @@
 
 namespace metro::mq {
 
+/// Opaque per-record metadata carried alongside the payload (the Kafka
+/// record-headers role). The broker stores and returns them untouched; the
+/// tracing layer rides on the `x-trace` key (see src/obs/trace.h).
+using Headers = std::map<std::string, std::string>;
+
 /// One record in a partition.
 struct Record {
   std::int64_t offset = 0;
   TimeNs timestamp = 0;
   std::string key;
   std::string value;
+  Headers headers;
 };
 
 /// Per-partition high-water marks etc.
@@ -55,11 +61,12 @@ class MessageLog {
     std::int64_t offset = 0;
   };
   Result<ProduceAck> Produce(const std::string& topic, std::string key,
-                             std::string value);
+                             std::string value, Headers headers = {});
 
   /// Appends to an explicit partition.
   Result<ProduceAck> ProduceTo(const std::string& topic, int partition,
-                               std::string key, std::string value);
+                               std::string key, std::string value,
+                               Headers headers = {});
 
   /// Reads up to `max_records` records starting at `offset`.
   /// An offset at the end returns an empty vector (not an error); an offset

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <string>
@@ -118,58 +119,83 @@ class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
+  /// Observes state transitions (tracing/metrics hook): `listener(from, to)`
+  /// runs after the transition, outside the breaker's lock.
+  using StateListener = std::function<void(State from, State to)>;
+
   CircuitBreaker(BreakerConfig config, Clock& clock)
       : config_(config), clock_(&clock) {}
+
+  /// Registers the transition listener, replacing any previous one. The
+  /// listener must not call back into the breaker's mutating methods.
+  void SetStateListener(StateListener listener) {
+    std::lock_guard lock(mu_);
+    listener_ = std::move(listener);
+  }
 
   /// True when a call may proceed; false is a fast rejection (circuit open).
   /// Transitions open -> half-open when the cool-down has elapsed.
   bool Allow() {
-    std::lock_guard lock(mu_);
-    switch (state_) {
-      case State::kClosed:
-        return true;
-      case State::kOpen:
-        if (clock_->Now() - opened_at_ >= config_.cooldown) {
-          state_ = State::kHalfOpen;
-          half_open_inflight_ = 1;
-          half_open_successes_ = 0;
-          return true;
-        }
-        ++rejected_;
-        return false;
-      case State::kHalfOpen:
-        if (half_open_inflight_ < config_.half_open_probes) {
-          ++half_open_inflight_;
-          return true;
-        }
-        ++rejected_;
-        return false;
+    Transition transition;
+    bool allowed = false;
+    {
+      std::lock_guard lock(mu_);
+      switch (state_) {
+        case State::kClosed:
+          allowed = true;
+          break;
+        case State::kOpen:
+          if (clock_->Now() - opened_at_ >= config_.cooldown) {
+            transition = SetState(State::kHalfOpen);
+            half_open_inflight_ = 1;
+            half_open_successes_ = 0;
+            allowed = true;
+          } else {
+            ++rejected_;
+          }
+          break;
+        case State::kHalfOpen:
+          if (half_open_inflight_ < config_.half_open_probes) {
+            ++half_open_inflight_;
+            allowed = true;
+          } else {
+            ++rejected_;
+          }
+          break;
+      }
     }
-    return false;
+    Notify(transition);
+    return allowed;
   }
 
   void RecordSuccess() {
-    std::lock_guard lock(mu_);
-    if (state_ == State::kHalfOpen) {
-      if (++half_open_successes_ >= config_.half_open_probes) {
-        state_ = State::kClosed;
+    Transition transition;
+    {
+      std::lock_guard lock(mu_);
+      if (state_ == State::kHalfOpen) {
+        if (++half_open_successes_ >= config_.half_open_probes) {
+          transition = SetState(State::kClosed);
+          consecutive_failures_ = 0;
+        }
+      } else {
         consecutive_failures_ = 0;
       }
-    } else {
-      consecutive_failures_ = 0;
     }
+    Notify(transition);
   }
 
   void RecordFailure() {
-    std::lock_guard lock(mu_);
-    if (state_ == State::kHalfOpen) {
-      Trip();
-      return;
+    Transition transition;
+    {
+      std::lock_guard lock(mu_);
+      if (state_ == State::kHalfOpen) {
+        transition = Trip();
+      } else if (state_ == State::kClosed &&
+                 ++consecutive_failures_ >= config_.failure_threshold) {
+        transition = Trip();
+      }
     }
-    if (state_ == State::kClosed &&
-        ++consecutive_failures_ >= config_.failure_threshold) {
-      Trip();
-    }
+    Notify(transition);
   }
 
   /// Wraps `fn`: rejected calls fail with kUnavailable without running,
@@ -199,10 +225,33 @@ class CircuitBreaker {
   }
 
  private:
-  void Trip() {
-    state_ = State::kOpen;
+  /// A state change captured under the lock and reported after releasing it,
+  /// so the listener can take its own locks (e.g. a span collector's).
+  struct Transition {
+    bool fired = false;
+    State from = State::kClosed;
+    State to = State::kClosed;
+    StateListener listener;  // copy taken under the lock
+  };
+
+  // Must hold mu_. Records the change and snapshots the listener.
+  Transition SetState(State to) {
+    Transition t{true, state_, to, listener_};
+    state_ = to;
+    return t;
+  }
+
+  // Must NOT hold mu_.
+  static void Notify(const Transition& t) {
+    if (t.fired && t.listener) t.listener(t.from, t.to);
+  }
+
+  // Must hold mu_.
+  Transition Trip() {
+    Transition t = SetState(State::kOpen);
     opened_at_ = clock_->Now();
     consecutive_failures_ = 0;
+    return t;
   }
 
   static const Status& StatusOfImpl(const Status& s) { return s; }
@@ -218,6 +267,7 @@ class CircuitBreaker {
   int half_open_successes_ = 0;
   TimeNs opened_at_ = 0;
   std::int64_t rejected_ = 0;
+  StateListener listener_;
 };
 
 /// Human-readable breaker state ("closed", "open", "half-open").

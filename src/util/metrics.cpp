@@ -67,12 +67,19 @@ std::int64_t Histogram::Quantile(double q) const {
   std::lock_guard lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; never answer them from bucket bounds
+  // (q=1.0 used to return the last bucket's *low* edge when that bucket held
+  // a single sample — far below the true max).
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const double target = q * double(count_ - 1);
   std::int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     if (double(seen + buckets_[i] - 1) >= target) {
-      // Interpolate within the bucket.
+      // Interpolate within the bucket; [lo, hi] is clamped to the observed
+      // [min_, max_] so single-sample and one-bucket histograms never
+      // interpolate below min_ or above max_.
       const double frac =
           buckets_[i] <= 1 ? 0.0 : (target - double(seen)) / double(buckets_[i] - 1);
       const std::int64_t lo = std::max(BucketLow(i), min_);

@@ -15,6 +15,15 @@
 
 namespace metro {
 
+/// Outcome of a non-blocking pop: a momentarily empty queue may still
+/// receive items, a closed-and-drained queue never will. Non-blocking
+/// pollers must stop (not spin) on `kClosed`.
+enum class TryPopResult {
+  kItem,    ///< the out-parameter holds the next item
+  kEmpty,   ///< nothing right now; producers may still push
+  kClosed,  ///< closed and fully drained; no item will ever arrive
+};
+
 /// Thread-safe bounded queue with blocking push/pop and graceful shutdown.
 template <typename T>
 class BoundedQueue {
@@ -60,15 +69,19 @@ class BoundedQueue {
     return item;
   }
 
-  /// Non-blocking pop.
-  std::optional<T> TryPop() {
+  /// Non-blocking pop. Unlike a bare optional, the result distinguishes
+  /// "momentarily empty" (`kEmpty`) from "closed and drained" (`kClosed`),
+  /// so a poller on a dead queue terminates instead of spinning forever.
+  TryPopResult TryPop(T& out) {
     std::unique_lock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    if (items_.empty()) {
+      return closed_ ? TryPopResult::kClosed : TryPopResult::kEmpty;
+    }
+    out = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
     not_full_.notify_one();
-    return item;
+    return TryPopResult::kItem;
   }
 
   /// Rejects future pushes and wakes all waiters; pops drain what remains.

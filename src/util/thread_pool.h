@@ -2,6 +2,8 @@
 
 // Fixed-size worker pool used by the dataflow engine and analysis servers.
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <thread>
@@ -11,14 +13,19 @@
 
 namespace metro {
 
+class MetricsRegistry;
+
 /// Fixed set of worker threads draining a shared task queue.
 ///
 /// Tasks submitted after Shutdown() are rejected. The destructor joins all
-/// workers after draining outstanding tasks.
+/// workers after draining outstanding tasks. A task that throws is counted
+/// (and mirrored into `metrics` as `threadpool.task_exceptions` when given)
+/// and logged; the worker survives it.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
-  explicit ThreadPool(std::size_t num_threads);
+  explicit ThreadPool(std::size_t num_threads,
+                      MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -49,7 +56,16 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks that threw (and were contained) since construction.
+  std::int64_t task_exceptions() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void WorkerLoop();
+
+  MetricsRegistry* metrics_;
+  std::atomic<std::int64_t> task_exceptions_{0};
   BoundedQueue<std::function<void()>> tasks_;
   std::vector<std::jthread> workers_;
 };

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -280,6 +283,23 @@ TEST(QueueTest, ConcurrentProducersConsumersConserveItems) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(QueueTest, TryPopDistinguishesEmptyFromClosed) {
+  BoundedQueue<int> q(4);
+  int out = 0;
+  // Open and momentarily empty: a poller should keep polling.
+  EXPECT_EQ(q.TryPop(out), TryPopResult::kEmpty);
+  ASSERT_TRUE(q.Push(7).ok());
+  ASSERT_TRUE(q.Push(8).ok());
+  EXPECT_EQ(q.TryPop(out), TryPopResult::kItem);
+  EXPECT_EQ(out, 7);
+  // Closed with a backlog: drain to completion, then terminate.
+  q.Close();
+  EXPECT_EQ(q.TryPop(out), TryPopResult::kItem);
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(q.TryPop(out), TryPopResult::kClosed);
+  EXPECT_EQ(q.TryPop(out), TryPopResult::kClosed);  // stays terminal
+}
+
 // ---------------------------------------------------------------- ThreadPool
 
 TEST(ThreadPoolTest, RunsSubmittedTasks) {
@@ -302,6 +322,26 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   ThreadPool pool(1);
   pool.Shutdown();
   EXPECT_EQ(pool.Submit([] {}).code(), StatusCode::kAborted);
+}
+
+TEST(ThreadPoolTest, SurvivesThrowingTasks) {
+  // Regression: an uncaught exception on a jthread worker terminates the
+  // whole process. The pool must contain it, count it, and keep the worker
+  // draining the queue.
+  MetricsRegistry metrics;
+  ThreadPool pool(2, &metrics);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran, i] {
+      if (i % 5 == 0) throw std::runtime_error("task failed");
+      ran.fetch_add(1);
+    }).ok());
+  }
+  ASSERT_TRUE(pool.Submit([] { throw 42; }).ok());  // non-std exception too
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 40);
+  EXPECT_EQ(pool.task_exceptions(), 11);
+  EXPECT_EQ(metrics.GetCounter("threadpool.task_exceptions").value(), 11);
 }
 
 // ---------------------------------------------------------------- Metrics
@@ -336,6 +376,63 @@ TEST(MetricsTest, HistogramEmptyIsZero) {
   Histogram h;
   EXPECT_EQ(h.Quantile(0.5), 0);
   EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsTest, HistogramQuantileExtremesAreExact) {
+  // Regression: q=1.0 used to interpolate inside the last nonempty bucket
+  // and return its *low* edge (64 for {1, 100}) instead of the tracked max.
+  Histogram h;
+  h.Record(1);
+  h.Record(100);
+  EXPECT_EQ(h.Quantile(0.0), 1);
+  EXPECT_EQ(h.Quantile(1.0), 100);
+  // Out-of-range inputs clamp to the exact extremes too.
+  EXPECT_EQ(h.Quantile(-0.5), 1);
+  EXPECT_EQ(h.Quantile(2.0), 100);
+}
+
+TEST(MetricsTest, HistogramOneBucketDoesNotInterpolateBelowMin) {
+  // 33..47 all land in the [32, 63] bucket; quantiles must stay inside the
+  // observed [min, max], not drift toward the bucket's low edge.
+  Histogram h;
+  for (int v = 33; v <= 47; ++v) h.Record(v);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::int64_t got = h.Quantile(q);
+    EXPECT_GE(got, 33) << "q=" << q;
+    EXPECT_LE(got, 47) << "q=" << q;
+  }
+  EXPECT_EQ(h.Quantile(0.0), 33);
+  EXPECT_EQ(h.Quantile(1.0), 47);
+}
+
+TEST(MetricsTest, HistogramQuantileTracksSortedReference) {
+  // Exhaustive check against the exact sorted-vector quantile: the
+  // log-bucketed estimate must land within the reference value's bucket
+  // (one power of two) and inside the observed range.
+  Rng rng(99);
+  std::vector<std::int64_t> samples;
+  Histogram h;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = std::int64_t(rng.UniformDouble() * 100000.0);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double target = q * double(samples.size() - 1);
+    const std::int64_t ref = samples[std::size_t(target)];
+    const std::int64_t got = h.Quantile(q);
+    EXPECT_GE(got, samples.front()) << "q=" << q;
+    EXPECT_LE(got, samples.back()) << "q=" << q;
+    // Same power-of-two bucket (or adjacent, for targets on a boundary).
+    const auto bucket = [](std::int64_t v) {
+      return v <= 0 ? 0 : 64 - int(std::countl_zero(std::uint64_t(v)));
+    };
+    EXPECT_NEAR(bucket(got), bucket(ref), 1) << "q=" << q << " ref=" << ref
+                                             << " got=" << got;
+  }
+  EXPECT_EQ(h.Quantile(0.0), samples.front());
+  EXPECT_EQ(h.Quantile(1.0), samples.back());
 }
 
 TEST(MetricsTest, RegistryReturnsSameInstance) {
