@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Static-analysis gate: thread-safety analysis, clang-tidy, and the
+# sanitizer matrix in one command. Exits non-zero on any thread-safety
+# warning, clang-tidy finding, or sanitizer failure.
+#
+# Stages:
+#   1. Clang + METRO_THREAD_SAFETY=ON: -Werror=thread-safety over the whole
+#      annotated tree (src/util/sync.h vocabulary). Skipped with a notice
+#      when no clang is installed — the annotations compile as no-ops under
+#      GCC, so this stage needs a real Clang to prove anything.
+#   2. clang-tidy with the repo .clang-tidy profile over src/. Skipped with
+#      a notice when clang-tidy is not installed.
+#   3. Sanitizer matrix: TSan on the concurrency-heavy labels (static, obs,
+#      resilience), ASan and UBSan on the full suite. Runs with whatever
+#      compiler CMake picks (GCC and Clang both support all three).
+#
+# Usage: scripts/check_static.sh [build-dir-prefix]   (default: build)
+# Env:   METRO_CHECK_FAST=1 limits ASan/UBSan to the static-labelled tests
+#        (useful on slow machines; the full matrix is the real gate).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIPPED=()
+
+# --- 1. Clang thread-safety analysis -----------------------------------
+CLANGXX="$(command -v clang++ || true)"
+if [[ -n "${CLANGXX}" ]]; then
+  echo "==> thread-safety: clang + METRO_THREAD_SAFETY=ON (-Werror=thread-safety)"
+  cmake -B "${PREFIX}-tsafe" -S . \
+    -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+    -DMETRO_THREAD_SAFETY=ON >/dev/null
+  cmake --build "${PREFIX}-tsafe" -j "${JOBS}"
+else
+  echo "==> thread-safety: SKIPPED (no clang++ on PATH; annotations are no-ops under this compiler)"
+  SKIPPED+=("thread-safety")
+fi
+
+# --- 2. clang-tidy ------------------------------------------------------
+CLANG_TIDY="$(command -v clang-tidy || true)"
+if [[ -n "${CLANG_TIDY}" ]]; then
+  echo "==> clang-tidy: src/ with repo .clang-tidy profile"
+  cmake -B "${PREFIX}-tidy" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # xargs propagates clang-tidy's non-zero exit through set -e.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 8 -P "${JOBS}" "${CLANG_TIDY}" -p "${PREFIX}-tidy" --quiet
+else
+  echo "==> clang-tidy: SKIPPED (not installed)"
+  SKIPPED+=("clang-tidy")
+fi
+
+# --- 3. Sanitizer matrix ------------------------------------------------
+CONCURRENCY_TARGETS=(static_stress_test obs_test resilience_test chaos_test util_test)
+FULL_LABEL_ARGS=()
+if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
+  FULL_LABEL_ARGS=(-L "static")
+fi
+
+echo "==> tsan: METRO_SANITIZE=thread + static/obs/resilience tests"
+cmake -B "${PREFIX}-tsan" -S . -DMETRO_SANITIZE=thread >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target "${CONCURRENCY_TARGETS[@]}"
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -L "static|obs|resilience"
+
+echo "==> asan: METRO_SANITIZE=address + tests"
+cmake -B "${PREFIX}-asan" -S . -DMETRO_SANITIZE=address >/dev/null
+if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
+  cmake --build "${PREFIX}-asan" -j "${JOBS}" --target static_stress_test
+else
+  cmake --build "${PREFIX}-asan" -j "${JOBS}"
+fi
+ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+  "${FULL_LABEL_ARGS[@]}"
+
+echo "==> ubsan: METRO_SANITIZE=undefined (-fno-sanitize-recover) + tests"
+cmake -B "${PREFIX}-ubsan" -S . -DMETRO_SANITIZE=undefined >/dev/null
+if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
+  cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target static_stress_test
+else
+  cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
+fi
+ctest --test-dir "${PREFIX}-ubsan" --output-on-failure -j "${JOBS}" \
+  "${FULL_LABEL_ARGS[@]}"
+
+if ((${#SKIPPED[@]})); then
+  echo "==> check_static: OK (skipped: ${SKIPPED[*]})"
+else
+  echo "==> check_static: OK"
+fi

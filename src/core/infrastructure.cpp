@@ -5,30 +5,30 @@
 namespace metro::core {
 
 std::size_t AlertManager::Raise(Alert alert) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   alerts_.push_back(std::move(alert));
   return alerts_.size() - 1;
 }
 
 std::optional<Alert> AlertManager::ReviewNext() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (next_review_ >= alerts_.size()) return std::nullopt;
   alerts_[next_review_].reviewed = true;
   return alerts_[next_review_++];
 }
 
 std::size_t AlertManager::pending() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return alerts_.size() - next_review_;
 }
 
 std::size_t AlertManager::total() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return alerts_.size();
 }
 
 std::vector<Alert> AlertManager::All() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return alerts_;
 }
 

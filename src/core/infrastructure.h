@@ -10,7 +10,6 @@
 // the set of registered applications raising alerts through AlertManager.
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "resilience/health.h"
 #include "sched/resource_manager.h"
 #include "store/wide_column.h"
+#include "util/sync.h"
 
 namespace metro::core {
 
@@ -40,19 +40,19 @@ struct Alert {
 class AlertManager {
  public:
   /// Raises an alert; returns its index.
-  std::size_t Raise(Alert alert);
+  std::size_t Raise(Alert alert) METRO_EXCLUDES(mu_);
 
   /// Oldest unreviewed alert, marking it reviewed (the operator workflow).
-  std::optional<Alert> ReviewNext();
+  std::optional<Alert> ReviewNext() METRO_EXCLUDES(mu_);
 
-  std::size_t pending() const;
-  std::size_t total() const;
-  std::vector<Alert> All() const;
+  std::size_t pending() const METRO_EXCLUDES(mu_);
+  std::size_t total() const METRO_EXCLUDES(mu_);
+  std::vector<Alert> All() const METRO_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Alert> alerts_;
-  std::size_t next_review_ = 0;
+  mutable Mutex mu_;
+  std::vector<Alert> alerts_ METRO_GUARDED_BY(mu_);
+  std::size_t next_review_ METRO_GUARDED_BY(mu_) = 0;
 };
 
 /// Construction parameters for the whole stack.

@@ -212,7 +212,7 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
             // Visualization stage: render to the web feed.
             const std::string json = store::ToJson(*annotation);
             {
-              std::lock_guard lock(web_mu_);
+              MutexLock lock(web_mu_);
               web_feed_.push_back(json);
             }
             stage("web");
@@ -257,7 +257,7 @@ void CityPipeline::Drain() {
 }
 
 std::vector<std::string> CityPipeline::WebFeed() const {
-  std::lock_guard lock(web_mu_);
+  MutexLock lock(web_mu_);
   return web_feed_;
 }
 
@@ -270,7 +270,7 @@ PipelineStats CityPipeline::Stats() const {
   s.fetch_retries = fetch_retries_.load();
   s.records_skipped = records_skipped_.load();
   {
-    std::lock_guard lock(web_mu_);
+    MutexLock lock(web_mu_);
     s.web_items = std::int64_t(web_feed_.size());
   }
   s.stage_latency = spans_.StageBreakdown();

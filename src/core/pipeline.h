@@ -23,6 +23,7 @@
 #include "resilience/policy.h"
 #include "store/document_store.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace metro::core {
 
@@ -108,7 +109,7 @@ class CityPipeline {
   void Drain();
 
   /// The rendered web feed (JSON lines), in arrival order.
-  std::vector<std::string> WebFeed() const;
+  std::vector<std::string> WebFeed() const METRO_EXCLUDES(web_mu_);
 
   PipelineStats Stats() const;
 
@@ -123,11 +124,13 @@ class CityPipeline {
 
   Clock* clock_;
   mq::MessageLog log_;
+  // topics_ / started_ mutate only during single-threaded setup (AddTopic /
+  // Start, before consumers exist); consumer threads read them immutably.
   std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
   bool started_ = false;
 
-  mutable std::mutex web_mu_;
-  std::vector<std::string> web_feed_;
+  mutable Mutex web_mu_;
+  std::vector<std::string> web_feed_ METRO_GUARDED_BY(web_mu_);
 
   std::atomic<std::int64_t> records_consumed_{0};
   std::atomic<std::int64_t> documents_stored_{0};

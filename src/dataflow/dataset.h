@@ -12,13 +12,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "dataflow/engine.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace metro::dataflow {
 
@@ -123,7 +123,7 @@ class Dataset {
   /// Evicts one cached partition (fault injection: a lost executor). The
   /// next action recomputes it from lineage.
   void DropCachedPartition(int p) const {
-    std::lock_guard lock(node_->mu);
+    MutexLock lock(node_->mu);
     if (std::size_t(p) < node_->cache.size()) node_->cache[std::size_t(p)].reset();
   }
 
@@ -178,11 +178,13 @@ class Dataset {
 
   // Internal node — public only for the shuffle free functions below.
   struct Node {
+    // num_partitions / compute / cache_enabled are fixed at dataset build
+    // time, before any stage runs; only the cache mutates concurrently.
     int num_partitions;
     std::function<std::vector<T>(int, Engine&)> compute;
     bool cache_enabled = false;
-    std::mutex mu;
-    std::vector<std::optional<std::vector<T>>> cache;
+    Mutex mu;
+    std::vector<std::optional<std::vector<T>>> cache METRO_GUARDED_BY(mu);
   };
 
   std::shared_ptr<Node> node() const { return node_; }
@@ -198,11 +200,13 @@ class Dataset {
   static std::vector<T> Materialize(const std::shared_ptr<Node>& node, int p,
                                     Engine& engine) {
     if (node->cache_enabled) {
-      std::unique_lock lock(node->mu);
+      MutexLock lock(node->mu);
       if (node->cache[std::size_t(p)]) return *node->cache[std::size_t(p)];
-      lock.unlock();
+      // Compute outside the lock so slow partitions don't serialize; two
+      // racing computations are idempotent (last write wins).
+      lock.Unlock();
       std::vector<T> data = node->compute(p, engine);
-      lock.lock();
+      lock.Lock();
       node->cache[std::size_t(p)] = data;
       return data;
     }

@@ -7,8 +7,8 @@
 namespace metro::dfs {
 
 Status DataNode::StoreBlock(BlockId block, std::string data) {
-  if (!alive_) return UnavailableError("datanode " + std::to_string(id_) + " down");
-  std::lock_guard lock(mu_);
+  if (!alive()) return UnavailableError("datanode " + std::to_string(id_) + " down");
+  MutexLock lock(mu_);
   if (fail_stores_ > 0) {
     --fail_stores_;
     return UnavailableError("datanode " + std::to_string(id_) +
@@ -23,8 +23,8 @@ Status DataNode::StoreBlock(BlockId block, std::string data) {
 }
 
 Result<std::string> DataNode::ReadBlock(BlockId block) const {
-  if (!alive_) return UnavailableError("datanode " + std::to_string(id_) + " down");
-  std::lock_guard lock(mu_);
+  if (!alive()) return UnavailableError("datanode " + std::to_string(id_) + " down");
+  MutexLock lock(mu_);
   const auto it = blocks_.find(block);
   if (it == blocks_.end()) return NotFoundError("block not on node");
   if (Crc32c(it->second.data) != it->second.crc) {
@@ -35,7 +35,7 @@ Result<std::string> DataNode::ReadBlock(BlockId block) const {
 }
 
 Status DataNode::DeleteBlock(BlockId block) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = blocks_.find(block);
   if (it == blocks_.end()) return NotFoundError("block not on node");
   bytes_ -= it->second.data.size();
@@ -44,12 +44,12 @@ Status DataNode::DeleteBlock(BlockId block) {
 }
 
 bool DataNode::HasBlock(BlockId block) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.count(block) > 0;
 }
 
 Status DataNode::CorruptBlock(BlockId block) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = blocks_.find(block);
   if (it == blocks_.end()) return NotFoundError("block not on node");
   if (it->second.data.empty()) return FailedPreconditionError("empty block");
@@ -58,17 +58,17 @@ Status DataNode::CorruptBlock(BlockId block) {
 }
 
 void DataNode::FailNextStores(int n) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   fail_stores_ = n;
 }
 
 std::size_t DataNode::num_blocks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return blocks_.size();
 }
 
 std::size_t DataNode::bytes_stored() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
@@ -132,7 +132,7 @@ Status Cluster::Create(const std::string& path, std::string_view data,
 
 Status Cluster::CreateImpl(const std::string& path, std::string_view data,
                            std::int64_t* failovers) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (namespace_.count(path)) return AlreadyExistsError(path);
 
   FileMeta meta;
@@ -203,7 +203,7 @@ Result<std::string> Cluster::Read(const std::string& path,
 
 Result<std::string> Cluster::ReadImpl(const std::string& path,
                                       std::int64_t* failovers) const {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = namespace_.find(path);
   if (it == namespace_.end()) return NotFoundError(path);
   // Copy the plan out so data transfer happens without the namespace lock.
@@ -213,7 +213,7 @@ Result<std::string> Cluster::ReadImpl(const std::string& path,
     plan.emplace_back(block, block_map_.at(block).replicas);
   }
   const std::size_t expect = it->second.size;
-  lock.unlock();
+  lock.Unlock();
 
   std::string out;
   out.reserve(expect);
@@ -247,7 +247,7 @@ Result<std::string> Cluster::ReadImpl(const std::string& path,
 }
 
 Status Cluster::Delete(const std::string& path) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = namespace_.find(path);
   if (it == namespace_.end()) return NotFoundError(path);
   for (const BlockId block : it->second.blocks) {
@@ -263,7 +263,7 @@ Status Cluster::Delete(const std::string& path) {
 }
 
 Result<FileInfo> Cluster::Stat(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = namespace_.find(path);
   if (it == namespace_.end()) return NotFoundError(path);
   FileInfo info;
@@ -279,7 +279,7 @@ Result<FileInfo> Cluster::Stat(const std::string& path) const {
 }
 
 std::vector<std::string> Cluster::List(const std::string& prefix) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (auto it = namespace_.lower_bound(prefix);
        it != namespace_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
@@ -290,7 +290,7 @@ std::vector<std::string> Cluster::List(const std::string& prefix) const {
 }
 
 int Cluster::RunReplicationPass() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int created = 0;
   for (auto& [block, meta] : block_map_) {
     // Live replicas are those on healthy nodes that still hold the block.
@@ -332,7 +332,7 @@ int Cluster::RunReplicationPass() {
 }
 
 Result<int> Cluster::DecommissionNode(int node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (node < 0 || std::size_t(node) >= nodes_.size()) {
     return InvalidArgumentError("bad node id");
   }
@@ -365,7 +365,7 @@ Result<int> Cluster::DecommissionNode(int node) {
 }
 
 Status Cluster::RecommissionNode(int node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (node < 0 || std::size_t(node) >= nodes_.size()) {
     return InvalidArgumentError("bad node id");
   }
@@ -374,7 +374,7 @@ Status Cluster::RecommissionNode(int node) {
 }
 
 int Cluster::BalanceCluster(double threshold) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int moves = 0;
   for (int round = 0; round < 10'000; ++round) {
     // Find the most- and least-loaded usable nodes.
@@ -422,7 +422,7 @@ int Cluster::BalanceCluster(double threshold) {
 }
 
 int Cluster::UnderReplicatedBlocks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int count = 0;
   for (const auto& [block, meta] : block_map_) {
     int live = 0;

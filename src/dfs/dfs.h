@@ -10,10 +10,10 @@
 // behind the availability claim the paper leans on ("even though some
 // machines may fail, we can still access the data").
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +24,7 @@
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::dfs {
 
@@ -53,28 +54,29 @@ class DataNode {
   explicit DataNode(int id) : id_(id) {}
 
   int id() const { return id_; }
-  bool alive() const { return alive_; }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
 
   /// Stops serving reads/writes (process crash). Stored data survives and
-  /// becomes visible again on Revive (disk intact across restart).
-  void Kill() { alive_ = false; }
-  void Revive() { alive_ = true; }
+  /// becomes visible again on Revive (disk intact across restart). Atomic so
+  /// fault injection from a test/chaos thread races cleanly with serving.
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
 
-  Status StoreBlock(BlockId block, std::string data);
-  Result<std::string> ReadBlock(BlockId block) const;
-  Status DeleteBlock(BlockId block);
-  bool HasBlock(BlockId block) const;
+  Status StoreBlock(BlockId block, std::string data) METRO_EXCLUDES(mu_);
+  Result<std::string> ReadBlock(BlockId block) const METRO_EXCLUDES(mu_);
+  Status DeleteBlock(BlockId block) METRO_EXCLUDES(mu_);
+  bool HasBlock(BlockId block) const METRO_EXCLUDES(mu_);
 
   /// Flips bits in a stored replica (fault injection for checksum tests).
-  Status CorruptBlock(BlockId block);
+  Status CorruptBlock(BlockId block) METRO_EXCLUDES(mu_);
 
   /// Fails the next `n` StoreBlock calls with kUnavailable (write-path fault
   /// injection: a full disk or a crash mid-handshake). The node stays alive
   /// for reads, so the NameNode's placement still selects it.
-  void FailNextStores(int n);
+  void FailNextStores(int n) METRO_EXCLUDES(mu_);
 
-  std::size_t num_blocks() const;
-  std::size_t bytes_stored() const;
+  std::size_t num_blocks() const METRO_EXCLUDES(mu_);
+  std::size_t bytes_stored() const METRO_EXCLUDES(mu_);
 
  private:
   struct StoredBlock {
@@ -83,11 +85,11 @@ class DataNode {
   };
 
   int id_;
-  bool alive_ = true;
-  int fail_stores_ = 0;  // guarded by mu_
-  mutable std::mutex mu_;
-  std::unordered_map<BlockId, StoredBlock> blocks_;
-  std::size_t bytes_ = 0;
+  std::atomic<bool> alive_{true};  // liveness flag flipped by fault injectors
+  mutable Mutex mu_;
+  int fail_stores_ METRO_GUARDED_BY(mu_) = 0;
+  std::unordered_map<BlockId, StoredBlock> blocks_ METRO_GUARDED_BY(mu_);
+  std::size_t bytes_ METRO_GUARDED_BY(mu_) = 0;
 };
 
 /// The whole cluster: NameNode metadata plus its DataNodes.
@@ -157,25 +159,29 @@ class Cluster {
 
   /// Picks `n` distinct healthy nodes, least-loaded first with random
   /// tie-breaking (stand-in for rack awareness).
-  std::vector<int> PlaceReplicas(int n, const std::vector<int>& exclude) const;
+  std::vector<int> PlaceReplicas(int n, const std::vector<int>& exclude) const
+      METRO_REQUIRES(mu_);
 
   Status CreateImpl(const std::string& path, std::string_view data,
-                    std::int64_t* failovers);
+                    std::int64_t* failovers) METRO_EXCLUDES(mu_);
   Result<std::string> ReadImpl(const std::string& path,
-                               std::int64_t* failovers) const;
+                               std::int64_t* failovers) const
+      METRO_EXCLUDES(mu_);
 
   /// Opens the span for a traced operation (spans_ must be non-null).
   obs::Span BeginOp(const char* name, const obs::TraceContext& parent) const;
 
   DfsConfig config_;
-  obs::SpanCollector* spans_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;  // set before concurrent use
   std::vector<std::unique_ptr<DataNode>> nodes_;
-  std::vector<char> decommissioned_;
-  mutable std::mutex mu_;  // namespace + block map
-  std::map<std::string, FileMeta> namespace_;
-  std::unordered_map<BlockId, BlockMeta> block_map_;
-  BlockId next_block_ = 1;
-  mutable Rng rng_;
+  // Lock order: mu_ before any DataNode::mu_ (CreateImpl stores blocks while
+  // holding the namespace lock); never take mu_ from inside a DataNode.
+  mutable Mutex mu_;  // namespace + block map
+  std::vector<char> decommissioned_ METRO_GUARDED_BY(mu_);
+  std::map<std::string, FileMeta> namespace_ METRO_GUARDED_BY(mu_);
+  std::unordered_map<BlockId, BlockMeta> block_map_ METRO_GUARDED_BY(mu_);
+  BlockId next_block_ METRO_GUARDED_BY(mu_) = 1;
+  mutable Rng rng_ METRO_GUARDED_BY(mu_);
   mutable MetricsRegistry metrics_;
 };
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace metro::graph {
@@ -76,7 +77,10 @@ int RunPregel(
     ThreadPool& pool, int max_supersteps = 50) {
   const std::size_t n = graph.num_vertices();
   std::vector<std::vector<Message>> inbox(n), outbox(n);
-  std::vector<std::mutex> outbox_mu(n);
+  // One stripe lock per destination vertex; sends from racing workers
+  // append under the target's lock. (A std::vector of mutexes is fine here:
+  // never resized while workers run.)
+  std::vector<Mutex> outbox_mu(n);
   std::vector<char> active(n, 1);
 
   int superstep = 0;
@@ -106,7 +110,7 @@ int RunPregel(
           ctx.messages = &inbox[v];
           ctx.graph = &graph;
           ctx.send = [&outbox, &outbox_mu](VertexId to, Message msg) {
-            std::lock_guard lock(outbox_mu[to]);
+            MutexLock lock(outbox_mu[to]);
             outbox[to].push_back(std::move(msg));
           };
           ctx.vote_to_halt = [&halted] { halted = true; };

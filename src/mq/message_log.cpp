@@ -8,7 +8,7 @@ namespace metro::mq {
 
 Status MessageLog::CreateTopic(const std::string& topic, int partitions) {
   if (partitions < 1) return InvalidArgumentError("partitions must be >= 1");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = topics_.try_emplace(topic);
   if (!inserted) return AlreadyExistsError("topic " + topic);
   it->second.partitions.resize(std::size_t(partitions));
@@ -16,12 +16,12 @@ Status MessageLog::CreateTopic(const std::string& topic, int partitions) {
 }
 
 bool MessageLog::HasTopic(const std::string& topic) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return topics_.count(topic) > 0;
 }
 
 Result<int> MessageLog::NumPartitions(const std::string& topic) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   return int(it->second.partitions.size());
@@ -31,14 +31,14 @@ Result<MessageLog::ProduceAck> MessageLog::Produce(const std::string& topic,
                                                    std::string key,
                                                    std::string value,
                                                    Headers headers) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   Topic& t = it->second;
   const std::size_t n = t.partitions.size();
   const int partition =
       key.empty() ? int(t.round_robin++ % n) : int(Fnv1a64(key) % n);
-  lock.unlock();
+  lock.Unlock();
   return ProduceTo(topic, partition, std::move(key), std::move(value),
                    std::move(headers));
 }
@@ -48,7 +48,7 @@ Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
                                                      std::string key,
                                                      std::string value,
                                                      Headers headers) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   Topic& t = it->second;
@@ -78,7 +78,7 @@ Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
                                               int partition,
                                               std::int64_t offset,
                                               std::size_t max_records) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   const Topic& t = it->second;
@@ -109,7 +109,7 @@ Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
 
 Result<PartitionInfo> MessageLog::GetPartitionInfo(const std::string& topic,
                                                    int partition) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   const Topic& t = it->second;
@@ -122,7 +122,7 @@ Result<PartitionInfo> MessageLog::GetPartitionInfo(const std::string& topic,
 }
 
 std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const TimeNs cutoff = clock_->Now() - retention;
   std::int64_t dropped = 0;
   for (auto& [name, topic] : topics_) {
@@ -142,7 +142,7 @@ std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
 
 Status MessageLog::SetPartitionUp(const std::string& topic, int partition,
                                   bool up) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   Topic& t = it->second;
@@ -155,7 +155,7 @@ Status MessageLog::SetPartitionUp(const std::string& topic, int partition,
 
 Result<bool> MessageLog::PartitionUp(const std::string& topic,
                                      int partition) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   const Topic& t = it->second;
@@ -180,7 +180,7 @@ void MessageLog::Rebalance(Group& group) {
 Result<std::vector<int>> MessageLog::JoinGroup(const std::string& group,
                                                const std::string& topic,
                                                const std::string& member) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!topics_.count(topic)) return NotFoundError("topic " + topic);
   Group& g = groups_[group];
   if (g.topic.empty()) {
@@ -198,7 +198,7 @@ Result<std::vector<int>> MessageLog::JoinGroup(const std::string& group,
 
 Status MessageLog::LeaveGroup(const std::string& group,
                               const std::string& member) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end()) return NotFoundError("group " + group);
   auto& members = it->second.members;
@@ -211,7 +211,7 @@ Status MessageLog::LeaveGroup(const std::string& group,
 
 std::vector<int> MessageLog::Assignment(const std::string& group,
                                         const std::string& member) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end()) return {};
   const auto ait = it->second.assignment.find(member);
@@ -221,7 +221,7 @@ std::vector<int> MessageLog::Assignment(const std::string& group,
 Status MessageLog::CommitOffset(const std::string& group,
                                 const std::string& topic, int partition,
                                 std::int64_t offset) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end()) return NotFoundError("group " + group);
   if (it->second.topic != topic) {
@@ -234,7 +234,7 @@ Status MessageLog::CommitOffset(const std::string& group,
 std::int64_t MessageLog::CommittedOffset(const std::string& group,
                                          const std::string& topic,
                                          int partition) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end() || it->second.topic != topic) return 0;
   const auto oit = it->second.committed.find(partition);
@@ -242,7 +242,7 @@ std::int64_t MessageLog::CommittedOffset(const std::string& group,
 }
 
 Result<std::int64_t> MessageLog::Lag(const std::string& group) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = groups_.find(group);
   if (it == groups_.end()) return NotFoundError("group " + group);
   const auto tit = topics_.find(it->second.topic);

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::mq {
 
@@ -137,12 +137,15 @@ class MessageLog {
     std::map<int, std::int64_t> committed;            // partition -> offset
   };
 
-  void Rebalance(Group& group);
+  /// Recomputes `group`'s round-robin partition assignment.
+  void Rebalance(Group& group) METRO_REQUIRES(mu_);
 
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Topic> topics_;
-  std::unordered_map<std::string, Group> groups_;
+  // Lock order: mu_ before metrics_'s internal lock (counters are bumped
+  // while the broker lock is held).
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Topic> topics_ METRO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Group> groups_ METRO_GUARDED_BY(mu_);
   MetricsRegistry metrics_;
 };
 

@@ -140,7 +140,7 @@ void SpanCollector::End(Span span) {
 
 void SpanCollector::Record(Span span) {
   if (span.end < span.start) span.end = span.start;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -161,30 +161,30 @@ void SpanCollector::Event(
 }
 
 std::size_t SpanCollector::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::int64_t SpanCollector::dropped() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void SpanCollector::Clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }
 
 std::vector<Span> SpanCollector::Snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 std::vector<StageStats> SpanCollector::StageBreakdown() const {
   std::map<std::string, std::vector<double>> by_stage;  // duration ms
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const Span& s : spans_) {
       if (s.kind != SpanKind::kStage) continue;
       by_stage[s.name].push_back(double(s.duration()) / kMillisecond);
@@ -215,7 +215,7 @@ std::vector<StageStats> SpanCollector::StageBreakdown() const {
 std::vector<TraceSummary> SpanCollector::Traces() const {
   std::unordered_map<TraceId, TraceSummary> by_trace;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const Span& s : spans_) {
       TraceSummary& t = by_trace[s.context.trace_id];
       if (t.spans == 0) {
@@ -249,7 +249,7 @@ std::vector<TraceSummary> SpanCollector::Traces() const {
 }
 
 std::string SpanCollector::ToJson() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   out.reserve(spans_.size() * 96);
   for (const Span& s : spans_) {
@@ -333,7 +333,7 @@ std::string SpanCollector::CriticalPathReport() const {
     }
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (dropped_ > 0) {
       os << "WARNING: " << dropped_
          << " spans dropped at collector capacity; stats are partial\n";

@@ -18,7 +18,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,6 +25,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace metro::obs {
 
@@ -129,43 +129,44 @@ class SpanCollector {
              SpanKind kind = SpanKind::kStage);
 
   /// Stamps `end` now and records the span.
-  void End(Span span);
+  void End(Span span) METRO_EXCLUDES(mu_);
 
   /// Records a span with explicit times (simulator-driven callers).
-  void Record(Span span);
+  void Record(Span span) METRO_EXCLUDES(mu_);
 
   /// Records a zero-duration marker span at the current time.
   void Event(std::string name, TraceContext context,
-             std::vector<std::pair<std::string, std::string>> tags = {});
+             std::vector<std::pair<std::string, std::string>> tags = {})
+      METRO_EXCLUDES(mu_);
 
-  std::size_t size() const;
-  std::int64_t dropped() const;
-  void Clear();
+  std::size_t size() const METRO_EXCLUDES(mu_);
+  std::int64_t dropped() const METRO_EXCLUDES(mu_);
+  void Clear() METRO_EXCLUDES(mu_);
 
-  std::vector<Span> Snapshot() const;
+  std::vector<Span> Snapshot() const METRO_EXCLUDES(mu_);
 
   /// Per-stage p50/p95/p99 over all kStage spans, sorted by total time
   /// (critical-path order).
-  std::vector<StageStats> StageBreakdown() const;
+  std::vector<StageStats> StageBreakdown() const METRO_EXCLUDES(mu_);
 
   /// Per-trace rollups (traces holding only events/overlays included).
-  std::vector<TraceSummary> Traces() const;
+  std::vector<TraceSummary> Traces() const METRO_EXCLUDES(mu_);
 
   /// JSON-lines export: one span object per line.
-  std::string ToJson() const;
+  std::string ToJson() const METRO_EXCLUDES(mu_);
 
   /// Human-readable report: per-stage quantile table, the slowest trace's
   /// stage breakdown, and the mean stage-sum / end-to-end reconciliation.
-  std::string CriticalPathReport() const;
+  std::string CriticalPathReport() const METRO_EXCLUDES(mu_);
 
  private:
   Clock* clock_;
   const std::size_t max_spans_;
   std::atomic<std::uint64_t> next_trace_{1};
   std::atomic<std::uint64_t> next_span_{1};
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  std::int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ METRO_GUARDED_BY(mu_);
+  std::int64_t dropped_ METRO_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII stage span: begins on construction, records on destruction.

@@ -3,19 +3,19 @@
 namespace metro::resilience {
 
 void HealthRegistry::Register(std::string component, ProbeFn probe) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   probes_[std::move(component)] = std::move(probe);
 }
 
 void HealthRegistry::Unregister(const std::string& component) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   probes_.erase(component);
 }
 
 Status HealthRegistry::Check(const std::string& component) const {
   ProbeFn probe;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = probes_.find(component);
     if (it == probes_.end()) {
       return NotFoundError("no health probe for " + component);
@@ -30,7 +30,7 @@ Status HealthRegistry::Check(const std::string& component) const {
 std::vector<ComponentHealth> HealthRegistry::CheckAll() const {
   std::vector<std::pair<std::string, ProbeFn>> probes;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     probes.assign(probes_.begin(), probes_.end());
   }
   std::vector<ComponentHealth> out;
@@ -60,7 +60,7 @@ std::string HealthRegistry::Report() const {
 }
 
 std::size_t HealthRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return probes_.size();
 }
 

@@ -10,11 +10,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::resilience {
 
@@ -32,16 +32,17 @@ struct ComponentHealth {
 class HealthRegistry {
  public:
   /// Registers (or replaces) the probe for `component`.
-  void Register(std::string component, ProbeFn probe);
+  void Register(std::string component, ProbeFn probe) METRO_EXCLUDES(mu_);
 
   /// Removes a probe; unknown components are ignored.
-  void Unregister(const std::string& component);
+  void Unregister(const std::string& component) METRO_EXCLUDES(mu_);
 
   /// Runs one component's probe; kNotFound for unregistered components.
-  Status Check(const std::string& component) const;
+  /// The probe itself runs outside the registry lock.
+  Status Check(const std::string& component) const METRO_EXCLUDES(mu_);
 
   /// Runs every probe, sorted by component name.
-  std::vector<ComponentHealth> CheckAll() const;
+  std::vector<ComponentHealth> CheckAll() const METRO_EXCLUDES(mu_);
 
   /// True when every registered probe returns Ok.
   bool AllHealthy() const;
@@ -49,11 +50,11 @@ class HealthRegistry {
   /// Multi-line "component: status" dump, sorted by name.
   std::string Report() const;
 
-  std::size_t size() const;
+  std::size_t size() const METRO_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, ProbeFn> probes_;
+  mutable Mutex mu_;
+  std::map<std::string, ProbeFn> probes_ METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro::resilience

@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <string>
 
 #include "util/clock.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::resilience {
 
@@ -128,18 +128,18 @@ class CircuitBreaker {
 
   /// Registers the transition listener, replacing any previous one. The
   /// listener must not call back into the breaker's mutating methods.
-  void SetStateListener(StateListener listener) {
-    std::lock_guard lock(mu_);
+  void SetStateListener(StateListener listener) METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     listener_ = std::move(listener);
   }
 
   /// True when a call may proceed; false is a fast rejection (circuit open).
   /// Transitions open -> half-open when the cool-down has elapsed.
-  bool Allow() {
+  bool Allow() METRO_EXCLUDES(mu_) {
     Transition transition;
     bool allowed = false;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       switch (state_) {
         case State::kClosed:
           allowed = true;
@@ -168,10 +168,10 @@ class CircuitBreaker {
     return allowed;
   }
 
-  void RecordSuccess() {
+  void RecordSuccess() METRO_EXCLUDES(mu_) {
     Transition transition;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (state_ == State::kHalfOpen) {
         if (++half_open_successes_ >= config_.half_open_probes) {
           transition = SetState(State::kClosed);
@@ -184,10 +184,10 @@ class CircuitBreaker {
     Notify(transition);
   }
 
-  void RecordFailure() {
+  void RecordFailure() METRO_EXCLUDES(mu_) {
     Transition transition;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (state_ == State::kHalfOpen) {
         transition = Trip();
       } else if (state_ == State::kClosed &&
@@ -215,12 +215,12 @@ class CircuitBreaker {
     return result;
   }
 
-  State state() const {
-    std::lock_guard lock(mu_);
+  State state() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return state_;
   }
-  std::int64_t rejected() const {
-    std::lock_guard lock(mu_);
+  std::int64_t rejected() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return rejected_;
   }
 
@@ -234,8 +234,8 @@ class CircuitBreaker {
     StateListener listener;  // copy taken under the lock
   };
 
-  // Must hold mu_. Records the change and snapshots the listener.
-  Transition SetState(State to) {
+  /// Records the change and snapshots the listener.
+  Transition SetState(State to) METRO_REQUIRES(mu_) {
     Transition t{true, state_, to, listener_};
     state_ = to;
     return t;
@@ -246,8 +246,7 @@ class CircuitBreaker {
     if (t.fired && t.listener) t.listener(t.from, t.to);
   }
 
-  // Must hold mu_.
-  Transition Trip() {
+  Transition Trip() METRO_REQUIRES(mu_) {
     Transition t = SetState(State::kOpen);
     opened_at_ = clock_->Now();
     consecutive_failures_ = 0;
@@ -260,14 +259,14 @@ class CircuitBreaker {
 
   BreakerConfig config_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  int half_open_inflight_ = 0;
-  int half_open_successes_ = 0;
-  TimeNs opened_at_ = 0;
-  std::int64_t rejected_ = 0;
-  StateListener listener_;
+  mutable Mutex mu_;
+  State state_ METRO_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ METRO_GUARDED_BY(mu_) = 0;
+  int half_open_inflight_ METRO_GUARDED_BY(mu_) = 0;
+  int half_open_successes_ METRO_GUARDED_BY(mu_) = 0;
+  TimeNs opened_at_ METRO_GUARDED_BY(mu_) = 0;
+  std::int64_t rejected_ METRO_GUARDED_BY(mu_) = 0;
+  StateListener listener_ METRO_GUARDED_BY(mu_);
 };
 
 /// Human-readable breaker state ("closed", "open", "half-open").

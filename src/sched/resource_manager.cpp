@@ -6,18 +6,18 @@
 namespace metro::sched {
 
 int ResourceManager::AddNode(Resource capacity) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   nodes_.push_back(Node{capacity, {0, 0}});
   return int(nodes_.size()) - 1;
 }
 
 void ResourceManager::SetQueueShare(const std::string& queue, double share) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   queue_share_[queue] = share;
 }
 
 std::uint64_t ResourceManager::SubmitApp(AppSpec spec) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_app_++;
   apps_.emplace(id, App{std::move(spec), 0, false});
   return id;
@@ -25,7 +25,7 @@ std::uint64_t ResourceManager::SubmitApp(AppSpec spec) {
 
 Status ResourceManager::RequestContainers(std::uint64_t app_id,
                                           Resource resource, int count) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = apps_.find(app_id);
   if (it == apps_.end()) return NotFoundError("unknown app");
   if (it->second.finished) return FailedPreconditionError("app finished");
@@ -110,7 +110,7 @@ std::optional<std::size_t> ResourceManager::PickRequest() const {
 }
 
 std::vector<Container> ResourceManager::Schedule() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Container> granted;
   while (true) {
     const auto pick = PickRequest();
@@ -142,7 +142,7 @@ std::vector<Container> ResourceManager::Schedule() {
 }
 
 Status ResourceManager::ReleaseContainer(std::uint64_t container_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = live_.find(container_id);
   if (it == live_.end()) return NotFoundError("unknown container");
   const Container& c = it->second;
@@ -162,7 +162,7 @@ Status ResourceManager::ReleaseContainer(std::uint64_t container_id) {
 Status ResourceManager::FinishApp(std::uint64_t app_id) {
   std::vector<std::uint64_t> to_release;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = apps_.find(app_id);
     if (it == apps_.end()) return NotFoundError("unknown app");
     it->second.finished = true;
@@ -182,14 +182,14 @@ Status ResourceManager::FinishApp(std::uint64_t app_id) {
 }
 
 SchedulerStats ResourceManager::Stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   SchedulerStats s = stats_;
   s.pending_requests = std::int64_t(pending_.size());
   return s;
 }
 
 Result<Resource> ResourceManager::NodeAvailable(int node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (node < 0 || std::size_t(node) >= nodes_.size()) {
     return InvalidArgumentError("bad node id");
   }
@@ -200,7 +200,7 @@ Result<Resource> ResourceManager::NodeAvailable(int node) const {
 
 std::vector<Container> ResourceManager::AppContainers(
     std::uint64_t app_id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Container> out;
   for (const auto& [id, c] : live_) {
     if (c.app_id == app_id) out.push_back(c);

@@ -11,13 +11,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::sched {
 
@@ -56,35 +56,38 @@ class ResourceManager {
   explicit ResourceManager(Policy policy) : policy_(policy) {}
 
   /// Registers a NodeManager with the given capacity; returns its node id.
-  int AddNode(Resource capacity);
+  int AddNode(Resource capacity) METRO_EXCLUDES(mu_);
 
   /// Sets a queue's guaranteed capacity share (kCapacity policy). Shares are
   /// weights, normalized across queues.
-  void SetQueueShare(const std::string& queue, double share);
+  void SetQueueShare(const std::string& queue, double share)
+      METRO_EXCLUDES(mu_);
 
   /// Submits an application; returns its id.
-  std::uint64_t SubmitApp(AppSpec spec);
+  std::uint64_t SubmitApp(AppSpec spec) METRO_EXCLUDES(mu_);
 
   /// Queues a container request for the app.
-  Status RequestContainers(std::uint64_t app_id, Resource resource, int count);
+  Status RequestContainers(std::uint64_t app_id, Resource resource, int count)
+      METRO_EXCLUDES(mu_);
 
   /// Runs one scheduling pass, granting as many queued requests as capacity
   /// and policy allow; returns the granted containers.
-  std::vector<Container> Schedule();
+  std::vector<Container> Schedule() METRO_EXCLUDES(mu_);
 
   /// Returns a container's resources to its node.
-  Status ReleaseContainer(std::uint64_t container_id);
+  Status ReleaseContainer(std::uint64_t container_id) METRO_EXCLUDES(mu_);
 
   /// Releases all containers of an app and drops its pending requests.
-  Status FinishApp(std::uint64_t app_id);
+  Status FinishApp(std::uint64_t app_id) METRO_EXCLUDES(mu_);
 
-  SchedulerStats Stats() const;
+  SchedulerStats Stats() const METRO_EXCLUDES(mu_);
 
   /// Free resources on a node.
-  Result<Resource> NodeAvailable(int node) const;
+  Result<Resource> NodeAvailable(int node) const METRO_EXCLUDES(mu_);
 
   /// Containers currently allocated to the app.
-  std::vector<Container> AppContainers(std::uint64_t app_id) const;
+  std::vector<Container> AppContainers(std::uint64_t app_id) const
+      METRO_EXCLUDES(mu_);
 
  private:
   struct Node {
@@ -106,21 +109,22 @@ class ResourceManager {
            n.capacity.memory_mb - n.used.memory_mb >= r.memory_mb;
   }
   /// Least-loaded node that fits, or nullopt.
-  std::optional<int> PickNode(const Resource& r) const;
+  std::optional<int> PickNode(const Resource& r) const METRO_REQUIRES(mu_);
   /// Picks the next request index per policy, or nullopt when none can run.
-  std::optional<std::size_t> PickRequest() const;
+  std::optional<std::size_t> PickRequest() const METRO_REQUIRES(mu_);
 
   Policy policy_;
-  mutable std::mutex mu_;
-  std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, App> apps_;
-  std::deque<Request> pending_;
-  std::unordered_map<std::uint64_t, Container> live_;
-  std::map<std::string, double> queue_share_;
-  std::map<std::string, std::int64_t> queue_used_vcores_;
-  std::uint64_t next_app_ = 1;
-  std::uint64_t next_container_ = 1;
-  SchedulerStats stats_;
+  mutable Mutex mu_;
+  std::vector<Node> nodes_ METRO_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, App> apps_ METRO_GUARDED_BY(mu_);
+  std::deque<Request> pending_ METRO_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Container> live_ METRO_GUARDED_BY(mu_);
+  std::map<std::string, double> queue_share_ METRO_GUARDED_BY(mu_);
+  std::map<std::string, std::int64_t> queue_used_vcores_
+      METRO_GUARDED_BY(mu_);
+  std::uint64_t next_app_ METRO_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_container_ METRO_GUARDED_BY(mu_) = 1;
+  SchedulerStats stats_ METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro::sched

@@ -65,7 +65,7 @@ std::string Collection::IndexKey(const Value& v) {
 }
 
 std::size_t Collection::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return docs_.size();
 }
 
@@ -107,7 +107,7 @@ void Collection::UnindexDoc(DocId id, const Document& doc) {
 }
 
 DocId Collection::Insert(Document doc) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const DocId id = next_id_++;
   IndexDoc(id, doc);
   docs_.emplace(id, std::move(doc));
@@ -115,14 +115,14 @@ DocId Collection::Insert(Document doc) {
 }
 
 Result<Document> Collection::FindById(DocId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
   return it->second;
 }
 
 Status Collection::Update(DocId id, Document doc) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
   UnindexDoc(id, it->second);
@@ -132,7 +132,7 @@ Status Collection::Update(DocId id, Document doc) {
 }
 
 Status Collection::Remove(DocId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = docs_.find(id);
   if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
   UnindexDoc(id, it->second);
@@ -141,7 +141,7 @@ Status Collection::Remove(DocId id) {
 }
 
 Status Collection::CreateIndex(const std::string& field) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& posting = indexes_[field];
   posting.clear();
   for (const auto& [id, doc] : docs_) {
@@ -153,7 +153,7 @@ Status Collection::CreateIndex(const std::string& field) {
 
 Status Collection::CreateGeoIndex(const std::string& lat_field,
                                   const std::string& lon_field) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   geo_index_.emplace(GeoIndexSpec{lat_field, lon_field, geo::GridIndex()});
   for (const auto& [id, doc] : docs_) {
     const auto lat = doc.find(lat_field);
@@ -198,7 +198,7 @@ bool Collection::Matches(const Document& doc, const Query& query) const {
 }
 
 std::vector<DocId> Collection::Find(const Query& query) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Pick the cheapest candidate source: an equality index, the geo index,
   // else a full scan. Remaining conditions filter the candidates.
   std::vector<DocId> candidates;
@@ -237,7 +237,7 @@ std::vector<DocId> Collection::Find(const Query& query) const {
 std::vector<Document> Collection::FindDocs(const Query& query) const {
   std::vector<Document> out;
   for (const DocId id : Find(query)) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = docs_.find(id);
     if (it != docs_.end()) out.push_back(it->second);
   }

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 
 #include "geo/geo.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::store {
 
@@ -59,52 +59,53 @@ class Collection {
   explicit Collection(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
-  std::size_t size() const;
+  std::size_t size() const METRO_EXCLUDES(mu_);
 
   /// Inserts and returns the new document's id.
-  DocId Insert(Document doc);
+  DocId Insert(Document doc) METRO_EXCLUDES(mu_);
 
-  Result<Document> FindById(DocId id) const;
+  Result<Document> FindById(DocId id) const METRO_EXCLUDES(mu_);
 
   /// Replaces the document (indexes update automatically).
-  Status Update(DocId id, Document doc);
+  Status Update(DocId id, Document doc) METRO_EXCLUDES(mu_);
 
-  Status Remove(DocId id);
+  Status Remove(DocId id) METRO_EXCLUDES(mu_);
 
   /// Builds (or rebuilds) a hash index on `field` for kEquals conditions.
-  Status CreateIndex(const std::string& field);
+  Status CreateIndex(const std::string& field) METRO_EXCLUDES(mu_);
 
   /// Builds a geo index over `lat_field`/`lon_field` (documents lacking the
   /// fields are simply not indexed).
   Status CreateGeoIndex(const std::string& lat_field,
-                        const std::string& lon_field);
+                        const std::string& lon_field) METRO_EXCLUDES(mu_);
 
   /// Ids matching all conditions (uses indexes when available, otherwise
   /// scans), ascending.
-  std::vector<DocId> Find(const Query& query) const;
+  std::vector<DocId> Find(const Query& query) const METRO_EXCLUDES(mu_);
 
   /// Convenience: the matching documents themselves.
-  std::vector<Document> FindDocs(const Query& query) const;
+  std::vector<Document> FindDocs(const Query& query) const METRO_EXCLUDES(mu_);
 
  private:
   static std::string IndexKey(const Value& v);
-  bool Matches(const Document& doc, const Query& query) const;
-  void IndexDoc(DocId id, const Document& doc);
-  void UnindexDoc(DocId id, const Document& doc);
+  bool Matches(const Document& doc, const Query& query) const
+      METRO_REQUIRES(mu_);
+  void IndexDoc(DocId id, const Document& doc) METRO_REQUIRES(mu_);
+  void UnindexDoc(DocId id, const Document& doc) METRO_REQUIRES(mu_);
 
   std::string name_;
-  mutable std::mutex mu_;
-  std::map<DocId, Document> docs_;
-  DocId next_id_ = 1;
+  mutable Mutex mu_;
+  std::map<DocId, Document> docs_ METRO_GUARDED_BY(mu_);
+  DocId next_id_ METRO_GUARDED_BY(mu_) = 1;
   // field -> (value key -> ids)
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<DocId>>>
-      indexes_;
+      indexes_ METRO_GUARDED_BY(mu_);
   struct GeoIndexSpec {
     std::string lat_field, lon_field;
     geo::GridIndex index;
   };
-  std::optional<GeoIndexSpec> geo_index_;
+  std::optional<GeoIndexSpec> geo_index_ METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro::store

@@ -30,7 +30,7 @@ void LsmEngine::AppendWal(std::string_view key,
 Status LsmEngine::Write(std::string_view key,
                         std::optional<std::string_view> value) {
   if (key.empty()) return InvalidArgumentError("empty key");
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   AppendWal(key, value);
   auto it = memtable_.find(key);
   const std::size_t add =
@@ -58,7 +58,7 @@ Status LsmEngine::Delete(std::string_view key) {
 }
 
 Result<std::string> LsmEngine::Get(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto mit = memtable_.find(key);
   if (mit != memtable_.end()) {
     if (!mit->second) return NotFoundError(std::string(key));
@@ -80,7 +80,7 @@ Result<std::string> LsmEngine::Get(std::string_view key) const {
 
 std::vector<std::pair<std::string, std::string>> LsmEngine::Scan(
     std::string_view begin, std::string_view end, std::size_t limit) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Merge view: memtable shadows all SSTables; newer SSTables shadow older.
   std::map<std::string, std::optional<std::string>, std::less<>> merged;
   auto in_range = [&](std::string_view k) {
@@ -116,7 +116,7 @@ void LsmEngine::MaybeFlushLocked() {
 }
 
 Status LsmEngine::Flush() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (memtable_.empty()) return Status::Ok();
   SsTable sst;
   sst.entries.reserve(memtable_.size());
@@ -146,13 +146,13 @@ void LsmEngine::CompactLocked() {
 }
 
 Status LsmEngine::CompactAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   CompactLocked();
   return Status::Ok();
 }
 
 LsmStats LsmEngine::Stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   LsmStats s = stats_;
   s.memtable_entries = memtable_.size();
   s.memtable_bytes = memtable_bytes_;

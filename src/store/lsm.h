@@ -12,13 +12,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro::store {
 
@@ -44,42 +44,49 @@ class LsmEngine {
   explicit LsmEngine(LsmConfig config = {});
 
   /// Writes (WAL append, memtable insert; may trigger flush/compaction).
-  Status Put(std::string_view key, std::string_view value);
+  Status Put(std::string_view key, std::string_view value) METRO_EXCLUDES(mu_);
 
   /// Writes a tombstone.
-  Status Delete(std::string_view key);
+  Status Delete(std::string_view key) METRO_EXCLUDES(mu_);
 
   /// Newest visible value; kNotFound for missing or deleted keys.
-  Result<std::string> Get(std::string_view key) const;
+  Result<std::string> Get(std::string_view key) const METRO_EXCLUDES(mu_);
 
   /// Key/value pairs with begin <= key < end (end empty = unbounded),
   /// in key order, tombstones resolved.
   std::vector<std::pair<std::string, std::string>> Scan(
       std::string_view begin, std::string_view end,
-      std::size_t limit = SIZE_MAX) const;
+      std::size_t limit = SIZE_MAX) const METRO_EXCLUDES(mu_);
 
   /// Forces the memtable to an SSTable regardless of size.
-  Status Flush();
+  Status Flush() METRO_EXCLUDES(mu_);
 
   /// Merges all SSTables into one, dropping shadowed entries and tombstones.
-  Status CompactAll();
+  Status CompactAll() METRO_EXCLUDES(mu_);
 
-  LsmStats Stats() const;
+  LsmStats Stats() const METRO_EXCLUDES(mu_);
 
   /// Smallest and largest live keys (empty strings when the engine is empty)
   /// — used by the region-split logic upstream.
-  std::pair<std::string, std::string> KeyRange() const;
+  std::pair<std::string, std::string> KeyRange() const METRO_EXCLUDES(mu_);
 
   /// Live entry count (post-merge view).
-  std::size_t ApproxEntries() const;
+  std::size_t ApproxEntries() const METRO_EXCLUDES(mu_);
 
-  /// The full write-ahead log since construction (recovery input).
-  const std::string& Wal() const { return wal_; }
+  /// Snapshot of the write-ahead log since construction (recovery input).
+  /// Returned by value: handing out a reference to the live buffer would let
+  /// callers read it while a concurrent Put appends (a race the thread-safety
+  /// analysis rejects).
+  std::string Wal() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return wal_;
+  }
 
   /// Rebuilds an engine's state by replaying a WAL byte stream. Truncated or
   /// corrupt tails are tolerated: replay stops at the first bad record and
   /// reports how many records were applied.
-  Result<std::int64_t> RecoverFromWal(std::string_view wal);
+  Result<std::int64_t> RecoverFromWal(std::string_view wal)
+      METRO_EXCLUDES(mu_);
 
  private:
   struct SsTable {
@@ -87,18 +94,21 @@ class LsmEngine {
     std::vector<std::pair<std::string, std::optional<std::string>>> entries;
   };
 
-  Status Write(std::string_view key, std::optional<std::string_view> value);
-  void AppendWal(std::string_view key, std::optional<std::string_view> value);
-  void MaybeFlushLocked();
-  void CompactLocked();
+  Status Write(std::string_view key, std::optional<std::string_view> value)
+      METRO_EXCLUDES(mu_);
+  void AppendWal(std::string_view key, std::optional<std::string_view> value)
+      METRO_REQUIRES(mu_);
+  void MaybeFlushLocked() METRO_REQUIRES(mu_);
+  void CompactLocked() METRO_REQUIRES(mu_);
 
   LsmConfig config_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
-  std::size_t memtable_bytes_ = 0;
-  std::vector<SsTable> sstables_;  // oldest first
-  std::string wal_;
-  LsmStats stats_;
+  mutable Mutex mu_;
+  std::map<std::string, std::optional<std::string>, std::less<>> memtable_
+      METRO_GUARDED_BY(mu_);
+  std::size_t memtable_bytes_ METRO_GUARDED_BY(mu_) = 0;
+  std::vector<SsTable> sstables_ METRO_GUARDED_BY(mu_);  // oldest first
+  std::string wal_ METRO_GUARDED_BY(mu_);
+  LsmStats stats_ METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro::store

@@ -51,19 +51,19 @@ Status WideColumnTable::Put(std::string_view row, std::string_view column,
   if (row.find(kSep) != std::string_view::npos) {
     return InvalidArgumentError("row key contains reserved byte 0x01");
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return regions_[RegionFor(row)].engine->Put(EncodeKey(row, column), value);
 }
 
 Result<std::string> WideColumnTable::Get(std::string_view row,
                                          std::string_view column) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return regions_[RegionFor(row)].engine->Get(EncodeKey(row, column));
 }
 
 std::map<std::string, std::string> WideColumnTable::GetRow(
     std::string_view row) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::string> out;
   std::string begin = EncodeKey(row, "");
   std::string end = std::string(row);
@@ -77,12 +77,12 @@ std::map<std::string, std::string> WideColumnTable::GetRow(
 
 Status WideColumnTable::DeleteCell(std::string_view row,
                                    std::string_view column) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return regions_[RegionFor(row)].engine->Delete(EncodeKey(row, column));
 }
 
 std::size_t WideColumnTable::DeleteRow(std::string_view row) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   LsmEngine& engine = *regions_[RegionFor(row)].engine;
   std::string begin = EncodeKey(row, "");
   std::string end = std::string(row);
@@ -95,7 +95,7 @@ std::size_t WideColumnTable::DeleteRow(std::string_view row) {
 std::vector<Cell> WideColumnTable::Scan(std::string_view begin_row,
                                         std::string_view end_row,
                                         std::size_t limit) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Cell> out;
   const std::string begin_key =
       begin_row.empty() ? std::string() : EncodeKey(begin_row, "");
@@ -113,7 +113,7 @@ std::vector<Cell> WideColumnTable::Scan(std::string_view begin_row,
 }
 
 int WideColumnTable::MaybeSplitRegions() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int splits = 0;
   for (std::size_t i = 0; i < regions_.size(); ++i) {
     const auto rows = regions_[i].engine->Scan("", "");
@@ -140,12 +140,12 @@ int WideColumnTable::MaybeSplitRegions() {
 }
 
 int WideColumnTable::num_regions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return int(regions_.size());
 }
 
 std::size_t WideColumnTable::ApproxCells() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t total = 0;
   for (const Region& region : regions_) total += region.engine->ApproxEntries();
   return total;

@@ -10,11 +10,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "store/lsm.h"
+#include "util/sync.h"
 
 namespace metro::store {
 
@@ -39,31 +39,35 @@ class WideColumnTable {
   const std::string& name() const { return name_; }
 
   Status Put(std::string_view row, std::string_view column,
-             std::string_view value);
+             std::string_view value) METRO_EXCLUDES(mu_);
 
-  Result<std::string> Get(std::string_view row, std::string_view column) const;
+  Result<std::string> Get(std::string_view row, std::string_view column) const
+      METRO_EXCLUDES(mu_);
 
   /// All columns of a row (empty map when the row has no cells).
-  std::map<std::string, std::string> GetRow(std::string_view row) const;
+  std::map<std::string, std::string> GetRow(std::string_view row) const
+      METRO_EXCLUDES(mu_);
 
-  Status DeleteCell(std::string_view row, std::string_view column);
+  Status DeleteCell(std::string_view row, std::string_view column)
+      METRO_EXCLUDES(mu_);
 
   /// Deletes every cell of the row; returns the number removed.
-  std::size_t DeleteRow(std::string_view row);
+  std::size_t DeleteRow(std::string_view row) METRO_EXCLUDES(mu_);
 
   /// Cells with begin_row <= row < end_row (end empty = unbounded), ordered
   /// by (row, column).
   std::vector<Cell> Scan(std::string_view begin_row, std::string_view end_row,
-                         std::size_t limit = SIZE_MAX) const;
+                         std::size_t limit = SIZE_MAX) const
+      METRO_EXCLUDES(mu_);
 
   /// Checks split thresholds and splits oversized regions; returns the number
   /// of splits performed (normally driven after bulk loads).
-  int MaybeSplitRegions();
+  int MaybeSplitRegions() METRO_EXCLUDES(mu_);
 
-  int num_regions() const;
+  int num_regions() const METRO_EXCLUDES(mu_);
 
   /// Sum of live cells across regions.
-  std::size_t ApproxCells() const;
+  std::size_t ApproxCells() const METRO_EXCLUDES(mu_);
 
  private:
   struct Region {
@@ -75,12 +79,13 @@ class WideColumnTable {
   static std::pair<std::string, std::string> DecodeKey(std::string_view key);
 
   /// Region index owning `row` (regions_ is sorted by start_row).
-  std::size_t RegionFor(std::string_view row) const;
+  std::size_t RegionFor(std::string_view row) const METRO_REQUIRES(mu_);
 
   std::string name_;
   WideColumnConfig config_;
-  mutable std::mutex mu_;
-  std::vector<Region> regions_;
+  // Lock order: mu_ before any region engine's LsmEngine::mu_.
+  mutable Mutex mu_;
+  std::vector<Region> regions_ METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro::store

@@ -9,7 +9,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 namespace metro {
 

@@ -1,7 +1,8 @@
 #include "util/logging.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace metro {
 namespace {
@@ -19,8 +20,8 @@ std::string_view LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& OutputMutex() {
-  static std::mutex m;
+Mutex& OutputMutex() {
+  static Mutex m;  // serializes whole lines onto stderr
   return m;
 }
 
@@ -47,7 +48,7 @@ LogLine::~LogLine() {
   if (!enabled_) return;
   stream_ << '\n';
   const std::string s = stream_.str();
-  std::lock_guard lock(OutputMutex());
+  MutexLock lock(OutputMutex());
   std::fwrite(s.data(), 1, s.size(), stderr);
 }
 

@@ -25,7 +25,7 @@ std::int64_t BucketHigh(int index) {
 
 void Histogram::Record(std::int64_t value) {
   if (value < 0) value = 0;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const int idx = std::min(BucketIndex(value), kNumBuckets - 1);
   ++buckets_[idx];
   if (count_ == 0) {
@@ -39,32 +39,32 @@ void Histogram::Record(std::int64_t value) {
 }
 
 std::int64_t Histogram::count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 std::int64_t Histogram::sum() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : double(sum_) / double(count_);
 }
 
 std::int64_t Histogram::min() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 std::int64_t Histogram::max() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 std::int64_t Histogram::Quantile(double q) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // The extremes are tracked exactly; never answer them from bucket bounds
@@ -92,28 +92,28 @@ std::int64_t Histogram::Quantile(double q) const {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::string MetricsRegistry::Report() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     os << name << " = " << c->value() << '\n';
@@ -130,7 +130,7 @@ std::string MetricsRegistry::Report() const {
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

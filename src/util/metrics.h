@@ -9,9 +9,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace metro {
 
@@ -30,22 +31,22 @@ class Counter {
 /// Last-write-wins instantaneous value.
 class Gauge {
  public:
-  void Set(double v) {
-    std::lock_guard lock(mu_);
+  void Set(double v) METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     value_ = v;
   }
-  void Add(double delta) {
-    std::lock_guard lock(mu_);
+  void Add(double delta) METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     value_ += delta;
   }
-  double value() const {
-    std::lock_guard lock(mu_);
+  double value() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return value_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0;
+  mutable Mutex mu_;
+  double value_ METRO_GUARDED_BY(mu_) = 0;
 };
 
 /// Log-bucketed histogram for latency/size distributions.
@@ -57,29 +58,29 @@ class Histogram {
   static constexpr int kNumBuckets = 63;
 
   /// Records a sample (values < 0 are clamped to 0).
-  void Record(std::int64_t value);
+  void Record(std::int64_t value) METRO_EXCLUDES(mu_);
 
-  std::int64_t count() const;
-  std::int64_t sum() const;
-  double mean() const;
-  std::int64_t min() const;
-  std::int64_t max() const;
+  std::int64_t count() const METRO_EXCLUDES(mu_);
+  std::int64_t sum() const METRO_EXCLUDES(mu_);
+  double mean() const METRO_EXCLUDES(mu_);
+  std::int64_t min() const METRO_EXCLUDES(mu_);
+  std::int64_t max() const METRO_EXCLUDES(mu_);
 
   /// Approximate quantile via linear interpolation within the bucket.
   /// q in [0, 1]; returns 0 for an empty histogram.
-  std::int64_t Quantile(double q) const;
+  std::int64_t Quantile(double q) const METRO_EXCLUDES(mu_);
 
   std::int64_t p50() const { return Quantile(0.50); }
   std::int64_t p95() const { return Quantile(0.95); }
   std::int64_t p99() const { return Quantile(0.99); }
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t buckets_[kNumBuckets] = {};
-  std::int64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
+  mutable Mutex mu_;
+  std::int64_t buckets_[kNumBuckets] METRO_GUARDED_BY(mu_) = {};
+  std::int64_t count_ METRO_GUARDED_BY(mu_) = 0;
+  std::int64_t sum_ METRO_GUARDED_BY(mu_) = 0;
+  std::int64_t min_ METRO_GUARDED_BY(mu_) = 0;
+  std::int64_t max_ METRO_GUARDED_BY(mu_) = 0;
 };
 
 /// Named collection of metrics shared across a subsystem.
@@ -88,22 +89,26 @@ class Histogram {
 /// registry's lifetime.
 class MetricsRegistry {
  public:
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) METRO_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) METRO_EXCLUDES(mu_);
+  Histogram& GetHistogram(const std::string& name) METRO_EXCLUDES(mu_);
 
   /// Multi-line human-readable dump, sorted by name.
-  std::string Report() const;
+  std::string Report() const METRO_EXCLUDES(mu_);
 
   /// Resets by dropping all metrics (references become stale; use only
   /// between bench iterations that re-acquire their metrics).
-  void Clear();
+  void Clear() METRO_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Lock order: mu_ before any contained metric's internal lock (Report()
+  // reads Gauge/Histogram values while holding mu_).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      METRO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ METRO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      METRO_GUARDED_BY(mu_);
 };
 
 }  // namespace metro

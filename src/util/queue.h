@@ -6,12 +6,11 @@
 // ingest, message-queue, and fog subsystems. Close() drains gracefully:
 // producers fail fast, consumers keep receiving until empty.
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace metro {
 
@@ -35,72 +34,72 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until space is available; fails with kAborted once closed.
-  Status Push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+  Status Push(T item) METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
     if (closed_) return AbortedError("queue closed");
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return Status::Ok();
   }
 
   /// Non-blocking push; kResourceExhausted when full, kAborted when closed.
-  Status TryPush(T item) {
+  Status TryPush(T item) METRO_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return AbortedError("queue closed");
       if (items_.size() >= capacity_) return ResourceExhaustedError("queue full");
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return Status::Ok();
   }
 
   /// Blocks until an item is available; nullopt once closed *and* drained.
-  std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop. Unlike a bare optional, the result distinguishes
   /// "momentarily empty" (`kEmpty`) from "closed and drained" (`kClosed`),
   /// so a poller on a dead queue terminates instead of spinning forever.
-  TryPopResult TryPop(T& out) {
-    std::unique_lock lock(mu_);
+  TryPopResult TryPop(T& out) METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (items_.empty()) {
       return closed_ ? TryPopResult::kClosed : TryPopResult::kEmpty;
     }
     out = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return TryPopResult::kItem;
   }
 
   /// Rejects future pushes and wakes all waiters; pops drain what remains.
-  void Close() {
+  void Close() METRO_EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const METRO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -108,11 +107,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ METRO_GUARDED_BY(mu_);
+  bool closed_ METRO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace metro

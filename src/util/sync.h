@@ -1,0 +1,150 @@
+#pragma once
+
+// Annotated synchronization primitives: Clang thread-safety analysis for the
+// whole pipeline.
+//
+// Every mutex-holding module in the tree uses `Mutex` / `MutexLock` /
+// `CondVar` instead of the raw std:: types, annotates each guarded field
+// with `METRO_GUARDED_BY(mu_)`, and each must-hold-the-lock helper with
+// `METRO_REQUIRES(mu_)`. Under Clang with `-DMETRO_THREAD_SAFETY=ON`
+// (`-Werror=thread-safety`) the compiler then *proves* the locking
+// discipline: a field read outside its mutex, a helper called without its
+// lock, or a double acquire is a build error, not a latent race for TSan to
+// maybe catch at runtime. On compilers without the attributes (GCC) every
+// macro expands to nothing and the wrappers are zero-cost shims over the
+// std:: primitives, so the annotated tree builds everywhere.
+//
+// The vocabulary mirrors Clang's attribute set (and Abseil's macro layer):
+//
+//   METRO_GUARDED_BY(mu)     field may only be touched while `mu` is held
+//   METRO_PT_GUARDED_BY(mu)  pointee guarded (the pointer itself is free)
+//   METRO_REQUIRES(mu)       caller must already hold `mu`
+//   METRO_ACQUIRE(mu)        function acquires `mu` and returns holding it
+//   METRO_RELEASE(mu)        function releases `mu`
+//   METRO_TRY_ACQUIRE(b, mu) acquires `mu` iff the return value equals `b`
+//   METRO_EXCLUDES(mu)       caller must NOT hold `mu` (deadlock guard)
+//   METRO_ASSERT_HELD(mu)    runtime claim that `mu` is held (trust point)
+//   METRO_ACQUIRED_BEFORE/AFTER(mu)  lock-ordering declaration
+//
+// See DESIGN.md "Concurrency invariants & static analysis" for the
+// per-module lock hierarchy and scripts/check_static.sh for the gate that
+// runs the analysis together with clang-tidy and the sanitizer matrix.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define METRO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef METRO_THREAD_ANNOTATION
+#define METRO_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define METRO_CAPABILITY(x) METRO_THREAD_ANNOTATION(capability(x))
+#define METRO_SCOPED_CAPABILITY METRO_THREAD_ANNOTATION(scoped_lockable)
+#define METRO_GUARDED_BY(x) METRO_THREAD_ANNOTATION(guarded_by(x))
+#define METRO_PT_GUARDED_BY(x) METRO_THREAD_ANNOTATION(pt_guarded_by(x))
+#define METRO_ACQUIRED_BEFORE(...) \
+  METRO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define METRO_ACQUIRED_AFTER(...) \
+  METRO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define METRO_REQUIRES(...) \
+  METRO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define METRO_ACQUIRE(...) \
+  METRO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define METRO_RELEASE(...) \
+  METRO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define METRO_TRY_ACQUIRE(...) \
+  METRO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define METRO_EXCLUDES(...) METRO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define METRO_ASSERT_HELD(...) \
+  METRO_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define METRO_RETURN_CAPABILITY(x) METRO_THREAD_ANNOTATION(lock_returned(x))
+#define METRO_NO_THREAD_SAFETY_ANALYSIS \
+  METRO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace metro {
+
+/// Annotated exclusive mutex. A zero-cost wrapper over std::mutex that
+/// carries the `capability` attribute so `METRO_GUARDED_BY(mu_)` fields and
+/// `METRO_REQUIRES(mu_)` helpers are checkable at compile time.
+///
+/// Also satisfies BasicLockable (lowercase lock/unlock) so `CondVar` can
+/// suspend on it directly.
+class METRO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() METRO_ACQUIRE() { mu_.lock(); }
+  void Unlock() METRO_RELEASE() { mu_.unlock(); }
+  bool TryLock() METRO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spelling (for std::condition_variable_any and generic
+  // code); same semantics, same annotations.
+  void lock() METRO_ACQUIRE() { mu_.lock(); }
+  void unlock() METRO_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over an annotated `Mutex` (the std::lock_guard/unique_lock
+/// replacement). Supports releasing early (`Unlock`) and re-acquiring
+/// (`Lock`) for unlock-before-notify and compute-outside-the-lock patterns;
+/// the destructor releases only if still held.
+class METRO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) METRO_ACQUIRE(mu) : mu_(&mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() METRO_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope exit (e.g. to notify a CondVar unlocked).
+  void Unlock() METRO_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  /// Re-acquires after an early Unlock.
+  void Lock() METRO_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+/// Condition variable bound to an annotated `Mutex`.
+///
+/// `Wait` declares `METRO_REQUIRES(mu)`: the analysis checks that callers
+/// hold the mutex across the wait (it is released and re-acquired inside,
+/// invisible to the caller — exactly the capability contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and suspends; re-acquires before returning.
+  /// Callers loop on their predicate as with any condition variable.
+  void Wait(Mutex& mu) METRO_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace metro

@@ -1,0 +1,207 @@
+// Concurrency stress tests for the annotated locking layer (util/sync.h).
+//
+// These tests exist to be run under sanitizers: scripts/check_static.sh
+// builds them with TSan/ASan/UBSan (ctest label "static") and hammers the
+// shared primitives from many threads so a regression in the locking
+// discipline shows up as a sanitizer report, not a flake. They also serve as
+// regression tests for the races the thread-safety annotation rollout
+// surfaced: DataNode's liveness flag and LsmEngine's WAL accessor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "obs/trace.h"
+#include "store/lsm.h"
+#include "util/clock.h"
+#include "util/queue.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace metro {
+namespace {
+
+TEST(StaticStressTest, BoundedQueueManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+
+  BoundedQueue<int> queue(64);
+  std::atomic<std::int64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+
+  std::vector<std::jthread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        consumed_sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  // Join producers (the last kProducers threads), then close.
+  for (int p = 0; p < kProducers; ++p) {
+    threads[std::size_t(kConsumers + p)].join();
+  }
+  queue.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[std::size_t(c)].join();
+
+  const std::int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(StaticStressTest, BoundedQueueCloseRacesWithTraffic) {
+  BoundedQueue<int> queue(8);
+  std::atomic<int> popped{0};
+  std::vector<std::jthread> threads;
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      int item = 0;
+      while (true) {
+        const TryPopResult r = queue.TryPop(item);
+        if (r == TryPopResult::kClosed) return;
+        if (r == TryPopResult::kItem) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&queue] {
+      for (int i = 0; i < 500; ++i) {
+        if (!queue.TryPush(i).ok() && queue.closed()) return;
+      }
+    });
+  }
+  // Close in the middle of the traffic; pollers must terminate, not spin.
+  queue.Close();
+  threads.clear();  // joins
+  SUCCEED() << "popped " << popped.load() << " items across the close";
+}
+
+TEST(StaticStressTest, ThreadPoolHammer) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 4000;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(
+        pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); })
+            .ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(StaticStressTest, SpanCollectorConcurrentRecordAndReport) {
+  obs::SpanCollector spans(WallClock::Instance());
+  std::atomic<bool> stop{false};
+
+  std::vector<std::jthread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&spans, w] {
+      for (int i = 0; i < 1500; ++i) {
+        const auto ctx = spans.StartTrace();
+        obs::Span span =
+            spans.Begin("stage." + std::to_string(w), ctx, obs::SpanKind::kStage);
+        span.SetTag("i", std::to_string(i));
+        spans.End(std::move(span));
+      }
+    });
+  }
+  std::jthread reader([&spans, &stop] {
+    // Exercise every read path concurrently with the writers.
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)spans.size();
+      (void)spans.dropped();
+      (void)spans.Snapshot();
+      (void)spans.StageBreakdown();
+      (void)spans.Traces();
+    }
+  });
+  writers.clear();  // joins
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(spans.size(), 4u * 1500u);
+  EXPECT_FALSE(spans.StageBreakdown().empty());
+}
+
+// Regression: DataNode::alive_ used to be a plain bool, so Kill()/Revive()
+// from a chaos thread raced with the unsynchronized liveness check at the
+// top of StoreBlock/ReadBlock. It is atomic now; under TSan this test fails
+// on the old code.
+TEST(StaticStressTest, DataNodeKillReviveRacesWithReads) {
+  dfs::DataNode node(0);
+  ASSERT_TRUE(node.StoreBlock(1, "payload").ok());
+
+  std::atomic<bool> stop{false};
+  std::jthread chaos([&node, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      node.Kill();
+      node.Revive();
+    }
+  });
+  std::int64_t served = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto res = node.ReadBlock(1);
+    if (res.ok()) {
+      EXPECT_EQ(*res, "payload");
+      ++served;
+    } else {
+      EXPECT_EQ(res.status().code(), StatusCode::kUnavailable);
+    }
+    (void)node.StoreBlock(2, "x");  // ok, exists, or unavailable — all fine
+  }
+  stop.store(true, std::memory_order_relaxed);
+  chaos.join();
+  node.Revive();
+  EXPECT_TRUE(node.ReadBlock(1).ok());
+  EXPECT_GT(served, 0);
+}
+
+// Regression: LsmEngine::Wal() used to return a reference to the live WAL
+// buffer, letting readers walk it while a concurrent Put appended (string
+// reallocation => use-after-free under load). It now snapshots under the
+// engine lock; under TSan/ASan this test fails on the old code.
+TEST(StaticStressTest, LsmWalSnapshotRacesWithWrites) {
+  store::LsmEngine engine;
+  std::jthread writer([&engine] {
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(
+          engine.Put("key" + std::to_string(i), std::string(64, 'v')).ok());
+    }
+  });
+  std::size_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string wal = engine.Wal();
+    EXPECT_GE(wal.size(), last);  // WAL only grows
+    last = wal.size();
+    std::this_thread::yield();
+  }
+  writer.join();
+
+  // The final snapshot must replay cleanly into a fresh engine.
+  store::LsmEngine recovered;
+  const auto applied = recovered.RecoverFromWal(engine.Wal());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_GT(*applied, 0);
+  EXPECT_EQ(recovered.Get("key0").value_or(""), std::string(64, 'v'));
+}
+
+}  // namespace
+}  // namespace metro
