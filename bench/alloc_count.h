@@ -1,0 +1,75 @@
+#pragma once
+
+// Program-wide heap-allocation counter for the inference benchmarks.
+//
+// Including this header in a bench's main TU replaces the global operator
+// new/delete family with malloc/free wrappers that bump a relaxed atomic, so
+// a measurement loop can report heap allocations per inference (the planned
+// engine's claim is that steady-state runs allocate ~nothing). Include it
+// from exactly ONE translation unit per executable — the replacement
+// operators are definitions, not inline — and never from library code.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace bench_alloc {
+
+inline std::atomic<std::uint64_t> g_news{0};
+
+/// Total operator-new calls since process start.
+inline std::uint64_t Count() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+inline void* Grab(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* GrabAligned(std::size_t n, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, ((n + align - 1) / align) * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace bench_alloc
+
+void* operator new(std::size_t n) { return bench_alloc::Grab(n); }
+void* operator new[](std::size_t n) { return bench_alloc::Grab(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  bench_alloc::g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  bench_alloc::g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return bench_alloc::GrabAligned(n, std::size_t(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return bench_alloc::GrabAligned(n, std::size_t(a));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -9,11 +9,18 @@
 // offloads rise together with the threshold; a mid threshold recovers most
 // of the full model's accuracy at a fraction of the offloads.
 
+// With --json[=path] the bench instead measures the eager layer-by-layer
+// inference path against the planned arena-backed session on the
+// single-image local-exit workload and merges the numbers into
+// BENCH_infer.json (latency, throughput, heap allocations per inference,
+// peak arena bytes) — the acceptance evidence for the inference engine.
+
 #include <benchmark/benchmark.h>
 
 #include "apps/vehicle_app.h"
 #include "bench_util.h"
 #include "fog/fog.h"
+#include "infer_json.h"
 
 namespace {
 
@@ -22,12 +29,14 @@ using namespace metro;
 constexpr int kTrainSteps = 220;
 constexpr int kEvalFrames = 150;
 
+int g_train_steps = kTrainSteps;  // --json mode trains fewer steps
+
 apps::VehicleDetectionApp& TrainedApp() {
   static auto* app = [] {
     zoo::DetectorConfig config;
     auto* a = new apps::VehicleDetectionApp(config, 2026);
-    std::printf("[training split detector: %d steps ...]\n", kTrainSteps);
-    a->Train(kTrainSteps, 16);
+    std::printf("[training split detector: %d steps ...]\n", g_train_steps);
+    a->Train(g_train_steps, 16);
     return a;
   }();
   return *app;
@@ -117,9 +126,71 @@ void BM_FullInference(benchmark::State& state) {
 }
 BENCHMARK(BM_FullInference);
 
+// Eager-vs-planned comparison on the Fig. 5 single-image local-exit
+// workload (stem + tiny head + gate + decode + NMS), written to JSON.
+int RunJsonMode(const std::string& path) {
+  auto& app = TrainedApp();
+  auto& det = app.detector();
+  const auto& config = det.config();
+  auto frame = app.generator().Generate(1);
+  const auto batch = frame.image.Reshape(
+      {1, config.image_size, config.image_size, config.channels});
+  constexpr int kIters = 300;
+
+  // Eager oracle path: per-layer heap-allocated activations.
+  const auto eager = bench_json::Measure(20, kIters, [&] {
+    nn::Tensor stem = det.Stem(batch, false);
+    nn::Tensor tiny = det.TinyHead(stem, false);
+    const float conf = det.Confidence(tiny, 0);
+    auto dets = zoo::Nms(det.Decode(tiny, 0, 0.1f), 0.4f, 0.1f);
+    benchmark::DoNotOptimize(conf);
+    benchmark::DoNotOptimize(dets.size());
+  });
+
+  // Planned session path: same math, arena-backed (threshold 0 never
+  // offloads, matching the eager loop above).
+  const auto planned = bench_json::Measure(20, kIters, [&] {
+    auto result = app.ProcessFrame(batch, 0.0f);
+    benchmark::DoNotOptimize(result.tiny_confidence);
+    benchmark::DoNotOptimize(result.detections.size());
+  });
+
+  const double speedup =
+      planned.latency_ms > 0 ? eager.latency_ms / planned.latency_ms : 0;
+  const double alloc_reduction =
+      planned.heap_allocs_per_call > 0
+          ? eager.heap_allocs_per_call / planned.heap_allocs_per_call
+          : eager.heap_allocs_per_call;
+
+  std::ostringstream os;
+  os << "{\n    \"train_steps\": " << g_train_steps
+     << ",\n    \"iters\": " << kIters
+     << ",\n    \"eager\": " << bench_json::PathJson(eager)
+     << ",\n    \"planned\": " << bench_json::PathJson(planned)
+     << ",\n    \"peak_arena_bytes\": " << app.session().arena().peak_bytes()
+     << ",\n    \"latency_speedup\": " << bench_json::Num(speedup)
+     << ",\n    \"alloc_reduction\": " << bench_json::Num(alloc_reduction)
+     << "\n  }";
+  bench_json::MergeInferJson(path, "fig5_earlyexit_detect", os.str());
+
+  std::printf(
+      "fig5 local-exit: eager %.3f ms (%.1f allocs/call) -> planned %.3f ms "
+      "(%.1f allocs/call); speedup %.2fx, alloc reduction %.1fx, "
+      "peak arena %zu bytes -> %s\n",
+      eager.latency_ms, eager.heap_allocs_per_call, planned.latency_ms,
+      planned.heap_allocs_per_call, speedup, alloc_reduction,
+      app.session().arena().peak_bytes(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  if (bench_json::ParseJsonFlag(argc, argv, json_path)) {
+    g_train_steps = 40;
+    return RunJsonMode(json_path);
+  }
   ThresholdSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,11 +9,16 @@
 // offload savings; somewhere in between the gated accuracy tracks the
 // ceiling at well under 100% offloads.
 
+// With --json[=path] the bench instead measures the eager local/server
+// inference halves against the planned arena-backed session on a single
+// clip and merges the numbers into BENCH_infer.json.
+
 #include <benchmark/benchmark.h>
 
 #include "apps/behavior_app.h"
 #include "bench_util.h"
 #include "fog/fog.h"
+#include "infer_json.h"
 
 namespace {
 
@@ -22,12 +27,15 @@ using namespace metro;
 constexpr int kTrainSteps = 160;
 constexpr int kEvalClips = 150;
 
+int g_train_steps = kTrainSteps;  // --json mode trains fewer steps
+
 apps::BehaviorRecognitionApp& TrainedApp() {
   static auto* app = [] {
     zoo::BehaviorConfig config;
     auto* a = new apps::BehaviorRecognitionApp(config, 1276);
-    std::printf("[training split behavior net: %d steps ...]\n", kTrainSteps);
-    a->Train(kTrainSteps, 12);
+    std::printf("[training split behavior net: %d steps ...]\n",
+                g_train_steps);
+    a->Train(g_train_steps, 12);
     return a;
   }();
   return *app;
@@ -133,9 +141,85 @@ void BM_ServerEscalation(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerEscalation);
 
+// Eager-vs-planned comparison on the Fig. 7 single-clip workload: the
+// local half (block1 + GAP + LSTM1 + FC1 + entropy) and the server
+// escalation (blocks 2-3 + GAP + LSTM2 + FC2), written to JSON.
+int RunJsonMode(const std::string& path) {
+  auto& app = TrainedApp();
+  const auto clip = app.generator().Generate(1);
+  constexpr int kIters = 200;
+
+  const auto local_eager = bench_json::Measure(10, kIters, [&] {
+    auto pass = app.model().RunLocal(clip);
+    benchmark::DoNotOptimize(pass.entropy);
+  });
+  const auto local_planned = bench_json::Measure(10, kIters, [&] {
+    auto pass =
+        app.session().RunLocal(tensor::TensorView::OfConst(clip.frames), 1);
+    benchmark::DoNotOptimize(pass.entropy.front());
+  });
+
+  auto eager_pass = app.model().RunLocal(clip);
+  const auto server_eager = bench_json::Measure(10, kIters, [&] {
+    auto probs = app.model().RunServer(eager_pass.block1_out);
+    benchmark::DoNotOptimize(probs.data());
+  });
+  auto planned_pass =
+      app.session().RunLocal(tensor::TensorView::OfConst(clip.frames), 1);
+  const auto server_planned = bench_json::Measure(10, kIters, [&] {
+    auto logits = app.session().ServerLogits(planned_pass.block1_out, 1);
+    benchmark::DoNotOptimize(logits.data());
+  });
+
+  const auto speedup = [](const bench_json::PathMetrics& eager,
+                          const bench_json::PathMetrics& planned) {
+    return planned.latency_ms > 0 ? eager.latency_ms / planned.latency_ms : 0;
+  };
+  const auto alloc_cut = [](const bench_json::PathMetrics& eager,
+                            const bench_json::PathMetrics& planned) {
+    return planned.heap_allocs_per_call > 0
+               ? eager.heap_allocs_per_call / planned.heap_allocs_per_call
+               : eager.heap_allocs_per_call;
+  };
+
+  std::ostringstream os;
+  os << "{\n    \"train_steps\": " << g_train_steps
+     << ",\n    \"iters\": " << kIters
+     << ",\n    \"local_eager\": " << bench_json::PathJson(local_eager)
+     << ",\n    \"local_planned\": " << bench_json::PathJson(local_planned)
+     << ",\n    \"server_eager\": " << bench_json::PathJson(server_eager)
+     << ",\n    \"server_planned\": " << bench_json::PathJson(server_planned)
+     << ",\n    \"peak_arena_bytes\": " << app.session().arena().peak_bytes()
+     << ",\n    \"local_latency_speedup\": "
+     << bench_json::Num(speedup(local_eager, local_planned))
+     << ",\n    \"local_alloc_reduction\": "
+     << bench_json::Num(alloc_cut(local_eager, local_planned))
+     << ",\n    \"server_latency_speedup\": "
+     << bench_json::Num(speedup(server_eager, server_planned))
+     << ",\n    \"server_alloc_reduction\": "
+     << bench_json::Num(alloc_cut(server_eager, server_planned)) << "\n  }";
+  bench_json::MergeInferJson(path, "fig7_behavior", os.str());
+
+  std::printf(
+      "fig7 local: eager %.3f ms (%.1f allocs) -> planned %.3f ms "
+      "(%.1f allocs), %.2fx; server: %.3f ms -> %.3f ms, %.2fx; "
+      "peak arena %zu bytes -> %s\n",
+      local_eager.latency_ms, local_eager.heap_allocs_per_call,
+      local_planned.latency_ms, local_planned.heap_allocs_per_call,
+      speedup(local_eager, local_planned), server_eager.latency_ms,
+      server_planned.latency_ms, speedup(server_eager, server_planned),
+      app.session().arena().peak_bytes(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  if (bench_json::ParseJsonFlag(argc, argv, json_path)) {
+    g_train_steps = 40;
+    return RunJsonMode(json_path);
+  }
   EntropySweep();
   PerClassBreakdown();
   benchmark::Initialize(&argc, argv);

@@ -1,0 +1,165 @@
+#pragma once
+
+// --json output helpers for the inference benchmarks.
+//
+// Both Fig. 5 and Fig. 7 benches write their eager-vs-planned measurements
+// into one BENCH_infer.json file keyed by bench name. The file is a flat
+// JSON object; MergeInferJson re-reads it, replaces/appends this bench's
+// key (balanced-brace scan — enough for our own machine-written output),
+// and rewrites the whole file, so the benches can run in either order.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "alloc_count.h"
+
+namespace bench_json {
+
+/// True when argv contains `--json` or `--json=<path>`; sets `path` for the
+/// latter (default BENCH_infer.json in the working directory).
+inline bool ParseJsonFlag(int argc, char** argv, std::string& path) {
+  path = "BENCH_infer.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") return true;
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One measured inference path.
+struct PathMetrics {
+  double latency_ms = 0;
+  double throughput_per_s = 0;
+  double heap_allocs_per_call = 0;
+};
+
+/// Times `fn` over `iters` calls (after `warmup` untimed ones) and counts
+/// heap allocations per call via bench_alloc. The calls are split into
+/// several groups and the reported latency is the best group mean: on a
+/// shared machine, scheduler noise only ever makes a group slower, so the
+/// floor across groups is the stable estimate of what the path costs.
+template <typename Fn>
+PathMetrics Measure(int warmup, int iters, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+
+  constexpr int kGroups = 5;
+  const int per_group = iters / kGroups > 0 ? iters / kGroups : 1;
+  double best_ns_per_call = 0;
+  const std::uint64_t allocs0 = bench_alloc::Count();
+  std::uint64_t calls = 0;
+  for (int g = 0; g < kGroups; ++g) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < per_group; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    calls += std::uint64_t(per_group);
+    const double ns =
+        double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+        double(per_group);
+    if (g == 0 || ns < best_ns_per_call) best_ns_per_call = ns;
+  }
+  const std::uint64_t allocs1 = bench_alloc::Count();
+
+  PathMetrics m;
+  m.latency_ms = best_ns_per_call / 1e6;
+  m.throughput_per_s =
+      best_ns_per_call > 0 ? 1e9 / best_ns_per_call : 0;
+  m.heap_allocs_per_call = double(allocs1 - allocs0) / double(calls);
+  return m;
+}
+
+inline std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+inline std::string PathJson(const PathMetrics& m) {
+  std::ostringstream os;
+  os << "{\"latency_ms\": " << Num(m.latency_ms)
+     << ", \"throughput_per_s\": " << Num(m.throughput_per_s)
+     << ", \"heap_allocs_per_call\": " << Num(m.heap_allocs_per_call) << "}";
+  return os.str();
+}
+
+/// Splits a flat `{"k": <value>, ...}` object into key -> raw value text.
+inline std::vector<std::pair<std::string, std::string>> SplitTopLevel(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t i = text.find('{');
+  if (i == std::string::npos) return out;
+  ++i;
+  while (i < text.size()) {
+    const std::size_t kq = text.find('"', i);
+    if (kq == std::string::npos) break;
+    const std::size_t kq2 = text.find('"', kq + 1);
+    if (kq2 == std::string::npos) break;
+    const std::string key = text.substr(kq + 1, kq2 - kq - 1);
+    std::size_t v = text.find(':', kq2);
+    if (v == std::string::npos) break;
+    ++v;
+    while (v < text.size() && (text[v] == ' ' || text[v] == '\n')) ++v;
+    // Scan the value: balanced braces/brackets, or up to , / } at depth 0.
+    int depth = 0;
+    std::size_t e = v;
+    for (; e < text.size(); ++e) {
+      const char c = text[e];
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (c == ',' && depth == 0) break;
+    }
+    std::string val = text.substr(v, e - v);
+    while (!val.empty() && (val.back() == ' ' || val.back() == '\n')) {
+      val.pop_back();
+    }
+    out.emplace_back(key, val);
+    i = e + 1;
+  }
+  return out;
+}
+
+/// Writes/replaces `key` in the JSON object file at `path`.
+inline void MergeInferJson(const std::string& path, const std::string& key,
+                           const std::string& value) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  auto entries = SplitTopLevel(existing);
+  bool replaced = false;
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = value;
+      replaced = true;
+    }
+  }
+  if (!replaced) entries.emplace_back(key, value);
+
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "  \"" << entries[i].first << "\": " << entries[i].second;
+    if (i + 1 < entries.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace bench_json

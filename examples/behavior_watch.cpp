@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
   std::printf("\n%d/%d clips escalated to the analysis server "
               "(entropy > %.2f)\n",
               escalated, clips, entropy_threshold);
+  std::printf("planned inference: local and server halves shared one "
+              "%zu-byte arena (cut-point features never copied)\n",
+              app.session().arena().peak_bytes());
   std::printf("%zu incidents indexed; %zu alerts pending review\n",
               incidents.size(), alerts.pending());
 

@@ -54,6 +54,10 @@ int main(int argc, char** argv) {
   std::printf("session: %d/%d frames offloaded at threshold %.2f; %zu bytes "
               "of feature maps shipped upstream\n",
               offloads, frames, threshold, bytes_shipped);
+  std::printf("planned inference: all frames ran through the arena-backed "
+              "session (%zu bytes peak, %zu chunk growths after warm-up)\n",
+              app.session().arena().peak_bytes(),
+              app.session().arena().grow_count());
 
   std::printf("\nthreshold sweep (accuracy vs offload):\n");
   std::printf("  %-10s %-10s %-10s %-8s\n", "threshold", "offload%", "top-acc",

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Performance gate for the planned inference engine. Builds Release, proves
+# bit-exactness first (the parity suite is the contract that makes the perf
+# numbers meaningful), then runs the Fig. 5 / Fig. 7 benches in --json mode
+# and reports the eager-vs-planned ratios from BENCH_infer.json.
+#
+# Exits non-zero when:
+#   - the build or the inference parity suite fails, or
+#   - either bench fails to produce its BENCH_infer.json section.
+#
+# The latency/alloc ratios are printed for trend-watching but only warn by
+# default (shared CI machines are noisy); set METRO_PERF_STRICT=1 to also
+# fail when Fig. 5 local-exit speedup < 2x or alloc reduction < 4x.
+#
+# Usage: scripts/check_perf.sh [build-dir]   (default: build-perf)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-perf}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+JSON="${PREFIX}/BENCH_infer.json"
+
+echo "==> build: Release (${PREFIX})"
+cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}" --target \
+  inference_parity_test bench_fig5_earlyexit_detect bench_fig7_behavior
+
+echo "==> parity: planned inference must be bit-exact with eager"
+ctest --test-dir "${PREFIX}" --output-on-failure -R inference_parity_test
+
+echo "==> bench: fig5 early-exit detector (--json)"
+rm -f "${JSON}"
+(cd "${PREFIX}" && ./bench/bench_fig5_earlyexit_detect --json)
+
+echo "==> bench: fig7 behavior recognizer (--json)"
+(cd "${PREFIX}" && ./bench/bench_fig7_behavior --json)
+
+grep -q '"fig5_earlyexit_detect"' "${JSON}" ||
+  { echo "check_perf: fig5 section missing from ${JSON}" >&2; exit 1; }
+grep -q '"fig7_behavior"' "${JSON}" ||
+  { echo "check_perf: fig7 section missing from ${JSON}" >&2; exit 1; }
+
+# Pull the headline ratios out of the (machine-written, one-key-per-line)
+# JSON without requiring jq.
+ratio() { sed -n "s/.*\"$1\": \([0-9.eE+-]*\).*/\1/p" "${JSON}" | head -1; }
+SPEEDUP="$(ratio latency_speedup)"
+ALLOC_CUT="$(ratio alloc_reduction)"
+echo "==> fig5 local-exit: planned is ${SPEEDUP}x faster, ${ALLOC_CUT}x fewer heap allocs (target: >= 2x / >= 4x)"
+
+if [[ "${METRO_PERF_STRICT:-0}" == "1" ]]; then
+  awk -v s="${SPEEDUP}" -v a="${ALLOC_CUT}" \
+    'BEGIN { exit !(s >= 2.0 && a >= 4.0) }' ||
+    { echo "check_perf: FAIL (below 2x latency / 4x alloc targets)" >&2; exit 1; }
+fi
+
+echo "==> check_perf: OK (${JSON})"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/optimizer.h"
+#include "tensor/ops.h"
 
 namespace metro::apps {
 
@@ -11,7 +12,8 @@ BehaviorRecognitionApp::BehaviorRecognitionApp(
     : config_(config),
       rng_(seed),
       model_(config, rng_),
-      generator_(config, seed ^ 0xBEEF) {}
+      generator_(config, seed ^ 0xBEEF),
+      session_(model_, /*n_clips=*/1, arena_) {}
 
 float BehaviorRecognitionApp::Train(int steps, int batch_size, float lr) {
   nn::Adam opt(lr);
@@ -36,18 +38,19 @@ BehaviorEvaluation BehaviorRecognitionApp::Evaluate(int num_clips,
 
   for (int i = 0; i < num_clips; ++i) {
     const zoo::Clip clip = generator_.Generate();
-    // Ungated paths, for the accuracy floor/ceiling.
-    auto local = model_.RunLocal(clip);
+    // Ungated paths, for the accuracy floor/ceiling — planned sessions; the
+    // block-1 cut-point features stay arena-resident between the halves.
+    auto local =
+        session_.RunLocal(tensor::TensorView::OfConst(clip.frames), 1);
     const int e1_label =
         int(local.logits.ArgMax());
     if (e1_label == clip.label) ++e1_hits;
-    const auto server_probs = model_.RunServer(local.block1_out);
-    const int e2_label =
-        int(std::max_element(server_probs.begin(), server_probs.end()) -
-            server_probs.begin());
+    const nn::Tensor server_logits = session_.ServerLogits(local.block1_out, 1);
+    const nn::Tensor server_probs = tensor::Softmax(server_logits);
+    const int e2_label = int(server_probs.ArgMax());
     if (e2_label == clip.label) ++e2_hits;
     // Gated decision (reuses the already computed passes).
-    const bool offload = local.entropy > entropy_threshold;
+    const bool offload = local.entropy.front() > entropy_threshold;
     const int gated = offload ? e2_label : e1_label;
     if (offload) ++offloads;
     if (gated == clip.label) ++gated_hits;
@@ -72,7 +75,7 @@ zoo::BehaviorPrediction BehaviorRecognitionApp::Monitor(
     const zoo::Clip& clip, const geo::LatLon& camera_location, TimeNs now,
     float entropy_threshold, store::Collection& incidents,
     core::AlertManager& alerts) {
-  zoo::BehaviorPrediction pred = model_.Predict(clip, entropy_threshold);
+  zoo::BehaviorPrediction pred = session_.Predict(clip, entropy_threshold);
   if (IsSuspicious(pred.label)) {
     // Index time, location, and activity type (Sec. IV-A2's logging step).
     store::Document doc;

@@ -12,6 +12,7 @@
 #include "datagen/video.h"
 #include "store/document_store.h"
 #include "zoo/behavior.h"
+#include "zoo/session.h"
 
 namespace metro::apps {
 
@@ -47,6 +48,7 @@ class BehaviorRecognitionApp {
 
   zoo::SplitBehaviorNet& model() { return model_; }
   datagen::BehaviorClipGenerator& generator() { return generator_; }
+  zoo::BehaviorSession& session() { return session_; }
 
   /// True when the class is one the application alerts on.
   static bool IsSuspicious(int label);
@@ -56,6 +58,8 @@ class BehaviorRecognitionApp {
   Rng rng_;
   zoo::SplitBehaviorNet model_;
   datagen::BehaviorClipGenerator generator_;
+  tensor::Workspace arena_;       ///< activation arena for session_
+  zoo::BehaviorSession session_;  ///< planned local/server halves, 1 clip
 };
 
 }  // namespace metro::apps

@@ -12,7 +12,8 @@ VehicleDetectionApp::VehicleDetectionApp(const zoo::DetectorConfig& config,
     : config_(config),
       rng_(seed),
       detector_(config, rng_),
-      generator_(config, seed ^ 0xD1CE) {}
+      generator_(config, seed ^ 0xD1CE),
+      session_(detector_, /*batch=*/1, arena_) {}
 
 float VehicleDetectionApp::Train(int steps, int batch_size, float lr) {
   nn::Adam opt(lr);
@@ -26,20 +27,13 @@ float VehicleDetectionApp::Train(int steps, int batch_size, float lr) {
 
 FrameResult VehicleDetectionApp::ProcessFrame(const tensor::Tensor& frame,
                                               float threshold) {
+  // Planned, arena-backed early exit: stem + tiny head always run; the full
+  // head (the analysis server, in deployment) only when the gate misses.
+  auto gated = session_.Detect(tensor::TensorView::OfConst(frame), threshold);
   FrameResult result;
-  tensor::Tensor stem_out = detector_.Stem(frame, false);
-  tensor::Tensor tiny_out = detector_.TinyHead(stem_out, false);
-  result.tiny_confidence = detector_.Confidence(tiny_out, 0);
-  if (result.tiny_confidence >= threshold) {
-    result.detections = zoo::Nms(detector_.Decode(tiny_out, 0, 0.1f), 0.4f, 0.1f);
-    result.offloaded = false;
-  } else {
-    // Below threshold: the pre-branch feature map goes to the full head
-    // (on the analysis server, in deployment).
-    tensor::Tensor full_out = detector_.FullHead(stem_out, false);
-    result.detections = zoo::Nms(detector_.Decode(full_out, 0, 0.1f), 0.4f, 0.1f);
-    result.offloaded = true;
-  }
+  result.detections = std::move(gated.front().detections);
+  result.tiny_confidence = gated.front().tiny_confidence;
+  result.offloaded = gated.front().offloaded;
   return result;
 }
 

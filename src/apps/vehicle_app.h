@@ -12,6 +12,7 @@
 
 #include "datagen/video.h"
 #include "zoo/detector.h"
+#include "zoo/session.h"
 
 namespace metro::apps {
 
@@ -41,7 +42,8 @@ class VehicleDetectionApp {
   /// Joint training on synthetic labeled frames; returns final batch loss.
   float Train(int steps, int batch_size = 16, float lr = 2e-3f);
 
-  /// Early-exit inference on one frame tensor (1, H, W, 3).
+  /// Early-exit inference on one frame tensor (1, H, W, 3), via the planned
+  /// arena-backed session (bit-exact with the eager halves).
   FrameResult ProcessFrame(const tensor::Tensor& frame, float threshold);
 
   /// Sweeps frames from the generator at one exit threshold.
@@ -53,12 +55,15 @@ class VehicleDetectionApp {
 
   zoo::SplitDetector& detector() { return detector_; }
   datagen::VehicleFrameGenerator& generator() { return generator_; }
+  zoo::DetectorSession& session() { return session_; }
 
  private:
   zoo::DetectorConfig config_;
   Rng rng_;
   zoo::SplitDetector detector_;
   datagen::VehicleFrameGenerator generator_;
+  tensor::Workspace arena_;        ///< activation arena for session_
+  zoo::DetectorSession session_;   ///< planned stem/tiny/full at batch 1
 };
 
 }  // namespace metro::apps

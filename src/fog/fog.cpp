@@ -129,14 +129,15 @@ void Summarize(PipelineResult& result, FogTopology& topology,
 }  // namespace
 
 PipelineResult RunEarlyExitPipeline(FogTopology& topology,
-                                    std::vector<WorkItem> items) {
+                                    std::vector<WorkItem> items,
+                                    const FogComputeHooks& hooks) {
   net::Simulator& sim = topology.sim();
   auto result = std::make_shared<PipelineResult>();
   result->outcomes.reserve(items.size());
   const auto before = topology.Traffic();
 
   for (const WorkItem& item : items) {
-    sim.ScheduleAt(item.arrival, [item, &topology, &sim, result] {
+    sim.ScheduleAt(item.arrival, [item, &topology, &sim, result, &hooks] {
       const net::NodeId edge = topology.edge(item.edge);
       const net::NodeId fog = topology.fog_of_edge(item.edge);
       const net::NodeId server = topology.server_of_edge(item.edge);
@@ -166,7 +167,10 @@ PipelineResult RunEarlyExitPipeline(FogTopology& topology,
         Status st = sim.Send(edge, fog, item.raw_bytes, [=, &sim] {
           // Tier 2: the split model's local half runs on the fog node.
           (void)sim.Compute(fog, item.local_macs, [=, &sim] {
-            if (item.local_exit) {
+            const bool local_exit = hooks.local_gate
+                                        ? hooks.local_gate(item)
+                                        : item.local_exit;
+            if (local_exit) {
               // Confident: only the annotation travels upstream for storage.
               Status up = sim.Send(fog, server, item.annotation_bytes,
                                    [=, &sim] {
@@ -179,6 +183,7 @@ PipelineResult RunEarlyExitPipeline(FogTopology& topology,
             // Not confident: ship the branch feature map to the server.
             Status off = sim.Send(fog, server, item.feature_bytes, [=, &sim] {
               (void)sim.Compute(server, item.server_macs, [=, &sim] {
+                if (hooks.server_infer) hooks.server_infer(item);
                 result->server_macs_total += double(item.server_macs);
                 (void)sim.Send(server, cloud, item.annotation_bytes,
                                [=] { finish(true, false); });
@@ -368,6 +373,10 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
               ctx->Stage(tr, "edge.uplink");
               // Tier 2: the split model's local half runs on the fog node.
               (void)sim.Compute(fog, item.local_macs, [=, &sim] {
+                const bool local_exit =
+                    ctx->options.hooks.local_gate
+                        ? ctx->options.hooks.local_gate(item)
+                        : item.local_exit;
                 ctx->Stage(tr, "fog.local");
                 // The local answer now exists; nothing past this point may
                 // hard-fail the item.
@@ -377,7 +386,7 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
                   finish(false, false, true, false);
                 };
 
-                if (item.local_exit) {
+                if (local_exit) {
                   // Confident: annotation travels upstream for storage. If
                   // the uplink stays down the answer is still served
                   // locally — a degraded success, not an error. Both hops
@@ -419,6 +428,9 @@ PipelineResult RunResilientPipeline(FogTopology& topology,
                       ctx->Stage(tr, "offload.transfer");
                       ctx->breaker.RecordSuccess();
                       (void)sim.Compute(server, item.server_macs, [=, &sim] {
+                        if (ctx->options.hooks.server_infer) {
+                          ctx->options.hooks.server_infer(item);
+                        }
                         ctx->Stage(tr, "server.compute");
                         ctx->result.server_macs_total +=
                             double(item.server_macs);

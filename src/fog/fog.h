@@ -10,6 +10,7 @@
 // measured quantities.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/simulator.h"
@@ -150,6 +151,23 @@ struct PipelineResult {
   double AccuracyOver(const std::vector<WorkItem>& items) const;
 };
 
+/// Optional real-inference callbacks for the pipelines. The simulator prices
+/// compute in MACs on simulated time; when hooks are set, the pipelines
+/// additionally drive real model inference (e.g. a zoo session bound to an
+/// arena) at the matching stages, on the caller's wall clock:
+///   local_gate   — invoked when the `fog.local` stage completes; runs the
+///                  local half for the item and returns whether the early
+///                  exit accepts. Overrides `item.local_exit`.
+///   server_infer — invoked when the `server.compute` stage completes for an
+///                  offloaded item; runs the server half.
+/// Sessions emit their own infer.plan / infer.exec / infer.gate spans into a
+/// wall-clock SpanCollector; the pipelines' sim-clock stage spans are
+/// unaffected.
+struct FogComputeHooks {
+  std::function<bool(const WorkItem&)> local_gate;
+  std::function<void(const WorkItem&)> server_infer;
+};
+
 /// Tuning for `RunResilientPipeline`.
 struct FogResilienceOptions {
   /// Per-send retry schedule (backoff waits run on simulated time).
@@ -181,15 +199,20 @@ struct FogResilienceOptions {
   /// on the topology's simulated clock (`topology.sim().clock()`).
   obs::SpanCollector* spans = nullptr;
   std::uint64_t seed = 19;  ///< retry jitter
+  /// Optional real-model inference at fog.local / server.compute.
+  FogComputeHooks hooks;
 };
 
 /// Runs a batch of work items through the Fig. 3 pipeline on `topology`:
 /// edge filter -> raw to fog -> local half -> (exit: annotation upstream |
 /// offload: feature map to server -> server half -> annotation to cloud).
 /// Send failures (downed links) leave the item `failed` — this is the
-/// baseline without the resilience layer.
+/// baseline without the resilience layer. When `hooks` are set, real model
+/// inference runs at the fog.local / server.compute stages and the gate
+/// outcome replaces each item's precomputed `local_exit`.
 PipelineResult RunEarlyExitPipeline(FogTopology& topology,
-                                    std::vector<WorkItem> items);
+                                    std::vector<WorkItem> items,
+                                    const FogComputeHooks& hooks = {});
 
 /// The same pipeline wrapped in the resilience layer: link sends retry with
 /// jittered exponential backoff on simulated time; a circuit breaker guards

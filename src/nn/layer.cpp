@@ -8,6 +8,17 @@ using tensor::MatMul;
 using tensor::MatMulTransposeA;
 using tensor::MatMulTransposeB;
 
+// ---------------------------------------------------------------- Layer
+
+void Layer::ForwardInto(const TensorView& x, const TensorView& out,
+                        InferenceContext& /*ctx*/) {
+  // Fallback for subclasses without a planned kernel: run the eager
+  // inference path on an owning copy and materialize into the view.
+  Tensor y = Forward(x.ToTensor(), /*training=*/false);
+  assert(y.size() == out.size());
+  out.CopyFrom(y.data());
+}
+
 // ---------------------------------------------------------------- Dense
 
 Dense::Dense(int in_features, int out_features, Rng& rng)
@@ -16,9 +27,9 @@ Dense::Dense(int in_features, int out_features, Rng& rng)
       w_("w", Tensor::HeNormal({in_features, out_features}, in_features, rng)),
       b_("b", Tensor({out_features})) {}
 
-Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+Tensor Dense::Forward(const Tensor& x, bool training) {
   assert(x.rank() == 2 && x.dim(1) == in_);
-  cached_x_ = x;
+  if (training) cached_x_ = x;
   Tensor y = MatMul(x, w_.value);
   auto yd = y.data();
   const auto bd = b_.value.data();
@@ -27,6 +38,12 @@ Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
     for (int j = 0; j < out_; ++j) yd[std::size_t(i) * out_ + j] += bd[j];
   }
   return y;
+}
+
+void Dense::ForwardInto(const TensorView& x, const TensorView& out,
+                        InferenceContext& ctx) {
+  assert(x.rank() == 2 && x.dim(1) == in_);
+  tensor::DenseForwardInto(x, w_.value, b_.value, out, ctx.pool);
 }
 
 Tensor Dense::Backward(const Tensor& grad_out) {
@@ -67,10 +84,17 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
                                kernel * kernel * in_channels, rng)),
       b_("b", Tensor({out_channels})) {}
 
-Tensor Conv2d::Forward(const Tensor& x, bool /*training*/) {
+Tensor Conv2d::Forward(const Tensor& x, bool training) {
   assert(x.rank() == 4 && x.dim(3) == cin_);
-  cached_x_ = x;
+  if (training) cached_x_ = x;
   return tensor::Conv2dForward(x, w_.value, b_.value, stride_, pad_);
+}
+
+void Conv2d::ForwardInto(const TensorView& x, const TensorView& out,
+                         InferenceContext& ctx) {
+  assert(x.rank() == 4 && x.dim(3) == cin_);
+  tensor::Conv2dForwardInto(x, w_.value, b_.value, stride_, pad_, out,
+                            ctx.pool);
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
@@ -99,10 +123,22 @@ Shape Conv2d::OutputShape(const Shape& input_shape) const {
 
 // ---------------------------------------------------------------- MaxPool2d
 
-Tensor MaxPool2d::Forward(const Tensor& x, bool /*training*/) {
+Tensor MaxPool2d::Forward(const Tensor& x, bool training) {
+  if (!training) {
+    // Inference needs no argmax routing for backward — skip the bookkeeping.
+    Tensor out(OutputShape(x.shape()));
+    TensorView out_view(out);
+    tensor::MaxPool2dForwardInto(TensorView::OfConst(x), k_, stride_, out_view);
+    return out;
+  }
   cached_in_shape_ = x.shape();
   cached_ = tensor::MaxPool2dForward(x, k_, stride_);
   return cached_.output;
+}
+
+void MaxPool2d::ForwardInto(const TensorView& x, const TensorView& out,
+                            InferenceContext& /*ctx*/) {
+  tensor::MaxPool2dForwardInto(x, k_, stride_, out);
 }
 
 Tensor MaxPool2d::Backward(const Tensor& grad_out) {
@@ -127,9 +163,14 @@ Shape MaxPool2d::OutputShape(const Shape& input_shape) const {
 
 // ---------------------------------------------------------------- GlobalAvgPool
 
-Tensor GlobalAvgPool::Forward(const Tensor& x, bool /*training*/) {
-  cached_in_shape_ = x.shape();
+Tensor GlobalAvgPool::Forward(const Tensor& x, bool training) {
+  if (training) cached_in_shape_ = x.shape();
   return tensor::GlobalAvgPoolForward(x);
+}
+
+void GlobalAvgPool::ForwardInto(const TensorView& x, const TensorView& out,
+                                InferenceContext& /*ctx*/) {
+  tensor::GlobalAvgPoolForwardInto(x, out);
 }
 
 Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
@@ -146,8 +187,8 @@ Shape GlobalAvgPool::OutputShape(const Shape& input_shape) const {
 
 // ---------------------------------------------------------------- Flatten
 
-Tensor Flatten::Forward(const Tensor& x, bool /*training*/) {
-  cached_in_shape_ = x.shape();
+Tensor Flatten::Forward(const Tensor& x, bool training) {
+  if (training) cached_in_shape_ = x.shape();
   return x.Reshape(OutputShape(x.shape()));
 }
 
@@ -163,26 +204,44 @@ Shape Flatten::OutputShape(const Shape& input_shape) const {
 
 // ---------------------------------------------------------------- Activation
 
-Tensor Activation::Forward(const Tensor& x, bool /*training*/) {
+Tensor Activation::Forward(const Tensor& x, bool training) {
   switch (kind_) {
     case ActKind::kRelu:
-      cached_ = x;
+      if (training) cached_ = x;
       return tensor::ReluForward(x);
     case ActKind::kLeakyRelu:
-      cached_ = x;
+      if (training) cached_ = x;
       return tensor::LeakyReluForward(x, alpha_);
     case ActKind::kSigmoid: {
       Tensor y = tensor::SigmoidForward(x);
-      cached_ = y;
+      if (training) cached_ = y;
       return y;
     }
     case ActKind::kTanh: {
       Tensor y = tensor::TanhForward(x);
-      cached_ = y;
+      if (training) cached_ = y;
       return y;
     }
   }
   return x;
+}
+
+void Activation::ForwardInto(const TensorView& x, const TensorView& out,
+                             InferenceContext& /*ctx*/) {
+  switch (kind_) {
+    case ActKind::kRelu:
+      tensor::ReluInto(x, out);
+      return;
+    case ActKind::kLeakyRelu:
+      tensor::LeakyReluInto(x, out, alpha_);
+      return;
+    case ActKind::kSigmoid:
+      tensor::SigmoidInto(x, out);
+      return;
+    case ActKind::kTanh:
+      tensor::TanhInto(x, out);
+      return;
+  }
 }
 
 Tensor Activation::Backward(const Tensor& grad_out) {
@@ -230,14 +289,15 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   const auto b = beta_.value.data();
 
   if (!training) {
-    const auto rm = running_mean_.data();
-    const auto rv = running_var_.data();
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (int ch = 0; ch < c_; ++ch) {
-        const std::size_t i = r * c_ + ch;
-        yd[i] = g[ch] * (xd[i] - rm[ch]) / std::sqrt(rv[ch] + eps_) + b[ch];
-      }
-    }
+    // Shares the folded scale/shift formulation with the planned path
+    // (BatchNormInferenceInto), keeping eager and planned bit-identical.
+    std::vector<float> scale(static_cast<std::size_t>(c_));
+    std::vector<float> shift(static_cast<std::size_t>(c_));
+    tensor::BatchNormFoldScaleShift(g, b, running_mean_.data(),
+                                    running_var_.data(), eps_, scale, shift);
+    TensorView y_view(y);
+    tensor::BatchNormInferenceInto(TensorView::OfConst(x), scale, shift,
+                                   y_view);
     return y;
   }
 
@@ -277,6 +337,25 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   }
   rows_ = rows;
   return y;
+}
+
+void BatchNorm::ForwardInto(const TensorView& x, const TensorView& out,
+                            InferenceContext& ctx) {
+  assert(x.rank() >= 2 && x.dim(x.rank() - 1) == c_);
+  std::vector<float> fallback;
+  std::span<float> scale, shift;
+  if (ctx.scratch) {
+    scale = ctx.scratch->Alloc(std::size_t(c_));
+    shift = ctx.scratch->Alloc(std::size_t(c_));
+  } else {
+    fallback.resize(std::size_t(c_) * 2);
+    scale = std::span<float>(fallback).first(std::size_t(c_));
+    shift = std::span<float>(fallback).last(std::size_t(c_));
+  }
+  tensor::BatchNormFoldScaleShift(gamma_.value.data(), beta_.value.data(),
+                                  running_mean_.data(), running_var_.data(),
+                                  eps_, scale, shift);
+  tensor::BatchNormInferenceInto(x, scale, shift, out);
 }
 
 Tensor BatchNorm::Backward(const Tensor& grad_out) {

@@ -18,6 +18,24 @@ namespace metro::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+using tensor::TensorView;
+
+/// Execution resources for the planned inference path (nn/inference.h).
+struct InferenceContext {
+  /// Per-run scratch arena; the session rewinds it after every layer, so a
+  /// layer may Alloc freely for intermediates. May be null for the default
+  /// (eager-materializing) path.
+  tensor::Workspace* scratch = nullptr;
+  /// Optional kernel parallelism (conv/matmul row fan-out). May be null.
+  ThreadPool* pool = nullptr;
+};
+
+/// How a layer's planned output relates to its input buffer.
+enum class InferencePlacement {
+  kNewBuffer,  ///< writes a distinct output buffer (ping-pong slot)
+  kInPlace,    ///< elementwise: `out` aliases the input view
+  kAlias,      ///< pure reshape/identity: no kernel runs, the view is relabeled
+};
 
 /// A trainable parameter: value and the gradient accumulated by backward.
 struct Param {
@@ -41,7 +59,24 @@ class Layer {
   virtual Tensor Forward(const Tensor& x, bool training) = 0;
 
   /// Propagates `grad_out` (dL/dy) to dL/dx, accumulating parameter grads.
+  ///
+  /// Only defined after a `Forward(x, /*training=*/true)` call: the inference
+  /// paths (`Forward(x, false)` and `ForwardInto`) hold zero backward state.
   virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Inference-only forward into a preallocated view (the planned execution
+  /// path — see nn/inference.h). Never caches backward state and never
+  /// allocates in overriding layers (scratch comes from `ctx`). `out` aliases
+  /// `x` when `placement()` is kInPlace; for kAlias layers this is never
+  /// called. The default implementation materializes the eager
+  /// `Forward(x, false)` result — correct for any subclass, just slow.
+  virtual void ForwardInto(const TensorView& x, const TensorView& out,
+                           InferenceContext& ctx);
+
+  /// Buffer discipline `ForwardInto` follows (drives arena planning).
+  virtual InferencePlacement placement() const {
+    return InferencePlacement::kNewBuffer;
+  }
 
   /// The layer's trainable parameters (empty for stateless layers).
   virtual std::vector<Param*> Params() { return {}; }
@@ -68,6 +103,8 @@ class Dense final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
   std::vector<Param*> Params() override { return {&w_, &b_}; }
   std::string name() const override;
   std::size_t ForwardMacs(const Shape& input_shape) const override;
@@ -87,6 +124,8 @@ class Conv2d final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
   std::vector<Param*> Params() override { return {&w_, &b_}; }
   std::string name() const override;
   std::size_t ForwardMacs(const Shape& input_shape) const override;
@@ -108,6 +147,8 @@ class MaxPool2d final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
   std::string name() const override;
   std::size_t ForwardMacs(const Shape& input_shape) const override;
   Shape OutputShape(const Shape& input_shape) const override;
@@ -123,6 +164,8 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
   std::string name() const override { return "gap"; }
   std::size_t ForwardMacs(const Shape& input_shape) const override;
   Shape OutputShape(const Shape& input_shape) const override;
@@ -136,6 +179,9 @@ class Flatten final : public Layer {
  public:
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  InferencePlacement placement() const override {
+    return InferencePlacement::kAlias;
+  }
   std::string name() const override { return "flatten"; }
   std::size_t ForwardMacs(const Shape&) const override { return 0; }
   Shape OutputShape(const Shape& input_shape) const override;
@@ -154,6 +200,11 @@ class Activation final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
+  InferencePlacement placement() const override {
+    return InferencePlacement::kInPlace;
+  }
   std::string name() const override;
   std::size_t ForwardMacs(const Shape&) const override { return 0; }
   Shape OutputShape(const Shape& input_shape) const override {
@@ -176,6 +227,11 @@ class BatchNorm final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const TensorView& x, const TensorView& out,
+                   InferenceContext& ctx) override;
+  InferencePlacement placement() const override {
+    return InferencePlacement::kInPlace;
+  }
   std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> Buffers() override {
     return {&running_mean_, &running_var_};
@@ -207,6 +263,10 @@ class Dropout final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  InferencePlacement placement() const override {
+    // Identity at inference: the planned path skips it entirely.
+    return InferencePlacement::kAlias;
+  }
   std::string name() const override;
   std::size_t ForwardMacs(const Shape&) const override { return 0; }
   Shape OutputShape(const Shape& input_shape) const override {

@@ -21,12 +21,15 @@ Lstm::Lstm(int input_size, int hidden_size, Rng& rng)
 }
 
 std::vector<Tensor> Lstm::Forward(const std::vector<Tensor>& xs,
-                                  bool /*training*/) {
+                                  bool training) {
   assert(!xs.empty());
   const int n = xs.front().dim(0);
   const int h4 = 4 * hidden_;
+  // Inference holds zero backward state: the per-step gate caches are only
+  // materialized when training. Backward is undefined after an inference
+  // forward.
   cache_.clear();
-  cache_.reserve(xs.size());
+  if (training) cache_.reserve(xs.size());
 
   Tensor h({n, hidden_});
   Tensor c({n, hidden_});
@@ -35,11 +38,6 @@ std::vector<Tensor> Lstm::Forward(const std::vector<Tensor>& xs,
 
   for (const Tensor& x : xs) {
     assert(x.dim(0) == n && x.dim(1) == input_);
-    StepCache sc;
-    sc.x = x;
-    sc.h_prev = h;
-    sc.c_prev = c;
-
     Tensor z = MatMul(x, wx_.value);
     z += MatMul(h, wh_.value);
     {
@@ -49,7 +47,36 @@ std::vector<Tensor> Lstm::Forward(const std::vector<Tensor>& xs,
         for (int j = 0; j < h4; ++j) zd[std::size_t(r) * h4 + j] += bd[j];
       }
     }
+    const auto zd = z.data();
 
+    if (!training) {
+      // Lean path: update the cell state in place; only h and c survive a
+      // step. Gate arithmetic is identical to the caching path below.
+      Tensor h_next({n, hidden_});
+      auto cd = c.data();
+      auto hd = h_next.data();
+      for (int r = 0; r < n; ++r) {
+        const std::size_t zrow = std::size_t(r) * h4;
+        const std::size_t row = std::size_t(r) * hidden_;
+        for (int j = 0; j < hidden_; ++j) {
+          const float gi = 1.0f / (1.0f + std::exp(-zd[zrow + j]));
+          const float gf = 1.0f / (1.0f + std::exp(-zd[zrow + hidden_ + j]));
+          const float gg = std::tanh(zd[zrow + 2 * hidden_ + j]);
+          const float go = 1.0f / (1.0f + std::exp(-zd[zrow + 3 * hidden_ + j]));
+          const float cv = gf * cd[row + j] + gi * gg;
+          cd[row + j] = cv;
+          hd[row + j] = go * std::tanh(cv);
+        }
+      }
+      h = std::move(h_next);
+      outputs.push_back(h);
+      continue;
+    }
+
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+    sc.c_prev = c;
     sc.i = Tensor({n, hidden_});
     sc.f = Tensor({n, hidden_});
     sc.g = Tensor({n, hidden_});
@@ -57,7 +84,6 @@ std::vector<Tensor> Lstm::Forward(const std::vector<Tensor>& xs,
     sc.c = Tensor({n, hidden_});
     sc.tanh_c = Tensor({n, hidden_});
 
-    const auto zd = z.data();
     const auto cp = sc.c_prev.data();
     for (int r = 0; r < n; ++r) {
       const std::size_t zrow = std::size_t(r) * h4;

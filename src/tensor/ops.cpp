@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "util/thread_pool.h"
 
 namespace metro::tensor {
 namespace {
@@ -11,55 +14,293 @@ int ConvOutDim(int in, int k, int stride, int pad) {
   return (in + 2 * pad - k) / stride + 1;
 }
 
-}  // namespace
+struct ConvDims {
+  int n, h, w, cin, kh, kw, cout, oh, ow, stride, pad;
+};
 
-Tensor Conv2dForward(const Tensor& input, const Tensor& weights,
-                     const Tensor& bias, int stride, int pad) {
-  assert(input.rank() == 4 && weights.rank() == 4);
-  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
-            cin = input.dim(3);
-  const int kh = weights.dim(0), kw = weights.dim(1), cout = weights.dim(3);
-  assert(weights.dim(2) == cin);
-  assert(bias.empty() || int(bias.size()) == cout);
-  const int oh = ConvOutDim(h, kh, stride, pad);
-  const int ow = ConvOutDim(w, kw, stride, pad);
-  assert(oh > 0 && ow > 0);
-
-  Tensor out({n, oh, ow, cout});
-  const auto in_d = input.data();
-  const auto w_d = weights.data();
-  auto out_d = out.data();
-
-  for (int b = 0; b < n; ++b) {
-    for (int oy = 0; oy < oh; ++oy) {
-      for (int ox = 0; ox < ow; ++ox) {
-        float* out_px =
-            &out_d[((std::size_t(b) * oh + oy) * ow + ox) * cout];
-        if (!bias.empty()) {
-          for (int oc = 0; oc < cout; ++oc) out_px[oc] = bias[oc];
-        }
-        for (int ky = 0; ky < kh; ++ky) {
-          const int iy = oy * stride + ky - pad;
-          if (iy < 0 || iy >= h) continue;
-          for (int kx = 0; kx < kw; ++kx) {
-            const int ix = ox * stride + kx - pad;
-            if (ix < 0 || ix >= w) continue;
-            const float* in_px =
-                &in_d[((std::size_t(b) * h + iy) * w + ix) * cin];
-            const float* w_px =
-                &w_d[(std::size_t(ky) * kw + kx) * cin * cout];
-            for (int ic = 0; ic < cin; ++ic) {
-              const float iv = in_px[ic];
-              if (iv == 0.0f) continue;
-              const float* w_row = &w_px[std::size_t(ic) * cout];
-              for (int oc = 0; oc < cout; ++oc) out_px[oc] += iv * w_row[oc];
-            }
+// Computes output rows [row_begin, row_end), where a "row" is one (batch,
+// output-y) pair. All indexing is raw pointers with precomputed strides —
+// no per-element Tensor::at() — and the bias span is hoisted out of the
+// pixel loop. Shared by the eager Conv2dForward and the planned
+// Conv2dForwardInto so the two stay bit-identical; each output element is
+// written by exactly one row, so ParallelFor over rows is race-free and
+// order-preserving.
+void ConvRowRange(const float* in_d, const float* w_d, const float* bias_d,
+                  const ConvDims& d, float* out_d, std::int64_t row_begin,
+                  std::int64_t row_end) {
+  const std::size_t in_row_stride = std::size_t(d.w) * d.cin;
+  const std::size_t w_tap_stride = std::size_t(d.cin) * d.cout;
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const int b = int(r / d.oh);
+    const int oy = int(r % d.oh);
+    const float* in_img = &in_d[std::size_t(b) * d.h * in_row_stride];
+    float* out_row = &out_d[std::size_t(r) * d.ow * d.cout];
+    for (int ox = 0; ox < d.ow; ++ox) {
+      float* out_px = &out_row[std::size_t(ox) * d.cout];
+      if (bias_d) {
+        std::memcpy(out_px, bias_d, std::size_t(d.cout) * sizeof(float));
+      } else {
+        std::memset(out_px, 0, std::size_t(d.cout) * sizeof(float));
+      }
+      for (int ky = 0; ky < d.kh; ++ky) {
+        const int iy = oy * d.stride + ky - d.pad;
+        if (iy < 0 || iy >= d.h) continue;
+        for (int kx = 0; kx < d.kw; ++kx) {
+          const int ix = ox * d.stride + kx - d.pad;
+          if (ix < 0 || ix >= d.w) continue;
+          const float* in_px =
+              &in_img[std::size_t(iy) * in_row_stride + std::size_t(ix) * d.cin];
+          const float* w_px = &w_d[(std::size_t(ky) * d.kw + kx) * w_tap_stride];
+          for (int ic = 0; ic < d.cin; ++ic) {
+            const float iv = in_px[ic];
+            if (iv == 0.0f) continue;
+            const float* w_row = &w_px[std::size_t(ic) * d.cout];
+            for (int oc = 0; oc < d.cout; ++oc) out_px[oc] += iv * w_row[oc];
           }
         }
       }
     }
   }
+}
+
+// Planned-path kernel: identical tap order (and therefore bit-identical
+// float results) to ConvRowRange, but each output pixel accumulates into a
+// stack block the compiler can keep in SIMD registers, and the channel loop
+// trip count is a template constant so it fully unrolls and SLP-vectorizes.
+// In ConvRowRange the output pointer may alias the input as far as the
+// compiler knows, so every tap is a load-modify-store through memory; here
+// the accumulator is provably local, taps become pure FMAs, and the pixel
+// is stored once. Bit-exactness with the eager kernel holds because each
+// output element still receives the same additions in the same (ky, kx, ic)
+// order — only the schedule around them changes.
+constexpr int kConvAccChannels = 128;
+
+template <int kCout>
+void ConvRowRangeFixed(const float* in_d, const float* w_d,
+                       const float* bias_d, const ConvDims& d, float* out_d,
+                       std::int64_t row_begin, std::int64_t row_end) {
+  assert(d.cout == kCout);
+  const std::size_t in_row_stride = std::size_t(d.w) * d.cin;
+  const std::size_t w_tap_stride = std::size_t(d.cin) * kCout;
+  // Interior ox range where every kx tap lands in-bounds, so the border
+  // check can be hoisted out of ~all pixels. Skipped border taps contribute
+  // no additions, so splitting the range preserves the accumulation order.
+  const int ox_lo =
+      std::min(d.ow, (d.pad + d.stride - 1) / std::max(d.stride, 1));
+  const int ox_hi = std::max(
+      ox_lo, std::min(d.ow, (d.w - d.kw + d.pad) / std::max(d.stride, 1) + 1));
+  float acc[kCout];
+  float acc2[kCout];
+
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const int b = int(r / d.oh);
+    const int oy = int(r % d.oh);
+    const float* in_img = &in_d[std::size_t(b) * d.h * in_row_stride];
+    float* out_row = &out_d[std::size_t(r) * d.ow * kCout];
+    // Valid ky range for this output row (iy in [0, h)).
+    int ky_lo = 0, ky_hi = d.kh;
+    while (ky_lo < ky_hi && oy * d.stride + ky_lo - d.pad < 0) ++ky_lo;
+    while (ky_hi > ky_lo && oy * d.stride + (ky_hi - 1) - d.pad >= d.h) {
+      --ky_hi;
+    }
+
+    const auto pixel = [&](int ox, bool check_x) {
+      if (bias_d) {
+        for (int oc = 0; oc < kCout; ++oc) acc[oc] = bias_d[oc];
+      } else {
+        for (int oc = 0; oc < kCout; ++oc) acc[oc] = 0.0f;
+      }
+      for (int ky = ky_lo; ky < ky_hi; ++ky) {
+        const int iy = oy * d.stride + ky - d.pad;
+        const float* in_y = &in_img[std::size_t(iy) * in_row_stride];
+        const float* w_ky = &w_d[std::size_t(ky) * d.kw * w_tap_stride];
+        for (int kx = 0; kx < d.kw; ++kx) {
+          const int ix = ox * d.stride + kx - d.pad;
+          if (check_x && (ix < 0 || ix >= d.w)) continue;
+          const float* in_px = &in_y[std::size_t(ix) * d.cin];
+          const float* w_px = &w_ky[std::size_t(kx) * w_tap_stride];
+          for (int ic = 0; ic < d.cin; ++ic) {
+            const float iv = in_px[ic];
+            if (iv == 0.0f) continue;
+            const float* w_row = &w_px[std::size_t(ic) * kCout];
+            for (int oc = 0; oc < kCout; ++oc) acc[oc] += iv * w_row[oc];
+          }
+        }
+      }
+      float* out_px = &out_row[std::size_t(ox) * kCout];
+      for (int oc = 0; oc < kCout; ++oc) out_px[oc] = acc[oc];
+    };
+
+    // Interior pixels run in pairs so each weight row load feeds two
+    // accumulators. Each output still receives its additions in the same
+    // (ky, kx, ic) order as the single-pixel path, so results stay
+    // bit-exact with the eager kernel.
+    const auto pixel_pair = [&](int ox) {
+      if (bias_d) {
+        for (int oc = 0; oc < kCout; ++oc) acc[oc] = bias_d[oc];
+        for (int oc = 0; oc < kCout; ++oc) acc2[oc] = bias_d[oc];
+      } else {
+        for (int oc = 0; oc < kCout; ++oc) acc[oc] = 0.0f;
+        for (int oc = 0; oc < kCout; ++oc) acc2[oc] = 0.0f;
+      }
+      for (int ky = ky_lo; ky < ky_hi; ++ky) {
+        const int iy = oy * d.stride + ky - d.pad;
+        const float* in_y = &in_img[std::size_t(iy) * in_row_stride];
+        const float* w_ky = &w_d[std::size_t(ky) * d.kw * w_tap_stride];
+        for (int kx = 0; kx < d.kw; ++kx) {
+          const int ix = ox * d.stride + kx - d.pad;
+          const float* in_px = &in_y[std::size_t(ix) * d.cin];
+          const float* in_px2 = in_px + std::size_t(d.stride) * d.cin;
+          const float* w_px = &w_ky[std::size_t(kx) * w_tap_stride];
+          for (int ic = 0; ic < d.cin; ++ic) {
+            const float iv = in_px[ic];
+            const float iv2 = in_px2[ic];
+            const float* w_row = &w_px[std::size_t(ic) * kCout];
+            if (iv != 0.0f) {
+              for (int oc = 0; oc < kCout; ++oc) acc[oc] += iv * w_row[oc];
+            }
+            if (iv2 != 0.0f) {
+              for (int oc = 0; oc < kCout; ++oc) acc2[oc] += iv2 * w_row[oc];
+            }
+          }
+        }
+      }
+      float* out_px = &out_row[std::size_t(ox) * kCout];
+      for (int oc = 0; oc < kCout; ++oc) out_px[oc] = acc[oc];
+      float* out_px2 = out_px + kCout;
+      for (int oc = 0; oc < kCout; ++oc) out_px2[oc] = acc2[oc];
+    };
+
+    for (int ox = 0; ox < ox_lo; ++ox) pixel(ox, /*check_x=*/true);
+    int ox = ox_lo;
+    for (; ox + 1 < ox_hi; ox += 2) pixel_pair(ox);
+    for (; ox < ox_hi; ++ox) pixel(ox, /*check_x=*/false);
+    for (ox = std::max(ox, ox_hi); ox < d.ow; ++ox) pixel(ox, /*check_x=*/true);
+  }
+}
+
+// Generic-width fallback with the same local-accumulator structure.
+void ConvRowRangeBlocked(const float* in_d, const float* w_d,
+                         const float* bias_d, const ConvDims& d, float* out_d,
+                         std::int64_t row_begin, std::int64_t row_end) {
+  assert(d.cout <= kConvAccChannels);
+  const std::size_t in_row_stride = std::size_t(d.w) * d.cin;
+  const std::size_t w_tap_stride = std::size_t(d.cin) * d.cout;
+  float acc[kConvAccChannels];
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const int b = int(r / d.oh);
+    const int oy = int(r % d.oh);
+    const float* in_img = &in_d[std::size_t(b) * d.h * in_row_stride];
+    float* out_row = &out_d[std::size_t(r) * d.ow * d.cout];
+    for (int ox = 0; ox < d.ow; ++ox) {
+      if (bias_d) {
+        std::memcpy(acc, bias_d, std::size_t(d.cout) * sizeof(float));
+      } else {
+        std::memset(acc, 0, std::size_t(d.cout) * sizeof(float));
+      }
+      for (int ky = 0; ky < d.kh; ++ky) {
+        const int iy = oy * d.stride + ky - d.pad;
+        if (iy < 0 || iy >= d.h) continue;
+        for (int kx = 0; kx < d.kw; ++kx) {
+          const int ix = ox * d.stride + kx - d.pad;
+          if (ix < 0 || ix >= d.w) continue;
+          const float* in_px =
+              &in_img[std::size_t(iy) * in_row_stride + std::size_t(ix) * d.cin];
+          const float* w_px = &w_d[(std::size_t(ky) * d.kw + kx) * w_tap_stride];
+          for (int ic = 0; ic < d.cin; ++ic) {
+            const float iv = in_px[ic];
+            if (iv == 0.0f) continue;
+            const float* w_row = &w_px[std::size_t(ic) * d.cout];
+            for (int oc = 0; oc < d.cout; ++oc) acc[oc] += iv * w_row[oc];
+          }
+        }
+      }
+      std::memcpy(&out_row[std::size_t(ox) * d.cout], acc,
+                  std::size_t(d.cout) * sizeof(float));
+    }
+  }
+}
+
+using ConvRowFn = void (*)(const float*, const float*, const float*,
+                           const ConvDims&, float*, std::int64_t,
+                           std::int64_t);
+
+// Picks the unrolled kernel for the channel widths the zoo actually uses.
+ConvRowFn PickConvRowFn(int cout) {
+  switch (cout) {
+    case 4: return ConvRowRangeFixed<4>;
+    case 8: return ConvRowRangeFixed<8>;
+    case 12: return ConvRowRangeFixed<12>;
+    case 13: return ConvRowRangeFixed<13>;
+    case 16: return ConvRowRangeFixed<16>;
+    case 24: return ConvRowRangeFixed<24>;
+    case 32: return ConvRowRangeFixed<32>;
+    default: return cout <= kConvAccChannels ? ConvRowRangeBlocked
+                                             : ConvRowRange;
+  }
+}
+
+ConvDims MakeConvDims(const Shape& in_shape, const Tensor& weights, int stride,
+                      int pad) {
+  ConvDims d;
+  d.n = in_shape[0];
+  d.h = in_shape[1];
+  d.w = in_shape[2];
+  d.cin = in_shape[3];
+  d.kh = weights.dim(0);
+  d.kw = weights.dim(1);
+  d.cout = weights.dim(3);
+  d.oh = ConvOutDim(d.h, d.kh, stride, pad);
+  d.ow = ConvOutDim(d.w, d.kw, stride, pad);
+  d.stride = stride;
+  d.pad = pad;
+  return d;
+}
+
+}  // namespace
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weights,
+                     const Tensor& bias, int stride, int pad) {
+  assert(input.rank() == 4 && weights.rank() == 4);
+  assert(weights.dim(2) == input.dim(3));
+  assert(bias.empty() || int(bias.size()) == weights.dim(3));
+  const ConvDims d = MakeConvDims(input.shape(), weights, stride, pad);
+  assert(d.oh > 0 && d.ow > 0);
+
+  Tensor out({d.n, d.oh, d.ow, d.cout});
+  ConvRowRange(input.data().data(), weights.data().data(),
+               bias.empty() ? nullptr : bias.data().data(), d,
+               out.data().data(), 0, std::int64_t(d.n) * d.oh);
   return out;
+}
+
+void Conv2dForwardInto(const TensorView& input, const Tensor& weights,
+                       const Tensor& bias, int stride, int pad,
+                       const TensorView& out, ThreadPool* pool) {
+  assert(input.rank() == 4 && weights.rank() == 4 && out.rank() == 4);
+  assert(weights.dim(2) == input.dim(3));
+  assert(bias.empty() || int(bias.size()) == weights.dim(3));
+  const ConvDims d = MakeConvDims(input.shape(), weights, stride, pad);
+  assert(out.dim(0) == d.n && out.dim(1) == d.oh && out.dim(2) == d.ow &&
+         out.dim(3) == d.cout);
+
+  const float* in_d = input.data().data();
+  const float* w_d = weights.data().data();
+  const float* bias_d = bias.empty() ? nullptr : bias.data().data();
+  float* out_d = out.data().data();
+  // Aim for a handful of rows per chunk so even a single image (n == 1)
+  // spreads across the pool; the MAC count per row is what matters, so
+  // smaller feature maps get coarser chunks via the grain.
+  const std::int64_t rows = std::int64_t(d.n) * d.oh;
+  const std::int64_t macs_per_row =
+      std::int64_t(d.ow) * d.cout * d.kh * d.kw * d.cin;
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 65536 / std::max<std::int64_t>(macs_per_row, 1));
+  const ConvRowFn row_fn = PickConvRowFn(d.cout);
+  ParallelFor(pool, 0, rows, grain,
+              [&](std::int64_t lo, std::int64_t hi) {
+                row_fn(in_d, w_d, bias_d, d, out_d, lo, hi);
+              });
 }
 
 ConvGrads Conv2dBackward(const Tensor& input, const Tensor& weights,
@@ -330,6 +571,169 @@ float MaxProb(std::span<const float> probs) {
   float mx = 0.0f;
   for (const float p : probs) mx = std::max(mx, p);
   return mx;
+}
+
+// ---------------------------------------------------------------------------
+// Planned-inference kernels.
+
+void MaxPool2dForwardInto(const TensorView& input, int k, int stride,
+                          const TensorView& out) {
+  assert(input.rank() == 4 && out.rank() == 4);
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  const int oh = (h - k) / stride + 1;
+  const int ow = (w - k) / stride + 1;
+  assert(out.dim(0) == n && out.dim(1) == oh && out.dim(2) == ow &&
+         out.dim(3) == c);
+
+  const float* in_d = input.data().data();
+  float* out_d = out.data().data();
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        for (int ch = 0; ch < c; ++ch) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int ky = 0; ky < k; ++ky) {
+            const int iy = oy * stride + ky;
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ox * stride + kx;
+              const float v = in_d[((std::size_t(b) * h + iy) * w + ix) * c + ch];
+              if (v > best) best = v;
+            }
+          }
+          out_d[((std::size_t(b) * oh + oy) * ow + ox) * c + ch] = best;
+        }
+      }
+    }
+  }
+}
+
+void GlobalAvgPoolForwardInto(const TensorView& input, const TensorView& out) {
+  assert(input.rank() == 4 && out.rank() == 2);
+  const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
+            c = input.dim(3);
+  assert(out.dim(0) == n && out.dim(1) == c);
+  const float inv = 1.0f / float(h * w);
+  const float* in_d = input.data().data();
+  float* out_d = out.data().data();
+  std::memset(out_d, 0, std::size_t(n) * c * sizeof(float));
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float* px = &in_d[((std::size_t(b) * h + y) * w + x) * c];
+        float* orow = &out_d[std::size_t(b) * c];
+        for (int ch = 0; ch < c; ++ch) orow[ch] += px[ch] * inv;
+      }
+    }
+  }
+}
+
+void MatMulInto(const TensorView& a, const Tensor& b, const TensorView& c,
+                ThreadPool* pool) {
+  assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  assert(a.dim(1) == b.dim(0) && c.dim(0) == a.dim(0) && c.dim(1) == b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* cd = c.data().data();
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, 65536 / std::max(std::int64_t(k) * n, std::int64_t(1)));
+  ParallelFor(pool, 0, m, grain, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      float* crow = &cd[std::size_t(i) * n];
+      std::memset(crow, 0, std::size_t(n) * sizeof(float));
+      // Same i-k-j order (and zero-skip) as the eager MatMul.
+      for (int p = 0; p < k; ++p) {
+        const float av = ad[std::size_t(i) * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = &bd[std::size_t(p) * n];
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void DenseForwardInto(const TensorView& x, const Tensor& w, const Tensor& b,
+                      const TensorView& out, ThreadPool* pool) {
+  MatMulInto(x, w, out, pool);
+  const int n = out.dim(0), features = out.dim(1);
+  const float* bd = b.data().data();
+  float* yd = out.data().data();
+  for (int i = 0; i < n; ++i) {
+    float* row = &yd[std::size_t(i) * features];
+    for (int j = 0; j < features; ++j) row[j] += bd[j];
+  }
+}
+
+void ReluInto(const TensorView& x, const TensorView& out) {
+  assert(x.size() == out.size());
+  const std::span<float> xd = x.data();
+  const std::span<float> od = out.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) od[i] = std::max(xd[i], 0.0f);
+}
+
+void LeakyReluInto(const TensorView& x, const TensorView& out, float alpha) {
+  assert(x.size() == out.size());
+  const std::span<float> xd = x.data();
+  const std::span<float> od = out.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    const float v = xd[i];
+    od[i] = v < 0.0f ? v * alpha : v;
+  }
+}
+
+void SigmoidInto(const TensorView& x, const TensorView& out) {
+  assert(x.size() == out.size());
+  const std::span<float> xd = x.data();
+  const std::span<float> od = out.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) {
+    od[i] = 1.0f / (1.0f + std::exp(-xd[i]));
+  }
+}
+
+void TanhInto(const TensorView& x, const TensorView& out) {
+  assert(x.size() == out.size());
+  const std::span<float> xd = x.data();
+  const std::span<float> od = out.data();
+  for (std::size_t i = 0; i < xd.size(); ++i) od[i] = std::tanh(xd[i]);
+}
+
+void BatchNormFoldScaleShift(std::span<const float> gamma,
+                             std::span<const float> beta,
+                             std::span<const float> mean,
+                             std::span<const float> var, float eps,
+                             std::span<float> scale, std::span<float> shift) {
+  assert(gamma.size() == beta.size() && gamma.size() == mean.size() &&
+         gamma.size() == var.size() && gamma.size() == scale.size() &&
+         gamma.size() == shift.size());
+  for (std::size_t ch = 0; ch < gamma.size(); ++ch) {
+    scale[ch] = gamma[ch] / std::sqrt(var[ch] + eps);
+    shift[ch] = beta[ch] - mean[ch] * scale[ch];
+  }
+}
+
+void BatchNormInferenceInto(const TensorView& x, std::span<const float> scale,
+                            std::span<const float> shift,
+                            const TensorView& out) {
+  assert(x.size() == out.size());
+  const int c = int(scale.size());
+  assert(int(shift.size()) == c && x.size() % std::size_t(c) == 0);
+  const std::size_t rows = x.size() / std::size_t(c);
+  const float* xd = x.data().data();
+  float* od = out.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* xr = &xd[r * c];
+    float* orow = &od[r * c];
+    for (int ch = 0; ch < c; ++ch) orow[ch] = xr[ch] * scale[ch] + shift[ch];
+  }
+}
+
+void AddInto(const TensorView& a, const TensorView& b, const TensorView& out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  const std::span<float> ad = a.data();
+  const std::span<float> bd = b.data();
+  const std::span<float> od = out.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) od[i] = ad[i] + bd[i];
 }
 
 }  // namespace metro::tensor

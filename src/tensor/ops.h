@@ -10,6 +10,11 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace metro {
+class ThreadPool;
+}  // namespace metro
 
 namespace metro::tensor {
 
@@ -82,5 +87,60 @@ float Entropy(std::span<const float> probs);
 
 /// Max probability of one row — the confidence gate used by Fig. 5.
 float MaxProb(std::span<const float> probs);
+
+// ---------------------------------------------------------------------------
+// Planned-inference kernels (see nn/inference.h).
+//
+// The *Into variants write into caller-provided views (typically
+// arena-backed, see workspace.h) and never allocate. Each is bit-exact with
+// its eager counterpart above: the per-element accumulation order is
+// identical, and ParallelFor only changes which thread computes a given
+// output row, never the arithmetic inside it. The in-place variants allow
+// `out` to alias `x`.
+
+/// Conv2dForward into `out` (shape must match the conv output shape),
+/// parallelized over batch × output rows when `pool` is given.
+void Conv2dForwardInto(const TensorView& input, const Tensor& weights,
+                       const Tensor& bias, int stride, int pad,
+                       const TensorView& out, ThreadPool* pool = nullptr);
+
+/// MaxPool2dForward without the argmax bookkeeping (inference needs no
+/// backward routing).
+void MaxPool2dForwardInto(const TensorView& input, int k, int stride,
+                          const TensorView& out);
+
+void GlobalAvgPoolForwardInto(const TensorView& input, const TensorView& out);
+
+/// C = A(MxK) * B(KxN), parallel over rows of A.
+void MatMulInto(const TensorView& a, const Tensor& b, const TensorView& c,
+                ThreadPool* pool = nullptr);
+
+/// y = xW + b (Dense forward) — MatMulInto plus in-place row bias add.
+void DenseForwardInto(const TensorView& x, const Tensor& w, const Tensor& b,
+                      const TensorView& out, ThreadPool* pool = nullptr);
+
+// Elementwise activations; `out` may alias `x`.
+void ReluInto(const TensorView& x, const TensorView& out);
+void LeakyReluInto(const TensorView& x, const TensorView& out, float alpha);
+void SigmoidInto(const TensorView& x, const TensorView& out);
+void TanhInto(const TensorView& x, const TensorView& out);
+
+/// Folds BatchNorm inference statistics into per-channel affine factors:
+/// y = x * scale[ch] + shift[ch]. Shared by the eager inference branch and
+/// the planned path so both produce bit-identical outputs.
+void BatchNormFoldScaleShift(std::span<const float> gamma,
+                             std::span<const float> beta,
+                             std::span<const float> mean,
+                             std::span<const float> var, float eps,
+                             std::span<float> scale, std::span<float> shift);
+
+/// Applies the folded affine over the trailing channel dimension; `out` may
+/// alias `x`.
+void BatchNormInferenceInto(const TensorView& x, std::span<const float> scale,
+                            std::span<const float> shift,
+                            const TensorView& out);
+
+/// Adds a + b elementwise into `out` (any operand may alias `out`).
+void AddInto(const TensorView& a, const TensorView& b, const TensorView& out);
 
 }  // namespace metro::tensor

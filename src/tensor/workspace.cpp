@@ -1,0 +1,65 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+
+namespace metro::tensor {
+
+std::span<float> Workspace::Alloc(std::size_t n) {
+  if (n == 0) return {};
+  // Advance to the first chunk (at or after current_) with room. Chunks
+  // beyond current_ are either fresh or rewound, so their `used` is 0.
+  while (current_ < chunks_.size() &&
+         chunks_[current_].storage.size() - chunks_[current_].used < n) {
+    ++current_;
+  }
+  if (current_ == chunks_.size()) {
+    // Grow: new chunk at least as big as everything so far, so the chunk
+    // count stays logarithmic in total demand.
+    std::size_t cap = n;
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.storage.size();
+    cap = std::max(cap, total);
+    cap = std::max<std::size_t>(cap, 4096);
+    chunks_.push_back(Chunk{std::vector<float>(cap), 0});
+    ++grow_count_;
+  }
+  Chunk& chunk = chunks_[current_];
+  std::span<float> out(chunk.storage.data() + chunk.used, n);
+  chunk.used += n;
+  live_floats_ += n;
+  peak_floats_ = std::max(peak_floats_, live_floats_);
+  return out;
+}
+
+void Workspace::Rewind(const Mark& m) {
+  assert(m.chunk <= chunks_.size());
+  for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  if (m.chunk < chunks_.size()) {
+    assert(m.used <= chunks_[m.chunk].storage.size());
+    chunks_[m.chunk].used = m.used;
+  }
+  current_ = std::min(m.chunk, chunks_.empty() ? 0 : chunks_.size() - 1);
+  live_floats_ = 0;
+  for (std::size_t i = 0; i <= m.chunk && i < chunks_.size(); ++i) {
+    live_floats_ += chunks_[i].used;
+  }
+}
+
+void Workspace::Reserve(std::size_t floats) {
+  std::size_t free_floats = 0;
+  for (std::size_t i = current_; i < chunks_.size(); ++i) {
+    free_floats += chunks_[i].storage.size() - chunks_[i].used;
+  }
+  if (free_floats >= floats) return;
+  chunks_.push_back(Chunk{std::vector<float>(floats - free_floats), 0});
+}
+
+std::size_t Workspace::reserved_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.storage.size();
+  return total * sizeof(float);
+}
+
+}  // namespace metro::tensor

@@ -1,0 +1,165 @@
+#pragma once
+
+// Arena storage for planned inference.
+//
+// A Workspace is a bump allocator over float storage with chunked growth:
+// once a span is handed out it stays valid until Reset()/Rewind() past it,
+// even if the arena grows (new chunks are appended; existing chunks never
+// reallocate). The inference engine (nn/inference.h) allocates its ping-pong
+// activation slots from one Workspace and rewinds per-run scratch with
+// Mark/Rewind, so a warmed-up session runs allocation-free.
+//
+// A Workspace is single-owner state: exactly one thread may Alloc/Rewind at a
+// time (sessions sharing an arena — the Fig. 5/7 split halves — run on the
+// caller's thread). Cross-thread kernels (ParallelFor conv/matmul) only write
+// through disjoint sub-spans of already-allocated views, which is race-free
+// without locks.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metro::tensor {
+
+/// Non-owning view of a tensor: a shape over borrowed float storage.
+///
+/// Views are cheap value types (pointer + shape). Like std::span, constness
+/// of the view does not propagate to the elements; treat input views as
+/// read-only by convention.
+class TensorView {
+ public:
+  TensorView() = default;
+
+  TensorView(Shape shape, std::span<float> data)
+      : shape_(std::move(shape)), data_(data) {
+    assert(NumElements(shape_) == data_.size());
+  }
+
+  /// Views an owning tensor's storage (no copy).
+  explicit TensorView(Tensor& t) : shape_(t.shape()), data_(t.data()) {}
+
+  /// Views a const tensor's storage. Constness is dropped (views never
+  /// propagate it, mirroring std::span<float>); the caller must treat the
+  /// result as read-only — writing through it is undefined behavior on a
+  /// genuinely immutable tensor.
+  static TensorView OfConst(const Tensor& t) {
+    return TensorView(
+        t.shape(),
+        std::span<float>(const_cast<float*>(t.data().data()), t.size()));
+  }
+
+  const Shape& shape() const { return shape_; }
+  int dim(int i) const { return shape_[std::size_t(i)]; }
+  int rank() const { return int(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() const { return data_; }
+  float& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Same storage reinterpreted as `shape` (element count must match).
+  TensorView Reshaped(Shape shape) const {
+    assert(NumElements(shape) == data_.size());
+    return TensorView(std::move(shape), data_);
+  }
+
+  /// Rows [begin, end) of the leading dimension — same storage, no copy.
+  TensorView SliceBatch(int begin, int end) const {
+    assert(rank() >= 1 && begin >= 0 && begin <= end && end <= dim(0));
+    std::size_t row = 1;
+    for (int i = 1; i < rank(); ++i) row *= std::size_t(dim(i));
+    Shape s = shape_;
+    s[0] = end - begin;
+    return TensorView(std::move(s),
+                      data_.subspan(std::size_t(begin) * row,
+                                    std::size_t(end - begin) * row));
+  }
+
+  /// Owning copy (for handing results past the arena's lifetime).
+  Tensor ToTensor() const {
+    Tensor t(shape_);
+    std::copy(data_.begin(), data_.end(), t.data().begin());
+    return t;
+  }
+
+  /// Copies `src` into this view (sizes must match; shapes may differ).
+  void CopyFrom(std::span<const float> src) const {
+    assert(src.size() == data_.size());
+    std::copy(src.begin(), src.end(), data_.begin());
+  }
+
+ private:
+  Shape shape_;
+  std::span<float> data_;
+};
+
+/// Chunked bump arena for inference activations and scratch.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  /// Pre-sizes the first chunk so warm-up does not grow the arena.
+  explicit Workspace(std::size_t initial_floats) { Reserve(initial_floats); }
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Hands out `n` floats of uninitialized storage. The span stays valid
+  /// until Reset() or a Rewind() past the current position.
+  std::span<float> Alloc(std::size_t n);
+
+  /// Alloc shaped as a view. Storage is NOT zeroed — kernels writing into
+  /// views must fully initialize them.
+  TensorView AllocView(const Shape& shape) {
+    return TensorView(shape, Alloc(NumElements(shape)));
+  }
+
+  /// Bump position, for scoped scratch (see Rewind).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Mark Position() const { return Mark{current_, ChunkUsed(current_)}; }
+
+  /// Releases everything allocated after `m` (spans handed out after the
+  /// mark become dangling). Storage is retained for reuse.
+  void Rewind(const Mark& m);
+
+  /// Rewinds the whole arena, keeping the storage.
+  void Reset() { Rewind(Mark{0, 0}); }
+
+  /// Grows capacity so at least `floats` are allocatable without a new chunk.
+  void Reserve(std::size_t floats);
+
+  /// Floats currently handed out.
+  std::size_t live_floats() const { return live_floats_; }
+  /// High-water mark of live bytes since construction.
+  std::size_t peak_bytes() const { return peak_floats_ * sizeof(float); }
+  /// Total bytes of backing storage owned by the arena.
+  std::size_t reserved_bytes() const;
+  /// Number of Alloc calls that had to grow the arena (0 once warm).
+  std::size_t grow_count() const { return grow_count_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::vector<float> storage;
+    std::size_t used = 0;
+  };
+
+  std::size_t ChunkUsed(std::size_t i) const {
+    return i < chunks_.size() ? chunks_[i].used : 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // chunk index allocations go to
+  std::size_t live_floats_ = 0;
+  std::size_t peak_floats_ = 0;
+  std::size_t grow_count_ = 0;
+};
+
+}  // namespace metro::tensor

@@ -2,6 +2,7 @@
 
 // Fixed-size worker pool used by the dataflow engine and analysis servers.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -69,5 +70,40 @@ class ThreadPool {
   BoundedQueue<std::function<void()>> tasks_;
   std::vector<std::jthread> workers_;
 };
+
+/// Splits [begin, end) into contiguous chunks and runs `fn(lo, hi)` on the
+/// pool, with the calling thread executing the first chunk itself. Runs
+/// serially when `pool` is null or the range is smaller than `grain`.
+///
+/// `fn` must only touch disjoint state per index — no synchronization is
+/// added. Chunk boundaries never split an index, so results are identical to
+/// the serial order whenever `fn(lo, hi)` is equivalent to calling
+/// `fn(i, i+1)` for each i. Do not call from inside a pool worker: the
+/// calling thread blocks on the chunk futures, and nesting could deadlock a
+/// saturated pool.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                 std::int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  const std::int64_t n = end - begin;
+  if (grain < 1) grain = 1;
+  std::int64_t chunks = (n + grain - 1) / grain;
+  if (pool) {
+    chunks = std::min<std::int64_t>(chunks, std::int64_t(pool->num_threads()) + 1);
+  }
+  if (!pool || chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t step = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> pending;
+  pending.reserve(std::size_t(chunks) - 1);
+  for (std::int64_t lo = begin + step; lo < end; lo += step) {
+    const std::int64_t hi = std::min<std::int64_t>(lo + step, end);
+    pending.push_back(pool->Async([&fn, lo, hi] { fn(lo, hi); }));
+  }
+  fn(begin, std::min<std::int64_t>(begin + step, end));
+  for (auto& f : pending) f.get();
+}
 
 }  // namespace metro

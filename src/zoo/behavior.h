@@ -102,12 +102,25 @@ class SplitBehaviorNet {
   std::size_t LocalMacs() const;   ///< block1 + LSTM1 + FC1 for one clip
   std::size_t ServerMacs() const;  ///< blocks 2-3 + LSTM2 + FC2 for one clip
 
- private:
   /// Splits a (N*T, features) tensor into T time-major (N, features) steps.
+  /// Public so BehaviorSession can feed the eager LSTM from planned features.
   std::vector<nn::Tensor> ToSequence(const nn::Tensor& flat, int n_clips) const;
   /// Inverse of ToSequence for gradients.
   nn::Tensor FromSequence(const std::vector<nn::Tensor>& steps) const;
 
+  /// The split halves' layers, exposed so BehaviorSession can plan them.
+  ResNetBlock& block1() { return block1_; }
+  nn::GlobalAvgPool& gap1() { return gap1_; }
+  nn::Lstm& lstm1() { return lstm1_; }
+  nn::Dense& fc1() { return fc1_; }
+  ResNetBlock& block2() { return block2_; }
+  ResNetBlock& block3() { return block3_; }
+  nn::GlobalAvgPool& gap2() { return gap2_; }
+  nn::Lstm& lstm2() { return lstm2_; }
+  nn::Dense& fc2() { return fc2_; }
+  const nn::Shape& block1_out_shape() const { return block1_out_shape_; }
+
+ private:
   BehaviorConfig config_;
   ResNetBlock block1_;
   nn::GlobalAvgPool gap1_;

@@ -35,6 +35,7 @@ std::vector<Detection> Nms(std::vector<Detection> dets, float iou_thresh,
   std::sort(dets.begin(), dets.end(),
             [](const Detection& a, const Detection& b) { return a.score > b.score; });
   std::vector<Detection> kept;
+  kept.reserve(dets.size());
   for (const Detection& d : dets) {
     if (d.score < score_floor) break;
     const bool suppressed = std::any_of(
@@ -199,10 +200,18 @@ float SplitDetector::TrainStep(
 std::vector<Detection> SplitDetector::Decode(const Tensor& head_out,
                                              int batch_index,
                                              float score_floor) const {
+  return Decode(std::span<const float>(head_out.data()), batch_index,
+                score_floor);
+}
+
+std::vector<Detection> SplitDetector::Decode(std::span<const float> head_out,
+                                             int batch_index,
+                                             float score_floor) const {
   const int s = config_.grid;
   const int nc = config_.num_classes;
   const int depth = 5 + nc;
   std::vector<Detection> dets;
+  dets.reserve(std::size_t(s) * std::size_t(s));
   for (int cy = 0; cy < s; ++cy) {
     for (int cx = 0; cx < s; ++cx) {
       const std::size_t base =
@@ -234,9 +243,30 @@ std::vector<Detection> SplitDetector::Decode(const Tensor& head_out,
 }
 
 float SplitDetector::Confidence(const Tensor& head_out, int batch_index) const {
+  return Confidence(std::span<const float>(head_out.data()), batch_index);
+}
+
+float SplitDetector::Confidence(std::span<const float> head_out,
+                                int batch_index) const {
+  // Allocation-free max over the per-cell scores (same arithmetic as
+  // Decode) — this runs on every frame as the Fig. 5 exit gate.
+  const int s = config_.grid;
+  const int nc = config_.num_classes;
+  const int depth = 5 + nc;
   float best = 0.0f;
-  for (const Detection& d : Decode(head_out, batch_index, 0.0f)) {
-    best = std::max(best, d.score);
+  for (int cy = 0; cy < s; ++cy) {
+    for (int cx = 0; cx < s; ++cx) {
+      const std::size_t base =
+          ((std::size_t(batch_index) * s + cy) * s + cx) * depth;
+      const float o = SigmoidF(head_out[base]);
+      float mx = head_out[base + 5];
+      for (int k = 1; k < nc; ++k) {
+        mx = std::max(mx, head_out[base + 5 + k]);
+      }
+      float sum = 0;
+      for (int k = 0; k < nc; ++k) sum += std::exp(head_out[base + 5 + k] - mx);
+      best = std::max(best, o * (1.0f / sum));
+    }
   }
   return best;
 }

@@ -10,6 +10,7 @@
 // it on the server. Both heads emit a YOLO-style S x S grid of
 // (objectness, box, class) predictions and train jointly.
 
+#include <span>
 #include <vector>
 
 #include "nn/optimizer.h"
@@ -88,8 +89,17 @@ class SplitDetector {
   std::vector<Detection> Decode(const Tensor& head_out, int batch_index,
                                 float score_floor) const;
 
+  /// Span overload for arena-resident head outputs (DetectorSession): decodes
+  /// without materializing a Tensor. `head_out` is the flat (N, S, S, 5+C)
+  /// buffer.
+  std::vector<Detection> Decode(std::span<const float> head_out,
+                                int batch_index, float score_floor) const;
+
   /// Best detection score in one image's head output — the Fig. 5 exit gate.
   float Confidence(const Tensor& head_out, int batch_index) const;
+
+  /// Span overload of the exit gate for arena-resident head outputs.
+  float Confidence(std::span<const float> head_out, int batch_index) const;
 
   std::vector<nn::Param*> Params();
 
@@ -103,6 +113,12 @@ class SplitDetector {
   std::size_t StemMacs(int batch) const;
   std::size_t TinyHeadMacs(int batch) const;
   std::size_t FullHeadMacs(int batch) const;
+
+  /// The three halves, exposed so DetectorSession can plan them.
+  nn::Sequential& stem_net() { return stem_; }
+  nn::Sequential& tiny_head_net() { return tiny_head_; }
+  nn::Sequential& full_head_net() { return full_head_; }
+  const nn::Shape& stem_out_shape() const { return stem_out_shape_; }
 
  private:
   DetectorConfig config_;

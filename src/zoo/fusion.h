@@ -54,6 +54,14 @@ class MultiModalAutoencoder {
 
   std::vector<nn::Param*> Params();
 
+  /// The six stages, exposed so FusionSession can plan them.
+  nn::Sequential& enc_a_net() { return enc_a_; }
+  nn::Sequential& enc_b_net() { return enc_b_; }
+  nn::Sequential& enc_joint_net() { return enc_joint_; }
+  nn::Sequential& dec_joint_net() { return dec_joint_; }
+  nn::Sequential& dec_a_net() { return dec_a_; }
+  nn::Sequential& dec_b_net() { return dec_b_; }
+
  private:
   FusionConfig config_;
   nn::Sequential enc_a_, enc_b_;   // per-modality encoders -> hidden

@@ -1,14 +1,34 @@
 #include "zoo/inception.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace metro::zoo {
 
 using nn::ActKind;
 using nn::Shape;
 using nn::Tensor;
+using tensor::TensorView;
 
 namespace {
+
+/// Copies `x` into the interior of `out`, whose border of `pad` pixels on
+/// each spatial side must already hold the fill value. Raw row memcpys with
+/// precomputed strides — the padded interior is contiguous per (b, y) row.
+void PadSpatialRows(const float* xd, int n, int h, int w, int c, int pad,
+                    float* od) {
+  const int ph = h + 2 * pad, pw = w + 2 * pad;
+  const std::size_t row = std::size_t(w) * c;
+  const std::size_t prow = std::size_t(pw) * c;
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      std::memcpy(
+          &od[(std::size_t(b) * ph + y + pad) * prow + std::size_t(pad) * c],
+          &xd[(std::size_t(b) * h + y) * row], row * sizeof(float));
+    }
+  }
+}
 
 /// Zero-pads H and W by `pad` on each side (for the same-size pooling
 /// branch; MaxPool2d itself is unpadded).
@@ -16,16 +36,17 @@ Tensor PadSpatial(const Tensor& x, int pad) {
   const int n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
   Tensor out({n, h + 2 * pad, w + 2 * pad, c},
              -1e30f);  // -inf-ish so padding never wins the max
-  for (int b = 0; b < n; ++b) {
-    for (int y = 0; y < h; ++y) {
-      for (int xx = 0; xx < w; ++xx) {
-        for (int ch = 0; ch < c; ++ch) {
-          out.at(b, y + pad, xx + pad, ch) = x.at(b, y, xx, ch);
-        }
-      }
-    }
-  }
+  PadSpatialRows(x.data().data(), n, h, w, c, pad, out.data().data());
   return out;
+}
+
+/// PadSpatial into preallocated (arena) storage.
+void PadSpatialInto(const TensorView& x, int pad, const TensorView& out) {
+  const int n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  assert(out.dim(0) == n && out.dim(1) == h + 2 * pad &&
+         out.dim(2) == w + 2 * pad && out.dim(3) == c);
+  std::fill(out.data().begin(), out.data().end(), -1e30f);
+  PadSpatialRows(x.data().data(), n, h, w, c, pad, out.data().data());
 }
 
 /// Drops the padded border from a gradient tensor.
@@ -33,16 +54,40 @@ Tensor UnpadSpatial(const Tensor& g, int pad) {
   const int n = g.dim(0), h = g.dim(1) - 2 * pad, w = g.dim(2) - 2 * pad,
             c = g.dim(3);
   Tensor out({n, h, w, c});
+  const float* gd = g.data().data();
+  float* od = out.data().data();
+  const int pw = w + 2 * pad, ph = h + 2 * pad;
+  const std::size_t row = std::size_t(w) * c;
+  const std::size_t prow = std::size_t(pw) * c;
   for (int b = 0; b < n; ++b) {
     for (int y = 0; y < h; ++y) {
-      for (int xx = 0; xx < w; ++xx) {
-        for (int ch = 0; ch < c; ++ch) {
-          out.at(b, y, xx, ch) = g.at(b, y + pad, xx + pad, ch);
-        }
-      }
+      std::memcpy(
+          &od[(std::size_t(b) * h + y) * row],
+          &gd[(std::size_t(b) * ph + y + pad) * prow + std::size_t(pad) * c],
+          row * sizeof(float));
     }
   }
   return out;
+}
+
+/// Interleaves channel-wise parts into `out` — same values in the same
+/// positions as the eager ConcatChannels.
+void ConcatChannelsInto(const std::vector<TensorView>& parts,
+                        const TensorView& out) {
+  const int total_c = out.dim(3);
+  const std::size_t pixels =
+      std::size_t(out.dim(0)) * out.dim(1) * out.dim(2);
+  float* od = out.data().data();
+  std::size_t offset = 0;
+  for (const TensorView& part : parts) {
+    const int pc = part.dim(3);
+    const float* pd = part.data().data();
+    for (std::size_t px = 0; px < pixels; ++px) {
+      std::memcpy(&od[px * std::size_t(total_c) + offset],
+                  &pd[px * std::size_t(pc)], std::size_t(pc) * sizeof(float));
+    }
+    offset += std::size_t(pc);
+  }
 }
 
 }  // namespace
@@ -114,7 +159,7 @@ InceptionBlock::InceptionBlock(int in_channels, const InceptionConfig& config,
       act4_(ActKind::kRelu) {}
 
 Tensor InceptionBlock::Forward(const Tensor& x, bool training) {
-  cached_in_shape_ = x.shape();
+  if (training) cached_in_shape_ = x.shape();
   Tensor y1 = act1_.Forward(b1_.Forward(x, training), training);
   Tensor y2 = act2b_.Forward(
       b2_.Forward(act2a_.Forward(b2_reduce_.Forward(x, training), training),
@@ -127,6 +172,50 @@ Tensor InceptionBlock::Forward(const Tensor& x, bool training) {
   Tensor pooled = b4_pool_.Forward(PadSpatial(x, 1), training);
   Tensor y4 = act4_.Forward(b4_.Forward(pooled, training), training);
   return ConcatChannels({&y1, &y2, &y3, &y4});
+}
+
+void InceptionBlock::ForwardInto(const nn::TensorView& x,
+                                 const nn::TensorView& out,
+                                 nn::InferenceContext& ctx) {
+  if (!ctx.scratch) {
+    Layer::ForwardInto(x, out, ctx);
+    return;
+  }
+  // Each branch computes into block-local scratch (activations run in
+  // place), then the four results interleave into `out`. The session rewinds
+  // the scratch after this layer returns.
+  const Shape& in = x.shape();
+  TensorView y1 = ctx.scratch->AllocView(b1_.OutputShape(in));
+  b1_.ForwardInto(x, y1, ctx);
+  tensor::ReluInto(y1, y1);
+
+  TensorView r2 = ctx.scratch->AllocView(b2_reduce_.OutputShape(in));
+  b2_reduce_.ForwardInto(x, r2, ctx);
+  tensor::ReluInto(r2, r2);
+  TensorView y2 = ctx.scratch->AllocView(b2_.OutputShape(r2.shape()));
+  b2_.ForwardInto(r2, y2, ctx);
+  tensor::ReluInto(y2, y2);
+
+  TensorView r3 = ctx.scratch->AllocView(b3_reduce_.OutputShape(in));
+  b3_reduce_.ForwardInto(x, r3, ctx);
+  tensor::ReluInto(r3, r3);
+  TensorView y3 = ctx.scratch->AllocView(b3_.OutputShape(r3.shape()));
+  b3_.ForwardInto(r3, y3, ctx);
+  tensor::ReluInto(y3, y3);
+
+  Shape padded_shape = in;
+  padded_shape[1] += 2;
+  padded_shape[2] += 2;
+  TensorView padded = ctx.scratch->AllocView(padded_shape);
+  PadSpatialInto(x, 1, padded);
+  TensorView pooled =
+      ctx.scratch->AllocView(b4_pool_.OutputShape(padded_shape));
+  b4_pool_.ForwardInto(padded, pooled, ctx);
+  TensorView y4 = ctx.scratch->AllocView(b4_.OutputShape(pooled.shape()));
+  b4_.ForwardInto(pooled, y4, ctx);
+  tensor::ReluInto(y4, y4);
+
+  ConcatChannelsInto({y1, y2, y3, y4}, out);
 }
 
 Tensor InceptionBlock::Backward(const Tensor& grad_out) {

@@ -36,6 +36,8 @@ class InceptionBlock final : public nn::Layer {
 
   nn::Tensor Forward(const nn::Tensor& x, bool training) override;
   nn::Tensor Backward(const nn::Tensor& grad_out) override;
+  void ForwardInto(const nn::TensorView& x, const nn::TensorView& out,
+                   nn::InferenceContext& ctx) override;
   std::vector<nn::Param*> Params() override;
   std::string name() const override;
   std::size_t ForwardMacs(const nn::Shape& input_shape) const override;

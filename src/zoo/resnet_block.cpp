@@ -82,16 +82,74 @@ Tensor ResNetBlock::ShortcutBackward(const Tensor& grad) {
 }
 
 Tensor ResNetBlock::Forward(const Tensor& x, bool training) {
-  cached_in_shape_ = x.shape();
-  cached_main_preact_ = bn1_.Forward(conv1_.Forward(x, training), training);
-  Tensor main = tensor::ReluForward(cached_main_preact_);
+  if (training) cached_in_shape_ = x.shape();
+  Tensor main = bn1_.Forward(conv1_.Forward(x, training), training);
+  if (training) cached_main_preact_ = main;
+  main = tensor::ReluForward(main);
   main = bn2_.Forward(conv2_.Forward(main, training), training);
 
   Tensor sc = ShortcutForward(x, training);
   assert(sc.shape() == main.shape());
   main += sc;
-  cached_preact_ = main;
+  if (training) cached_preact_ = main;
   return tensor::ReluForward(main);
+}
+
+void ResNetBlock::ForwardInto(const nn::TensorView& x,
+                              const nn::TensorView& out,
+                              nn::InferenceContext& ctx) {
+  using tensor::TensorView;
+  if (!ctx.scratch) {
+    Layer::ForwardInto(x, out, ctx);
+    return;
+  }
+  // Main path: conv1 -> bn1 -> relu runs in block-local scratch; conv2 writes
+  // straight into `out` (distinct from `x` by the engine's ping-pong rule),
+  // then bn2 / the residual add / the final relu execute in place on `out`.
+  const Shape mid_shape = conv1_.OutputShape(x.shape());
+  TensorView mid = ctx.scratch->AllocView(mid_shape);
+  conv1_.ForwardInto(x, mid, ctx);
+  bn1_.ForwardInto(mid, mid, ctx);
+  tensor::ReluInto(mid, mid);
+  conv2_.ForwardInto(mid, out, ctx);
+  bn2_.ForwardInto(out, out, ctx);
+
+  switch (shortcut_) {
+    case ShortcutKind::kConv: {
+      TensorView sc = ctx.scratch->AllocView(out.shape());
+      conv_sc_->ForwardInto(x, sc, ctx);
+      tensor::AddInto(out, sc, out);
+      break;
+    }
+    case ShortcutKind::kIdentity:
+      tensor::AddInto(out, x, out);
+      break;
+    case ShortcutKind::kMaxPool: {
+      TensorView pooled = x;
+      if (pool_sc_) {
+        pooled = ctx.scratch->AllocView(pool_sc_->OutputShape(x.shape()));
+        pool_sc_->ForwardInto(x, pooled, ctx);
+      }
+      if (cout_ == cin_) {
+        tensor::AddInto(out, pooled, out);
+      } else {
+        // Add the pooled channels; the zero-padded tail contributes nothing.
+        const float* pd = pooled.data().data();
+        float* od = out.data().data();
+        const std::size_t pix = pooled.size() / std::size_t(cin_);
+        for (std::size_t p = 0; p < pix; ++p) {
+          float* opx = &od[p * std::size_t(cout_)];
+          const float* ppx = &pd[p * std::size_t(cin_)];
+          for (int ch = 0; ch < cin_; ++ch) opx[ch] += ppx[ch];
+          // Eager adds the zero padding too; keep the identical += 0.0f so
+          // signed zeros normalize the same way (bit-exactness contract).
+          for (int ch = cin_; ch < cout_; ++ch) opx[ch] += 0.0f;
+        }
+      }
+      break;
+    }
+  }
+  tensor::ReluInto(out, out);
 }
 
 Tensor ResNetBlock::Backward(const Tensor& grad_out) {

@@ -34,6 +34,8 @@ class ResNetBlock final : public Layer {
 
   Tensor Forward(const Tensor& x, bool training) override;
   Tensor Backward(const Tensor& grad_out) override;
+  void ForwardInto(const nn::TensorView& x, const nn::TensorView& out,
+                   nn::InferenceContext& ctx) override;
   std::vector<Param*> Params() override;
   std::vector<Tensor*> Buffers() override;
   std::string name() const override;

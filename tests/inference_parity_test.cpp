@@ -1,0 +1,340 @@
+// Bit-exactness parity suite for the planned inference engine.
+//
+// The eager path `Forward(x, /*training=*/false)` is the oracle: every
+// planned session / *Into kernel below must reproduce it bit-for-bit
+// (EXPECT_EQ on floats, not near). Also covers the arena lifecycle —
+// steady-state runs must not grow the workspace — and transparent
+// replanning across batch sizes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/vehicle_app.h"
+#include "datagen/video.h"
+#include "nn/inference.h"
+#include "nn/sequential.h"
+#include "tensor/workspace.h"
+#include "util/thread_pool.h"
+#include "zoo/behavior.h"
+#include "zoo/cca.h"
+#include "zoo/detector.h"
+#include "zoo/fusion.h"
+#include "zoo/inception.h"
+#include "zoo/resnet_block.h"
+#include "zoo/session.h"
+
+namespace metro {
+namespace {
+
+using nn::Tensor;
+using tensor::TensorView;
+using tensor::Workspace;
+
+void ExpectBitExact(const Tensor& expected, const Tensor& actual) {
+  ASSERT_EQ(expected.shape(), actual.shape());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], actual[i]) << "float mismatch at index " << i;
+  }
+}
+
+void ExpectBitExact(const Tensor& expected, const TensorView& actual) {
+  ASSERT_EQ(expected.shape(), actual.shape());
+  const auto d = actual.data();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(expected[i], d[i]) << "float mismatch at index " << i;
+  }
+}
+
+Tensor RandomInput(const nn::Shape& shape, Rng& rng) {
+  Tensor x(shape);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.UniformFloat(-1.0f, 1.0f);
+  }
+  return x;
+}
+
+// ------------------------------------------------------------ single layers
+
+TEST(InferenceParityTest, ResNetBlockAllShortcuts) {
+  for (auto kind : {zoo::ShortcutKind::kConv, zoo::ShortcutKind::kIdentity,
+                    zoo::ShortcutKind::kMaxPool}) {
+    Rng rng(100 + static_cast<int>(kind));
+    const int cin = kind == zoo::ShortcutKind::kIdentity ? 6 : 4;
+    const int cout = 6;
+    const int stride = kind == zoo::ShortcutKind::kIdentity ? 1 : 2;
+    zoo::ResNetBlock block(cin, cout, stride, kind, rng);
+    Tensor x = RandomInput({2, 8, 8, cin}, rng);
+
+    const Tensor eager = block.Forward(x, false);
+
+    Workspace arena;
+    nn::InferenceSession session(std::vector<nn::Layer*>{&block}, x.shape(),
+                                 arena);
+    ExpectBitExact(eager, session.Run(TensorView::OfConst(x)));
+  }
+}
+
+TEST(InferenceParityTest, InceptionBlock) {
+  Rng rng(7);
+  zoo::InceptionConfig config;
+  zoo::InceptionBlock block(3, config, rng);
+  Tensor x = RandomInput({2, 6, 6, 3}, rng);
+
+  const Tensor eager = block.Forward(x, false);
+
+  Workspace arena;
+  nn::InferenceSession session(std::vector<nn::Layer*>{&block}, x.shape(),
+                               arena);
+  ExpectBitExact(eager, session.Run(TensorView::OfConst(x)));
+}
+
+TEST(InferenceParityTest, SessionWithThreadPoolIsStillBitExact) {
+  Rng rng(8);
+  zoo::ResNetBlock block(3, 8, 2, zoo::ShortcutKind::kConv, rng);
+  Tensor x = RandomInput({3, 10, 10, 3}, rng);
+  const Tensor eager = block.Forward(x, false);
+
+  ThreadPool pool(4);
+  Workspace arena;
+  nn::InferenceSession session(std::vector<nn::Layer*>{&block}, x.shape(),
+                               arena, &pool);
+  ExpectBitExact(eager, session.Run(TensorView::OfConst(x)));
+}
+
+// -------------------------------------------------------------- arena rules
+
+TEST(InferenceParityTest, SteadyStateRunsDoNotGrowArena) {
+  Rng rng(9);
+  zoo::InceptionConfig config;
+  zoo::InceptionBlock block(3, config, rng);
+  Tensor x = RandomInput({2, 6, 6, 3}, rng);
+
+  Workspace arena;
+  nn::InferenceSession session(std::vector<nn::Layer*>{&block}, x.shape(),
+                               arena);
+  session.Run(TensorView::OfConst(x));  // warm-up may grow chunks
+  const std::size_t grown = arena.grow_count();
+  const std::size_t peak = arena.peak_bytes();
+  for (int i = 0; i < 8; ++i) {
+    session.Run(TensorView::OfConst(x));
+  }
+  EXPECT_EQ(arena.grow_count(), grown);
+  EXPECT_EQ(arena.peak_bytes(), peak);
+  EXPECT_EQ(session.stats().runs, 9);
+  EXPECT_EQ(session.stats().replans, 0);
+}
+
+TEST(InferenceParityTest, RepeatedRunsStayBitExact) {
+  Rng rng(10);
+  zoo::ResNetBlock block(4, 8, 2, zoo::ShortcutKind::kMaxPool, rng);
+  Tensor x = RandomInput({2, 8, 8, 4}, rng);
+  const Tensor eager = block.Forward(x, false);
+
+  Workspace arena;
+  nn::InferenceSession session(std::vector<nn::Layer*>{&block}, x.shape(),
+                               arena);
+  for (int i = 0; i < 4; ++i) {
+    ExpectBitExact(eager, session.Run(TensorView::OfConst(x)));
+  }
+}
+
+TEST(InferenceParityTest, BatchSizeChangeReplansTransparently) {
+  Rng rng(11);
+  zoo::ResNetBlock block(3, 6, 1, zoo::ShortcutKind::kConv, rng);
+
+  Workspace arena;
+  nn::InferenceSession session(std::vector<nn::Layer*>{&block}, {1, 8, 8, 3},
+                               arena);
+  for (int batch : {1, 3, 2, 3}) {
+    Tensor x = RandomInput({batch, 8, 8, 3}, rng);
+    const Tensor eager = block.Forward(x, false);
+    ExpectBitExact(eager, session.Run(TensorView::OfConst(x)));
+  }
+  EXPECT_EQ(session.stats().runs, 4);
+  // 1 -> 3 -> 2 -> 3 changed shape three times.
+  EXPECT_EQ(session.stats().replans, 3);
+}
+
+// ------------------------------------------------------------- zoo sessions
+
+TEST(InferenceParityTest, DetectorHalvesMatchEager) {
+  Rng rng(12);
+  zoo::DetectorConfig config;
+  zoo::SplitDetector det(config, rng);
+  datagen::VehicleFrameGenerator gen(config, 99);
+  auto [images, truth] = gen.Batch(2);
+
+  const Tensor stem = det.Stem(images, false);
+  const Tensor tiny = det.TinyHead(stem, false);
+  const Tensor full = det.FullHead(stem, false);
+
+  Workspace arena;
+  zoo::DetectorSession session(det, /*batch=*/2, arena);
+  const TensorView stem_v = session.Stem(TensorView::OfConst(images));
+  ExpectBitExact(stem, stem_v);
+  ExpectBitExact(tiny, session.TinyHead(stem_v));
+  ExpectBitExact(full, session.FullHead(stem_v));
+}
+
+TEST(InferenceParityTest, DetectorGateMatchesEagerProcessFrame) {
+  zoo::DetectorConfig config;
+  apps::VehicleDetectionApp app(config, 1234);
+  app.Train(6, 4);  // a few steps so confidences are non-degenerate
+
+  datagen::VehicleFrameGenerator& gen = app.generator();
+  for (float threshold : {0.0f, 0.4f, 1.01f}) {
+    datagen::LabeledFrame frame = gen.Generate();
+    const Tensor batch1 = frame.image.Reshape(
+        {1, config.image_size, config.image_size, config.channels});
+
+    // Eager oracle re-derived from the halves.
+    const Tensor stem = app.detector().Stem(batch1, false);
+    const Tensor tiny = app.detector().TinyHead(stem, false);
+    const float conf = app.detector().Confidence(tiny, 0);
+    const bool offload = conf < threshold;
+    const Tensor head = offload ? app.detector().FullHead(stem, false) : tiny;
+    const auto expected =
+        zoo::Nms(app.detector().Decode(head, 0, 0.1f), 0.4f, 0.1f);
+
+    const apps::FrameResult got = app.ProcessFrame(batch1, threshold);
+    EXPECT_EQ(got.offloaded, offload);
+    EXPECT_EQ(got.tiny_confidence, conf);
+    ASSERT_EQ(got.detections.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got.detections[i].score, expected[i].score);
+      EXPECT_EQ(got.detections[i].cls, expected[i].cls);
+      EXPECT_EQ(got.detections[i].cx, expected[i].cx);
+      EXPECT_EQ(got.detections[i].cy, expected[i].cy);
+      EXPECT_EQ(got.detections[i].w, expected[i].w);
+      EXPECT_EQ(got.detections[i].h, expected[i].h);
+    }
+  }
+}
+
+TEST(InferenceParityTest, BehaviorLocalAndServerMatchEager) {
+  Rng rng(13);
+  zoo::BehaviorConfig config;
+  zoo::SplitBehaviorNet net(config, rng);
+  datagen::BehaviorClipGenerator gen(config, 77);
+  const zoo::Clip clip = gen.Generate(1);
+
+  auto eager_local = net.RunLocal(clip);
+  const auto eager_server = net.RunServer(eager_local.block1_out);
+
+  Workspace arena;
+  zoo::BehaviorSession session(net, /*n_clips=*/1, arena);
+  auto local = session.RunLocal(TensorView::OfConst(clip.frames), 1);
+  ExpectBitExact(eager_local.logits, local.logits);
+  ExpectBitExact(eager_local.block1_out, local.block1_out);
+  ASSERT_EQ(local.entropy.size(), 1u);
+  EXPECT_EQ(local.entropy.front(), eager_local.entropy);
+
+  const Tensor server_logits = session.ServerLogits(local.block1_out, 1);
+  const Tensor server_probs = tensor::Softmax(server_logits);
+  ASSERT_EQ(server_probs.size(), eager_server.size());
+  for (std::size_t i = 0; i < eager_server.size(); ++i) {
+    EXPECT_EQ(server_probs[i], eager_server[i]);
+  }
+}
+
+TEST(InferenceParityTest, BehaviorPredictMatchesEagerBothExits) {
+  Rng rng(14);
+  zoo::BehaviorConfig config;
+  zoo::SplitBehaviorNet net(config, rng);
+  datagen::BehaviorClipGenerator gen(config, 78);
+
+  Workspace arena;
+  zoo::BehaviorSession session(net, 1, arena);
+  // Threshold 0 forces the server exit; a huge one forces the local exit.
+  for (float threshold : {0.0f, 100.0f}) {
+    const zoo::Clip clip = gen.Generate();
+    const auto expected = net.Predict(clip, threshold);
+    const auto got = session.Predict(clip, threshold);
+    EXPECT_EQ(got.label, expected.label);
+    EXPECT_EQ(got.entropy, expected.entropy);
+    EXPECT_EQ(got.used_server, expected.used_server);
+    ASSERT_EQ(got.probs.size(), expected.probs.size());
+    for (std::size_t i = 0; i < expected.probs.size(); ++i) {
+      EXPECT_EQ(got.probs[i], expected.probs[i]);
+    }
+  }
+}
+
+TEST(InferenceParityTest, FusionEncodeDecodeMatchEager) {
+  Rng rng(15);
+  zoo::FusionConfig config;
+  zoo::MultiModalAutoencoder model(config, rng);
+  Tensor a = RandomInput({3, config.dim_a}, rng);
+  Tensor b = RandomInput({3, config.dim_b}, rng);
+
+  const Tensor eager_code = model.Encode(a, b, false);
+  const auto eager_recon = model.Decode(eager_code, false);
+  const float eager_err = model.ReconstructionError(a, b);
+
+  Workspace arena;
+  zoo::FusionSession session(model, 3, arena);
+  const Tensor code =
+      session.Encode(TensorView::OfConst(a), TensorView::OfConst(b));
+  ExpectBitExact(eager_code, code);
+  const auto recon = session.Decode(TensorView::OfConst(code));
+  ExpectBitExact(eager_recon.a, recon.a);
+  ExpectBitExact(eager_recon.b, recon.b);
+  EXPECT_EQ(session.ReconstructionError(a, b), eager_err);
+}
+
+TEST(InferenceParityTest, CcaProjectIntoMatchesEager) {
+  Rng rng(16);
+  const int n = 24, p = 6, q = 4, k = 3;
+  Tensor x = RandomInput({n, p}, rng);
+  Tensor y = RandomInput({n, q}, rng);
+  // Correlate y with x a little so CCA has structure.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < q; ++j) {
+      y[std::size_t(i) * q + std::size_t(j)] +=
+          0.5f * x[std::size_t(i) * p + std::size_t(j % p)];
+    }
+  }
+  auto fit = zoo::FitCca(x, y, k);
+  ASSERT_TRUE(fit.ok());
+  const zoo::CcaModel& model = fit.value();
+
+  const Tensor eager_px = zoo::CcaProjectX(model, x);
+  const Tensor eager_py = zoo::CcaProjectY(model, y);
+
+  Workspace scratch;
+  Tensor px({n, k}), py({n, k});
+  zoo::CcaProjectXInto(model, TensorView::OfConst(x), TensorView(px),
+                       scratch);
+  zoo::CcaProjectYInto(model, TensorView::OfConst(y), TensorView(py),
+                       scratch);
+  ExpectBitExact(eager_px, px);
+  ExpectBitExact(eager_py, py);
+  EXPECT_EQ(scratch.live_floats(), 0u);  // scratch rewound on exit
+}
+
+TEST(InferenceParityTest, SharedArenaSessionsDoNotClobberCutPoint) {
+  Rng rng(17);
+  zoo::DetectorConfig config;
+  zoo::SplitDetector det(config, rng);
+  datagen::VehicleFrameGenerator gen(config, 55);
+  auto [images, truth] = gen.Batch(1);
+
+  const Tensor stem = det.Stem(images, false);
+  const Tensor tiny = det.TinyHead(stem, false);
+  const Tensor full = det.FullHead(stem, false);
+
+  Workspace arena;
+  zoo::DetectorSession session(det, 1, arena);
+  // Run both heads off the same stem output: the second head's execution
+  // must not invalidate either the stem view or the first head's output.
+  const TensorView stem_v = session.Stem(TensorView::OfConst(images));
+  const TensorView tiny_v = session.TinyHead(stem_v);
+  const TensorView full_v = session.FullHead(stem_v);
+  ExpectBitExact(stem, stem_v);
+  ExpectBitExact(tiny, tiny_v);
+  ExpectBitExact(full, full_v);
+}
+
+}  // namespace
+}  // namespace metro

@@ -10,15 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dfs/dfs.h"
+#include "nn/inference.h"
+#include "nn/layer.h"
+#include "nn/sequential.h"
 #include "obs/trace.h"
 #include "store/lsm.h"
+#include "tensor/workspace.h"
 #include "util/clock.h"
 #include "util/queue.h"
+#include "util/rng.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
 
@@ -139,6 +145,81 @@ TEST(StaticStressTest, SpanCollectorConcurrentRecordAndReport) {
 
   EXPECT_EQ(spans.size(), 4u * 1500u);
   EXPECT_FALSE(spans.StageBreakdown().empty());
+}
+
+// The inference engine's documented thread model: each session is driven by
+// one thread (with its own Workspace), but many sessions may share one
+// ThreadPool, and stats() may be read from any thread while the owner runs.
+// Under TSan this hammers three surfaces at once: the pool's task queue fed
+// by concurrent ParallelFor calls, each session's stats mutex against the
+// reader, and the per-session arenas (which must never be shared across the
+// drivers — sharing one here is the bug this test would catch).
+TEST(StaticStressTest, ConcurrentInferenceSessionsSharingThreadPool) {
+  constexpr int kSessions = 4;
+  constexpr int kRuns = 60;
+  ThreadPool pool(4);
+
+  struct Worker {
+    Rng rng;
+    nn::Sequential model;
+    tensor::Workspace arena;
+    std::unique_ptr<nn::InferenceSession> session;
+    nn::Tensor input{nn::Shape{}};
+    nn::Tensor oracle{nn::Shape{}};
+
+    explicit Worker(int seed) : rng(seed) {
+      model.Emplace<nn::Dense>(12, 24, rng)
+          .Emplace<nn::Activation>(nn::ActKind::kLeakyRelu)
+          .Emplace<nn::Dense>(24, 8, rng)
+          .Emplace<nn::Activation>(nn::ActKind::kSigmoid);
+      input = nn::Tensor({3, 12});
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        input[i] = rng.UniformFloat(-1.0f, 1.0f);
+      }
+      oracle = model.Forward(input, /*training=*/false);
+    }
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int s = 0; s < kSessions; ++s) {
+    workers.push_back(std::make_unique<Worker>(900 + s));
+    workers.back()->session = std::make_unique<nn::InferenceSession>(
+        workers.back()->model, workers.back()->input.shape(),
+        workers.back()->arena, &pool);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> drivers;
+  for (int s = 0; s < kSessions; ++s) {
+    drivers.emplace_back([&workers, s] {
+      Worker& w = *workers[std::size_t(s)];
+      for (int i = 0; i < kRuns; ++i) {
+        const tensor::TensorView out =
+            w.session->Run(tensor::TensorView::OfConst(w.input));
+        const auto d = out.data();
+        for (std::size_t j = 0; j < w.oracle.size(); ++j) {
+          ASSERT_EQ(w.oracle[j], d[j]) << "session " << s << " run " << i;
+        }
+      }
+    });
+  }
+  std::jthread reader([&workers, &stop] {
+    // stats() must be safely readable while every driver is mid-Run.
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& w : workers) {
+        const auto st = w->session->stats();
+        ASSERT_GE(st.runs, st.replans);
+      }
+    }
+  });
+  drivers.clear();  // joins
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  for (auto& w : workers) {
+    EXPECT_EQ(w->session->stats().runs, kRuns);
+    EXPECT_EQ(w->session->stats().replans, 0);
+  }
 }
 
 // Regression: DataNode::alive_ used to be a plain bool, so Kill()/Revive()
