@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# Static-analysis gate: thread-safety analysis, clang-tidy, and the
-# sanitizer matrix in one command. Exits non-zero on any thread-safety
-# warning, clang-tidy finding, or sanitizer failure.
+# Static-analysis gate: project invariants (metrolint), thread-safety +
+# lifetime analysis, clang-format, clang-tidy, and the sanitizer matrix in
+# one command. Exits non-zero on any finding.
 #
 # Stages:
-#   1. Clang + METRO_THREAD_SAFETY=ON: -Werror=thread-safety over the whole
-#      annotated tree (src/util/sync.h vocabulary). Skipped with a notice
-#      when no clang is installed — the annotations compile as no-ops under
-#      GCC, so this stage needs a real Clang to prove anything.
-#   2. clang-tidy with the repo .clang-tidy profile over src/. Skipped with
-#      a notice when clang-tidy is not installed.
-#   3. Sanitizer matrix: TSan on the concurrency-heavy labels (static, obs,
+#   0. metrolint: the project-invariant analyzer (tools/metrolint/) —
+#      include-layering DAG, METRO_NOALLOC hot-path allocation ban, banned
+#      patterns. Compiled directly with the host C++ compiler (no cmake, no
+#      clang needed), so this stage ALWAYS runs: it is the portable floor
+#      under the clang-only stages below. Runs --selftest first (the rule
+#      engine must prove it still catches seeded violations), then the
+#      zero-findings gate over src/ bench/ tests/.
+#   1. Clang + METRO_THREAD_SAFETY=ON + METRO_LIFETIME=ON:
+#      -Werror=thread-safety over the annotated tree (src/util/sync.h
+#      vocabulary) and -Werror=dangling* over the METRO_LIFETIME_BOUND
+#      view APIs (src/util/analysis.h), then the static-labelled ctests in
+#      that build (including the WILL_FAIL dangling-view compile test).
+#      Skipped with a notice when no clang is installed — both annotation
+#      families compile as no-ops under GCC.
+#   2. clang-format --dry-run -Werror over src/ bench/ tests/ tools/ with
+#      the repo .clang-format. Skipped when not installed.
+#   3. clang-tidy with the repo .clang-tidy profile over src/ .cpp files
+#      AND over header-only modules (headers with no same-named .cpp
+#      anywhere in src/, e.g. src/dataflow/dataset.h) via generated
+#      single-include TUs. Skipped when not installed.
+#   4. Sanitizer matrix: TSan on the concurrency-heavy labels (static, obs,
 #      resilience), ASan and UBSan on the full suite. Runs with whatever
 #      compiler CMake picks (GCC and Clang both support all three).
 #
@@ -25,35 +39,79 @@ PREFIX="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIPPED=()
 
-# --- 1. Clang thread-safety analysis -----------------------------------
+# --- 0. metrolint project invariants ------------------------------------
+echo "==> metrolint: layering DAG + METRO_NOALLOC + hygiene (always on)"
+HOSTCXX="${CXX:-$(command -v c++ || command -v g++ || command -v clang++)}"
+mkdir -p "${PREFIX}-metrolint"
+"${HOSTCXX}" -std=c++20 -O1 -o "${PREFIX}-metrolint/metrolint" \
+  tools/metrolint/metrolint.cpp
+"${PREFIX}-metrolint/metrolint" --selftest --root .
+"${PREFIX}-metrolint/metrolint" --root .
+
+# --- 1. Clang thread-safety + lifetime analysis --------------------------
 CLANGXX="$(command -v clang++ || true)"
 if [[ -n "${CLANGXX}" ]]; then
-  echo "==> thread-safety: clang + METRO_THREAD_SAFETY=ON (-Werror=thread-safety)"
+  echo "==> clang analyses: METRO_THREAD_SAFETY=ON + METRO_LIFETIME=ON"
   cmake -B "${PREFIX}-tsafe" -S . \
     -DCMAKE_CXX_COMPILER="${CLANGXX}" \
-    -DMETRO_THREAD_SAFETY=ON >/dev/null
+    -DMETRO_THREAD_SAFETY=ON -DMETRO_LIFETIME=ON >/dev/null
   cmake --build "${PREFIX}-tsafe" -j "${JOBS}"
+  # Static-labelled tests in the clang build, including the WILL_FAIL
+  # dangling-view negative compile test (tests/static/).
+  ctest --test-dir "${PREFIX}-tsafe" --output-on-failure -j "${JOBS}" \
+    -L "static"
 else
-  echo "==> thread-safety: SKIPPED (no clang++ on PATH; annotations are no-ops under this compiler)"
-  SKIPPED+=("thread-safety")
+  echo "==> clang analyses: SKIPPED (no clang++ on PATH; thread-safety and lifetime annotations are no-ops under this compiler)"
+  SKIPPED+=("thread-safety" "lifetime")
 fi
 
-# --- 2. clang-tidy ------------------------------------------------------
+# --- 2. clang-format ------------------------------------------------------
+CLANG_FORMAT="$(command -v clang-format || true)"
+if [[ -n "${CLANG_FORMAT}" ]]; then
+  echo "==> clang-format: --dry-run -Werror with repo .clang-format"
+  find src bench tests tools \( -name '*.cpp' -o -name '*.h' \) -print0 |
+    xargs -0 -n 16 -P "${JOBS}" "${CLANG_FORMAT}" --dry-run -Werror
+else
+  echo "==> clang-format: SKIPPED (not installed)"
+  SKIPPED+=("clang-format")
+fi
+
+# --- 3. clang-tidy ------------------------------------------------------
 CLANG_TIDY="$(command -v clang-tidy || true)"
 if [[ -n "${CLANG_TIDY}" ]]; then
-  echo "==> clang-tidy: src/ with repo .clang-tidy profile"
+  echo "==> clang-tidy: src/ .cpp files with repo .clang-tidy profile"
   cmake -B "${PREFIX}-tidy" -S . \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   # xargs propagates clang-tidy's non-zero exit through set -e.
   find src -name '*.cpp' -print0 |
     xargs -0 -n 8 -P "${JOBS}" "${CLANG_TIDY}" -p "${PREFIX}-tidy" --quiet
+
+  echo "==> clang-tidy: header-only modules via generated TUs"
+  # Headers with no same-named .cpp anywhere under src/ never appear in
+  # compile_commands.json, so the pass above cannot see them. Wrap each in
+  # a one-line TU and tidy that with explicit flags.
+  TUDIR="${PREFIX}-tidy/header-tus"
+  mkdir -p "${TUDIR}"
+  HEADER_TUS=()
+  while IFS= read -r header; do
+    base="$(basename "${header}" .h)"
+    if ! find src -name "${base}.cpp" -print -quit | grep -q .; then
+      tu="${TUDIR}/$(echo "${header#src/}" | tr '/' '_').cpp"
+      printf '#include "%s"\n' "${header#src/}" > "${tu}"
+      HEADER_TUS+=("${tu}")
+    fi
+  done < <(find src -name '*.h' | sort)
+  printf '%s\0' "${HEADER_TUS[@]}" |
+    xargs -0 -n 8 -P "${JOBS}" "${CLANG_TIDY}" --quiet \
+      -- -std=c++20 -Isrc
 else
   echo "==> clang-tidy: SKIPPED (not installed)"
   SKIPPED+=("clang-tidy")
 fi
 
-# --- 3. Sanitizer matrix ------------------------------------------------
-CONCURRENCY_TARGETS=(static_stress_test obs_test resilience_test chaos_test util_test)
+# --- 4. Sanitizer matrix ------------------------------------------------
+CONCURRENCY_TARGETS=(static_stress_test invariants_test metrolint obs_test
+                     resilience_test chaos_test util_test)
 FULL_LABEL_ARGS=()
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
   FULL_LABEL_ARGS=(-L "static")
@@ -68,7 +126,8 @@ ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
 echo "==> asan: METRO_SANITIZE=address + tests"
 cmake -B "${PREFIX}-asan" -S . -DMETRO_SANITIZE=address >/dev/null
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
-  cmake --build "${PREFIX}-asan" -j "${JOBS}" --target static_stress_test
+  cmake --build "${PREFIX}-asan" -j "${JOBS}" \
+    --target static_stress_test invariants_test metrolint
 else
   cmake --build "${PREFIX}-asan" -j "${JOBS}"
 fi
@@ -78,7 +137,8 @@ ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
 echo "==> ubsan: METRO_SANITIZE=undefined (-fno-sanitize-recover) + tests"
 cmake -B "${PREFIX}-ubsan" -S . -DMETRO_SANITIZE=undefined >/dev/null
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
-  cmake --build "${PREFIX}-ubsan" -j "${JOBS}" --target static_stress_test
+  cmake --build "${PREFIX}-ubsan" -j "${JOBS}" \
+    --target static_stress_test invariants_test metrolint
 else
   cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 fi

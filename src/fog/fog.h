@@ -15,6 +15,7 @@
 
 #include "net/simulator.h"
 #include "obs/trace.h"
+#include "util/analysis.h"
 #include "resilience/policy.h"
 #include "util/metrics.h"
 
@@ -51,7 +52,7 @@ class FogTopology {
   explicit FogTopology(const FogConfig& config);
 
   const FogConfig& config() const { return config_; }
-  net::Simulator& sim() { return sim_; }
+  net::Simulator& sim() METRO_LIFETIME_BOUND { return sim_; }
 
   int num_edges() const { return config_.num_edges; }
   int num_fogs() const { return num_fogs_; }

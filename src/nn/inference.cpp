@@ -114,11 +114,16 @@ void InferenceSession::EnsureSlots() {
   }
 }
 
+void InferenceSession::Replan(const Shape& input_shape) {
+  plan_ = InferencePlan(plan_.layers(), input_shape);
+  EnsureSlots();
+}
+
+METRO_NOALLOC
 TensorView InferenceSession::Run(const TensorView& input) {
   bool replanned = false;
   if (input.shape() != plan_.input_shape()) {
-    plan_ = InferencePlan(plan_.layers(), input.shape());
-    EnsureSlots();
+    Replan(input.shape());  // cold path: plan + slot storage rebuilt
     replanned = true;
   }
 

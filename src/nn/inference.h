@@ -109,13 +109,15 @@ class InferenceSession {
   /// sessions on the same arena do not clobber it). If the input shape
   /// differs from the planned one (batch growth/shrink), the session replans
   /// transparently; the arena only grows if the new shapes need more room.
-  TensorView Run(const TensorView& input);
+  /// The definition carries METRO_NOALLOC: the steady-state walk is
+  /// allocation-free (the replan branch delegates to the cold Replan()).
+  TensorView Run(const TensorView& input) METRO_LIFETIME_BOUND;
 
   /// Convenience wrapper matching the eager API: copies the result out.
   Tensor Run(const Tensor& input);
 
   const InferencePlan& plan() const { return plan_; }
-  Workspace& arena() { return *arena_; }
+  Workspace& arena() METRO_LIFETIME_BOUND { return *arena_; }
 
   /// Run counters, readable from any thread while another runs the session.
   struct Stats {
@@ -126,6 +128,9 @@ class InferenceSession {
 
  private:
   void EnsureSlots() METRO_EXCLUDES(stats_mu_);
+  /// Cold path for Run(): rebuilds the plan (and slot storage) for a new
+  /// input shape. Allocates; kept out of the METRO_NOALLOC Run body.
+  void Replan(const Shape& input_shape);
 
   Workspace* arena_;
   ThreadPool* pool_;

@@ -40,6 +40,7 @@ Tensor Dense::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+METRO_NOALLOC
 void Dense::ForwardInto(const TensorView& x, const TensorView& out,
                         InferenceContext& ctx) {
   assert(x.rank() == 2 && x.dim(1) == in_);
@@ -90,6 +91,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool training) {
   return tensor::Conv2dForward(x, w_.value, b_.value, stride_, pad_);
 }
 
+METRO_NOALLOC
 void Conv2d::ForwardInto(const TensorView& x, const TensorView& out,
                          InferenceContext& ctx) {
   assert(x.rank() == 4 && x.dim(3) == cin_);
@@ -136,6 +138,7 @@ Tensor MaxPool2d::Forward(const Tensor& x, bool training) {
   return cached_.output;
 }
 
+METRO_NOALLOC
 void MaxPool2d::ForwardInto(const TensorView& x, const TensorView& out,
                             InferenceContext& /*ctx*/) {
   tensor::MaxPool2dForwardInto(x, k_, stride_, out);
@@ -168,6 +171,7 @@ Tensor GlobalAvgPool::Forward(const Tensor& x, bool training) {
   return tensor::GlobalAvgPoolForward(x);
 }
 
+METRO_NOALLOC
 void GlobalAvgPool::ForwardInto(const TensorView& x, const TensorView& out,
                                 InferenceContext& /*ctx*/) {
   tensor::GlobalAvgPoolForwardInto(x, out);
@@ -226,6 +230,7 @@ Tensor Activation::Forward(const Tensor& x, bool training) {
   return x;
 }
 
+METRO_NOALLOC
 void Activation::ForwardInto(const TensorView& x, const TensorView& out,
                              InferenceContext& /*ctx*/) {
   switch (kind_) {
@@ -339,19 +344,29 @@ Tensor BatchNorm::Forward(const Tensor& x, bool training) {
   return y;
 }
 
+METRO_NOALLOC
 void BatchNorm::ForwardInto(const TensorView& x, const TensorView& out,
                             InferenceContext& ctx) {
   assert(x.rank() >= 2 && x.dim(x.rank() - 1) == c_);
-  std::vector<float> fallback;
-  std::span<float> scale, shift;
-  if (ctx.scratch) {
-    scale = ctx.scratch->Alloc(std::size_t(c_));
-    shift = ctx.scratch->Alloc(std::size_t(c_));
-  } else {
-    fallback.resize(std::size_t(c_) * 2);
-    scale = std::span<float>(fallback).first(std::size_t(c_));
-    shift = std::span<float>(fallback).last(std::size_t(c_));
+  if (!ctx.scratch) {
+    ForwardIntoNoScratch(x, out);  // cold path: heap-backed scale/shift
+    return;
   }
+  const std::span<float> scale = ctx.scratch->Alloc(std::size_t(c_));
+  const std::span<float> shift = ctx.scratch->Alloc(std::size_t(c_));
+  tensor::BatchNormFoldScaleShift(gamma_.value.data(), beta_.value.data(),
+                                  running_mean_.data(), running_var_.data(),
+                                  eps_, scale, shift);
+  tensor::BatchNormInferenceInto(x, scale, shift, out);
+}
+
+void BatchNorm::ForwardIntoNoScratch(const TensorView& x,
+                                     const TensorView& out) {
+  std::vector<float> fallback(std::size_t(c_) * 2);
+  const std::span<float> scale =
+      std::span<float>(fallback).first(std::size_t(c_));
+  const std::span<float> shift =
+      std::span<float>(fallback).last(std::size_t(c_));
   tensor::BatchNormFoldScaleShift(gamma_.value.data(), beta_.value.data(),
                                   running_mean_.data(), running_var_.data(),
                                   eps_, scale, shift);

@@ -246,6 +246,10 @@ class BatchNorm final : public Layer {
   std::span<const float> running_var() const { return running_var_.data(); }
 
  private:
+  /// Eager-materializing fallback when no scratch arena is bound (heap
+  /// scale/shift) — kept out of the METRO_NOALLOC hot path.
+  void ForwardIntoNoScratch(const TensorView& x, const TensorView& out);
+
   int c_;
   float momentum_, eps_;
   Param gamma_, beta_;

@@ -25,6 +25,7 @@ struct ConvDims {
 // Conv2dForwardInto so the two stay bit-identical; each output element is
 // written by exactly one row, so ParallelFor over rows is race-free and
 // order-preserving.
+METRO_NOALLOC
 void ConvRowRange(const float* in_d, const float* w_d, const float* bias_d,
                   const ConvDims& d, float* out_d, std::int64_t row_begin,
                   std::int64_t row_end) {
@@ -76,6 +77,7 @@ void ConvRowRange(const float* in_d, const float* w_d, const float* bias_d,
 constexpr int kConvAccChannels = 128;
 
 template <int kCout>
+METRO_NOALLOC
 void ConvRowRangeFixed(const float* in_d, const float* w_d,
                        const float* bias_d, const ConvDims& d, float* out_d,
                        std::int64_t row_begin, std::int64_t row_end) {
@@ -180,6 +182,7 @@ void ConvRowRangeFixed(const float* in_d, const float* w_d,
 }
 
 // Generic-width fallback with the same local-accumulator structure.
+METRO_NOALLOC
 void ConvRowRangeBlocked(const float* in_d, const float* w_d,
                          const float* bias_d, const ConvDims& d, float* out_d,
                          std::int64_t row_begin, std::int64_t row_end) {
@@ -274,6 +277,7 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weights,
   return out;
 }
 
+METRO_NOALLOC
 void Conv2dForwardInto(const TensorView& input, const Tensor& weights,
                        const Tensor& bias, int stride, int pad,
                        const TensorView& out, ThreadPool* pool) {
@@ -576,6 +580,7 @@ float MaxProb(std::span<const float> probs) {
 // ---------------------------------------------------------------------------
 // Planned-inference kernels.
 
+METRO_NOALLOC
 void MaxPool2dForwardInto(const TensorView& input, int k, int stride,
                           const TensorView& out) {
   assert(input.rank() == 4 && out.rank() == 4);
@@ -608,6 +613,7 @@ void MaxPool2dForwardInto(const TensorView& input, int k, int stride,
   }
 }
 
+METRO_NOALLOC
 void GlobalAvgPoolForwardInto(const TensorView& input, const TensorView& out) {
   assert(input.rank() == 4 && out.rank() == 2);
   const int n = input.dim(0), h = input.dim(1), w = input.dim(2),
@@ -628,6 +634,7 @@ void GlobalAvgPoolForwardInto(const TensorView& input, const TensorView& out) {
   }
 }
 
+METRO_NOALLOC
 void MatMulInto(const TensorView& a, const Tensor& b, const TensorView& c,
                 ThreadPool* pool) {
   assert(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
@@ -653,6 +660,7 @@ void MatMulInto(const TensorView& a, const Tensor& b, const TensorView& c,
   });
 }
 
+METRO_NOALLOC
 void DenseForwardInto(const TensorView& x, const Tensor& w, const Tensor& b,
                       const TensorView& out, ThreadPool* pool) {
   MatMulInto(x, w, out, pool);
@@ -665,6 +673,7 @@ void DenseForwardInto(const TensorView& x, const Tensor& w, const Tensor& b,
   }
 }
 
+METRO_NOALLOC
 void ReluInto(const TensorView& x, const TensorView& out) {
   assert(x.size() == out.size());
   const std::span<float> xd = x.data();
@@ -672,6 +681,7 @@ void ReluInto(const TensorView& x, const TensorView& out) {
   for (std::size_t i = 0; i < xd.size(); ++i) od[i] = std::max(xd[i], 0.0f);
 }
 
+METRO_NOALLOC
 void LeakyReluInto(const TensorView& x, const TensorView& out, float alpha) {
   assert(x.size() == out.size());
   const std::span<float> xd = x.data();
@@ -682,6 +692,7 @@ void LeakyReluInto(const TensorView& x, const TensorView& out, float alpha) {
   }
 }
 
+METRO_NOALLOC
 void SigmoidInto(const TensorView& x, const TensorView& out) {
   assert(x.size() == out.size());
   const std::span<float> xd = x.data();
@@ -691,6 +702,7 @@ void SigmoidInto(const TensorView& x, const TensorView& out) {
   }
 }
 
+METRO_NOALLOC
 void TanhInto(const TensorView& x, const TensorView& out) {
   assert(x.size() == out.size());
   const std::span<float> xd = x.data();
@@ -698,6 +710,7 @@ void TanhInto(const TensorView& x, const TensorView& out) {
   for (std::size_t i = 0; i < xd.size(); ++i) od[i] = std::tanh(xd[i]);
 }
 
+METRO_NOALLOC
 void BatchNormFoldScaleShift(std::span<const float> gamma,
                              std::span<const float> beta,
                              std::span<const float> mean,
@@ -712,6 +725,7 @@ void BatchNormFoldScaleShift(std::span<const float> gamma,
   }
 }
 
+METRO_NOALLOC
 void BatchNormInferenceInto(const TensorView& x, std::span<const float> scale,
                             std::span<const float> shift,
                             const TensorView& out) {
@@ -728,6 +742,7 @@ void BatchNormInferenceInto(const TensorView& x, std::span<const float> scale,
   }
 }
 
+METRO_NOALLOC
 void AddInto(const TensorView& a, const TensorView& b, const TensorView& out) {
   assert(a.size() == b.size() && a.size() == out.size());
   const std::span<float> ad = a.data();

@@ -32,12 +32,29 @@ std::span<float> Workspace::Alloc(std::size_t n) {
 }
 
 void Workspace::Rewind(const Mark& m) {
-  assert(m.chunk <= chunks_.size());
+  // A rewind may only release storage, never "re-arm" it: a mark pointing
+  // ahead of the arena cursor was released by an earlier Rewind/Reset (or
+  // never issued by this arena) and rewinding to it would mark unallocated
+  // floats as live. Always-on — this is exactly the class of bug that
+  // silently corrupts activations in Release.
+  METRO_CHECK(m.chunk < chunks_.size() || (m.chunk == 0 && m.used == 0),
+              "mark chunk %zu out of range (%zu chunks)", m.chunk,
+              chunks_.size());
+  METRO_CHECK(m.chunk < current_ ||
+                  (m.chunk == current_ && m.used <= ChunkUsed(current_)),
+              "stale mark: rewind to chunk %zu offset %zu is ahead of the "
+              "cursor (chunk %zu offset %zu) — mark taken before an earlier "
+              "Rewind/Reset?",
+              m.chunk, m.used, current_, ChunkUsed(current_));
+  if (m.chunk < chunks_.size()) {
+    METRO_CHECK(m.used <= chunks_[m.chunk].storage.size(),
+                "mark offset %zu exceeds chunk capacity %zu", m.used,
+                chunks_[m.chunk].storage.size());
+  }
   for (std::size_t i = m.chunk + 1; i < chunks_.size(); ++i) {
     chunks_[i].used = 0;
   }
   if (m.chunk < chunks_.size()) {
-    assert(m.used <= chunks_[m.chunk].storage.size());
     chunks_[m.chunk].used = m.used;
   }
   current_ = std::min(m.chunk, chunks_.empty() ? 0 : chunks_.size() - 1);

@@ -14,41 +14,56 @@
 // caller's thread). Cross-thread kernels (ParallelFor conv/matmul) only write
 // through disjoint sub-spans of already-allocated views, which is race-free
 // without locks.
+//
+// Shape-vs-storage invariants are METRO_CHECKed (always on, including the
+// Release build scripts/check_perf.sh gates on): a mismatched view, a
+// rewind to a stale mark, or a write through a read-only (OfConst) view
+// aborts with shape context instead of corrupting memory. Dangling-view
+// lifetime bugs are additionally caught at compile time under Clang via the
+// METRO_LIFETIME_BOUND annotations (-DMETRO_LIFETIME=ON escalates them to
+// errors).
 
-#include <cassert>
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/analysis.h"
 
 namespace metro::tensor {
 
 /// Non-owning view of a tensor: a shape over borrowed float storage.
 ///
 /// Views are cheap value types (pointer + shape). Like std::span, constness
-/// of the view does not propagate to the elements; treat input views as
-/// read-only by convention.
+/// of the view does not propagate to the elements; views made from const
+/// tensors (OfConst) carry a read-only bit that the bulk-write API rejects.
 class TensorView {
  public:
   TensorView() = default;
 
   TensorView(Shape shape, std::span<float> data)
       : shape_(std::move(shape)), data_(data) {
-    assert(NumElements(shape_) == data_.size());
+    METRO_CHECK(NumElements(shape_) == data_.size(),
+                "view shape %s addresses %zu floats over %zu of storage",
+                ShapeToString(shape_).c_str(), NumElements(shape_),
+                data_.size());
   }
 
   /// Views an owning tensor's storage (no copy).
-  explicit TensorView(Tensor& t) : shape_(t.shape()), data_(t.data()) {}
+  explicit TensorView(Tensor& t METRO_LIFETIME_BOUND)
+      : shape_(t.shape()), data_(t.data()) {}
 
   /// Views a const tensor's storage. Constness is dropped (views never
-  /// propagate it, mirroring std::span<float>); the caller must treat the
-  /// result as read-only — writing through it is undefined behavior on a
-  /// genuinely immutable tensor.
-  static TensorView OfConst(const Tensor& t) {
-    return TensorView(
-        t.shape(),
-        std::span<float>(const_cast<float*>(t.data().data()), t.size()));
+  /// propagate it, mirroring std::span<float>), but the view is marked
+  /// read-only: CopyFrom through it aborts. Element writes via operator[]
+  /// cannot be intercepted (reads share the same operator) — writing through
+  /// an OfConst view is undefined behavior on a genuinely immutable tensor.
+  static TensorView OfConst(const Tensor& t METRO_LIFETIME_BOUND) {
+    TensorView v(t.shape(), std::span<float>(
+                                const_cast<float*>(t.data().data()), t.size()));
+    v.read_only_ = true;
+    return v;
   }
 
   const Shape& shape() const { return shape_; }
@@ -56,26 +71,37 @@ class TensorView {
   int rank() const { return int(shape_.size()); }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  /// True for views made by OfConst (and views derived from them).
+  bool read_only() const { return read_only_; }
 
   std::span<float> data() const { return data_; }
   float& operator[](std::size_t i) const { return data_[i]; }
 
   /// Same storage reinterpreted as `shape` (element count must match).
   TensorView Reshaped(Shape shape) const {
-    assert(NumElements(shape) == data_.size());
-    return TensorView(std::move(shape), data_);
+    METRO_CHECK(NumElements(shape) == data_.size(),
+                "reshape %s -> %s changes element count (%zu -> %zu)",
+                ShapeToString(shape_).c_str(), ShapeToString(shape).c_str(),
+                data_.size(), NumElements(shape));
+    TensorView v(std::move(shape), data_);
+    v.read_only_ = read_only_;
+    return v;
   }
 
   /// Rows [begin, end) of the leading dimension — same storage, no copy.
   TensorView SliceBatch(int begin, int end) const {
-    assert(rank() >= 1 && begin >= 0 && begin <= end && end <= dim(0));
+    METRO_CHECK(rank() >= 1 && begin >= 0 && begin <= end && end <= dim(0),
+                "slice [%d, %d) out of range for %s", begin, end,
+                ShapeToString(shape_).c_str());
     std::size_t row = 1;
     for (int i = 1; i < rank(); ++i) row *= std::size_t(dim(i));
     Shape s = shape_;
     s[0] = end - begin;
-    return TensorView(std::move(s),
-                      data_.subspan(std::size_t(begin) * row,
-                                    std::size_t(end - begin) * row));
+    TensorView v(std::move(s),
+                 data_.subspan(std::size_t(begin) * row,
+                               std::size_t(end - begin) * row));
+    v.read_only_ = read_only_;
+    return v;
   }
 
   /// Owning copy (for handing results past the arena's lifetime).
@@ -86,14 +112,21 @@ class TensorView {
   }
 
   /// Copies `src` into this view (sizes must match; shapes may differ).
+  /// Rejected on read-only (OfConst) views.
   void CopyFrom(std::span<const float> src) const {
-    assert(src.size() == data_.size());
+    METRO_CHECK(!read_only_,
+                "CopyFrom into a read-only (OfConst) view of shape %s",
+                ShapeToString(shape_).c_str());
+    METRO_CHECK(src.size() == data_.size(),
+                "CopyFrom %zu floats into view %s (%zu floats)", src.size(),
+                ShapeToString(shape_).c_str(), data_.size());
     std::copy(src.begin(), src.end(), data_.begin());
   }
 
  private:
   Shape shape_;
   std::span<float> data_;
+  bool read_only_ = false;
 };
 
 /// Chunked bump arena for inference activations and scratch.
@@ -109,11 +142,11 @@ class Workspace {
 
   /// Hands out `n` floats of uninitialized storage. The span stays valid
   /// until Reset() or a Rewind() past the current position.
-  std::span<float> Alloc(std::size_t n);
+  std::span<float> Alloc(std::size_t n) METRO_LIFETIME_BOUND;
 
   /// Alloc shaped as a view. Storage is NOT zeroed — kernels writing into
   /// views must fully initialize them.
-  TensorView AllocView(const Shape& shape) {
+  TensorView AllocView(const Shape& shape) METRO_LIFETIME_BOUND {
     return TensorView(shape, Alloc(NumElements(shape)));
   }
 
@@ -126,10 +159,14 @@ class Workspace {
   Mark Position() const { return Mark{current_, ChunkUsed(current_)}; }
 
   /// Releases everything allocated after `m` (spans handed out after the
-  /// mark become dangling). Storage is retained for reuse.
+  /// mark become dangling). Storage is retained for reuse. Rewinding to a
+  /// position ahead of the arena cursor — a mark that a previous
+  /// Rewind/Reset already released, i.e. a stale mark — aborts.
   void Rewind(const Mark& m);
 
-  /// Rewinds the whole arena, keeping the storage.
+  /// Rewinds the whole arena, keeping the storage. Marks taken before a
+  /// Reset are stale: a later Rewind to one aborts unless the position has
+  /// been legitimately re-allocated past it.
   void Reset() { Rewind(Mark{0, 0}); }
 
   /// Grows capacity so at least `floats` are allocatable without a new chunk.

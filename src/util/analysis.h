@@ -1,0 +1,91 @@
+#pragma once
+
+// Project-invariant analysis vocabulary: annotations the static gate checks.
+//
+// Three families, complementing the lock annotations in util/sync.h:
+//
+//   METRO_NOALLOC         hot-path marker, enforced *lexically* by
+//                         tools/metrolint on every machine (no clang needed).
+//                         Place it on a function DEFINITION (prefix position,
+//                         like `static`); metrolint rejects direct heap
+//                         allocation inside the body: `new`, malloc-family
+//                         calls, owning-container construction or growth
+//                         (push_back/resize/...), `Tensor` construction and
+//                         `ToTensor()`. The contract is shallow and local:
+//                         un-annotated callees are not scanned, which is how
+//                         sanctioned cold paths (arena growth inside
+//                         Workspace::Alloc, session replanning) stay out of
+//                         the rule. bench/alloc_count.h measures the same
+//                         property at runtime; metrolint proves the kernels
+//                         never regress it at review time.
+//
+//   METRO_LIFETIME_BOUND  maps to [[clang::lifetimebound]] under Clang (no-op
+//                         elsewhere). Applied to every view-returning API —
+//                         TensorView factories, Workspace::Alloc/AllocView,
+//                         InferenceSession::Run, zoo session halves — so a
+//                         TensorView outliving the Tensor or arena it borrows
+//                         from is a compile-time -Wdangling* diagnostic,
+//                         escalated to an error by -DMETRO_LIFETIME=ON.
+//                         Two spellings:
+//                           parameter:  f(const Tensor& t METRO_LIFETIME_BOUND)
+//                           implicit this (member fn, after cv-qualifiers):
+//                                       TensorView View() const METRO_LIFETIME_BOUND;
+//
+//   METRO_CHECK           always-on invariant check (survives NDEBUG, unlike
+//                         assert): prints the expression plus a printf-style
+//                         context message to stderr and aborts. Used where a
+//                         violated invariant would otherwise corrupt memory
+//                         silently in Release — exactly the build
+//                         scripts/check_perf.sh gates on. METRO_DCHECK is the
+//                         debug-only spelling for hot-loop checks.
+//
+// See DESIGN.md "Project invariants (metrolint)" for the rule families, the
+// module layering DAG, and how to whitelist an exception.
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+// Marker only; expands to nothing. tools/metrolint keys on the token.
+#define METRO_NOALLOC
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define METRO_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef METRO_LIFETIME_BOUND
+#define METRO_LIFETIME_BOUND  // no-op outside Clang
+#endif
+
+namespace metro {
+
+/// Prints the failed expression and formatted context, then aborts. Never
+/// returns; out-of-line formatting keeps METRO_CHECK call sites cheap.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: METRO_CHECK failed: %s\n  ", file, line, expr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace metro
+
+/// Always-on invariant check with printf-style context:
+///   METRO_CHECK(a.size() == b.size(), "copy %zu -> %zu", b.size(), a.size());
+#define METRO_CHECK(cond, ...)                                       \
+  ((cond) ? (void)0                                                  \
+          : ::metro::CheckFailed(__FILE__, __LINE__, #cond, __VA_ARGS__))
+
+/// Debug-only spelling (compiled out under NDEBUG) for per-element checks in
+/// hot loops where even the branch is too expensive in Release.
+#ifdef NDEBUG
+#define METRO_DCHECK(cond, ...) ((void)0)
+#else
+#define METRO_DCHECK(cond, ...) METRO_CHECK(cond, __VA_ARGS__)
+#endif

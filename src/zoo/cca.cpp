@@ -188,6 +188,7 @@ Tensor CcaProjectY(const CcaModel& model, const Tensor& y) {
 
 namespace {
 
+METRO_NOALLOC
 void ProjectInto(const tensor::TensorView& x, const std::vector<float>& mean,
                  const Tensor& w, const tensor::TensorView& out,
                  tensor::Workspace& scratch, ThreadPool* pool) {
@@ -209,12 +210,14 @@ void ProjectInto(const tensor::TensorView& x, const std::vector<float>& mean,
 
 }  // namespace
 
+METRO_NOALLOC
 void CcaProjectXInto(const CcaModel& model, const tensor::TensorView& x,
                      const tensor::TensorView& out, tensor::Workspace& scratch,
                      ThreadPool* pool) {
   ProjectInto(x, model.mean_x, model.wx, out, scratch, pool);
 }
 
+METRO_NOALLOC
 void CcaProjectYInto(const CcaModel& model, const tensor::TensorView& y,
                      const tensor::TensorView& out, tensor::Workspace& scratch,
                      ThreadPool* pool) {

@@ -174,6 +174,7 @@ Tensor InceptionBlock::Forward(const Tensor& x, bool training) {
   return ConcatChannels({&y1, &y2, &y3, &y4});
 }
 
+METRO_NOALLOC
 void InceptionBlock::ForwardInto(const nn::TensorView& x,
                                  const nn::TensorView& out,
                                  nn::InferenceContext& ctx) {

@@ -95,6 +95,7 @@ Tensor ResNetBlock::Forward(const Tensor& x, bool training) {
   return tensor::ReluForward(main);
 }
 
+METRO_NOALLOC
 void ResNetBlock::ForwardInto(const nn::TensorView& x,
                               const nn::TensorView& out,
                               nn::InferenceContext& ctx) {

@@ -79,6 +79,7 @@ Shape BehaviorBlock1Shape(const SplitBehaviorNet& model, int n_clips) {
 }
 
 /// Same interleaving arithmetic as zoo::ConcatCols, into borrowed storage.
+METRO_NOALLOC
 void ConcatColsInto(const TensorView& a, const TensorView& b,
                     const TensorView& out) {
   const int n = a.dim(0), da = a.dim(1), db = b.dim(1);
@@ -96,6 +97,7 @@ void ConcatColsInto(const TensorView& a, const TensorView& b,
 }
 
 /// Same arithmetic as zoo::SplitCols, into borrowed storage.
+METRO_NOALLOC
 void SplitColsInto(const TensorView& x, const TensorView& a,
                    const TensorView& b) {
   const int n = x.dim(0), d = x.dim(1), da = a.dim(1), db = b.dim(1);

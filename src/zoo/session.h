@@ -25,6 +25,7 @@
 
 #include "nn/inference.h"
 #include "obs/trace.h"
+#include "util/analysis.h"
 #include "zoo/behavior.h"
 #include "zoo/detector.h"
 #include "zoo/fusion.h"
@@ -46,9 +47,9 @@ class DetectorSession {
 
   /// Planned halves. Returned views live in the arena and stay valid until
   /// the next run of the same half.
-  TensorView Stem(const TensorView& images);
-  TensorView TinyHead(const TensorView& stem_out);
-  TensorView FullHead(const TensorView& stem_out);
+  TensorView Stem(const TensorView& images) METRO_LIFETIME_BOUND;
+  TensorView TinyHead(const TensorView& stem_out) METRO_LIFETIME_BOUND;
+  TensorView FullHead(const TensorView& stem_out) METRO_LIFETIME_BOUND;
 
   /// One image's gated outcome from Detect().
   struct Gated {
@@ -65,11 +66,11 @@ class DetectorSession {
                             float score_floor = 0.1f, float nms_iou = 0.4f);
 
   SplitDetector& model() { return *model_; }
-  Workspace& arena() { return *arena_; }
+  Workspace& arena() METRO_LIFETIME_BOUND { return *arena_; }
 
  private:
   TensorView RunHalf(InferenceSession& session, const char* stage,
-                     const TensorView& in);
+                     const TensorView& in) METRO_LIFETIME_BOUND;
 
   SplitDetector* model_;
   Workspace* arena_;
@@ -105,7 +106,7 @@ class BehaviorSession {
   BehaviorPrediction Predict(const Clip& clip, float entropy_threshold);
 
   SplitBehaviorNet& model() { return *model_; }
-  Workspace& arena() { return *arena_; }
+  Workspace& arena() METRO_LIFETIME_BOUND { return *arena_; }
 
  private:
   SplitBehaviorNet* model_;

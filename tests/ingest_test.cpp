@@ -3,11 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 
 #include "ingest/bulkload.h"
 #include "ingest/flume.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace metro::ingest {
 namespace {
@@ -19,10 +19,10 @@ TEST(AgentTest, DeliversAllEventsInOrder) {
     if (i >= 100) return std::nullopt;
     return Event{"k" + std::to_string(i), "body" + std::to_string(i)};
   };
-  std::mutex mu;
+  metro::Mutex mu;
   std::vector<std::string> received;
   SinkFn sink = [&](const std::vector<Event>& batch) {
-    std::lock_guard lock(mu);
+    metro::MutexLock lock(mu);
     for (const Event& e : batch) received.push_back(e.key);
     return Status::Ok();
   };
@@ -45,10 +45,10 @@ TEST(AgentTest, BatchesRespectBatchSize) {
     if (i >= 50) return std::nullopt;
     return Event{"", "x"};
   };
-  std::mutex mu;
+  metro::Mutex mu;
   std::vector<std::size_t> batch_sizes;
   SinkFn sink = [&](const std::vector<Event>& batch) {
-    std::lock_guard lock(mu);
+    metro::MutexLock lock(mu);
     batch_sizes.push_back(batch.size());
     return Status::Ok();
   };

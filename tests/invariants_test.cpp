@@ -1,0 +1,110 @@
+// Always-on invariant guards (src/util/analysis.h METRO_CHECK) for the
+// tensor view / arena layer. These are death tests: the contract is that a
+// shape-vs-storage mismatch, a write through a read-only view, or a rewind
+// to a stale mark aborts with context — in every build type. The default
+// build is RelWithDebInfo (NDEBUG), so this suite is also the regression
+// test that the checks survive Release: a plain assert() would pass these
+// EXPECT_DEATHs in Debug and silently corrupt memory in the shipped build.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/workspace.h"
+#include "util/analysis.h"
+
+namespace {
+
+using metro::tensor::Shape;
+using metro::tensor::Tensor;
+using metro::tensor::TensorView;
+using metro::tensor::Workspace;
+
+TEST(MetroCheckTest, ActiveInEveryBuildType) {
+  // METRO_CHECK must fire with NDEBUG defined (the default RelWithDebInfo
+  // build defines it, which is exactly why assert() was not enough).
+  EXPECT_DEATH(METRO_CHECK(false, "forced failure %d", 42), "forced failure");
+  METRO_CHECK(true, "never printed");  // and be silent when satisfied
+}
+
+TEST(TensorViewInvariantsTest, ShapeStorageMismatchAborts) {
+  std::vector<float> storage(5);
+  EXPECT_DEATH(TensorView(Shape{2, 3}, std::span<float>(storage)),
+               "view shape");
+}
+
+TEST(TensorViewInvariantsTest, ReshapeChangingElementCountAborts) {
+  std::vector<float> storage(6);
+  TensorView v(Shape{2, 3}, std::span<float>(storage));
+  EXPECT_EQ(v.Reshaped(Shape{3, 2}).dim(0), 3);  // count-preserving: fine
+  EXPECT_DEATH(v.Reshaped(Shape{4, 2}), "changes element count");
+}
+
+TEST(TensorViewInvariantsTest, SliceOutOfRangeAborts) {
+  std::vector<float> storage(6);
+  TensorView v(Shape{3, 2}, std::span<float>(storage));
+  EXPECT_EQ(v.SliceBatch(1, 3).dim(0), 2);
+  EXPECT_DEATH(v.SliceBatch(2, 4), "out of range");
+}
+
+TEST(TensorViewInvariantsTest, OfConstViewsAreReadOnly) {
+  Tensor t(Shape{2, 2});
+  t.Fill(1.0f);
+
+  const Tensor& ct = t;
+  TensorView ro = TensorView::OfConst(ct);
+  EXPECT_TRUE(ro.read_only());
+  // The read-only bit survives relabeling and slicing.
+  EXPECT_TRUE(ro.Reshaped(Shape{4}).read_only());
+  EXPECT_TRUE(ro.SliceBatch(0, 1).read_only());
+
+  const std::vector<float> src(4, 2.0f);
+  EXPECT_DEATH(ro.CopyFrom(src), "read-only");
+
+  // A mutable view of the same tensor accepts the same write.
+  TensorView rw(t);
+  EXPECT_FALSE(rw.read_only());
+  rw.CopyFrom(src);
+  EXPECT_EQ(t.data()[0], 2.0f);
+}
+
+TEST(WorkspaceInvariantsTest, MarkRewindReusesStorage) {
+  Workspace ws(1024);
+  ws.Alloc(100);
+  const Workspace::Mark m = ws.Position();
+  ws.Alloc(200);
+  EXPECT_EQ(ws.live_floats(), 300u);
+  ws.Rewind(m);
+  EXPECT_EQ(ws.live_floats(), 100u);
+  ws.Alloc(200);  // reuses the released floats, no growth
+  EXPECT_EQ(ws.grow_count(), 0u);
+}
+
+TEST(WorkspaceInvariantsTest, RewindPastLiveMarkAborts) {
+  Workspace ws(1024);
+  const Workspace::Mark m1 = ws.Position();
+  ws.Alloc(100);
+  const Workspace::Mark m2 = ws.Position();
+  ws.Alloc(100);
+  ws.Rewind(m2);  // in-order release: fine
+  ws.Rewind(m1);
+  // m2 now points ahead of the cursor: rewinding "forward" to it would mark
+  // unallocated floats live.
+  EXPECT_DEATH(ws.Rewind(m2), "stale mark");
+}
+
+TEST(WorkspaceInvariantsTest, MarkTakenBeforeResetIsStale) {
+  Workspace ws(1024);
+  ws.Alloc(100);
+  const Workspace::Mark m = ws.Position();
+  ws.Reset();
+  ws.Alloc(50);  // cursor is now behind the pre-Reset mark
+  EXPECT_DEATH(ws.Rewind(m), "stale mark");
+}
+
+TEST(WorkspaceInvariantsTest, ForeignMarkAborts) {
+  Workspace ws;
+  EXPECT_DEATH(ws.Rewind(Workspace::Mark{5, 0}), "out of range");
+}
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Negative compile test for the METRO_LIFETIME_BOUND annotations
+// (src/util/analysis.h). This TU is NEVER linked into the suite: under
+// Clang with -DMETRO_LIFETIME=ON, tests/CMakeLists.txt registers a
+// WILL_FAIL ctest that runs `clang++ -fsyntax-only -Werror=dangling ...`
+// over it — the build fails, which is the pass condition. Every statement
+// below binds a view to storage that dies at the end of the full
+// expression; [[clang::lifetimebound]] on the annotated APIs is what lets
+// the compiler see it. (GCC parses this file fine and diagnoses nothing:
+// the attribute is a no-op there, which is why the test is Clang-gated.)
+
+#include <span>
+
+#include "nn/inference.h"
+#include "tensor/workspace.h"
+
+using metro::tensor::Shape;
+using metro::tensor::Tensor;
+using metro::tensor::TensorView;
+using metro::tensor::Workspace;
+
+int main() {
+  // Dangling: the temporary Tensor dies, the view keeps its storage pointer.
+  TensorView dead_view = TensorView::OfConst(Tensor(Shape{2, 2}));
+
+  // Dangling: the temporary Workspace owns the floats the span points into.
+  std::span<float> dead_span = Workspace(16).Alloc(8);
+
+  return int(dead_view.size()) + int(dead_span.size());
+}

@@ -1,0 +1,698 @@
+// metrolint — project-invariant static analysis for the metro tree.
+//
+// A self-contained lexical analyzer (no clang dependency; builds and runs
+// wherever the tier-1 suite builds) enforcing three rule families over
+// src/, bench/ and tests/:
+//
+//   layering   — the include-layering DAG. Every module in src/ has a rank
+//                (tools/metrolint/metrolint.toml, [ranks]); a file may only
+//                include headers from strictly lower-ranked modules or its
+//                own module. Upward or cross-layer includes are errors and
+//                print the offending edge. Declared exceptions (the single
+//                resilience/chaos.h -> fog/fog.h test-harness edge) live in
+//                the config, not in code.
+//
+//   noalloc    — the hot-path allocation ban. Function definitions annotated
+//                METRO_NOALLOC (src/util/analysis.h) must not lexically
+//                contain `new`, malloc-family calls, owning-container
+//                types/growth methods, or Tensor materialization. The
+//                contract is shallow: only the annotated body is checked,
+//                so cold paths are sanctioned by calling an un-annotated
+//                helper (see DESIGN.md "Project invariants").
+//
+//   hygiene    — banned patterns: raw std::mutex outside util/sync.h,
+//                const_cast outside the declared whitelist, bounds-checked
+//                Tensor::at() in src/nn/ + src/tensor/ kernels, and
+//                sleep_for in tests outside the chaos harness.
+//
+// The analysis is two-pass lexical: comments are stripped (preserving
+// newlines so findings carry real line numbers) for include extraction, and
+// comments + string/char literals are stripped for token scanning. This is
+// deliberately not a parser — the rules are chosen so that a token-level
+// scan has no false positives on this codebase, and the config whitelists
+// carry the rest.
+//
+// Exit status: 0 when the tree is clean, 1 when findings exist, 2 on usage
+// or I/O errors. `--selftest` runs the rule engine over embedded fixture
+// files seeding at least one violation per rule family and verifies both
+// the positive and negative controls.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+struct Config {
+  std::map<std::string, int> ranks;           // module -> layer rank
+  std::set<std::string> include_exceptions;   // "src-rel-file -> include"
+  std::vector<std::string> noalloc_functions; // banned free-function calls
+  std::vector<std::string> noalloc_methods;   // banned .x( / ->x( calls
+  std::vector<std::string> noalloc_types;     // banned std::T / bare types
+  std::set<std::string> mutex_allowed;        // files that may own std::mutex
+  std::set<std::string> const_cast_allowed;   // files that may const_cast
+  std::vector<std::string> tensor_at_paths;   // prefixes where .at( is banned
+  std::vector<std::string> sleep_for_paths;   // prefixes where sleep_for is banned
+  std::set<std::string> sleep_for_allowed;    // chaos-harness exceptions
+};
+
+// Minimal TOML subset: [section] headers, `key = int`, `key = "string"`,
+// `key = [ "a", "b", ... ]` (arrays may span lines). Enough for
+// metrolint.toml; anything else is a config error.
+bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
+  std::istringstream in(text);
+  std::string line, section;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    *err = "metrolint.toml:" + std::to_string(lineno) + ": " + what;
+    return false;
+  };
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return std::string();
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+  };
+  auto strip_comment = [](std::string s) {
+    bool in_str = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '"') in_str = !in_str;
+      if (s[i] == '#' && !in_str) return s.substr(0, i);
+    }
+    return s;
+  };
+  // Collects quoted strings out of `chunk` into `out`; returns false on a
+  // malformed quote.
+  auto collect_strings = [](const std::string& chunk,
+                            std::vector<std::string>* out) {
+    std::size_t i = 0;
+    while ((i = chunk.find('"', i)) != std::string::npos) {
+      const std::size_t j = chunk.find('"', i + 1);
+      if (j == std::string::npos) return false;
+      out->push_back(chunk.substr(i + 1, j - i - 1));
+      i = j + 1;
+    }
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = trim(strip_comment(line));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated section header");
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+
+    if (!value.empty() && value.front() == '[') {
+      // Array (possibly multiline): read until the closing bracket.
+      std::string body = value.substr(1);
+      while (body.find(']') == std::string::npos) {
+        std::string more;
+        if (!std::getline(in, more)) return fail("unterminated array");
+        ++lineno;
+        body += trim(strip_comment(more));
+      }
+      body = body.substr(0, body.find(']'));
+      std::vector<std::string> items;
+      if (!collect_strings(body, &items)) return fail("bad string in array");
+
+      auto as_set = [&](std::set<std::string>* dst) {
+        dst->insert(items.begin(), items.end());
+      };
+      if (section == "include" && key == "exceptions") {
+        as_set(&cfg->include_exceptions);
+      } else if (section == "noalloc" && key == "functions") {
+        cfg->noalloc_functions = items;
+      } else if (section == "noalloc" && key == "methods") {
+        cfg->noalloc_methods = items;
+      } else if (section == "noalloc" && key == "types") {
+        cfg->noalloc_types = items;
+      } else if (section == "mutex" && key == "allowed") {
+        as_set(&cfg->mutex_allowed);
+      } else if (section == "const_cast" && key == "allowed") {
+        as_set(&cfg->const_cast_allowed);
+      } else if (section == "tensor_at" && key == "paths") {
+        cfg->tensor_at_paths = items;
+      } else if (section == "sleep_for" && key == "paths") {
+        cfg->sleep_for_paths = items;
+      } else if (section == "sleep_for" && key == "allowed") {
+        as_set(&cfg->sleep_for_allowed);
+      } else {
+        return fail("unknown array key '" + section + "." + key + "'");
+      }
+      continue;
+    }
+
+    if (section == "ranks") {
+      try {
+        cfg->ranks[key] = std::stoi(value);
+      } catch (...) {
+        return fail("rank for '" + key + "' is not an integer");
+      }
+      continue;
+    }
+    return fail("unknown key '" + section + "." + key + "'");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Lexical preprocessing
+// ---------------------------------------------------------------------------
+
+// Replaces comments (and, when `strip_literals`, string/char literal
+// contents) with spaces, preserving every newline so byte offsets map to the
+// original line numbers.
+std::string StripSource(std::string_view src, bool strip_literals) {
+  std::string out(src);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      blank(i, j);
+      i = j;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = std::min(n, j + 2);
+      blank(i, j);
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = std::min(n, j + 1);
+      if (strip_literals) blank(i + 1, j > i + 1 ? j - 1 : i + 1);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int LineOf(std::string_view text, std::size_t pos) {
+  return 1 + int(std::count(text.begin(), text.begin() + long(pos), '\n'));
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when text[pos, pos+len) is a whole identifier token.
+bool IsWholeToken(std::string_view text, std::size_t pos, std::size_t len) {
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  if (pos + len < text.size() && IsIdentChar(text[pos + len])) return false;
+  return true;
+}
+
+// Last non-whitespace character strictly before `pos`, or '\0'.
+char PrevNonSpace(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return text[pos];
+    }
+  }
+  return '\0';
+}
+
+// First non-whitespace character at or after `pos`, or '\0'.
+char NextNonSpace(std::string_view text, std::size_t pos) {
+  while (pos < text.size()) {
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return text[pos];
+    }
+    ++pos;
+  }
+  return '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+void Report(std::vector<Finding>* out, const std::string& file, int line,
+            const char* rule, std::string message) {
+  out->push_back(Finding{file, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 1: include-layering DAG
+// ---------------------------------------------------------------------------
+
+// `rel` is the repo-relative path, e.g. "src/nn/layer.cpp".
+void CheckLayering(const std::string& rel, std::string_view src,
+                   const Config& cfg, std::vector<Finding>* out) {
+  if (rel.rfind("src/", 0) != 0) return;  // bench/tests sit above the DAG
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return;
+  const std::string module = rel.substr(4, slash - 4);
+  const auto self = cfg.ranks.find(module);
+  if (self == cfg.ranks.end()) return;  // unranked dirs are out of scope
+
+  const std::string text = StripSource(src, /*strip_literals=*/false);
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] != '#') continue;
+    p = line.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || line.compare(p, 7, "include") != 0) continue;
+    const std::size_t q1 = line.find('"', p + 7);
+    if (q1 == std::string::npos) continue;  // <system> includes are free
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string inc = line.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t inc_slash = inc.find('/');
+    if (inc_slash == std::string::npos) continue;  // same-dir relative include
+    const std::string target = inc.substr(0, inc_slash);
+    const auto tgt = cfg.ranks.find(target);
+    if (tgt == cfg.ranks.end()) continue;
+    if (target == module) continue;
+    if (tgt->second < self->second) continue;
+    if (cfg.include_exceptions.count(rel + " -> " + inc)) continue;
+    Report(out, rel, lineno, "layering",
+           "illegal include edge " + module + " (rank " +
+               std::to_string(self->second) + ") -> " + target + " (rank " +
+               std::to_string(tgt->second) + "): #include \"" + inc +
+               "\" points up or across the layer DAG");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 2: METRO_NOALLOC hot-path allocation ban
+// ---------------------------------------------------------------------------
+
+// Scans one annotated body [begin, end) of `text` for banned tokens.
+void ScanNoallocBody(const std::string& rel, std::string_view text,
+                     std::size_t begin, std::size_t end, const Config& cfg,
+                     std::vector<Finding>* out) {
+  auto report = [&](std::size_t pos, const std::string& what) {
+    Report(out, rel, LineOf(text, pos), "noalloc",
+           what + " inside a METRO_NOALLOC body (move cold-path work to an "
+                  "un-annotated helper)");
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!IsIdentChar(text[i]) || (i > 0 && IsIdentChar(text[i - 1]))) {
+      continue;  // not the start of an identifier
+    }
+    std::size_t j = i;
+    while (j < end && IsIdentChar(text[j])) ++j;
+    const std::string_view tok = text.substr(i, j - i);
+    const char prev = PrevNonSpace(text, i);
+    const bool member = prev == '.' ||
+                        (prev == '>' && i >= 2 && text[i - 2] == '-');
+    const bool called = NextNonSpace(text, j) == '(';
+
+    if (tok == "new" && !member) {
+      report(i, "operator new");
+    } else if (!member && called &&
+               std::find(cfg.noalloc_functions.begin(),
+                         cfg.noalloc_functions.end(),
+                         tok) != cfg.noalloc_functions.end()) {
+      report(i, "call to " + std::string(tok) + "()");
+    } else if (member && called &&
+               std::find(cfg.noalloc_methods.begin(),
+                         cfg.noalloc_methods.end(),
+                         tok) != cfg.noalloc_methods.end()) {
+      report(i, "owning-container growth ." + std::string(tok) + "()");
+    } else if (!member &&
+               std::find(cfg.noalloc_types.begin(), cfg.noalloc_types.end(),
+                         tok) != cfg.noalloc_types.end()) {
+      // Bare banned type (Tensor) or std-qualified owning container
+      // (std::vector, std::string, ...). `prev == ':'` means the token is
+      // namespace-qualified; only std:: qualification bans it.
+      bool banned = true;
+      if (prev == ':') {
+        std::size_t k = i;
+        while (k > 0 &&
+               (text[k - 1] == ':' ||
+                std::isspace(static_cast<unsigned char>(text[k - 1])))) {
+          --k;
+        }
+        banned = k >= 3 && text.compare(k - 3, 3, "std") == 0 &&
+                 IsWholeToken(text, k - 3, 3);
+      }
+      if (banned) {
+        report(i, "owning type " + std::string(prev == ':' ? "std::" : "") +
+                      std::string(tok));
+      }
+    }
+    i = j - 1;
+  }
+}
+
+void CheckNoalloc(const std::string& rel, std::string_view src,
+                  const Config& cfg, std::vector<Finding>* out) {
+  const std::string text = StripSource(src, /*strip_literals=*/true);
+  std::size_t pos = 0;
+  while ((pos = text.find("METRO_NOALLOC", pos)) != std::string::npos) {
+    if (!IsWholeToken(text, pos, 13)) {
+      ++pos;
+      continue;
+    }
+    const std::size_t anchor = pos;
+    pos += 13;
+    // Walk the signature: the first `{` at paren depth 0 opens the body; a
+    // `;` at depth 0 first means this is a declaration (or the macro's own
+    // #define) — skip it.
+    std::size_t i = pos;
+    int paren = 0;
+    std::size_t body_begin = std::string::npos;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == '(') ++paren;
+      else if (c == ')') --paren;
+      else if (c == '#') break;  // hit a preprocessor line: it was the macro
+      else if (paren == 0 && c == ';') break;
+      else if (paren == 0 && c == '{') {
+        body_begin = i + 1;
+        break;
+      }
+      ++i;
+    }
+    if (body_begin == std::string::npos) continue;
+    // Match the body's closing brace.
+    int depth = 1;
+    std::size_t j = body_begin;
+    while (j < text.size() && depth > 0) {
+      if (text[j] == '{') ++depth;
+      else if (text[j] == '}') --depth;
+      ++j;
+    }
+    if (depth != 0) {
+      Report(out, rel, LineOf(text, anchor), "noalloc",
+             "unbalanced braces after METRO_NOALLOC (lexer cannot find the "
+             "end of the annotated body)");
+      return;
+    }
+    ScanNoallocBody(rel, text, body_begin, j - 1, cfg, out);
+    pos = j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule family 3: banned-pattern hygiene
+// ---------------------------------------------------------------------------
+
+bool HasPrefix(const std::string& s, const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (s.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+void CheckHygiene(const std::string& rel, std::string_view src,
+                  const Config& cfg, std::vector<Finding>* out) {
+  const std::string text = StripSource(src, /*strip_literals=*/true);
+
+  auto scan_token = [&](std::string_view needle, auto&& accept,
+                        const char* rule, const std::string& msg) {
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      if (IsWholeToken(text, pos, needle.size()) && accept(pos)) {
+        Report(out, rel, LineOf(text, pos), rule, msg);
+      }
+      pos += needle.size();
+    }
+  };
+
+  if (!cfg.mutex_allowed.count(rel)) {
+    std::size_t pos = 0;
+    while ((pos = text.find("std::mutex", pos)) != std::string::npos) {
+      if (IsWholeToken(text, pos, 10)) {
+        Report(out, rel, LineOf(text, pos), "hygiene",
+               "raw std::mutex — use metro::Mutex (util/sync.h) so the "
+               "thread-safety analysis layer sees the lock");
+      }
+      pos += 10;
+    }
+  }
+
+  if (!cfg.const_cast_allowed.count(rel)) {
+    scan_token(
+        "const_cast", [](std::size_t) { return true; }, "hygiene",
+        "const_cast outside the whitelist (metrolint.toml [const_cast]) — "
+        "thread const-ness through the API instead");
+  }
+
+  if (HasPrefix(rel, cfg.tensor_at_paths)) {
+    scan_token(
+        "at",
+        [&](std::size_t pos) {
+          const char prev = PrevNonSpace(text, pos);
+          const bool member =
+              prev == '.' || (prev == '>' && pos >= 2 && text[pos - 2] == '-');
+          return member && NextNonSpace(text, pos + 2) == '(';
+        },
+        "hygiene",
+        "bounds-checked at() in kernel code — index arithmetic is the "
+        "kernels' contract; use data()/operator[] with METRO_DCHECK");
+  }
+
+  if (HasPrefix(rel, cfg.sleep_for_paths) &&
+      !cfg.sleep_for_allowed.count(rel)) {
+    scan_token(
+        "sleep_for", [](std::size_t) { return true; }, "hygiene",
+        "sleep_for in tests — synchronize on state (WaitUntil/CondVar), "
+        "wall-clock sleeps make the suite slow and flaky");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+void CheckFile(const std::string& rel, std::string_view src, const Config& cfg,
+               std::vector<Finding>* out) {
+  CheckLayering(rel, src, cfg, out);
+  CheckNoalloc(rel, src, cfg, out);
+  CheckHygiene(rel, src, cfg, out);
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
+}
+
+int RunTree(const fs::path& root, const Config& cfg) {
+  std::vector<Finding> findings;
+  std::vector<std::string> rels;
+  for (const char* dir : {"src", "bench", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        rels.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  for (const std::string& rel : rels) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "metrolint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    CheckFile(rel, ss.str(), cfg, &findings);
+  }
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "metrolint: %zu file(s), %zu finding(s)\n", rels.size(),
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  const char* name;      // virtual repo-relative path
+  const char* source;    // file contents
+  const char* rule;      // expected rule, or nullptr for "must be clean"
+  int min_findings;
+};
+
+int RunSelftest(const Config& cfg) {
+  const Fixture fixtures[] = {
+      // layering: util (rank 0) reaching up into nn (rank 2).
+      {"src/util/bad_layering.h",
+       "#pragma once\n#include \"nn/layer.h\"\n", "layering", 1},
+      // layering negative control: nn -> tensor is a legal downward edge.
+      {"src/nn/good_layering.h",
+       "#pragma once\n#include \"tensor/ops.h\"\n#include \"nn/layer.h\"\n",
+       nullptr, 0},
+      // layering: declared exception edge stays clean.
+      {"src/resilience/chaos.h",
+       "#pragma once\n#include \"fog/fog.h\"\n", nullptr, 0},
+      // noalloc: new + container growth + owning type in an annotated body.
+      {"src/nn/bad_noalloc.cpp",
+       "#include \"nn/layer.h\"\n"
+       "METRO_NOALLOC\n"
+       "void Hot(std::span<float> out) {\n"
+       "  std::vector<float> tmp;\n"
+       "  tmp.push_back(1.0f);\n"
+       "  float* p = new float[4];\n"
+       "  Tensor t({2, 2});\n"
+       "  (void)p; (void)t; (void)out;\n"
+       "}\n",
+       "noalloc", 4},
+      // noalloc negative control: declaration annotation + clean body +
+      // non-owning std types.
+      {"src/nn/good_noalloc.cpp",
+       "#include \"nn/layer.h\"\n"
+       "METRO_NOALLOC\n"
+       "void Hot(std::span<float> out);\n"
+       "METRO_NOALLOC\n"
+       "void Hot2(std::span<const float> in, std::span<float> out) {\n"
+       "  std::size_t n = std::min(in.size(), out.size());\n"
+       "  for (std::size_t i = 0; i < n; ++i) out[i] = in[i];\n"
+       "}\n",
+       nullptr, 0},
+      // noalloc: banned tokens in comments and strings are ignored.
+      {"src/nn/commented_noalloc.cpp",
+       "METRO_NOALLOC\n"
+       "void Hot() {\n"
+       "  // new std::vector<float> push_back malloc\n"
+       "  const char* s = \"new malloc\"; (void)s;\n"
+       "}\n",
+       nullptr, 0},
+      // hygiene: raw std::mutex outside util/sync.h.
+      {"src/zoo/bad_mutex.h", "#pragma once\n#include <mutex>\nstd::mutex m;\n",
+       "hygiene", 1},
+      // hygiene: const_cast outside the whitelist.
+      {"src/obs/bad_cast.cpp", "int* P(const int* p) { return const_cast<int*>(p); }\n",
+       "hygiene", 1},
+      // hygiene negative control: whitelisted const_cast file.
+      {"src/tensor/workspace.h", "float* f(const float* p) { return const_cast<float*>(p); }\n",
+       nullptr, 0},
+      // hygiene: Tensor::at() in kernel code.
+      {"src/tensor/bad_at.cpp", "float F(const Tensor& t) { return t.at(3); }\n",
+       "hygiene", 1},
+      // hygiene: sleep_for in a test.
+      {"tests/bad_sleep_test.cpp",
+       "#include <thread>\nvoid T() { std::this_thread::sleep_for(std::chrono::seconds(1)); }\n",
+       "hygiene", 1},
+  };
+
+  int failures = 0;
+  for (const Fixture& fx : fixtures) {
+    std::vector<Finding> findings;
+    CheckFile(fx.name, fx.source, cfg, &findings);
+    const bool ok =
+        fx.rule == nullptr
+            ? findings.empty()
+            : int(findings.size()) >= fx.min_findings &&
+                  std::all_of(findings.begin(), findings.end(),
+                              [&](const Finding& f) { return f.rule == fx.rule; });
+    std::fprintf(stderr, "[%s] %-28s %zu finding(s), expected %s%s\n",
+                 ok ? "PASS" : "FAIL", fx.name, findings.size(),
+                 fx.rule ? fx.rule : "clean",
+                 fx.rule ? (" >= " + std::to_string(fx.min_findings)).c_str()
+                         : "");
+    if (!ok) {
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "       %s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+      }
+      ++failures;
+    }
+  }
+  std::fprintf(stderr, "metrolint --selftest: %d failure(s)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+const char kUsage[] =
+    "usage: metrolint [--root DIR] [--config FILE] [--selftest]\n"
+    "  --root DIR     repository root to scan (default: cwd)\n"
+    "  --config FILE  rule config (default: ROOT/tools/metrolint/metrolint.toml)\n"
+    "  --selftest     run the embedded rule fixtures instead of scanning\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path config_path;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    config_path = root / "tools" / "metrolint" / "metrolint.toml";
+  }
+
+  std::ifstream in(config_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "metrolint: cannot read config %s\n",
+                 config_path.string().c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  Config cfg;
+  std::string err;
+  if (!ParseConfig(ss.str(), &cfg, &err)) {
+    std::fprintf(stderr, "metrolint: %s\n", err.c_str());
+    return 2;
+  }
+
+  return selftest ? RunSelftest(cfg) : RunTree(root, cfg);
+}
