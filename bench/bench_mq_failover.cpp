@@ -1,0 +1,250 @@
+// Replicated-MQ failover bench: what does a leader kill cost, and what does
+// it lose?
+//
+// Two scenarios over the same produce workload against a 5-node cluster
+// (replication factor 3, acks=quorum):
+//
+//   healthy      steady-state quorum produce, measured with the grouped-min
+//                scheme (best group mean) from infer_json.h;
+//   leader_kill  mid-run the preferred leader of partition 0 is killed
+//                (failover), then a second replica (quorum lost — produces
+//                to that partition are rejected until revival), then both
+//                revive and resync.
+//
+// After the faulted run, every partition is fetched end-to-end and the bench
+// *asserts* the replication contract: every acked record is delivered
+// exactly once — zero acked-record loss, zero duplicate deliveries — even
+// though every 50th request was deliberately submitted twice to exercise the
+// idempotent produce path. Violations exit non-zero, so the CI step that
+// emits BENCH_mq.json is also a correctness gate.
+//
+// --json [--json=<path>] writes the measurements into BENCH_mq.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "infer_json.h"
+#include "mq/broker_cluster.h"
+#include "util/clock.h"
+
+namespace {
+
+using namespace metro;
+
+constexpr const char* kTopic = "city.events";
+constexpr int kPartitions = 4;
+constexpr int kRecords = 20'000;
+
+mq::BrokerClusterConfig ClusterConfig() {
+  mq::BrokerClusterConfig config;
+  config.nodes = 5;
+  config.replication_factor = 3;
+  return config;
+}
+
+struct ScenarioResult {
+  double throughput_per_s = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  std::int64_t acked = 0;
+  std::int64_t rejected = 0;    ///< produces shed in the quorum-lost window
+  std::int64_t duplicates_suppressed = 0;
+  std::int64_t failovers = 0;
+  std::int64_t lost_acked = 0;        ///< must be 0
+  std::int64_t duplicate_deliveries = 0;  ///< must be 0
+};
+
+/// Runs the produce workload; when `kill_leader` is set, injects the
+/// kill/kill/revive episode against partition 0's replica set.
+ScenarioResult RunScenario(bool kill_leader) {
+  WallClock& clock = WallClock::Instance();
+  mq::BrokerCluster cluster(clock, ClusterConfig());
+  if (!cluster.CreateTopic(kTopic, kPartitions).ok()) return {};
+  const mq::ProducerId producer = cluster.CreateProducer();
+
+  const int preferred = *cluster.PreferredLeader(kTopic, 0);
+  const auto view = *cluster.View(kTopic, 0);
+  const int second_replica = view.replicas[1];
+
+  ScenarioResult result;
+  std::vector<std::string> acked_values;
+  std::vector<double> latencies_ms;
+  acked_values.reserve(kRecords);
+  latencies_ms.reserve(kRecords);
+
+  const Stopwatch run;
+  for (int i = 0; i < kRecords; ++i) {
+    if (kill_leader) {
+      // Failover at the halfway mark, quorum loss at 5/8, recovery at 3/4.
+      if (i == kRecords / 2) (void)cluster.KillNode(preferred);
+      if (i == kRecords * 5 / 8) (void)cluster.KillNode(second_replica);
+      if (i == kRecords * 3 / 4) {
+        (void)cluster.ReviveNode(preferred);
+        (void)cluster.ReviveNode(second_replica);
+      }
+    }
+    const std::string value = "rec-" + std::to_string(i);
+    auto request = cluster.Prepare(producer, kTopic,
+                                   "cam-" + std::to_string(i % 64), value);
+    if (!request.ok()) continue;
+    const Stopwatch one;
+    Result<mq::ProduceAck> ack = cluster.Produce(*request);
+    for (int attempt = 0; attempt < 3 && !ack.ok() &&
+                          ack.status().code() == StatusCode::kUnavailable;
+         ++attempt) {
+      ack = cluster.Produce(*request);
+    }
+    latencies_ms.push_back(double(one.ElapsedNs()) / double(kMillisecond));
+    if (!ack.ok()) {
+      ++result.rejected;  // shed during the quorum-lost window
+      continue;
+    }
+    ++result.acked;
+    acked_values.push_back(value);
+    // Every 50th request is submitted again after its ack — the retry storm
+    // the idempotent path must absorb without a duplicate append.
+    if (i % 50 == 0) {
+      const auto dup = cluster.Produce(*request);
+      if (dup.ok() && dup->duplicate) ++result.duplicates_suppressed;
+    }
+  }
+  const double elapsed_s = run.ElapsedSeconds();
+  result.throughput_per_s =
+      elapsed_s > 0 ? double(result.acked) / elapsed_s : 0;
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    double sum = 0;
+    for (const double v : latencies_ms) sum += v;
+    result.mean_ms = sum / double(latencies_ms.size());
+    result.p99_ms =
+        latencies_ms[std::size_t(double(latencies_ms.size() - 1) * 0.99)];
+  }
+  result.failovers = cluster.metrics().GetCounter("mq.failovers").value();
+
+  // Contract check: fetch everything below the high-water marks and verify
+  // each acked record was delivered exactly once.
+  std::map<std::string, int> delivered;
+  for (int p = 0; p < kPartitions; ++p) {
+    const auto info = cluster.GetPartitionInfo(kTopic, p);
+    if (!info.ok()) continue;
+    std::int64_t offset = info->begin_offset;
+    while (offset < info->end_offset) {
+      const auto records = cluster.Fetch(kTopic, p, offset, 512);
+      if (!records.ok() || records->empty()) break;
+      for (const mq::Record& rec : *records) ++delivered[rec.value];
+      offset = records->back().offset + 1;
+    }
+  }
+  for (const std::string& value : acked_values) {
+    const auto it = delivered.find(value);
+    if (it == delivered.end()) {
+      ++result.lost_acked;
+    } else if (it->second > 1) {
+      ++result.duplicate_deliveries;
+    }
+  }
+  return result;
+}
+
+std::string ScenarioJson(const ScenarioResult& r) {
+  std::ostringstream os;
+  os << "{\"throughput_per_s\": " << bench_json::Num(r.throughput_per_s)
+     << ", \"mean_ms\": " << bench_json::Num(r.mean_ms)
+     << ", \"p99_ms\": " << bench_json::Num(r.p99_ms)
+     << ", \"acked\": " << r.acked << ", \"rejected\": " << r.rejected
+     << ", \"failovers\": " << r.failovers
+     << ", \"duplicates_suppressed\": " << r.duplicates_suppressed
+     << ", \"lost_acked\": " << r.lost_acked
+     << ", \"duplicate_deliveries\": " << r.duplicate_deliveries << "}";
+  return os.str();
+}
+
+/// Grouped-min steady-state produce cost (the infer_json.h Measure scheme):
+/// one Prepare + quorum Produce per call against a healthy cluster.
+bench_json::PathMetrics MeasureSteadyState() {
+  WallClock& clock = WallClock::Instance();
+  mq::BrokerCluster cluster(clock, ClusterConfig());
+  (void)cluster.CreateTopic(kTopic, kPartitions);
+  const mq::ProducerId producer = cluster.CreateProducer();
+  int i = 0;
+  return bench_json::Measure(2'000, 20'000, [&] {
+    ++i;
+    auto request = cluster.Prepare(producer, kTopic,
+                                   "cam-" + std::to_string(i % 64),
+                                   "rec-" + std::to_string(i));
+    if (request.ok()) (void)cluster.Produce(*request);
+  });
+}
+
+int RunJsonMode(const std::string& path) {
+  const bench_json::PathMetrics steady = MeasureSteadyState();
+  const ScenarioResult healthy = RunScenario(/*kill_leader=*/false);
+  const ScenarioResult faulted = RunScenario(/*kill_leader=*/true);
+
+  std::ostringstream os;
+  os << "{\"steady_state\": " << bench_json::PathJson(steady)
+     << ", \"healthy\": " << ScenarioJson(healthy)
+     << ", \"leader_kill\": " << ScenarioJson(faulted) << "}";
+  bench_json::MergeInferJson(path, "mq_failover", os.str());
+  std::printf("wrote %s\n", path.c_str());
+
+  const std::int64_t violations = healthy.lost_acked + faulted.lost_acked +
+                                  healthy.duplicate_deliveries +
+                                  faulted.duplicate_deliveries;
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "replication contract violated: lost=%lld dups=%lld\n",
+                 (long long)(healthy.lost_acked + faulted.lost_acked),
+                 (long long)(healthy.duplicate_deliveries +
+                             faulted.duplicate_deliveries));
+    return 1;
+  }
+  if (faulted.failovers < 1) {
+    std::fprintf(stderr, "leader_kill scenario triggered no failover\n");
+    return 1;
+  }
+  return 0;
+}
+
+void BM_QuorumProduce(benchmark::State& state) {
+  WallClock& clock = WallClock::Instance();
+  mq::BrokerCluster cluster(clock, ClusterConfig());
+  (void)cluster.CreateTopic(kTopic, kPartitions);
+  const mq::ProducerId producer = cluster.CreateProducer();
+  int i = 0;
+  for (auto _ : state) {
+    ++i;
+    auto request = cluster.Prepare(producer, kTopic,
+                                   "cam-" + std::to_string(i % 64),
+                                   "rec-" + std::to_string(i));
+    if (request.ok()) benchmark::DoNotOptimize(cluster.Produce(*request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuorumProduce);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (bench_json::ParseJsonFlag(argc, argv, json_path)) {
+    // This bench owns its own output file (the MQ numbers, not the
+    // inference ones) unless the caller pointed somewhere explicitly.
+    if (json_path == "BENCH_infer.json") json_path = "BENCH_mq.json";
+    return RunJsonMode(json_path);
+  }
+  const ScenarioResult healthy = RunScenario(false);
+  const ScenarioResult faulted = RunScenario(true);
+  std::printf("healthy:     %s\n", ScenarioJson(healthy).c_str());
+  std::printf("leader_kill: %s\n", ScenarioJson(faulted).c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

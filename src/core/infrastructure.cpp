@@ -50,6 +50,11 @@ Cyberinfrastructure::Cyberinfrastructure(const InfrastructureConfig& config,
     return UnavailableError(std::to_string(under) +
                             " under-replicated block(s)");
   });
+  health_.Register("mq", [this] {
+    // Replicated-broker health: every partition must have a leader and an
+    // ISR at quorum, else acked-durability is at risk.
+    return pipeline_.log().Probe();
+  });
   health_.Register("fog.server", [this] {
     int down = 0;
     for (int f = 0; f < fog_.num_fogs(); ++f) {

@@ -86,7 +86,8 @@ class Cyberinfrastructure {
   AlertManager& alerts() { return alerts_; }
 
   /// Deployment-wide health probes; construction registers probes for DFS
-  /// replication ("dfs") and the fog -> analysis-server links ("fog.server").
+  /// replication ("dfs"), the replicated message broker's leader/ISR state
+  /// ("mq"), and the fog -> analysis-server links ("fog.server").
   /// Applications may register their own.
   resilience::HealthRegistry& health() { return health_; }
 

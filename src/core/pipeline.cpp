@@ -70,8 +70,26 @@ std::optional<store::Document> DecodeDocument(const std::string& bytes) {
   return doc;
 }
 
-CityPipeline::CityPipeline(Clock& clock)
-    : clock_(&clock), log_(clock), spans_(clock) {}
+CityPipeline::CityPipeline(Clock& clock, mq::BrokerClusterConfig mq_config)
+    : clock_(&clock), log_(clock, mq_config), spans_(clock) {
+  producer_ = log_.CreateProducer();
+  // Surface replication-layer transitions (failover, ISR churn, node kills)
+  // as root events in the span stream, next to the stage spans they disrupt.
+  log_.SetEventHook([this](const mq::ClusterEvent& event) {
+    std::vector<std::pair<std::string, std::string>> tags;
+    if (!event.topic.empty()) {
+      tags.emplace_back("topic", event.topic);
+      tags.emplace_back("partition", std::to_string(event.partition));
+    }
+    if (event.node >= 0) tags.emplace_back("node", std::to_string(event.node));
+    if (event.prev_node >= 0) {
+      tags.emplace_back("prev_node", std::to_string(event.prev_node));
+    }
+    spans_.RootEvent(
+        "mq." + std::string(mq::ClusterEventKindName(event.kind)),
+        std::move(tags));
+  });
+}
 
 CityPipeline::~CityPipeline() { Stop(); }
 
@@ -90,9 +108,10 @@ Status CityPipeline::AddTopic(TopicSpec spec) {
   return Status::Ok();
 }
 
-Result<mq::MessageLog::ProduceAck> CityPipeline::Produce(
-    const std::string& topic, std::string key, std::string value,
-    obs::TraceContext parent) {
+Result<mq::ProduceAck> CityPipeline::Produce(const std::string& topic,
+                                             std::string key,
+                                             std::string value,
+                                             obs::TraceContext parent) {
   // The trace root rides in the record header; consumer-side stage spans
   // attach to it. An invalid parent opens a fresh trace, so every record
   // produced through the pipeline is traced.
@@ -103,17 +122,36 @@ Result<mq::MessageLog::ProduceAck> CityPipeline::Produce(
   mq::Headers headers;
   headers[std::string(obs::kTraceHeader)] = root.Serialize();
 
+  // Prepare once, retry the *prepared* request: partition and sequence are
+  // pinned, so the broker deduplicates any attempt that actually landed
+  // before its ack was observed — a retry crossing a leader failover cannot
+  // duplicate the record.
+  auto request = log_.Prepare(producer_, topic, std::move(key),
+                              std::move(value), std::move(headers));
+  if (!request.ok()) {
+    span.SetTag("error", std::string(request.status().message()));
+    spans_.End(std::move(span));
+    return request.status();
+  }
+
   resilience::RetryConfig config;
   config.max_attempts = 4;
   config.initial_backoff = kMillisecond / 2;
   config.max_backoff = 8 * kMillisecond;
   resilience::RetryPolicy retry(config, *clock_);
-  auto ack = retry.Run([&]() -> Result<mq::MessageLog::ProduceAck> {
-    return log_.Produce(topic, key, value, headers);
-  });
+  auto ack = retry.Run(
+      [&]() -> Result<mq::ProduceAck> { return log_.Produce(*request); });
   produce_retries_.fetch_add(retry.retries(), std::memory_order_relaxed);
   if (retry.retries() > 0) span.SetTag("retried", "true");
-  if (!ack.ok()) span.SetTag("error", std::string(ack.status().message()));
+  if (!ack.ok()) {
+    if (ack.status().code() == StatusCode::kResourceExhausted) {
+      produce_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      span.SetTag("backpressure", "true");
+    }
+    span.SetTag("error", std::string(ack.status().message()));
+  } else if (ack->duplicate) {
+    span.SetTag("duplicate", "true");
+  }
   spans_.End(std::move(span));
   return ack;
 }
@@ -246,7 +284,14 @@ void CityPipeline::Drain() {
     for (int p = 0; p < *parts; ++p) {
       while (true) {
         const auto info = log_.GetPartitionInfo(topic, p);
-        if (!info.ok()) break;
+        if (!info.ok()) {
+          // Mid-failover the partition briefly has no leader; wait it out.
+          if (info.status().code() == StatusCode::kUnavailable) {
+            clock_->SleepFor(kMillisecond);
+            continue;
+          }
+          break;
+        }
         const std::int64_t committed =
             log_.CommittedOffset("pipeline-" + topic, topic, p);
         if (committed >= info->end_offset) break;
@@ -269,6 +314,7 @@ PipelineStats CityPipeline::Stats() const {
   s.produce_retries = produce_retries_.load();
   s.fetch_retries = fetch_retries_.load();
   s.records_skipped = records_skipped_.load();
+  s.produce_backpressure = produce_backpressure_.load();
   {
     MutexLock lock(web_mu_);
     s.web_items = std::int64_t(web_feed_.size());

@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "mq/message_log.h"
+#include "mq/broker_cluster.h"
 #include "obs/trace.h"
 #include "resilience/policy.h"
 #include "store/document_store.h"
@@ -46,6 +46,7 @@ struct PipelineStats {
   std::int64_t produce_retries = 0;  ///< Produce() attempts beyond the first
   std::int64_t fetch_retries = 0;    ///< consumer fetches hitting kUnavailable
   std::int64_t records_skipped = 0;  ///< offsets lost to retention truncation
+  std::int64_t produce_backpressure = 0;  ///< produces rejected at the bound
   double mean_latency_ms = 0;  ///< produce -> web, for annotated records
   double p99_latency_ms = 0;
   /// Span-derived per-stage latency (produce / mq.queue / store / analyze /
@@ -65,7 +66,9 @@ class CityPipeline {
     AnalyzerFn analyzer;      ///< optional annotation step
   };
 
-  explicit CityPipeline(Clock& clock);
+  /// `mq_config` shapes the replicated broker backing the pipeline (node
+  /// count, replication factor, backpressure bound).
+  explicit CityPipeline(Clock& clock, mq::BrokerClusterConfig mq_config = {});
   ~CityPipeline();
 
   CityPipeline(const CityPipeline&) = delete;
@@ -74,23 +77,26 @@ class CityPipeline {
   /// Declares a topic with its parser/analyzer before Start().
   Status AddTopic(TopicSpec spec);
 
-  /// The broker producers publish into.
-  mq::MessageLog& log() { return log_; }
+  /// The replicated broker cluster producers publish into.
+  mq::BrokerCluster& log() { return log_; }
 
-  /// Publishes through the resilience layer: a produce hitting an
-  /// unavailable partition retries with jittered exponential backoff
-  /// (round-robin produces land on the next partition). Terminal errors
-  /// surface immediately. Thread-safe.
+  /// Publishes through the resilience layer, idempotently: the request is
+  /// prepared once (pinning partition and sequence number) and the prepared
+  /// request is what retries with jittered exponential backoff — so a retry
+  /// that crosses a leader failover cannot duplicate the record. Transient
+  /// kUnavailable (no leader / ISR below quorum mid-failover) is retried;
+  /// kResourceExhausted (partition backlog at its bound) is terminal here
+  /// and counted in `produce_backpressure` — callers shed or wait. Other
+  /// terminal errors surface immediately. Thread-safe.
   ///
   /// Every record is traced: `parent` continues an upstream trace (an
   /// ingest agent's), an invalid parent opens a fresh one. The context
   /// travels to the consumer in the record's `x-trace` header, so the
   /// consumer-side stage spans (mq.queue / store / analyze / web) join the
   /// same trace.
-  Result<mq::MessageLog::ProduceAck> Produce(const std::string& topic,
-                                             std::string key,
-                                             std::string value,
-                                             obs::TraceContext parent = {});
+  Result<mq::ProduceAck> Produce(const std::string& topic, std::string key,
+                                 std::string value,
+                                 obs::TraceContext parent = {});
 
   /// The pipeline's span collector (stage spans, critical-path report).
   obs::SpanCollector& tracer() { return spans_; }
@@ -123,7 +129,8 @@ class CityPipeline {
   void ConsumerLoop(TopicState& state, std::stop_token stop);
 
   Clock* clock_;
-  mq::MessageLog log_;
+  mq::BrokerCluster log_;
+  mq::ProducerId producer_ = 0;
   // topics_ / started_ mutate only during single-threaded setup (AddTopic /
   // Start, before consumers exist); consumer threads read them immutably.
   std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
@@ -138,6 +145,7 @@ class CityPipeline {
   std::atomic<std::int64_t> produce_retries_{0};
   std::atomic<std::int64_t> fetch_retries_{0};
   std::atomic<std::int64_t> records_skipped_{0};
+  std::atomic<std::int64_t> produce_backpressure_{0};
   obs::SpanCollector spans_;
 };
 

@@ -1,5 +1,9 @@
 #include "ingest/flume.h"
 
+#include <memory>
+#include <unordered_map>
+
+#include "util/bytes.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -47,6 +51,7 @@ void Agent::SinkLoop() {
   retry_config.max_attempts = config_.max_sink_retries + 1;
   retry_config.initial_backoff = config_.sink_retry_backoff;
   retry_config.max_backoff = config_.sink_retry_max_backoff;
+  retry_config.retry_resource_exhausted = config_.retry_resource_exhausted;
   Clock& clock = config_.clock ? *config_.clock : WallClock::Instance();
   resilience::RetryPolicy retry(retry_config, clock,
                                 /*seed=*/std::hash<std::string>{}(name_));
@@ -126,6 +131,44 @@ void Agent::WaitUntilFinished() {
   while (!Finished()) {
     WallClock::Instance().SleepFor(kMillisecond);
   }
+}
+
+SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic) {
+  const mq::ProducerId producer = cluster.CreateProducer();
+  // Prepared-but-unacked requests, keyed by event fingerprint. A batch retry
+  // finds its earlier request here and re-submits it unchanged (same
+  // partition, same sequence), which is what lets the broker deduplicate.
+  // Entries are erased on ack; a terminally dropped batch leaves stale ones,
+  // so the map is cleared at a size bound — that only forfeits request reuse
+  // for dropped events, never acked-record dedup (the broker's sequence
+  // tables hold that).
+  constexpr std::size_t kMaxPending = 1 << 16;
+  auto pending = std::make_shared<
+      std::unordered_map<std::uint64_t, mq::ProduceRequest>>();
+  return [&cluster, topic = std::move(topic), producer,
+          pending](const std::vector<Event>& batch) -> Status {
+    Status first_error = Status::Ok();
+    for (const Event& event : batch) {
+      std::uint64_t fp = Fnv1a64(event.key);
+      fp = (fp * 1099511628211ULL) ^ Fnv1a64(event.body);
+      fp = (fp * 1099511628211ULL) ^ std::uint64_t(event.enqueued_at);
+      auto it = pending->find(fp);
+      if (it == pending->end()) {
+        if (pending->size() >= kMaxPending) pending->clear();
+        auto prepared = cluster.Prepare(producer, topic, event.key, event.body,
+                                        event.headers);
+        if (!prepared.ok()) return prepared.status();  // unknown topic etc.
+        it = pending->emplace(fp, *std::move(prepared)).first;
+      }
+      const auto ack = cluster.Produce(it->second);
+      if (ack.ok()) {
+        pending->erase(it);
+        continue;
+      }
+      if (first_error.ok()) first_error = ack.status();
+    }
+    return first_error;
+  };
 }
 
 }  // namespace metro::ingest

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "mq/broker_cluster.h"
 #include "obs/trace.h"
 #include "resilience/policy.h"
 #include "util/clock.h"
@@ -49,6 +50,11 @@ struct AgentConfig {
   int max_sink_retries = 3;                       ///< retries after 1st attempt
   TimeNs sink_retry_backoff = kMillisecond;       ///< initial backoff
   TimeNs sink_retry_max_backoff = 32 * kMillisecond;
+  /// Also retry sink batches rejected with kResourceExhausted (broker
+  /// backpressure). Edge agents are the system's buffers (Sec. II-B1):
+  /// their bounded channel already limits memory, so waiting out a full
+  /// partition beats dropping the batch. Off by default.
+  bool retry_resource_exhausted = false;
   Clock* clock = nullptr;  ///< backoff sleeps; wall clock when null
   /// Optional tracer. When set the source opens a trace per event (unless
   /// the event already carries an `x-trace` header), the sink records an
@@ -105,5 +111,15 @@ class Agent {
   std::jthread source_thread_;
   std::jthread sink_thread_;
 };
+
+/// A sink publishing every event to `topic` on the replicated broker via
+/// the idempotent produce path. Each event's request is prepared once
+/// (pinning partition and sequence) and memoized until its ack is observed,
+/// so agent-level batch retries re-submit the *same* request — the broker
+/// deduplicates attempts that already landed instead of appending them
+/// again. Event headers (including `x-trace`) travel as record headers.
+/// On a mixed batch the first failure's status is returned after every
+/// event was attempted, so a retried batch only re-submits what is missing.
+SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic);
 
 }  // namespace metro::ingest

@@ -1,0 +1,628 @@
+#include "mq/broker_cluster.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace metro::mq {
+
+namespace {
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+std::string_view ClusterEventKindName(ClusterEvent::Kind kind) {
+  switch (kind) {
+    case ClusterEvent::Kind::kLeaderElected:
+      return "leader_elected";
+    case ClusterEvent::Kind::kFailover:
+      return "failover";
+    case ClusterEvent::Kind::kQuorumLost:
+      return "quorum_lost";
+    case ClusterEvent::Kind::kIsrShrink:
+      return "isr_shrink";
+    case ClusterEvent::Kind::kIsrExpand:
+      return "isr_expand";
+    case ClusterEvent::Kind::kNodeKilled:
+      return "node_killed";
+    case ClusterEvent::Kind::kNodeRevived:
+      return "node_revived";
+  }
+  return "unknown";
+}
+
+BrokerCluster::BrokerCluster(Clock& clock, BrokerClusterConfig config)
+    : clock_(&clock), config_(config) {
+  config_.nodes = std::max(1, config_.nodes);
+  config_.replication_factor =
+      std::clamp(config_.replication_factor, 1, config_.nodes);
+  MutexLock lock(mu_);
+  nodes_.reserve(std::size_t(config_.nodes));
+  for (int i = 0; i < config_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<BrokerNode>(i));
+  }
+}
+
+void BrokerCluster::SetEventHook(EventFn hook) {
+  MutexLock lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void BrokerCluster::Emit(std::vector<ClusterEvent> events) {
+  if (events.empty()) return;
+  EventFn hook;
+  {
+    MutexLock lock(mu_);
+    hook = hook_;
+  }
+  if (!hook) return;
+  for (const ClusterEvent& event : events) hook(event);
+}
+
+Status BrokerCluster::CreateTopic(const std::string& topic, int partitions) {
+  if (partitions < 1) return InvalidArgumentError("partitions must be >= 1");
+  std::vector<ClusterEvent> events;
+  MutexLock lock(mu_);
+  const auto [it, inserted] = topics_.try_emplace(topic);
+  if (!inserted) return AlreadyExistsError("topic " + topic);
+  TopicMeta& t = it->second;
+  t.partitions.resize(std::size_t(partitions));
+  const std::uint64_t base = Fnv1a64(topic);
+  for (int p = 0; p < partitions; ++p) {
+    PartitionMeta& pm = t.partitions[std::size_t(p)];
+    const TopicPartition tp{topic, p};
+    for (int i = 0; i < config_.replication_factor; ++i) {
+      const int node =
+          int((base + std::uint64_t(p) + std::uint64_t(i)) %
+              std::uint64_t(nodes_.size()));
+      pm.replicas.push_back(node);
+      nodes_[std::size_t(node)]->replica(tp);  // materialize the replica
+      if (nodes_[std::size_t(node)]->up()) pm.isr.push_back(node);
+    }
+    if (!pm.isr.empty()) {
+      pm.leader = pm.isr.front();
+      ClusterEvent event;
+      event.kind = ClusterEvent::Kind::kLeaderElected;
+      event.topic = topic;
+      event.partition = p;
+      event.node = pm.leader;
+      events.push_back(std::move(event));
+    }
+  }
+  lock.Unlock();
+  Emit(std::move(events));
+  return Status::Ok();
+}
+
+bool BrokerCluster::HasTopic(const std::string& topic) const {
+  MutexLock lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+Result<int> BrokerCluster::NumPartitions(const std::string& topic) const {
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  return int(it->second.partitions.size());
+}
+
+Result<const BrokerCluster::PartitionMeta*> BrokerCluster::MetaLocked(
+    const std::string& topic, int partition) const {
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  if (partition < 0 ||
+      std::size_t(partition) >= it->second.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  return &it->second.partitions[std::size_t(partition)];
+}
+
+int BrokerCluster::PickPartitionLocked(TopicMeta& topic,
+                                       const std::string& key) {
+  const std::size_t n = topic.partitions.size();
+  if (!key.empty()) return int(Fnv1a64(key) % n);
+  // Keyless round-robin skips partitions that currently have no leader so a
+  // single dead preferred leader cannot fail a fraction of keyless traffic.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = topic.round_robin++ % n;
+    if (topic.partitions[idx].leader >= 0) return int(idx);
+    metrics_.GetCounter("mq.roundrobin_skips").Increment();
+  }
+  // Every partition is leaderless; let the produce path report kUnavailable.
+  return int(topic.round_robin++ % n);
+}
+
+ProducerId BrokerCluster::CreateProducer() {
+  MutexLock lock(mu_);
+  return next_producer_++;
+}
+
+Result<ProduceRequest> BrokerCluster::Prepare(ProducerId producer,
+                                              const std::string& topic,
+                                              std::string key,
+                                              std::string value,
+                                              Headers headers) {
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  if (producer < 0 || producer >= next_producer_) {
+    return InvalidArgumentError("unknown producer id " +
+                                std::to_string(producer));
+  }
+  ProduceRequest request;
+  request.topic = topic;
+  request.partition = PickPartitionLocked(it->second, key);
+  request.key = std::move(key);
+  request.value = std::move(value);
+  request.headers = std::move(headers);
+  if (producer > 0) {
+    request.producer_id = producer;
+    request.sequence =
+        producer_seq_[producer][TopicPartition{topic, request.partition}]++;
+  }
+  return request;
+}
+
+Result<ProduceAck> BrokerCluster::Produce(const ProduceRequest& request) {
+  MutexLock lock(mu_);
+  return ProduceLocked(request);
+}
+
+Result<ProduceAck> BrokerCluster::Produce(const std::string& topic,
+                                          std::string key, std::string value,
+                                          Headers headers) {
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  ProduceRequest request;
+  request.topic = topic;
+  request.partition = PickPartitionLocked(it->second, key);
+  request.key = std::move(key);
+  request.value = std::move(value);
+  request.headers = std::move(headers);
+  return ProduceLocked(request);
+}
+
+Result<ProduceAck> BrokerCluster::ProduceTo(const std::string& topic,
+                                            int partition, std::string key,
+                                            std::string value,
+                                            Headers headers) {
+  ProduceRequest request;
+  request.topic = topic;
+  request.partition = partition;
+  request.key = std::move(key);
+  request.value = std::move(value);
+  request.headers = std::move(headers);
+  MutexLock lock(mu_);
+  return ProduceLocked(request);
+}
+
+Result<ProduceAck> BrokerCluster::ProduceLocked(const ProduceRequest& request) {
+  const auto it = topics_.find(request.topic);
+  if (it == topics_.end()) return NotFoundError("topic " + request.topic);
+  TopicMeta& t = it->second;
+  if (request.partition < 0 ||
+      std::size_t(request.partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  PartitionMeta& pm = t.partitions[std::size_t(request.partition)];
+  const std::string where =
+      request.topic + "/" + std::to_string(request.partition);
+  if (pm.leader < 0) {
+    metrics_.GetCounter("mq.no_leader").Increment();
+    return UnavailableError("partition " + where + " has no leader");
+  }
+  if (int(pm.isr.size()) < quorum()) {
+    metrics_.GetCounter("mq.quorum_failures").Increment();
+    return UnavailableError("partition " + where + " ISR " +
+                            std::to_string(pm.isr.size()) + " below quorum " +
+                            std::to_string(quorum()));
+  }
+  const TopicPartition tp{request.topic, request.partition};
+  BrokerNode::Replica& lead = nodes_[std::size_t(pm.leader)]->replica(tp);
+  const SequenceTable::Probe probe =
+      lead.sequences.Check(request.producer_id, request.sequence);
+  if (probe.verdict == SequenceTable::Verdict::kDuplicate) {
+    metrics_.GetCounter("mq.duplicates_suppressed").Increment();
+    ProduceAck ack;
+    ack.partition = request.partition;
+    ack.offset = probe.duplicate_offset;
+    ack.duplicate = true;
+    return ack;
+  }
+  if (config_.max_partition_backlog > 0 &&
+      lead.log.size() >= config_.max_partition_backlog) {
+    metrics_.GetCounter("mq.backpressure").Increment();
+    return ResourceExhaustedError(
+        "partition " + where + " backlog at bound " +
+        std::to_string(config_.max_partition_backlog));
+  }
+  Record rec;
+  rec.timestamp = clock_->Now();
+  rec.key = request.key;
+  rec.value = request.value;
+  rec.headers = request.headers;
+  rec.producer_id = request.producer_id;
+  rec.sequence = request.sequence;
+  const std::size_t bytes = rec.key.size() + rec.value.size();
+  rec.offset = lead.log.Append(rec);
+  lead.sequences.Observe(rec);
+  // acks=quorum via synchronous replication: every ISR member appends before
+  // the ack; quorum was pre-checked above, so the acked record is on at
+  // least `quorum()` replicas when the caller sees it.
+  for (const int node : pm.isr) {
+    if (node == pm.leader) continue;
+    BrokerNode::Replica& rep = nodes_[std::size_t(node)]->replica(tp);
+    const Status replicated = rep.log.AppendReplica(rec);
+    if (!replicated.ok()) {
+      return InternalError("ISR divergence on " + where + ": " +
+                           replicated.message());
+    }
+    rep.sequences.Observe(rec);
+  }
+  pm.high_water = lead.log.end_offset();
+  metrics_.GetCounter("mq.records_produced").Increment();
+  metrics_.GetCounter("mq.bytes_produced").Increment(std::int64_t(bytes));
+  ProduceAck ack;
+  ack.partition = request.partition;
+  ack.offset = rec.offset;
+  return ack;
+}
+
+Result<std::vector<Record>> BrokerCluster::Fetch(const std::string& topic,
+                                                 int partition,
+                                                 std::int64_t offset,
+                                                 std::size_t max_records) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  const PartitionMeta& pm = **meta;
+  if (pm.leader < 0) {
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " has no leader");
+  }
+  const BrokerNode::Replica* lead =
+      nodes_[std::size_t(pm.leader)]->Find(TopicPartition{topic, partition});
+  if (lead == nullptr) return InternalError("leader replica missing");
+  return lead->log.Fetch(offset, max_records, pm.high_water);
+}
+
+Result<PartitionInfo> BrokerCluster::GetPartitionInfo(const std::string& topic,
+                                                      int partition) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  const PartitionMeta& pm = **meta;
+  if (pm.leader < 0) {
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " has no leader");
+  }
+  const BrokerNode::Replica* lead =
+      nodes_[std::size_t(pm.leader)]->Find(TopicPartition{topic, partition});
+  if (lead == nullptr) return InternalError("leader replica missing");
+  PartitionInfo info;
+  info.partition = partition;
+  info.begin_offset = lead->log.begin_offset();
+  info.end_offset = pm.high_water;
+  return info;
+}
+
+Result<PartitionView> BrokerCluster::View(const std::string& topic,
+                                          int partition) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  const PartitionMeta& pm = **meta;
+  PartitionView view;
+  view.leader = pm.leader;
+  view.replicas = pm.replicas;
+  view.isr = pm.isr;
+  view.high_water_mark = pm.high_water;
+  const int sample = pm.leader >= 0 ? pm.leader : pm.replicas.front();
+  const BrokerNode::Replica* rep =
+      nodes_[std::size_t(sample)]->Find(TopicPartition{topic, partition});
+  if (rep != nullptr) {
+    view.begin_offset = rep->log.begin_offset();
+    view.end_offset = rep->log.end_offset();
+  }
+  return view;
+}
+
+Result<int> BrokerCluster::PreferredLeader(const std::string& topic,
+                                           int partition) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  return (*meta)->replicas.front();
+}
+
+Result<int> BrokerCluster::LeaderOf(const std::string& topic,
+                                    int partition) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  return (*meta)->leader;
+}
+
+std::int64_t BrokerCluster::EnforceRetention(TimeNs retention) {
+  MutexLock lock(mu_);
+  const TimeNs cutoff = clock_->Now() - retention;
+  std::int64_t dropped = 0;
+  for (auto& [name, topic] : topics_) {
+    for (std::size_t p = 0; p < topic.partitions.size(); ++p) {
+      const PartitionMeta& pm = topic.partitions[p];
+      const TopicPartition tp{name, int(p)};
+      // The janitor runs on every replica — dead nodes included — so the
+      // retention floors stay aligned and a revived follower resyncs
+      // against the same window the leader retains.
+      for (const int node : pm.replicas) {
+        const std::int64_t n =
+            nodes_[std::size_t(node)]->replica(tp).log.EnforceRetention(cutoff);
+        if (node == pm.leader) dropped += n;
+      }
+    }
+  }
+  return dropped;
+}
+
+Status BrokerCluster::KillNode(int node) {
+  std::vector<ClusterEvent> events;
+  MutexLock lock(mu_);
+  if (node < 0 || std::size_t(node) >= nodes_.size()) {
+    return InvalidArgumentError("node " + std::to_string(node) +
+                                " out of range");
+  }
+  BrokerNode& killed = *nodes_[std::size_t(node)];
+  if (!killed.up()) return Status::Ok();  // already dead
+  killed.Kill();
+  {
+    ClusterEvent event;
+    event.kind = ClusterEvent::Kind::kNodeKilled;
+    event.node = node;
+    events.push_back(std::move(event));
+  }
+  for (auto& [name, topic] : topics_) {
+    for (std::size_t p = 0; p < topic.partitions.size(); ++p) {
+      PartitionMeta& pm = topic.partitions[p];
+      if (!Contains(pm.isr, node)) continue;
+      const std::vector<int> old_isr = pm.isr;
+      pm.isr.erase(std::find(pm.isr.begin(), pm.isr.end(), node));
+      {
+        ClusterEvent event;
+        event.kind = ClusterEvent::Kind::kIsrShrink;
+        event.topic = name;
+        event.partition = int(p);
+        event.node = node;
+        events.push_back(std::move(event));
+      }
+      if (pm.leader != node) continue;
+      if (pm.isr.empty()) {
+        // The last in-sync replica died. Remember who was in sync at that
+        // moment: only those replicas hold every acked record, so only they
+        // may be elected when nodes come back (no unclean election).
+        pm.final_isr = old_isr;
+        pm.leader = -1;
+        ClusterEvent event;
+        event.kind = ClusterEvent::Kind::kQuorumLost;
+        event.topic = name;
+        event.partition = int(p);
+        event.node = node;
+        events.push_back(std::move(event));
+      } else {
+        // ISR members hold every acked record by the synchronous-replication
+        // invariant, so the first survivor in replica order takes over with
+        // the high-water mark intact.
+        const int successor = pm.isr.front();
+        pm.leader = successor;
+        metrics_.GetCounter("mq.failovers").Increment();
+        ClusterEvent event;
+        event.kind = ClusterEvent::Kind::kFailover;
+        event.topic = name;
+        event.partition = int(p);
+        event.node = successor;
+        event.prev_node = node;
+        events.push_back(std::move(event));
+      }
+    }
+  }
+  lock.Unlock();
+  Emit(std::move(events));
+  return Status::Ok();
+}
+
+void BrokerCluster::ResyncReplicaLocked(const TopicPartition& tp,
+                                        PartitionMeta& meta, int node,
+                                        std::vector<ClusterEvent>& events) {
+  if (Contains(meta.isr, node)) return;
+  BrokerNode::Replica& lead =
+      nodes_[std::size_t(meta.leader)]->replica(tp);
+  BrokerNode::Replica& rep = nodes_[std::size_t(node)]->replica(tp);
+  // A follower can never be ahead of the leader (appends are synchronous
+  // across the ISR), but truncate defensively before copying the suffix.
+  rep.log.TruncateTo(lead.log.end_offset());
+  if (rep.log.end_offset() < lead.log.begin_offset()) {
+    // The follower's window fell entirely behind the leader's retention
+    // floor; restart it from the floor. Dedup state from records older than
+    // the retained window is rebuilt only from what the leader still holds.
+    rep.log.Reset(lead.log.begin_offset());
+    rep.sequences.Clear();
+  }
+  for (std::int64_t off = rep.log.end_offset(); off < lead.log.end_offset();
+       ++off) {
+    const Record* rec = lead.log.At(off);
+    if (rec == nullptr) break;  // unreachable: [end, lead end) is retained
+    (void)rep.log.AppendReplica(*rec);
+    rep.sequences.Observe(*rec);
+  }
+  // Rejoin the ISR, keeping it in replica (preferred-leader) order.
+  std::vector<int> isr;
+  for (const int r : meta.replicas) {
+    if (r == node || Contains(meta.isr, r)) isr.push_back(r);
+  }
+  meta.isr = std::move(isr);
+  ClusterEvent event;
+  event.kind = ClusterEvent::Kind::kIsrExpand;
+  event.topic = tp.topic;
+  event.partition = tp.partition;
+  event.node = node;
+  events.push_back(std::move(event));
+}
+
+Status BrokerCluster::ReviveNode(int node) {
+  std::vector<ClusterEvent> events;
+  MutexLock lock(mu_);
+  if (node < 0 || std::size_t(node) >= nodes_.size()) {
+    return InvalidArgumentError("node " + std::to_string(node) +
+                                " out of range");
+  }
+  BrokerNode& revived = *nodes_[std::size_t(node)];
+  if (revived.up()) return Status::Ok();  // already alive
+  revived.Revive();
+  {
+    ClusterEvent event;
+    event.kind = ClusterEvent::Kind::kNodeRevived;
+    event.node = node;
+    events.push_back(std::move(event));
+  }
+  for (auto& [name, topic] : topics_) {
+    for (std::size_t p = 0; p < topic.partitions.size(); ++p) {
+      PartitionMeta& pm = topic.partitions[p];
+      if (!Contains(pm.replicas, node)) continue;
+      const TopicPartition tp{name, int(p)};
+      if (pm.leader >= 0) {
+        ResyncReplicaLocked(tp, pm, node, events);
+        continue;
+      }
+      // Leaderless partition: elect the revived node only if it was in the
+      // final ISR (an empty snapshot means the partition never had a leader,
+      // so nothing acked can be lost). Anyone else waits, out of the ISR,
+      // for a final-ISR member to return.
+      if (!pm.final_isr.empty() && !Contains(pm.final_isr, node)) continue;
+      pm.leader = node;
+      pm.isr = {node};
+      pm.high_water = revived.replica(tp).log.end_offset();
+      {
+        ClusterEvent event;
+        event.kind = ClusterEvent::Kind::kLeaderElected;
+        event.topic = name;
+        event.partition = int(p);
+        event.node = node;
+        events.push_back(std::move(event));
+      }
+      // Bring the other survivors back in sync under the new leader.
+      for (const int r : pm.replicas) {
+        if (r != node && nodes_[std::size_t(r)]->up()) {
+          ResyncReplicaLocked(tp, pm, r, events);
+        }
+      }
+    }
+  }
+  lock.Unlock();
+  Emit(std::move(events));
+  return Status::Ok();
+}
+
+Result<bool> BrokerCluster::NodeUp(int node) const {
+  MutexLock lock(mu_);
+  if (node < 0 || std::size_t(node) >= nodes_.size()) {
+    return InvalidArgumentError("node " + std::to_string(node) +
+                                " out of range");
+  }
+  return nodes_[std::size_t(node)]->up();
+}
+
+Status BrokerCluster::Probe() const {
+  MutexLock lock(mu_);
+  for (const auto& [name, topic] : topics_) {
+    for (std::size_t p = 0; p < topic.partitions.size(); ++p) {
+      const PartitionMeta& pm = topic.partitions[p];
+      const std::string where = name + "/" + std::to_string(p);
+      if (pm.leader < 0) {
+        return UnavailableError("partition " + where + " has no leader");
+      }
+      if (int(pm.isr.size()) < quorum()) {
+        return UnavailableError("partition " + where + " ISR " +
+                                std::to_string(pm.isr.size()) +
+                                " below quorum " + std::to_string(quorum()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<int>> BrokerCluster::JoinGroup(const std::string& group,
+                                                  const std::string& topic,
+                                                  const std::string& member) {
+  int partitions = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return NotFoundError("topic " + topic);
+    partitions = int(it->second.partitions.size());
+  }
+  return groups_.Join(group, topic, member, partitions);
+}
+
+Status BrokerCluster::LeaveGroup(const std::string& group,
+                                 const std::string& member) {
+  auto topic = groups_.TopicOf(group);
+  if (!topic.ok()) return topic.status();
+  int partitions = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(*topic);
+    if (it != topics_.end()) partitions = int(it->second.partitions.size());
+  }
+  return groups_.Leave(group, member, partitions);
+}
+
+std::vector<int> BrokerCluster::Assignment(const std::string& group,
+                                           const std::string& member) const {
+  return groups_.Assignment(group, member);
+}
+
+Status BrokerCluster::CommitOffset(const std::string& group,
+                                   const std::string& topic, int partition,
+                                   std::int64_t offset) {
+  int partitions = 0;
+  std::int64_t end = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return NotFoundError("topic " + topic);
+    partitions = int(it->second.partitions.size());
+    if (partition >= 0 && partition < partitions) {
+      end = it->second.partitions[std::size_t(partition)].high_water;
+    }
+  }
+  return groups_.Commit(group, topic, partition, offset, partitions, end);
+}
+
+std::int64_t BrokerCluster::CommittedOffset(const std::string& group,
+                                            const std::string& topic,
+                                            int partition) const {
+  return groups_.Committed(group, topic, partition);
+}
+
+Result<std::int64_t> BrokerCluster::Lag(const std::string& group) const {
+  auto topic = groups_.TopicOf(group);
+  if (!topic.ok()) return topic.status();
+  auto committed = groups_.CommittedAll(group);
+  if (!committed.ok()) return committed.status();
+  MutexLock lock(mu_);
+  const auto it = topics_.find(*topic);
+  if (it == topics_.end()) return NotFoundError("topic " + *topic);
+  std::int64_t lag = 0;
+  for (std::size_t p = 0; p < it->second.partitions.size(); ++p) {
+    const auto cit = committed->find(int(p));
+    const std::int64_t done = cit == committed->end() ? 0 : cit->second;
+    lag += std::max<std::int64_t>(
+        it->second.partitions[p].high_water - done, 0);
+  }
+  return lag;
+}
+
+}  // namespace metro::mq

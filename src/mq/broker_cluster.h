@@ -1,0 +1,326 @@
+#pragma once
+
+// Replicated message broker: N `BrokerNode`s hosting leader/follower
+// replicas of every partition, with deterministic leader placement,
+// in-sync-replica (ISR) tracking, high-water-mark reads, quorum-acked
+// produce, automatic leader failover, an idempotent produce path, and
+// bounded per-partition backlogs.
+//
+// Replication contract (DESIGN.md "Failure model" has the full statement):
+//
+//   * Placement: partition p of a topic is replicated on nodes
+//     `(hash(topic) + p + i) % nodes` for i in [0, replication_factor); the
+//     i = 0 node is the *preferred* leader.
+//   * Leader rule: the leader is the first ISR member in replica order.
+//     When a leader dies, leadership moves to the next ISR member — which,
+//     by the synchronous-replication invariant, holds every acked record.
+//     A revived replica resyncs from the current leader and rejoins the ISR
+//     as a follower (leadership does not flap back).
+//   * Acked durability: a produce is acked only when the ISR holds at least
+//     `quorum = replication_factor / 2 + 1` members, every one of which has
+//     appended the record. An acked record therefore survives any failover
+//     permitted by the quorum rule, and unclean election is impossible:
+//     when every replica dies, only members of the final ISR may be elected
+//     on revival, so a stale replica can never serve as leader.
+//   * Visibility: fetches are served by the leader and never read past the
+//     high-water mark (the replicated prefix), so consumers cannot observe
+//     a record that a failover could retract.
+//   * Backpressure: when a leader's retained backlog reaches
+//     `max_partition_backlog`, produce fails with kResourceExhausted (and
+//     the `mq.backpressure` counter ticks) instead of growing the log
+//     without bound; retention is the release valve.
+//
+// All cluster state is guarded by one lock — the "network" between replicas
+// is a function call, which is what makes replication synchronous and the
+// chaos tests deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mq/consumer_groups.h"
+#include "mq/idempotence.h"
+#include "mq/partition_log.h"
+#include "util/clock.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace metro::mq {
+
+/// A (topic, partition) coordinate.
+struct TopicPartition {
+  std::string topic;
+  int partition = 0;
+
+  friend bool operator<(const TopicPartition& a, const TopicPartition& b) {
+    if (a.topic != b.topic) return a.topic < b.topic;
+    return a.partition < b.partition;
+  }
+};
+
+/// One broker process. All methods are called by the owning `BrokerCluster`
+/// under the cluster lock; the node carries no synchronization of its own.
+/// `Kill` models a process crash: the node stops serving, but its replicas
+/// (its disk) survive and serve again after `Revive` + resync.
+class BrokerNode {
+ public:
+  explicit BrokerNode(int id) : id_(id) {}
+
+  int id() const { return id_; }
+  bool up() const { return up_; }
+  void Kill() { up_ = false; }
+  void Revive() { up_ = true; }
+
+  /// One hosted partition replica: its log plus the idempotence table
+  /// rebuilt from that log's records.
+  struct Replica {
+    PartitionLog log;
+    SequenceTable sequences;
+  };
+
+  /// The replica for `tp`, created on first use.
+  Replica& replica(const TopicPartition& tp) { return replicas_[tp]; }
+  const Replica* Find(const TopicPartition& tp) const {
+    const auto it = replicas_.find(tp);
+    return it == replicas_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  int id_;
+  bool up_ = true;
+  std::map<TopicPartition, Replica> replicas_;
+};
+
+/// Cluster tuning.
+struct BrokerClusterConfig {
+  int nodes = 3;               ///< broker processes
+  int replication_factor = 3;  ///< replicas per partition (clamped to nodes)
+  /// Retained records per partition before produce fails with
+  /// kResourceExhausted; 0 = unbounded.
+  std::int64_t max_partition_backlog = 1 << 20;
+};
+
+/// A leadership/replication change, reported through the event hook so the
+/// observability layer (which sits above mq in the include DAG) can record
+/// failover events without mq depending on it.
+struct ClusterEvent {
+  enum class Kind {
+    kLeaderElected,  ///< partition gained a leader (creation or revival)
+    kFailover,       ///< leadership moved off a dead node
+    kQuorumLost,     ///< last ISR member died; partition has no leader
+    kIsrShrink,      ///< a replica left the ISR
+    kIsrExpand,      ///< a resynced replica rejoined the ISR
+    kNodeKilled,
+    kNodeRevived,
+  };
+  Kind kind = Kind::kLeaderElected;
+  std::string topic;   ///< empty for node-level events
+  int partition = -1;
+  int node = -1;       ///< the new leader / (re)joined / killed node
+  int prev_node = -1;  ///< the previous leader for kFailover
+};
+
+std::string_view ClusterEventKindName(ClusterEvent::Kind kind);
+
+/// A pinned, retry-safe produce: partition and idempotence identity are
+/// assigned once by `Prepare`, so re-submitting the same request after a
+/// transient failure (or across a leader failover) cannot duplicate.
+struct ProduceRequest {
+  std::string topic;
+  int partition = 0;
+  std::string key;
+  std::string value;
+  Headers headers;
+  ProducerId producer_id = 0;
+  std::int64_t sequence = -1;
+};
+
+/// Leader/ISR snapshot for one partition (tests, health, operators).
+struct PartitionView {
+  int leader = -1;            ///< node id; -1 = no leader (quorum lost)
+  std::vector<int> replicas;  ///< preferred order; [0] is preferred leader
+  std::vector<int> isr;       ///< in-sync subset, in replica order
+  std::int64_t high_water_mark = 0;
+  std::int64_t begin_offset = 0;
+  std::int64_t end_offset = 0;
+};
+
+/// The replicated broker. Thread-safe.
+class BrokerCluster {
+ public:
+  using EventFn = std::function<void(const ClusterEvent&)>;
+
+  explicit BrokerCluster(Clock& clock, BrokerClusterConfig config = {});
+
+  int num_nodes() const { return int(nodes_.size()); }
+  int replication_factor() const { return config_.replication_factor; }
+  int quorum() const { return config_.replication_factor / 2 + 1; }
+
+  /// Registers the event hook (replacing any previous one). Events are
+  /// delivered outside the cluster lock; the hook may call back into
+  /// read-side cluster methods but must not inject faults.
+  void SetEventHook(EventFn hook) METRO_EXCLUDES(mu_);
+
+  // --- topics ---
+
+  /// Creates a topic with `partitions` partitions (>= 1), placing replicas
+  /// and electing the preferred leaders.
+  Status CreateTopic(const std::string& topic, int partitions)
+      METRO_EXCLUDES(mu_);
+
+  bool HasTopic(const std::string& topic) const METRO_EXCLUDES(mu_);
+  Result<int> NumPartitions(const std::string& topic) const
+      METRO_EXCLUDES(mu_);
+
+  // --- produce ---
+
+  /// Non-idempotent convenience produce; the partition is chosen by key
+  /// hash, or round-robin over partitions that currently have a leader for
+  /// empty keys (skipped leaderless partitions tick `mq.roundrobin_skips`).
+  Result<ProduceAck> Produce(const std::string& topic, std::string key,
+                             std::string value, Headers headers = {})
+      METRO_EXCLUDES(mu_);
+
+  /// Non-idempotent produce to an explicit partition.
+  Result<ProduceAck> ProduceTo(const std::string& topic, int partition,
+                               std::string key, std::string value,
+                               Headers headers = {}) METRO_EXCLUDES(mu_);
+
+  /// Registers an idempotent producer and returns its id.
+  ProducerId CreateProducer() METRO_EXCLUDES(mu_);
+
+  /// Builds a pinned request: picks the partition (as `Produce` does) and,
+  /// for a registered producer, assigns the next per-partition sequence
+  /// number. The request may then be submitted through `Produce(request)`
+  /// any number of times — exactly one append results.
+  Result<ProduceRequest> Prepare(ProducerId producer, const std::string& topic,
+                                 std::string key, std::string value,
+                                 Headers headers = {}) METRO_EXCLUDES(mu_);
+
+  /// Submits a prepared request. acks=quorum: fails with kUnavailable when
+  /// the partition has no leader or the ISR is below quorum (retry after
+  /// failover), with kResourceExhausted when the backlog bound is hit.
+  Result<ProduceAck> Produce(const ProduceRequest& request)
+      METRO_EXCLUDES(mu_);
+
+  // --- fetch / metadata ---
+
+  /// Reads up to `max_records` from the leader, never past the high-water
+  /// mark. kUnavailable when the partition has no leader; kOutOfRange below
+  /// the retention floor (consumers reset to `begin_offset` — see
+  /// `MessageLog::Fetch` for the reset policy).
+  Result<std::vector<Record>> Fetch(const std::string& topic, int partition,
+                                    std::int64_t offset,
+                                    std::size_t max_records) const
+      METRO_EXCLUDES(mu_);
+
+  Result<PartitionInfo> GetPartitionInfo(const std::string& topic,
+                                         int partition) const
+      METRO_EXCLUDES(mu_);
+
+  Result<PartitionView> View(const std::string& topic, int partition) const
+      METRO_EXCLUDES(mu_);
+
+  /// The node that would lead `partition` with every replica healthy — the
+  /// deterministic target for "kill the leader" fault plans.
+  Result<int> PreferredLeader(const std::string& topic, int partition) const
+      METRO_EXCLUDES(mu_);
+
+  Result<int> LeaderOf(const std::string& topic, int partition) const
+      METRO_EXCLUDES(mu_);
+
+  /// Drops records older than `retention` from every replica of every
+  /// partition (the disk-level janitor runs on dead nodes too, keeping
+  /// replicas aligned); returns records dropped from leader replicas.
+  std::int64_t EnforceRetention(TimeNs retention) METRO_EXCLUDES(mu_);
+
+  // --- faults ---
+
+  /// Crashes a broker process: its replicas leave every ISR and any
+  /// partition it led fails over to the next ISR member.
+  Status KillNode(int node) METRO_EXCLUDES(mu_);
+
+  /// Restarts a broker process: its replicas resync from the current
+  /// leaders and rejoin the ISRs. A leaderless partition elects the revived
+  /// node only if it was in the final ISR (no unclean election).
+  Status ReviveNode(int node) METRO_EXCLUDES(mu_);
+
+  Result<bool> NodeUp(int node) const METRO_EXCLUDES(mu_);
+
+  /// Health probe for `resilience::HealthRegistry`: Ok when every partition
+  /// has a leader and an ISR at quorum; kUnavailable with a diagnostic
+  /// otherwise.
+  Status Probe() const METRO_EXCLUDES(mu_);
+
+  // --- consumer groups (same contract as MessageLog) ---
+
+  Result<std::vector<int>> JoinGroup(const std::string& group,
+                                     const std::string& topic,
+                                     const std::string& member)
+      METRO_EXCLUDES(mu_);
+  Status LeaveGroup(const std::string& group, const std::string& member)
+      METRO_EXCLUDES(mu_);
+  std::vector<int> Assignment(const std::string& group,
+                              const std::string& member) const;
+  /// Validated commit: rejects partitions outside the topic and offsets
+  /// beyond the high-water mark (kOutOfRange) — see GroupCoordinator.
+  Status CommitOffset(const std::string& group, const std::string& topic,
+                      int partition, std::int64_t offset) METRO_EXCLUDES(mu_);
+  std::int64_t CommittedOffset(const std::string& group,
+                               const std::string& topic, int partition) const;
+  /// Uncommitted backlog across the group's topic (high-water mark minus
+  /// committed, floored at 0 per partition).
+  Result<std::int64_t> Lag(const std::string& group) const METRO_EXCLUDES(mu_);
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct PartitionMeta {
+    std::vector<int> replicas;  ///< preferred order
+    std::vector<int> isr;       ///< in-sync subset (empty iff leader == -1)
+    std::vector<int> final_isr; ///< ISR at the moment quorum was lost
+    int leader = -1;
+    std::int64_t high_water = 0;
+  };
+  struct TopicMeta {
+    std::vector<PartitionMeta> partitions;
+    std::size_t round_robin = 0;
+  };
+
+  Result<ProduceAck> ProduceLocked(const ProduceRequest& request)
+      METRO_REQUIRES(mu_);
+  /// Picks the partition for a produce (key hash / leader-skipping
+  /// round-robin); never fails for a known topic.
+  int PickPartitionLocked(TopicMeta& topic, const std::string& key)
+      METRO_REQUIRES(mu_);
+  /// Copies the leader's suffix into `node`'s replica and rejoins the ISR.
+  void ResyncReplicaLocked(const TopicPartition& tp, PartitionMeta& meta,
+                           int node, std::vector<ClusterEvent>& events)
+      METRO_REQUIRES(mu_);
+  Result<const PartitionMeta*> MetaLocked(const std::string& topic,
+                                          int partition) const
+      METRO_REQUIRES(mu_);
+  void Emit(std::vector<ClusterEvent> events) METRO_EXCLUDES(mu_);
+
+  Clock* clock_;
+  BrokerClusterConfig config_;
+  // Lock order: mu_ before metrics_'s internal lock; the group
+  // coordinator's lock is a leaf taken after topic metadata is resolved.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<BrokerNode>> nodes_ METRO_GUARDED_BY(mu_);
+  std::map<std::string, TopicMeta> topics_ METRO_GUARDED_BY(mu_);
+  ProducerId next_producer_ METRO_GUARDED_BY(mu_) = 1;
+  /// Next sequence to assign per (producer, topic, partition).
+  std::map<ProducerId, std::map<TopicPartition, std::int64_t>> producer_seq_
+      METRO_GUARDED_BY(mu_);
+  EventFn hook_ METRO_GUARDED_BY(mu_);
+  GroupCoordinator groups_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace metro::mq

@@ -1,0 +1,110 @@
+#include "mq/consumer_groups.h"
+
+#include <algorithm>
+
+namespace metro::mq {
+
+void GroupCoordinator::Rebalance(Group& group, int partitions) {
+  group.assignment.clear();
+  if (group.members.empty()) return;
+  for (int p = 0; p < partitions; ++p) {
+    const std::string& member =
+        group.members[std::size_t(p) % group.members.size()];
+    group.assignment[member].push_back(p);
+  }
+}
+
+Result<std::vector<int>> GroupCoordinator::Join(const std::string& group,
+                                                const std::string& topic,
+                                                const std::string& member,
+                                                int partitions) {
+  MutexLock lock(mu_);
+  Group& g = groups_[group];
+  if (g.topic.empty()) {
+    g.topic = topic;
+  } else if (g.topic != topic) {
+    return FailedPreconditionError("group already bound to topic " + g.topic);
+  }
+  if (std::find(g.members.begin(), g.members.end(), member) ==
+      g.members.end()) {
+    g.members.push_back(member);
+    std::sort(g.members.begin(), g.members.end());
+  }
+  Rebalance(g, partitions);
+  return g.assignment[member];
+}
+
+Status GroupCoordinator::Leave(const std::string& group,
+                               const std::string& member, int partitions) {
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  auto& members = it->second.members;
+  const auto mit = std::find(members.begin(), members.end(), member);
+  if (mit == members.end()) return NotFoundError("member " + member);
+  members.erase(mit);
+  Rebalance(it->second, partitions);
+  return Status::Ok();
+}
+
+std::vector<int> GroupCoordinator::Assignment(const std::string& group,
+                                              const std::string& member) const {
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  const auto ait = it->second.assignment.find(member);
+  return ait == it->second.assignment.end() ? std::vector<int>{} : ait->second;
+}
+
+Result<std::string> GroupCoordinator::TopicOf(const std::string& group) const {
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  return it->second.topic;
+}
+
+Status GroupCoordinator::Commit(const std::string& group,
+                                const std::string& topic, int partition,
+                                std::int64_t offset, int partitions,
+                                std::int64_t end_offset) {
+  if (partition < 0 || partition >= partitions) {
+    return InvalidArgumentError("partition " + std::to_string(partition) +
+                                " out of range");
+  }
+  if (offset < 0) {
+    return InvalidArgumentError("negative commit offset");
+  }
+  if (offset > end_offset) {
+    return OutOfRangeError("commit offset " + std::to_string(offset) +
+                           " beyond partition end " +
+                           std::to_string(end_offset));
+  }
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  if (it->second.topic != topic) {
+    return FailedPreconditionError("group bound to topic " + it->second.topic);
+  }
+  it->second.committed[partition] = offset;
+  return Status::Ok();
+}
+
+std::int64_t GroupCoordinator::Committed(const std::string& group,
+                                         const std::string& topic,
+                                         int partition) const {
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.topic != topic) return 0;
+  const auto oit = it->second.committed.find(partition);
+  return oit == it->second.committed.end() ? 0 : oit->second;
+}
+
+Result<std::map<int, std::int64_t>> GroupCoordinator::CommittedAll(
+    const std::string& group) const {
+  MutexLock lock(mu_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return NotFoundError("group " + group);
+  return it->second.committed;
+}
+
+}  // namespace metro::mq

@@ -1,0 +1,28 @@
+#include "mq/idempotence.h"
+
+namespace metro::mq {
+
+SequenceTable::Probe SequenceTable::Check(ProducerId producer,
+                                          std::int64_t sequence) const {
+  Probe probe;
+  if (producer <= 0 || sequence < 0) return probe;  // not idempotent: fresh
+  const auto it = producers_.find(producer);
+  if (it == producers_.end() || sequence > it->second.last_sequence) {
+    return probe;  // fresh
+  }
+  probe.verdict = Verdict::kDuplicate;
+  probe.duplicate_offset =
+      sequence == it->second.last_sequence ? it->second.last_offset : -1;
+  return probe;
+}
+
+void SequenceTable::Observe(const Record& record) {
+  if (record.producer_id <= 0 || record.sequence < 0) return;
+  ProducerState& state = producers_[record.producer_id];
+  if (record.sequence > state.last_sequence) {
+    state.last_sequence = record.sequence;
+    state.last_offset = record.offset;
+  }
+}
+
+}  // namespace metro::mq

@@ -1,0 +1,59 @@
+#pragma once
+
+// Broker-side idempotent-producer dedup state (the Kafka PID/sequence role).
+//
+// An idempotent producer attaches a broker-assigned producer id and a
+// monotonically increasing per-partition sequence number to every record.
+// Each partition replica keeps a `SequenceTable` rebuilt purely from the
+// records it holds, so after a leader failover the new leader suppresses the
+// same retries the old one would have — a produce retried across the
+// failover cannot duplicate.
+//
+// Dedup rule (the in-process transport delivers in order, so duplicates can
+// only come from retries): a sequence strictly above the highest one seen is
+// fresh; the highest one seen again is the retry of the last append and
+// returns the cached offset; anything lower is an older duplicate and is
+// suppressed with an unknown offset. A sequence is therefore appended at
+// most once per partition.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mq/partition_log.h"
+
+namespace metro::mq {
+
+/// Broker-assigned idempotent-producer identity; 0 means "no producer"
+/// (plain, non-idempotent produce).
+using ProducerId = std::int64_t;
+
+/// Highest sequence seen per producer for one partition replica.
+class SequenceTable {
+ public:
+  enum class Verdict {
+    kFresh,      ///< append it
+    kDuplicate,  ///< already appended; suppress
+  };
+  struct Probe {
+    Verdict verdict = Verdict::kFresh;
+    std::int64_t duplicate_offset = -1;  ///< original offset when remembered
+  };
+
+  /// Classifies a (producer, sequence) pair against the replica's history.
+  Probe Check(ProducerId producer, std::int64_t sequence) const;
+
+  /// Folds an appended record into the table (leader append and follower
+  /// replication both call this, keeping tables identical across the ISR).
+  void Observe(const Record& record);
+
+  void Clear() { producers_.clear(); }
+
+ private:
+  struct ProducerState {
+    std::int64_t last_sequence = -1;
+    std::int64_t last_offset = -1;
+  };
+  std::unordered_map<ProducerId, ProducerState> producers_;
+};
+
+}  // namespace metro::mq

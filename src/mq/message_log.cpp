@@ -27,28 +27,46 @@ Result<int> MessageLog::NumPartitions(const std::string& topic) const {
   return int(it->second.partitions.size());
 }
 
-Result<MessageLog::ProduceAck> MessageLog::Produce(const std::string& topic,
-                                                   std::string key,
-                                                   std::string value,
-                                                   Headers headers) {
+Result<ProduceAck> MessageLog::Produce(const std::string& topic,
+                                       std::string key, std::string value,
+                                       Headers headers) {
   MutexLock lock(mu_);
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   Topic& t = it->second;
   const std::size_t n = t.partitions.size();
-  const int partition =
-      key.empty() ? int(t.round_robin++ % n) : int(Fnv1a64(key) % n);
-  lock.Unlock();
-  return ProduceTo(topic, partition, std::move(key), std::move(value),
-                   std::move(headers));
+  int partition;
+  if (!key.empty()) {
+    partition = int(Fnv1a64(key) % n);
+  } else {
+    // Round-robin over *available* partitions: a down partition is skipped
+    // (and counted) instead of failing its share of keyless traffic. When
+    // everything is down, fall through and let the append path report it.
+    partition = int(t.round_robin++ % n);
+    for (std::size_t i = 0;
+         i < n && !t.partitions[std::size_t(partition)].up; ++i) {
+      metrics_.GetCounter("mq.roundrobin_skips").Increment();
+      partition = int(t.round_robin++ % n);
+    }
+  }
+  // Same critical section as the append: the chosen partition cannot go
+  // down or be retired between the pick and the write.
+  return ProduceToLocked(topic, partition, std::move(key), std::move(value),
+                         std::move(headers));
 }
 
-Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
-                                                     int partition,
-                                                     std::string key,
-                                                     std::string value,
-                                                     Headers headers) {
+Result<ProduceAck> MessageLog::ProduceTo(const std::string& topic,
+                                         int partition, std::string key,
+                                         std::string value, Headers headers) {
   MutexLock lock(mu_);
+  return ProduceToLocked(topic, partition, std::move(key), std::move(value),
+                         std::move(headers));
+}
+
+Result<ProduceAck> MessageLog::ProduceToLocked(const std::string& topic,
+                                               int partition, std::string key,
+                                               std::string value,
+                                               Headers headers) {
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return NotFoundError("topic " + topic);
   Topic& t = it->second;
@@ -62,16 +80,18 @@ Result<MessageLog::ProduceAck> MessageLog::ProduceTo(const std::string& topic,
                             std::to_string(partition) + " unavailable");
   }
   Record rec;
-  rec.offset = p.begin_offset + std::int64_t(p.records.size());
   rec.timestamp = clock_->Now();
   rec.key = std::move(key);
   rec.value = std::move(value);
   rec.headers = std::move(headers);
   const std::size_t bytes = rec.key.size() + rec.value.size();
-  p.records.push_back(std::move(rec));
+  const std::int64_t offset = p.log.Append(std::move(rec));
   metrics_.GetCounter("mq.records_produced").Increment();
   metrics_.GetCounter("mq.bytes_produced").Increment(std::int64_t(bytes));
-  return ProduceAck{partition, p.begin_offset + std::int64_t(p.records.size()) - 1};
+  ProduceAck ack;
+  ack.partition = partition;
+  ack.offset = offset;
+  return ack;
 }
 
 Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
@@ -90,21 +110,7 @@ Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
     return UnavailableError("partition " + topic + "/" +
                             std::to_string(partition) + " unavailable");
   }
-  const std::int64_t end = p.begin_offset + std::int64_t(p.records.size());
-  if (offset < p.begin_offset) {
-    return OutOfRangeError("offset " + std::to_string(offset) +
-                           " below retention floor " +
-                           std::to_string(p.begin_offset));
-  }
-  if (offset > end) {
-    return OutOfRangeError("offset beyond end of log");
-  }
-  std::vector<Record> out;
-  const std::size_t start = std::size_t(offset - p.begin_offset);
-  const std::size_t count = std::min(max_records, p.records.size() - start);
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) out.push_back(p.records[start + i]);
-  return out;
+  return p.log.Fetch(offset, max_records, p.log.end_offset());
 }
 
 Result<PartitionInfo> MessageLog::GetPartitionInfo(const std::string& topic,
@@ -117,8 +123,11 @@ Result<PartitionInfo> MessageLog::GetPartitionInfo(const std::string& topic,
     return InvalidArgumentError("partition out of range");
   }
   const Partition& p = t.partitions[std::size_t(partition)];
-  return PartitionInfo{partition, p.begin_offset,
-                       p.begin_offset + std::int64_t(p.records.size())};
+  PartitionInfo info;
+  info.partition = partition;
+  info.begin_offset = p.log.begin_offset();
+  info.end_offset = p.log.end_offset();
+  return info;
 }
 
 std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
@@ -127,14 +136,7 @@ std::int64_t MessageLog::EnforceRetention(TimeNs retention) {
   std::int64_t dropped = 0;
   for (auto& [name, topic] : topics_) {
     for (Partition& p : topic.partitions) {
-      std::size_t keep = 0;
-      while (keep < p.records.size() && p.records[keep].timestamp < cutoff) {
-        ++keep;
-      }
-      if (keep == 0) continue;
-      p.records.erase(p.records.begin(), p.records.begin() + std::ptrdiff_t(keep));
-      p.begin_offset += std::int64_t(keep);
-      dropped += std::int64_t(keep);
+      dropped += p.log.EnforceRetention(cutoff);
     }
   }
   return dropped;
@@ -165,96 +167,74 @@ Result<bool> MessageLog::PartitionUp(const std::string& topic,
   return t.partitions[std::size_t(partition)].up;
 }
 
-void MessageLog::Rebalance(Group& group) {
-  group.assignment.clear();
-  const auto tit = topics_.find(group.topic);
-  if (tit == topics_.end() || group.members.empty()) return;
-  const int parts = int(tit->second.partitions.size());
-  for (int p = 0; p < parts; ++p) {
-    const std::string& member =
-        group.members[std::size_t(p) % group.members.size()];
-    group.assignment[member].push_back(p);
-  }
-}
-
 Result<std::vector<int>> MessageLog::JoinGroup(const std::string& group,
                                                const std::string& topic,
                                                const std::string& member) {
-  MutexLock lock(mu_);
-  if (!topics_.count(topic)) return NotFoundError("topic " + topic);
-  Group& g = groups_[group];
-  if (g.topic.empty()) {
-    g.topic = topic;
-  } else if (g.topic != topic) {
-    return FailedPreconditionError("group already bound to topic " + g.topic);
+  int partitions = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return NotFoundError("topic " + topic);
+    partitions = int(it->second.partitions.size());
   }
-  if (std::find(g.members.begin(), g.members.end(), member) == g.members.end()) {
-    g.members.push_back(member);
-    std::sort(g.members.begin(), g.members.end());
-  }
-  Rebalance(g);
-  return g.assignment[member];
+  return groups_.Join(group, topic, member, partitions);
 }
 
 Status MessageLog::LeaveGroup(const std::string& group,
                               const std::string& member) {
-  MutexLock lock(mu_);
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return NotFoundError("group " + group);
-  auto& members = it->second.members;
-  const auto mit = std::find(members.begin(), members.end(), member);
-  if (mit == members.end()) return NotFoundError("member " + member);
-  members.erase(mit);
-  Rebalance(it->second);
-  return Status::Ok();
+  auto topic = groups_.TopicOf(group);
+  if (!topic.ok()) return topic.status();
+  int partitions = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(*topic);
+    if (it != topics_.end()) partitions = int(it->second.partitions.size());
+  }
+  return groups_.Leave(group, member, partitions);
 }
 
 std::vector<int> MessageLog::Assignment(const std::string& group,
                                         const std::string& member) const {
-  MutexLock lock(mu_);
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return {};
-  const auto ait = it->second.assignment.find(member);
-  return ait == it->second.assignment.end() ? std::vector<int>{} : ait->second;
+  return groups_.Assignment(group, member);
 }
 
 Status MessageLog::CommitOffset(const std::string& group,
                                 const std::string& topic, int partition,
                                 std::int64_t offset) {
-  MutexLock lock(mu_);
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return NotFoundError("group " + group);
-  if (it->second.topic != topic) {
-    return FailedPreconditionError("group bound to topic " + it->second.topic);
+  int partitions = 0;
+  std::int64_t end = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = topics_.find(topic);
+    if (it == topics_.end()) return NotFoundError("topic " + topic);
+    partitions = int(it->second.partitions.size());
+    if (partition >= 0 && std::size_t(partition) < it->second.partitions.size()) {
+      end = it->second.partitions[std::size_t(partition)].log.end_offset();
+    }
   }
-  it->second.committed[partition] = offset;
-  return Status::Ok();
+  return groups_.Commit(group, topic, partition, offset, partitions, end);
 }
 
 std::int64_t MessageLog::CommittedOffset(const std::string& group,
                                          const std::string& topic,
                                          int partition) const {
-  MutexLock lock(mu_);
-  const auto it = groups_.find(group);
-  if (it == groups_.end() || it->second.topic != topic) return 0;
-  const auto oit = it->second.committed.find(partition);
-  return oit == it->second.committed.end() ? 0 : oit->second;
+  return groups_.Committed(group, topic, partition);
 }
 
 Result<std::int64_t> MessageLog::Lag(const std::string& group) const {
+  auto topic = groups_.TopicOf(group);
+  if (!topic.ok()) return topic.status();
+  auto committed = groups_.CommittedAll(group);
+  if (!committed.ok()) return committed.status();
   MutexLock lock(mu_);
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return NotFoundError("group " + group);
-  const auto tit = topics_.find(it->second.topic);
-  if (tit == topics_.end()) return NotFoundError("topic " + it->second.topic);
+  const auto it = topics_.find(*topic);
+  if (it == topics_.end()) return NotFoundError("topic " + *topic);
   std::int64_t lag = 0;
-  for (std::size_t p = 0; p < tit->second.partitions.size(); ++p) {
-    const Partition& part = tit->second.partitions[p];
-    const std::int64_t end = part.begin_offset + std::int64_t(part.records.size());
-    const auto cit = it->second.committed.find(int(p));
-    const std::int64_t committed =
-        cit == it->second.committed.end() ? 0 : cit->second;
-    lag += std::max<std::int64_t>(end - committed, 0);
+  for (std::size_t p = 0; p < it->second.partitions.size(); ++p) {
+    const auto cit = committed->find(int(p));
+    const std::int64_t done = cit == committed->end() ? 0 : cit->second;
+    lag += std::max<std::int64_t>(
+        it->second.partitions[p].log.end_offset() - done, 0);
   }
   return lag;
 }

@@ -6,15 +6,17 @@
 // Topics are split into partitions; records are appended with monotonically
 // increasing per-partition offsets and fetched by offset. Consumer groups
 // commit offsets and get partitions assigned round-robin, rebalancing as
-// members join or leave.
+// members join or leave. This is the single-broker log; the replicated,
+// failover-capable broker built from the same `PartitionLog` segments and
+// `GroupCoordinator` lives in mq/broker_cluster.h.
 
 #include <cstdint>
-#include <map>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mq/consumer_groups.h"
+#include "mq/partition_log.h"
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -22,74 +24,67 @@
 
 namespace metro::mq {
 
-/// Opaque per-record metadata carried alongside the payload (the Kafka
-/// record-headers role). The broker stores and returns them untouched; the
-/// tracing layer rides on the `x-trace` key (see src/obs/trace.h).
-using Headers = std::map<std::string, std::string>;
-
-/// One record in a partition.
-struct Record {
-  std::int64_t offset = 0;
-  TimeNs timestamp = 0;
-  std::string key;
-  std::string value;
-  Headers headers;
-};
-
-/// Per-partition high-water marks etc.
-struct PartitionInfo {
-  int partition = 0;
-  std::int64_t begin_offset = 0;  ///< first retained offset
-  std::int64_t end_offset = 0;    ///< next offset to be assigned
-};
-
 /// Broker: thread-safe in-memory log with retention and consumer groups.
 class MessageLog {
  public:
   explicit MessageLog(Clock& clock) : clock_(&clock) {}
 
   /// Creates a topic with `partitions` partitions (>= 1).
-  Status CreateTopic(const std::string& topic, int partitions);
+  Status CreateTopic(const std::string& topic, int partitions)
+      METRO_EXCLUDES(mu_);
 
-  bool HasTopic(const std::string& topic) const;
-  Result<int> NumPartitions(const std::string& topic) const;
+  bool HasTopic(const std::string& topic) const METRO_EXCLUDES(mu_);
+  Result<int> NumPartitions(const std::string& topic) const
+      METRO_EXCLUDES(mu_);
 
-  /// Appends a record; the partition is chosen by key hash (or round-robin
-  /// for empty keys). Returns (partition, offset).
-  struct ProduceAck {
-    int partition = 0;
-    std::int64_t offset = 0;
-  };
+  /// Appends a record; the partition is chosen by key hash, or round-robin
+  /// for empty keys — skipping partitions that are currently down (each skip
+  /// ticks `mq.roundrobin_skips`) so one dead partition cannot fail a slice
+  /// of keyless traffic. Partition choice and append happen under one
+  /// critical section: the chosen partition cannot go down (or away) between
+  /// the pick and the write.
   Result<ProduceAck> Produce(const std::string& topic, std::string key,
-                             std::string value, Headers headers = {});
+                             std::string value, Headers headers = {})
+      METRO_EXCLUDES(mu_);
 
   /// Appends to an explicit partition.
   Result<ProduceAck> ProduceTo(const std::string& topic, int partition,
                                std::string key, std::string value,
-                               Headers headers = {});
+                               Headers headers = {}) METRO_EXCLUDES(mu_);
 
   /// Reads up to `max_records` records starting at `offset`.
   /// An offset at the end returns an empty vector (not an error); an offset
   /// before the retention window fails with kOutOfRange.
+  ///
+  /// Reset policy: a consumer whose next offset has been retired by
+  /// retention gets kOutOfRange and is expected to reset to the current
+  /// `begin_offset` (from GetPartitionInfo), accounting the gap as skipped
+  /// records — the records are gone; re-fetching older offsets cannot bring
+  /// them back. See core::CityPipeline's consumer loop for the reference
+  /// implementation.
   Result<std::vector<Record>> Fetch(const std::string& topic, int partition,
                                     std::int64_t offset,
-                                    std::size_t max_records) const;
+                                    std::size_t max_records) const
+      METRO_EXCLUDES(mu_);
 
   Result<PartitionInfo> GetPartitionInfo(const std::string& topic,
-                                         int partition) const;
+                                         int partition) const
+      METRO_EXCLUDES(mu_);
 
   /// Drops records older than `retention` from every partition; returns the
   /// number of records dropped.
-  std::int64_t EnforceRetention(TimeNs retention);
+  std::int64_t EnforceRetention(TimeNs retention) METRO_EXCLUDES(mu_);
 
   /// Marks a partition available or unavailable (a failed leader broker —
   /// fault injection for resilience experiments). Produce and Fetch against
   /// an unavailable partition fail with kUnavailable; the stored records
   /// survive and serve again once the partition comes back.
-  Status SetPartitionUp(const std::string& topic, int partition, bool up);
+  Status SetPartitionUp(const std::string& topic, int partition, bool up)
+      METRO_EXCLUDES(mu_);
 
   /// Whether a partition is currently available.
-  Result<bool> PartitionUp(const std::string& topic, int partition) const;
+  Result<bool> PartitionUp(const std::string& topic, int partition) const
+      METRO_EXCLUDES(mu_);
 
   // --- consumer groups ---
 
@@ -97,17 +92,22 @@ class MessageLog {
   /// this member.
   Result<std::vector<int>> JoinGroup(const std::string& group,
                                      const std::string& topic,
-                                     const std::string& member);
+                                     const std::string& member)
+      METRO_EXCLUDES(mu_);
 
   /// Removes a member and rebalances.
-  Status LeaveGroup(const std::string& group, const std::string& member);
+  Status LeaveGroup(const std::string& group, const std::string& member)
+      METRO_EXCLUDES(mu_);
 
   /// Current assignment for a member (empty when not joined).
   std::vector<int> Assignment(const std::string& group,
                               const std::string& member) const;
 
+  /// Records a committed offset. Validated: the partition must exist in the
+  /// group's topic (kInvalidArgument) and the offset must not pass the
+  /// partition's end (kOutOfRange) — see GroupCoordinator::Commit.
   Status CommitOffset(const std::string& group, const std::string& topic,
-                      int partition, std::int64_t offset);
+                      int partition, std::int64_t offset) METRO_EXCLUDES(mu_);
 
   /// Last committed offset, or 0 when the group never committed.
   std::int64_t CommittedOffset(const std::string& group,
@@ -116,36 +116,35 @@ class MessageLog {
   /// Total records the group has not yet committed across all partitions
   /// of its topic (end offset minus committed, floored at 0 per partition)
   /// — the standard backlog/health signal.
-  Result<std::int64_t> Lag(const std::string& group) const;
+  Result<std::int64_t> Lag(const std::string& group) const
+      METRO_EXCLUDES(mu_);
 
   MetricsRegistry& metrics() { return metrics_; }
 
  private:
   struct Partition {
-    std::int64_t begin_offset = 0;
-    std::vector<Record> records;
+    PartitionLog log;
     bool up = true;  ///< leader available (fault injection)
   };
   struct Topic {
     std::vector<Partition> partitions;
     std::size_t round_robin = 0;
   };
-  struct Group {
-    std::string topic;
-    std::vector<std::string> members;                 // sorted
-    std::unordered_map<std::string, std::vector<int>> assignment;
-    std::map<int, std::int64_t> committed;            // partition -> offset
-  };
 
-  /// Recomputes `group`'s round-robin partition assignment.
-  void Rebalance(Group& group) METRO_REQUIRES(mu_);
+  /// Append under the already-held broker lock (the single critical section
+  /// shared by Produce and ProduceTo).
+  Result<ProduceAck> ProduceToLocked(const std::string& topic, int partition,
+                                     std::string key, std::string value,
+                                     Headers headers) METRO_REQUIRES(mu_);
 
   Clock* clock_;
   // Lock order: mu_ before metrics_'s internal lock (counters are bumped
-  // while the broker lock is held).
+  // while the broker lock is held). The group coordinator's lock is a leaf:
+  // topic metadata is resolved under mu_ first and the coordinator never
+  // calls back into the broker.
   mutable Mutex mu_;
   std::unordered_map<std::string, Topic> topics_ METRO_GUARDED_BY(mu_);
-  std::unordered_map<std::string, Group> groups_ METRO_GUARDED_BY(mu_);
+  GroupCoordinator groups_;
   MetricsRegistry metrics_;
 };
 

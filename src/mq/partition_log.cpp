@@ -1,0 +1,71 @@
+#include "mq/partition_log.h"
+
+#include <algorithm>
+
+namespace metro::mq {
+
+std::int64_t PartitionLog::Append(Record record) {
+  record.offset = end_offset();
+  records_.push_back(std::move(record));
+  return records_.back().offset;
+}
+
+Status PartitionLog::AppendReplica(Record record) {
+  if (record.offset != end_offset()) {
+    return FailedPreconditionError(
+        "replica append at offset " + std::to_string(record.offset) +
+        " but log ends at " + std::to_string(end_offset()));
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+const Record* PartitionLog::At(std::int64_t offset) const {
+  if (offset < begin_offset_ || offset >= end_offset()) return nullptr;
+  return &records_[std::size_t(offset - begin_offset_)];
+}
+
+Result<std::vector<Record>> PartitionLog::Fetch(std::int64_t offset,
+                                                std::size_t max_records,
+                                                std::int64_t limit) const {
+  const std::int64_t readable = std::min(limit, end_offset());
+  if (offset < begin_offset_) {
+    return OutOfRangeError("offset " + std::to_string(offset) +
+                           " below retention floor " +
+                           std::to_string(begin_offset_));
+  }
+  if (offset > readable) {
+    return OutOfRangeError("offset beyond end of log");
+  }
+  std::vector<Record> out;
+  const std::size_t start = std::size_t(offset - begin_offset_);
+  const std::size_t avail = std::size_t(readable - offset);
+  const std::size_t count = std::min(max_records, avail);
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(records_[start + i]);
+  return out;
+}
+
+std::int64_t PartitionLog::EnforceRetention(TimeNs cutoff) {
+  std::size_t keep = 0;
+  while (keep < records_.size() && records_[keep].timestamp < cutoff) ++keep;
+  if (keep == 0) return 0;
+  records_.erase(records_.begin(), records_.begin() + std::ptrdiff_t(keep));
+  begin_offset_ += std::int64_t(keep);
+  return std::int64_t(keep);
+}
+
+std::int64_t PartitionLog::TruncateTo(std::int64_t end) {
+  if (end >= end_offset()) return 0;
+  const std::int64_t keep = std::max<std::int64_t>(0, end - begin_offset_);
+  const std::int64_t dropped = std::int64_t(records_.size()) - keep;
+  records_.resize(std::size_t(keep));
+  return dropped;
+}
+
+void PartitionLog::Reset(std::int64_t begin) {
+  records_.clear();
+  begin_offset_ = begin;
+}
+
+}  // namespace metro::mq

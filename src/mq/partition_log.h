@@ -1,0 +1,107 @@
+#pragma once
+
+// The per-partition append-only record segment shared by every broker role.
+//
+// One `PartitionLog` is one replica of one partition: the single-broker
+// `MessageLog` holds one per partition, and each replicated `BrokerNode`
+// holds one per (topic, partition) it hosts. It models a broker's disk —
+// offsets are assigned monotonically, the front is trimmed by retention,
+// and the tail can be truncated during follower resync. It carries no
+// synchronization: the owning broker guards it with its own lock.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace metro::mq {
+
+/// Opaque per-record metadata carried alongside the payload (the Kafka
+/// record-headers role). The broker stores and returns them untouched; the
+/// tracing layer rides on the `x-trace` key (see src/obs/trace.h).
+using Headers = std::map<std::string, std::string>;
+
+/// One record in a partition.
+struct Record {
+  std::int64_t offset = 0;
+  TimeNs timestamp = 0;
+  std::string key;
+  std::string value;
+  Headers headers;
+  /// Idempotent-producer identity: the broker-assigned producer id and the
+  /// producer's per-partition sequence number, replicated with the record so
+  /// a failed-over leader rebuilds the dedup state from its log.
+  /// producer_id 0 / sequence -1 mean "not an idempotent produce".
+  std::int64_t producer_id = 0;
+  std::int64_t sequence = -1;
+};
+
+/// Per-partition high-water marks etc.
+struct PartitionInfo {
+  int partition = 0;
+  std::int64_t begin_offset = 0;  ///< first retained offset
+  std::int64_t end_offset = 0;    ///< next offset to be assigned
+};
+
+/// A successful produce: where the record landed. `duplicate` marks an
+/// idempotent retry the broker suppressed — the record was already appended
+/// by an earlier attempt and `offset` is the original offset when the broker
+/// still remembers it (-1 for older duplicates past the remembered window).
+struct ProduceAck {
+  int partition = 0;
+  std::int64_t offset = 0;
+  bool duplicate = false;
+};
+
+/// Append-only in-memory log for one partition replica. NOT thread-safe —
+/// the owning broker serializes access.
+class PartitionLog {
+ public:
+  std::int64_t begin_offset() const { return begin_offset_; }
+  std::int64_t end_offset() const {
+    return begin_offset_ + std::int64_t(records_.size());
+  }
+  /// Retained records (end - begin); the backlog the backpressure bound
+  /// applies to.
+  std::int64_t size() const { return std::int64_t(records_.size()); }
+
+  /// Appends as leader: assigns the next offset and returns it.
+  std::int64_t Append(Record record);
+
+  /// Appends as follower: `record.offset` must equal `end_offset()` (the
+  /// replication stream is contiguous); kFailedPrecondition otherwise.
+  Status AppendReplica(Record record);
+
+  /// The record at `offset`, or nullptr outside the retained window.
+  const Record* At(std::int64_t offset) const;
+
+  /// Reads up to `max_records` from `offset`, never past `limit` (exclusive
+  /// — the high-water mark for replicated reads). An offset at the readable
+  /// end returns an empty vector; below the retention floor or past the end
+  /// it fails with kOutOfRange.
+  Result<std::vector<Record>> Fetch(std::int64_t offset,
+                                    std::size_t max_records,
+                                    std::int64_t limit) const;
+
+  /// Drops records with `timestamp < cutoff` from the front, advancing
+  /// `begin_offset`; returns the number dropped.
+  std::int64_t EnforceRetention(TimeNs cutoff);
+
+  /// Truncates the tail so `end_offset() == end` (follower resync discards
+  /// a never-acked divergent suffix). No-op when already shorter; returns
+  /// the number of records dropped.
+  std::int64_t TruncateTo(std::int64_t end);
+
+  /// Clears all records and restarts the log at `begin` (a follower whose
+  /// retained window fell entirely behind the leader's).
+  void Reset(std::int64_t begin);
+
+ private:
+  std::int64_t begin_offset_ = 0;
+  std::vector<Record> records_;
+};
+
+}  // namespace metro::mq

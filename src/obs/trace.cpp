@@ -160,6 +160,11 @@ void SpanCollector::Event(
   Record(std::move(span));
 }
 
+void SpanCollector::RootEvent(
+    std::string name, std::vector<std::pair<std::string, std::string>> tags) {
+  Event(std::move(name), StartTrace(), std::move(tags));
+}
+
 std::size_t SpanCollector::size() const {
   MutexLock lock(mu_);
   return spans_.size();

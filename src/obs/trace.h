@@ -139,6 +139,14 @@ class SpanCollector {
              std::vector<std::pair<std::string, std::string>> tags = {})
       METRO_EXCLUDES(mu_);
 
+  /// Records a marker that belongs to no in-flight trace — infrastructure
+  /// events such as a broker failover or a node kill — by opening a fresh
+  /// root trace for it. (Named distinctly from `Event` so `{}`-tag calls
+  /// stay unambiguous.)
+  void RootEvent(std::string name,
+                 std::vector<std::pair<std::string, std::string>> tags = {})
+      METRO_EXCLUDES(mu_);
+
   std::size_t size() const METRO_EXCLUDES(mu_);
   std::int64_t dropped() const METRO_EXCLUDES(mu_);
   void Clear() METRO_EXCLUDES(mu_);

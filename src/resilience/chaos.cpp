@@ -13,6 +13,8 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kLinkLatencySpike: return "link-latency-spike";
     case FaultKind::kMqPartitionDown: return "mq-partition-down";
     case FaultKind::kMqPartitionUp: return "mq-partition-up";
+    case FaultKind::kMqNodeKill: return "mq-node-kill";
+    case FaultKind::kMqNodeRevive: return "mq-node-revive";
     case FaultKind::kServerOutage: return "server-outage";
     case FaultKind::kServerRecovery: return "server-recovery";
   }
@@ -64,13 +66,35 @@ void FaultPlan::ApplyEvent(const FaultEvent& event,
       }
       break;
     case FaultKind::kMqPartitionDown:
-      if (targets.mq) {
-        (void)targets.mq->SetPartitionUp(event.topic, event.index, false);
+    case FaultKind::kMqPartitionUp: {
+      const bool up = event.kind == FaultKind::kMqPartitionUp;
+      if (targets.mq_cluster) {
+        // Re-target the partition fault onto the replicated broker: taking a
+        // partition "down" means crashing its preferred leader. The mapping
+        // round-trips (the matching Up event revives the same node) because
+        // the preferred leader is a pure function of (topic, partition).
+        const auto leader =
+            targets.mq_cluster->PreferredLeader(event.topic, event.index);
+        if (leader.ok()) {
+          if (up) {
+            (void)targets.mq_cluster->ReviveNode(*leader);
+          } else {
+            (void)targets.mq_cluster->KillNode(*leader);
+          }
+        }
+      } else if (targets.mq) {
+        (void)targets.mq->SetPartitionUp(event.topic, event.index, up);
       }
       break;
-    case FaultKind::kMqPartitionUp:
-      if (targets.mq) {
-        (void)targets.mq->SetPartitionUp(event.topic, event.index, true);
+    }
+    case FaultKind::kMqNodeKill:
+      if (targets.mq_cluster) {
+        (void)targets.mq_cluster->KillNode(event.index);
+      }
+      break;
+    case FaultKind::kMqNodeRevive:
+      if (targets.mq_cluster) {
+        (void)targets.mq_cluster->ReviveNode(event.index);
       }
       break;
     case FaultKind::kServerOutage:
@@ -140,9 +164,14 @@ FaultPlan FaultPlan::Random(double intensity, TimeNs horizon,
   for (int e = 0; e < episodes; ++e) {
     std::vector<int> classes;
     if (targets.dfs && targets.dfs->num_datanodes() > 0) classes.push_back(0);
-    if (targets.mq && !topics.empty()) classes.push_back(1);
+    if ((targets.mq || targets.mq_cluster) && !topics.empty()) {
+      classes.push_back(1);
+    }
     if (targets.fog && targets.fog->num_servers() > 0) classes.push_back(2);
     if (targets.fog && targets.fog->num_fogs() > 0) classes.push_back(3);
+    if (targets.mq_cluster && targets.mq_cluster->num_nodes() > 0) {
+      classes.push_back(4);
+    }
     if (classes.empty()) break;
     const int cls = classes[rng.UniformU64(classes.size())];
     TimeNs start = 0, end = 0;
@@ -169,6 +198,13 @@ FaultPlan FaultPlan::Random(double intensity, TimeNs horizon,
             int(rng.UniformU64(std::uint64_t(targets.fog->num_servers())));
         plan.Add(Event(start, FaultKind::kServerOutage, server));
         plan.Add(Event(end, FaultKind::kServerRecovery, server));
+        break;
+      }
+      case 4: {
+        const int node = int(
+            rng.UniformU64(std::uint64_t(targets.mq_cluster->num_nodes())));
+        plan.Add(Event(start, FaultKind::kMqNodeKill, node));
+        plan.Add(Event(end, FaultKind::kMqNodeRevive, node));
         break;
       }
       case 3: {

@@ -16,6 +16,7 @@
 
 #include "dfs/dfs.h"
 #include "fog/fog.h"
+#include "mq/broker_cluster.h"
 #include "mq/message_log.h"
 #include "net/simulator.h"
 #include "util/clock.h"
@@ -32,6 +33,8 @@ enum class FaultKind {
   kLinkLatencySpike,  ///< net link latency multiplied by `magnitude`
   kMqPartitionDown,   ///< `topic` partition `index` leader fails
   kMqPartitionUp,     ///< `topic` partition `index` leader returns
+  kMqNodeKill,        ///< replicated-broker node `index` crashes
+  kMqNodeRevive,      ///< replicated-broker node `index` restarts
   kServerOutage,      ///< fog analysis server `index` loses all fog links
   kServerRecovery,    ///< fog analysis server `index` links restored
 };
@@ -54,6 +57,13 @@ struct FaultTargets {
   dfs::Cluster* dfs = nullptr;
   net::Simulator* net = nullptr;
   mq::MessageLog* mq = nullptr;
+  /// Replicated broker. kMqNodeKill / kMqNodeRevive act on it directly;
+  /// kMqPartitionDown / kMqPartitionUp are re-targeted onto it as a kill /
+  /// revive of the partition's *preferred* leader, so partition-outage plans
+  /// written against the single-broker log replay unchanged against the
+  /// cluster — where the same fault now triggers a failover instead of an
+  /// outage.
+  mq::BrokerCluster* mq_cluster = nullptr;
   fog::FogTopology* fog = nullptr;  ///< for server-tier outages
 };
 
@@ -71,7 +81,8 @@ class FaultPlan {
   /// injected fault gets a matching recovery event before `horizon`, so a
   /// full replay always ends healthy. Which fault classes are drawn depends
   /// on which targets exist: DataNode crash/revive cycles when `dfs` is set,
-  /// partition outages per `topic` when `mq` is set, and server-tier
+  /// partition outages per `topic` when `mq` or `mq_cluster` is set, broker
+  /// node kill/revive cycles when `mq_cluster` is set, and server-tier
   /// outages + fog-link latency spikes when `fog` is set.
   static FaultPlan Random(double intensity, TimeNs horizon,
                           const FaultTargets& targets,

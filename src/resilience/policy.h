@@ -41,6 +41,11 @@ struct RetryConfig {
   double multiplier = 2.0;                   ///< exponential growth factor
   double jitter = 0.2;                       ///< +/- fraction of the backoff
   TimeNs deadline = 0;                       ///< total budget; 0 = unbounded
+  /// Opt-in: also retry kResourceExhausted. Off by default — backpressure is
+  /// a *signal*, and a hot producer retrying into a full partition just adds
+  /// load. Edge agents that would otherwise drop data (their channel is the
+  /// loss) turn this on and lean on the backoff to wait out the backlog.
+  bool retry_resource_exhausted = false;
 };
 
 /// Deadline-aware exponential backoff with jitter.
@@ -75,7 +80,13 @@ class RetryPolicy {
     const TimeNs start = clock_->Now();
     auto result = fn();
     for (int attempt = 1; attempt < config_.max_attempts; ++attempt) {
-      if (result.ok() || !IsRetryable(StatusOf(result))) return result;
+      if (result.ok()) return result;
+      const Status status = StatusOf(result);
+      const bool retryable =
+          IsRetryable(status) ||
+          (config_.retry_resource_exhausted &&
+           status.code() == StatusCode::kResourceExhausted);
+      if (!retryable) return result;
       const TimeNs backoff = BackoffFor(attempt);
       if (config_.deadline > 0 &&
           clock_->Now() + backoff - start >= config_.deadline) {

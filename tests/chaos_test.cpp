@@ -11,6 +11,7 @@
 #include "core/pipeline.h"
 #include "fog/fog.h"
 #include "ingest/flume.h"
+#include "mq/broker_cluster.h"
 #include "mq/message_log.h"
 #include "net/simulator.h"
 #include "resilience/chaos.h"
@@ -72,6 +73,31 @@ TEST(RetryPolicyTest, TerminalErrorsAreNotRetried) {
   EXPECT_EQ(st.code(), StatusCode::kNotFound);
   EXPECT_EQ(calls, 1);
   EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(RetryPolicyTest, ResourceExhaustedRetriesOnlyWhenOptedIn) {
+  // Backpressure (kResourceExhausted) is terminal by default: most callers
+  // should shed load, not pile retries onto a full queue.
+  SimClock clock;
+  int calls = 0;
+  const auto flaky = [&]() -> Status {
+    if (++calls < 3) return ResourceExhaustedError("backlog at bound");
+    return Status::Ok();
+  };
+  RetryPolicy no_opt_in({}, clock);
+  calls = 0;
+  EXPECT_EQ(no_opt_in.Run(flaky).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 1);
+
+  // Buffering producers (ingest agents) opt in and wait the bound out.
+  RetryConfig config;
+  config.retry_resource_exhausted = true;
+  config.initial_backoff = kMillisecond;
+  RetryPolicy opted_in(config, clock);
+  calls = 0;
+  EXPECT_TRUE(opted_in.Run(flaky).ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(opted_in.retries(), 2);
 }
 
 TEST(RetryPolicyTest, ExhaustedAttemptsReturnLastError) {
@@ -290,6 +316,47 @@ TEST(FaultPlanTest, AppliesEventsUpToNowExactlyOnce) {
   EXPECT_TRUE(log.PartitionUp("t", 0).value());
   EXPECT_EQ(plan.applied(), 2u);
   EXPECT_EQ(plan.NextAt(), -1);
+}
+
+TEST(FaultPlanTest, ClusterRetargetsPartitionFaultsToPreferredLeader) {
+  SimClock clock;
+  mq::BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const int preferred = *cluster.PreferredLeader("t", 0);
+
+  FaultPlan plan;
+  plan.Add(Event(10 * kMillisecond, FaultKind::kMqPartitionDown, 0, "t"));
+  plan.Add(Event(20 * kMillisecond, FaultKind::kMqPartitionUp, 0, "t"));
+  FaultTargets targets;
+  targets.mq_cluster = &cluster;
+
+  EXPECT_EQ(plan.ApplyUpTo(10 * kMillisecond, targets), 1);
+  EXPECT_FALSE(cluster.NodeUp(preferred).value());
+  // Against the cluster the partition fault is a leader kill, and a leader
+  // kill is a failover, not an outage: a surviving replica took over.
+  const auto view = *cluster.View("t", 0);
+  EXPECT_NE(view.leader, preferred);
+  EXPECT_GE(view.leader, 0);
+
+  EXPECT_EQ(plan.ApplyUpTo(25 * kMillisecond, targets), 1);
+  EXPECT_TRUE(cluster.NodeUp(preferred).value());
+}
+
+TEST(FaultPlanTest, ClusterNodeKillReviveRoundTrips) {
+  SimClock clock;
+  mq::BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  FaultPlan plan;
+  plan.Add(Event(kMillisecond, FaultKind::kMqNodeKill, 1));
+  plan.Add(Event(2 * kMillisecond, FaultKind::kMqNodeRevive, 1));
+  FaultTargets targets;
+  targets.mq_cluster = &cluster;
+
+  EXPECT_EQ(plan.ApplyUpTo(kMillisecond, targets), 1);
+  EXPECT_FALSE(cluster.NodeUp(1).value());
+  EXPECT_EQ(plan.ApplyUpTo(2 * kMillisecond, targets), 1);
+  EXPECT_TRUE(cluster.NodeUp(1).value());
+  EXPECT_TRUE(cluster.Probe().ok());
 }
 
 TEST(FaultPlanTest, RandomPlansAreSeedDeterministicAndPaired) {
@@ -554,7 +621,7 @@ TEST(IngestRetryTest, TerminalSinkErrorDropsWithoutRetrying) {
 
 // ---------------------------------------------------------------- Pipeline
 
-TEST(PipelineResilienceTest, ProduceRetriesThroughPartitionOutage) {
+TEST(PipelineResilienceTest, ProduceRetriesThroughQuorumLoss) {
   SimClock clock;
   core::CityPipeline pipeline(clock);
   core::CityPipeline::TopicSpec spec;
@@ -562,13 +629,20 @@ TEST(PipelineResilienceTest, ProduceRetriesThroughPartitionOutage) {
   spec.partitions = 1;
   ASSERT_TRUE(pipeline.AddTopic(std::move(spec)).ok());
 
-  // Partition down: the retrying produce still fails, but spent its budget.
-  ASSERT_TRUE(pipeline.log().SetPartitionUp("frames", 0, false).ok());
+  // Kill two of the three replicas: the first kill fails the leader over,
+  // the second drops the ISR below quorum — the retrying produce still
+  // fails, but spent its whole budget waiting for a recovery.
+  const auto view = *pipeline.log().View("frames", 0);
+  ASSERT_TRUE(pipeline.log().KillNode(view.replicas[0]).ok());
+  ASSERT_TRUE(pipeline.log().KillNode(view.replicas[1]).ok());
   const auto nack = pipeline.Produce("frames", "k", "v");
   EXPECT_EQ(nack.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(pipeline.Stats().produce_retries, 3);
 
-  ASSERT_TRUE(pipeline.log().SetPartitionUp("frames", 0, true).ok());
+  // Revival restores quorum; the next produce lands on the failed-over
+  // leader without any operator involvement.
+  ASSERT_TRUE(pipeline.log().ReviveNode(view.replicas[0]).ok());
+  ASSERT_TRUE(pipeline.log().ReviveNode(view.replicas[1]).ok());
   EXPECT_TRUE(pipeline.Produce("frames", "k", "v").ok());
   // Unknown topics are terminal — no retries burned.
   const std::int64_t before = pipeline.Stats().produce_retries;

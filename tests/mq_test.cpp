@@ -152,11 +152,69 @@ TEST(ConsumerGroupTest, CommitAndFetchCommitted) {
   SimClock clock;
   MessageLog log(clock);
   ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(log.ProduceTo("t", 0, "", "v").ok());
+  }
   ASSERT_TRUE(log.JoinGroup("g", "t", "m").ok());
   EXPECT_EQ(log.CommittedOffset("g", "t", 0), 0);
   ASSERT_TRUE(log.CommitOffset("g", "t", 0, 17).ok());
   EXPECT_EQ(log.CommittedOffset("g", "t", 0), 17);
   EXPECT_EQ(log.CommittedOffset("g", "t", 1), 0);
+}
+
+TEST(ConsumerGroupTest, CommitOffsetValidation) {
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 2).ok());
+  ASSERT_TRUE(log.ProduceTo("t", 0, "", "v").ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m").ok());
+  // The partition must exist...
+  EXPECT_EQ(log.CommitOffset("g", "t", 5, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.CommitOffset("g", "t", -1, 0).code(),
+            StatusCode::kInvalidArgument);
+  // ...and the offset must lie within [0, end]: a commit beyond the end
+  // would silently skip records that were never delivered.
+  EXPECT_EQ(log.CommitOffset("g", "t", 0, -1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.CommitOffset("g", "t", 0, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(log.CommitOffset("g", "t", 0, 1).ok());
+  EXPECT_EQ(log.CommittedOffset("g", "t", 0), 1);
+}
+
+TEST(ConsumerGroupTest, RetentionOvertakesCommittedOffset) {
+  // A slow consumer whose committed offset fell below the retention floor:
+  // the fetch reports kOutOfRange and the documented recovery (see
+  // MessageLog::Fetch) is to reset to the partition's begin offset, skipping
+  // the truncated records but never rereading or missing a surviving one.
+  SimClock clock;
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  ASSERT_TRUE(log.JoinGroup("g", "t", "m").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(log.ProduceTo("t", 0, "", "old" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(log.CommitOffset("g", "t", 0, 2).ok());
+  clock.Advance(10 * kSecond);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(log.ProduceTo("t", 0, "", "new" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(log.EnforceRetention(5 * kSecond), 4);
+
+  const std::int64_t committed = log.CommittedOffset("g", "t", 0);
+  EXPECT_EQ(committed, 2);
+  EXPECT_EQ(log.Fetch("t", 0, committed, 10).status().code(),
+            StatusCode::kOutOfRange);
+
+  const auto info = log.GetPartitionInfo("t", 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->begin_offset, 4);
+  ASSERT_TRUE(log.CommitOffset("g", "t", 0, info->begin_offset).ok());
+  const auto records = log.Fetch("t", 0, log.CommittedOffset("g", "t", 0), 10);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].value, "new0");
+  EXPECT_EQ((*records)[1].value, "new1");
 }
 
 TEST(ConsumerGroupTest, EndToEndConsumeLoop) {
@@ -247,13 +305,12 @@ TEST(MessageLogTest, PartitionFaultInjectionRoundTrip) {
   // The other partition still serves.
   EXPECT_TRUE(log.ProduceTo("t", 1, "k", "y").ok());
 
-  // Keyless produce retried after a failure round-robins onto the healthy
-  // partition instead of sticking to the dead one.
-  bool produced = false;
-  for (int attempt = 0; attempt < 2 && !produced; ++attempt) {
-    produced = log.Produce("t", "", "v").ok();
-  }
-  EXPECT_TRUE(produced);
+  // Keyless produce skips the dead partition inside one critical section —
+  // no retry loop needed — and counts every skip it made.
+  const auto skipped_to = log.Produce("t", "", "v");
+  ASSERT_TRUE(skipped_to.ok());
+  EXPECT_EQ(skipped_to->partition, 1);
+  EXPECT_GE(log.metrics().GetCounter("mq.roundrobin_skips").value(), 1);
 
   ASSERT_TRUE(log.SetPartitionUp("t", 0, true).ok());
   const auto records = log.Fetch("t", 0, 0, 10);
