@@ -276,7 +276,12 @@ void CityPipeline::Stop() {
   }
 }
 
-void CityPipeline::Drain() {
+bool CityPipeline::Drain(TimeNs max_wait) {
+  // One shared deadline: a partition that is merely mid-failover recovers in
+  // a few ticks, while one whose quorum never comes back would otherwise
+  // hold the caller forever.
+  const TimeNs deadline = clock_->Now() + max_wait;
+  bool drained = true;
   for (auto& [name, state] : topics_) {
     const std::string& topic = state->spec.topic;
     const auto parts = log_.NumPartitions(topic);
@@ -285,20 +290,37 @@ void CityPipeline::Drain() {
       while (true) {
         const auto info = log_.GetPartitionInfo(topic, p);
         if (!info.ok()) {
-          // Mid-failover the partition briefly has no leader; wait it out.
-          if (info.status().code() == StatusCode::kUnavailable) {
+          // Mid-failover the partition briefly has no leader; wait it out
+          // until the deadline.
+          if (info.status().code() == StatusCode::kUnavailable &&
+              clock_->Now() < deadline) {
             clock_->SleepFor(kMillisecond);
             continue;
+          }
+          if (info.status().code() == StatusCode::kUnavailable) {
+            METRO_LOG(kWarning)
+                << "Drain giving up on leaderless partition " << topic << "/"
+                << p << ": " << info.status();
+            drained = false;
           }
           break;
         }
         const std::int64_t committed =
             log_.CommittedOffset("pipeline-" + topic, topic, p);
         if (committed >= info->end_offset) break;
+        if (clock_->Now() >= deadline) {
+          METRO_LOG(kWarning)
+              << "Drain deadline passed with " << topic << "/" << p
+              << " undrained (committed " << committed << " of "
+              << info->end_offset << ")";
+          drained = false;
+          break;
+        }
         clock_->SleepFor(kMillisecond);
       }
     }
   }
+  return drained;
 }
 
 std::vector<std::string> CityPipeline::WebFeed() const {

@@ -111,8 +111,12 @@ class CityPipeline {
   void Stop();
 
   /// Blocks until every topic's committed offset reaches the end of its log
-  /// (producers must have stopped).
-  void Drain();
+  /// (producers must have stopped), or until `max_wait` elapses — a
+  /// partition can stay leaderless forever (quorum never recovers), so the
+  /// wait is bounded rather than hanging the caller. Returns true when every
+  /// partition drained; false when the deadline passed with partitions still
+  /// undrained (logged).
+  bool Drain(TimeNs max_wait = 10 * kSecond);
 
   /// The rendered web feed (JSON lines), in arrival order.
   std::vector<std::string> WebFeed() const METRO_EXCLUDES(web_mu_);

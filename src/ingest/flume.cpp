@@ -1,7 +1,9 @@
 #include "ingest/flume.h"
 
+#include <iterator>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/bytes.h"
 #include "util/clock.h"
@@ -36,6 +38,7 @@ void Agent::SourceLoop() {
       event->headers[trace_key] = config_.spans->StartTrace().Serialize();
     }
     event->enqueued_at = clock.Now();
+    event->ingest_seq = events_in_.load(std::memory_order_relaxed) + 1;
     // Push blocks when the channel is full — back-pressure to the source.
     if (!channel_.Push(std::move(*event)).ok()) break;  // channel closed
     events_in_.fetch_add(1, std::memory_order_relaxed);
@@ -133,28 +136,53 @@ void Agent::WaitUntilFinished() {
   }
 }
 
+namespace {
+
+// Stable identity of one event for the pending-request map. `ingest_seq`
+// (the event's position in its source's emission order) is what keeps two
+// otherwise-identical events — same key, body, and coarse-clock timestamp —
+// from sharing an entry; the content fields still differentiate events that
+// never passed through an agent (ingest_seq 0).
+std::uint64_t EventFingerprint(const Event& event) {
+  std::uint64_t fp = Fnv1a64(event.key);
+  fp = (fp * 1099511628211ULL) ^ Fnv1a64(event.body);
+  fp = (fp * 1099511628211ULL) ^ std::uint64_t(event.enqueued_at);
+  fp = (fp * 1099511628211ULL) ^ std::uint64_t(event.ingest_seq);
+  return fp;
+}
+
+}  // namespace
+
 SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic) {
   const mq::ProducerId producer = cluster.CreateProducer();
   // Prepared-but-unacked requests, keyed by event fingerprint. A batch retry
   // finds its earlier request here and re-submits it unchanged (same
   // partition, same sequence), which is what lets the broker deduplicate.
   // Entries are erased on ack; a terminally dropped batch leaves stale ones,
-  // so the map is cleared at a size bound — that only forfeits request reuse
-  // for dropped events, never acked-record dedup (the broker's sequence
-  // tables hold that).
+  // so at a size bound the map evicts entries *not* in the batch being
+  // flushed — in-flight requests keep their pinned sequence (re-preparing
+  // them mid-retry would burn it), while stale ones only forfeit request
+  // reuse, never acked-record dedup (the broker's sequence tables hold
+  // that).
   constexpr std::size_t kMaxPending = 1 << 16;
   auto pending = std::make_shared<
       std::unordered_map<std::uint64_t, mq::ProduceRequest>>();
   return [&cluster, topic = std::move(topic), producer,
           pending](const std::vector<Event>& batch) -> Status {
+    if (pending->size() >= kMaxPending) {
+      std::unordered_set<std::uint64_t> in_flight;
+      in_flight.reserve(batch.size());
+      for (const Event& event : batch) in_flight.insert(EventFingerprint(event));
+      for (auto it = pending->begin(); it != pending->end();) {
+        it = in_flight.count(it->first) > 0 ? std::next(it)
+                                            : pending->erase(it);
+      }
+    }
     Status first_error = Status::Ok();
     for (const Event& event : batch) {
-      std::uint64_t fp = Fnv1a64(event.key);
-      fp = (fp * 1099511628211ULL) ^ Fnv1a64(event.body);
-      fp = (fp * 1099511628211ULL) ^ std::uint64_t(event.enqueued_at);
+      const std::uint64_t fp = EventFingerprint(event);
       auto it = pending->find(fp);
       if (it == pending->end()) {
-        if (pending->size() >= kMaxPending) pending->clear();
         auto prepared = cluster.Prepare(producer, topic, event.key, event.body,
                                         event.headers);
         if (!prepared.ok()) return prepared.status();  // unknown topic etc.
@@ -164,6 +192,12 @@ SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic) {
       if (ack.ok()) {
         pending->erase(it);
         continue;
+      }
+      // kFailedPrecondition marks a sequence the broker no longer tracks
+      // (fell below its idempotence window); the pinned request is dead, so
+      // drop it and let the next retry prepare afresh.
+      if (ack.status().code() == StatusCode::kFailedPrecondition) {
+        pending->erase(it);
       }
       if (first_error.ok()) first_error = ack.status();
     }

@@ -33,6 +33,12 @@ struct Event {
   /// `x-trace` key so downstream stages continue the event's trace.
   std::map<std::string, std::string> headers;
   TimeNs enqueued_at = 0;  ///< when the source pushed it into the channel
+  /// Position in the source's emission order (1-based; assigned by the
+  /// agent's source loop, 0 for events that never passed through an agent).
+  /// Distinguishes events whose other fields coincide — e.g. identical
+  /// sensor readings stamped in the same simulated-clock tick — so sinks
+  /// that memoize per-event state never conflate two distinct events.
+  std::int64_t ingest_seq = 0;
 };
 
 /// Produces the next event, or nullopt when the source is exhausted.

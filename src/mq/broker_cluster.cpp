@@ -233,6 +233,18 @@ Result<ProduceAck> BrokerCluster::ProduceLocked(const ProduceRequest& request) {
     ack.duplicate = true;
     return ack;
   }
+  if (probe.verdict == SequenceTable::Verdict::kTooOld) {
+    // The sequence fell below the broker's tracked window, so it cannot be
+    // told apart from an already-appended one. Rejecting is the only safe
+    // answer: appending risks a duplicate, a duplicate-ack risks silent
+    // loss. Terminal for this prepared request — the producer must
+    // re-prepare.
+    metrics_.GetCounter("mq.sequence_too_old").Increment();
+    return FailedPreconditionError(
+        "producer " + std::to_string(request.producer_id) + " sequence " +
+        std::to_string(request.sequence) + " on " + where +
+        " below the tracked idempotence window");
+  }
   if (config_.max_partition_backlog > 0 &&
       lead.log.size() >= config_.max_partition_backlog) {
     metrics_.GetCounter("mq.backpressure").Increment();
@@ -249,19 +261,32 @@ Result<ProduceAck> BrokerCluster::ProduceLocked(const ProduceRequest& request) {
   rec.sequence = request.sequence;
   const std::size_t bytes = rec.key.size() + rec.value.size();
   rec.offset = lead.log.Append(rec);
-  lead.sequences.Observe(rec);
   // acks=quorum via synchronous replication: every ISR member appends before
   // the ack; quorum was pre-checked above, so the acked record is on at
-  // least `quorum()` replicas when the caller sees it.
+  // least `quorum()` replicas when the caller sees it. A replication failure
+  // (defensive — ISR logs cannot diverge under synchronous appends) rolls
+  // the append back everywhere so an errored produce leaves no record: the
+  // producer may then safely re-prepare without duplicating.
+  std::vector<int> appended;
   for (const int node : pm.isr) {
     if (node == pm.leader) continue;
     BrokerNode::Replica& rep = nodes_[std::size_t(node)]->replica(tp);
     const Status replicated = rep.log.AppendReplica(rec);
     if (!replicated.ok()) {
+      lead.log.TruncateTo(rec.offset);
+      for (const int done : appended) {
+        nodes_[std::size_t(done)]->replica(tp).log.TruncateTo(rec.offset);
+      }
       return InternalError("ISR divergence on " + where + ": " +
                            replicated.message());
     }
-    rep.sequences.Observe(rec);
+    appended.push_back(node);
+  }
+  // The record is durable on the full ISR; only now fold it into the dedup
+  // tables (a rolled-back attempt must stay fresh for its retry).
+  lead.sequences.Observe(rec);
+  for (const int node : appended) {
+    nodes_[std::size_t(node)]->replica(tp).sequences.Observe(rec);
   }
   pm.high_water = lead.log.end_offset();
   metrics_.GetCounter("mq.records_produced").Increment();

@@ -7,21 +7,58 @@ SequenceTable::Probe SequenceTable::Check(ProducerId producer,
   Probe probe;
   if (producer <= 0 || sequence < 0) return probe;  // not idempotent: fresh
   const auto it = producers_.find(producer);
-  if (it == producers_.end() || sequence > it->second.last_sequence) {
-    return probe;  // fresh
+  if (it == producers_.end()) return probe;  // fresh
+  const ProducerState& state = it->second;
+  if (sequence <= state.too_old) {
+    // Fell off the tracked window; appended-or-not is no longer known, so
+    // neither appending nor suppressing is safe — the caller must reject.
+    probe.verdict = Verdict::kTooOld;
+    return probe;
+  }
+  if (sequence > state.contiguous && state.appended.count(sequence) == 0) {
+    return probe;  // fresh: above the highest, or an unfilled gap (a retry
+                   // of a prepared request that never landed)
   }
   probe.verdict = Verdict::kDuplicate;
   probe.duplicate_offset =
-      sequence == it->second.last_sequence ? it->second.last_offset : -1;
+      sequence == state.last_sequence ? state.last_offset : -1;
   return probe;
 }
 
 void SequenceTable::Observe(const Record& record) {
   if (record.producer_id <= 0 || record.sequence < 0) return;
   ProducerState& state = producers_[record.producer_id];
+  if (record.sequence <= state.contiguous ||
+      state.appended.count(record.sequence) > 0) {
+    return;  // already folded in (resync replays retained records)
+  }
+  state.appended.insert(record.sequence);
   if (record.sequence > state.last_sequence) {
     state.last_sequence = record.sequence;
     state.last_offset = record.offset;
+  }
+  // Collapse the contiguous prefix into the floor; in the common in-order
+  // case the set holds at most one element at a time.
+  auto it = state.appended.begin();
+  while (it != state.appended.end() && *it == state.contiguous + 1) {
+    state.contiguous = *it;
+    it = state.appended.erase(it);
+  }
+  // Bound the sparse window. An unfilled gap (an abandoned prepared
+  // request) below kMaxTracked later appends stops the contiguous collapse,
+  // so on overflow the oldest gap is forgotten: every status at or below
+  // the oldest tracked append becomes unknown (kTooOld on retry — an
+  // explicit rejection, never a silent false duplicate).
+  while (state.appended.size() > kMaxTracked) {
+    const std::int64_t oldest = *state.appended.begin();
+    state.too_old = oldest - 1;
+    state.contiguous = oldest;
+    state.appended.erase(state.appended.begin());
+    auto next = state.appended.begin();
+    while (next != state.appended.end() && *next == state.contiguous + 1) {
+      state.contiguous = *next;
+      next = state.appended.erase(next);
+    }
   }
 }
 

@@ -9,14 +9,26 @@
 // same retries the old one would have — a produce retried across the
 // failover cannot duplicate.
 //
-// Dedup rule (the in-process transport delivers in order, so duplicates can
-// only come from retries): a sequence strictly above the highest one seen is
-// fresh; the highest one seen again is the retry of the last append and
-// returns the cached offset; anything lower is an older duplicate and is
-// suppressed with an unknown offset. A sequence is therefore appended at
-// most once per partition.
+// Dedup rule: a (producer, sequence) pair is a duplicate iff that exact
+// sequence was already appended. Sequences are assigned at Prepare time but
+// may land out of order — a prepared request can fail transiently (no
+// leader mid-failover, backpressure) while later sequences from the same
+// producer succeed, and its retry then arrives *below* the highest appended
+// sequence. Such a gap sequence was never appended, so it is fresh, not a
+// duplicate; only genuinely-appended sequences are suppressed. The table
+// therefore tracks the exact appended set, compressed as a contiguous floor
+// plus a sparse window of appended sequences above it (gaps only form from
+// failed produces and collapse into the floor when their retry lands).
+//
+// The sparse window is bounded (`kMaxTracked`): if a gap never fills — a
+// producer dropped a prepared request for good — the floor eventually
+// advances past it and the abandoned sequence's status is forgotten. A
+// retry from below the floor is then `kTooOld` and the produce is rejected
+// with an explicit error (Kafka's OutOfOrderSequence role) rather than
+// silently dropped as a false duplicate.
 
 #include <cstdint>
+#include <set>
 #include <unordered_map>
 
 #include "mq/partition_log.h"
@@ -27,12 +39,19 @@ namespace metro::mq {
 /// (plain, non-idempotent produce).
 using ProducerId = std::int64_t;
 
-/// Highest sequence seen per producer for one partition replica.
+/// Exact appended-sequence tracking per producer for one partition replica.
 class SequenceTable {
  public:
+  /// Appended sequences kept above the contiguous floor, per producer. Only
+  /// unfilled gaps (permanently abandoned sequences) can grow the window;
+  /// when it overflows, the floor advances and the oldest statuses are
+  /// forgotten (their retries become kTooOld).
+  static constexpr std::size_t kMaxTracked = 4096;
+
   enum class Verdict {
-    kFresh,      ///< append it
+    kFresh,      ///< never appended; append it
     kDuplicate,  ///< already appended; suppress
+    kTooOld,     ///< below the tracked window; reject, status unknown
   };
   struct Probe {
     Verdict verdict = Verdict::kFresh;
@@ -50,7 +69,13 @@ class SequenceTable {
 
  private:
   struct ProducerState {
-    std::int64_t last_sequence = -1;
+    /// Sequences <= too_old have had their status forgotten (window
+    /// overflow); <= contiguous (but > too_old) were all appended; above
+    /// that, exactly the members of `appended` were. too_old <= contiguous.
+    std::int64_t too_old = -1;
+    std::int64_t contiguous = -1;
+    std::set<std::int64_t> appended;
+    std::int64_t last_sequence = -1;  ///< highest appended
     std::int64_t last_offset = -1;
   };
   std::unordered_map<ProducerId, ProducerState> producers_;

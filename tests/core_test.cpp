@@ -154,6 +154,27 @@ TEST(PipelineTest, MultipleTopicsIndependent) {
   EXPECT_EQ((*pipeline.collection("b"))->size(), 3u);
 }
 
+TEST(PipelineTest, DrainIsBoundedWhenQuorumNeverRecovers) {
+  SimClock clock;
+  CityPipeline pipeline(clock);
+  CityPipeline::TopicSpec spec;
+  spec.topic = "t";
+  spec.partitions = 1;
+  ASSERT_TRUE(pipeline.AddTopic(std::move(spec)).ok());
+  ASSERT_TRUE(pipeline.log().ProduceTo("t", 0, "k", "v").ok());
+
+  // No consumers running: the backlog cannot drain, so Drain must report
+  // failure at its deadline instead of spinning forever.
+  EXPECT_FALSE(pipeline.Drain(20 * kMillisecond));
+
+  // Every node dead: the partition is permanently leaderless (quorum never
+  // recovers). Drain must give up at the deadline, not hang the caller.
+  for (int n = 0; n < pipeline.log().num_nodes(); ++n) {
+    ASSERT_TRUE(pipeline.log().KillNode(n).ok());
+  }
+  EXPECT_FALSE(pipeline.Drain(20 * kMillisecond));
+}
+
 TEST(PipelineTest, AddTopicAfterStartRejected) {
   WallClock& clock = WallClock::Instance();
   CityPipeline pipeline(clock);

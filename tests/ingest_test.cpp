@@ -141,6 +141,71 @@ TEST(AgentTest, DoubleStartRejected) {
   agent.Stop();
 }
 
+TEST(AgentTest, AssignsMonotonicIngestSeq) {
+  std::atomic<int> next{0};
+  SourceFn source = [&]() -> std::optional<Event> {
+    const int i = next.fetch_add(1);
+    if (i >= 5) return std::nullopt;
+    // Every event is field-identical; only ingest_seq tells them apart.
+    return Event{"sensor-1", "temp=21.5"};
+  };
+  metro::Mutex mu;
+  std::vector<std::int64_t> seqs;
+  SinkFn sink = [&](const std::vector<Event>& batch) {
+    metro::MutexLock lock(mu);
+    for (const Event& e : batch) seqs.push_back(e.ingest_seq);
+    return Status::Ok();
+  };
+  Agent agent("seq", source, sink);
+  ASSERT_TRUE(agent.Start().ok());
+  agent.WaitUntilFinished();
+  agent.Stop();
+  EXPECT_EQ(seqs, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------------------- ClusterSink
+
+TEST(ClusterSinkTest, IdenticalEventsKeepDistinctPendingRequests) {
+  // Two distinct sensor readings that serialize identically — same key,
+  // body, and coarse-simulated-clock enqueue tick — must not share a
+  // memoized produce request in the cluster sink: each pins its own
+  // sequence, so a batch that fails and retries appends both exactly once.
+  SimClock clock;
+  mq::BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("readings", 1).ok());
+  SinkFn sink = MakeClusterSink(cluster, "readings");
+  Event a{"sensor-1", "temp=21.5"};
+  a.enqueued_at = clock.Now();
+  a.ingest_seq = 1;  // as the agent's source loop would stamp them
+  Event b = a;
+  b.ingest_seq = 2;
+
+  // Quorum down: the flush fails with both requests left pending.
+  const auto view = *cluster.View("readings", 0);
+  ASSERT_TRUE(cluster.KillNode(view.replicas[1]).ok());
+  ASSERT_TRUE(cluster.KillNode(view.replicas[2]).ok());
+  EXPECT_EQ(sink({a, b}).code(), StatusCode::kUnavailable);
+
+  // Each event prepared its own request: the sink's producer (the first id
+  // the fresh cluster handed out) has consumed sequences 0 and 1, so the
+  // next prepared sequence is 2. A shared pending entry would have
+  // consumed only one.
+  const auto probe = cluster.Prepare(1, "readings", a.key, a.body);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->sequence, 2);
+
+  // Recovered: the batch retry delivers both events exactly once, each
+  // under its own pinned sequence.
+  ASSERT_TRUE(cluster.ReviveNode(view.replicas[1]).ok());
+  ASSERT_TRUE(cluster.ReviveNode(view.replicas[2]).ok());
+  ASSERT_TRUE(sink({a, b}).ok());
+  const auto records = cluster.Fetch("readings", 0, 0, 10);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].sequence, 0);
+  EXPECT_EQ((*records)[1].sequence, 1);
+}
+
 // ---------------------------------------------------------------- BulkImport
 
 RdbmsTable MakeTable(int rows) {

@@ -214,6 +214,100 @@ TEST(BrokerClusterTest, DuplicateDetectionSurvivesFailover) {
   EXPECT_EQ(retry->offset, first->offset);
 }
 
+TEST(BrokerClusterTest, FailedLowSequenceRetryAfterLaterAppendIsNotDropped) {
+  // A prepared request whose produce failed transiently (quorum lost) and
+  // is retried only after a *higher* sequence from the same producer has
+  // been appended was never appended itself: the retry must append it, not
+  // misread the sequence gap as a duplicate and silently drop the record.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+
+  const auto early = cluster.Prepare(producer, "t", "k", "early");
+  ASSERT_TRUE(early.ok());
+  const auto view = *cluster.View("t", 0);
+  ASSERT_TRUE(cluster.KillNode(view.replicas[1]).ok());
+  ASSERT_TRUE(cluster.KillNode(view.replicas[2]).ok());
+  EXPECT_EQ(cluster.Produce(*early).status().code(),
+            StatusCode::kUnavailable);  // below quorum: nothing appended
+
+  ASSERT_TRUE(cluster.ReviveNode(view.replicas[1]).ok());
+  ASSERT_TRUE(cluster.ReviveNode(view.replicas[2]).ok());
+  const auto late = cluster.Prepare(producer, "t", "k", "late");
+  ASSERT_TRUE(late.ok());
+  EXPECT_GT(late->sequence, early->sequence);
+  ASSERT_TRUE(cluster.Produce(*late).ok());
+
+  // The retried lower sequence is an unfilled gap — fresh, and acked with
+  // its real offset.
+  const auto retried = cluster.Produce(*early);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_FALSE(retried->duplicate);
+  EXPECT_EQ(retried->offset, 1);
+
+  // Only now does re-submitting it dedup, and nothing was lost or doubled.
+  const auto dup = cluster.Produce(*early);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(dup->duplicate);
+  const auto records = cluster.Fetch("t", 0, 0, 10);
+  ASSERT_TRUE(records.ok());
+  std::vector<std::string> values;
+  for (const Record& rec : *records) values.push_back(rec.value);
+  EXPECT_EQ(values, (std::vector<std::string>{"late", "early"}));
+}
+
+TEST(BrokerClusterTest, SequenceBelowTrackedWindowIsRejectedNotDropped) {
+  // An abandoned prepared request (its sequence never produced) eventually
+  // falls below the broker's tracked idempotence window. Submitting it then
+  // must fail loudly — appending might duplicate, a duplicate-ack would be
+  // silent loss.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  const auto abandoned = cluster.Prepare(producer, "t", "k", "abandoned");
+  ASSERT_TRUE(abandoned.ok());
+  for (std::size_t i = 0; i <= SequenceTable::kMaxTracked; ++i) {
+    const auto request = cluster.Prepare(producer, "t", "k", "v");
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(cluster.Produce(*request).ok());
+  }
+  const auto late = cluster.Produce(*abandoned);
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.sequence_too_old").value(), 1);
+}
+
+TEST(SequenceTableTest, TracksGapsExactlyAndForgetsOnlyAtTheWindowBound) {
+  SequenceTable table;
+  Record rec;
+  rec.producer_id = 7;
+  // Sequence 0 is never appended; 1..kMaxTracked land around the gap.
+  for (std::int64_t seq = 1; seq <= std::int64_t(SequenceTable::kMaxTracked);
+       ++seq) {
+    rec.sequence = seq;
+    rec.offset = seq - 1;
+    table.Observe(rec);
+  }
+  // Within the window the gap stays retryable and appends stay duplicates.
+  EXPECT_EQ(table.Check(7, 0).verdict, SequenceTable::Verdict::kFresh);
+  EXPECT_EQ(table.Check(7, 1).verdict, SequenceTable::Verdict::kDuplicate);
+  const auto last =
+      table.Check(7, std::int64_t(SequenceTable::kMaxTracked));
+  EXPECT_EQ(last.verdict, SequenceTable::Verdict::kDuplicate);
+  EXPECT_EQ(last.duplicate_offset,
+            std::int64_t(SequenceTable::kMaxTracked) - 1);
+  // One more append overflows the window: the abandoned gap's status is
+  // forgotten and its retry is rejected explicitly, never falsely deduped.
+  rec.sequence = std::int64_t(SequenceTable::kMaxTracked) + 1;
+  rec.offset = std::int64_t(SequenceTable::kMaxTracked);
+  table.Observe(rec);
+  EXPECT_EQ(table.Check(7, 0).verdict, SequenceTable::Verdict::kTooOld);
+  EXPECT_EQ(table.Check(7, 1).verdict, SequenceTable::Verdict::kDuplicate);
+  EXPECT_EQ(table.Check(7, rec.sequence + 1).verdict,
+            SequenceTable::Verdict::kFresh);
+}
+
 // ---------------------------------------------------------- Backpressure
 
 TEST(BrokerClusterTest, BoundedBacklogRejectsWithResourceExhausted) {
