@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Performance gate for the planned inference engine. Builds Release, proves
-# bit-exactness first (the parity suite is the contract that makes the perf
-# numbers meaningful), then runs the Fig. 5 / Fig. 7 benches in --json mode
-# and reports the eager-vs-planned ratios from BENCH_infer.json.
+# Performance gate for the planned inference engine and the batched MQ
+# produce path. Builds Release, proves bit-exactness first (the parity
+# suite is the contract that makes the perf numbers meaningful), then runs
+# the Fig. 5 / Fig. 7 benches in --json mode and reports the
+# eager-vs-planned ratios from BENCH_infer.json, and finally runs the MQ
+# failover bench and gates on the batched-produce speedup from
+# BENCH_mq.json.
 #
 # Exits non-zero when:
 #   - the build or the inference parity suite fails, or
-#   - either bench fails to produce its BENCH_infer.json section.
+#   - either inference bench fails to produce its BENCH_infer.json section, or
+#   - the MQ bench fails its exactly-once audit / misses BENCH_mq.json, or
+#   - batched produce is < 2x single-record records/s at 8 partitions.
 #
 # The latency/alloc ratios are printed for trend-watching but only warn by
 # default (shared CI machines are noisy); set METRO_PERF_STRICT=1 to also
@@ -24,7 +29,8 @@ JSON="${PREFIX}/BENCH_infer.json"
 echo "==> build: Release (${PREFIX})"
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}" --target \
-  inference_parity_test bench_fig5_earlyexit_detect bench_fig7_behavior
+  inference_parity_test bench_fig5_earlyexit_detect bench_fig7_behavior \
+  bench_mq_failover
 
 echo "==> parity: planned inference must be bit-exact with eager"
 ctest --test-dir "${PREFIX}" --output-on-failure -R inference_parity_test
@@ -54,4 +60,19 @@ if [[ "${METRO_PERF_STRICT:-0}" == "1" ]]; then
     { echo "check_perf: FAIL (below 2x latency / 4x alloc targets)" >&2; exit 1; }
 fi
 
-echo "==> check_perf: OK (${JSON})"
+# Batched MQ produce: the bench itself is the exactly-once audit (non-zero
+# on acked loss or duplicate delivery); the speedup gate here is a *hard*
+# gate — batching amortizes the broker's lock and bookkeeping, so even a
+# noisy shared machine clears 2x with a wide margin.
+MQ_JSON="${PREFIX}/BENCH_mq.json"
+echo "==> bench: mq failover + batched produce (--json)"
+rm -f "${MQ_JSON}"
+(cd "${PREFIX}" && ./bench/bench_mq_failover --json)
+grep -q '"mq_failover"' "${MQ_JSON}" ||
+  { echo "check_perf: mq_failover section missing from ${MQ_JSON}" >&2; exit 1; }
+MQ_SPEEDUP="$(sed -n 's/.*"batched_speedup_at_8": \([0-9.eE+-]*\).*/\1/p' "${MQ_JSON}" | head -1)"
+echo "==> mq: batched produce is ${MQ_SPEEDUP}x single-record at 8 partitions (target: >= 2x)"
+awk -v s="${MQ_SPEEDUP}" 'BEGIN { exit !(s >= 2.0) }' ||
+  { echo "check_perf: FAIL (batched produce < 2x single-record at 8 partitions)" >&2; exit 1; }
+
+echo "==> check_perf: OK (${JSON}, ${MQ_JSON})"

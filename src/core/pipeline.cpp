@@ -187,12 +187,15 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
     for (const int partition : *assignment) {
       const std::int64_t committed =
           log_.CommittedOffset(group + "-" + topic, topic, partition);
-      const auto records = log_.Fetch(topic, partition, committed, 128);
-      if (!records.ok()) {
-        if (records.status().code() == StatusCode::kUnavailable) {
+      // Zero-copy fetch: a shared view into the leader's retained batch —
+      // record payloads are read in place (string_view) and only
+      // materialized at the parser call, not copied per fetch.
+      const auto view = log_.FetchBatch(topic, partition, committed, 128);
+      if (!view.ok()) {
+        if (view.status().code() == StatusCode::kUnavailable) {
           // Partition leader down; back off (below) and retry the fetch.
           fetch_retries_.fetch_add(1, std::memory_order_relaxed);
-        } else if (records.status().code() == StatusCode::kOutOfRange) {
+        } else if (view.status().code() == StatusCode::kOutOfRange) {
           // Retention truncated past our committed offset. Skip the
           // committed position forward to the retention floor so the pump
           // does not stall forever on offsets that no longer exist.
@@ -207,21 +210,21 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
         }
         continue;
       }
-      if (records->empty()) continue;
+      if (view->empty()) continue;
       progressed = true;
-      for (const mq::Record& rec : *records) {
+      for (std::size_t i = 0; i < view->size(); ++i) {
+        const mq::RecordView rec = (*view)[i];
         records_consumed_.fetch_add(1, std::memory_order_relaxed);
         // Continue the producer's trace from the record header. Stage spans
         // chain off a cursor (each start = the previous end), so per-trace
         // stage durations sum to the produce -> web latency.
         obs::TraceContext trace;
-        if (const auto it = rec.headers.find(std::string(obs::kTraceHeader));
-            it != rec.headers.end()) {
-          if (const auto parsed = obs::TraceContext::Parse(it->second)) {
+        if (const auto header = rec.FindHeader(obs::kTraceHeader)) {
+          if (const auto parsed = obs::TraceContext::Parse(*header)) {
             trace = *parsed;
           }
         }
-        TimeNs cursor = rec.timestamp;
+        TimeNs cursor = rec.timestamp();
         auto stage = [&](const char* name) {
           if (!trace.valid()) return;
           const TimeNs now = clock_->Now();
@@ -235,7 +238,11 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
         };
         // Queue-wait stage: broker append time -> consumer pickup.
         stage("mq.queue");
-        auto doc = state.spec.parser(rec.key, rec.value);
+        // The parser contract takes owned strings; this is the single point
+        // where the record's payload is copied out of the shared batch.
+        const std::string key(rec.key());
+        const std::string value(rec.value());
+        auto doc = state.spec.parser(key, value);
         if (!doc) continue;
         // Storage stage.
         (void)state.collection->Insert(*doc);
@@ -258,7 +265,7 @@ void CityPipeline::ConsumerLoop(TopicState& state, std::stop_token stop) {
         }
       }
       (void)log_.CommitOffset(group + "-" + topic, topic, partition,
-                              records->back().offset + 1);
+                              view->next_offset());
     }
     if (!progressed) {
       if (stop.stop_requested()) return;

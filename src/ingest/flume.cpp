@@ -155,51 +155,100 @@ std::uint64_t EventFingerprint(const Event& event) {
 
 SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic) {
   const mq::ProducerId producer = cluster.CreateProducer();
-  // Prepared-but-unacked requests, keyed by event fingerprint. A batch retry
-  // finds its earlier request here and re-submits it unchanged (same
-  // partition, same sequence), which is what lets the broker deduplicate.
-  // Entries are erased on ack; a terminally dropped batch leaves stale ones,
-  // so at a size bound the map evicts entries *not* in the batch being
-  // flushed — in-flight requests keep their pinned sequence (re-preparing
-  // them mid-retry would burn it), while stale ones only forfeit request
-  // reuse, never acked-record dedup (the broker's sequence tables hold
-  // that).
-  constexpr std::size_t kMaxPending = 1 << 16;
-  auto pending = std::make_shared<
-      std::unordered_map<std::uint64_t, mq::ProduceRequest>>();
+  // Prepared-but-unreleased batched requests, keyed by group fingerprint
+  // (the chained fingerprints of the group's events, mixed with the
+  // partition). A batch retry regroups deterministically, finds its earlier
+  // requests here, and re-submits them unchanged (same partition, same
+  // sequence range), which is what lets the broker deduplicate. Entries are
+  // released only when the whole sink batch acks; a terminally dropped
+  // batch leaves stale ones, so at a size bound the map evicts entries
+  // *not* in the batch being flushed — in-flight requests keep their pinned
+  // sequences (re-preparing them mid-retry would burn them), while stale
+  // ones only forfeit request reuse, never acked-record dedup (the broker's
+  // sequence tables hold that).
+  constexpr std::size_t kMaxPending = 1 << 12;
+  struct SinkState {
+    std::unordered_map<std::uint64_t, mq::ProduceBatchRequest> pending;
+    int partitions = 0;  ///< resolved from the broker on first flush
+  };
+  auto state = std::make_shared<SinkState>();
   return [&cluster, topic = std::move(topic), producer,
-          pending](const std::vector<Event>& batch) -> Status {
-    if (pending->size() >= kMaxPending) {
+          state](const std::vector<Event>& batch) -> Status {
+    if (batch.empty()) return Status::Ok();
+    if (state->partitions <= 0) {
+      const auto n = cluster.NumPartitions(topic);
+      if (!n.ok()) return n.status();  // unknown topic
+      state->partitions = *n;
+    }
+    const std::uint64_t n = std::uint64_t(state->partitions);
+    // Group by partition, deterministically and retry-stably: keyed events
+    // follow the broker's key hash (keeping key -> partition affinity with
+    // other producers), keyless ones their own fingerprint — NOT broker
+    // round-robin, which would re-partition every retry. Batch order is
+    // preserved within each group, so a retried batch rebuilds identical
+    // groups with identical fingerprints.
+    struct Group {
+      std::uint64_t fp = 14695981039346656037ULL;  // FNV-1a offset basis
+      std::vector<const Event*> events;
+    };
+    std::map<int, Group> groups;
+    for (const Event& event : batch) {
+      const std::uint64_t efp = EventFingerprint(event);
+      const int partition =
+          int((event.key.empty() ? efp : Fnv1a64(event.key)) % n);
+      Group& group = groups[partition];
+      group.fp = (group.fp * 1099511628211ULL) ^ efp;
+      group.events.push_back(&event);
+    }
+    const auto group_key = [](std::uint64_t fp, int partition) {
+      return (fp * 1099511628211ULL) ^ std::uint64_t(partition);
+    };
+    if (state->pending.size() >= kMaxPending) {
       std::unordered_set<std::uint64_t> in_flight;
-      in_flight.reserve(batch.size());
-      for (const Event& event : batch) in_flight.insert(EventFingerprint(event));
-      for (auto it = pending->begin(); it != pending->end();) {
+      in_flight.reserve(groups.size());
+      for (const auto& [partition, group] : groups) {
+        in_flight.insert(group_key(group.fp, partition));
+      }
+      for (auto it = state->pending.begin(); it != state->pending.end();) {
         it = in_flight.count(it->first) > 0 ? std::next(it)
-                                            : pending->erase(it);
+                                            : state->pending.erase(it);
       }
     }
     Status first_error = Status::Ok();
-    for (const Event& event : batch) {
-      const std::uint64_t fp = EventFingerprint(event);
-      auto it = pending->find(fp);
-      if (it == pending->end()) {
-        auto prepared = cluster.Prepare(producer, topic, event.key, event.body,
-                                        event.headers);
-        if (!prepared.ok()) return prepared.status();  // unknown topic etc.
-        it = pending->emplace(fp, *std::move(prepared)).first;
+    std::vector<std::uint64_t> acked;
+    acked.reserve(groups.size());
+    for (const auto& [partition, group] : groups) {
+      const std::uint64_t key = group_key(group.fp, partition);
+      auto it = state->pending.find(key);
+      if (it == state->pending.end()) {
+        mq::RecordBatchBuilder builder;
+        for (const Event* event : group.events) {
+          builder.Add(event->key, event->body, event->headers);
+        }
+        auto prepared =
+            cluster.PrepareBatch(producer, topic, partition, builder);
+        if (!prepared.ok()) return prepared.status();
+        it = state->pending.emplace(key, *std::move(prepared)).first;
       }
       const auto ack = cluster.Produce(it->second);
       if (ack.ok()) {
-        pending->erase(it);
+        acked.push_back(key);
         continue;
       }
-      // kFailedPrecondition marks a sequence the broker no longer tracks
-      // (fell below its idempotence window); the pinned request is dead, so
-      // drop it and let the next retry prepare afresh.
+      // kFailedPrecondition marks a sequence range the broker no longer
+      // tracks (fell below its idempotence window); the pinned request is
+      // dead, so drop it and let the next retry prepare afresh.
       if (ack.status().code() == StatusCode::kFailedPrecondition) {
-        pending->erase(it);
+        state->pending.erase(it);
       }
       if (first_error.ok()) first_error = ack.status();
+    }
+    if (first_error.ok()) {
+      // Every group acked: only now release the pinned requests. Releasing
+      // on per-group ack would let a retry of a *mixed* batch re-prepare
+      // its already-acked groups under fresh sequences — the broker would
+      // append them again as silent duplicates.
+      for (const std::uint64_t key : acked) state->pending.erase(key);
     }
     return first_error;
   };

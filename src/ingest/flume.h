@@ -118,14 +118,20 @@ class Agent {
   std::jthread sink_thread_;
 };
 
-/// A sink publishing every event to `topic` on the replicated broker via
-/// the idempotent produce path. Each event's request is prepared once
-/// (pinning partition and sequence) and memoized until its ack is observed,
-/// so agent-level batch retries re-submit the *same* request — the broker
-/// deduplicates attempts that already landed instead of appending them
-/// again. Event headers (including `x-trace`) travel as record headers.
-/// On a mixed batch the first failure's status is returned after every
-/// event was attempted, so a retried batch only re-submits what is missing.
+/// A sink publishing each batch of events to `topic` on the replicated
+/// broker via the idempotent *batched* produce path. The batch is grouped
+/// by partition deterministically (keyed events by the broker's key hash,
+/// keyless ones by their fingerprint — retry-stable, unlike broker
+/// round-robin), each group becomes one pinned `ProduceBatchRequest`
+/// (partition and sequence range assigned once), and agent-level batch
+/// retries re-submit the *same* requests — the broker deduplicates whole
+/// ranges that already landed instead of appending them again. Pinned
+/// requests are released only when the entire sink batch has been acked:
+/// releasing them per-group would let a retry of a mixed batch re-prepare
+/// already-acked groups under fresh sequences and silently duplicate them.
+/// Event headers (including `x-trace`) travel as record headers. On a mixed
+/// batch the first failure's status is returned after every group was
+/// attempted, so a retried batch only re-appends what is missing.
 SinkFn MakeClusterSink(mq::BrokerCluster& cluster, std::string topic);
 
 }  // namespace metro::ingest

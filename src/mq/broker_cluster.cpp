@@ -12,6 +12,75 @@ bool Contains(const std::vector<int>& v, int x) {
   return std::find(v.begin(), v.end(), x) != v.end();
 }
 
+// Cold error construction for the METRO_NOALLOC produce/fetch bodies: the
+// annotated functions call these helpers so string building stays off the
+// lexically-scanned hot path (and, at runtime, happens only when the
+// produce already failed).
+std::string Where(std::string_view topic, int partition) {
+  return std::string(topic) + "/" + std::to_string(partition);
+}
+
+Status UnknownTopicError(const std::string& topic) {
+  return NotFoundError("topic " + topic);
+}
+
+Status PartitionRangeError() {
+  return InvalidArgumentError("partition out of range");
+}
+
+Status EmptyBatchError() {
+  return InvalidArgumentError("batched produce requires a non-empty batch");
+}
+
+Status NoLeaderError(std::string_view topic, int partition) {
+  return UnavailableError("partition " + Where(topic, partition) +
+                          " has no leader");
+}
+
+Status QuorumError(std::string_view topic, int partition, int isr,
+                   int quorum) {
+  return UnavailableError("partition " + Where(topic, partition) + " ISR " +
+                          std::to_string(isr) + " below quorum " +
+                          std::to_string(quorum));
+}
+
+Status TooOldError(const ProduceBatchRequest& request) {
+  return FailedPreconditionError(
+      "producer " + std::to_string(request.producer_id) + " sequence " +
+      std::to_string(request.first_sequence) + " on " +
+      Where(request.topic, request.partition) +
+      " below the tracked idempotence window");
+}
+
+Status OverlapError(const ProduceBatchRequest& request, std::int64_t count) {
+  return FailedPreconditionError(
+      "producer " + std::to_string(request.producer_id) + " sequence range [" +
+      std::to_string(request.first_sequence) + ", " +
+      std::to_string(request.first_sequence + count) + ") on " +
+      Where(request.topic, request.partition) +
+      " partially appended — not a whole-batch retry");
+}
+
+Status ResubmitError(const ProduceBatchRequest& request) {
+  return FailedPreconditionError(
+      "non-idempotent batch already committed to " +
+      Where(request.topic, request.partition) +
+      " resubmitted; build a new batch (or use an idempotent producer)");
+}
+
+Status BacklogError(const ProduceBatchRequest& request, std::int64_t bound) {
+  return ResourceExhaustedError("partition " +
+                                Where(request.topic, request.partition) +
+                                " backlog at bound " + std::to_string(bound));
+}
+
+Status DivergenceError(const ProduceBatchRequest& request,
+                       const Status& cause) {
+  return InternalError("ISR divergence on " +
+                       Where(request.topic, request.partition) + ": " +
+                       cause.message());
+}
+
 }  // namespace
 
 std::string_view ClusterEventKindName(ClusterEvent::Kind kind) {
@@ -39,6 +108,18 @@ BrokerCluster::BrokerCluster(Clock& clock, BrokerClusterConfig config)
   config_.nodes = std::max(1, config_.nodes);
   config_.replication_factor =
       std::clamp(config_.replication_factor, 1, config_.nodes);
+  c_records_produced_ = &metrics_.GetCounter("mq.records_produced");
+  c_batches_produced_ = &metrics_.GetCounter("mq.batches_produced");
+  c_bytes_produced_ = &metrics_.GetCounter("mq.bytes_produced");
+  c_replica_bytes_shared_ = &metrics_.GetCounter("mq.replica_bytes_shared");
+  c_duplicates_suppressed_ = &metrics_.GetCounter("mq.duplicates_suppressed");
+  c_sequence_too_old_ = &metrics_.GetCounter("mq.sequence_too_old");
+  c_sequence_overlap_ = &metrics_.GetCounter("mq.sequence_overlap");
+  c_backpressure_ = &metrics_.GetCounter("mq.backpressure");
+  c_no_leader_ = &metrics_.GetCounter("mq.no_leader");
+  c_quorum_failures_ = &metrics_.GetCounter("mq.quorum_failures");
+  c_roundrobin_skips_ = &metrics_.GetCounter("mq.roundrobin_skips");
+  c_failovers_ = &metrics_.GetCounter("mq.failovers");
   MutexLock lock(mu_);
   nodes_.reserve(std::size_t(config_.nodes));
   for (int i = 0; i < config_.nodes; ++i) {
@@ -129,7 +210,7 @@ int BrokerCluster::PickPartitionLocked(TopicMeta& topic,
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t idx = topic.round_robin++ % n;
     if (topic.partitions[idx].leader >= 0) return int(idx);
-    metrics_.GetCounter("mq.roundrobin_skips").Increment();
+    c_roundrobin_skips_->Increment();
   }
   // Every partition is leaderless; let the produce path report kUnavailable.
   return int(topic.round_robin++ % n);
@@ -171,6 +252,39 @@ Result<ProduceAck> BrokerCluster::Produce(const ProduceRequest& request) {
   return ProduceLocked(request);
 }
 
+Result<ProduceBatchRequest> BrokerCluster::PrepareBatch(
+    ProducerId producer, const std::string& topic, int partition,
+    RecordBatchBuilder& builder) {
+  if (builder.empty()) return EmptyBatchError();
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return UnknownTopicError(topic);
+  if (partition < 0 ||
+      std::size_t(partition) >= it->second.partitions.size()) {
+    return PartitionRangeError();
+  }
+  if (producer < 0 || producer >= next_producer_) {
+    return InvalidArgumentError("unknown producer id " +
+                                std::to_string(producer));
+  }
+  ProduceBatchRequest request;
+  request.topic = topic;
+  request.partition = partition;
+  request.batch = builder.Build();
+  if (producer > 0) {
+    request.producer_id = producer;
+    std::int64_t& next = producer_seq_[producer][TopicPartition{topic, partition}];
+    request.first_sequence = next;
+    next += std::int64_t(request.batch->size());
+  }
+  return request;
+}
+
+Result<ProduceAck> BrokerCluster::Produce(const ProduceBatchRequest& request) {
+  MutexLock lock(mu_);
+  return ProduceBatchLocked(request);
+}
+
 Result<ProduceAck> BrokerCluster::Produce(const std::string& topic,
                                           std::string key, std::string value,
                                           Headers headers) {
@@ -201,99 +315,133 @@ Result<ProduceAck> BrokerCluster::ProduceTo(const std::string& topic,
 }
 
 Result<ProduceAck> BrokerCluster::ProduceLocked(const ProduceRequest& request) {
+  // Compatibility shim: wrap the record in a one-record batch and run the
+  // batched path — one dedup check, one append, one shared replication.
+  RecordBatchBuilder builder;
+  builder.Add(request.key, request.value, request.headers);
+  ProduceBatchRequest batched;
+  batched.topic = request.topic;
+  batched.partition = request.partition;
+  batched.producer_id = request.producer_id;
+  batched.first_sequence = request.sequence;
+  batched.batch = builder.Build();
+  return ProduceBatchLocked(batched);
+}
+
+METRO_NOALLOC Result<ProduceAck> BrokerCluster::ProduceBatchLocked(
+    const ProduceBatchRequest& request) {
   const auto it = topics_.find(request.topic);
-  if (it == topics_.end()) return NotFoundError("topic " + request.topic);
+  if (it == topics_.end()) return UnknownTopicError(request.topic);
   TopicMeta& t = it->second;
   if (request.partition < 0 ||
       std::size_t(request.partition) >= t.partitions.size()) {
-    return InvalidArgumentError("partition out of range");
+    return PartitionRangeError();
+  }
+  if (request.batch == nullptr || request.batch->empty()) {
+    return EmptyBatchError();
   }
   PartitionMeta& pm = t.partitions[std::size_t(request.partition)];
-  const std::string where =
-      request.topic + "/" + std::to_string(request.partition);
   if (pm.leader < 0) {
-    metrics_.GetCounter("mq.no_leader").Increment();
-    return UnavailableError("partition " + where + " has no leader");
+    c_no_leader_->Increment();
+    return NoLeaderError(request.topic, request.partition);
   }
   if (int(pm.isr.size()) < quorum()) {
-    metrics_.GetCounter("mq.quorum_failures").Increment();
-    return UnavailableError("partition " + where + " ISR " +
-                            std::to_string(pm.isr.size()) + " below quorum " +
-                            std::to_string(quorum()));
+    c_quorum_failures_->Increment();
+    return QuorumError(request.topic, request.partition, int(pm.isr.size()),
+                       quorum());
   }
-  const TopicPartition tp{request.topic, request.partition};
-  BrokerNode::Replica& lead = nodes_[std::size_t(pm.leader)]->replica(tp);
-  const SequenceTable::Probe probe =
-      lead.sequences.Check(request.producer_id, request.sequence);
+  const TopicPartitionView tp{request.topic, request.partition};
+  BrokerNode::Replica* lead = nodes_[std::size_t(pm.leader)]->FindMutable(tp);
+  METRO_CHECK(lead != nullptr, "leader %d hosts no replica of %s/%d",
+              pm.leader, request.topic.c_str(), request.partition);
+  const std::int64_t count = std::int64_t(request.batch->size());
+  const SequenceTable::Probe probe = lead->sequences.CheckRange(
+      request.producer_id, request.first_sequence, count);
   if (probe.verdict == SequenceTable::Verdict::kDuplicate) {
-    metrics_.GetCounter("mq.duplicates_suppressed").Increment();
+    c_duplicates_suppressed_->Increment();
     ProduceAck ack;
     ack.partition = request.partition;
     ack.offset = probe.duplicate_offset;
+    ack.count = count;
     ack.duplicate = true;
     return ack;
   }
   if (probe.verdict == SequenceTable::Verdict::kTooOld) {
-    // The sequence fell below the broker's tracked window, so it cannot be
+    // The range fell below the broker's tracked window, so it cannot be
     // told apart from an already-appended one. Rejecting is the only safe
     // answer: appending risks a duplicate, a duplicate-ack risks silent
     // loss. Terminal for this prepared request — the producer must
     // re-prepare.
-    metrics_.GetCounter("mq.sequence_too_old").Increment();
-    return FailedPreconditionError(
-        "producer " + std::to_string(request.producer_id) + " sequence " +
-        std::to_string(request.sequence) + " on " + where +
-        " below the tracked idempotence window");
+    c_sequence_too_old_->Increment();
+    return TooOldError(request);
+  }
+  if (probe.verdict == SequenceTable::Verdict::kOverlap) {
+    c_sequence_overlap_->Increment();
+    return OverlapError(request, count);
+  }
+  if (request.producer_id <= 0 && request.batch->committed()) {
+    // Without idempotence there is no dedup to absorb the resubmission, and
+    // re-sealing a batch that live logs already share would mutate it under
+    // them — refuse instead.
+    return ResubmitError(request);
   }
   if (config_.max_partition_backlog > 0 &&
-      lead.log.size() >= config_.max_partition_backlog) {
-    metrics_.GetCounter("mq.backpressure").Increment();
-    return ResourceExhaustedError(
-        "partition " + where + " backlog at bound " +
-        std::to_string(config_.max_partition_backlog));
+      lead->log.size() + count > config_.max_partition_backlog) {
+    c_backpressure_->Increment();
+    return BacklogError(request, config_.max_partition_backlog);
   }
-  Record rec;
-  rec.timestamp = clock_->Now();
-  rec.key = request.key;
-  rec.value = request.value;
-  rec.headers = request.headers;
-  rec.producer_id = request.producer_id;
-  rec.sequence = request.sequence;
-  const std::size_t bytes = rec.key.size() + rec.value.size();
-  rec.offset = lead.log.Append(rec);
+  // Assign the batch its identity — offsets, broker timestamp, idempotence
+  // range — and append to the leader. A rolled-back attempt re-seals on
+  // retry; a committed one never reaches here (dedup or the guard above).
+  request.batch->Seal(lead->log.end_offset(), clock_->Now(),
+                      request.producer_id, request.first_sequence);
+  const std::int64_t base = lead->log.AppendBatch(request.batch);
   // acks=quorum via synchronous replication: every ISR member appends before
-  // the ack; quorum was pre-checked above, so the acked record is on at
-  // least `quorum()` replicas when the caller sees it. A replication failure
-  // (defensive — ISR logs cannot diverge under synchronous appends) rolls
-  // the append back everywhere so an errored produce leaves no record: the
-  // producer may then safely re-prepare without duplicating.
-  std::vector<int> appended;
-  for (const int node : pm.isr) {
+  // the ack; quorum was pre-checked above, so the acked batch is on at
+  // least `quorum()` replicas when the caller sees it. Replication shares
+  // the leader's immutable batch — a refcount bump per member, not a
+  // payload copy. A replication failure (defensive — ISR logs cannot
+  // diverge under synchronous appends) rolls the append back everywhere so
+  // an errored produce leaves no record: the producer may then safely
+  // retry without duplicating.
+  for (std::size_t i = 0; i < pm.isr.size(); ++i) {
+    const int node = pm.isr[i];
     if (node == pm.leader) continue;
-    BrokerNode::Replica& rep = nodes_[std::size_t(node)]->replica(tp);
-    const Status replicated = rep.log.AppendReplica(rec);
+    BrokerNode::Replica* rep = nodes_[std::size_t(node)]->FindMutable(tp);
+    METRO_CHECK(rep != nullptr, "ISR node %d hosts no replica of %s/%d", node,
+                request.topic.c_str(), request.partition);
+    const Status replicated = rep->log.AppendReplicaBatch(request.batch);
     if (!replicated.ok()) {
-      lead.log.TruncateTo(rec.offset);
-      for (const int done : appended) {
-        nodes_[std::size_t(done)]->replica(tp).log.TruncateTo(rec.offset);
+      lead->log.TruncateTo(base);
+      for (std::size_t j = 0; j < i; ++j) {
+        const int prior = pm.isr[j];
+        if (prior == pm.leader) continue;
+        nodes_[std::size_t(prior)]->FindMutable(tp)->log.TruncateTo(base);
       }
-      return InternalError("ISR divergence on " + where + ": " +
-                           replicated.message());
+      return DivergenceError(request, replicated);
     }
-    appended.push_back(node);
   }
-  // The record is durable on the full ISR; only now fold it into the dedup
-  // tables (a rolled-back attempt must stay fresh for its retry).
-  lead.sequences.Observe(rec);
-  for (const int node : appended) {
-    nodes_[std::size_t(node)]->replica(tp).sequences.Observe(rec);
+  // The batch is durable on the full ISR; only now fold its sequence range
+  // into the dedup tables (a rolled-back attempt must stay fresh for its
+  // retry) and mark it committed.
+  for (std::size_t i = 0; i < pm.isr.size(); ++i) {
+    nodes_[std::size_t(pm.isr[i])]->FindMutable(tp)->sequences.ObserveRange(
+        request.producer_id, request.first_sequence, count, base);
   }
-  pm.high_water = lead.log.end_offset();
-  metrics_.GetCounter("mq.records_produced").Increment();
-  metrics_.GetCounter("mq.bytes_produced").Increment(std::int64_t(bytes));
+  request.batch->MarkCommitted();
+  pm.high_water = lead->log.end_offset();
+  c_records_produced_->Increment(count);
+  c_batches_produced_->Increment();
+  c_bytes_produced_->Increment(std::int64_t(request.batch->key_value_bytes()));
+  if (pm.isr.size() > 1) {
+    c_replica_bytes_shared_->Increment(
+        std::int64_t(request.batch->payload_bytes()) *
+        std::int64_t(pm.isr.size() - 1));
+  }
   ProduceAck ack;
   ack.partition = request.partition;
-  ack.offset = rec.offset;
+  ack.offset = base;
+  ack.count = count;
   return ack;
 }
 
@@ -306,13 +454,29 @@ Result<std::vector<Record>> BrokerCluster::Fetch(const std::string& topic,
   if (!meta.ok()) return meta.status();
   const PartitionMeta& pm = **meta;
   if (pm.leader < 0) {
-    return UnavailableError("partition " + topic + "/" +
-                            std::to_string(partition) + " has no leader");
+    return NoLeaderError(topic, partition);
   }
   const BrokerNode::Replica* lead =
-      nodes_[std::size_t(pm.leader)]->Find(TopicPartition{topic, partition});
+      nodes_[std::size_t(pm.leader)]->Find(TopicPartitionView{topic, partition});
   if (lead == nullptr) return InternalError("leader replica missing");
   return lead->log.Fetch(offset, max_records, pm.high_water);
+}
+
+METRO_NOALLOC Result<BatchView> BrokerCluster::FetchBatch(
+    const std::string& topic, int partition, std::int64_t offset,
+    std::size_t max_records) const {
+  MutexLock lock(mu_);
+  auto meta = MetaLocked(topic, partition);
+  if (!meta.ok()) return meta.status();
+  const PartitionMeta& pm = **meta;
+  if (pm.leader < 0) {
+    return NoLeaderError(topic, partition);
+  }
+  const BrokerNode::Replica* lead =
+      nodes_[std::size_t(pm.leader)]->Find(TopicPartitionView{topic, partition});
+  METRO_CHECK(lead != nullptr, "leader %d hosts no replica of %s/%d",
+              pm.leader, topic.c_str(), partition);
+  return lead->log.FetchBatch(offset, max_records, pm.high_water);
 }
 
 Result<PartitionInfo> BrokerCluster::GetPartitionInfo(const std::string& topic,
@@ -322,11 +486,10 @@ Result<PartitionInfo> BrokerCluster::GetPartitionInfo(const std::string& topic,
   if (!meta.ok()) return meta.status();
   const PartitionMeta& pm = **meta;
   if (pm.leader < 0) {
-    return UnavailableError("partition " + topic + "/" +
-                            std::to_string(partition) + " has no leader");
+    return NoLeaderError(topic, partition);
   }
   const BrokerNode::Replica* lead =
-      nodes_[std::size_t(pm.leader)]->Find(TopicPartition{topic, partition});
+      nodes_[std::size_t(pm.leader)]->Find(TopicPartitionView{topic, partition});
   if (lead == nullptr) return InternalError("leader replica missing");
   PartitionInfo info;
   info.partition = partition;
@@ -348,7 +511,7 @@ Result<PartitionView> BrokerCluster::View(const std::string& topic,
   view.high_water_mark = pm.high_water;
   const int sample = pm.leader >= 0 ? pm.leader : pm.replicas.front();
   const BrokerNode::Replica* rep =
-      nodes_[std::size_t(sample)]->Find(TopicPartition{topic, partition});
+      nodes_[std::size_t(sample)]->Find(TopicPartitionView{topic, partition});
   if (rep != nullptr) {
     view.begin_offset = rep->log.begin_offset();
     view.end_offset = rep->log.end_offset();
@@ -442,7 +605,7 @@ Status BrokerCluster::KillNode(int node) {
         // the high-water mark intact.
         const int successor = pm.isr.front();
         pm.leader = successor;
-        metrics_.GetCounter("mq.failovers").Increment();
+        c_failovers_->Increment();
         ClusterEvent event;
         event.kind = ClusterEvent::Kind::kFailover;
         event.topic = name;
@@ -475,12 +638,34 @@ void BrokerCluster::ResyncReplicaLocked(const TopicPartition& tp,
     rep.log.Reset(lead.log.begin_offset());
     rep.sequences.Clear();
   }
-  for (std::int64_t off = rep.log.end_offset(); off < lead.log.end_offset();
-       ++off) {
-    const Record* rec = lead.log.At(off);
-    if (rec == nullptr) break;  // unreachable: [end, lead end) is retained
-    (void)rep.log.AppendReplica(*rec);
-    rep.sequences.Observe(*rec);
+  std::int64_t off = rep.log.end_offset();
+  while (off < lead.log.end_offset()) {
+    // Zero-copy resync: share the leader's retained segment whenever the
+    // follower's cursor sits on a whole-batch boundary — the common case,
+    // since both sides append batch-at-a-time.
+    if (std::shared_ptr<const RecordBatch> seg = lead.log.BatchAt(off)) {
+      const std::int64_t next = seg->end_offset();
+      (void)rep.log.AppendReplicaBatch(seg);
+      rep.sequences.ObserveRange(seg->producer_id(), seg->first_sequence(),
+                                 std::int64_t(seg->size()), off);
+      off = next;
+      continue;
+    }
+    // Cold fallback (the cursor landed mid-batch after a defensive
+    // truncation): copy record-by-record until the next batch boundary.
+    const std::optional<RecordView> rv = lead.log.ViewAt(off);
+    if (!rv) break;  // unreachable: [end, lead end) is retained
+    Record rec;
+    rec.offset = rv->offset();
+    rec.timestamp = rv->timestamp();
+    rec.key = std::string(rv->key());
+    rec.value = std::string(rv->value());
+    rec.headers = rv->CopyHeaders();
+    rec.producer_id = rv->producer_id();
+    rec.sequence = rv->sequence();
+    rep.sequences.Observe(rec);
+    (void)rep.log.AppendReplica(std::move(rec));
+    ++off;
   }
   // Rejoin the ISR, keeping it in replica (preferred-leader) order.
   std::vector<int> isr;

@@ -63,6 +63,31 @@ struct TopicPartition {
   }
 };
 
+/// A borrowed (topic, partition) key, for allocation-free replica lookups
+/// on the hot produce/fetch path.
+struct TopicPartitionView {
+  std::string_view topic;
+  int partition = 0;
+};
+
+/// Transparent ordering over owned and borrowed keys.
+struct TopicPartitionLess {
+  using is_transparent = void;
+  static bool Less(std::string_view at, int ap, std::string_view bt, int bp) {
+    if (at != bt) return at < bt;
+    return ap < bp;
+  }
+  bool operator()(const TopicPartition& a, const TopicPartition& b) const {
+    return Less(a.topic, a.partition, b.topic, b.partition);
+  }
+  bool operator()(const TopicPartition& a, const TopicPartitionView& b) const {
+    return Less(a.topic, a.partition, b.topic, b.partition);
+  }
+  bool operator()(const TopicPartitionView& a, const TopicPartition& b) const {
+    return Less(a.topic, a.partition, b.topic, b.partition);
+  }
+};
+
 /// One broker process. All methods are called by the owning `BrokerCluster`
 /// under the cluster lock; the node carries no synchronization of its own.
 /// `Kill` models a process crash: the node stops serving, but its replicas
@@ -85,7 +110,13 @@ class BrokerNode {
 
   /// The replica for `tp`, created on first use.
   Replica& replica(const TopicPartition& tp) { return replicas_[tp]; }
-  const Replica* Find(const TopicPartition& tp) const {
+  const Replica* Find(const TopicPartitionView& tp) const {
+    const auto it = replicas_.find(tp);
+    return it == replicas_.end() ? nullptr : &it->second;
+  }
+  /// Allocation-free lookup of a replica materialized at topic creation;
+  /// nullptr when this node does not host `tp`.
+  Replica* FindMutable(const TopicPartitionView& tp) {
     const auto it = replicas_.find(tp);
     return it == replicas_.end() ? nullptr : &it->second;
   }
@@ -93,7 +124,7 @@ class BrokerNode {
  private:
   int id_;
   bool up_ = true;
-  std::map<TopicPartition, Replica> replicas_;
+  std::map<TopicPartition, Replica, TopicPartitionLess> replicas_;
 };
 
 /// Cluster tuning.
@@ -138,6 +169,20 @@ struct ProduceRequest {
   Headers headers;
   ProducerId producer_id = 0;
   std::int64_t sequence = -1;
+};
+
+/// A pinned, retry-safe batched produce (see `PrepareBatch`). The batch's
+/// payload arena is built once by the caller; the broker appends it to the
+/// leader and shares it into every ISR replica by reference. Resubmitting
+/// the same request after a transient failure (or across a leader failover)
+/// cannot duplicate: the sequence range `[first_sequence,
+/// first_sequence + batch->size())` is deduplicated as a unit.
+struct ProduceBatchRequest {
+  std::string topic;
+  int partition = 0;
+  ProducerId producer_id = 0;
+  std::int64_t first_sequence = -1;
+  std::shared_ptr<RecordBatch> batch;
 };
 
 /// Leader/ISR snapshot for one partition (tests, health, operators).
@@ -205,7 +250,30 @@ class BrokerCluster {
   /// Submits a prepared request. acks=quorum: fails with kUnavailable when
   /// the partition has no leader or the ISR is below quorum (retry after
   /// failover), with kResourceExhausted when the backlog bound is hit.
+  /// Implemented as a one-record batch through the batched path below.
   Result<ProduceAck> Produce(const ProduceRequest& request)
+      METRO_EXCLUDES(mu_);
+
+  /// Builds a pinned batched request to an explicit partition from the
+  /// records accumulated in `builder` (at least one). For a registered
+  /// producer (id > 0) the batch is assigned the next `builder.size()`
+  /// per-partition sequence numbers; producer 0 produces non-idempotently.
+  /// The request may then be submitted through `Produce(request)` — for an
+  /// idempotent producer any number of times, with exactly one append
+  /// resulting.
+  Result<ProduceBatchRequest> PrepareBatch(ProducerId producer,
+                                           const std::string& topic,
+                                           int partition,
+                                           RecordBatchBuilder& builder)
+      METRO_EXCLUDES(mu_);
+
+  /// Submits a pinned batched request: quorum-acked, idempotent over the
+  /// whole sequence range, appended to the leader and shared (not copied)
+  /// into every ISR replica. Error space matches the single-record path,
+  /// plus kFailedPrecondition for a partially-appended range
+  /// (`mq.sequence_overlap`) and for resubmitting an already-committed
+  /// non-idempotent batch. Steady state is allocation-free end to end.
+  Result<ProduceAck> Produce(const ProduceBatchRequest& request)
       METRO_EXCLUDES(mu_);
 
   // --- fetch / metadata ---
@@ -217,6 +285,17 @@ class BrokerCluster {
   Result<std::vector<Record>> Fetch(const std::string& topic, int partition,
                                     std::int64_t offset,
                                     std::size_t max_records) const
+      METRO_EXCLUDES(mu_);
+
+  /// Zero-copy fetch: a shared view of up to `max_records` from the leader,
+  /// never past the high-water mark and never across a batch boundary (the
+  /// caller advances to `view.next_offset()` and fetches again; an empty
+  /// view means "parked at the high-water mark"). The view keeps the
+  /// underlying immutable batch alive, so it remains valid after the call
+  /// returns — even across retention or failover.
+  Result<BatchView> FetchBatch(const std::string& topic, int partition,
+                               std::int64_t offset,
+                               std::size_t max_records) const
       METRO_EXCLUDES(mu_);
 
   Result<PartitionInfo> GetPartitionInfo(const std::string& topic,
@@ -292,7 +371,13 @@ class BrokerCluster {
     std::size_t round_robin = 0;
   };
 
+  /// Single-record path: wraps the request in a one-record batch and runs
+  /// it through `ProduceBatchLocked`.
   Result<ProduceAck> ProduceLocked(const ProduceRequest& request)
+      METRO_REQUIRES(mu_);
+  /// The batched produce path: dedup (whole range), backlog bound, seal,
+  /// leader append, shared replication, sequence-range observation.
+  Result<ProduceAck> ProduceBatchLocked(const ProduceBatchRequest& request)
       METRO_REQUIRES(mu_);
   /// Picks the partition for a produce (key hash / leader-skipping
   /// round-robin); never fails for a known topic.
@@ -321,6 +406,22 @@ class BrokerCluster {
   EventFn hook_ METRO_GUARDED_BY(mu_);
   GroupCoordinator groups_;
   MetricsRegistry metrics_;
+  // mq.* counters resolved once at construction (GetCounter takes the
+  // registry lock and a map lookup; references stay valid for the
+  // registry's lifetime) so the METRO_NOALLOC produce path ticks them with
+  // a plain atomic add.
+  Counter* c_records_produced_;
+  Counter* c_batches_produced_;
+  Counter* c_bytes_produced_;
+  Counter* c_replica_bytes_shared_;
+  Counter* c_duplicates_suppressed_;
+  Counter* c_sequence_too_old_;
+  Counter* c_sequence_overlap_;
+  Counter* c_backpressure_;
+  Counter* c_no_leader_;
+  Counter* c_quorum_failures_;
+  Counter* c_roundrobin_skips_;
+  Counter* c_failovers_;
 };
 
 }  // namespace metro::mq

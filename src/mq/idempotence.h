@@ -32,6 +32,7 @@
 #include <unordered_map>
 
 #include "mq/partition_log.h"
+#include "util/analysis.h"
 
 namespace metro::mq {
 
@@ -52,18 +53,40 @@ class SequenceTable {
     kFresh,      ///< never appended; append it
     kDuplicate,  ///< already appended; suppress
     kTooOld,     ///< below the tracked window; reject, status unknown
+    kOverlap,    ///< batch range partially appended; reject (range checks
+                 ///< only — a pinned batch either landed whole or not at
+                 ///< all, so overlap means a mis-built retry)
   };
   struct Probe {
     Verdict verdict = Verdict::kFresh;
-    std::int64_t duplicate_offset = -1;  ///< original offset when remembered
+    /// For kDuplicate: the original base offset, when the range ends at the
+    /// producer's highest appended sequence (the pinned-retry case); -1 for
+    /// older duplicates past the remembered offset.
+    std::int64_t duplicate_offset = -1;
   };
 
   /// Classifies a (producer, sequence) pair against the replica's history.
+  /// Equivalent to `CheckRange(producer, sequence, 1)`.
   Probe Check(ProducerId producer, std::int64_t sequence) const;
+
+  /// Classifies a batch's contiguous sequence range
+  /// `[first, first + count)`. kDuplicate only when EVERY sequence in the
+  /// range was appended (a whole-batch retry); kTooOld when any part of the
+  /// range fell below the tracked window; kOverlap when some but not all
+  /// sequences were appended.
+  Probe CheckRange(ProducerId producer, std::int64_t first,
+                   std::int64_t count) const;
 
   /// Folds an appended record into the table (leader append and follower
   /// replication both call this, keeping tables identical across the ISR).
   void Observe(const Record& record);
+
+  /// Folds an appended batch — sequences `[first, first + count)` landed at
+  /// offsets `[base_offset, base_offset + count)`. The in-order fast path
+  /// (the next contiguous range, no gaps outstanding) is allocation-free;
+  /// gap bookkeeping and first contact from a producer take the cold path.
+  void ObserveRange(ProducerId producer, std::int64_t first,
+                    std::int64_t count, std::int64_t base_offset);
 
   void Clear() { producers_.clear(); }
 
@@ -78,6 +101,12 @@ class SequenceTable {
     std::int64_t last_sequence = -1;  ///< highest appended
     std::int64_t last_offset = -1;
   };
+
+  /// Cold half of ObserveRange: out-of-order ranges, outstanding gaps, and
+  /// a producer's first contact (creates the map entry).
+  void ObserveRangeSlow(ProducerId producer, std::int64_t first,
+                        std::int64_t count, std::int64_t base_offset);
+
   std::unordered_map<ProducerId, ProducerState> producers_;
 };
 

@@ -94,6 +94,59 @@ Result<ProduceAck> MessageLog::ProduceToLocked(const std::string& topic,
   return ack;
 }
 
+Result<ProduceAck> MessageLog::ProduceBatchTo(const std::string& topic,
+                                              int partition,
+                                              RecordBatchBuilder& builder) {
+  if (builder.empty()) {
+    return InvalidArgumentError("batched produce requires a non-empty batch");
+  }
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  Partition& p = t.partitions[std::size_t(partition)];
+  if (!p.up) {
+    metrics_.GetCounter("mq.produce_unavailable").Increment();
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " unavailable");
+  }
+  std::shared_ptr<RecordBatch> batch = builder.Build();
+  const std::int64_t count = std::int64_t(batch->size());
+  const std::size_t bytes = batch->key_value_bytes();
+  batch->Seal(p.log.end_offset(), clock_->Now(), /*producer_id=*/0,
+              /*first_sequence=*/-1);
+  const std::int64_t base = p.log.AppendBatch(std::move(batch));
+  metrics_.GetCounter("mq.records_produced").Increment(count);
+  metrics_.GetCounter("mq.batches_produced").Increment();
+  metrics_.GetCounter("mq.bytes_produced").Increment(std::int64_t(bytes));
+  ProduceAck ack;
+  ack.partition = partition;
+  ack.offset = base;
+  ack.count = count;
+  return ack;
+}
+
+Result<BatchView> MessageLog::FetchBatch(const std::string& topic,
+                                         int partition, std::int64_t offset,
+                                         std::size_t max_records) const {
+  MutexLock lock(mu_);
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return NotFoundError("topic " + topic);
+  const Topic& t = it->second;
+  if (partition < 0 || std::size_t(partition) >= t.partitions.size()) {
+    return InvalidArgumentError("partition out of range");
+  }
+  const Partition& p = t.partitions[std::size_t(partition)];
+  if (!p.up) {
+    return UnavailableError("partition " + topic + "/" +
+                            std::to_string(partition) + " unavailable");
+  }
+  return p.log.FetchBatch(offset, max_records, p.log.end_offset());
+}
+
 Result<std::vector<Record>> MessageLog::Fetch(const std::string& topic,
                                               int partition,
                                               std::int64_t offset,

@@ -52,6 +52,14 @@ class MessageLog {
                                std::string key, std::string value,
                                Headers headers = {}) METRO_EXCLUDES(mu_);
 
+  /// Appends the records accumulated in `builder` (at least one) to an
+  /// explicit partition as one immutable batch — the single-broker analog
+  /// of `BrokerCluster`'s batched produce: one lock acquisition and one
+  /// arena-backed append for the whole batch.
+  Result<ProduceAck> ProduceBatchTo(const std::string& topic, int partition,
+                                    RecordBatchBuilder& builder)
+      METRO_EXCLUDES(mu_);
+
   /// Reads up to `max_records` records starting at `offset`.
   /// An offset at the end returns an empty vector (not an error); an offset
   /// before the retention window fails with kOutOfRange.
@@ -65,6 +73,15 @@ class MessageLog {
   Result<std::vector<Record>> Fetch(const std::string& topic, int partition,
                                     std::int64_t offset,
                                     std::size_t max_records) const
+      METRO_EXCLUDES(mu_);
+
+  /// Zero-copy fetch: a shared view of up to `max_records` from one batch
+  /// (the caller advances to `view.next_offset()` and fetches again; an
+  /// empty view means "caught up"). Same boundary contract as `Fetch`; the
+  /// view stays valid after the call — it keeps its batch alive.
+  Result<BatchView> FetchBatch(const std::string& topic, int partition,
+                               std::int64_t offset,
+                               std::size_t max_records) const
       METRO_EXCLUDES(mu_);
 
   Result<PartitionInfo> GetPartitionInfo(const std::string& topic,

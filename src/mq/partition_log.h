@@ -8,23 +8,45 @@
 // offsets are assigned monotonically, the front is trimmed by retention,
 // and the tail can be truncated during follower resync. It carries no
 // synchronization: the owning broker guards it with its own lock.
+//
+// Storage is a ring of *segments*, each one `shared_ptr<const RecordBatch>`
+// (see record_batch.h). A replicated batch is therefore the SAME object on
+// every ISR member — replication and resync bump a refcount instead of
+// copying payload bytes — and fetches hand out `BatchView`s over it rather
+// than materialized `Record` copies. The single-record `Append`/`Fetch`
+// API remains as a compatibility shim over one-record batches.
+//
+// Fetch boundary contract (shared by `Fetch` and `FetchBatch`, and relied
+// on by both the consumer path and revive-time replica resync in
+// broker_cluster.cpp):
+//
+//   * `offset < begin_offset()`          -> kOutOfRange ("below retention
+//     floor"; the consumer's cursor points at trimmed history and must be
+//     reset — see `MessageLog::Fetch` for the reset policy).
+//   * `offset > end_offset()`            -> kOutOfRange ("beyond end"; the
+//     cursor points past anything the log has ever assigned).
+//   * otherwise                          -> OK with the records in
+//     `[offset, min(limit, end_offset()))`, POSSIBLY EMPTY. In particular
+//     `offset == limit` (a consumer parked at the high-water mark) and
+//     `offset == end_offset()` with `limit < end_offset()` (a cursor at the
+//     unreplicated tail) both return empty-OK: the position is valid, there
+//     is simply nothing readable yet.
 
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "mq/record_batch.h"
+#include "util/analysis.h"
 #include "util/clock.h"
 #include "util/status.h"
 
 namespace metro::mq {
 
-/// Opaque per-record metadata carried alongside the payload (the Kafka
-/// record-headers role). The broker stores and returns them untouched; the
-/// tracing layer rides on the `x-trace` key (see src/obs/trace.h).
-using Headers = std::map<std::string, std::string>;
-
-/// One record in a partition.
+/// One record in a partition, materialized (the compatibility / convenience
+/// representation; the zero-copy path reads `RecordView`s instead).
 struct Record {
   std::int64_t offset = 0;
   TimeNs timestamp = 0;
@@ -46,13 +68,16 @@ struct PartitionInfo {
   std::int64_t end_offset = 0;    ///< next offset to be assigned
 };
 
-/// A successful produce: where the record landed. `duplicate` marks an
-/// idempotent retry the broker suppressed — the record was already appended
-/// by an earlier attempt and `offset` is the original offset when the broker
-/// still remembers it (-1 for older duplicates past the remembered window).
+/// A successful produce: where the record(s) landed. `duplicate` marks an
+/// idempotent retry the broker suppressed — the records were already
+/// appended by an earlier attempt and `offset` is the original base offset
+/// when the broker still remembers it (-1 for older duplicates past the
+/// remembered window). `count` is the number of records acked (1 for the
+/// single-record API).
 struct ProduceAck {
   int partition = 0;
   std::int64_t offset = 0;
+  std::int64_t count = 1;
   bool duplicate = false;
 };
 
@@ -61,12 +86,47 @@ struct ProduceAck {
 class PartitionLog {
  public:
   std::int64_t begin_offset() const { return begin_offset_; }
-  std::int64_t end_offset() const {
-    return begin_offset_ + std::int64_t(records_.size());
-  }
+  std::int64_t end_offset() const { return end_offset_; }
   /// Retained records (end - begin); the backlog the backpressure bound
   /// applies to.
-  std::int64_t size() const { return std::int64_t(records_.size()); }
+  std::int64_t size() const { return end_offset_ - begin_offset_; }
+
+  // --- batched zero-copy path ---
+
+  /// Appends a sealed batch as leader. The broker must have sealed it with
+  /// `base_offset == end_offset()` (it owns offset assignment under its
+  /// lock); violating that is a programming error (METRO_CHECK). Returns
+  /// the batch's base offset. Steady state allocates nothing — the segment
+  /// ring grows only on the cold wrap path.
+  std::int64_t AppendBatch(std::shared_ptr<const RecordBatch> batch);
+
+  /// Appends a sealed batch as follower: `batch->base_offset()` must equal
+  /// `end_offset()` (the replication stream is contiguous);
+  /// kFailedPrecondition otherwise. Shares the leader's batch — no payload
+  /// copy.
+  Status AppendReplicaBatch(std::shared_ptr<const RecordBatch> batch);
+
+  /// Reads a view of at most `max_records` from `offset`, never past
+  /// `limit` (exclusive — the high-water mark for replicated reads) and
+  /// never across a segment boundary: one call returns records from one
+  /// batch, and the caller advances to `view.next_offset()` and fetches
+  /// again. Boundary contract as documented at the top of this header; an
+  /// empty view carries `next_offset() == offset`.
+  Result<BatchView> FetchBatch(std::int64_t offset, std::size_t max_records,
+                               std::int64_t limit) const;
+
+  /// The whole retained batch whose base offset is exactly `offset`, for
+  /// zero-copy replica resync; nullptr when `offset` is not a retained
+  /// segment boundary or the segment was tail-truncated (resync falls back
+  /// to record-level copy).
+  std::shared_ptr<const RecordBatch> BatchAt(std::int64_t offset) const;
+
+  /// The record at `offset` viewed in place; nullopt outside the retained
+  /// window. The view borrows from the log — it is invalidated by
+  /// retention/truncation, so use it before releasing the broker lock.
+  std::optional<RecordView> ViewAt(std::int64_t offset) const;
+
+  // --- single-record compatibility path (one-record batches) ---
 
   /// Appends as leader: assigns the next offset and returns it.
   std::int64_t Append(Record record);
@@ -75,19 +135,19 @@ class PartitionLog {
   /// replication stream is contiguous); kFailedPrecondition otherwise.
   Status AppendReplica(Record record);
 
-  /// The record at `offset`, or nullptr outside the retained window.
-  const Record* At(std::int64_t offset) const;
-
-  /// Reads up to `max_records` from `offset`, never past `limit` (exclusive
-  /// — the high-water mark for replicated reads). An offset at the readable
-  /// end returns an empty vector; below the retention floor or past the end
-  /// it fails with kOutOfRange.
+  /// Materializing fetch: same boundary contract as `FetchBatch`, but
+  /// copies up to `max_records` out as owning `Record`s (and, unlike
+  /// `FetchBatch`, crosses segment boundaries).
   Result<std::vector<Record>> Fetch(std::int64_t offset,
                                     std::size_t max_records,
                                     std::int64_t limit) const;
 
-  /// Drops records with `timestamp < cutoff` from the front, advancing
-  /// `begin_offset`; returns the number dropped.
+  // --- retention / truncation ---
+
+  /// Drops whole segments with `timestamp < cutoff` from the front,
+  /// advancing `begin_offset`; returns the number of records dropped.
+  /// (Every record in a batch shares the batch's append timestamp, so
+  /// batch-granular trimming equals record-granular trimming.)
   std::int64_t EnforceRetention(TimeNs cutoff);
 
   /// Truncates the tail so `end_offset() == end` (follower resync discards
@@ -100,8 +160,34 @@ class PartitionLog {
   void Reset(std::int64_t begin);
 
  private:
+  /// One retained slice of one immutable batch. `count` can be smaller than
+  /// the batch's size after a tail truncation; `first_offset` always equals
+  /// `batch->base_offset()` (front trimming is whole-segment).
+  struct Segment {
+    std::shared_ptr<const RecordBatch> batch;
+    std::int64_t first_offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  Segment& Slot(std::size_t logical) {
+    return ring_[(head_ + logical) % ring_.size()];
+  }
+  const Segment& Slot(std::size_t logical) const {
+    return ring_[(head_ + logical) % ring_.size()];
+  }
+  /// Binary search for the segment containing `offset`; nullptr outside the
+  /// retained window. Allocation-free.
+  const Segment* SegmentFor(std::int64_t offset) const;
+  /// Cold path: re-linearizes the ring into a larger backing vector.
+  void GrowRing();
+  /// Places a validated batch at the tail (shared by leader/replica paths).
+  void PlaceBatch(std::shared_ptr<const RecordBatch> batch);
+
+  std::vector<Segment> ring_;  ///< circular; segments live at head_..+count
+  std::size_t head_ = 0;
+  std::size_t seg_count_ = 0;
   std::int64_t begin_offset_ = 0;
-  std::vector<Record> records_;
+  std::int64_t end_offset_ = 0;
 };
 
 }  // namespace metro::mq

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 
 #include "ingest/bulkload.h"
 #include "ingest/flume.h"
+#include "util/bytes.h"
 #include "util/clock.h"
 #include "util/sync.h"
 
@@ -204,6 +206,62 @@ TEST(ClusterSinkTest, IdenticalEventsKeepDistinctPendingRequests) {
   ASSERT_EQ(records->size(), 2u);
   EXPECT_EQ((*records)[0].sequence, 0);
   EXPECT_EQ((*records)[1].sequence, 1);
+}
+
+TEST(ClusterSinkTest, MixedBatchRetryDoesNotDuplicateAckedGroups) {
+  // A sink batch that spans two partitions, one of which is down: the
+  // healthy partition's group acks, the other fails, and the agent retries
+  // the WHOLE batch. The sink must re-submit the already-acked group under
+  // its original pinned sequence range (deduplicated by the broker), never
+  // re-prepare it under fresh sequences — that would append it twice.
+  SimClock clock;
+  mq::BrokerClusterConfig config;
+  config.nodes = 5;
+  config.replication_factor = 1;  // one replica: a kill = partition down
+  mq::BrokerCluster cluster(clock, config);
+  ASSERT_TRUE(cluster.CreateTopic("readings", 2).ok());
+  const int leader0 = *cluster.PreferredLeader("readings", 0);
+  const int leader1 = *cluster.PreferredLeader("readings", 1);
+  ASSERT_NE(leader0, leader1);
+
+  // Keys steered to each partition via the broker's key hash.
+  auto key_for = [](int partition) {
+    for (int j = 0;; ++j) {
+      std::string key = "sensor-" + std::to_string(j);
+      if (int(Fnv1a64(key) % 2) == partition) return key;
+    }
+  };
+  std::vector<Event> batch;
+  for (int i = 0; i < 4; ++i) {
+    Event e{key_for(i % 2), "reading-" + std::to_string(i)};
+    e.enqueued_at = clock.Now();
+    e.ingest_seq = i + 1;
+    batch.push_back(std::move(e));
+  }
+  SinkFn sink = MakeClusterSink(cluster, "readings");
+
+  ASSERT_TRUE(cluster.KillNode(leader1).ok());
+  // Two failed flushes of the same mixed batch: partition 0's group acks
+  // each time (the second as a suppressed duplicate), partition 1's fails.
+  EXPECT_EQ(sink(batch).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sink(batch).code(), StatusCode::kUnavailable);
+  EXPECT_GE(cluster.metrics().GetCounter("mq.duplicates_suppressed").value(),
+            1);
+
+  ASSERT_TRUE(cluster.ReviveNode(leader1).ok());
+  ASSERT_TRUE(sink(batch).ok());
+
+  // Every event landed exactly once despite three submissions of its batch.
+  std::map<std::string, int> delivered;
+  for (int p = 0; p < 2; ++p) {
+    const auto records = cluster.Fetch("readings", p, 0, 100);
+    ASSERT_TRUE(records.ok());
+    for (const auto& rec : *records) ++delivered[rec.value];
+  }
+  ASSERT_EQ(delivered.size(), batch.size());
+  for (const Event& e : batch) {
+    EXPECT_EQ(delivered[e.body], 1) << e.body << " lost or duplicated";
+  }
 }
 
 // ---------------------------------------------------------------- BulkImport

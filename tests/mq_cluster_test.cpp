@@ -452,5 +452,226 @@ TEST(BrokerClusterChaosTest, NoAckedLossNoDuplicateDeliveryUnderNodeKills) {
   }
 }
 
+// -------------------------------------------------------- Batched produce
+
+TEST(BrokerClusterTest, BatchedProduceSharesPayloadAcrossIsr) {
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  RecordBatchBuilder builder;
+  Headers headers;
+  headers["source"] = "cam-3";
+  builder.Add("k0", "v0", headers);
+  builder.Add("k1", "v1");
+  builder.Add("k2", "v2");
+  auto request = cluster.PrepareBatch(producer, "t", 0, builder);
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->first_sequence, 0);
+  const std::size_t payload = request->batch->payload_bytes();
+  const auto ack = cluster.Produce(*request);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->offset, 0);
+  EXPECT_EQ(ack->count, 3);
+
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.records_produced").value(), 3);
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.batches_produced").value(), 1);
+  // Followers share the leader's arena by reference: the bytes NOT copied
+  // are payload * (isr - 1). With replication factor 3, that is 2x.
+  EXPECT_EQ(
+      std::size_t(
+          cluster.metrics().GetCounter("mq.replica_bytes_shared").value()),
+      payload * 2);
+
+  // Zero-copy read-back, headers included.
+  const auto view = cluster.FetchBatch("t", 0, 0, 10);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->size(), 3u);
+  EXPECT_EQ((*view)[0].key(), "k0");
+  ASSERT_TRUE((*view)[0].FindHeader("source").has_value());
+  EXPECT_EQ(*(*view)[0].FindHeader("source"), "cam-3");
+  EXPECT_EQ((*view)[2].sequence(), 2);
+  EXPECT_EQ(view->next_offset(), 3);
+  // A consumer parked at the high-water mark gets an empty view, not an
+  // error.
+  const auto parked = cluster.FetchBatch("t", 0, 3, 10);
+  ASSERT_TRUE(parked.ok());
+  EXPECT_TRUE(parked->empty());
+}
+
+TEST(BrokerClusterTest, BatchedRetryDeduplicatesWholeRange) {
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  RecordBatchBuilder builder;
+  builder.Add("a", "1");
+  builder.Add("b", "2");
+  auto request = cluster.PrepareBatch(producer, "t", 0, builder);
+  ASSERT_TRUE(request.ok());
+  const auto first = cluster.Produce(*request);
+  ASSERT_TRUE(first.ok());
+  // The retry of the whole pinned range is suppressed and re-acked at the
+  // original base offset.
+  const auto retry = cluster.Produce(*request);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->duplicate);
+  EXPECT_EQ(retry->offset, first->offset);
+  EXPECT_EQ(retry->count, 2);
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.duplicates_suppressed").value(),
+            1);
+  EXPECT_EQ(cluster.GetPartitionInfo("t", 0)->end_offset, 2);
+}
+
+TEST(BrokerClusterTest, BatchedRetryIsDeduplicatedAcrossFailover) {
+  // The new leader rebuilds its sequence table from replicated *batches*
+  // (ObserveRange on the follower path), so a batched retry crossing a
+  // failover is suppressed exactly like a single-record one.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  RecordBatchBuilder builder;
+  builder.Add("a", "1");
+  builder.Add("b", "2");
+  builder.Add("c", "3");
+  auto request = cluster.PrepareBatch(producer, "t", 0, builder);
+  ASSERT_TRUE(request.ok());
+  ASSERT_TRUE(cluster.Produce(*request).ok());
+  const auto view = *cluster.View("t", 0);
+  ASSERT_TRUE(cluster.KillNode(view.leader).ok());
+  const auto retry = cluster.Produce(*request);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->duplicate);
+  EXPECT_EQ(retry->offset, 0);
+  EXPECT_EQ(cluster.GetPartitionInfo("t", 0)->end_offset, 3);
+}
+
+TEST(BrokerClusterTest, PartiallyAppendedRangeIsRejectedAsOverlap) {
+  // A batch request whose sequence range partially intersects appended
+  // history is a mis-built retry (a pinned batch lands whole or not at
+  // all): rejected loudly, never half-deduplicated.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  RecordBatchBuilder builder;
+  builder.Add("a", "1");
+  builder.Add("b", "2");
+  builder.Add("c", "3");
+  auto request = cluster.PrepareBatch(producer, "t", 0, builder);
+  ASSERT_TRUE(request.ok());
+  ASSERT_TRUE(cluster.Produce(*request).ok());  // sequences 0..2
+  builder.Add("c", "3");
+  builder.Add("d", "4");
+  ProduceBatchRequest overlap;
+  overlap.topic = "t";
+  overlap.partition = 0;
+  overlap.producer_id = producer;
+  overlap.first_sequence = 2;  // straddles appended (2) and fresh (3)
+  overlap.batch = builder.Build();
+  const auto nack = cluster.Produce(overlap);
+  EXPECT_EQ(nack.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.sequence_overlap").value(), 1);
+  EXPECT_EQ(cluster.GetPartitionInfo("t", 0)->end_offset, 3);
+}
+
+TEST(BrokerClusterTest, CommittedNonIdempotentBatchCannotBeResubmitted) {
+  // Producer 0 has no sequence range to dedup by; re-submitting its
+  // already-committed batch must be rejected, not re-sealed into the log.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  RecordBatchBuilder builder;
+  builder.Add("a", "1");
+  ProduceBatchRequest request;
+  request.topic = "t";
+  request.partition = 0;
+  request.batch = builder.Build();
+  ASSERT_TRUE(cluster.Produce(request).ok());
+  const auto again = cluster.Produce(request);
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.GetPartitionInfo("t", 0)->end_offset, 1);
+}
+
+TEST(SequenceTableTest, RangeChecksClassifyWholeAgainstPartialOverlap) {
+  SequenceTable table;
+  table.ObserveRange(/*producer=*/7, /*first=*/0, /*count=*/3,
+                     /*base_offset=*/100);
+  // Whole-range retry: duplicate, re-acked at the remembered base offset.
+  const auto whole = table.CheckRange(7, 0, 3);
+  EXPECT_EQ(whole.verdict, SequenceTable::Verdict::kDuplicate);
+  EXPECT_EQ(whole.duplicate_offset, 100);
+  // A straddling range is an overlap; a strict sub-range is a duplicate
+  // (every sequence in it was appended) and, since it ends at the
+  // producer's highest appended sequence, carries the recovered offset.
+  EXPECT_EQ(table.CheckRange(7, 2, 3).verdict,
+            SequenceTable::Verdict::kOverlap);
+  const auto sub = table.CheckRange(7, 1, 2);
+  EXPECT_EQ(sub.verdict, SequenceTable::Verdict::kDuplicate);
+  EXPECT_EQ(sub.duplicate_offset, 101);
+  // Entirely-new range: fresh.
+  EXPECT_EQ(table.CheckRange(7, 3, 4).verdict,
+            SequenceTable::Verdict::kFresh);
+  // Range folding is observable record by record.
+  EXPECT_EQ(table.Check(7, 2).verdict, SequenceTable::Verdict::kDuplicate);
+  EXPECT_EQ(table.Check(7, 3).verdict, SequenceTable::Verdict::kFresh);
+}
+
+// --------------------------------------------------- Sequence window edges
+
+TEST(SequenceTableTest, GapSurvivesAtExactlyTheWindowBound) {
+  // With the gap at 0 outstanding, appends 1..kMaxTracked put *exactly*
+  // kMaxTracked sparse entries in the window — the bound itself must not
+  // evict (off-by-one here silently shrinks the retry window).
+  SequenceTable table;
+  Record rec;
+  rec.producer_id = 9;
+  for (std::int64_t seq = 1; seq <= std::int64_t(SequenceTable::kMaxTracked);
+       ++seq) {
+    rec.sequence = seq;
+    rec.offset = seq - 1;
+    table.Observe(rec);
+  }
+  EXPECT_EQ(table.Check(9, 0).verdict, SequenceTable::Verdict::kFresh);
+  EXPECT_EQ(table.Check(9, 1).verdict, SequenceTable::Verdict::kDuplicate);
+  // One more append overflows: the gap's status falls off the window edge.
+  rec.sequence = std::int64_t(SequenceTable::kMaxTracked) + 1;
+  rec.offset = std::int64_t(SequenceTable::kMaxTracked);
+  table.Observe(rec);
+  EXPECT_EQ(table.Check(9, 0).verdict, SequenceTable::Verdict::kTooOld);
+  // Batched ranges touching the forgotten region are kTooOld as well —
+  // never a partial verdict that could half-append.
+  EXPECT_EQ(table.CheckRange(9, 0, 2).verdict,
+            SequenceTable::Verdict::kTooOld);
+}
+
+TEST(BrokerClusterTest, JustEvictedSequenceRetryFailsLoudNeverDuplicateAck) {
+  // The retry of the sequence that just fell off the tracked window must
+  // surface kFailedPrecondition (mq.sequence_too_old) — a silent
+  // duplicate-ack would report a record as durable that may never have
+  // landed.
+  SimClock clock;
+  BrokerCluster cluster(clock);
+  ASSERT_TRUE(cluster.CreateTopic("t", 1).ok());
+  const ProducerId producer = cluster.CreateProducer();
+  const auto abandoned = cluster.Prepare(producer, "t", "k", "abandoned");
+  ASSERT_TRUE(abandoned.ok());
+  const std::int64_t before_end = cluster.GetPartitionInfo("t", 0)->end_offset;
+  for (std::size_t i = 0; i <= SequenceTable::kMaxTracked; ++i) {
+    const auto request = cluster.Prepare(producer, "t", "k", "v");
+    ASSERT_TRUE(request.ok());
+    ASSERT_TRUE(cluster.Produce(*request).ok());
+  }
+  const auto late = cluster.Produce(*abandoned);
+  ASSERT_FALSE(late.ok());  // not an ack of any kind
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.metrics().GetCounter("mq.sequence_too_old").value(), 1);
+  // The abandoned record was never appended by the rejected retry.
+  const std::int64_t after_end = cluster.GetPartitionInfo("t", 0)->end_offset;
+  EXPECT_EQ(after_end - before_end,
+            std::int64_t(SequenceTable::kMaxTracked) + 1);
+}
+
 }  // namespace
 }  // namespace metro::mq

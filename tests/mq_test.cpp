@@ -342,5 +342,145 @@ TEST(MessageLogTest, PartitionOutOfRange) {
             StatusCode::kInvalidArgument);
 }
 
+// ------------------------------------------------- Fetch boundary contract
+
+// Regressions for the unified fetch boundary contract (partition_log.h):
+// inside [begin, end] a fetch is OK (possibly empty); only offsets beyond
+// the end or below the retention floor are kOutOfRange.
+
+TEST(PartitionLogTest, FetchAtReadableLimitIsEmptyOkNotError) {
+  PartitionLog log;
+  for (int i = 0; i < 5; ++i) {
+    Record rec;
+    rec.value = std::to_string(i);
+    log.Append(std::move(rec));
+  }
+  // offset == limit (the high-water mark for replicated reads): caught up,
+  // not out of range.
+  const auto at_hwm = log.FetchBatch(3, 10, /*limit=*/3);
+  ASSERT_TRUE(at_hwm.ok());
+  EXPECT_TRUE(at_hwm->empty());
+  EXPECT_EQ(at_hwm->next_offset(), 3);
+  const auto mat = log.Fetch(3, 10, /*limit=*/3);
+  ASSERT_TRUE(mat.ok());
+  EXPECT_TRUE(mat->empty());
+}
+
+TEST(PartitionLogTest, FetchAtEndWithLowerLimitIsEmptyOk) {
+  // A consumer parked at the log end while the high-water mark trails
+  // behind (un-acked suffix) is caught up, never kOutOfRange: the offset
+  // exists — it is just not readable yet.
+  PartitionLog log;
+  for (int i = 0; i < 4; ++i) {
+    Record rec;
+    rec.value = std::to_string(i);
+    log.Append(std::move(rec));
+  }
+  const auto at_end = log.FetchBatch(log.end_offset(), 10, /*limit=*/2);
+  ASSERT_TRUE(at_end.ok());
+  EXPECT_TRUE(at_end->empty());
+  EXPECT_EQ(at_end->next_offset(), log.end_offset());
+  // One past the end IS out of range — the offset does not exist.
+  EXPECT_EQ(log.FetchBatch(log.end_offset() + 1, 10, 2).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(log.Fetch(log.end_offset() + 1, 10, 2).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PartitionLogTest, FetchAtRetentionFloorOkBelowItOutOfRange) {
+  PartitionLog log;
+  for (int i = 0; i < 6; ++i) {
+    Record rec;
+    rec.timestamp = i < 3 ? 10 : 100;
+    rec.value = std::to_string(i);
+    log.Append(std::move(rec));
+  }
+  EXPECT_EQ(log.EnforceRetention(/*cutoff=*/50), 3);
+  EXPECT_EQ(log.begin_offset(), 3);
+  // Exactly at the floor: readable (one single-record segment per view
+  // call; the materializing Fetch crosses segments).
+  const auto at_floor = log.FetchBatch(3, 10, log.end_offset());
+  ASSERT_TRUE(at_floor.ok());
+  ASSERT_EQ(at_floor->size(), 1u);
+  EXPECT_EQ((*at_floor)[0].value(), "3");
+  const auto floor_all = log.Fetch(3, 10, log.end_offset());
+  ASSERT_TRUE(floor_all.ok());
+  EXPECT_EQ(floor_all->size(), 3u);
+  // Below the floor: retired offsets, explicit error.
+  EXPECT_EQ(log.FetchBatch(2, 10, log.end_offset()).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(log.Fetch(2, 10, log.end_offset()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------- Batched produce
+
+TEST(MessageLogTest, BatchedProduceFetchRoundTrip) {
+  SimClock clock(5000);
+  MessageLog log(clock);
+  ASSERT_TRUE(log.CreateTopic("t", 1).ok());
+  RecordBatchBuilder builder;
+  Headers headers;
+  headers["source"] = "cam-7";
+  builder.Add("k0", "v0", headers);
+  builder.Add("k1", "v1");
+  builder.Add("k2", "v2");
+  const auto ack = log.ProduceBatchTo("t", 0, builder);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->offset, 0);
+  EXPECT_EQ(ack->count, 3);
+  EXPECT_TRUE(builder.empty());  // consumed
+
+  const auto view = log.FetchBatch("t", 0, 0, 10);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->size(), 3u);
+  EXPECT_EQ((*view)[0].key(), "k0");
+  EXPECT_EQ((*view)[0].value(), "v0");
+  EXPECT_EQ((*view)[0].timestamp(), 5000);
+  ASSERT_TRUE((*view)[0].FindHeader("source").has_value());
+  EXPECT_EQ(*(*view)[0].FindHeader("source"), "cam-7");
+  EXPECT_EQ((*view)[2].offset(), 2);
+  EXPECT_EQ(view->next_offset(), 3);
+  // The materializing path sees the same records.
+  const auto records = log.Fetch("t", 0, 0, 10);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1].value, "v1");
+  EXPECT_EQ((*records)[0].headers.at("source"), "cam-7");
+
+  RecordBatchBuilder empty;
+  EXPECT_EQ(log.ProduceBatchTo("t", 0, empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionLogTest, FetchBatchStopsAtSegmentBoundary) {
+  PartitionLog log;
+  RecordBatchBuilder builder;
+  builder.Add("a", "1");
+  builder.Add("b", "2");
+  auto first = builder.Build();
+  first->Seal(log.end_offset(), /*timestamp=*/1, /*producer_id=*/0,
+              /*first_sequence=*/-1);
+  EXPECT_EQ(log.AppendBatch(std::move(first)), 0);
+  builder.Add("c", "3");
+  auto second = builder.Build();
+  second->Seal(log.end_offset(), 2, 0, -1);
+  EXPECT_EQ(log.AppendBatch(std::move(second)), 2);
+  // max_records spans both segments, but one call returns one batch; the
+  // caller advances via next_offset().
+  const auto head = log.FetchBatch(0, 10, log.end_offset());
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->size(), 2u);
+  EXPECT_EQ(head->next_offset(), 2);
+  const auto tail = log.FetchBatch(head->next_offset(), 10, log.end_offset());
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ((*tail)[0].value(), "3");
+  // The materializing Fetch crosses the boundary in one call.
+  const auto all = log.Fetch(0, 10, log.end_offset());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
 }  // namespace
 }  // namespace metro::mq
