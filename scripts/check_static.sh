@@ -11,6 +11,9 @@
 #      under the clang-only stages below. Runs --selftest first (the rule
 #      engine must prove it still catches seeded violations), then the
 #      zero-findings gate over src/ bench/ tests/.
+#   0.5 Runtime lock-rank checker: Debug build of lock_rank_test so the
+#      METRO_LOCK_RANK_CHECK Mutex-hook death tests run with the hooks
+#      compiled in (every NDEBUG flavor compiles them out).
 #   1. Clang + METRO_THREAD_SAFETY=ON + METRO_LIFETIME=ON:
 #      -Werror=thread-safety over the annotated tree (src/util/sync.h
 #      vocabulary) and -Werror=dangling* over the METRO_LIFETIME_BOUND
@@ -40,13 +43,29 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIPPED=()
 
 # --- 0. metrolint project invariants ------------------------------------
-echo "==> metrolint: layering DAG + METRO_NOALLOC + hygiene (always on)"
+echo "==> metrolint: v1 per-file rules + v2 whole-program passes (always on)"
 HOSTCXX="${CXX:-$(command -v c++ || command -v g++ || command -v clang++)}"
 mkdir -p "${PREFIX}-metrolint"
 "${HOSTCXX}" -std=c++20 -O1 -o "${PREFIX}-metrolint/metrolint" \
-  tools/metrolint/metrolint.cpp
+  tools/metrolint/metrolint.cpp tools/metrolint/wholeprogram.cpp
 "${PREFIX}-metrolint/metrolint" --selftest --root .
-"${PREFIX}-metrolint/metrolint" --root .
+# The v2 run prints per-pass timings, writes the global lock graph (CI
+# uploads it as an artifact), and fails only on findings not fingerprinted
+# in the baseline file (empty today: the tree is clean).
+"${PREFIX}-metrolint/metrolint" --root . \
+  --baseline tools/metrolint/baseline.txt \
+  --dot "${PREFIX}-metrolint/lockgraph.dot"
+
+# --- 0.5 runtime lock-rank checker ---------------------------------------
+# The dynamic mirror of the lockorder pass lives behind METRO_LOCK_RANK_CHECK,
+# which every NDEBUG flavor (RelWithDebInfo default, sanitizer builds)
+# compiles out of the Mutex hot path. Build the death tests once in Debug so
+# the hook integration — a real Mutex inversion aborts with both stacks —
+# is proven by the gate, not just by whoever happens to run a Debug build.
+echo "==> lock-rank: Debug death tests (Mutex hooks compiled in)"
+cmake -B "${PREFIX}-lockrank" -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build "${PREFIX}-lockrank" -j "${JOBS}" --target lock_rank_test
+ctest --test-dir "${PREFIX}-lockrank" --output-on-failure -R "^lock_rank_test$"
 
 # --- 1. Clang thread-safety + lifetime analysis --------------------------
 CLANGXX="$(command -v clang++ || true)"
@@ -110,8 +129,9 @@ else
 fi
 
 # --- 4. Sanitizer matrix ------------------------------------------------
-CONCURRENCY_TARGETS=(static_stress_test invariants_test metrolint obs_test
-                     resilience_test chaos_test util_test)
+CONCURRENCY_TARGETS=(static_stress_test invariants_test lock_rank_test
+                     metrolint obs_test resilience_test chaos_test
+                     mq_cluster_test util_test)
 FULL_LABEL_ARGS=()
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
   FULL_LABEL_ARGS=(-L "static")
@@ -127,7 +147,7 @@ echo "==> asan: METRO_SANITIZE=address + tests"
 cmake -B "${PREFIX}-asan" -S . -DMETRO_SANITIZE=address >/dev/null
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
   cmake --build "${PREFIX}-asan" -j "${JOBS}" \
-    --target static_stress_test invariants_test metrolint
+    --target static_stress_test invariants_test lock_rank_test metrolint
 else
   cmake --build "${PREFIX}-asan" -j "${JOBS}"
 fi
@@ -138,7 +158,7 @@ echo "==> ubsan: METRO_SANITIZE=undefined (-fno-sanitize-recover) + tests"
 cmake -B "${PREFIX}-ubsan" -S . -DMETRO_SANITIZE=undefined >/dev/null
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
   cmake --build "${PREFIX}-ubsan" -j "${JOBS}" \
-    --target static_stress_test invariants_test metrolint
+    --target static_stress_test invariants_test lock_rank_test metrolint
 else
   cmake --build "${PREFIX}-ubsan" -j "${JOBS}"
 fi

@@ -21,6 +21,7 @@
 #include "resilience/health.h"
 #include "sched/resource_manager.h"
 #include "store/wide_column.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::core {
@@ -50,7 +51,7 @@ class AlertManager {
   std::vector<Alert> All() const METRO_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kCoreAlerts, "core.alerts"};
   std::vector<Alert> alerts_ METRO_GUARDED_BY(mu_);
   std::size_t next_review_ METRO_GUARDED_BY(mu_) = 0;
 };

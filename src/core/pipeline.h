@@ -23,6 +23,7 @@
 #include "resilience/policy.h"
 #include "store/document_store.h"
 #include "util/metrics.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::core {
@@ -140,7 +141,7 @@ class CityPipeline {
   std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
   bool started_ = false;
 
-  mutable Mutex web_mu_;
+  mutable Mutex web_mu_{lockrank::kCorePipelineWeb, "core.pipeline.web"};
   std::vector<std::string> web_feed_ METRO_GUARDED_BY(web_mu_);
 
   std::atomic<std::int64_t> records_consumed_{0};

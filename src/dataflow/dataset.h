@@ -18,6 +18,7 @@
 
 #include "dataflow/engine.h"
 #include "util/rng.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::dataflow {
@@ -183,7 +184,7 @@ class Dataset {
     int num_partitions;
     std::function<std::vector<T>(int, Engine&)> compute;
     bool cache_enabled = false;
-    Mutex mu;
+    Mutex mu{lockrank::kDataflowDataset, "dataflow.dataset"};
     std::vector<std::optional<std::vector<T>>> cache METRO_GUARDED_BY(mu);
   };
 

@@ -24,6 +24,7 @@
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::dfs {
@@ -86,7 +87,7 @@ class DataNode {
 
   int id_;
   std::atomic<bool> alive_{true};  // liveness flag flipped by fault injectors
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kDfsDataNode, "dfs.datanode"};
   int fail_stores_ METRO_GUARDED_BY(mu_) = 0;
   std::unordered_map<BlockId, StoredBlock> blocks_ METRO_GUARDED_BY(mu_);
   std::size_t bytes_ METRO_GUARDED_BY(mu_) = 0;
@@ -176,7 +177,7 @@ class Cluster {
   std::vector<std::unique_ptr<DataNode>> nodes_;
   // Lock order: mu_ before any DataNode::mu_ (CreateImpl stores blocks while
   // holding the namespace lock); never take mu_ from inside a DataNode.
-  mutable Mutex mu_;  // namespace + block map
+  mutable Mutex mu_{lockrank::kDfsCluster, "dfs.cluster"};  // namespace + block map
   std::vector<char> decommissioned_ METRO_GUARDED_BY(mu_);
   std::map<std::string, FileMeta> namespace_ METRO_GUARDED_BY(mu_);
   std::unordered_map<BlockId, BlockMeta> block_map_ METRO_GUARDED_BY(mu_);

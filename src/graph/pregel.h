@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
 
@@ -81,6 +82,9 @@ int RunPregel(
   // append under the target's lock. (A std::vector of mutexes is fine here:
   // never resized while workers run.)
   std::vector<Mutex> outbox_mu(n);
+  for (Mutex& mu : outbox_mu) {
+    mu.SetRank(lockrank::kGraphOutbox, "graph.outbox");
+  }
   std::vector<char> active(n, 1);
 
   int superstep = 0;

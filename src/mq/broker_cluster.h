@@ -48,6 +48,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::mq {
@@ -396,7 +397,7 @@ class BrokerCluster {
   BrokerClusterConfig config_;
   // Lock order: mu_ before metrics_'s internal lock; the group
   // coordinator's lock is a leaf taken after topic metadata is resolved.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMqCluster, "mq.cluster"};
   std::vector<std::unique_ptr<BrokerNode>> nodes_ METRO_GUARDED_BY(mu_);
   std::map<std::string, TopicMeta> topics_ METRO_GUARDED_BY(mu_);
   ProducerId next_producer_ METRO_GUARDED_BY(mu_) = 1;

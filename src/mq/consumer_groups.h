@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::mq {
@@ -75,7 +76,7 @@ class GroupCoordinator {
   /// Recomputes `group`'s round-robin partition assignment.
   static void Rebalance(Group& group, int partitions);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMqGroups, "mq.groups"};
   std::unordered_map<std::string, Group> groups_ METRO_GUARDED_BY(mu_);
 };
 

@@ -20,6 +20,7 @@
 #include "util/clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::mq {
@@ -159,7 +160,7 @@ class MessageLog {
   // while the broker lock is held). The group coordinator's lock is a leaf:
   // topic metadata is resolved under mu_ first and the coordinator never
   // calls back into the broker.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMqLog, "mq.log"};
   std::unordered_map<std::string, Topic> topics_ METRO_GUARDED_BY(mu_);
   GroupCoordinator groups_;
   MetricsRegistry metrics_;

@@ -29,6 +29,7 @@
 
 #include "nn/sequential.h"
 #include "tensor/workspace.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
 
@@ -141,7 +142,7 @@ class InferenceSession {
   /// nothing; empty for reshape steps over the caller's input.
   std::vector<TensorView> step_views_;
 
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{lockrank::kNnInferenceStats, "nn.inference.stats"};
   Stats stats_ METRO_GUARDED_BY(stats_mu_);
 };
 

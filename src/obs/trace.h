@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::obs {
@@ -172,7 +173,7 @@ class SpanCollector {
   const std::size_t max_spans_;
   std::atomic<std::uint64_t> next_trace_{1};
   std::atomic<std::uint64_t> next_span_{1};
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kObsTrace, "obs.trace"};
   std::vector<Span> spans_ METRO_GUARDED_BY(mu_);
   std::int64_t dropped_ METRO_GUARDED_BY(mu_) = 0;
 };

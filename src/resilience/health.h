@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::resilience {
@@ -53,7 +54,7 @@ class HealthRegistry {
   std::size_t size() const METRO_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kResilienceHealth, "resilience.health"};
   std::map<std::string, ProbeFn> probes_ METRO_GUARDED_BY(mu_);
 };
 

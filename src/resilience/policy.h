@@ -20,6 +20,7 @@
 #include "util/clock.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::resilience {
@@ -270,7 +271,7 @@ class CircuitBreaker {
 
   BreakerConfig config_;
   Clock* clock_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kResilienceBreaker, "resilience.breaker"};
   State state_ METRO_GUARDED_BY(mu_) = State::kClosed;
   int consecutive_failures_ METRO_GUARDED_BY(mu_) = 0;
   int half_open_inflight_ METRO_GUARDED_BY(mu_) = 0;

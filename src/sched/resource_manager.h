@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::sched {
@@ -114,7 +115,7 @@ class ResourceManager {
   std::optional<std::size_t> PickRequest() const METRO_REQUIRES(mu_);
 
   Policy policy_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSchedRm, "sched.rm"};
   std::vector<Node> nodes_ METRO_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, App> apps_ METRO_GUARDED_BY(mu_);
   std::deque<Request> pending_ METRO_GUARDED_BY(mu_);

@@ -17,6 +17,7 @@
 
 #include "geo/geo.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::store {
@@ -94,7 +95,7 @@ class Collection {
   void UnindexDoc(DocId id, const Document& doc) METRO_REQUIRES(mu_);
 
   std::string name_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStoreDocs, "store.docs"};
   std::map<DocId, Document> docs_ METRO_GUARDED_BY(mu_);
   DocId next_id_ METRO_GUARDED_BY(mu_) = 1;
   // field -> (value key -> ids)

@@ -18,6 +18,7 @@
 
 #include "util/bytes.h"
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::store {
@@ -102,7 +103,7 @@ class LsmEngine {
   void CompactLocked() METRO_REQUIRES(mu_);
 
   LsmConfig config_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStoreLsm, "store.lsm"};
   std::map<std::string, std::optional<std::string>, std::less<>> memtable_
       METRO_GUARDED_BY(mu_);
   std::size_t memtable_bytes_ METRO_GUARDED_BY(mu_) = 0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "store/lsm.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro::store {
@@ -84,7 +85,7 @@ class WideColumnTable {
   std::string name_;
   WideColumnConfig config_;
   // Lock order: mu_ before any region engine's LsmEngine::mu_.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kStoreWideColumn, "store.wide_column"};
   std::vector<Region> regions_ METRO_GUARDED_BY(mu_);
 };
 

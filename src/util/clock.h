@@ -6,6 +6,7 @@
 // time in production-style runs and against `SimClock` in deterministic
 // benches (the fog/network simulator advances simulated time explicitly).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,24 +45,33 @@ class WallClock final : public Clock {
 /// Manually advanced clock for deterministic simulation.
 ///
 /// `SleepFor` advances the clock immediately; discrete-event drivers use
-/// `AdvanceTo`/`Advance` directly.
+/// `AdvanceTo`/`Advance` directly. `now_` is atomic because sim-driven
+/// components poll `Now()` from worker threads (e.g. pipeline consumer
+/// loops) while the driving thread advances time; determinism still
+/// requires the *driver* to be single-threaded, the atomic only makes
+/// concurrent observation well-defined.
 class SimClock final : public Clock {
  public:
   explicit SimClock(TimeNs start = 0) : now_(start) {}
 
-  TimeNs Now() const override { return now_; }
+  TimeNs Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
   void SleepFor(TimeNs ns) override { Advance(ns); }
 
   /// Moves simulated time forward by `ns` (>= 0).
-  void Advance(TimeNs ns) { now_ += ns; }
+  void Advance(TimeNs ns) { now_.fetch_add(ns, std::memory_order_relaxed); }
 
   /// Moves simulated time to `t`; never goes backwards.
   void AdvanceTo(TimeNs t) {
-    if (t > now_) now_ = t;
+    TimeNs cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  TimeNs now_;
+  std::atomic<TimeNs> now_;
 };
 
 /// Scoped stopwatch measuring wall time in nanoseconds.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro {
@@ -21,7 +22,7 @@ std::string_view LevelName(LogLevel level) {
 }
 
 Mutex& OutputMutex() {
-  static Mutex m;  // serializes whole lines onto stderr
+  static Mutex m{lockrank::kUtilLogging, "util.logging"};  // serializes whole lines onto stderr
   return m;
 }
 

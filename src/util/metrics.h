@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro {
@@ -45,7 +46,7 @@ class Gauge {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kUtilMetricsGauge, "util.metrics.gauge"};
   double value_ METRO_GUARDED_BY(mu_) = 0;
 };
 
@@ -75,7 +76,7 @@ class Histogram {
   std::int64_t p99() const { return Quantile(0.99); }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kUtilMetricsHistogram, "util.metrics.histogram"};
   std::int64_t buckets_[kNumBuckets] METRO_GUARDED_BY(mu_) = {};
   std::int64_t count_ METRO_GUARDED_BY(mu_) = 0;
   std::int64_t sum_ METRO_GUARDED_BY(mu_) = 0;
@@ -103,7 +104,7 @@ class MetricsRegistry {
  private:
   // Lock order: mu_ before any contained metric's internal lock (Report()
   // reads Gauge/Histogram values while holding mu_).
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kUtilMetricsRegistry, "util.metrics.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       METRO_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ METRO_GUARDED_BY(mu_);

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "util/status.h"
+#include "util/lock_ranks.h"
 #include "util/sync.h"
 
 namespace metro {
@@ -107,7 +108,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kUtilQueue, "util.queue"};
   CondVar not_full_;
   CondVar not_empty_;
   std::deque<T> items_ METRO_GUARDED_BY(mu_);

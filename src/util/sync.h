@@ -33,6 +33,26 @@
 #include <condition_variable>
 #include <mutex>
 
+// Debug-only runtime lock-rank checker (the dynamic half of the hierarchy
+// that metrolint v2's static `lockorder` pass enforces; see
+// util/lock_ranks.h). On by default in debug builds, compiled out of the
+// Mutex hot path entirely under NDEBUG — Release keeps only the two
+// passive fields (rank/name) so the Mutex layout never changes with the
+// build mode. The lockcheck functions themselves are always defined (they
+// are free functions with no callers in Release) so lock_rank_test can
+// exercise the checker logic in every build flavor.
+#ifndef METRO_LOCK_RANK_CHECK
+#ifdef NDEBUG
+#define METRO_LOCK_RANK_CHECK 0
+#else
+#define METRO_LOCK_RANK_CHECK 1
+#endif
+#endif
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define METRO_THREAD_ANNOTATION(x) __attribute__((x))
@@ -67,29 +87,155 @@
 
 namespace metro {
 
+namespace lockcheck {
+
+/// True when the runtime rank checker is compiled into this build. Tests
+/// use it to decide whether the inversion death tests can run.
+inline constexpr bool kCompiledIn = METRO_LOCK_RANK_CHECK != 0;
+
+/// Process-wide switch so death tests can prove the disabled path is a
+/// no-op without rebuilding. Checked per acquisition (relaxed load).
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+inline void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+/// Per-thread stack of currently held ranked locks. Fixed capacity: a
+/// thread nesting more than 64 locks has bigger problems; overflow drops
+/// entries (checker degrades, never corrupts).
+struct HeldStack {
+  HeldLock entries[64];
+  int size = 0;
+};
+
+inline HeldStack& Held() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+[[noreturn]] inline void DieOnInversion(const HeldStack& s, int rank,
+                                        const char* name) {
+  std::fprintf(stderr,
+               "metro lock-rank inversion: acquiring \"%s\" (rank %d) while "
+               "holding:\n",
+               name, rank);
+  for (int i = s.size - 1; i >= 0; --i) {
+    std::fprintf(stderr, "  #%d \"%s\" (rank %d)\n", s.size - 1 - i,
+                 s.entries[i].name, s.entries[i].rank);
+  }
+  std::fprintf(stderr,
+               "ranks must strictly increase along acquisition — see "
+               "util/lock_ranks.h and DESIGN.md \"Global lock hierarchy\"\n");
+  std::abort();
+}
+
+/// Called after a successful acquisition. Unranked locks (rank 0) are
+/// tracked but never checked; a ranked acquisition must out-rank every
+/// ranked lock already held by this thread.
+inline void OnAcquire(const void* mu, int rank, const char* name) {
+  HeldStack& s = Held();
+  if (rank > 0 && EnabledFlag().load(std::memory_order_relaxed)) {
+    for (int i = 0; i < s.size; ++i) {
+      if (s.entries[i].rank > 0 && s.entries[i].mu != mu &&
+          rank <= s.entries[i].rank) {
+        DieOnInversion(s, rank, name);
+      }
+    }
+  }
+  if (s.size < 64) s.entries[s.size++] = HeldLock{mu, rank, name};
+}
+
+/// Called before release. Scans from the top so early-unlock patterns
+/// (MutexLock::Unlock mid-scope) remove the right entry.
+inline void OnRelease(const void* mu) {
+  HeldStack& s = Held();
+  for (int i = s.size - 1; i >= 0; --i) {
+    if (s.entries[i].mu == mu) {
+      for (int j = i; j + 1 < s.size; ++j) s.entries[j] = s.entries[j + 1];
+      --s.size;
+      return;
+    }
+  }
+}
+
+}  // namespace lockcheck
+
 /// Annotated exclusive mutex. A zero-cost wrapper over std::mutex that
 /// carries the `capability` attribute so `METRO_GUARDED_BY(mu_)` fields and
 /// `METRO_REQUIRES(mu_)` helpers are checkable at compile time.
+///
+/// Every long-lived mutex declares its place in the global lock hierarchy:
+/// `Mutex mu_{lockrank::kStoreLsm, "store.lsm"};` (util/lock_ranks.h). The
+/// rank/name fields are always present — Release builds carry them as two
+/// passive words so the layout matches debug builds — and in debug builds
+/// every acquisition is checked against the thread's held-lock stack
+/// (lockcheck::OnAcquire), aborting on a rank inversion.
 ///
 /// Also satisfies BasicLockable (lowercase lock/unlock) so `CondVar` can
 /// suspend on it directly.
 class METRO_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(int rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() METRO_ACQUIRE() { mu_.lock(); }
-  void Unlock() METRO_RELEASE() { mu_.unlock(); }
-  bool TryLock() METRO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() METRO_ACQUIRE() {
+    mu_.lock();
+    NoteAcquire();
+  }
+  void Unlock() METRO_RELEASE() {
+    NoteRelease();
+    mu_.unlock();
+  }
+  bool TryLock() METRO_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    NoteAcquire();
+    return true;
+  }
 
   // BasicLockable spelling (for std::condition_variable_any and generic
   // code); same semantics, same annotations.
-  void lock() METRO_ACQUIRE() { mu_.lock(); }
-  void unlock() METRO_RELEASE() { mu_.unlock(); }
+  void lock() METRO_ACQUIRE() {
+    mu_.lock();
+    NoteAcquire();
+  }
+  void unlock() METRO_RELEASE() {
+    NoteRelease();
+    mu_.unlock();
+  }
+
+  /// Late rank assignment for mutexes that cannot be constructed in place
+  /// with one (e.g. `std::vector<Mutex>` stripes); call before first use.
+  void SetRank(int rank, const char* name) {
+    rank_ = rank;
+    name_ = name;
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
+#if METRO_LOCK_RANK_CHECK
+  void NoteAcquire() { lockcheck::OnAcquire(this, rank_, name_); }
+  void NoteRelease() { lockcheck::OnRelease(this); }
+#else
+  void NoteAcquire() {}
+  void NoteRelease() {}
+#endif
+
   std::mutex mu_;
+  int rank_ = 0;
+  const char* name_ = "";
 };
 
 /// RAII lock over an annotated `Mutex` (the std::lock_guard/unique_lock

@@ -1,0 +1,221 @@
+#pragma once
+
+// Shared vocabulary for the metrolint passes: the parsed rule config, the
+// finding record, and the lexical helpers every pass builds on. Split out of
+// metrolint.cpp when the v2 whole-program passes (wholeprogram.cpp) arrived;
+// the tool is still a single self-contained binary with no dependencies
+// beyond the C++20 standard library.
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metrolint {
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+struct Config {
+  std::map<std::string, int> ranks;           // module -> layer rank
+  std::set<std::string> include_exceptions;   // "src-rel-file -> include"
+  std::vector<std::string> noalloc_functions; // banned free-function calls
+  std::vector<std::string> noalloc_methods;   // banned .x( / ->x( calls
+  std::vector<std::string> noalloc_types;     // banned std::T / bare types
+  std::set<std::string> mutex_allowed;        // files that may own std::mutex
+  std::set<std::string> const_cast_allowed;   // files that may const_cast
+  std::vector<std::string> tensor_at_paths;   // prefixes where .at( is banned
+  std::vector<std::string> sleep_for_paths;   // prefixes where sleep_for is banned
+  std::set<std::string> sleep_for_allowed;    // chaos-harness exceptions
+
+  // --- v2 whole-program passes ---------------------------------------------
+  struct LockInfo {
+    std::string name;  // human lock name, e.g. "mq.cluster"
+    int rank = -1;     // position in the global acquired-before order
+  };
+  // Lock identity -> declared name/rank. Identity is "Class::field" for
+  // member mutexes, "src-rel-file:expr" for free/file-local locks.
+  std::map<std::string, LockInfo> locks;
+  // Edge exceptions, "A -> B" -> justification (required non-empty).
+  std::map<std::string, std::string> lockorder_exceptions;   // lock names
+  std::map<std::string, std::string> noalloc_exceptions;     // func quals
+  std::map<std::string, std::string> blocking_exceptions;    // func quals
+  std::vector<std::string> blocking_functions;  // bare tokens (sleep_for)
+  std::vector<std::string> blocking_qualified;  // "Class::Method" entries
+  std::vector<std::string> callgraph_ignore;    // call names never resolved
+};
+
+// Minimal TOML-subset parser (defined in metrolint.cpp; also used by the
+// embedded v2 selftest configs in wholeprogram.cpp).
+bool ParseConfig(const std::string& text, Config* cfg, std::string* err);
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+inline void Report(std::vector<Finding>* out, const std::string& file,
+                   int line, const char* rule, std::string message) {
+  out->push_back(Finding{file, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+// Replaces comments (and, when `strip_literals`, string/char literal
+// contents) with spaces, preserving every newline so byte offsets map to the
+// original line numbers.
+inline std::string StripSource(std::string_view src, bool strip_literals) {
+  std::string out(src);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      blank(i, j);
+      i = j;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = std::min(n, j + 2);
+      blank(i, j);
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = std::min(n, j + 1);
+      if (strip_literals) blank(i + 1, j > i + 1 ? j - 1 : i + 1);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+inline int LineOf(std::string_view text, std::size_t pos) {
+  return 1 + int(std::count(text.begin(), text.begin() + long(pos), '\n'));
+}
+
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when text[pos, pos+len) is a whole identifier token.
+inline bool IsWholeToken(std::string_view text, std::size_t pos,
+                         std::size_t len) {
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  if (pos + len < text.size() && IsIdentChar(text[pos + len])) return false;
+  return true;
+}
+
+// Last non-whitespace character strictly before `pos`, or '\0'.
+inline char PrevNonSpace(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return text[pos];
+    }
+  }
+  return '\0';
+}
+
+// First non-whitespace character at or after `pos`, or '\0'.
+inline char NextNonSpace(std::string_view text, std::size_t pos) {
+  while (pos < text.size()) {
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      return text[pos];
+    }
+    ++pos;
+  }
+  return '\0';
+}
+
+inline bool HasPrefix(const std::string& s,
+                      const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (s.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// Scans [begin, end) of literal-stripped `text` for allocation tokens banned
+// under METRO_NOALLOC and invokes `sink(pos, what)` per hit. Shared between
+// the v1 per-body pass (sink reports a finding) and the v2 interprocedural
+// summaries (sink records an alloc site).
+template <typename Sink>
+void ScanAllocTokens(std::string_view text, std::size_t begin, std::size_t end,
+                     const Config& cfg, Sink&& sink) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!IsIdentChar(text[i]) || (i > 0 && IsIdentChar(text[i - 1]))) {
+      continue;  // not the start of an identifier
+    }
+    std::size_t j = i;
+    while (j < end && IsIdentChar(text[j])) ++j;
+    const std::string_view tok = text.substr(i, j - i);
+    const char prev = PrevNonSpace(text, i);
+    const bool member = prev == '.' ||
+                        (prev == '>' && i >= 2 && text[i - 2] == '-');
+    const bool called = NextNonSpace(text, j) == '(';
+
+    if (tok == "new" && !member) {
+      sink(i, std::string("operator new"));
+    } else if (!member && called &&
+               std::find(cfg.noalloc_functions.begin(),
+                         cfg.noalloc_functions.end(),
+                         tok) != cfg.noalloc_functions.end()) {
+      sink(i, "call to " + std::string(tok) + "()");
+    } else if (member && called &&
+               std::find(cfg.noalloc_methods.begin(),
+                         cfg.noalloc_methods.end(),
+                         tok) != cfg.noalloc_methods.end()) {
+      sink(i, "owning-container growth ." + std::string(tok) + "()");
+    } else if (!member &&
+               std::find(cfg.noalloc_types.begin(), cfg.noalloc_types.end(),
+                         tok) != cfg.noalloc_types.end()) {
+      // Bare banned type (Tensor) or std-qualified owning container
+      // (std::vector, std::string, ...). `prev == ':'` means the token is
+      // namespace-qualified; only std:: qualification bans it.
+      bool banned = true;
+      if (prev == ':') {
+        std::size_t k = i;
+        while (k > 0 &&
+               (text[k - 1] == ':' ||
+                std::isspace(static_cast<unsigned char>(text[k - 1])))) {
+          --k;
+        }
+        banned = k >= 3 && text.compare(k - 3, 3, "std") == 0 &&
+                 IsWholeToken(text, k - 3, 3);
+      }
+      if (banned) {
+        sink(i, "owning type " + std::string(prev == ':' ? "std::" : "") +
+                    std::string(tok));
+      }
+    }
+    i = j - 1;
+  }
+}
+
+}  // namespace metrolint

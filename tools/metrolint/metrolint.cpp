@@ -1,8 +1,8 @@
 // metrolint — project-invariant static analysis for the metro tree.
 //
 // A self-contained lexical analyzer (no clang dependency; builds and runs
-// wherever the tier-1 suite builds) enforcing three rule families over
-// src/, bench/ and tests/:
+// wherever the tier-1 suite builds) enforcing the per-file rule families
+// over src/, bench/, tests/ and examples/:
 //
 //   layering   — the include-layering DAG. Every module in src/ has a rank
 //                (tools/metrolint/metrolint.toml, [ranks]); a file may only
@@ -15,15 +15,20 @@
 //   noalloc    — the hot-path allocation ban. Function definitions annotated
 //                METRO_NOALLOC (src/util/analysis.h) must not lexically
 //                contain `new`, malloc-family calls, owning-container
-//                types/growth methods, or Tensor materialization. The
-//                contract is shallow: only the annotated body is checked,
-//                so cold paths are sanctioned by calling an un-annotated
-//                helper (see DESIGN.md "Project invariants").
+//                types/growth methods, or Tensor materialization. This
+//                per-body check is shallow by design; the v2
+//                noalloc-interproc pass (wholeprogram.cpp) propagates the
+//                contract through the call graph.
 //
 //   hygiene    — banned patterns: raw std::mutex outside util/sync.h,
 //                const_cast outside the declared whitelist, bounds-checked
 //                Tensor::at() in src/nn/ + src/tensor/ kernels, and
 //                sleep_for in tests outside the chaos harness.
+//
+// plus the v2 whole-program passes (wholeprogram.cpp): lockorder (global
+// acquired-while-holding graph checked against the declared partial order,
+// cycles reported as potential deadlocks), noalloc-interproc, and
+// blocking-while-locked. See DESIGN.md "metrolint v2 whole-program passes".
 //
 // The analysis is two-pass lexical: comments are stripped (preserving
 // newlines so findings carry real line numbers) for include extraction, and
@@ -32,47 +37,34 @@
 // scan has no false positives on this codebase, and the config whitelists
 // carry the rest.
 //
-// Exit status: 0 when the tree is clean, 1 when findings exist, 2 on usage
-// or I/O errors. `--selftest` runs the rule engine over embedded fixture
-// files seeding at least one violation per rule family and verifies both
-// the positive and negative controls.
+// Exit status: 0 when the tree is clean (or every finding is baselined),
+// 1 when fresh findings exist, 2 on usage or I/O errors. `--selftest` runs
+// the rule engine over embedded fixture files seeding at least one violation
+// per rule family (v1 per-file rules and all three v2 passes) and verifies
+// both the positive and negative controls.
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common.h"
+#include "wholeprogram.h"
+
 namespace fs = std::filesystem;
 
-namespace {
+namespace metrolint {
 
-// ---------------------------------------------------------------------------
-// Config
-// ---------------------------------------------------------------------------
-
-struct Config {
-  std::map<std::string, int> ranks;           // module -> layer rank
-  std::set<std::string> include_exceptions;   // "src-rel-file -> include"
-  std::vector<std::string> noalloc_functions; // banned free-function calls
-  std::vector<std::string> noalloc_methods;   // banned .x( / ->x( calls
-  std::vector<std::string> noalloc_types;     // banned std::T / bare types
-  std::set<std::string> mutex_allowed;        // files that may own std::mutex
-  std::set<std::string> const_cast_allowed;   // files that may const_cast
-  std::vector<std::string> tensor_at_paths;   // prefixes where .at( is banned
-  std::vector<std::string> sleep_for_paths;   // prefixes where sleep_for is banned
-  std::set<std::string> sleep_for_allowed;    // chaos-harness exceptions
-};
-
-// Minimal TOML subset: [section] headers, `key = int`, `key = "string"`,
+// Minimal TOML subset: [section] headers, `key = int`, `"key" = "string"`,
 // `key = [ "a", "b", ... ]` (arrays may span lines). Enough for
 // metrolint.toml; anything else is a config error.
 bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
@@ -88,6 +80,12 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
     if (b == std::string::npos) return std::string();
     const auto e = s.find_last_not_of(" \t\r");
     return s.substr(b, e - b + 1);
+  };
+  auto unquote = [](std::string s) {
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      return s.substr(1, s.size() - 2);
+    }
+    return s;
   };
   auto strip_comment = [](std::string s) {
     bool in_str = false;
@@ -120,9 +118,18 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
       section = line.substr(1, line.size() - 2);
       continue;
     }
-    const auto eq = line.find('=');
+    // Split on the first '=' outside quotes (lock keys contain "->" but
+    // never '='; quoted keys keep this simple).
+    std::size_t eq = std::string::npos;
+    {
+      bool in_str = false;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') in_str = !in_str;
+        if (line[i] == '=' && !in_str) { eq = i; break; }
+      }
+    }
     if (eq == std::string::npos) return fail("expected key = value");
-    const std::string key = trim(line.substr(0, eq));
+    const std::string key = unquote(trim(line.substr(0, eq)));
     std::string value = trim(line.substr(eq + 1));
 
     if (!value.empty() && value.front() == '[') {
@@ -159,6 +166,12 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
         cfg->sleep_for_paths = items;
       } else if (section == "sleep_for" && key == "allowed") {
         as_set(&cfg->sleep_for_allowed);
+      } else if (section == "blocking" && key == "functions") {
+        cfg->blocking_functions = items;
+      } else if (section == "blocking" && key == "qualified") {
+        cfg->blocking_qualified = items;
+      } else if (section == "callgraph" && key == "ignore") {
+        cfg->callgraph_ignore = items;
       } else {
         return fail("unknown array key '" + section + "." + key + "'");
       }
@@ -173,109 +186,56 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
       }
       continue;
     }
+    if (!value.empty() && value.front() == '"') {
+      const std::string sval = unquote(value);
+      if (section == "locks") {
+        // "Class::field" = "human.name rank"
+        const std::size_t sp = sval.find_last_of(' ');
+        if (sp == std::string::npos) {
+          return fail("lock '" + key + "' needs \"name rank\"");
+        }
+        Config::LockInfo info;
+        info.name = trim(sval.substr(0, sp));
+        try {
+          info.rank = std::stoi(sval.substr(sp + 1));
+        } catch (...) {
+          return fail("lock '" + key + "' rank is not an integer");
+        }
+        if (info.name.empty()) return fail("lock '" + key + "' has no name");
+        cfg->locks[key] = info;
+        continue;
+      }
+      std::map<std::string, std::string>* dst = nullptr;
+      if (section == "lockorder_exceptions") dst = &cfg->lockorder_exceptions;
+      if (section == "noalloc_exceptions") dst = &cfg->noalloc_exceptions;
+      if (section == "blocking_exceptions") dst = &cfg->blocking_exceptions;
+      if (dst) {
+        if (trim(sval).empty()) {
+          return fail("exception '" + key + "' needs a justification string");
+        }
+        (*dst)[key] = sval;
+        continue;
+      }
+    }
     return fail("unknown key '" + section + "." + key + "'");
   }
   return true;
 }
 
-// ---------------------------------------------------------------------------
-// Lexical preprocessing
-// ---------------------------------------------------------------------------
+}  // namespace metrolint
 
-// Replaces comments (and, when `strip_literals`, string/char literal
-// contents) with spaces, preserving every newline so byte offsets map to the
-// original line numbers.
-std::string StripSource(std::string_view src, bool strip_literals) {
-  std::string out(src);
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto blank = [&](std::size_t from, std::size_t to) {
-    for (std::size_t k = from; k < to; ++k) {
-      if (out[k] != '\n') out[k] = ' ';
-    }
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t j = i;
-      while (j < n && src[j] != '\n') ++j;
-      blank(i, j);
-      i = j;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t j = i + 2;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
-      j = std::min(n, j + 2);
-      blank(i, j);
-      i = j;
-    } else if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        ++j;
-      }
-      j = std::min(n, j + 1);
-      if (strip_literals) blank(i + 1, j > i + 1 ? j - 1 : i + 1);
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
+namespace {
 
-int LineOf(std::string_view text, std::size_t pos) {
-  return 1 + int(std::count(text.begin(), text.begin() + long(pos), '\n'));
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True when text[pos, pos+len) is a whole identifier token.
-bool IsWholeToken(std::string_view text, std::size_t pos, std::size_t len) {
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  if (pos + len < text.size() && IsIdentChar(text[pos + len])) return false;
-  return true;
-}
-
-// Last non-whitespace character strictly before `pos`, or '\0'.
-char PrevNonSpace(std::string_view text, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
-      return text[pos];
-    }
-  }
-  return '\0';
-}
-
-// First non-whitespace character at or after `pos`, or '\0'.
-char NextNonSpace(std::string_view text, std::size_t pos) {
-  while (pos < text.size()) {
-    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
-      return text[pos];
-    }
-    ++pos;
-  }
-  return '\0';
-}
-
-// ---------------------------------------------------------------------------
-// Findings
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;
-  int line;
-  std::string rule;
-  std::string message;
-};
-
-void Report(std::vector<Finding>* out, const std::string& file, int line,
-            const char* rule, std::string message) {
-  out->push_back(Finding{file, line, rule, std::move(message)});
-}
+using metrolint::Config;
+using metrolint::Finding;
+using metrolint::HasPrefix;
+using metrolint::IsWholeToken;
+using metrolint::LineOf;
+using metrolint::NextNonSpace;
+using metrolint::PrevNonSpace;
+using metrolint::Report;
+using metrolint::SourceFile;
+using metrolint::StripSource;
 
 // ---------------------------------------------------------------------------
 // Rule family 1: include-layering DAG
@@ -323,67 +283,8 @@ void CheckLayering(const std::string& rel, std::string_view src,
 }
 
 // ---------------------------------------------------------------------------
-// Rule family 2: METRO_NOALLOC hot-path allocation ban
+// Rule family 2: METRO_NOALLOC hot-path allocation ban (per-body)
 // ---------------------------------------------------------------------------
-
-// Scans one annotated body [begin, end) of `text` for banned tokens.
-void ScanNoallocBody(const std::string& rel, std::string_view text,
-                     std::size_t begin, std::size_t end, const Config& cfg,
-                     std::vector<Finding>* out) {
-  auto report = [&](std::size_t pos, const std::string& what) {
-    Report(out, rel, LineOf(text, pos), "noalloc",
-           what + " inside a METRO_NOALLOC body (move cold-path work to an "
-                  "un-annotated helper)");
-  };
-  for (std::size_t i = begin; i < end; ++i) {
-    if (!IsIdentChar(text[i]) || (i > 0 && IsIdentChar(text[i - 1]))) {
-      continue;  // not the start of an identifier
-    }
-    std::size_t j = i;
-    while (j < end && IsIdentChar(text[j])) ++j;
-    const std::string_view tok = text.substr(i, j - i);
-    const char prev = PrevNonSpace(text, i);
-    const bool member = prev == '.' ||
-                        (prev == '>' && i >= 2 && text[i - 2] == '-');
-    const bool called = NextNonSpace(text, j) == '(';
-
-    if (tok == "new" && !member) {
-      report(i, "operator new");
-    } else if (!member && called &&
-               std::find(cfg.noalloc_functions.begin(),
-                         cfg.noalloc_functions.end(),
-                         tok) != cfg.noalloc_functions.end()) {
-      report(i, "call to " + std::string(tok) + "()");
-    } else if (member && called &&
-               std::find(cfg.noalloc_methods.begin(),
-                         cfg.noalloc_methods.end(),
-                         tok) != cfg.noalloc_methods.end()) {
-      report(i, "owning-container growth ." + std::string(tok) + "()");
-    } else if (!member &&
-               std::find(cfg.noalloc_types.begin(), cfg.noalloc_types.end(),
-                         tok) != cfg.noalloc_types.end()) {
-      // Bare banned type (Tensor) or std-qualified owning container
-      // (std::vector, std::string, ...). `prev == ':'` means the token is
-      // namespace-qualified; only std:: qualification bans it.
-      bool banned = true;
-      if (prev == ':') {
-        std::size_t k = i;
-        while (k > 0 &&
-               (text[k - 1] == ':' ||
-                std::isspace(static_cast<unsigned char>(text[k - 1])))) {
-          --k;
-        }
-        banned = k >= 3 && text.compare(k - 3, 3, "std") == 0 &&
-                 IsWholeToken(text, k - 3, 3);
-      }
-      if (banned) {
-        report(i, "owning type " + std::string(prev == ':' ? "std::" : "") +
-                      std::string(tok));
-      }
-    }
-    i = j - 1;
-  }
-}
 
 void CheckNoalloc(const std::string& rel, std::string_view src,
                   const Config& cfg, std::vector<Finding>* out) {
@@ -429,7 +330,13 @@ void CheckNoalloc(const std::string& rel, std::string_view src,
              "end of the annotated body)");
       return;
     }
-    ScanNoallocBody(rel, text, body_begin, j - 1, cfg, out);
+    metrolint::ScanAllocTokens(
+        text, body_begin, j - 1, cfg,
+        [&](std::size_t p, const std::string& what) {
+          Report(out, rel, LineOf(text, p), "noalloc",
+                 what + " inside a METRO_NOALLOC body (move cold-path work "
+                        "to an un-annotated helper)");
+        });
     pos = j;
   }
 }
@@ -437,13 +344,6 @@ void CheckNoalloc(const std::string& rel, std::string_view src,
 // ---------------------------------------------------------------------------
 // Rule family 3: banned-pattern hygiene
 // ---------------------------------------------------------------------------
-
-bool HasPrefix(const std::string& s, const std::vector<std::string>& prefixes) {
-  for (const std::string& p : prefixes) {
-    if (s.rfind(p, 0) == 0) return true;
-  }
-  return false;
-}
 
 void CheckHygiene(const std::string& rel, std::string_view src,
                   const Config& cfg, std::vector<Finding>* out) {
@@ -518,40 +418,148 @@ bool IsSourceFile(const fs::path& p) {
   return ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp";
 }
 
-int RunTree(const fs::path& root, const Config& cfg) {
+// Baseline fingerprints are stable across line-number churn: digits after a
+// ':' inside the message (witness-chain line numbers) are normalized away,
+// and the finding's own line is not part of the key.
+std::string Fingerprint(const Finding& f) {
+  std::string msg;
+  msg.reserve(f.message.size());
+  for (std::size_t i = 0; i < f.message.size(); ++i) {
+    msg += f.message[i];
+    if (f.message[i] == ':') {
+      std::size_t j = i + 1;
+      while (j < f.message.size() &&
+             std::isdigit(static_cast<unsigned char>(f.message[j]))) {
+        ++j;
+      }
+      if (j > i + 1) {
+        msg += 'N';
+        i = j - 1;
+      }
+    }
+  }
+  return f.rule + "|" + f.file + "|" + msg;
+}
+
+struct Options {
+  fs::path root;
+  fs::path config_path;
+  fs::path baseline_path;
+  fs::path write_baseline_path;
+  fs::path dot_path;
+  bool selftest = false;
+};
+
+int RunTree(const Options& opt, const Config& cfg) {
+  using Clock = std::chrono::steady_clock;
   std::vector<Finding> findings;
   std::vector<std::string> rels;
-  for (const char* dir : {"src", "bench", "tests"}) {
-    const fs::path base = root / dir;
+  for (const char* dir : {"src", "bench", "tests", "examples"}) {
+    const fs::path base = opt.root / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-        rels.push_back(fs::relative(entry.path(), root).generic_string());
+        rels.push_back(fs::relative(entry.path(), opt.root).generic_string());
       }
     }
   }
   std::sort(rels.begin(), rels.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(rels.size());
   for (const std::string& rel : rels) {
-    std::ifstream in(root / rel, std::ios::binary);
+    std::ifstream in(opt.root / rel, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "metrolint: cannot read %s\n", rel.c_str());
       return 2;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    CheckFile(rel, ss.str(), cfg, &findings);
+    files.push_back(SourceFile{rel, ss.str()});
   }
+
+  auto timed = [&](const char* pass, auto&& body) {
+    const auto t0 = Clock::now();
+    const std::size_t before = findings.size();
+    body();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - t0)
+                        .count();
+    std::fprintf(stderr, "metrolint: pass %-18s %5lld ms  %zu finding(s)\n",
+                 pass, static_cast<long long>(ms), findings.size() - before);
+  };
+
+  timed("per-file (v1)", [&] {
+    for (const SourceFile& sf : files) {
+      CheckFile(sf.rel, sf.text, cfg, &findings);
+    }
+  });
+
+  metrolint::Program prog;
+  timed("build-model", [&] { prog = metrolint::BuildProgram(files, cfg); });
+  std::string dot;
+  timed("lockorder", [&] {
+    metrolint::RunLockOrder(prog, cfg, &findings,
+                            opt.dot_path.empty() ? nullptr : &dot);
+  });
+  timed("noalloc-interproc",
+        [&] { metrolint::RunNoallocInterproc(prog, cfg, &findings); });
+  timed("blocking-while-locked",
+        [&] { metrolint::RunBlockingWhileLocked(prog, cfg, &findings); });
+
+  if (!opt.dot_path.empty()) {
+    std::ofstream dout(opt.dot_path);
+    if (!dout) {
+      std::fprintf(stderr, "metrolint: cannot write %s\n",
+                   opt.dot_path.string().c_str());
+      return 2;
+    }
+    dout << dot;
+  }
+
+  if (!opt.write_baseline_path.empty()) {
+    std::set<std::string> fps;
+    for (const Finding& f : findings) fps.insert(Fingerprint(f));
+    std::ofstream bout(opt.write_baseline_path);
+    if (!bout) {
+      std::fprintf(stderr, "metrolint: cannot write %s\n",
+                   opt.write_baseline_path.string().c_str());
+      return 2;
+    }
+    for (const std::string& fp : fps) bout << fp << "\n";
+    std::fprintf(stderr, "metrolint: wrote %zu baseline fingerprint(s)\n",
+                 fps.size());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!opt.baseline_path.empty() && fs::exists(opt.baseline_path)) {
+    std::ifstream bin(opt.baseline_path);
+    std::string bline;
+    while (std::getline(bin, bline)) {
+      if (!bline.empty()) baseline.insert(bline);
+    }
+  }
+
+  std::size_t suppressed = 0, fresh = 0;
   for (const Finding& f : findings) {
+    if (baseline.count(Fingerprint(f))) {
+      ++suppressed;
+      continue;
+    }
+    ++fresh;
     std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
                  f.rule.c_str(), f.message.c_str());
   }
-  std::fprintf(stderr, "metrolint: %zu file(s), %zu finding(s)\n", rels.size(),
-               findings.size());
-  return findings.empty() ? 0 : 1;
+  std::fprintf(stderr,
+               "metrolint: %zu file(s), %zu finding(s) (%zu fresh, %zu "
+               "baselined)\n",
+               rels.size(), findings.size(), fresh, suppressed);
+  return fresh == 0 ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
-// Selftest
+// Selftest (v1 per-file rules; the v2 fixtures live in wholeprogram.cpp)
 // ---------------------------------------------------------------------------
 
 struct Fixture {
@@ -646,53 +654,66 @@ int RunSelftest(const Config& cfg) {
       ++failures;
     }
   }
-  std::fprintf(stderr, "metrolint --selftest: %d failure(s)\n", failures);
-  return failures == 0 ? 0 : 1;
+  std::fprintf(stderr, "metrolint --selftest (v1): %d failure(s)\n", failures);
+  return failures;
 }
 
 const char kUsage[] =
     "usage: metrolint [--root DIR] [--config FILE] [--selftest]\n"
-    "  --root DIR     repository root to scan (default: cwd)\n"
-    "  --config FILE  rule config (default: ROOT/tools/metrolint/metrolint.toml)\n"
-    "  --selftest     run the embedded rule fixtures instead of scanning\n";
+    "                 [--baseline FILE] [--write-baseline FILE] [--dot FILE]\n"
+    "  --root DIR            repository root to scan (default: cwd)\n"
+    "  --config FILE         rule config (default: ROOT/tools/metrolint/metrolint.toml)\n"
+    "  --selftest            run the embedded rule fixtures instead of scanning\n"
+    "  --baseline FILE       suppress findings fingerprinted in FILE; fail only on fresh ones\n"
+    "  --write-baseline FILE write the current findings' fingerprints and exit 0\n"
+    "  --dot FILE            write the global lock graph in Graphviz DOT form\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = fs::current_path();
-  fs::path config_path;
-  bool selftest = false;
+  Options opt;
+  opt.root = fs::current_path();
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--selftest") {
-      selftest = true;
+      opt.selftest = true;
     } else if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
+      opt.root = argv[++i];
     } else if (arg == "--config" && i + 1 < argc) {
-      config_path = argv[++i];
+      opt.config_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opt.baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      opt.write_baseline_path = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      opt.dot_path = argv[++i];
     } else {
       std::fputs(kUsage, stderr);
       return 2;
     }
   }
-  if (config_path.empty()) {
-    config_path = root / "tools" / "metrolint" / "metrolint.toml";
+  if (opt.config_path.empty()) {
+    opt.config_path = opt.root / "tools" / "metrolint" / "metrolint.toml";
   }
 
-  std::ifstream in(config_path, std::ios::binary);
+  std::ifstream in(opt.config_path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "metrolint: cannot read config %s\n",
-                 config_path.string().c_str());
+                 opt.config_path.string().c_str());
     return 2;
   }
   std::ostringstream ss;
   ss << in.rdbuf();
   Config cfg;
   std::string err;
-  if (!ParseConfig(ss.str(), &cfg, &err)) {
+  if (!metrolint::ParseConfig(ss.str(), &cfg, &err)) {
     std::fprintf(stderr, "metrolint: %s\n", err.c_str());
     return 2;
   }
 
-  return selftest ? RunSelftest(cfg) : RunTree(root, cfg);
+  if (opt.selftest) {
+    const int failures = RunSelftest(cfg) + metrolint::RunSelftestV2();
+    return failures == 0 ? 0 : 1;
+  }
+  return RunTree(opt, cfg);
 }

@@ -1,0 +1,1775 @@
+// metrolint v2 — whole-program model construction and passes.
+//
+// See wholeprogram.h for the model vocabulary and DESIGN.md "metrolint v2
+// whole-program passes" for the pass semantics. Everything here is lexical:
+// a scope-tracking scan (no clang) that is precise enough on this codebase
+// because the code style is uniform (MutexLock RAII acquisition, member
+// mutexes named *mu*, out-of-class definitions qualified Class::Method).
+
+#include "wholeprogram.h"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace metrolint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool HasToken(const std::string& text, std::string_view tok) {
+  std::size_t pos = 0;
+  while ((pos = text.find(tok, pos)) != std::string::npos) {
+    if (IsWholeToken(text, pos, tok.size())) return true;
+    pos += tok.size();
+  }
+  return false;
+}
+
+// Blanks preprocessor lines (including backslash continuations), preserving
+// newlines. Includes are collected from the un-stripped text beforehand.
+std::string StripPreprocessor(const std::string& code) {
+  std::string out = code;
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && (out[j] == ' ' || out[j] == '\t')) ++j;
+    std::size_t eol = out.find('\n', i);
+    if (eol == std::string::npos) eol = n;
+    if (j < n && out[j] == '#') {
+      // Blank this line and every continuation line.
+      for (;;) {
+        bool cont = eol > i && out[eol - 1] == '\\';
+        for (std::size_t k = i; k < eol; ++k) out[k] = ' ';
+        if (!cont || eol >= n) break;
+        i = eol + 1;
+        eol = out.find('\n', i);
+        if (eol == std::string::npos) eol = n;
+      }
+    }
+    i = eol + 1;
+    if (eol >= n) break;
+  }
+  return out;
+}
+
+// Collects `#include "path"` directives from comment-stripped text.
+std::vector<std::string> CollectIncludes(const std::string& lit) {
+  std::vector<std::string> out;
+  std::istringstream in(lit);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t p = line.find_first_not_of(" \t");
+    if (p == std::string::npos || line[p] != '#') continue;
+    p = line.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || line.compare(p, 7, "include") != 0) continue;
+    const std::size_t q1 = line.find('"', p + 7);
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    out.push_back(line.substr(q1 + 1, q2 - q1 - 1));
+  }
+  return out;
+}
+
+// One function definition as found by the scope scanner (pre-model form).
+struct RawFunc {
+  std::string head;  // signature text (everything between boundary and '{')
+  std::string cls;   // enclosing/explicit class chain, namespaces stripped
+  std::string name;
+  bool is_lambda = false;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  int line = 0;
+  // Nested function bodies (lambdas) excluded from this body's event scan.
+  std::vector<std::pair<std::size_t, std::size_t>> children;
+};
+
+// Class name out of a head like "template <typename T> class METRO_X(..) Foo
+// : public Bar". Takes the first plain identifier after the last
+// class/struct/union keyword, skipping annotation-macro groups.
+std::string ClassNameFrom(const std::string& head) {
+  std::size_t kw = std::string::npos, kwlen = 0;
+  for (std::string_view k : {"class", "struct", "union"}) {
+    std::size_t pos = 0;
+    while ((pos = head.find(k, pos)) != std::string::npos) {
+      if (IsWholeToken(head, pos, k.size()) &&
+          (kw == std::string::npos || pos > kw)) {
+        kw = pos;
+        kwlen = k.size();
+      }
+      pos += k.size();
+    }
+  }
+  if (kw == std::string::npos) return "";
+  std::size_t i = kw + kwlen;
+  const std::size_t n = head.size();
+  while (i < n) {
+    while (i < n && !IsIdentChar(head[i])) {
+      if (head[i] == ':' || head[i] == '{') return "";  // hit the base clause
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < n && IsIdentChar(head[j])) ++j;
+    std::string tok = head.substr(i, j - i);
+    if (tok.rfind("METRO_", 0) == 0 || tok == "alignas") {
+      // Skip the macro's argument group.
+      std::size_t p = j;
+      while (p < n && std::isspace(static_cast<unsigned char>(head[p]))) ++p;
+      if (p < n && head[p] == '(') {
+        int depth = 0;
+        for (; p < n; ++p) {
+          if (head[p] == '(') ++depth;
+          else if (head[p] == ')' && --depth == 0) { ++p; break; }
+        }
+      }
+      i = p;
+      continue;
+    }
+    return tok;
+  }
+  return "";
+}
+
+// Function name + explicit class qualifier out of a definition head.
+// Returns false when the head cannot be a function definition.
+bool ParseFuncHead(const std::string& head, std::string* name,
+                   std::string* cls) {
+  int angle = 0;
+  std::size_t ppos = std::string::npos;
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const char c = head[i];
+    if (c == '<') {
+      ++angle;
+    } else if (c == '>') {
+      if (i > 0 && head[i - 1] == '-') continue;  // ->
+      if (angle > 0) --angle;
+    } else if (c == '(' && angle == 0) {
+      ppos = i;
+      break;
+    }
+  }
+  if (ppos == std::string::npos) return false;
+  std::size_t e = ppos;
+  auto skipws = [&](std::size_t p) {
+    while (p > 0 && std::isspace(static_cast<unsigned char>(head[p - 1]))) --p;
+    return p;
+  };
+  e = skipws(e);
+  std::vector<std::string> comps;
+  for (;;) {
+    std::size_t b = e;
+    while (b > 0 && IsIdentChar(head[b - 1])) --b;
+    if (b == e) break;
+    std::string comp = head.substr(b, e - b);
+    if (b > 0 && head[b - 1] == '~') comp = "~" + comp;
+    comps.insert(comps.begin(), comp);
+    std::size_t k = skipws(b - (comp[0] == '~' ? 1 : 0));
+    if (k >= 2 && head[k - 1] == ':' && head[k - 2] == ':') {
+      e = skipws(k - 2);
+    } else {
+      break;
+    }
+  }
+  if (comps.empty()) return false;
+  const std::string& last = comps.back();
+  static const char* kNotAFunc[] = {"if",     "for",   "while", "switch",
+                                    "catch",  "return", "do",   "else",
+                                    "sizeof", "new",   "delete", "operator",
+                                    "defined"};
+  for (const char* k : kNotAFunc) {
+    if (last == k) return false;
+  }
+  if (std::isdigit(static_cast<unsigned char>(last[0]))) return false;
+  *name = last;
+  std::string c;
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    if (comps[i] == "std" || comps[i] == "metro") continue;  // namespaces
+    if (!c.empty()) c += "::";
+    c += comps[i];
+  }
+  *cls = c;
+  return true;
+}
+
+// Tries to parse the class-scope statement code[b,e) as a Mutex member
+// declaration, optionally with a `{lockrank::kX, "name"}` initializer (the
+// name literal is read from `lit`, where literals survive).
+void TryMutexFieldDecl(const std::string& rel, const std::string& code,
+                       const std::string& lit, std::size_t b, std::size_t e,
+                       const std::vector<std::string>& cls_chain,
+                       std::vector<MutexFieldDecl>* decls) {
+  std::size_t pos = std::string::npos;
+  for (std::size_t i = b; i + 5 <= e; ++i) {
+    if (code[i] == '(') return;  // parameter list: a method declaration
+    if (code.compare(i, 5, "Mutex") == 0 && IsWholeToken(code, i, 5)) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == std::string::npos) return;
+  std::size_t i = pos + 5;
+  while (i < e && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+  if (i >= e || !(std::isalpha(static_cast<unsigned char>(code[i])) ||
+                  code[i] == '_')) {
+    return;  // Mutex* / Mutex& / vector<Mutex> / operator use
+  }
+  const std::size_t fb = i;
+  while (i < e && IsIdentChar(code[i])) ++i;
+  const std::string field = code.substr(fb, i - fb);
+  while (i < e && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+  std::string rank_const, lockname;
+  if (i < e && code[i] == '{') {
+    const std::size_t open = i;
+    int depth = 0;
+    std::size_t close = e;
+    for (; i < e; ++i) {
+      if (code[i] == '{') ++depth;
+      else if (code[i] == '}' && --depth == 0) { close = i; break; }
+    }
+    const std::string inner = Trim(code.substr(open + 1, close - open - 1));
+    if (inner.rfind("lockrank::", 0) == 0) {
+      std::size_t k = 10, ke = 10;
+      while (ke < inner.size() && IsIdentChar(inner[ke])) ++ke;
+      rank_const = inner.substr(k, ke - k);
+    }
+    const std::size_t q1 = lit.find('"', open);
+    if (q1 != std::string::npos && q1 < close) {
+      const std::size_t q2 = lit.find('"', q1 + 1);
+      if (q2 != std::string::npos && q2 <= close) {
+        lockname = lit.substr(q1 + 1, q2 - q1 - 1);
+      }
+    }
+  }
+  std::string cls;
+  for (const std::string& c : cls_chain) {
+    if (c.empty()) continue;
+    if (!cls.empty()) cls += "::";
+    cls += c;
+  }
+  MutexFieldDecl d;
+  d.id = cls.empty() ? rel + ":" + field : cls + "::" + field;
+  d.rank_const = rank_const;
+  d.name = lockname;
+  d.file = rel;
+  d.line = LineOf(code, fb);
+  decls->push_back(d);
+}
+
+// The scope scanner: walks preprocessed `code`, tracking namespace / class /
+// function / other brace frames, and emits RawFuncs + Mutex member decls.
+void ScanScopes(const std::string& rel, const std::string& code,
+                const std::string& lit, std::vector<RawFunc>* raws,
+                std::vector<MutexFieldDecl>* decls) {
+  struct Frame {
+    char kind;  // 'n'amespace, 'c'lass, 'f'unction, 'o'ther
+    int raw_idx;
+    std::size_t open;
+    int saved_paren;
+    std::size_t saved_boundary;
+  };
+  std::vector<Frame> stack;
+  std::vector<std::string> cls_chain;
+  std::size_t boundary = 0;
+  int paren = 0;
+  const std::size_t n = code.size();
+
+  auto innermost = [&]() { return stack.empty() ? 'g' : stack.back().kind; };
+  auto nearest_func = [&]() {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == 'f') return it->raw_idx;
+    }
+    return -1;
+  };
+  auto joined_cls = [&]() {
+    std::string c;
+    for (const std::string& s : cls_chain) {
+      if (s.empty()) continue;
+      if (!c.empty()) c += "::";
+      c += s;
+    }
+    return c;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = code[i];
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      if (paren > 0) --paren;
+    } else if (c == ';' && paren == 0) {
+      if (innermost() == 'c') {
+        TryMutexFieldDecl(rel, code, lit, boundary, i, cls_chain, decls);
+      }
+      boundary = i + 1;
+    } else if (c == '{') {
+      const std::string head = Trim(code.substr(boundary, i - boundary));
+      const bool in_func = nearest_func() >= 0;
+      char kind = 'o';
+      std::string name, cls;
+      bool lambda = false;
+      if (!head.empty() &&
+          (head.back() == ']' || head.find("](") != std::string::npos ||
+           head.find("] (") != std::string::npos)) {
+        kind = 'f';
+        lambda = true;
+      } else if (in_func || paren > 0) {
+        if ((HasToken(head, "class") || HasToken(head, "struct")) &&
+            !HasToken(head, "enum")) {
+          kind = 'c';
+          name = ClassNameFrom(head);
+        }
+        // control flow / plain blocks / braced initializers: 'o'
+      } else if (HasToken(head, "namespace")) {
+        kind = 'n';
+      } else if (HasToken(head, "enum")) {
+        kind = 'o';
+      } else if (HasToken(head, "class") || HasToken(head, "struct") ||
+                 HasToken(head, "union")) {
+        kind = 'c';
+        name = ClassNameFrom(head);
+      } else if (head.find('(') != std::string::npos) {
+        std::string fname, fcls;
+        if (ParseFuncHead(head, &fname, &fcls)) {
+          kind = 'f';
+          name = fname;
+          cls = fcls;
+        }
+      }
+
+      int raw_idx = -1;
+      if (kind == 'f') {
+        RawFunc rf;
+        rf.head = head;
+        rf.is_lambda = lambda;
+        if (lambda) {
+          rf.cls = joined_cls();
+          rf.name = "<lambda>";
+        } else {
+          rf.cls = cls.empty() ? joined_cls() : cls;
+          rf.name = name;
+        }
+        // Anchor the line at the head start (first non-space of the head).
+        std::size_t hb = boundary;
+        while (hb < i && std::isspace(static_cast<unsigned char>(code[hb]))) {
+          ++hb;
+        }
+        rf.line = LineOf(code, hb < i ? hb : i);
+        raw_idx = int(raws->size());
+        raws->push_back(std::move(rf));
+      }
+      if (kind == 'c') cls_chain.push_back(name);
+      stack.push_back(Frame{kind, raw_idx, i, paren, boundary});
+      paren = 0;
+      boundary = i + 1;
+    } else if (c == '}') {
+      if (stack.empty()) {
+        boundary = i + 1;
+        continue;
+      }
+      const Frame fr = stack.back();
+      stack.pop_back();
+      paren = fr.saved_paren;
+      if (fr.kind == 'c' && !cls_chain.empty()) cls_chain.pop_back();
+      if (fr.kind == 'f') {
+        (*raws)[fr.raw_idx].body_begin = fr.open + 1;
+        (*raws)[fr.raw_idx].body_end = i;
+        const int parent = nearest_func();
+        if (parent >= 0) {
+          (*raws)[parent].children.push_back({fr.open + 1, i});
+        }
+      }
+      // A brace-init 'o' scope inside a class does not end the member
+      // statement: keep the pre-'{' boundary so `Mutex mu_{...};` is parsed
+      // whole at the following ';'.
+      if (fr.kind == 'o' && innermost() == 'c') {
+        boundary = fr.saved_boundary;
+      } else {
+        boundary = i + 1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-identity resolution
+// ---------------------------------------------------------------------------
+
+struct DeclIndex {
+  // (cls chain, field) -> id; field -> ids (for unique-by-field fallback).
+  std::map<std::pair<std::string, std::string>, std::string> exact;
+  std::map<std::string, std::vector<std::string>> by_field;
+};
+
+DeclIndex IndexDecls(const std::vector<MutexFieldDecl>& decls) {
+  DeclIndex ix;
+  for (const MutexFieldDecl& d : decls) {
+    const std::size_t sep = d.id.rfind("::");
+    if (sep == std::string::npos) continue;  // file-scoped pseudo decl
+    const std::string cls = d.id.substr(0, sep);
+    const std::string field = d.id.substr(sep + 2);
+    ix.exact[{cls, field}] = d.id;
+    ix.by_field[field].push_back(d.id);
+  }
+  return ix;
+}
+
+std::string ResolveField(const std::string& field, const std::string& cls,
+                         const std::string& file, const DeclIndex& ix,
+                         bool allow_unique) {
+  std::string base = field;
+  if (base.size() >= 2 && base.compare(base.size() - 2, 2, "[]") == 0) {
+    base.resize(base.size() - 2);
+  }
+  auto it = ix.exact.find({cls, base});
+  if (it != ix.exact.end()) return it->second;
+  if (allow_unique) {
+    auto bf = ix.by_field.find(base);
+    if (bf != ix.by_field.end() && bf->second.size() == 1) {
+      return bf->second[0];
+    }
+  }
+  if (cls.empty()) return file + ":" + field;
+  return cls + "::" + field;
+}
+
+// Canonicalizes a MutexLock / METRO_REQUIRES argument expression into a lock
+// identity. `params` is the function's parameter-list text (a lock that is a
+// parameter is generic -> "" and dropped from the analysis).
+std::string NormalizeLockExpr(const std::string& raw, const std::string& cls,
+                              const std::string& file,
+                              const std::string& params, const DeclIndex& ix) {
+  std::string canon;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '[') {
+      int depth = 0;
+      for (; i < raw.size(); ++i) {
+        if (raw[i] == '[') ++depth;
+        else if (raw[i] == ']' && --depth == 0) break;
+      }
+      canon += "[]";
+      continue;
+    }
+    canon += c;
+  }
+  while (!canon.empty() && (canon[0] == '*' || canon[0] == '&')) {
+    canon.erase(canon.begin());
+  }
+  if (canon.empty()) return "";
+  if (canon.back() == ')') return file + ":" + canon;  // call expression
+  std::size_t acc = std::string::npos;
+  for (std::size_t i = canon.size(); i-- > 1;) {
+    if (canon[i] == '.' || (canon[i] == '>' && canon[i - 1] == '-')) {
+      acc = i;
+      break;
+    }
+  }
+  if (acc != std::string::npos) {
+    return ResolveField(canon.substr(acc + 1), cls, file, ix,
+                        /*allow_unique=*/true);
+  }
+  // Bare identifier (maybe with []): parameter -> generic.
+  std::string base = canon;
+  if (base.size() >= 2 && base.compare(base.size() - 2, 2, "[]") == 0) {
+    base.resize(base.size() - 2);
+  }
+  std::size_t p = 0;
+  while ((p = params.find(base, p)) != std::string::npos) {
+    if (IsWholeToken(params, p, base.size())) return "";
+    p += base.size();
+  }
+  if (cls.empty()) return file + ":" + canon;
+  return ResolveField(canon, cls, file, ix, /*allow_unique=*/false);
+}
+
+// First balanced parenthesis group of `head` (the parameter list), contents
+// only.
+std::string ParamListOf(const std::string& head) {
+  const std::size_t open = head.find('(');
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (std::size_t i = open; i < head.size(); ++i) {
+    if (head[i] == '(') ++depth;
+    else if (head[i] == ')' && --depth == 0) {
+      return head.substr(open + 1, i - open - 1);
+    }
+  }
+  return head.substr(open + 1);
+}
+
+// Splits `args` on top-level commas.
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (char c : args) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!Trim(cur).empty()) out.push_back(Trim(cur));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Event extraction
+// ---------------------------------------------------------------------------
+
+bool InRanges(std::size_t pos,
+              const std::vector<std::pair<std::size_t, std::size_t>>& rs) {
+  for (const auto& r : rs) {
+    if (pos >= r.first && pos < r.second) return true;
+  }
+  return false;
+}
+
+bool IsCallKeyword(std::string_view tok) {
+  static const char* kKw[] = {"if",      "for",     "while",    "switch",
+                              "return",  "sizeof",  "alignof",  "catch",
+                              "throw",   "new",     "delete",   "assert",
+                              "defined", "do",      "else",     "case",
+                              "co_await", "co_return", "static_assert",
+                              "decltype", "noexcept", "operator"};
+  for (const char* k : kKw) {
+    if (tok == k) return true;
+  }
+  return false;
+}
+
+void ExtractEvents(Func* f, const RawFunc& raw, const std::string& code,
+                   const std::string& file, const Config& cfg,
+                   const DeclIndex& ix) {
+  const std::string params = ParamListOf(raw.head);
+
+  // Annotations in the head.
+  f->noalloc = HasToken(raw.head, "METRO_NOALLOC");
+  for (std::string_view macro : {"METRO_REQUIRES", "METRO_ACQUIRE"}) {
+    std::size_t p = raw.head.find(macro);
+    while (p != std::string::npos) {
+      if (IsWholeToken(raw.head, p, macro.size())) {
+        const std::size_t open = raw.head.find('(', p + macro.size());
+        if (open != std::string::npos) {
+          int depth = 0;
+          std::size_t close = raw.head.size();
+          for (std::size_t k = open; k < raw.head.size(); ++k) {
+            if (raw.head[k] == '(') ++depth;
+            else if (raw.head[k] == ')' && --depth == 0) { close = k; break; }
+          }
+          for (const std::string& arg :
+               SplitArgs(raw.head.substr(open + 1, close - open - 1))) {
+            if (arg.empty() || arg[0] == '!') continue;
+            const std::string id =
+                NormalizeLockExpr(arg, f->cls, file, params, ix);
+            if (!id.empty()) f->requires_locks.push_back(id);
+          }
+        }
+      }
+      p = raw.head.find(macro, p + macro.size());
+    }
+  }
+
+  // Segments of the body, excluding nested lambda bodies.
+  std::vector<std::pair<std::size_t, std::size_t>> children = raw.children;
+  std::sort(children.begin(), children.end());
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  std::size_t cur = raw.body_begin;
+  for (const auto& ch : children) {
+    if (ch.first > cur) segs.push_back({cur, ch.first});
+    cur = std::max(cur, ch.second);
+  }
+  if (cur < raw.body_end) segs.push_back({cur, raw.body_end});
+
+  // Pass 1 over segments: MutexLock acquisition sites.
+  struct RawSite {
+    std::string var;
+    std::string expr;
+    std::size_t tok_pos;
+    std::size_t ctor_close;
+  };
+  std::vector<RawSite> sites;
+  std::vector<std::pair<std::size_t, std::size_t>> site_ranges;
+  for (const auto& seg : segs) {
+    std::size_t p = seg.first;
+    while ((p = code.find("MutexLock", p)) != std::string::npos &&
+           p < seg.second) {
+      if (!IsWholeToken(code, p, 9)) {
+        p += 9;
+        continue;
+      }
+      std::size_t i = p + 9;
+      while (i < seg.second &&
+             std::isspace(static_cast<unsigned char>(code[i]))) {
+        ++i;
+      }
+      std::size_t vb = i;
+      while (i < seg.second && IsIdentChar(code[i])) ++i;
+      const std::string var = code.substr(vb, i - vb);
+      while (i < seg.second &&
+             std::isspace(static_cast<unsigned char>(code[i]))) {
+        ++i;
+      }
+      if (var.empty() || i >= seg.second ||
+          (code[i] != '(' && code[i] != '{')) {
+        p += 9;
+        continue;
+      }
+      const char open = code[i];
+      const char close_ch = open == '(' ? ')' : '}';
+      int depth = 0;
+      std::size_t close = seg.second;
+      for (std::size_t k = i; k < seg.second; ++k) {
+        if (code[k] == open) ++depth;
+        else if (code[k] == close_ch && --depth == 0) { close = k; break; }
+      }
+      sites.push_back(
+          RawSite{var, Trim(code.substr(i + 1, close - i - 1)), p, close});
+      site_ranges.push_back({p, close + 1});
+      p = close + 1;
+    }
+  }
+
+  // Regions: from the ctor close to the end of the enclosing brace scope,
+  // split by `var.Unlock()` / `var.Lock()` toggles.
+  for (const RawSite& s : sites) {
+    std::size_t scope_end = raw.body_end;
+    int depth = 0;
+    for (std::size_t k = s.ctor_close + 1; k < raw.body_end; ++k) {
+      if (code[k] == '{') ++depth;
+      else if (code[k] == '}') {
+        if (depth == 0) { scope_end = k; break; }
+        --depth;
+      }
+    }
+    std::vector<std::pair<std::size_t, bool>> toggles;  // pos, is_lock
+    std::size_t p = s.ctor_close + 1;
+    while ((p = code.find(s.var, p)) != std::string::npos && p < scope_end) {
+      if (IsWholeToken(code, p, s.var.size())) {
+        std::size_t q = p + s.var.size();
+        while (q < scope_end &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        if (q < scope_end && code[q] == '.') {
+          ++q;
+          while (q < scope_end &&
+                 std::isspace(static_cast<unsigned char>(code[q]))) {
+            ++q;
+          }
+          if (code.compare(q, 6, "Unlock") == 0 &&
+              IsWholeToken(code, q, 6)) {
+            toggles.push_back({p, false});
+          } else if (code.compare(q, 4, "Lock") == 0 &&
+                     IsWholeToken(code, q, 4)) {
+            toggles.push_back({p, true});
+          }
+        }
+      }
+      p += s.var.size();
+    }
+    LockSite site;
+    site.lock_id = NormalizeLockExpr(s.expr, f->cls, file, params, ix);
+    site.line = LineOf(code, s.tok_pos);
+    bool held = true;
+    std::size_t begin = s.ctor_close + 1;
+    for (const auto& t : toggles) {
+      if (!t.second && held) {
+        site.regions.push_back({begin, t.first});
+        held = false;
+      } else if (t.second && !held) {
+        begin = t.first;
+        held = true;
+      }
+    }
+    if (held) site.regions.push_back({begin, scope_end});
+    if (!site.lock_id.empty()) f->acquires.push_back(std::move(site));
+  }
+
+  // Pass 2 over segments: calls, blocking tokens, allocation sites.
+  for (const auto& seg : segs) {
+    for (std::size_t i = seg.first; i < seg.second; ++i) {
+      if (!IsIdentChar(code[i]) || (i > 0 && IsIdentChar(code[i - 1]))) {
+        continue;
+      }
+      std::size_t j = i;
+      while (j < seg.second && IsIdentChar(code[j])) ++j;
+      if (InRanges(i, site_ranges)) {
+        i = j - 1;
+        continue;
+      }
+      const std::string tok = code.substr(i, j - i);
+      const char prev = PrevNonSpace(code, i);
+      const bool member =
+          prev == '.' || (prev == '>' && i >= 2 && code[i - 2] == '-');
+      const bool called = NextNonSpace(code, j) == '(';
+      const int line = LineOf(code, i);
+
+      if (called && !member &&
+          std::find(cfg.blocking_functions.begin(),
+                    cfg.blocking_functions.end(),
+                    tok) != cfg.blocking_functions.end()) {
+        f->blocking.push_back(BlockSite{tok, "", line, i});
+        i = j - 1;
+        continue;
+      }
+      if (called && member &&
+          (tok == "Wait" || tok == "WaitFor" || tok == "WaitUntil")) {
+        // CondVar-style wait: first argument is the mutex.
+        const std::size_t open = code.find('(', j);
+        int depth = 0;
+        std::size_t close = seg.second;
+        for (std::size_t k = open; k < seg.second; ++k) {
+          if (code[k] == '(') ++depth;
+          else if (code[k] == ')' && --depth == 0) { close = k; break; }
+        }
+        const std::vector<std::string> args =
+            SplitArgs(code.substr(open + 1, close - open - 1));
+        const std::string arg_id =
+            args.empty()
+                ? ""
+                : NormalizeLockExpr(args[0], f->cls, file, params, ix);
+        f->blocking.push_back(BlockSite{tok, arg_id, line, i});
+        i = j - 1;
+        continue;
+      }
+      if (called && !IsCallKeyword(tok) && tok.rfind("METRO_", 0) != 0 &&
+          tok != "MutexLock") {
+        CallSite cs;
+        cs.line = line;
+        cs.pos = i;
+        if (member) {
+          // Walk back over the accessor to the receiver token.
+          std::size_t r = i;
+          while (r > 0 &&
+                 std::isspace(static_cast<unsigned char>(code[r - 1]))) {
+            --r;
+          }
+          if (r > 0 && code[r - 1] == '.') --r;
+          else if (r > 1 && code[r - 1] == '>' && code[r - 2] == '-') r -= 2;
+          while (r > 0 &&
+                 std::isspace(static_cast<unsigned char>(code[r - 1]))) {
+            --r;
+          }
+          std::size_t rb = r;
+          while (rb > 0 && IsIdentChar(code[rb - 1])) --rb;
+          cs.receiver = rb < r ? code.substr(rb, r - rb) : "<expr>";
+          cs.name = tok;
+        } else if (prev == ':' && i >= 2 && code[i - 2] == ':') {
+          // Qualified call: walk the chain back.
+          std::string chain = tok;
+          std::size_t r = i;
+          while (r >= 2 && code[r - 1] == ':' && code[r - 2] == ':') {
+            std::size_t rb = r - 2;
+            while (rb > 0 && IsIdentChar(code[rb - 1])) --rb;
+            if (rb == r - 2) break;
+            chain = code.substr(rb, r - 2 - rb) + "::" + chain;
+            r = rb;
+          }
+          // std::-qualified calls can never land in the tree; strip a
+          // leading metro:: so example code resolves like src/ code.
+          if (chain.rfind("std::", 0) == 0) {
+            i = j - 1;
+            continue;
+          }
+          if (chain.rfind("metro::", 0) == 0) chain = chain.substr(7);
+          cs.name = chain;
+        } else {
+          cs.name = tok;
+        }
+        f->calls.push_back(std::move(cs));
+      }
+      i = j - 1;
+    }
+    ScanAllocTokens(code, seg.first, seg.second, cfg,
+                    [&](std::size_t pos, const std::string& what) {
+                      if (!InRanges(pos, site_ranges)) {
+                        f->allocs.push_back(AllocSite{what, LineOf(code, pos)});
+                      }
+                    });
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BuildProgram
+// ---------------------------------------------------------------------------
+
+Program BuildProgram(const std::vector<SourceFile>& files, const Config& cfg) {
+  Program prog;
+  std::vector<std::string> codes(files.size()), lits(files.size());
+  std::vector<std::vector<RawFunc>> raws(files.size());
+  std::vector<std::vector<std::string>> incs(files.size());
+  std::set<std::string> rels;
+  for (const SourceFile& sf : files) rels.insert(sf.rel);
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    lits[fi] = StripSource(files[fi].text, /*strip_literals=*/false);
+    incs[fi] = CollectIncludes(lits[fi]);
+    codes[fi] =
+        StripPreprocessor(StripSource(files[fi].text, /*strip_literals=*/true));
+    ScanScopes(files[fi].rel, codes[fi], lits[fi], &raws[fi],
+               &prog.mutex_decls);
+    if (files[fi].rel == "src/util/lock_ranks.h") {
+      // Collect `kName = <int>` constants.
+      const std::string& code = codes[fi];
+      for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (code[i] != 'k' || (i > 0 && IsIdentChar(code[i - 1]))) continue;
+        std::size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        if (j == i + 1) continue;
+        std::size_t p = j;
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p]))) {
+          ++p;
+        }
+        if (p >= code.size() || code[p] != '=') { i = j - 1; continue; }
+        ++p;
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p]))) {
+          ++p;
+        }
+        std::size_t d = p;
+        while (d < code.size() &&
+               std::isdigit(static_cast<unsigned char>(code[d]))) {
+          ++d;
+        }
+        if (d > p) {
+          prog.rank_consts[code.substr(i, j - i)] =
+              std::stoi(code.substr(p, d - p));
+        }
+        i = j - 1;
+      }
+    }
+  }
+
+  const DeclIndex ix = IndexDecls(prog.mutex_decls);
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (const RawFunc& rf : raws[fi]) {
+      Func f;
+      f.file = files[fi].rel;
+      f.cls = rf.cls;
+      f.name = rf.name;
+      f.qual = rf.cls.empty() ? rf.name : rf.cls + "::" + rf.name;
+      f.line = rf.line;
+      f.is_lambda = rf.is_lambda;
+      ExtractEvents(&f, rf, codes[fi], files[fi].rel, cfg, ix);
+      prog.funcs.push_back(std::move(f));
+    }
+  }
+
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    const Func& f = prog.funcs[i];
+    if (f.is_lambda || f.name.empty()) continue;
+    prog.by_name[f.name].push_back(int(i));
+    prog.by_qual[f.qual].push_back(int(i));
+  }
+
+  // Include-reachability closure + partner .cpp/.cc of reachable headers.
+  std::map<std::string, std::vector<std::string>> direct;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& rel = files[fi].rel;
+    const std::string dir = rel.substr(0, rel.find_last_of('/') + 1);
+    for (const std::string& inc : incs[fi]) {
+      for (const std::string& cand :
+           {"src/" + inc, dir + inc, inc}) {
+        if (rels.count(cand)) {
+          direct[rel].push_back(cand);
+          break;
+        }
+      }
+    }
+  }
+  auto partners = [&](const std::string& h) {
+    std::vector<std::string> out;
+    const std::size_t dot = h.find_last_of('.');
+    if (dot == std::string::npos) return out;
+    const std::string ext = h.substr(dot);
+    if (ext != ".h" && ext != ".hpp") return out;
+    for (const char* e : {".cpp", ".cc"}) {
+      const std::string p = h.substr(0, dot) + e;
+      if (rels.count(p)) out.push_back(p);
+    }
+    return out;
+  };
+  for (const SourceFile& sf : files) {
+    std::set<std::string>& closure = prog.reach[sf.rel];
+    std::vector<std::string> work{sf.rel};
+    closure.insert(sf.rel);
+    while (!work.empty()) {
+      const std::string f = work.back();
+      work.pop_back();
+      auto it = direct.find(f);
+      if (it == direct.end()) continue;
+      for (const std::string& g : it->second) {
+        if (closure.insert(g).second) work.push_back(g);
+      }
+    }
+    std::vector<std::string> add;
+    for (const std::string& h : closure) {
+      for (const std::string& p : partners(h)) add.push_back(p);
+    }
+    closure.insert(add.begin(), add.end());
+  }
+
+  // Call resolution.
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    Func& f = prog.funcs[i];
+    const std::set<std::string>& vis = prog.reach[f.file];
+    f.resolved.resize(f.calls.size());
+    for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+      const CallSite& c = f.calls[ci];
+      const std::string last =
+          c.name.rfind("::") == std::string::npos
+              ? c.name
+              : c.name.substr(c.name.rfind("::") + 2);
+      bool ignored = false;
+      for (const std::string& ig : cfg.callgraph_ignore) {
+        if (c.name == ig || last == ig) { ignored = true; break; }
+      }
+      if (ignored) continue;
+      std::vector<int> cands;
+      if (c.name.find("::") != std::string::npos) {
+        auto q = prog.by_qual.find(c.name);
+        if (q != prog.by_qual.end()) {
+          cands = q->second;
+        } else {
+          auto n2 = prog.by_name.find(last);
+          if (n2 != prog.by_name.end()) cands = n2->second;
+        }
+      } else if (c.receiver.empty() || c.receiver == "this") {
+        auto q = prog.by_qual.find(f.cls + "::" + c.name);
+        if (!f.cls.empty() && q != prog.by_qual.end()) {
+          cands = q->second;
+        } else {
+          auto n2 = prog.by_name.find(c.name);
+          if (n2 != prog.by_name.end()) cands = n2->second;
+        }
+      } else {
+        // Explicit receiver: same-name methods of *other* classes (avoid
+        // false self-edges on common names).
+        auto n2 = prog.by_name.find(c.name);
+        if (n2 != prog.by_name.end()) {
+          for (int idx : n2->second) {
+            if (prog.funcs[idx].cls != f.cls || prog.funcs[idx].cls.empty()) {
+              cands.push_back(idx);
+            }
+          }
+        }
+      }
+      for (int idx : cands) {
+        if (vis.count(prog.funcs[idx].file)) f.resolved[ci].push_back(idx);
+      }
+    }
+  }
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Shared pass machinery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool Reportable(const std::string& file) {
+  return file.rfind("src/", 0) == 0 || file.rfind("examples/", 0) == 0;
+}
+
+std::string Disp(const Config& cfg, const std::string& id) {
+  auto it = cfg.locks.find(id);
+  return it == cfg.locks.end() ? id : it->second.name;
+}
+
+int RankOf(const Config& cfg, const std::string& id) {
+  auto it = cfg.locks.find(id);
+  return it == cfg.locks.end() ? -1 : it->second.rank;
+}
+
+struct LockWitness {
+  int via;       // -1: acquired directly; else callee func idx
+  int line;      // acquisition line (direct) or call line (via)
+};
+
+// Fixed point of "locks this function may acquire, directly or via calls",
+// with a deterministic first-discovered witness per (func, lock).
+std::vector<std::map<std::string, LockWitness>> ComputeLocksets(
+    const Program& prog) {
+  std::vector<std::map<std::string, LockWitness>> ls(prog.funcs.size());
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    for (const LockSite& a : prog.funcs[i].acquires) {
+      ls[i].emplace(a.lock_id, LockWitness{-1, a.line});
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+      const Func& f = prog.funcs[i];
+      for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+        for (int j : f.resolved[ci]) {
+          for (const auto& [lock, w] : ls[j]) {
+            if (ls[i].emplace(lock, LockWitness{j, f.calls[ci].line}).second) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return ls;
+}
+
+// "F (file:line) -> G (file:line) -> H acquires it at file:line"
+std::string PathToLock(const Program& prog,
+                       const std::vector<std::map<std::string, LockWitness>>& ls,
+                       int start, const std::string& lock) {
+  std::string out;
+  int j = start;
+  for (int depth = 0; depth < 16; ++depth) {
+    const Func& g = prog.funcs[j];
+    auto it = ls[j].find(lock);
+    if (it == ls[j].end()) break;
+    if (it->second.via < 0) {
+      out += g.qual + " acquires it at " + g.file + ":" +
+             std::to_string(it->second.line);
+      return out;
+    }
+    out += g.qual + " (" + g.file + ":" + std::to_string(it->second.line) +
+           ") -> ";
+    j = it->second.via;
+  }
+  return out + "...";
+}
+
+// Locks held at byte offset `pos` of the function body: METRO_REQUIRES /
+// METRO_ACQUIRE entry locks plus every acquisition region containing `pos`.
+std::vector<std::pair<std::string, int>> HeldAt(const Func& f, std::size_t pos,
+                                                int self_site) {
+  std::vector<std::pair<std::string, int>> held;
+  auto add = [&](const std::string& id, int line) {
+    for (const auto& h : held) {
+      if (h.first == id) return;
+    }
+    held.push_back({id, line});
+  };
+  for (const std::string& id : f.requires_locks) add(id, f.line);
+  for (std::size_t si = 0; si < f.acquires.size(); ++si) {
+    if (int(si) == self_site) continue;
+    for (const auto& r : f.acquires[si].regions) {
+      if (pos >= r.first && pos < r.second) {
+        add(f.acquires[si].lock_id, f.acquires[si].line);
+        break;
+      }
+    }
+  }
+  return held;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 1: lock-order / deadlock analysis
+// ---------------------------------------------------------------------------
+
+void RunLockOrder(const Program& prog, const Config& cfg,
+                  std::vector<Finding>* out, std::string* dot_out) {
+  const auto ls = ComputeLocksets(prog);
+
+  struct EdgeInfo {
+    std::string witness;
+    std::string file;
+    int line;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+  auto add_edge = [&](const std::string& a, const std::string& b,
+                      std::string witness, const std::string& file, int line) {
+    edges.emplace(std::make_pair(a, b),
+                  EdgeInfo{std::move(witness), file, line});
+  };
+
+  // Every lock acquired from a src/ or examples/ function needs a declared
+  // name/rank.
+  std::map<std::string, std::pair<std::string, int>> unranked;
+  for (const Func& f : prog.funcs) {
+    if (!Reportable(f.file)) continue;
+    for (const LockSite& a : f.acquires) {
+      if (!cfg.locks.count(a.lock_id)) {
+        unranked.emplace(a.lock_id, std::make_pair(f.file, a.line));
+      }
+    }
+  }
+  for (const auto& [id, where] : unranked) {
+    Report(out, where.first, where.second, "lockorder",
+           "lock '" + id +
+               "' is acquired here but has no [locks] entry in "
+               "metrolint.toml — every src/ mutex needs a declared name and "
+               "rank in the global hierarchy (DESIGN.md)");
+  }
+
+  // Acquired-while-holding edges: direct nesting + calls under held locks.
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    const Func& f = prog.funcs[i];
+    for (std::size_t si = 0; si < f.acquires.size(); ++si) {
+      const LockSite& a = f.acquires[si];
+      const std::size_t pos = a.regions.empty() ? 0 : a.regions[0].first;
+      for (const auto& [held, hline] : HeldAt(f, pos, int(si))) {
+        add_edge(held, a.lock_id,
+                 "\"" + Disp(cfg, held) + "\" held at " + f.file + ":" +
+                     std::to_string(hline) + " in " + f.qual + " -> \"" +
+                     Disp(cfg, a.lock_id) + "\" acquired at " + f.file + ":" +
+                     std::to_string(a.line),
+                 f.file, a.line);
+      }
+    }
+    for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+      const CallSite& c = f.calls[ci];
+      const auto held = HeldAt(f, c.pos, -1);
+      if (held.empty()) continue;
+      for (int j : f.resolved[ci]) {
+        for (const auto& [lock, w] : ls[j]) {
+          for (const auto& [h, hline] : held) {
+            add_edge(h, lock,
+                     "\"" + Disp(cfg, h) + "\" held at " + f.file + ":" +
+                         std::to_string(hline) + " in " + f.qual +
+                         " -> call path " + f.qual + " (" + f.file + ":" +
+                         std::to_string(c.line) + ") -> " +
+                         PathToLock(prog, ls, j, lock) + " -> \"" +
+                         Disp(cfg, lock) + "\"",
+                     f.file, c.line);
+          }
+        }
+      }
+    }
+  }
+
+  // Per-edge partial-order checks.
+  std::map<std::string, std::vector<std::string>> adj;
+  std::set<std::pair<std::string, std::string>> kept;
+  for (const auto& [key, e] : edges) {
+    const auto& [a, b] = key;
+    const std::string exc = Disp(cfg, a) + " -> " + Disp(cfg, b);
+    if (cfg.lockorder_exceptions.count(exc)) continue;
+    kept.insert(key);
+    adj[a].push_back(b);
+    if (!Reportable(e.file)) continue;
+    if (a == b) {
+      Report(out, e.file, e.line, "lockorder",
+             "recursive acquisition of \"" + Disp(cfg, a) +
+                 "\" (non-recursive mutex): " + e.witness);
+      continue;
+    }
+    const int ra = RankOf(cfg, a), rb = RankOf(cfg, b);
+    if (ra >= 0 && rb >= 0 && ra >= rb) {
+      Report(out, e.file, e.line, "lockorder",
+             "lock-order violation: \"" + Disp(cfg, a) + "\" (rank " +
+                 std::to_string(ra) + ") held while acquiring \"" +
+                 Disp(cfg, b) + "\" (rank " + std::to_string(rb) +
+                 ") — ranks must strictly increase along acquisition: " +
+                 e.witness);
+    }
+  }
+
+  // Cycles in the kept edge graph are potential deadlocks even when some
+  // endpoint is unranked.
+  for (auto& [n, vs] : adj) std::sort(vs.begin(), vs.end());
+  std::set<std::string> seen_cycles;
+  std::map<std::string, int> color;
+  std::vector<std::string> stk;
+  auto report_cycle = [&](std::vector<std::string> cyc) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < cyc.size(); ++k) {
+      if (cyc[k] < cyc[best]) best = k;
+    }
+    std::rotate(cyc.begin(), cyc.begin() + long(best), cyc.end());
+    std::string names;
+    for (const std::string& n : cyc) names += Disp(cfg, n) + " -> ";
+    names += Disp(cfg, cyc.front());
+    if (!seen_cycles.insert(names).second) return;
+    std::string anchor_file;
+    int anchor_line = 0;
+    std::string wit;
+    for (std::size_t k = 0; k < cyc.size(); ++k) {
+      auto it = edges.find({cyc[k], cyc[(k + 1) % cyc.size()]});
+      if (it == edges.end()) continue;
+      if (anchor_file.empty() && Reportable(it->second.file)) {
+        anchor_file = it->second.file;
+        anchor_line = it->second.line;
+      }
+      if (!wit.empty()) wit += " | ";
+      wit += it->second.witness;
+    }
+    if (anchor_file.empty()) return;  // cycle anchored entirely in tests
+    Report(out, anchor_file, anchor_line, "lockorder",
+           "potential deadlock: lock cycle " + names + " [" + wit + "]");
+  };
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stk.push_back(u);
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const std::string& v : it->second) {
+        if (color[v] == 1) {
+          auto at = std::find(stk.begin(), stk.end(), v);
+          report_cycle(std::vector<std::string>(at, stk.end()));
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    stk.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [n, vs] : adj) {
+    if (color[n] == 0) dfs(n);
+  }
+
+  // Declared ranks in code must agree with the config.
+  for (const MutexFieldDecl& d : prog.mutex_decls) {
+    if (d.file.rfind("src/", 0) != 0 || d.file == "src/util/sync.h") continue;
+    auto it = cfg.locks.find(d.id);
+    if (it == cfg.locks.end()) {
+      Report(out, d.file, d.line, "lockorder",
+             "Mutex member '" + d.id +
+                 "' has no [locks] entry in metrolint.toml");
+    }
+    if (d.rank_const.empty()) {
+      Report(out, d.file, d.line, "lockorder",
+             "Mutex member '" + d.id +
+                 "' declared without a lockrank initializer — use "
+                 "Mutex mu_{lockrank::kX, \"module.name\"} so the runtime "
+                 "checker sees the declared hierarchy");
+    } else if (!prog.rank_consts.empty()) {
+      auto rc = prog.rank_consts.find(d.rank_const);
+      if (rc == prog.rank_consts.end()) {
+        Report(out, d.file, d.line, "lockorder",
+               "Mutex member '" + d.id + "' uses unknown constant lockrank::" +
+                   d.rank_const + " (not in src/util/lock_ranks.h)");
+      } else if (it != cfg.locks.end() && rc->second != it->second.rank) {
+        Report(out, d.file, d.line, "lockorder",
+               "rank mismatch for '" + d.id + "': lockrank::" + d.rank_const +
+                   " = " + std::to_string(rc->second) +
+                   " but metrolint.toml declares " +
+                   std::to_string(it->second.rank));
+      }
+    }
+    if (it != cfg.locks.end() && !d.name.empty() &&
+        d.name != it->second.name) {
+      Report(out, d.file, d.line, "lockorder",
+             "lock-name mismatch for '" + d.id + "': declared \"" + d.name +
+                 "\" but metrolint.toml says \"" + it->second.name + "\"");
+    }
+  }
+
+  if (dot_out) {
+    std::string dot = "digraph metrolint_locks {\n  rankdir=LR;\n";
+    std::set<std::string> nodes;
+    for (const auto& [id, info] : cfg.locks) nodes.insert(id);
+    for (const auto& key : kept) {
+      nodes.insert(key.first);
+      nodes.insert(key.second);
+    }
+    for (const std::string& n : nodes) {
+      const int r = RankOf(cfg, n);
+      dot += "  \"" + Disp(cfg, n) + "\" [label=\"" + Disp(cfg, n) +
+             (r >= 0 ? "\\nrank " + std::to_string(r) : "\\nunranked") +
+             "\"];\n";
+    }
+    for (const auto& [a, b] : kept) {
+      const int ra = RankOf(cfg, a), rb = RankOf(cfg, b);
+      const bool bad = a == b || (ra >= 0 && rb >= 0 && ra >= rb);
+      dot += "  \"" + Disp(cfg, a) + "\" -> \"" + Disp(cfg, b) + "\"" +
+             (bad ? " [color=red, penwidth=2]" : "") + ";\n";
+    }
+    dot += "}\n";
+    *dot_out = std::move(dot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: interprocedural METRO_NOALLOC
+// ---------------------------------------------------------------------------
+
+void RunNoallocInterproc(const Program& prog, const Config& cfg,
+                         std::vector<Finding>* out) {
+  for (std::size_t ri = 0; ri < prog.funcs.size(); ++ri) {
+    const Func& root = prog.funcs[ri];
+    if (!root.noalloc || root.is_lambda || !Reportable(root.file)) continue;
+    std::set<int> visited;
+    std::set<std::string> reported;
+    std::vector<int> path{int(ri)};
+    std::function<void(int, int)> visit = [&](int cur, int depth) {
+      if (depth > 12) return;
+      const Func& f = prog.funcs[cur];
+      for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+        for (int j : f.resolved[ci]) {
+          const Func& g = prog.funcs[j];
+          if (g.noalloc) continue;  // checked under its own annotation
+          const std::string k1 = f.qual + " -> " + g.qual;
+          const std::string k2 = "* -> " + g.qual;
+          if (cfg.noalloc_exceptions.count(k1) ||
+              cfg.noalloc_exceptions.count(k2)) {
+            continue;
+          }
+          if (!visited.insert(j).second) continue;
+          path.push_back(j);
+          if (!g.allocs.empty() && reported.insert(g.qual).second) {
+            std::string chain;
+            for (int idx : path) {
+              if (!chain.empty()) chain += " -> ";
+              chain += prog.funcs[idx].qual;
+            }
+            Report(out, root.file, root.line, "noalloc-interproc",
+                   "METRO_NOALLOC '" + root.qual +
+                       "' reaches an allocating un-annotated helper: " +
+                       chain + "; " + g.allocs[0].what + " at " + g.file +
+                       ":" + std::to_string(g.allocs[0].line) +
+                       " — annotate the helper METRO_NOALLOC or declare a "
+                       "justified [noalloc_exceptions] edge");
+          }
+          visit(j, depth + 1);
+          path.pop_back();
+        }
+      }
+    };
+    visit(int(ri), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: blocking-while-locked
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsWaitToken(const std::string& tok) {
+  return tok.rfind("Wait", 0) == 0;
+}
+
+}  // namespace
+
+void RunBlockingWhileLocked(const Program& prog, const Config& cfg,
+                            std::vector<Finding>* out) {
+  struct BlockInfo {
+    bool blocking = false;
+    int via = -1;  // callee idx when transitive
+    std::string desc;
+  };
+  std::vector<BlockInfo> bi(prog.funcs.size());
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    const Func& f = prog.funcs[i];
+    for (const BlockSite& s : f.blocking) {
+      if (IsWaitToken(s.token)) continue;  // waits are checked in place
+      bi[i] = BlockInfo{true, -1,
+                        f.qual + " calls " + s.token + "() at " + f.file +
+                            ":" + std::to_string(s.line)};
+      break;
+    }
+    if (!bi[i].blocking) {
+      for (const std::string& q : cfg.blocking_qualified) {
+        if (f.qual == q) {
+          bi[i] = BlockInfo{true, -1,
+                            f.qual + " is a declared blocking entry point"};
+          break;
+        }
+      }
+    }
+  }
+  auto excepted = [&](const Func& caller, const Func& callee) {
+    return cfg.blocking_exceptions.count(caller.qual + " -> " + callee.qual) ||
+           cfg.blocking_exceptions.count("* -> " + callee.qual);
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+      if (bi[i].blocking) continue;
+      const Func& f = prog.funcs[i];
+      for (std::size_t ci = 0; ci < f.calls.size() && !bi[i].blocking; ++ci) {
+        for (int j : f.resolved[ci]) {
+          if (bi[j].blocking && !excepted(f, prog.funcs[j])) {
+            bi[i] = BlockInfo{true, j,
+                              f.qual + " (" + f.file + ":" +
+                                  std::to_string(f.calls[ci].line) + ") -> " +
+                                  bi[j].desc};
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::set<std::string> emitted;
+  auto report_once = [&](const std::string& file, int line, std::string msg) {
+    if (emitted.insert(file + ":" + std::to_string(line) + ":" + msg).second) {
+      Report(out, file, line, "blocking-while-locked", std::move(msg));
+    }
+  };
+  for (std::size_t i = 0; i < prog.funcs.size(); ++i) {
+    const Func& f = prog.funcs[i];
+    if (!Reportable(f.file)) continue;
+    for (const BlockSite& s : f.blocking) {
+      auto held = HeldAt(f, s.pos, -1);
+      if (IsWaitToken(s.token)) {
+        if (s.wait_arg_lock.empty()) continue;  // generic/unresolvable mutex
+        std::erase_if(held, [&](const auto& h) {
+          return h.first == s.wait_arg_lock;
+        });
+        if (!held.empty()) {
+          report_once(f.file, s.line,
+                      "CondVar::" + s.token + " on \"" +
+                          Disp(cfg, s.wait_arg_lock) + "\" in " + f.qual +
+                          " while also holding \"" +
+                          Disp(cfg, held[0].first) + "\" (acquired :" +
+                          std::to_string(held[0].second) +
+                          ") — the wait parks the thread with the other lock "
+                          "held");
+        }
+      } else if (!held.empty()) {
+        report_once(f.file, s.line,
+                    "blocking call " + s.token + "() in " + f.qual +
+                        " while holding \"" + Disp(cfg, held[0].first) +
+                        "\" (acquired :" + std::to_string(held[0].second) +
+                        ")");
+      }
+    }
+    for (std::size_t ci = 0; ci < f.calls.size(); ++ci) {
+      const CallSite& c = f.calls[ci];
+      const auto held = HeldAt(f, c.pos, -1);
+      if (held.empty()) continue;
+      for (int j : f.resolved[ci]) {
+        if (!bi[j].blocking || excepted(f, prog.funcs[j])) continue;
+        report_once(f.file, c.line,
+                    "call to blocking '" + prog.funcs[j].qual + "' in " +
+                        f.qual + " while holding \"" +
+                        Disp(cfg, held[0].first) + "\" (acquired :" +
+                        std::to_string(held[0].second) + "); " +
+                        bi[j].desc);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: seeded multi-file violation fixtures for the v2 passes
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char kRanksFixture[] =
+    "#pragma once\n"
+    "namespace lockrank {\n"
+    "inline constexpr int kAlpha = 10;\n"
+    "inline constexpr int kBeta = 20;\n"
+    "inline constexpr int kLo = 10;\n"
+    "inline constexpr int kHi = 20;\n"
+    "}\n";
+
+struct V2Expect {
+  const char* substr;  // must appear in >= min findings' "rule message" text
+  int min;
+};
+
+struct V2Case {
+  const char* name;
+  std::vector<SourceFile> files;
+  const char* config;
+  std::vector<V2Expect> expects;
+  std::vector<const char*> absent;  // substrings no finding may contain
+};
+
+}  // namespace
+
+int RunSelftestV2() {
+  std::vector<V2Case> cases;
+
+  // 1. Cross-module lock cycle through the call graph: alpha holds its lock
+  //    and calls into beta; beta holds its lock and calls back.
+  cases.push_back(V2Case{
+      "lockorder-cross-module-cycle",
+      {
+          {"src/util/lock_ranks.h", kRanksFixture},
+          {"src/beta/b.h",
+           "#pragma once\n"
+           "#include \"util/lock_ranks.h\"\n"
+           "class B {\n"
+           " public:\n"
+           "  void G();\n"
+           "  Mutex mu_{lockrank::kBeta, \"beta.lock\"};\n"
+           "  class A* peer_ = nullptr;\n"
+           "};\n"},
+          {"src/alpha/a.h",
+           "#pragma once\n"
+           "#include \"beta/b.h\"\n"
+           "class A {\n"
+           " public:\n"
+           "  void F() {\n"
+           "    MutexLock l(mu_);\n"
+           "    b_.G();\n"
+           "  }\n"
+           "  void Back() {\n"
+           "    MutexLock l(mu_);\n"
+           "  }\n"
+           "  Mutex mu_{lockrank::kAlpha, \"alpha.lock\"};\n"
+           "  B b_;\n"
+           "};\n"},
+          {"src/beta/b.cpp",
+           "#include \"alpha/a.h\"\n"
+           "void B::G() {\n"
+           "  MutexLock l(mu_);\n"
+           "  peer_->Back();\n"
+           "}\n"},
+      },
+      "[locks]\n"
+      "\"A::mu_\" = \"alpha.lock 10\"\n"
+      "\"B::mu_\" = \"beta.lock 20\"\n",
+      {{"potential deadlock", 1},
+       {"lock-order violation", 1},
+       {"recursive acquisition", 1}},
+      {"no [locks] entry"}});
+
+  // 2. Direct nested rank inversion; the correctly-ordered sibling (on its
+  // own lock pair, so the two functions cannot form a combined cycle) is
+  // clean.
+  cases.push_back(V2Case{
+      "lockorder-nested-inversion",
+      {
+          {"src/util/lock_ranks.h", kRanksFixture},
+          {"src/alpha/nested.h",
+           "#pragma once\n"
+           "#include \"util/lock_ranks.h\"\n"
+           "class N {\n"
+           " public:\n"
+           "  void Bad() {\n"
+           "    MutexLock hi(hi_mu_);\n"
+           "    MutexLock lo(lo_mu_);\n"
+           "  }\n"
+           "  void Good() {\n"
+           "    MutexLock lo(lo2_mu_);\n"
+           "    MutexLock hi(hi2_mu_);\n"
+           "  }\n"
+           "  Mutex lo_mu_{lockrank::kLo, \"lo.lock\"};\n"
+           "  Mutex hi_mu_{lockrank::kHi, \"hi.lock\"};\n"
+           "  Mutex lo2_mu_{lockrank::kLo, \"lo2.lock\"};\n"
+           "  Mutex hi2_mu_{lockrank::kHi, \"hi2.lock\"};\n"
+           "};\n"},
+      },
+      "[locks]\n"
+      "\"N::lo_mu_\" = \"lo.lock 10\"\n"
+      "\"N::hi_mu_\" = \"hi.lock 20\"\n"
+      "\"N::lo2_mu_\" = \"lo2.lock 10\"\n"
+      "\"N::hi2_mu_\" = \"hi2.lock 20\"\n",
+      {{"lock-order violation", 1}, {"N::Bad", 1}},
+      {"N::Good"}});
+
+  // 3. Recursive re-acquisition through a helper call.
+  cases.push_back(V2Case{
+      "lockorder-recursive-via-helper",
+      {
+          {"src/util/lock_ranks.h", kRanksFixture},
+          {"src/alpha/rec.h",
+           "#pragma once\n"
+           "#include \"util/lock_ranks.h\"\n"
+           "class R {\n"
+           " public:\n"
+           "  void Re() {\n"
+           "    MutexLock a(mu_);\n"
+           "    Helper();\n"
+           "  }\n"
+           "  void Helper() {\n"
+           "    MutexLock b(mu_);\n"
+           "  }\n"
+           "  Mutex mu_{lockrank::kLo, \"r.lock\"};\n"
+           "};\n"},
+      },
+      "[locks]\n"
+      "\"R::mu_\" = \"r.lock 10\"\n",
+      {{"recursive acquisition", 1}},
+      {}});
+
+  // 4. Declaration cross-check: unranked, unregistered Mutex member.
+  cases.push_back(V2Case{
+      "lockorder-decl-check",
+      {
+          {"src/util/lock_ranks.h", kRanksFixture},
+          {"src/gamma/g.h",
+           "#pragma once\n"
+           "class G {\n"
+           "  Mutex mu_;\n"
+           "};\n"},
+      },
+      "[locks]\n",
+      {{"no [locks] entry", 1}, {"without a lockrank initializer", 1}},
+      {}});
+
+  // 5. Transitive NOALLOC: annotated -> helper -> allocating helper; a
+  //    declared exception edge silences the sanctioned cold path.
+  cases.push_back(V2Case{
+      "noalloc-transitive",
+      {
+          {"src/alpha/hot.h",
+           "#pragma once\n"
+           "class HotPath {\n"
+           " public:\n"
+           "  METRO_NOALLOC void Hot() {\n"
+           "    Step();\n"
+           "  }\n"
+           "  void Step() {\n"
+           "    Cold();\n"
+           "  }\n"
+           "  void Cold() {\n"
+           "    buf_.push_back(1);\n"
+           "  }\n"
+           "  METRO_NOALLOC void Hot2() {\n"
+           "    Replan();\n"
+           "  }\n"
+           "  void Replan() {\n"
+           "    buf_.push_back(2);\n"
+           "  }\n"
+           "  int buf_[4];\n"
+           "};\n"},
+      },
+      "[noalloc]\n"
+      "functions = []\n"
+      "methods = [ \"push_back\" ]\n"
+      "types = []\n"
+      "[noalloc_exceptions]\n"
+      "\"HotPath::Hot2 -> HotPath::Replan\" = \"cold replan path, runs once "
+      "per reconfiguration\"\n",
+      {{"noalloc-interproc", 1}, {"HotPath::Cold", 1}},
+      {"Replan"}});
+
+  // 6. Blocking-while-locked: direct sleep, wait on a different mutex,
+  //    declared blocking entry point, and a transitive path; the
+  //    wait-on-own-mutex and unlocked-sleep controls stay clean.
+  cases.push_back(V2Case{
+      "blocking-while-locked",
+      {
+          {"src/util/lock_ranks.h", kRanksFixture},
+          {"src/alpha/block.h",
+           "#pragma once\n"
+           "#include \"util/lock_ranks.h\"\n"
+           "class Pool {\n"
+           " public:\n"
+           "  void Submit(int task) {\n"
+           "    (void)task;\n"
+           "  }\n"
+           "};\n"
+           "class W {\n"
+           " public:\n"
+           "  void BadSleep() {\n"
+           "    MutexLock l(mu_);\n"
+           "    sleep_for(10);\n"
+           "  }\n"
+           "  void BadWait() {\n"
+           "    MutexLock l(mu_);\n"
+           "    cv_.Wait(other_);\n"
+           "  }\n"
+           "  void OkWait() {\n"
+           "    MutexLock l(mu_);\n"
+           "    cv_.Wait(mu_);\n"
+           "  }\n"
+           "  void BadSubmit() {\n"
+           "    MutexLock l(mu_);\n"
+           "    pool_->Submit(1);\n"
+           "  }\n"
+           "  void BadTransitive() {\n"
+           "    MutexLock l(mu_);\n"
+           "    Helper2();\n"
+           "  }\n"
+           "  void Helper2() {\n"
+           "    sleep_for(5);\n"
+           "  }\n"
+           "  void OkSleep() {\n"
+           "    sleep_for(1);\n"
+           "  }\n"
+           "  Mutex mu_{lockrank::kLo, \"w.lock\"};\n"
+           "  Mutex other_{lockrank::kHi, \"w.other\"};\n"
+           "  CondVar cv_;\n"
+           "  Pool* pool_ = nullptr;\n"
+           "};\n"},
+      },
+      "[locks]\n"
+      "\"W::mu_\" = \"w.lock 10\"\n"
+      "\"W::other_\" = \"w.other 20\"\n"
+      "[blocking]\n"
+      "functions = [ \"sleep_for\" ]\n"
+      "qualified = [ \"Pool::Submit\" ]\n",
+      {{"blocking call sleep_for() in W::BadSleep", 1},
+       {"CondVar::Wait on \"w.other\"", 1},
+       {"Pool::Submit", 1},
+       {"W::Helper2", 1}},
+      {"W::OkWait", "W::OkSleep"}});
+
+  int failures = 0;
+  for (const V2Case& tc : cases) {
+    Config cfg;
+    std::string err;
+    if (!ParseConfig(tc.config, &cfg, &err)) {
+      std::fprintf(stderr, "[FAIL] %-32s config error: %s\n", tc.name,
+                   err.c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<SourceFile> files = tc.files;
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.rel < b.rel;
+              });
+    const Program prog = BuildProgram(files, cfg);
+    std::vector<Finding> findings;
+    RunLockOrder(prog, cfg, &findings, nullptr);
+    RunNoallocInterproc(prog, cfg, &findings);
+    RunBlockingWhileLocked(prog, cfg, &findings);
+
+    bool ok = true;
+    std::string why;
+    for (const V2Expect& e : tc.expects) {
+      int hits = 0;
+      for (const Finding& f : findings) {
+        if ((f.rule + " " + f.message).find(e.substr) != std::string::npos) {
+          ++hits;
+        }
+      }
+      if (hits < e.min) {
+        ok = false;
+        why += std::string(" missing '") + e.substr + "'";
+      }
+    }
+    for (const char* a : tc.absent) {
+      for (const Finding& f : findings) {
+        if ((f.rule + " " + f.message).find(a) != std::string::npos) {
+          ok = false;
+          why += std::string(" unexpected '") + a + "'";
+        }
+      }
+    }
+    std::fprintf(stderr, "[%s] %-32s %zu finding(s)%s\n", ok ? "PASS" : "FAIL",
+                 tc.name, findings.size(), why.c_str());
+    if (!ok) {
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "       %s:%d: [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+      }
+      ++failures;
+    }
+  }
+  std::fprintf(stderr, "metrolint --selftest (v2): %d failure(s)\n", failures);
+  return failures;
+}
+
+}  // namespace metrolint
