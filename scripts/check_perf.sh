@@ -11,7 +11,9 @@
 #   - the build or the inference parity suite fails, or
 #   - either inference bench fails to produce its BENCH_infer.json section, or
 #   - the MQ bench fails its exactly-once audit / misses BENCH_mq.json, or
-#   - batched produce is < 2x single-record records/s at 8 partitions.
+#   - batched produce is < 2x single-record records/s at 8 partitions, or
+#   - the store read-storm bench fails its ingest sanity floor / misses
+#     BENCH_store.json.
 #
 # The latency/alloc ratios are printed for trend-watching but only warn by
 # default (shared CI machines are noisy); set METRO_PERF_STRICT=1 to also
@@ -30,7 +32,7 @@ echo "==> build: Release (${PREFIX})"
 cmake -B "${PREFIX}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}" --target \
   inference_parity_test bench_fig5_earlyexit_detect bench_fig7_behavior \
-  bench_mq_failover
+  bench_mq_failover bench_store_readstorm
 
 echo "==> parity: planned inference must be bit-exact with eager"
 ctest --test-dir "${PREFIX}" --output-on-failure -R inference_parity_test
@@ -75,4 +77,22 @@ echo "==> mq: batched produce is ${MQ_SPEEDUP}x single-record at 8 partitions (t
 awk -v s="${MQ_SPEEDUP}" 'BEGIN { exit !(s >= 2.0) }' ||
   { echo "check_perf: FAIL (batched produce < 2x single-record at 8 partitions)" >&2; exit 1; }
 
-echo "==> check_perf: OK (${JSON}, ${MQ_JSON})"
+# Storage read storm: Zipfian open-loop readers against sustained ingest,
+# versioned LSM engine vs a replica of the seed engine (one global mutex).
+# The headline ratio is tail read latency at a fixed arrival rate; like the
+# Fig. 5 ratios it only warns by default (the storm is scheduler-sensitive
+# on shared machines) and becomes a >= 2x gate under METRO_PERF_STRICT=1.
+STORE_JSON="${PREFIX}/BENCH_store.json"
+echo "==> bench: store read storm (--json)"
+rm -f "${STORE_JSON}"
+(cd "${PREFIX}" && ./bench/bench_store_readstorm --json=BENCH_store.json)
+grep -q '"store_readstorm"' "${STORE_JSON}" ||
+  { echo "check_perf: store_readstorm section missing from ${STORE_JSON}" >&2; exit 1; }
+P99_IMPROVEMENT="$(sed -n 's/.*"read_p99_improvement": \([0-9.eE+-]*\).*/\1/p' "${STORE_JSON}" | head -1)"
+echo "==> store: versioned engine read p99 is ${P99_IMPROVEMENT}x better than the seed engine under ingest (target: >= 2x)"
+if [[ "${METRO_PERF_STRICT:-0}" == "1" ]]; then
+  awk -v s="${P99_IMPROVEMENT}" 'BEGIN { exit !(s >= 2.0) }' ||
+    { echo "check_perf: FAIL (read p99 improvement < 2x over seed engine)" >&2; exit 1; }
+fi
+
+echo "==> check_perf: OK (${JSON}, ${MQ_JSON}, ${STORE_JSON})"

@@ -28,7 +28,7 @@
 #      anywhere in src/, e.g. src/dataflow/dataset.h) via generated
 #      single-include TUs. Skipped when not installed.
 #   4. Sanitizer matrix: TSan on the concurrency-heavy labels (static, obs,
-#      resilience), ASan and UBSan on the full suite. Runs with whatever
+#      resilience, store), ASan and UBSan on the full suite. Runs with whatever
 #      compiler CMake picks (GCC and Clang both support all three).
 #
 # Usage: scripts/check_static.sh [build-dir-prefix]   (default: build)
@@ -131,17 +131,17 @@ fi
 # --- 4. Sanitizer matrix ------------------------------------------------
 CONCURRENCY_TARGETS=(static_stress_test invariants_test lock_rank_test
                      metrolint obs_test resilience_test chaos_test
-                     mq_cluster_test util_test)
+                     mq_cluster_test store_test util_test)
 FULL_LABEL_ARGS=()
 if [[ "${METRO_CHECK_FAST:-0}" == "1" ]]; then
   FULL_LABEL_ARGS=(-L "static")
 fi
 
-echo "==> tsan: METRO_SANITIZE=thread + static/obs/resilience tests"
+echo "==> tsan: METRO_SANITIZE=thread + static/obs/resilience/store tests"
 cmake -B "${PREFIX}-tsan" -S . -DMETRO_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target "${CONCURRENCY_TARGETS[@]}"
 ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -L "static|obs|resilience"
+  -L "static|obs|resilience|store"
 
 echo "==> asan: METRO_SANITIZE=address + tests"
 cmake -B "${PREFIX}-asan" -S . -DMETRO_SANITIZE=address >/dev/null

@@ -68,6 +68,18 @@ Cyberinfrastructure::Cyberinfrastructure(const InfrastructureConfig& config,
   });
 }
 
+std::size_t Cyberinfrastructure::ForEachAnnotation(
+    std::string_view begin_row, std::string_view end_row,
+    const std::function<bool(const store::Cell&)>& fn) const {
+  std::size_t visited = 0;
+  for (auto it = annotations_.NewIterator(begin_row, end_row); it.Valid();
+       it.Next()) {
+    ++visited;
+    if (!fn(store::Cell{it.row(), it.column(), it.value()})) break;
+  }
+  return visited;
+}
+
 std::string Cyberinfrastructure::Describe() const {
   std::ostringstream os;
   os << "cyberinfrastructure: dfs=" << config_.dfs_datanodes

@@ -9,6 +9,7 @@
 // the dataflow engine, and the resource manager; the *application layer* is
 // the set of registered applications raising alerts through AlertManager.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -91,6 +92,14 @@ class Cyberinfrastructure {
   /// ("mq"), and the fog -> analysis-server links ("fog.server").
   /// Applications may register their own.
   resilience::HealthRegistry& health() { return health_; }
+
+  /// Streams annotation cells with begin_row <= row < end_row (end empty =
+  /// unbounded) through `fn`, in (row, column) order, off one consistent
+  /// snapshot — concurrent ingest never blocks the walk and never tears it.
+  /// `fn` returns false to stop early. Returns the number of cells visited.
+  std::size_t ForEachAnnotation(
+      std::string_view begin_row, std::string_view end_row,
+      const std::function<bool(const store::Cell&)>& fn) const;
 
   /// One-line inventory for logs/docs.
   std::string Describe() const;

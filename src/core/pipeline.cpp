@@ -7,69 +7,6 @@
 
 namespace metro::core {
 
-std::string EncodeDocument(const store::Document& doc) {
-  ByteWriter w;
-  w.PutVarint(doc.size());
-  for (const auto& [field, value] : doc) {
-    w.PutString(field);
-    if (const auto* i = std::get_if<std::int64_t>(&value)) {
-      w.PutU8(0);
-      w.PutI64(*i);
-    } else if (const auto* d = std::get_if<double>(&value)) {
-      w.PutU8(1);
-      w.PutF64(*d);
-    } else if (const auto* b = std::get_if<bool>(&value)) {
-      w.PutU8(2);
-      w.PutU8(*b ? 1 : 0);
-    } else {
-      w.PutU8(3);
-      w.PutString(std::get<std::string>(value));
-    }
-  }
-  return std::move(w).data();
-}
-
-std::optional<store::Document> DecodeDocument(const std::string& bytes) {
-  ByteReader r(bytes);
-  const auto count = r.GetVarint();
-  if (!count.ok()) return std::nullopt;
-  store::Document doc;
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    const auto field = r.GetString();
-    const auto tag = field.ok() ? r.GetU8() : Result<std::uint8_t>(field.status());
-    if (!tag.ok()) return std::nullopt;
-    switch (*tag) {
-      case 0: {
-        const auto v = r.GetI64();
-        if (!v.ok()) return std::nullopt;
-        doc[*field] = *v;
-        break;
-      }
-      case 1: {
-        const auto v = r.GetF64();
-        if (!v.ok()) return std::nullopt;
-        doc[*field] = *v;
-        break;
-      }
-      case 2: {
-        const auto v = r.GetU8();
-        if (!v.ok()) return std::nullopt;
-        doc[*field] = (*v != 0);
-        break;
-      }
-      case 3: {
-        auto v = r.GetString();
-        if (!v.ok()) return std::nullopt;
-        doc[*field] = std::move(*v);
-        break;
-      }
-      default:
-        return std::nullopt;
-    }
-  }
-  return doc;
-}
-
 CityPipeline::CityPipeline(Clock& clock, mq::BrokerClusterConfig mq_config)
     : clock_(&clock), log_(clock, mq_config), spans_(clock) {
   producer_ = log_.CreateProducer();

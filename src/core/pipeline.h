@@ -21,6 +21,7 @@
 #include "mq/broker_cluster.h"
 #include "obs/trace.h"
 #include "resilience/policy.h"
+#include "store/doc_codec.h"
 #include "store/document_store.h"
 #include "util/metrics.h"
 #include "util/lock_ranks.h"
@@ -155,8 +156,15 @@ class CityPipeline {
 };
 
 /// Standard parser for the datagen documents: the record value is expected
-/// to be a serialized document produced by EncodeDocument below.
-std::string EncodeDocument(const store::Document& doc);
-std::optional<store::Document> DecodeDocument(const std::string& bytes);
+/// to be a serialized document produced by EncodeDocument below. The codec
+/// itself lives with the store (store/doc_codec.h) — it is also the
+/// document store's persistence format; these wrappers keep the historical
+/// core-namespace spelling.
+inline std::string EncodeDocument(const store::Document& doc) {
+  return store::EncodeDocument(doc);
+}
+inline std::optional<store::Document> DecodeDocument(const std::string& bytes) {
+  return store::DecodeDocument(bytes);
+}
 
 }  // namespace metro::core

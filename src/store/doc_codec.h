@@ -1,0 +1,22 @@
+#pragma once
+
+// Compact binary codec for store documents — the on-disk (and on-wire)
+// format: the document store persists collection entries through it, and
+// the ingest pipeline ships documents through the message queue with it.
+//
+// Layout: varint field count, then per field a length-prefixed name, a type
+// tag byte (0 = i64, 1 = f64, 2 = bool, 3 = string) and the value.
+
+#include <optional>
+#include <string>
+
+#include "store/document_types.h"
+
+namespace metro::store {
+
+std::string EncodeDocument(const Document& doc);
+
+/// Null on any malformed input (truncation, bad tag, bad varint).
+std::optional<Document> DecodeDocument(const std::string& bytes);
+
+}  // namespace metro::store

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "store/doc_codec.h"
+
 namespace metro::store {
 
 std::string ToJson(const Document& doc) {
@@ -64,9 +66,32 @@ std::string Collection::IndexKey(const Value& v) {
       v);
 }
 
+std::string Collection::KeyFor(DocId id) {
+  // Big-endian so the engine's key order is id order.
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    key[std::size_t(i)] = char(id & 0xff);
+    id >>= 8;
+  }
+  return key;
+}
+
+std::optional<DocId> Collection::IdFromKey(std::string_view key) {
+  if (key.size() != 8) return std::nullopt;
+  DocId id = 0;
+  for (const char c : key) id = (id << 8) | DocId(std::uint8_t(c));
+  return id;
+}
+
 std::size_t Collection::size() const {
   MutexLock lock(mu_);
-  return docs_.size();
+  return count_;
+}
+
+std::optional<Document> Collection::Fetch(DocId id) const {
+  auto bytes = engine_.Get(KeyFor(id));
+  if (!bytes.ok()) return std::nullopt;
+  return DecodeDocument(*bytes);
 }
 
 void Collection::IndexDoc(DocId id, const Document& doc) {
@@ -107,46 +132,56 @@ void Collection::UnindexDoc(DocId id, const Document& doc) {
 }
 
 DocId Collection::Insert(Document doc) {
+  DocId id;
+  {
+    MutexLock lock(mu_);
+    id = next_id_++;
+  }
+  // Publish the document before the index entry: a query that sees the id
+  // in a posting list can always fetch its document.
+  (void)engine_.Put(KeyFor(id), EncodeDocument(doc));
   MutexLock lock(mu_);
-  const DocId id = next_id_++;
   IndexDoc(id, doc);
-  docs_.emplace(id, std::move(doc));
+  ++count_;
   return id;
 }
 
 Result<Document> Collection::FindById(DocId id) const {
-  MutexLock lock(mu_);
-  const auto it = docs_.find(id);
-  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
-  return it->second;
+  auto bytes = engine_.Get(KeyFor(id));
+  if (!bytes.ok()) return NotFoundError("doc " + std::to_string(id));
+  auto doc = DecodeDocument(*bytes);
+  if (!doc) return CorruptionError("doc " + std::to_string(id) + " corrupt");
+  return *std::move(doc);
 }
 
 Status Collection::Update(DocId id, Document doc) {
   MutexLock lock(mu_);
-  const auto it = docs_.find(id);
-  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
-  UnindexDoc(id, it->second);
-  it->second = std::move(doc);
-  IndexDoc(id, it->second);
-  return Status::Ok();
+  const auto old = Fetch(id);
+  if (!old) return NotFoundError("doc " + std::to_string(id));
+  UnindexDoc(id, *old);
+  IndexDoc(id, doc);
+  return engine_.Put(KeyFor(id), EncodeDocument(doc));
 }
 
 Status Collection::Remove(DocId id) {
   MutexLock lock(mu_);
-  const auto it = docs_.find(id);
-  if (it == docs_.end()) return NotFoundError("doc " + std::to_string(id));
-  UnindexDoc(id, it->second);
-  docs_.erase(it);
-  return Status::Ok();
+  const auto old = Fetch(id);
+  if (!old) return NotFoundError("doc " + std::to_string(id));
+  UnindexDoc(id, *old);
+  --count_;
+  return engine_.Delete(KeyFor(id));
 }
 
 Status Collection::CreateIndex(const std::string& field) {
   MutexLock lock(mu_);
   auto& posting = indexes_[field];
   posting.clear();
-  for (const auto& [id, doc] : docs_) {
-    const auto it = doc.find(field);
-    if (it != doc.end()) posting[IndexKey(it->second)].push_back(id);
+  for (auto it = engine_.NewIterator("", ""); it.Valid(); it.Next()) {
+    const auto id = IdFromKey(it.key());
+    const auto doc = id ? DecodeDocument(it.value()) : std::nullopt;
+    if (!doc) continue;
+    const auto fit = doc->find(field);
+    if (fit != doc->end()) posting[IndexKey(fit->second)].push_back(*id);
   }
   return Status::Ok();
 }
@@ -155,19 +190,23 @@ Status Collection::CreateGeoIndex(const std::string& lat_field,
                                   const std::string& lon_field) {
   MutexLock lock(mu_);
   geo_index_.emplace(GeoIndexSpec{lat_field, lon_field, geo::GridIndex()});
-  for (const auto& [id, doc] : docs_) {
-    const auto lat = doc.find(lat_field);
-    const auto lon = doc.find(lon_field);
-    if (lat != doc.end() && lon != doc.end()) {
+  for (auto it = engine_.NewIterator("", ""); it.Valid(); it.Next()) {
+    const auto id = IdFromKey(it.key());
+    const auto doc = id ? DecodeDocument(it.value()) : std::nullopt;
+    if (!doc) continue;
+    const auto lat = doc->find(lat_field);
+    const auto lon = doc->find(lon_field);
+    if (lat != doc->end() && lon != doc->end()) {
       const auto latn = AsNumber(lat->second);
       const auto lonn = AsNumber(lon->second);
-      if (latn && lonn) geo_index_->index.Insert(id, {*latn, *lonn});
+      if (latn && lonn) geo_index_->index.Insert(*id, {*latn, *lonn});
     }
   }
   return Status::Ok();
 }
 
-bool Collection::Matches(const Document& doc, const Query& query) const {
+bool Collection::Matches(const Document& doc, const Query& query,
+                         const GeoFields& geo) {
   for (const Condition& cond : query.conditions) {
     const auto it = doc.find(cond.field);
     if (it == doc.end()) return false;
@@ -179,12 +218,8 @@ bool Collection::Matches(const Document& doc, const Query& query) const {
     }
   }
   if (query.near_center) {
-    const auto& spec = geo_index_;
-    // Without a geo index, fall back to canonical field names.
-    const std::string lat_field = spec ? spec->lat_field : "lat";
-    const std::string lon_field = spec ? spec->lon_field : "lon";
-    const auto lat = doc.find(lat_field);
-    const auto lon = doc.find(lon_field);
+    const auto lat = doc.find(geo.lat_field);
+    const auto lon = doc.find(geo.lon_field);
     if (lat == doc.end() || lon == doc.end()) return false;
     const auto latn = AsNumber(lat->second);
     const auto lonn = AsNumber(lon->second);
@@ -198,36 +233,42 @@ bool Collection::Matches(const Document& doc, const Query& query) const {
 }
 
 std::vector<DocId> Collection::Find(const Query& query) const {
-  MutexLock lock(mu_);
-  // Pick the cheapest candidate source: an equality index, the geo index,
-  // else a full scan. Remaining conditions filter the candidates.
-  std::vector<DocId> candidates;
-  bool have_candidates = false;
-
-  for (const Condition& cond : query.conditions) {
-    if (cond.op != Condition::Op::kEquals) continue;
-    const auto idx = indexes_.find(cond.field);
-    if (idx == indexes_.end()) continue;
-    const auto pit = idx->second.find(IndexKey(cond.equals));
-    candidates = pit == idx->second.end() ? std::vector<DocId>{} : pit->second;
-    have_candidates = true;
-    break;
-  }
-  if (!have_candidates && query.near_center && geo_index_) {
-    const auto ids =
-        geo_index_->index.QueryRadius(*query.near_center, query.near_radius_m);
-    candidates.assign(ids.begin(), ids.end());
-    have_candidates = true;
-  }
-  if (!have_candidates) {
-    candidates.reserve(docs_.size());
-    for (const auto& [id, doc] : docs_) candidates.push_back(id);
+  // Candidate selection consults the in-memory indexes under mu_; document
+  // fetch + post-filtering then run lock-free against the engine snapshot.
+  std::optional<std::vector<DocId>> candidates;
+  GeoFields geo;
+  {
+    MutexLock lock(mu_);
+    for (const Condition& cond : query.conditions) {
+      if (cond.op != Condition::Op::kEquals) continue;
+      const auto idx = indexes_.find(cond.field);
+      if (idx == indexes_.end()) continue;
+      const auto pit = idx->second.find(IndexKey(cond.equals));
+      candidates = pit == idx->second.end() ? std::vector<DocId>{}
+                                            : pit->second;
+      break;
+    }
+    if (!candidates && query.near_center && geo_index_) {
+      const auto ids = geo_index_->index.QueryRadius(*query.near_center,
+                                                     query.near_radius_m);
+      candidates.emplace(ids.begin(), ids.end());
+    }
+    if (geo_index_) geo = GeoFields{geo_index_->lat_field, geo_index_->lon_field};
   }
 
   std::vector<DocId> out;
-  for (const DocId id : candidates) {
-    const auto it = docs_.find(id);
-    if (it != docs_.end() && Matches(it->second, query)) out.push_back(id);
+  if (candidates) {
+    for (const DocId id : *candidates) {
+      const auto doc = Fetch(id);
+      if (doc && Matches(*doc, query, geo)) out.push_back(id);
+    }
+  } else {
+    // No usable index: stream the whole collection off one snapshot.
+    for (auto it = engine_.NewIterator("", ""); it.Valid(); it.Next()) {
+      const auto id = IdFromKey(it.key());
+      const auto doc = id ? DecodeDocument(it.value()) : std::nullopt;
+      if (doc && Matches(*doc, query, geo)) out.push_back(*id);
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -237,9 +278,8 @@ std::vector<DocId> Collection::Find(const Query& query) const {
 std::vector<Document> Collection::FindDocs(const Query& query) const {
   std::vector<Document> out;
   for (const DocId id : Find(query)) {
-    MutexLock lock(mu_);
-    const auto it = docs_.find(id);
-    if (it != docs_.end()) out.push_back(it->second);
+    auto doc = Fetch(id);
+    if (doc) out.push_back(*std::move(doc));
   }
   return out;
 }

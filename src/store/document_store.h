@@ -6,37 +6,29 @@
 // secondary hash indexes, numeric range queries, and a geospatial index —
 // the store behind tweets, Waze reports, and open city records, and the
 // query engine for the SNA application's geo-temporal narrowing.
+//
+// Documents persist in an LSM engine (8-byte big-endian id keys, the
+// store/doc_codec.h format), so every document read — FindById, the query
+// post-filter, full-collection scans — runs against a pinned engine
+// snapshot without touching the collection mutex. `mu_` guards only the
+// mutable query metadata: id allocation, the secondary/geo indexes, and
+// the exact size counter. Index postings only ever name ids whose
+// documents were already published to the engine.
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
 #include "geo/geo.h"
-#include "util/status.h"
+#include "store/document_types.h"
+#include "store/lsm.h"
 #include "util/lock_ranks.h"
+#include "util/status.h"
 #include "util/sync.h"
 
 namespace metro::store {
-
-/// Field value: the JSON-ish scalar types the city feeds use.
-using Value = std::variant<std::int64_t, double, bool, std::string>;
-
-/// Flat document.
-using Document = std::map<std::string, Value>;
-
-/// Document id assigned at insert.
-using DocId = std::uint64_t;
-
-/// Serializes a document as a single-line JSON object (for export and the
-/// web/visualization sink).
-std::string ToJson(const Document& doc);
-
-/// Numeric view of a value (bool -> 0/1; strings have no numeric view).
-std::optional<double> AsNumber(const Value& v);
 
 /// One query condition.
 struct Condition {
@@ -57,7 +49,8 @@ struct Query {
 /// A mutable collection of documents.
 class Collection {
  public:
-  explicit Collection(std::string name) : name_(std::move(name)) {}
+  explicit Collection(std::string name, LsmConfig config = {})
+      : name_(std::move(name)), engine_(config) {}
 
   const std::string& name() const { return name_; }
   std::size_t size() const METRO_EXCLUDES(mu_);
@@ -65,6 +58,7 @@ class Collection {
   /// Inserts and returns the new document's id.
   DocId Insert(Document doc) METRO_EXCLUDES(mu_);
 
+  /// Lock-free snapshot read from the engine.
   Result<Document> FindById(DocId id) const METRO_EXCLUDES(mu_);
 
   /// Replaces the document (indexes update automatically).
@@ -80,24 +74,41 @@ class Collection {
   Status CreateGeoIndex(const std::string& lat_field,
                         const std::string& lon_field) METRO_EXCLUDES(mu_);
 
-  /// Ids matching all conditions (uses indexes when available, otherwise
-  /// scans), ascending.
+  /// Ids matching all conditions (uses indexes when available, otherwise a
+  /// streaming engine scan), ascending. Candidate selection happens under
+  /// mu_; document fetch + filtering run against an engine snapshot.
   std::vector<DocId> Find(const Query& query) const METRO_EXCLUDES(mu_);
 
   /// Convenience: the matching documents themselves.
   std::vector<Document> FindDocs(const Query& query) const METRO_EXCLUDES(mu_);
 
+  /// The backing engine (metadata/bench introspection).
+  const LsmEngine& engine() const { return engine_; }
+
  private:
+  /// Geo field names to use when post-filtering a near-clause.
+  struct GeoFields {
+    std::string lat_field = "lat";
+    std::string lon_field = "lon";
+  };
+
   static std::string IndexKey(const Value& v);
-  bool Matches(const Document& doc, const Query& query) const
-      METRO_REQUIRES(mu_);
+  static std::string KeyFor(DocId id);
+  static std::optional<DocId> IdFromKey(std::string_view key);
+  static bool Matches(const Document& doc, const Query& query,
+                      const GeoFields& geo);
+
+  /// Fetches + decodes one document from the engine snapshot.
+  std::optional<Document> Fetch(DocId id) const;
+
   void IndexDoc(DocId id, const Document& doc) METRO_REQUIRES(mu_);
   void UnindexDoc(DocId id, const Document& doc) METRO_REQUIRES(mu_);
 
   std::string name_;
+  LsmEngine engine_;  ///< owns its internal locks (ranked after mu_)
   mutable Mutex mu_{lockrank::kStoreDocs, "store.docs"};
-  std::map<DocId, Document> docs_ METRO_GUARDED_BY(mu_);
   DocId next_id_ METRO_GUARDED_BY(mu_) = 1;
+  std::size_t count_ METRO_GUARDED_BY(mu_) = 0;
   // field -> (value key -> ids)
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<DocId>>>

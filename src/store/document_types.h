@@ -1,0 +1,30 @@
+#pragma once
+
+// Document model shared by the document store, its codec, and the ingest
+// pipeline: flat field -> scalar-value maps with ids assigned at insert.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace metro::store {
+
+/// Field value: the JSON-ish scalar types the city feeds use.
+using Value = std::variant<std::int64_t, double, bool, std::string>;
+
+/// Flat document.
+using Document = std::map<std::string, Value>;
+
+/// Document id assigned at insert.
+using DocId = std::uint64_t;
+
+/// Serializes a document as a single-line JSON object (for export and the
+/// web/visualization sink).
+std::string ToJson(const Document& doc);
+
+/// Numeric view of a value (bool -> 0/1; strings have no numeric view).
+std::optional<double> AsNumber(const Value& v);
+
+}  // namespace metro::store

@@ -1,6 +1,7 @@
 #include "store/lsm.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace metro::store {
 namespace {
@@ -8,12 +9,109 @@ namespace {
 constexpr std::uint8_t kOpPut = 1;
 constexpr std::uint8_t kOpDelete = 2;
 
+std::uint64_t NowNs() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+/// Raw cursor over one table for compaction merges: tombstones pass
+/// through, blocks are decoded without going through the cache (compaction
+/// reads each block exactly once; caching them would only evict hot data).
+struct MergeCursor {
+  std::shared_ptr<const SsTable> table;
+  int rank = 0;  ///< smaller = newer
+  std::shared_ptr<const DecodedBlock> block;
+  std::size_t block_index = 0;
+  std::size_t entry_index = 0;
+
+  explicit MergeCursor(std::shared_ptr<const SsTable> t, int r)
+      : table(std::move(t)), rank(r) {
+    if (table->block_count() > 0) block = table->ReadBlock(0, nullptr);
+  }
+  bool Valid() const { return block != nullptr; }
+  const std::string& key() const { return block->entries[entry_index].first; }
+  const std::optional<std::string>& value() const {
+    return block->entries[entry_index].second;
+  }
+  void Next() {
+    if (++entry_index < block->entries.size()) return;
+    entry_index = 0;
+    ++block_index;
+    block = block_index < table->block_count()
+                ? table->ReadBlock(block_index, nullptr)
+                : nullptr;
+  }
+};
+
+/// K-way merges `inputs` (rank = recency, smaller wins per key) into output
+/// tables split at `target_table_bytes`. Tombstones are dropped when
+/// `drop_tombstones` (the output is the bottom-most populated level).
+std::vector<std::shared_ptr<const SsTable>> MergeTables(
+    const std::vector<std::shared_ptr<const SsTable>>& inputs,
+    bool drop_tombstones, std::size_t block_size_bytes,
+    std::size_t target_table_bytes) {
+  std::vector<MergeCursor> cursors;
+  cursors.reserve(inputs.size());
+  int rank = 0;
+  for (const auto& table : inputs) cursors.emplace_back(table, rank++);
+
+  std::vector<std::shared_ptr<const SsTable>> outputs;
+  auto builder = std::make_unique<SsTableBuilder>(block_size_bytes);
+  for (;;) {
+    MergeCursor* best = nullptr;
+    for (MergeCursor& cursor : cursors) {
+      if (!cursor.Valid()) continue;
+      if (best == nullptr || cursor.key() < best->key() ||
+          (cursor.key() == best->key() && cursor.rank < best->rank)) {
+        best = &cursor;
+      }
+    }
+    if (best == nullptr) break;
+    const std::string key = best->key();
+    const std::optional<std::string> value = best->value();
+    for (MergeCursor& cursor : cursors) {  // consume shadowed versions too
+      while (cursor.Valid() && cursor.key() == key) cursor.Next();
+    }
+    if (!value && drop_tombstones) continue;
+    builder->Add(key, value ? std::optional<std::string_view>(*value)
+                            : std::nullopt);
+    if (builder->pending_bytes() >= target_table_bytes) {
+      if (auto table = builder->Finish()) outputs.push_back(std::move(table));
+      builder = std::make_unique<SsTableBuilder>(block_size_bytes);
+    }
+  }
+  if (auto table = builder->Finish()) outputs.push_back(std::move(table));
+  return outputs;
+}
+
 }  // namespace
 
-LsmEngine::LsmEngine(LsmConfig config) : config_(config) {}
+LsmEngine::LsmEngine(LsmConfig config) : config_(config) {
+  cache_ = config_.block_cache ? config_.block_cache
+                               : std::make_shared<BlockCache>();
+  MutexLock lock(version_mu_);
+  mem_ = std::make_shared<MemTable>();
+  current_ = std::make_shared<Version>();
+}
 
-void LsmEngine::AppendWal(std::string_view key,
-                          std::optional<std::string_view> value) {
+ReadView LsmEngine::PinView() const {
+  MutexLock lock(version_mu_);
+  ReadView view;
+  view.mem = mem_;
+  view.imm = imm_;
+  view.version = current_;
+  view.seq = seq_.load(std::memory_order_acquire);
+  return view;
+}
+
+std::shared_ptr<const Version> LsmEngine::CurrentVersion() const {
+  MutexLock lock(version_mu_);
+  return current_;
+}
+
+void LsmEngine::AppendWalLocked(std::string_view key,
+                                std::optional<std::string_view> value) {
   // Record: [u32 len][payload][u32 crc(payload)] where payload is
   // [u8 op][string key][string value?].
   ByteWriter payload;
@@ -30,22 +128,23 @@ void LsmEngine::AppendWal(std::string_view key,
 Status LsmEngine::Write(std::string_view key,
                         std::optional<std::string_view> value) {
   if (key.empty()) return InvalidArgumentError("empty key");
-  MutexLock lock(mu_);
-  AppendWal(key, value);
-  auto it = memtable_.find(key);
-  const std::size_t add =
-      key.size() + (value ? value->size() : 0) + 32 /*node overhead*/;
-  if (it != memtable_.end()) {
-    memtable_bytes_ -= it->first.size() + (it->second ? it->second->size() : 0) + 32;
-    it->second = value ? std::optional<std::string>(std::string(*value))
-                       : std::nullopt;
-  } else {
-    memtable_.emplace(std::string(key),
-                      value ? std::optional<std::string>(std::string(*value))
-                            : std::nullopt);
+  MutexLock lock(write_mu_);
+  AppendWalLocked(key, value);
+  std::shared_ptr<MemTable> mem;
+  {
+    MutexLock pin(version_mu_);
+    mem = mem_;
   }
-  memtable_bytes_ += add;
-  MaybeFlushLocked();
+  const std::uint64_t seq = seq_.load(std::memory_order_relaxed) + 1;
+  mem->Add(seq, key, value);
+  // Publishes the insert: a reader pinning seq >= this sees the new node.
+  seq_.store(seq, std::memory_order_release);
+  if (mem->ApproxBytes() >= config_.memtable_limit_bytes) {
+    const std::uint64_t t0 = NowNs();
+    SealMemTable();
+    MaybeCompact();
+    stall_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  }
   return Status::Ok();
 }
 
@@ -58,118 +157,329 @@ Status LsmEngine::Delete(std::string_view key) {
 }
 
 Result<std::string> LsmEngine::Get(std::string_view key) const {
-  MutexLock lock(mu_);
-  const auto mit = memtable_.find(key);
-  if (mit != memtable_.end()) {
-    if (!mit->second) return NotFoundError(std::string(key));
-    return *mit->second;
+  const ReadView view = PinView();
+  std::string value;
+  const auto from_mem = view.mem->Get(key, view.seq, &value);
+  if (from_mem == MemTable::FindResult::kFound) return value;
+  if (from_mem == MemTable::FindResult::kTombstone) {
+    return NotFoundError(std::string(key));
   }
-  // Newest SSTable wins.
-  for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
-    const auto& entries = it->entries;
-    const auto eit = std::lower_bound(
-        entries.begin(), entries.end(), key,
-        [](const auto& entry, std::string_view k) { return entry.first < k; });
-    if (eit != entries.end() && eit->first == key) {
-      if (!eit->second) return NotFoundError(std::string(key));
-      return *eit->second;
+  if (view.imm) {
+    const auto from_imm = view.imm->Get(key, view.seq, &value);
+    if (from_imm == MemTable::FindResult::kFound) return value;
+    if (from_imm == MemTable::FindResult::kTombstone) {
+      return NotFoundError(std::string(key));
+    }
+  }
+
+  BlockCache* cache = cache_.get();
+  enum class Probe { kMiss, kFound, kDeleted };
+  const auto probe = [&](const SsTable& table) {
+    if (!table.WithinFence(key)) {
+      fence_skips_.fetch_add(1, std::memory_order_relaxed);
+      return Probe::kMiss;
+    }
+    if (!table.BloomMayContain(key)) {
+      bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+      return Probe::kMiss;
+    }
+    switch (table.Get(key, &value, cache)) {
+      case SsTable::FindResult::kFound: return Probe::kFound;
+      case SsTable::FindResult::kTombstone: return Probe::kDeleted;
+      case SsTable::FindResult::kAbsent: return Probe::kMiss;
+    }
+    return Probe::kMiss;
+  };
+
+  for (const auto& table : view.version->levels[0]) {  // newest first
+    switch (probe(*table)) {
+      case Probe::kFound: return value;
+      case Probe::kDeleted: return NotFoundError(std::string(key));
+      case Probe::kMiss: break;
+    }
+  }
+  for (int level = 1; level < Version::kNumLevels; ++level) {
+    const auto& tables = view.version->levels[std::size_t(level)];
+    if (tables.empty()) continue;
+    // Disjoint + sorted: at most one candidate table per level.
+    const auto it = std::lower_bound(
+        tables.begin(), tables.end(), key,
+        [](const std::shared_ptr<const SsTable>& table, std::string_view k) {
+          return table->max_key() < k;
+        });
+    if (it == tables.end()) continue;
+    switch (probe(**it)) {
+      case Probe::kFound: return value;
+      case Probe::kDeleted: return NotFoundError(std::string(key));
+      case Probe::kMiss: break;
     }
   }
   return NotFoundError(std::string(key));
 }
 
+LsmIterator LsmEngine::NewIterator(std::string_view begin,
+                                   std::string_view end) const {
+  return LsmIterator(PinView(), begin, end, cache_);
+}
+
 std::vector<std::pair<std::string, std::string>> LsmEngine::Scan(
     std::string_view begin, std::string_view end, std::size_t limit) const {
-  MutexLock lock(mu_);
-  // Merge view: memtable shadows all SSTables; newer SSTables shadow older.
-  std::map<std::string, std::optional<std::string>, std::less<>> merged;
-  auto in_range = [&](std::string_view k) {
-    return k >= begin && (end.empty() || k < end);
-  };
-  for (const SsTable& sst : sstables_) {  // oldest -> newest so newer wins
-    for (const auto& [k, v] : sst.entries) {
-      if (in_range(k)) merged[k] = v;
-    }
-  }
-  for (const auto& [k, v] : memtable_) {
-    if (in_range(k)) merged[k] = v;
-  }
   std::vector<std::pair<std::string, std::string>> out;
-  for (auto& [k, v] : merged) {
-    if (!v) continue;  // tombstone
-    out.emplace_back(k, *v);
-    if (out.size() >= limit) break;
+  // The iterator merges lazily, so the limit genuinely bounds the work.
+  for (LsmIterator it = NewIterator(begin, end); it.Valid() && out.size() < limit;
+       it.Next()) {
+    out.emplace_back(it.key(), it.value());
   }
   return out;
 }
 
-void LsmEngine::MaybeFlushLocked() {
-  if (memtable_bytes_ < config_.memtable_limit_bytes) return;
-  SsTable sst;
-  sst.entries.reserve(memtable_.size());
-  for (auto& [k, v] : memtable_) sst.entries.emplace_back(k, v);
-  sstables_.push_back(std::move(sst));
-  memtable_.clear();
-  memtable_bytes_ = 0;
-  ++stats_.seals;
-  if (sstables_.size() >= config_.compaction_trigger) CompactLocked();
+void LsmEngine::SealMemTable() {
+  std::shared_ptr<const MemTable> sealed;
+  {
+    MutexLock pin(version_mu_);
+    if (mem_->Empty()) return;
+    sealed = mem_;
+    imm_ = sealed;
+    mem_ = std::make_shared<MemTable>();
+  }
+  // Encode outside version_mu_: readers keep serving from imm_ meanwhile.
+  SsTableBuilder builder(config_.block_size_bytes);
+  for (auto it = sealed->NewIterator("", MemTable::kAllVersions); it.Valid();
+       it.Next()) {
+    builder.Add(it.key(), it.is_tombstone()
+                              ? std::nullopt
+                              : std::optional<std::string_view>(it.value()));
+  }
+  auto table = builder.Finish();
+  {
+    MutexLock pin(version_mu_);
+    auto next = std::make_shared<Version>(*current_);
+    if (table) next->levels[0].insert(next->levels[0].begin(), std::move(table));
+    current_ = std::move(next);
+    imm_ = nullptr;
+  }
+  seals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t LsmEngine::TargetTableBytes() const {
+  if (config_.target_table_bytes > 0) return config_.target_table_bytes;
+  return std::max<std::size_t>(2 * config_.memtable_limit_bytes, 4096);
+}
+
+std::size_t LsmEngine::TargetLevelBytes(int level) const {
+  std::size_t target = config_.level_base_bytes > 0
+                           ? config_.level_base_bytes
+                           : std::max<std::size_t>(
+                                 4 * config_.memtable_limit_bytes, 16384);
+  for (int i = 1; i < level; ++i) {
+    target *= std::max<std::size_t>(config_.level_size_multiplier, 2);
+  }
+  return target;
+}
+
+std::optional<LsmEngine::Compaction> LsmEngine::PickCompaction() {
+  const std::shared_ptr<const Version> version = CurrentVersion();
+  // L0 first: too many overlapping runs is what hurts reads most.
+  if (version->levels[0].size() >= std::max<std::size_t>(
+                                       config_.compaction_trigger, 2)) {
+    Compaction c;
+    c.from_level = 0;
+    c.to_level = 1;
+    c.upper = version->levels[0];
+    std::string lo = c.upper.front()->min_key();
+    std::string hi = c.upper.front()->max_key();
+    for (const auto& table : c.upper) {
+      lo = std::min(lo, table->min_key());
+      hi = std::max(hi, table->max_key());
+    }
+    for (const auto& table : version->levels[1]) {
+      if (table->max_key() >= lo && table->min_key() <= hi) {
+        c.lower.push_back(table);
+      }
+    }
+    return c;
+  }
+  for (int level = 1; level < Version::kNumLevels - 1; ++level) {
+    const auto& tables = version->levels[std::size_t(level)];
+    if (tables.empty() || version->LevelBytes(level) <= TargetLevelBytes(level)) {
+      continue;
+    }
+    Compaction c;
+    c.from_level = level;
+    c.to_level = level + 1;
+    const std::size_t pick =
+        compaction_cursor_[std::size_t(level)]++ % tables.size();
+    const auto& chosen = tables[pick];
+    c.upper.push_back(chosen);
+    for (const auto& table : version->levels[std::size_t(level + 1)]) {
+      if (table->max_key() >= chosen->min_key() &&
+          table->min_key() <= chosen->max_key()) {
+        c.lower.push_back(table);
+      }
+    }
+    return c;
+  }
+  return std::nullopt;
+}
+
+void LsmEngine::RunCompaction(const Compaction& compaction) {
+  const std::shared_ptr<const Version> version = CurrentVersion();
+
+  // Tombstones drop only when nothing deeper could still hold older
+  // versions of the merged keys. Tables at to_level outside the inputs are
+  // disjoint from the merged range, so only deeper levels matter.
+  bool drop_tombstones = true;
+  for (int level = compaction.to_level + 1; level < Version::kNumLevels;
+       ++level) {
+    if (!version->levels[std::size_t(level)].empty()) drop_tombstones = false;
+  }
+
+  std::vector<std::shared_ptr<const SsTable>> inputs = compaction.upper;
+  inputs.insert(inputs.end(), compaction.lower.begin(),
+                compaction.lower.end());
+  const auto outputs = MergeTables(inputs, drop_tombstones,
+                                   config_.block_size_bytes,
+                                   TargetTableBytes());
+
+  auto next = std::make_shared<Version>(*version);
+  auto remove_from = [&next](int level,
+                             const std::vector<std::shared_ptr<const SsTable>>&
+                                 victims) {
+    auto& tables = next->levels[std::size_t(level)];
+    std::erase_if(tables, [&victims](const auto& table) {
+      return std::find(victims.begin(), victims.end(), table) != victims.end();
+    });
+  };
+  remove_from(compaction.from_level, compaction.upper);
+  remove_from(compaction.to_level, compaction.lower);
+  auto& target = next->levels[std::size_t(compaction.to_level)];
+  for (const auto& table : outputs) {
+    const auto pos = std::lower_bound(
+        target.begin(), target.end(), table,
+        [](const auto& a, const auto& b) { return a->min_key() < b->min_key(); });
+    target.insert(pos, table);
+  }
+  {
+    MutexLock pin(version_mu_);
+    current_ = std::move(next);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LsmEngine::MaybeCompact() {
+  // Strictly moves bytes downhill, so this terminates; the cap is a guard
+  // against a pathological config (e.g. multiplier 1 clamped away).
+  for (int round = 0; round < 16; ++round) {
+    const auto compaction = PickCompaction();
+    if (!compaction) return;
+    RunCompaction(*compaction);
+  }
 }
 
 Status LsmEngine::Flush() {
-  MutexLock lock(mu_);
-  if (memtable_.empty()) return Status::Ok();
-  SsTable sst;
-  sst.entries.reserve(memtable_.size());
-  for (auto& [k, v] : memtable_) sst.entries.emplace_back(k, v);
-  sstables_.push_back(std::move(sst));
-  memtable_.clear();
-  memtable_bytes_ = 0;
-  ++stats_.seals;
+  MutexLock lock(write_mu_);
+  SealMemTable();
   return Status::Ok();
 }
 
-void LsmEngine::CompactLocked() {
-  if (sstables_.size() <= 1) return;
-  std::map<std::string, std::optional<std::string>> merged;
-  for (const SsTable& sst : sstables_) {  // oldest -> newest
-    for (const auto& [k, v] : sst.entries) merged[k] = v;
-  }
-  SsTable compacted;
-  compacted.entries.reserve(merged.size());
-  for (auto& [k, v] : merged) {
-    if (v) compacted.entries.emplace_back(k, std::move(v));
-    // Tombstones drop: nothing older remains to shadow.
-  }
-  sstables_.clear();
-  if (!compacted.entries.empty()) sstables_.push_back(std::move(compacted));
-  ++stats_.compactions;
-}
-
 Status LsmEngine::CompactAll() {
-  MutexLock lock(mu_);
-  CompactLocked();
+  MutexLock lock(write_mu_);
+  SealMemTable();
+  const std::shared_ptr<const Version> version = CurrentVersion();
+  std::size_t tombstones = 0;
+  std::vector<std::shared_ptr<const SsTable>> inputs;
+  for (const auto& table : version->levels[0]) {  // newest first
+    inputs.push_back(table);
+    tombstones += table->tombstone_count();
+  }
+  for (int level = 1; level < Version::kNumLevels; ++level) {
+    for (const auto& table : version->levels[std::size_t(level)]) {
+      inputs.push_back(table);
+      tombstones += table->tombstone_count();
+    }
+  }
+  if (inputs.size() <= 1 && tombstones == 0) return Status::Ok();
+
+  const auto outputs = MergeTables(inputs, /*drop_tombstones=*/true,
+                                   config_.block_size_bytes,
+                                   TargetTableBytes());
+  auto next = std::make_shared<Version>();
+  next->levels[Version::kNumLevels - 1] = outputs;
+  {
+    MutexLock pin(version_mu_);
+    current_ = std::move(next);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 LsmStats LsmEngine::Stats() const {
-  MutexLock lock(mu_);
-  LsmStats s = stats_;
-  s.memtable_entries = memtable_.size();
-  s.memtable_bytes = memtable_bytes_;
-  s.num_sstables = sstables_.size();
-  for (const SsTable& sst : sstables_) s.sstable_entries += sst.entries.size();
-  return s;
+  const ReadView view = PinView();
+  LsmStats stats;
+  stats.memtable_entries = view.mem->VersionCount() +
+                           (view.imm ? view.imm->VersionCount() : 0);
+  stats.memtable_bytes = view.mem->ApproxBytes() +
+                         (view.imm ? view.imm->ApproxBytes() : 0);
+  for (int level = 0; level < Version::kNumLevels; ++level) {
+    const auto& tables = view.version->levels[std::size_t(level)];
+    stats.num_sstables += tables.size();
+    for (const auto& table : tables) stats.sstable_entries += table->entry_count();
+    stats.level_tables.push_back(tables.size());
+  }
+  while (!stats.level_tables.empty() && stats.level_tables.back() == 0) {
+    stats.level_tables.pop_back();
+  }
+  stats.seals = seals_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
+  stats.bloom_skips = bloom_skips_.load(std::memory_order_relaxed);
+  stats.fence_skips = fence_skips_.load(std::memory_order_relaxed);
+  stats.write_stall_ns = stall_ns_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::pair<std::string, std::string> LsmEngine::KeyRange() const {
-  auto rows = Scan("", "", SIZE_MAX);
-  if (rows.empty()) return {};
-  return {rows.front().first, rows.back().first};
+  const ReadView view = PinView();
+  std::optional<std::string> lo;
+  std::optional<std::string> hi;
+  const auto fold = [&](std::optional<std::string> min_key,
+                        std::optional<std::string> max_key) {
+    if (min_key && (!lo || *min_key < *lo)) lo = std::move(min_key);
+    if (max_key && (!hi || *max_key > *hi)) hi = std::move(max_key);
+  };
+  fold(view.mem->MinKey(), view.mem->MaxKey());
+  if (view.imm) fold(view.imm->MinKey(), view.imm->MaxKey());
+  for (const auto& table : view.version->levels[0]) {
+    fold(table->min_key(), table->max_key());
+  }
+  for (int level = 1; level < Version::kNumLevels; ++level) {
+    const auto& tables = view.version->levels[std::size_t(level)];
+    if (tables.empty()) continue;
+    fold(tables.front()->min_key(), tables.back()->max_key());
+  }
+  if (!lo) return {};
+  return {*std::move(lo), *std::move(hi)};
 }
 
-std::size_t LsmEngine::ApproxEntries() const { return Scan("", "").size(); }
+std::size_t LsmEngine::ApproxEntries() const {
+  const ReadView view = PinView();
+  std::int64_t live = view.mem->LiveDelta() +
+                      (view.imm ? view.imm->LiveDelta() : 0);
+  for (const auto& level : view.version->levels) {
+    for (const auto& table : level) {
+      live += std::int64_t(table->live_entries());
+    }
+  }
+  return live > 0 ? std::size_t(live) : 0;
+}
 
 Result<std::int64_t> LsmEngine::RecoverFromWal(std::string_view wal) {
+  MutexLock lock(write_mu_);
+  std::shared_ptr<MemTable> mem;
+  {
+    MutexLock pin(version_mu_);
+    mem = mem_;
+  }
+  std::uint64_t seq = seq_.load(std::memory_order_relaxed);
   std::int64_t applied = 0;
   std::size_t pos = 0;
   while (pos + 4 <= wal.size()) {
@@ -180,20 +490,30 @@ Result<std::int64_t> LsmEngine::RecoverFromWal(std::string_view wal) {
     ByteReader crc_reader(wal.substr(pos + 4 + len, 4));
     if (Crc32c(payload) != crc_reader.GetU32().value()) break;  // corrupt tail
     ByteReader r(payload);
-    auto op = r.GetU8();
-    auto key = op.ok() ? r.GetString() : Result<std::string>(op.status());
-    if (!key.ok()) break;
-    if (op.value() == kOpPut) {
-      auto value = r.GetString();
+    const auto op = r.GetU8();
+    const auto key = op.ok() ? r.GetString() : Result<std::string>(op.status());
+    if (!key.ok() || key->empty()) break;
+    if (*op == kOpPut) {
+      const auto value = r.GetString();
       if (!value.ok()) break;
-      METRO_RETURN_IF_ERROR(Put(*key, *value));
-    } else if (op.value() == kOpDelete) {
-      METRO_RETURN_IF_ERROR(Delete(*key));
+      mem->Add(++seq, *key, *value);
+    } else if (*op == kOpDelete) {
+      mem->Add(++seq, *key, std::nullopt);
     } else {
       break;
     }
     ++applied;
     pos += 4 + len + 4;
+  }
+  // The verified prefix is appended byte-for-byte — no re-encoding.
+  wal_.append(wal.substr(0, pos));
+  seq_.store(seq, std::memory_order_release);
+  // Flush/compaction were deferred for the whole replay; settle once now.
+  if (mem->ApproxBytes() >= config_.memtable_limit_bytes) {
+    const std::uint64_t t0 = NowNs();
+    SealMemTable();
+    MaybeCompact();
+    stall_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
   }
   return applied;
 }

@@ -1,24 +1,50 @@
 #pragma once
 
-// Log-structured merge storage engine.
+// Log-structured merge storage engine (the HBase role in Sec. II-C2),
+// rebuilt around immutable refcounted versions for a lock-free read path.
 //
-// The persistence core under the wide-column store (the HBase role in
-// Sec. II-C2): writes go to a checksummed write-ahead log and a sorted
-// memtable; full memtables flush to immutable sorted tables; reads merge
-// memtable and SSTables newest-first; background compaction folds SSTables
-// together and drops tombstones. "Durability" is modeled by keeping the WAL
-// as an explicit byte buffer that can be replayed into a fresh engine —
-// tests crash the engine mid-stream and recover from the log.
+// Write path: a checksummed write-ahead log and a single-writer skiplist
+// memtable, both under `write_mu_`. When the memtable fills, the writer
+// seals it (brief `version_mu_` swap: mem -> imm, fresh mem), builds the
+// SSTable *outside* the version lock, installs a new `Version`, and then
+// runs leveled compaction — all still on the writer thread, never while
+// holding `version_mu_` for more than a pointer swap.
+//
+// Read path: pin `{mem, imm, version, seq}` under `version_mu_` (a few
+// pointer copies), then read entirely lock-free — skiplist traversal with
+// acquire loads, immutable SSTables behind bloom filters and min/max key
+// fences, decoded blocks via the sharded `BlockCache`. Point reads, range
+// scans, and long snapshot iterators all proceed concurrently with
+// sustained `Put` load and never block on flush or compaction.
+//
+// Level shape: level 0 holds whole sealed memtables (overlapping, newest
+// first, compacted into level 1 when `compaction_trigger` runs pile up);
+// levels 1+ are non-overlapping and key-fenced, each targeted at
+// `level_base_bytes * level_size_multiplier^(n-1)` bytes, compacted one
+// table at a time (round-robin cursor) into the overlap below. Tombstones
+// drop only when a compaction writes the bottom-most populated level.
+//
+// "Durability" stays modeled by the explicit WAL byte buffer: recovery
+// replays a WAL prefix (torn or corrupt tails tolerated), appends the
+// verified bytes verbatim to the new engine's log, and defers any flush or
+// compaction until the replay completes.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "store/block_cache.h"
+#include "store/memtable.h"
+#include "store/sstable.h"
+#include "store/version.h"
 #include "util/bytes.h"
-#include "util/status.h"
 #include "util/lock_ranks.h"
+#include "util/status.h"
 #include "util/sync.h"
 
 namespace metro::store {
@@ -26,17 +52,30 @@ namespace metro::store {
 /// Engine tuning.
 struct LsmConfig {
   std::size_t memtable_limit_bytes = 256 * 1024;  ///< flush threshold
-  std::size_t compaction_trigger = 4;             ///< SSTables before compact
+  std::size_t compaction_trigger = 4;  ///< L0 runs before L0 -> L1 compaction
+  std::size_t block_size_bytes = 4096;
+  /// Output tables split at this size during compaction; 0 = 2x memtable.
+  std::size_t target_table_bytes = 0;
+  /// Level-1 size target; 0 = 4x memtable. Level n targets base * mult^(n-1).
+  std::size_t level_base_bytes = 0;
+  std::size_t level_size_multiplier = 8;
+  /// Shared decoded-block cache; null = the engine creates a private one.
+  std::shared_ptr<BlockCache> block_cache;
 };
 
 /// Point-in-time usage numbers.
 struct LsmStats {
-  std::size_t memtable_entries = 0;
+  std::size_t memtable_entries = 0;  ///< versions in mem + imm skiplists
   std::size_t memtable_bytes = 0;
   std::size_t num_sstables = 0;
-  std::size_t sstable_entries = 0;
-  std::uint64_t seals = 0;        ///< memtable flushes so far
+  std::size_t sstable_entries = 0;  ///< encoded entries, tombstones included
+  std::uint64_t seals = 0;          ///< memtable flushes so far
   std::uint64_t compactions = 0;
+  std::uint64_t bloom_skips = 0;      ///< tables skipped by bloom on Get
+  std::uint64_t fence_skips = 0;      ///< tables skipped by key fence on Get
+  std::uint64_t write_stall_ns = 0;   ///< writer time lost to seal+compact
+  /// Tables per level, L0 first; trailing empty levels trimmed.
+  std::vector<std::size_t> level_tables;
 };
 
 /// One key-value engine instance (a single "region" of a table).
@@ -44,72 +83,122 @@ class LsmEngine {
  public:
   explicit LsmEngine(LsmConfig config = {});
 
-  /// Writes (WAL append, memtable insert; may trigger flush/compaction).
-  Status Put(std::string_view key, std::string_view value) METRO_EXCLUDES(mu_);
+  /// Writes (WAL append, memtable insert; may seal + compact inline).
+  Status Put(std::string_view key, std::string_view value)
+      METRO_EXCLUDES(write_mu_);
 
   /// Writes a tombstone.
-  Status Delete(std::string_view key) METRO_EXCLUDES(mu_);
+  Status Delete(std::string_view key) METRO_EXCLUDES(write_mu_);
 
   /// Newest visible value; kNotFound for missing or deleted keys.
-  Result<std::string> Get(std::string_view key) const METRO_EXCLUDES(mu_);
+  /// Lock-free after the snapshot pin.
+  Result<std::string> Get(std::string_view key) const
+      METRO_EXCLUDES(write_mu_);
 
-  /// Key/value pairs with begin <= key < end (end empty = unbounded),
-  /// in key order, tombstones resolved.
+  /// Key/value pairs with begin <= key < end (end empty = unbounded), in
+  /// key order, tombstones resolved. The merge stops as soon as `limit`
+  /// live entries have been emitted.
   std::vector<std::pair<std::string, std::string>> Scan(
       std::string_view begin, std::string_view end,
-      std::size_t limit = SIZE_MAX) const METRO_EXCLUDES(mu_);
+      std::size_t limit = SIZE_MAX) const METRO_EXCLUDES(write_mu_);
 
-  /// Forces the memtable to an SSTable regardless of size.
-  Status Flush() METRO_EXCLUDES(mu_);
+  /// Consistent-read streaming iterator over [begin, end): pins the current
+  /// snapshot and stays valid (and consistent) through any concurrent
+  /// writes, flushes, and compactions — even engine destruction.
+  LsmIterator NewIterator(std::string_view begin, std::string_view end) const
+      METRO_EXCLUDES(write_mu_);
 
-  /// Merges all SSTables into one, dropping shadowed entries and tombstones.
-  Status CompactAll() METRO_EXCLUDES(mu_);
+  /// Forces the memtable to an SSTable regardless of size (no compaction).
+  Status Flush() METRO_EXCLUDES(write_mu_);
 
-  LsmStats Stats() const METRO_EXCLUDES(mu_);
+  /// Merges everything into one bottom-level table, dropping shadowed
+  /// entries and tombstones.
+  Status CompactAll() METRO_EXCLUDES(write_mu_);
 
-  /// Smallest and largest live keys (empty strings when the engine is empty)
-  /// — used by the region-split logic upstream.
-  std::pair<std::string, std::string> KeyRange() const METRO_EXCLUDES(mu_);
+  LsmStats Stats() const METRO_EXCLUDES(write_mu_);
 
-  /// Live entry count (post-merge view).
-  std::size_t ApproxEntries() const METRO_EXCLUDES(mu_);
+  /// Smallest and largest keys (empty strings when the engine is empty),
+  /// from memtable + table fence metadata — O(#tables), never a scan. May
+  /// overapproximate when the extreme key is a tombstone.
+  std::pair<std::string, std::string> KeyRange() const
+      METRO_EXCLUDES(write_mu_);
+
+  /// Estimated live entry count from metadata (table live counts plus the
+  /// memtable's net delta), clamped at 0 — O(#tables), never a scan.
+  std::size_t ApproxEntries() const METRO_EXCLUDES(write_mu_);
 
   /// Snapshot of the write-ahead log since construction (recovery input).
   /// Returned by value: handing out a reference to the live buffer would let
   /// callers read it while a concurrent Put appends (a race the thread-safety
   /// analysis rejects).
-  std::string Wal() const METRO_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
+  std::string Wal() const METRO_EXCLUDES(write_mu_) {
+    MutexLock lock(write_mu_);
     return wal_;
   }
 
   /// Rebuilds an engine's state by replaying a WAL byte stream. Truncated or
   /// corrupt tails are tolerated: replay stops at the first bad record and
-  /// reports how many records were applied.
+  /// reports how many records were applied. The verified prefix is appended
+  /// to this engine's WAL byte-for-byte, and flush/compaction are deferred
+  /// until the whole replay has been applied.
   Result<std::int64_t> RecoverFromWal(std::string_view wal)
-      METRO_EXCLUDES(mu_);
+      METRO_EXCLUDES(write_mu_);
+
+  /// The decoded-block cache this engine reads through (shared or private).
+  const std::shared_ptr<BlockCache>& block_cache() const { return cache_; }
 
  private:
-  struct SsTable {
-    // Sorted by key; tombstones are nullopt values.
-    std::vector<std::pair<std::string, std::optional<std::string>>> entries;
+  struct Compaction {
+    int from_level = 0;
+    int to_level = 1;
+    std::vector<std::shared_ptr<const SsTable>> upper;  ///< newest first
+    std::vector<std::shared_ptr<const SsTable>> lower;  ///< key order
   };
 
   Status Write(std::string_view key, std::optional<std::string_view> value)
-      METRO_EXCLUDES(mu_);
-  void AppendWal(std::string_view key, std::optional<std::string_view> value)
-      METRO_REQUIRES(mu_);
-  void MaybeFlushLocked() METRO_REQUIRES(mu_);
-  void CompactLocked() METRO_REQUIRES(mu_);
+      METRO_EXCLUDES(write_mu_);
+  void AppendWalLocked(std::string_view key,
+                       std::optional<std::string_view> value)
+      METRO_REQUIRES(write_mu_);
+  /// Seals a non-empty memtable into a new L0 table. Holds version_mu_ only
+  /// for the two pointer swaps, not while encoding.
+  void SealMemTable() METRO_REQUIRES(write_mu_);
+  /// Runs leveled compactions until every level is within its target.
+  void MaybeCompact() METRO_REQUIRES(write_mu_);
+  std::optional<Compaction> PickCompaction() METRO_REQUIRES(write_mu_);
+  void RunCompaction(const Compaction& compaction) METRO_REQUIRES(write_mu_);
+  std::size_t TargetLevelBytes(int level) const;
+  std::size_t TargetTableBytes() const;
+
+  ReadView PinView() const METRO_EXCLUDES(version_mu_);
+  std::shared_ptr<const Version> CurrentVersion() const
+      METRO_EXCLUDES(version_mu_);
 
   LsmConfig config_;
-  mutable Mutex mu_{lockrank::kStoreLsm, "store.lsm"};
-  std::map<std::string, std::optional<std::string>, std::less<>> memtable_
-      METRO_GUARDED_BY(mu_);
-  std::size_t memtable_bytes_ METRO_GUARDED_BY(mu_) = 0;
-  std::vector<SsTable> sstables_ METRO_GUARDED_BY(mu_);  // oldest first
-  std::string wal_ METRO_GUARDED_BY(mu_);
-  LsmStats stats_ METRO_GUARDED_BY(mu_);
+  std::shared_ptr<BlockCache> cache_;
+
+  /// Serializes writers (WAL, memtable inserts, flush, compaction).
+  mutable Mutex write_mu_{lockrank::kStoreLsmWrite, "store.lsm.write"};
+  /// Guards only the snapshot pointers below; held for pointer swaps/copies.
+  mutable Mutex version_mu_{lockrank::kStoreLsmVersion, "store.lsm.version"};
+
+  std::shared_ptr<MemTable> mem_ METRO_GUARDED_BY(version_mu_);
+  std::shared_ptr<const MemTable> imm_ METRO_GUARDED_BY(version_mu_);
+  std::shared_ptr<const Version> current_ METRO_GUARDED_BY(version_mu_);
+  /// Published with release after the memtable insert; readers pin with
+  /// acquire, which is what makes every entry at or below the pinned
+  /// sequence fully visible to their lock-free traversal.
+  std::atomic<std::uint64_t> seq_{0};
+
+  std::string wal_ METRO_GUARDED_BY(write_mu_);
+  std::array<std::size_t, Version::kNumLevels> compaction_cursor_
+      METRO_GUARDED_BY(write_mu_) = {};
+
+  std::atomic<std::uint64_t> seals_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> stall_ns_{0};
+  mutable std::atomic<std::uint64_t> bloom_skips_{0};
+  mutable std::atomic<std::uint64_t> fence_skips_{0};
 };
 
 }  // namespace metro::store

@@ -1,0 +1,163 @@
+#include "store/memtable.h"
+
+namespace metro::store {
+
+MemTable::MemTable() { head_.height = kMaxHeight; }
+
+bool MemTable::NodeBefore(const Node* node, std::string_view key,
+                          std::uint64_t seq) {
+  const int cmp = std::string_view(node->key).compare(key);
+  if (cmp != 0) return cmp < 0;
+  return node->seq > seq;  // newer versions sort first within a key
+}
+
+const MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                                   std::uint64_t seq) const {
+  const Node* x = &head_;
+  int level = height_.load(std::memory_order_relaxed) - 1;
+  for (;;) {
+    const Node* next = x->next[level].load(std::memory_order_acquire);
+    if (next != nullptr && NodeBefore(next, key, seq)) {
+      x = next;
+      continue;
+    }
+    if (level == 0) return next;
+    --level;
+  }
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                             std::uint64_t seq, Node** prev) {
+  Node* x = &head_;
+  int level = height_.load(std::memory_order_relaxed) - 1;
+  for (;;) {
+    Node* next = x->next[level].load(std::memory_order_acquire);
+    if (next != nullptr && NodeBefore(next, key, seq)) {
+      x = next;
+      continue;
+    }
+    prev[level] = x;
+    if (level == 0) return next;
+    --level;
+  }
+}
+
+int MemTable::RandomHeight() {
+  // xorshift64*; writer-only state. 1/4 branching per level.
+  rand_state_ ^= rand_state_ >> 12;
+  rand_state_ ^= rand_state_ << 25;
+  rand_state_ ^= rand_state_ >> 27;
+  std::uint64_t r = rand_state_ * 0x2545f4914f6cdd1dull;
+  int height = 1;
+  while (height < kMaxHeight && (r & 3) == 0) {
+    ++height;
+    r >>= 2;
+  }
+  return height;
+}
+
+void MemTable::Add(std::uint64_t seq, std::string_view key,
+                   std::optional<std::string_view> value) {
+  Node* prev[kMaxHeight];
+  const Node* succ = FindGreaterOrEqual(key, seq, prev);
+
+  // Live-entry accounting against this memtable's own view of the key
+  // (succ, when it shares the key, is the previous newest version).
+  const Node* prior = (succ != nullptr && succ->key == key) ? succ : nullptr;
+  const bool was_live = prior != nullptr && !prior->tombstone;
+  if (value) {
+    if (!was_live) live_delta_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    if (prior == nullptr || was_live) {
+      live_delta_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  arena_.emplace_back();
+  Node* node = &arena_.back();
+  node->key.assign(key);
+  if (value) node->value.assign(*value);
+  node->seq = seq;
+  node->tombstone = !value;
+  node->height = RandomHeight();
+
+  const int height = node->height;
+  if (height > height_.load(std::memory_order_relaxed)) {
+    for (int i = height_.load(std::memory_order_relaxed); i < height; ++i) {
+      prev[i] = &head_;
+    }
+    // Readers that see the new height before the links just find nulls.
+    height_.store(height, std::memory_order_relaxed);
+  }
+  for (int i = 0; i < height; ++i) {
+    node->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    // The release store publishes the node (and its lower-level links).
+    prev[i]->next[i].store(node, std::memory_order_release);
+  }
+
+  bytes_.fetch_add(key.size() + (value ? value->size() : 0) + 48,
+                   std::memory_order_relaxed);
+  versions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MemTable::FindResult MemTable::Get(std::string_view key,
+                                   std::uint64_t snapshot_seq,
+                                   std::string* value) const {
+  // Versions newer than the snapshot order *before* (key, snapshot_seq), so
+  // the first node at-or-after that position is the newest visible version.
+  const Node* node = FindGreaterOrEqual(key, snapshot_seq);
+  if (node == nullptr || node->key != key) return FindResult::kAbsent;
+  if (node->tombstone) return FindResult::kTombstone;
+  *value = node->value;
+  return FindResult::kFound;
+}
+
+std::optional<std::string> MemTable::MinKey() const {
+  const Node* first = head_.next[0].load(std::memory_order_acquire);
+  if (first == nullptr) return std::nullopt;
+  return first->key;
+}
+
+std::optional<std::string> MemTable::MaxKey() const {
+  const Node* x = &head_;
+  int level = height_.load(std::memory_order_relaxed) - 1;
+  for (;;) {
+    const Node* next = x->next[level].load(std::memory_order_acquire);
+    if (next != nullptr) {
+      x = next;
+      continue;
+    }
+    if (level == 0) break;
+    --level;
+  }
+  if (x == &head_) return std::nullopt;
+  return x->key;
+}
+
+void MemTable::Iterator::Settle() {
+  // Skip versions above the snapshot; within a key run the versions sort
+  // newest-first, so the first node with seq <= snapshot is the newest
+  // visible version of whatever key it carries.
+  while (node_ != nullptr && node_->seq > snapshot_) {
+    node_ = node_->next[0].load(std::memory_order_acquire);
+  }
+}
+
+void MemTable::Iterator::Next() {
+  const Node* current = node_;
+  do {
+    node_ = node_->next[0].load(std::memory_order_acquire);
+  } while (node_ != nullptr && node_->key == current->key);
+  Settle();
+}
+
+MemTable::Iterator MemTable::NewIterator(std::string_view begin,
+                                         std::uint64_t snapshot_seq) const {
+  // (begin, kAllVersions) orders before every version of `begin`, so this
+  // lands at the head of begin's run (or the next key).
+  return Iterator(FindGreaterOrEqual(begin, kAllVersions),
+                  snapshot_seq);
+}
+
+}  // namespace metro::store

@@ -1,0 +1,132 @@
+#pragma once
+
+// Single-writer / many-reader skiplist memtable.
+//
+// The engine serializes all mutation under its write lock, so the skiplist
+// needs no CAS loops: the one writer links nodes with release stores on the
+// atomic next pointers, and readers traverse with acquire loads, entirely
+// lock-free. Nodes are never deleted or mutated once linked (the arena is a
+// deque, so addresses are stable), which is what makes the pinned-snapshot
+// read path of the LSM engine safe: a reader that pinned the memtable keeps
+// iterating it even while the writer appends.
+//
+// Entries are multi-versioned: every write carries a sequence number and
+// nodes sort by (key ascending, seq descending), so the newest version of a
+// key heads its run. A reader pins a snapshot sequence and sees exactly the
+// versions with seq <= snapshot — updates racing past the pin are invisible.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace metro::store {
+
+class MemTable {
+ public:
+  static constexpr int kMaxHeight = 12;
+  static constexpr std::uint64_t kAllVersions = UINT64_MAX;
+
+  enum class FindResult { kFound, kTombstone, kAbsent };
+
+  MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Writer side — callers hold the engine write lock. `seq` must exceed
+  /// every previously added sequence.
+  void Add(std::uint64_t seq, std::string_view key,
+           std::optional<std::string_view> value);
+
+  /// Reader side — lock-free. Resolves `key` at snapshot `snapshot_seq`.
+  FindResult Get(std::string_view key, std::uint64_t snapshot_seq,
+                 std::string* value) const;
+
+  /// Approximate heap footprint (the flush trigger).
+  std::size_t ApproxBytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  /// Number of versions in the list (shadowed versions included).
+  std::size_t VersionCount() const {
+    return versions_.load(std::memory_order_relaxed);
+  }
+  bool Empty() const { return VersionCount() == 0; }
+
+  /// Net live-entry delta contributed by this memtable: +1 per key whose
+  /// newest version is a put over a (locally) absent or deleted key, -1 per
+  /// deletion of a previously visible key. An estimate by construction —
+  /// a put or delete of a key living only in SSTables counts as if the key
+  /// were absent — but exact for keys whose whole history is local.
+  std::int64_t LiveDelta() const {
+    return live_delta_.load(std::memory_order_relaxed);
+  }
+
+  /// Smallest / largest user key present (tombstones included); nullopt when
+  /// empty. Lock-free.
+  std::optional<std::string> MinKey() const;
+  std::optional<std::string> MaxKey() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::string value;  ///< empty for tombstones
+    std::uint64_t seq = 0;
+    bool tombstone = false;
+    int height = 1;
+    std::array<std::atomic<Node*>, kMaxHeight> next{};
+  };
+
+ public:
+  /// Snapshot iterator: emits the newest visible version per key (tombstones
+  /// included — the merge layer above filters them), in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    std::string_view key() const { return node_->key; }
+    bool is_tombstone() const { return node_->tombstone; }
+    std::string_view value() const { return node_->value; }
+    void Next();
+
+   private:
+    friend class MemTable;
+    Iterator(const Node* node, std::uint64_t snapshot_seq)
+        : node_(node), snapshot_(snapshot_seq) {
+      Settle();
+    }
+    void Settle();
+
+    const Node* node_;
+    std::uint64_t snapshot_;
+  };
+
+  /// First visible entry with key >= begin at `snapshot_seq`.
+  Iterator NewIterator(std::string_view begin,
+                       std::uint64_t snapshot_seq) const;
+
+ private:
+  /// True when `node` orders strictly before position (key, seq).
+  static bool NodeBefore(const Node* node, std::string_view key,
+                         std::uint64_t seq);
+
+  /// First node not before (key, seq). The non-const overload is the
+  /// writer-side insert path and fills prev[] with the splice points.
+  const Node* FindGreaterOrEqual(std::string_view key,
+                                 std::uint64_t seq) const;
+  Node* FindGreaterOrEqual(std::string_view key, std::uint64_t seq,
+                           Node** prev);
+
+  int RandomHeight();
+
+  std::deque<Node> arena_;
+  Node head_;
+  std::atomic<int> height_{1};
+  std::uint64_t rand_state_ = 0x2545f4914f6cdd1dull;
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> versions_{0};
+  std::atomic<std::int64_t> live_delta_{0};
+};
+
+}  // namespace metro::store

@@ -1,0 +1,162 @@
+#include "store/sstable.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "store/block_cache.h"
+
+namespace metro::store {
+namespace {
+
+// Block entry: [u8 kind][string key][string value (puts only)].
+constexpr std::uint8_t kEntryPut = 1;
+constexpr std::uint8_t kEntryTombstone = 2;
+
+std::uint64_t NextTableId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const DecodedBlock> DecodeBlock(std::string_view bytes,
+                                                std::uint32_t count) {
+  auto block = std::make_shared<DecodedBlock>();
+  block->entries.reserve(count);
+  ByteReader r(bytes);
+  std::size_t charge = sizeof(DecodedBlock);
+  while (!r.empty()) {
+    const auto kind = r.GetU8();
+    const auto key = r.GetString();
+    if (!kind.ok() || !key.ok()) break;  // sealed tables never hit this
+    std::optional<std::string> value;
+    if (*kind == kEntryPut) {
+      auto v = r.GetString();
+      if (!v.ok()) break;
+      value = *std::move(v);
+    }
+    charge += key->size() + (value ? value->size() : 0) + 64;
+    block->entries.emplace_back(*std::move(key), std::move(value));
+  }
+  block->charge = charge;
+  return block;
+}
+
+}  // namespace
+
+BloomFilter BloomFilter::Build(const std::vector<std::uint64_t>& hashes,
+                               std::size_t bits_per_key) {
+  BloomFilter filter;
+  filter.bit_count_ = std::max<std::size_t>(hashes.size() * bits_per_key, 64);
+  filter.words_.assign((filter.bit_count_ + 63) / 64, 0);
+  // k = bits_per_key * ln 2 rounded; 10 bits/key -> 7 probes (~1% FP).
+  filter.probes_ = std::clamp<int>(int(bits_per_key * 69 / 100), 1, 30);
+  for (const std::uint64_t h1 : hashes) {
+    const std::uint64_t h2 = (h1 >> 17) | (h1 << 47);
+    for (int i = 0; i < filter.probes_; ++i) {
+      const std::uint64_t bit =
+          (h1 + std::uint64_t(i) * h2) % filter.bit_count_;
+      filter.words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(std::uint64_t h1) const {
+  if (bit_count_ == 0) return false;  // empty filter: nothing was added
+  const std::uint64_t h2 = (h1 >> 17) | (h1 << 47);
+  for (int i = 0; i < probes_; ++i) {
+    const std::uint64_t bit = (h1 + std::uint64_t(i) * h2) % bit_count_;
+    if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int SsTable::FindBlock(std::string_view key) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const BlockMeta& meta, std::string_view k) { return meta.last_key < k; });
+  if (it == index_.end()) return -1;
+  return int(it - index_.begin());
+}
+
+std::shared_ptr<const DecodedBlock> SsTable::ReadBlock(std::size_t idx,
+                                                       BlockCache* cache) const {
+  const BlockMeta& meta = index_[idx];
+  if (cache != nullptr) {
+    if (auto hit = cache->Lookup(id_, std::uint32_t(idx))) return hit;
+  }
+  auto block = DecodeBlock(
+      std::string_view(raw_).substr(meta.offset, meta.size), meta.count);
+  if (cache != nullptr) cache->Insert(id_, std::uint32_t(idx), block);
+  return block;
+}
+
+SsTable::FindResult SsTable::Get(std::string_view key, std::string* value,
+                                 BlockCache* cache) const {
+  const int idx = FindBlock(key);
+  if (idx < 0 || index_[std::size_t(idx)].first_key > key) {
+    return FindResult::kAbsent;
+  }
+  const auto block = ReadBlock(std::size_t(idx), cache);
+  const auto& entries = block->entries;
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it == entries.end() || it->first != key) return FindResult::kAbsent;
+  if (!it->second) return FindResult::kTombstone;
+  *value = *it->second;
+  return FindResult::kFound;
+}
+
+SsTableBuilder::SsTableBuilder(std::size_t block_size_bytes)
+    : block_size_bytes_(std::max<std::size_t>(block_size_bytes, 64)) {}
+
+void SsTableBuilder::Add(std::string_view key,
+                         std::optional<std::string_view> value) {
+  if (block_count_ == 0) block_first_key_.assign(key);
+  block_.PutU8(value ? kEntryPut : kEntryTombstone);
+  block_.PutString(key);
+  if (value) block_.PutString(*value);
+  block_last_key_.assign(key);
+  ++block_count_;
+  hashes_.push_back(BloomFilter::HashKey(key));
+  if (entry_count_ == 0) min_key_.assign(key);
+  max_key_.assign(key);
+  ++entry_count_;
+  if (!value) ++tombstone_count_;
+  if (block_.size() >= block_size_bytes_) CutBlock();
+}
+
+void SsTableBuilder::CutBlock() {
+  if (block_count_ == 0) return;
+  SsTable::BlockMeta meta;
+  meta.offset = std::uint32_t(raw_.size());
+  meta.size = std::uint32_t(block_.size());
+  meta.count = block_count_;
+  meta.first_key = std::move(block_first_key_);
+  meta.last_key = std::move(block_last_key_);
+  raw_ += block_.data();
+  index_.push_back(std::move(meta));
+  block_ = ByteWriter();
+  block_first_key_.clear();
+  block_last_key_.clear();
+  block_count_ = 0;
+}
+
+std::shared_ptr<const SsTable> SsTableBuilder::Finish() {
+  CutBlock();
+  if (entry_count_ == 0) return nullptr;
+  auto table = std::shared_ptr<SsTable>(new SsTable());
+  table->id_ = NextTableId();
+  table->raw_ = std::move(raw_);
+  table->index_ = std::move(index_);
+  table->bloom_ = BloomFilter::Build(hashes_);
+  table->min_key_ = std::move(min_key_);
+  table->max_key_ = std::move(max_key_);
+  table->entry_count_ = entry_count_;
+  table->tombstone_count_ = tombstone_count_;
+  return table;
+}
+
+}  // namespace metro::store

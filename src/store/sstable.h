@@ -1,0 +1,154 @@
+#pragma once
+
+// Immutable sorted string tables: the persistent half of the LSM engine.
+//
+// An SsTable is a sealed, sorted run of (key, value-or-tombstone) entries
+// encoded into ~block_size chunks inside one byte buffer, plus the metadata
+// the read path needs to *avoid* touching the data at all:
+//
+//   - min/max key fences: a point Get outside [min, max] skips the table
+//     without any decoding;
+//   - a bloom filter (FNV-1a double hashing, ~10 bits/key): a negative
+//     probe skips the table with no block read;
+//   - a block index ({offset, size, first/last key, count} per block) so a
+//     positive probe decodes exactly one block, by binary search.
+//
+// Decoded blocks are shared immutable objects (`DecodedBlock`) so the
+// sharded LRU `BlockCache` can hand the same decoded block to any number of
+// concurrent readers. Tables are built once by `SsTableBuilder` (flush or
+// compaction) and never mutated afterwards — everything here is const after
+// `Finish()`, which is what lets the versioned read path run lock-free.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace metro::store {
+
+class BlockCache;
+
+/// Bloom filter over key hashes. Double hashing (Kirsch–Mitzenmacher) from
+/// one 64-bit FNV-1a base hash: probe i tests bit (h1 + i*h2) mod bits.
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  static std::uint64_t HashKey(std::string_view key) { return Fnv1a64(key); }
+
+  /// Builds a filter sized at `bits_per_key` bits per hash (min 64 bits).
+  static BloomFilter Build(const std::vector<std::uint64_t>& hashes,
+                           std::size_t bits_per_key = 10);
+
+  /// False means "definitely absent"; true means "maybe present".
+  bool MayContain(std::uint64_t hash) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_count_ = 0;
+  int probes_ = 0;
+};
+
+/// One decoded data block: sorted entries (tombstones are nullopt) plus the
+/// byte charge it occupies in the block cache.
+struct DecodedBlock {
+  std::vector<std::pair<std::string, std::optional<std::string>>> entries;
+  std::size_t charge = 0;
+};
+
+/// A sealed sorted table. Thread-safe by immutability.
+class SsTable {
+ public:
+  struct BlockMeta {
+    std::uint32_t offset = 0;  ///< into raw()
+    std::uint32_t size = 0;
+    std::uint32_t count = 0;
+    std::string first_key;
+    std::string last_key;
+  };
+
+  enum class FindResult { kFound, kTombstone, kAbsent };
+
+  std::uint64_t id() const { return id_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+  std::size_t entry_count() const { return entry_count_; }
+  std::size_t tombstone_count() const { return tombstone_count_; }
+  std::size_t live_entries() const { return entry_count_ - tombstone_count_; }
+  std::size_t size_bytes() const { return raw_.size(); }
+  std::size_t block_count() const { return index_.size(); }
+  const std::vector<BlockMeta>& index() const { return index_; }
+
+  /// Fence check: false means no key of this table can equal `key`.
+  bool WithinFence(std::string_view key) const {
+    return key >= min_key_ && key <= max_key_;
+  }
+
+  /// Bloom probe (fences not consulted).
+  bool BloomMayContain(std::string_view key) const {
+    return bloom_.MayContain(BloomFilter::HashKey(key));
+  }
+
+  /// Index of the first block whose last_key >= key, or -1 when every block
+  /// ends before `key`.
+  int FindBlock(std::string_view key) const;
+
+  /// Decodes block `idx`, through `cache` when non-null.
+  std::shared_ptr<const DecodedBlock> ReadBlock(std::size_t idx,
+                                                BlockCache* cache) const;
+
+  /// Point lookup. Callers are expected to have consulted the fences and
+  /// bloom filter first (this re-checks nothing).
+  FindResult Get(std::string_view key, std::string* value,
+                 BlockCache* cache) const;
+
+ private:
+  friend class SsTableBuilder;
+  SsTable() = default;
+
+  std::uint64_t id_ = 0;
+  std::string raw_;  ///< concatenated encoded blocks
+  std::vector<BlockMeta> index_;
+  BloomFilter bloom_;
+  std::string min_key_, max_key_;
+  std::size_t entry_count_ = 0;
+  std::size_t tombstone_count_ = 0;
+};
+
+/// Accumulates entries (strictly ascending keys, one version per key) into
+/// an SsTable. Used by memtable flush and by compaction.
+class SsTableBuilder {
+ public:
+  explicit SsTableBuilder(std::size_t block_size_bytes = 4096);
+
+  void Add(std::string_view key, std::optional<std::string_view> value);
+
+  std::size_t entry_count() const { return entry_count_; }
+  std::size_t pending_bytes() const { return raw_.size() + block_.size(); }
+
+  /// Seals the table; null when nothing was added. The builder is spent.
+  std::shared_ptr<const SsTable> Finish();
+
+ private:
+  void CutBlock();
+
+  std::size_t block_size_bytes_;
+  std::string raw_;
+  ByteWriter block_;
+  std::vector<SsTable::BlockMeta> index_;
+  std::vector<std::uint64_t> hashes_;
+  std::string block_first_key_, block_last_key_;
+  std::uint32_t block_count_ = 0;
+  std::string min_key_, max_key_;
+  std::size_t entry_count_ = 0;
+  std::size_t tombstone_count_ = 0;
+};
+
+}  // namespace metro::store

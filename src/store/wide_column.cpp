@@ -10,9 +10,15 @@ constexpr char kSep = '\x01';
 }
 
 WideColumnTable::WideColumnTable(std::string name, WideColumnConfig config)
-    : name_(std::move(name)), config_(config) {
-  regions_.push_back(
-      Region{"", std::make_unique<LsmEngine>(config_.lsm)});
+    : name_(std::move(name)), config_(std::move(config)) {
+  // All regions (current and future splits) share one block cache.
+  if (!config_.lsm.block_cache) {
+    config_.lsm.block_cache = std::make_shared<BlockCache>();
+  }
+  auto map = std::make_shared<RegionMap>();
+  map->push_back(Region{"", std::make_shared<LsmEngine>(config_.lsm)});
+  MutexLock lock(map_mu_);
+  map_ = std::move(map);
 }
 
 std::string WideColumnTable::EncodeKey(std::string_view row,
@@ -32,11 +38,12 @@ std::pair<std::string, std::string> WideColumnTable::DecodeKey(
   return {std::string(key.substr(0, sep)), std::string(key.substr(sep + 1))};
 }
 
-std::size_t WideColumnTable::RegionFor(std::string_view row) const {
+std::size_t WideColumnTable::RegionFor(const RegionMap& map,
+                                       std::string_view row) {
   // Last region whose start_row <= row.
   std::size_t lo = 0;
-  for (std::size_t i = 1; i < regions_.size(); ++i) {
-    if (regions_[i].start_row <= row) {
+  for (std::size_t i = 1; i < map.size(); ++i) {
+    if (map[i].start_row <= row) {
       lo = i;
     } else {
       break;
@@ -45,6 +52,67 @@ std::size_t WideColumnTable::RegionFor(std::string_view row) const {
   return lo;
 }
 
+std::shared_ptr<const WideColumnTable::RegionMap> WideColumnTable::PinMap()
+    const {
+  MutexLock lock(map_mu_);
+  return map_;
+}
+
+std::vector<LsmIterator> WideColumnTable::PinKeyRange(
+    std::string_view begin_key, std::string_view end_key) const {
+  // map_mu_ is held across every per-region pin. A split installs its new
+  // map under this same lock *before* deleting moved keys from the old
+  // region, so each pin below sees either the pre-split engine state (moved
+  // keys intact, later deletes invisible to the snapshot) or the post-split
+  // map — never a half-moved view.
+  MutexLock lock(map_mu_);
+  std::vector<LsmIterator> iters;
+  for (std::size_t i = 0; i < map_->size(); ++i) {
+    const Region& region = (*map_)[i];
+    // Clip to [start_row, next start_row): moved-but-not-yet-deleted keys in
+    // a neighbour's range can never surface twice.
+    const std::string region_begin =
+        region.start_row.empty() ? std::string()
+                                 : EncodeKey(region.start_row, "");
+    const std::string region_end =
+        i + 1 < map_->size() ? EncodeKey((*map_)[i + 1].start_row, "")
+                             : std::string();
+    const std::string_view begin = std::max(
+        begin_key, std::string_view(region_begin));
+    std::string_view end = end_key;
+    if (!region_end.empty() && (end.empty() || region_end < end)) {
+      end = region_end;
+    }
+    if (!end.empty() && begin >= end) continue;  // empty clip
+    iters.push_back(region.engine->NewIterator(begin, end));
+  }
+  return iters;
+}
+
+// ---------------------------------------------------------------- iterator
+
+WideColumnTable::Iterator::Iterator(std::vector<LsmIterator> iters)
+    : iters_(std::move(iters)) {
+  Settle();
+}
+
+void WideColumnTable::Iterator::Settle() {
+  while (index_ < iters_.size() && !iters_[index_].Valid()) ++index_;
+  if (index_ >= iters_.size()) return;
+  const std::string& key = iters_[index_].key();
+  const auto sep = key.find(kSep);
+  assert(sep != std::string::npos);
+  row_.assign(key, 0, sep);
+  column_.assign(key, sep + 1, std::string::npos);
+}
+
+void WideColumnTable::Iterator::Next() {
+  iters_[index_].Next();
+  Settle();
+}
+
+// -------------------------------------------------------------- operations
+
 Status WideColumnTable::Put(std::string_view row, std::string_view column,
                             std::string_view value) {
   if (row.empty()) return InvalidArgumentError("empty row key");
@@ -52,25 +120,42 @@ Status WideColumnTable::Put(std::string_view row, std::string_view column,
     return InvalidArgumentError("row key contains reserved byte 0x01");
   }
   MutexLock lock(mu_);
-  return regions_[RegionFor(row)].engine->Put(EncodeKey(row, column), value);
+  const auto map = PinMap();
+  return (*map)[RegionFor(*map, row)].engine->Put(EncodeKey(row, column),
+                                                  value);
 }
 
 Result<std::string> WideColumnTable::Get(std::string_view row,
                                          std::string_view column) const {
+  const std::string key = EncodeKey(row, column);
+  // Lock-free read, validated against the split epoch: a split that raced
+  // us may have routed the row to a region we did not consult (or GC'd it
+  // from the one we did), so an epoch change voids the attempt.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::shared_ptr<const RegionMap> map;
+    std::uint64_t epoch;
+    {
+      MutexLock lock(map_mu_);
+      map = map_;
+      epoch = epoch_.load(std::memory_order_acquire);
+    }
+    auto result = (*map)[RegionFor(*map, row)].engine->Get(key);
+    if (epoch_.load(std::memory_order_acquire) == epoch) return result;
+  }
+  // Splits keep winning the race; quiesce them.
   MutexLock lock(mu_);
-  return regions_[RegionFor(row)].engine->Get(EncodeKey(row, column));
+  const auto map = PinMap();
+  return (*map)[RegionFor(*map, row)].engine->Get(key);
 }
 
 std::map<std::string, std::string> WideColumnTable::GetRow(
     std::string_view row) const {
-  MutexLock lock(mu_);
-  std::map<std::string, std::string> out;
-  std::string begin = EncodeKey(row, "");
   std::string end = std::string(row);
   end.push_back(kSep + 1);  // just past every column of this row
-  for (auto& [key, value] :
-       regions_[RegionFor(row)].engine->Scan(begin, end)) {
-    out.emplace(DecodeKey(key).second, std::move(value));
+  std::map<std::string, std::string> out;
+  for (Iterator it(PinKeyRange(EncodeKey(row, ""), end)); it.Valid();
+       it.Next()) {
+    out.emplace(it.column(), it.value());
   }
   return out;
 }
@@ -78,36 +163,43 @@ std::map<std::string, std::string> WideColumnTable::GetRow(
 Status WideColumnTable::DeleteCell(std::string_view row,
                                    std::string_view column) {
   MutexLock lock(mu_);
-  return regions_[RegionFor(row)].engine->Delete(EncodeKey(row, column));
+  const auto map = PinMap();
+  return (*map)[RegionFor(*map, row)].engine->Delete(EncodeKey(row, column));
 }
 
 std::size_t WideColumnTable::DeleteRow(std::string_view row) {
   MutexLock lock(mu_);
-  LsmEngine& engine = *regions_[RegionFor(row)].engine;
-  std::string begin = EncodeKey(row, "");
+  const auto map = PinMap();
+  LsmEngine& engine = *(*map)[RegionFor(*map, row)].engine;
   std::string end = std::string(row);
   end.push_back(kSep + 1);
-  const auto cells = engine.Scan(begin, end);
-  for (const auto& [key, value] : cells) (void)engine.Delete(key);
-  return cells.size();
+  // Snapshot the row's keys, then tombstone them (writes to the live
+  // memtable do not disturb the pinned iterator).
+  std::vector<std::string> keys;
+  for (auto it = engine.NewIterator(EncodeKey(row, ""), end); it.Valid();
+       it.Next()) {
+    keys.push_back(it.key());
+  }
+  for (const auto& key : keys) (void)engine.Delete(key);
+  return keys.size();
+}
+
+WideColumnTable::Iterator WideColumnTable::NewIterator(
+    std::string_view begin_row, std::string_view end_row) const {
+  const std::string begin_key =
+      begin_row.empty() ? std::string() : EncodeKey(begin_row, "");
+  const std::string end_key =
+      end_row.empty() ? std::string() : EncodeKey(end_row, "");
+  return Iterator(PinKeyRange(begin_key, end_key));
 }
 
 std::vector<Cell> WideColumnTable::Scan(std::string_view begin_row,
                                         std::string_view end_row,
                                         std::size_t limit) const {
-  MutexLock lock(mu_);
   std::vector<Cell> out;
-  const std::string begin_key =
-      begin_row.empty() ? std::string() : EncodeKey(begin_row, "");
-  const std::string end_key =
-      end_row.empty() ? std::string() : EncodeKey(end_row, "");
-  for (const Region& region : regions_) {
-    if (out.size() >= limit) break;
-    for (auto& [key, value] :
-         region.engine->Scan(begin_key, end_key, limit - out.size())) {
-      auto [row, column] = DecodeKey(key);
-      out.push_back(Cell{std::move(row), std::move(column), std::move(value)});
-    }
+  for (Iterator it = NewIterator(begin_row, end_row);
+       it.Valid() && out.size() < limit; it.Next()) {
+    out.push_back(Cell{it.row(), it.column(), it.value()});
   }
   return out;
 }
@@ -115,39 +207,69 @@ std::vector<Cell> WideColumnTable::Scan(std::string_view begin_row,
 int WideColumnTable::MaybeSplitRegions() {
   MutexLock lock(mu_);
   int splits = 0;
-  for (std::size_t i = 0; i < regions_.size(); ++i) {
-    const auto rows = regions_[i].engine->Scan("", "");
-    if (rows.size() < config_.region_split_threshold) continue;
-    // Split at the median *row* boundary (a row never straddles regions).
-    const std::string mid_row = DecodeKey(rows[rows.size() / 2].first).first;
-    if (mid_row <= regions_[i].start_row) continue;  // degenerate: one row
+  auto map = PinMap();
+  for (std::size_t i = 0; i < map->size(); ++i) {
+    const auto engine = (*map)[i].engine;
+    const std::string start_row = (*map)[i].start_row;
+    const std::string region_end =
+        i + 1 < map->size() ? EncodeKey((*map)[i + 1].start_row, "")
+                            : std::string();
+    if (engine->ApproxEntries() < config_.region_split_threshold) continue;
 
-    auto upper = std::make_unique<LsmEngine>(config_.lsm);
-    const std::string split_key = EncodeKey(mid_row, "");
-    for (const auto& [key, value] : rows) {
-      if (key >= split_key) {
-        (void)upper->Put(key, value);
-        (void)regions_[i].engine->Delete(key);
+    // Exact cell count, then the median row — two streaming passes instead
+    // of materializing the region.
+    std::size_t count = 0;
+    for (auto it = engine->NewIterator("", region_end); it.Valid(); it.Next()) {
+      ++count;
+    }
+    if (count < config_.region_split_threshold) continue;
+    std::string mid_row;
+    std::size_t pos = 0;
+    for (auto it = engine->NewIterator("", region_end); it.Valid(); it.Next()) {
+      if (pos++ == count / 2) {
+        mid_row = DecodeKey(it.key()).first;
+        break;
       }
     }
-    (void)regions_[i].engine->CompactAll();
-    regions_.insert(regions_.begin() + std::ptrdiff_t(i) + 1,
-                    Region{mid_row, std::move(upper)});
+    if (mid_row <= start_row) continue;  // degenerate: one giant row
+
+    // Copy the upper half into a fresh engine (streamed off a snapshot).
+    auto upper = std::make_shared<LsmEngine>(config_.lsm);
+    const std::string split_key = EncodeKey(mid_row, "");
+    std::vector<std::string> moved;
+    for (auto it = engine->NewIterator(split_key, region_end); it.Valid();
+         it.Next()) {
+      (void)upper->Put(it.key(), it.value());
+      moved.push_back(it.key());
+    }
+
+    // Install the new map first, *then* GC the moved keys: readers pinned on
+    // the old map still find them in the old region's snapshot, readers on
+    // the new map are routed to `upper`.
+    auto next = std::make_shared<RegionMap>(*map);
+    next->insert(next->begin() + std::ptrdiff_t(i) + 1,
+                 Region{mid_row, upper});
+    {
+      MutexLock pin(map_mu_);
+      map_ = next;
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    for (const auto& key : moved) (void)engine->Delete(key);
+    (void)engine->CompactAll();  // physically reclaim the moved half
+
+    map = std::move(next);
     ++splits;
     ++i;  // skip the freshly created region this pass
   }
   return splits;
 }
 
-int WideColumnTable::num_regions() const {
-  MutexLock lock(mu_);
-  return int(regions_.size());
-}
+int WideColumnTable::num_regions() const { return int(PinMap()->size()); }
 
 std::size_t WideColumnTable::ApproxCells() const {
-  MutexLock lock(mu_);
+  const auto map = PinMap();
   std::size_t total = 0;
-  for (const Region& region : regions_) total += region.engine->ApproxEntries();
+  for (const Region& region : *map) total += region.engine->ApproxEntries();
   return total;
 }
 

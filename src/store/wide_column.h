@@ -3,11 +3,28 @@
 // Wide-column store (the HBase role in Sec. II-C2).
 //
 // A table is a sorted map of (row, column) -> value served by one or more
-// key-range *regions*, each backed by an LSM engine. Hot regions split at
-// their median row when they exceed a size threshold, mirroring HBase's
-// region lifecycle. Rows and columns are arbitrary strings except that rows
-// must not contain the 0x01 separator byte.
+// key-range *regions*, each backed by an LSM engine; all regions share one
+// block cache. Hot regions split at their median row when they exceed a
+// size threshold, mirroring HBase's region lifecycle. Rows and columns are
+// arbitrary strings except that rows must not contain the 0x01 separator.
+//
+// Concurrency follows the engine's versioned design. The region map is an
+// immutable refcounted vector swapped under the brief `map_mu_`; writers
+// additionally serialize on `mu_`. Readers pin the map and then:
+//
+//   - scans pin one clipped snapshot iterator per overlapping region
+//     *while still holding map_mu_* — a split installs its new map under
+//     the same lock strictly before it deletes moved keys from the old
+//     region, so a scan either pins the pre-split view (moved keys still
+//     present, deletes invisible to the snapshot) or the post-split map
+//     (moved keys served by the new region). Each region's iterator is
+//     clipped to [start_row, next start_row), so the two regions never
+//     produce duplicates;
+//   - point Gets run lock-free against the pinned map and validate the
+//     split epoch afterwards, retrying (and finally quiescing splits via
+//     mu_) when a split raced the read.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,58 +52,97 @@ struct Cell {
 /// A sorted, range-partitioned wide-column table.
 class WideColumnTable {
  public:
+  /// Streaming cursor over cells in (row, column) order: a concatenation of
+  /// clipped per-region engine snapshots. Stays valid and consistent through
+  /// concurrent writes, flushes, compactions, and region splits.
+  class Iterator {
+   public:
+    Iterator() = default;  ///< invalid
+    bool Valid() const { return index_ < iters_.size(); }
+    const std::string& row() const { return row_; }
+    const std::string& column() const { return column_; }
+    const std::string& value() const { return iters_[index_].value(); }
+    void Next();
+
+   private:
+    friend class WideColumnTable;
+    explicit Iterator(std::vector<LsmIterator> iters);
+    void Settle();
+
+    std::vector<LsmIterator> iters_;  ///< region order; keys globally sorted
+    std::size_t index_ = 0;
+    std::string row_, column_;
+  };
+
   explicit WideColumnTable(std::string name, WideColumnConfig config = {});
 
   const std::string& name() const { return name_; }
 
   Status Put(std::string_view row, std::string_view column,
-             std::string_view value) METRO_EXCLUDES(mu_);
+             std::string_view value) METRO_EXCLUDES(mu_, map_mu_);
 
   Result<std::string> Get(std::string_view row, std::string_view column) const
-      METRO_EXCLUDES(mu_);
+      METRO_EXCLUDES(mu_, map_mu_);
 
   /// All columns of a row (empty map when the row has no cells).
   std::map<std::string, std::string> GetRow(std::string_view row) const
-      METRO_EXCLUDES(mu_);
+      METRO_EXCLUDES(mu_, map_mu_);
 
   Status DeleteCell(std::string_view row, std::string_view column)
-      METRO_EXCLUDES(mu_);
+      METRO_EXCLUDES(mu_, map_mu_);
 
   /// Deletes every cell of the row; returns the number removed.
-  std::size_t DeleteRow(std::string_view row) METRO_EXCLUDES(mu_);
+  std::size_t DeleteRow(std::string_view row) METRO_EXCLUDES(mu_, map_mu_);
 
   /// Cells with begin_row <= row < end_row (end empty = unbounded), ordered
-  /// by (row, column).
+  /// by (row, column). Streamed through `NewIterator`, so `limit` bounds the
+  /// merge work, not just the copy.
   std::vector<Cell> Scan(std::string_view begin_row, std::string_view end_row,
                          std::size_t limit = SIZE_MAX) const
-      METRO_EXCLUDES(mu_);
+      METRO_EXCLUDES(mu_, map_mu_);
+
+  /// Snapshot iterator over [begin_row, end_row) (end empty = unbounded).
+  Iterator NewIterator(std::string_view begin_row,
+                       std::string_view end_row) const
+      METRO_EXCLUDES(mu_, map_mu_);
 
   /// Checks split thresholds and splits oversized regions; returns the number
   /// of splits performed (normally driven after bulk loads).
-  int MaybeSplitRegions() METRO_EXCLUDES(mu_);
+  int MaybeSplitRegions() METRO_EXCLUDES(mu_, map_mu_);
 
-  int num_regions() const METRO_EXCLUDES(mu_);
+  int num_regions() const METRO_EXCLUDES(map_mu_);
 
-  /// Sum of live cells across regions.
-  std::size_t ApproxCells() const METRO_EXCLUDES(mu_);
+  /// Estimated live cells across regions (engine metadata, never a scan).
+  std::size_t ApproxCells() const METRO_EXCLUDES(map_mu_);
 
  private:
   struct Region {
     std::string start_row;  ///< inclusive; first region uses ""
-    std::unique_ptr<LsmEngine> engine;
+    std::shared_ptr<LsmEngine> engine;
   };
+  using RegionMap = std::vector<Region>;
 
   static std::string EncodeKey(std::string_view row, std::string_view column);
   static std::pair<std::string, std::string> DecodeKey(std::string_view key);
+  /// Index of the region owning `row` (`map` is sorted by start_row).
+  static std::size_t RegionFor(const RegionMap& map, std::string_view row);
 
-  /// Region index owning `row` (regions_ is sorted by start_row).
-  std::size_t RegionFor(std::string_view row) const METRO_REQUIRES(mu_);
+  std::shared_ptr<const RegionMap> PinMap() const METRO_EXCLUDES(map_mu_);
+  /// Pins clipped per-region iterators for the encoded-key range — holds
+  /// map_mu_ across the pins so a concurrent split cannot tear the view.
+  std::vector<LsmIterator> PinKeyRange(std::string_view begin_key,
+                                       std::string_view end_key) const
+      METRO_EXCLUDES(map_mu_);
 
   std::string name_;
   WideColumnConfig config_;
-  // Lock order: mu_ before any region engine's LsmEngine::mu_.
+  /// Serializes writers and region splits.
   mutable Mutex mu_{lockrank::kStoreWideColumn, "store.wide_column"};
-  std::vector<Region> regions_ METRO_GUARDED_BY(mu_);
+  /// Guards only the map pointer; held for pointer swaps and snapshot pins.
+  mutable Mutex map_mu_{lockrank::kStoreWideColumnMap, "store.wide_column.map"};
+  std::shared_ptr<const RegionMap> map_ METRO_GUARDED_BY(map_mu_);
+  /// Bumped on every map install; Get validates it to detect raced splits.
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace metro::store

@@ -38,10 +38,16 @@ inline constexpr int kMqCluster = 30;  // BrokerCluster::mu_
 inline constexpr int kMqLog = 32;      // MessageLog::mu_
 inline constexpr int kMqGroups = 34;   // GroupCoordinator::mu_
 
-// store — wide-column, document, and LSM engines.
-inline constexpr int kStoreWideColumn = 40;  // WideColumnTable::mu_
-inline constexpr int kStoreDocs = 42;        // Collection::mu_
-inline constexpr int kStoreLsm = 44;         // LsmEngine::mu_
+// store — wide-column, document, and LSM engines. Writer-side locks rank
+// before the brief version/map pin locks so a writer may publish a new
+// version (or region map) while still holding its write lock; the block
+// cache shards rank last because both read and write paths touch them.
+inline constexpr int kStoreWideColumn = 40;     // WideColumnTable::mu_
+inline constexpr int kStoreWideColumnMap = 41;  // WideColumnTable::map_mu_
+inline constexpr int kStoreDocs = 42;           // Collection::mu_
+inline constexpr int kStoreLsmWrite = 43;       // LsmEngine::write_mu_
+inline constexpr int kStoreLsmVersion = 44;     // LsmEngine::version_mu_
+inline constexpr int kStoreBlockCache = 46;     // BlockCache::Shard::cache_mu
 
 // dfs / sched — cluster state above per-node state, scheduler above both.
 inline constexpr int kDfsCluster = 50;   // Cluster::mu_

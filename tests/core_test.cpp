@@ -212,5 +212,35 @@ TEST(InfrastructureTest, AssemblesAllLayers) {
   EXPECT_NE(desc.find("fog=4 edges"), std::string::npos);
 }
 
+TEST(InfrastructureTest, ForEachAnnotationStreamsInOrderAndStopsEarly) {
+  InfrastructureConfig config;
+  config.dfs_datanodes = 3;
+  Cyberinfrastructure infra(config, WallClock::Instance());
+  ASSERT_TRUE(infra.annotations().Put("cam2", "label", "car").ok());
+  ASSERT_TRUE(infra.annotations().Put("cam1", "label", "person").ok());
+  ASSERT_TRUE(infra.annotations().Put("cam1", "score", "0.9").ok());
+  ASSERT_TRUE(infra.annotations().Put("cam3", "label", "bike").ok());
+
+  // Full walk: (row, column) order, all cells visited.
+  std::vector<std::string> seen;
+  const auto visited = infra.ForEachAnnotation("", "", [&](const auto& cell) {
+    seen.push_back(cell.row + "/" + cell.column);
+    return true;
+  });
+  EXPECT_EQ(visited, 4u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"cam1/label", "cam1/score",
+                                            "cam2/label", "cam3/label"}));
+
+  // Bounded walk with early stop: visits count includes the stopping cell.
+  seen.clear();
+  const auto bounded =
+      infra.ForEachAnnotation("cam1", "cam3", [&](const auto& cell) {
+        seen.push_back(cell.row + "/" + cell.column);
+        return seen.size() < 2;
+      });
+  EXPECT_EQ(bounded, 2u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"cam1/label", "cam1/score"}));
+}
+
 }  // namespace
 }  // namespace metro::core
