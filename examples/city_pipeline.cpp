@@ -114,9 +114,13 @@ int main() {
       },
       make_sink("crimes"), agent_config);
 
-  (void)tweet_agent.Start();
-  (void)waze_agent.Start();
-  (void)crime_agent.Start();
+  for (ingest::Agent* agent : {&tweet_agent, &waze_agent, &crime_agent}) {
+    if (const auto started = agent->Start(); !started.ok()) {
+      std::fprintf(stderr, "agent start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
   tweet_agent.WaitUntilFinished();
   waze_agent.WaitUntilFinished();
   crime_agent.WaitUntilFinished();

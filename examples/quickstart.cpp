@@ -56,7 +56,12 @@ int main() {
 
   // 4. Query the NoSQL store: accidents within 5 km of downtown.
   auto coll = infra.pipeline().collection("waze").value();
-  (void)coll->CreateGeoIndex("lat", "lon");
+  if (const auto indexed = coll->CreateGeoIndex("lat", "lon");
+      !indexed.ok()) {
+    std::fprintf(stderr, "geo index failed: %s\n",
+                 indexed.ToString().c_str());
+    return 1;
+  }
   store::Query query;
   query.near_center = datagen::kBatonRouge;
   query.near_radius_m = 5000;

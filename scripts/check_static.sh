@@ -43,29 +43,40 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIPPED=()
 
 # --- 0. metrolint project invariants ------------------------------------
-echo "==> metrolint: v1 per-file rules + v2 whole-program passes (always on)"
+echo "==> metrolint: v1 per-file rules + v2/v3 whole-program passes (always on)"
 HOSTCXX="${CXX:-$(command -v c++ || command -v g++ || command -v clang++)}"
 mkdir -p "${PREFIX}-metrolint"
 "${HOSTCXX}" -std=c++20 -O1 -o "${PREFIX}-metrolint/metrolint" \
-  tools/metrolint/metrolint.cpp tools/metrolint/wholeprogram.cpp
+  tools/metrolint/metrolint.cpp tools/metrolint/wholeprogram.cpp \
+  tools/metrolint/views.cpp
 "${PREFIX}-metrolint/metrolint" --selftest --root .
-# The v2 run prints per-pass timings, writes the global lock graph (CI
-# uploads it as an artifact), and fails only on findings not fingerprinted
-# in the baseline file (empty today: the tree is clean).
+# The whole-program run prints per-pass timings, writes the global lock
+# graph and the view-ownership graph (CI uploads both, plus the findings
+# report, as artifacts), and fails only on findings not fingerprinted in
+# the baseline file (empty today: the tree is clean). --budget-ms keeps the
+# full-tree scan honest: the gate itself fails if analysis time regresses
+# past 10 s (it runs in well under one today).
 "${PREFIX}-metrolint/metrolint" --root . \
   --baseline tools/metrolint/baseline.txt \
-  --dot "${PREFIX}-metrolint/lockgraph.dot"
+  --dot "${PREFIX}-metrolint/lockgraph.dot" \
+  --dot-views "${PREFIX}-metrolint/viewgraph.dot" \
+  --report "${PREFIX}-metrolint/findings.txt" \
+  --budget-ms 10000
 
-# --- 0.5 runtime lock-rank checker ---------------------------------------
-# The dynamic mirror of the lockorder pass lives behind METRO_LOCK_RANK_CHECK,
-# which every NDEBUG flavor (RelWithDebInfo default, sanitizer builds)
-# compiles out of the Mutex hot path. Build the death tests once in Debug so
-# the hook integration — a real Mutex inversion aborts with both stacks —
-# is proven by the gate, not just by whoever happens to run a Debug build.
-echo "==> lock-rank: Debug death tests (Mutex hooks compiled in)"
+# --- 0.5 runtime lock-rank + view-invalidation checkers ------------------
+# The dynamic mirrors of the lockorder and invalidation passes live behind
+# METRO_LOCK_RANK_CHECK / METRO_VIEW_CHECK, which every NDEBUG flavor
+# (RelWithDebInfo default, sanitizer builds) compiles out of the hot paths.
+# Build the death tests once in Debug so the hook integrations — a real
+# Mutex inversion aborts with both stacks, a stale TensorView/RecordView
+# access aborts with context — are proven by the gate, not just by whoever
+# happens to run a Debug build.
+echo "==> lock-rank + view-check: Debug death tests (hooks compiled in)"
 cmake -B "${PREFIX}-lockrank" -S . -DCMAKE_BUILD_TYPE=Debug >/dev/null
-cmake --build "${PREFIX}-lockrank" -j "${JOBS}" --target lock_rank_test
-ctest --test-dir "${PREFIX}-lockrank" --output-on-failure -R "^lock_rank_test$"
+cmake --build "${PREFIX}-lockrank" -j "${JOBS}" \
+  --target lock_rank_test invariants_test
+ctest --test-dir "${PREFIX}-lockrank" --output-on-failure \
+  -R "^(lock_rank_test|invariants_test)$"
 
 # --- 1. Clang thread-safety + lifetime analysis --------------------------
 CLANGXX="$(command -v clang++ || true)"

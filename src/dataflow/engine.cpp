@@ -31,7 +31,11 @@ void Engine::RunStage(int num_partitions, const std::function<void(int)>& fn) {
 
   const auto helpers =
       std::min<std::size_t>(pool_.num_threads(), std::size_t(num_partitions));
-  for (std::size_t h = 1; h < helpers; ++h) (void)pool_.Submit(run);
+  // A rejected Submit (pool shutting down) only costs parallelism: the
+  // caller's own run() below drains every remaining partition.
+  for (std::size_t h = 1; h < helpers; ++h) {
+    if (!pool_.Submit(run).ok()) break;
+  }
   run();
   while (done->load(std::memory_order_acquire) < num_partitions) {
     std::this_thread::yield();

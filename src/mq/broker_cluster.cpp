@@ -645,7 +645,12 @@ void BrokerCluster::ResyncReplicaLocked(const TopicPartition& tp,
     // since both sides append batch-at-a-time.
     if (std::shared_ptr<const RecordBatch> seg = lead.log.BatchAt(off)) {
       const std::int64_t next = seg->end_offset();
-      (void)rep.log.AppendReplicaBatch(seg);
+      if (!rep.log.AppendReplicaBatch(seg).ok()) {
+        // Divergent follower state: abort the resync before observing any
+        // dedup state. The follower stays out of the ISR and the next
+        // heartbeat round retries from its (unchanged) end offset.
+        return;
+      }
       rep.sequences.ObserveRange(seg->producer_id(), seg->first_sequence(),
                                  std::int64_t(seg->size()), off);
       off = next;
@@ -664,7 +669,7 @@ void BrokerCluster::ResyncReplicaLocked(const TopicPartition& tp,
     rec.producer_id = rv->producer_id();
     rec.sequence = rv->sequence();
     rep.sequences.Observe(rec);
-    (void)rep.log.AppendReplica(std::move(rec));
+    if (!rep.log.AppendReplica(std::move(rec)).ok()) return;  // retry later
     ++off;
   }
   // Rejoin the ISR, keeping it in replica (preferred-leader) order.

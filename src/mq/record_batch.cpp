@@ -3,31 +3,43 @@
 namespace metro::mq {
 
 std::int64_t RecordView::offset() const {
+  CheckLive();
   return batch_->base_offset_ + std::int64_t(index_);
 }
 
-TimeNs RecordView::timestamp() const { return batch_->timestamp_; }
+TimeNs RecordView::timestamp() const {
+  CheckLive();
+  return batch_->timestamp_;
+}
 
 std::string_view RecordView::key() const {
+  CheckLive();
   return batch_->Text(batch_->entries_[index_].key);
 }
 
 std::string_view RecordView::value() const {
+  CheckLive();
   return batch_->Text(batch_->entries_[index_].value);
 }
 
-std::int64_t RecordView::producer_id() const { return batch_->producer_id_; }
+std::int64_t RecordView::producer_id() const {
+  CheckLive();
+  return batch_->producer_id_;
+}
 
 std::int64_t RecordView::sequence() const {
+  CheckLive();
   if (batch_->first_sequence_ < 0) return -1;
   return batch_->first_sequence_ + std::int64_t(index_);
 }
 
 std::size_t RecordView::header_count() const {
+  CheckLive();
   return batch_->entries_[index_].header_count;
 }
 
 HeaderView RecordView::header(std::size_t i) const {
+  CheckLive();
   const RecordBatch::Entry& e = batch_->entries_[index_];
   const RecordBatch::HeaderSlice& h = batch_->headers_[e.header_begin + i];
   return HeaderView{batch_->Text(h.key), batch_->Text(h.value)};
@@ -35,6 +47,7 @@ HeaderView RecordView::header(std::size_t i) const {
 
 std::optional<std::string_view> RecordView::FindHeader(
     std::string_view key) const {
+  CheckLive();
   const RecordBatch::Entry& e = batch_->entries_[index_];
   for (std::uint32_t i = 0; i < e.header_count; ++i) {
     const RecordBatch::HeaderSlice& h = batch_->headers_[e.header_begin + i];
@@ -44,6 +57,7 @@ std::optional<std::string_view> RecordView::FindHeader(
 }
 
 Headers RecordView::CopyHeaders() const {
+  CheckLive();
   Headers out;
   const RecordBatch::Entry& e = batch_->entries_[index_];
   for (std::uint32_t i = 0; i < e.header_count; ++i) {

@@ -38,6 +38,7 @@
 
 #include "util/analysis.h"
 #include "util/clock.h"
+#include "util/viewcheck.h"
 
 namespace metro::mq {
 
@@ -60,8 +61,7 @@ class RecordBatch;
 class RecordView {
  public:
   RecordView() = default;
-  RecordView(const RecordBatch* batch METRO_LIFETIME_BOUND, std::size_t index)
-      : batch_(batch), index_(index) {}
+  RecordView(const RecordBatch* batch METRO_LIFETIME_BOUND, std::size_t index);
 
   std::int64_t offset() const;
   TimeNs timestamp() const;
@@ -79,8 +79,17 @@ class RecordView {
   Headers CopyHeaders() const;
 
  private:
+  /// Aborts when the batch was (re-)Sealed after this view was minted: the
+  /// derived fields (offset, sequence, timestamp) silently changed under the
+  /// view. No-op unless METRO_VIEW_CHECK is compiled in and enabled. Every
+  /// accessor in record_batch.cpp calls this first.
+  void CheckLive() const;
+
   const RecordBatch* batch_ = nullptr;
   std::size_t index_ = 0;
+#if METRO_VIEW_CHECK
+  std::uint64_t vc_epoch_ = 0;  ///< batch seal epoch at mint time
+#endif
 };
 
 /// An immutable batch of records over one contiguous payload arena.
@@ -150,6 +159,11 @@ class RecordBatch {
     producer_id_ = producer_id;
     first_sequence_ = first_sequence;
     sealed_ = true;
+#if METRO_VIEW_CHECK
+    // Identity changed: RecordViews minted before this Seal now derive
+    // different offsets/sequences and must not be read again.
+    ++vc_epoch_;
+#endif
   }
 
  private:
@@ -170,7 +184,27 @@ class RecordBatch {
   std::size_t kv_bytes_ = 0;
   bool sealed_ = false;
   bool committed_ = false;
+#if METRO_VIEW_CHECK
+  std::uint64_t vc_epoch_ = 0;  ///< bumped by every Seal
+#endif
 };
+
+inline RecordView::RecordView(const RecordBatch* batch, std::size_t index)
+    : batch_(batch), index_(index) {
+#if METRO_VIEW_CHECK
+  if (batch_ != nullptr) vc_epoch_ = batch_->vc_epoch_;
+#endif
+}
+
+inline void RecordView::CheckLive() const {
+#if METRO_VIEW_CHECK
+  if (batch_ == nullptr || !viewcheck::Enabled()) return;
+  if (batch_->vc_epoch_ != vc_epoch_) {
+    viewcheck::Die("RecordView used across a RecordBatch Seal",
+                   "batch identity re-assigned after the view was minted");
+  }
+#endif
+}
 
 /// Shared-owning view of a contiguous record range inside one batch — what
 /// `Fetch` hands across the broker lock. Holding the view keeps the batch

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "store/doc_codec.h"
+#include "util/analysis.h"
 
 namespace metro::store {
 
@@ -138,8 +139,11 @@ DocId Collection::Insert(Document doc) {
     id = next_id_++;
   }
   // Publish the document before the index entry: a query that sees the id
-  // in a posting list can always fetch its document.
-  (void)engine_.Put(KeyFor(id), EncodeDocument(doc));
+  // in a posting list can always fetch its document. KeyFor/EncodeDocument
+  // produce well-formed internal keys, so a failed Put is a broken engine
+  // invariant — indexing an unreadable document would corrupt every query.
+  METRO_CHECK(engine_.Put(KeyFor(id), EncodeDocument(doc)).ok(),
+              "doc %lld publish failed", static_cast<long long>(id));
   MutexLock lock(mu_);
   IndexDoc(id, doc);
   ++count_;

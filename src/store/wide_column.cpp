@@ -180,8 +180,13 @@ std::size_t WideColumnTable::DeleteRow(std::string_view row) {
        it.Next()) {
     keys.push_back(it.key());
   }
-  for (const auto& key : keys) (void)engine.Delete(key);
-  return keys.size();
+  // Report only the cells actually tombstoned: a rejected Delete leaves the
+  // cell visible, and callers use the count as the deletion receipt.
+  std::size_t deleted = 0;
+  for (const auto& key : keys) {
+    if (engine.Delete(key).ok()) ++deleted;
+  }
+  return deleted;
 }
 
 WideColumnTable::Iterator WideColumnTable::NewIterator(
@@ -237,11 +242,19 @@ int WideColumnTable::MaybeSplitRegions() {
     auto upper = std::make_shared<LsmEngine>(config_.lsm);
     const std::string split_key = EncodeKey(mid_row, "");
     std::vector<std::string> moved;
+    bool copied = true;
     for (auto it = engine->NewIterator(split_key, region_end); it.Valid();
          it.Next()) {
-      (void)upper->Put(it.key(), it.value());
+      if (!upper->Put(it.key(), it.value()).ok()) {
+        copied = false;
+        break;
+      }
       moved.push_back(it.key());
     }
+    // Installing a half-copied region would drop the missing cells; abandon
+    // this split and let a later pass retry. Nothing was published yet, so
+    // the abandoned engine is just garbage-collected here.
+    if (!copied) continue;
 
     // Install the new map first, *then* GC the moved keys: readers pinned on
     // the old map still find them in the old region's snapshot, readers on

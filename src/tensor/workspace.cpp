@@ -32,6 +32,9 @@ std::span<float> Workspace::Alloc(std::size_t n) {
 }
 
 void Workspace::Rewind(const Mark& m) {
+#if METRO_VIEW_CHECK
+  const std::size_t vc_before = VcOffset();
+#endif
   // A rewind may only release storage, never "re-arm" it: a mark pointing
   // ahead of the arena cursor was released by an earlier Rewind/Reset (or
   // never issued by this arena) and rewinding to it would mark unallocated
@@ -62,6 +65,13 @@ void Workspace::Rewind(const Mark& m) {
   for (std::size_t i = 0; i <= m.chunk && i < chunks_.size(); ++i) {
     live_floats_ += chunks_[i].used;
   }
+#if METRO_VIEW_CHECK
+  // Only a cursor that moved backward released storage; a no-op rewind (mark
+  // at the current position) must not invalidate outstanding views.
+  if (const std::size_t vc_after = VcOffset(); vc_after < vc_before) {
+    VcRecordRewind(vc_after);
+  }
+#endif
 }
 
 void Workspace::Reserve(std::size_t floats) {

@@ -25,13 +25,17 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
 #include "util/analysis.h"
+#include "util/viewcheck.h"
 
 namespace metro::tensor {
+
+class Workspace;
 
 /// Non-owning view of a tensor: a shape over borrowed float storage.
 ///
@@ -74,8 +78,14 @@ class TensorView {
   /// True for views made by OfConst (and views derived from them).
   bool read_only() const { return read_only_; }
 
-  std::span<float> data() const { return data_; }
-  float& operator[](std::size_t i) const { return data_[i]; }
+  std::span<float> data() const {
+    CheckLive();
+    return data_;
+  }
+  float& operator[](std::size_t i) const {
+    CheckLive();
+    return data_[i];
+  }
 
   /// Same storage reinterpreted as `shape` (element count must match).
   TensorView Reshaped(Shape shape) const {
@@ -85,6 +95,7 @@ class TensorView {
                 data_.size(), NumElements(shape));
     TensorView v(std::move(shape), data_);
     v.read_only_ = read_only_;
+    v.InheritStamp(*this);
     return v;
   }
 
@@ -101,6 +112,7 @@ class TensorView {
                  data_.subspan(std::size_t(begin) * row,
                                std::size_t(end - begin) * row));
     v.read_only_ = read_only_;
+    v.InheritStamp(*this);
     return v;
   }
 
@@ -114,6 +126,7 @@ class TensorView {
   /// Copies `src` into this view (sizes must match; shapes may differ).
   /// Rejected on read-only (OfConst) views.
   void CopyFrom(std::span<const float> src) const {
+    CheckLive();
     METRO_CHECK(!read_only_,
                 "CopyFrom into a read-only (OfConst) view of shape %s",
                 ShapeToString(shape_).c_str());
@@ -124,9 +137,34 @@ class TensorView {
   }
 
  private:
+  friend class Workspace;
+
+  /// Aborts when the owning arena has rewound past this view. No-op when the
+  /// checker is compiled out, for views not minted by a Workspace, and while
+  /// viewcheck::SetEnabled(false). Defined after Workspace (it reads the
+  /// arena's rewind events).
+  void CheckLive() const;
+
+  /// Derived views (Reshaped/SliceBatch) alias the same storage, so they
+  /// inherit the parent's invalidation stamp verbatim.
+  void InheritStamp(const TensorView& parent) {
+#if METRO_VIEW_CHECK
+    vc_ws_ = parent.vc_ws_;
+    vc_end_ = parent.vc_end_;
+    vc_gen_ = parent.vc_gen_;
+#else
+    (void)parent;
+#endif
+  }
+
   Shape shape_;
   std::span<float> data_;
   bool read_only_ = false;
+#if METRO_VIEW_CHECK
+  const Workspace* vc_ws_ = nullptr;  ///< minting arena (null: unchecked)
+  std::size_t vc_end_ = 0;   ///< linearized arena offset one past this view
+  std::uint64_t vc_gen_ = 0;  ///< arena generation at mint time
+#endif
 };
 
 /// Chunked bump arena for inference activations and scratch.
@@ -147,7 +185,13 @@ class Workspace {
   /// Alloc shaped as a view. Storage is NOT zeroed — kernels writing into
   /// views must fully initialize them.
   TensorView AllocView(const Shape& shape) METRO_LIFETIME_BOUND {
-    return TensorView(shape, Alloc(NumElements(shape)));
+    TensorView v(shape, Alloc(NumElements(shape)));
+#if METRO_VIEW_CHECK
+    v.vc_ws_ = this;
+    v.vc_end_ = VcOffset();
+    v.vc_gen_ = vc_gen_;
+#endif
+    return v;
   }
 
   /// Bump position, for scoped scratch (see Rewind).
@@ -182,6 +226,19 @@ class Workspace {
   std::size_t grow_count() const { return grow_count_; }
   std::size_t chunk_count() const { return chunks_.size(); }
 
+#if METRO_VIEW_CHECK
+  /// True when a view ending at linearized offset `end`, minted at
+  /// generation `gen`, has not been released by any later rewind. Rewind
+  /// events are kept strictly increasing in both offset and generation (see
+  /// VcRecordRewind), so one pass suffices and the list stays tiny.
+  bool VcLive(std::size_t end, std::uint64_t gen) const {
+    for (const VcEvent& e : vc_events_) {
+      if (e.gen > gen && e.offset < end) return false;
+    }
+    return true;
+  }
+#endif
+
  private:
   struct Chunk {
     std::vector<float> storage;
@@ -192,11 +249,58 @@ class Workspace {
     return i < chunks_.size() ? chunks_[i].used : 0;
   }
 
+#if METRO_VIEW_CHECK
+  /// A rewind that lowered the arena cursor to `offset`, stamped with the
+  /// generation it started.
+  struct VcEvent {
+    std::size_t offset = 0;
+    std::uint64_t gen = 0;
+  };
+
+  /// The bump cursor linearized over chunk boundaries: full capacity of the
+  /// chunks before the current one plus the current chunk's fill. Chunk
+  /// storage never reallocates or shrinks, so a view's end offset is stable
+  /// and the cursor only moves backward through Rewind.
+  std::size_t VcOffset() const {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < current_ && i < chunks_.size(); ++i) {
+      off += chunks_[i].storage.size();
+    }
+    return off + ChunkUsed(current_);
+  }
+
+  /// Called by Rewind when the cursor actually moved backward. A new event
+  /// dominates every recorded event at or above its offset (lower offset,
+  /// higher generation invalidates a superset of views), so those coalesce
+  /// away — a steady-state Mark/Rewind loop keeps exactly one event.
+  void VcRecordRewind(std::size_t new_offset) {
+    ++vc_gen_;
+    while (!vc_events_.empty() && vc_events_.back().offset >= new_offset) {
+      vc_events_.pop_back();
+    }
+    vc_events_.push_back(VcEvent{new_offset, vc_gen_});
+  }
+#endif
+
   std::vector<Chunk> chunks_;
   std::size_t current_ = 0;  // chunk index allocations go to
   std::size_t live_floats_ = 0;
   std::size_t peak_floats_ = 0;
   std::size_t grow_count_ = 0;
+#if METRO_VIEW_CHECK
+  std::uint64_t vc_gen_ = 0;
+  std::vector<VcEvent> vc_events_;
+#endif
 };
+
+inline void TensorView::CheckLive() const {
+#if METRO_VIEW_CHECK
+  if (vc_ws_ == nullptr || !viewcheck::Enabled()) return;
+  if (!vc_ws_->VcLive(vc_end_, vc_gen_)) {
+    viewcheck::Die("TensorView used after Workspace Rewind/Reset released it",
+                   ShapeToString(shape_).c_str());
+  }
+#endif
+}
 
 }  // namespace metro::tensor

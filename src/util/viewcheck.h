@@ -1,0 +1,63 @@
+#pragma once
+
+// Runtime cross-check of the view-invalidation contracts that metrolint v3
+// proves statically (tools/metrolint/views.cpp, the `invalidation` pass): a
+// TensorView used after its owning Workspace rewound past it, or a
+// RecordView used across a RecordBatch re-Seal, aborts with context instead
+// of silently reading stale (or since-reused) storage.
+//
+// Gated exactly like the runtime lock-rank checker (util/sync.h): compiled
+// in for Debug builds, compiled out entirely under NDEBUG, and overridable
+// either way with -DMETRO_VIEW_CHECK=0/1 (the top-level CMake option of the
+// same name plumbs this). When compiled in, every arena view carries a
+// (owner, end-offset, generation) stamp and every rewind records a
+// (offset, generation) event; a view access compares stamps in O(live
+// rewind events), which the coalescing in Workspace::Rewind keeps at one
+// entry for steady-state Mark/Rewind loops.
+//
+// Scope: the checker validates *invalidation*, not storage lifetime — the
+// owning arena/batch must still outlive the view. That axis is covered by
+// METRO_LIFETIME_BOUND (compile time, Clang) and metrolint's view-escape
+// pass (whole-program, any compiler).
+
+#ifndef METRO_VIEW_CHECK
+#ifdef NDEBUG
+#define METRO_VIEW_CHECK 0
+#else
+#define METRO_VIEW_CHECK 1
+#endif
+#endif
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace metro::viewcheck {
+
+/// True when the per-view generation stamps are compiled in. Tests branch on
+/// this to pick between the death-test and the compiled-out expectations.
+inline constexpr bool kCompiledIn = METRO_VIEW_CHECK != 0;
+
+/// Runtime kill-switch, on by default. Tests use it to prove the disabled
+/// checker is a no-op (mirroring what an NDEBUG build compiles out).
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+inline bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+inline void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Abort path shared by every stamped view type, so death tests and humans
+/// grep for one prefix regardless of which surface tripped.
+[[noreturn]] inline void Die(const char* kind, const char* detail) {
+  std::fprintf(stderr, "view-after-invalidate: %s (%s)\n", kind, detail);
+  std::abort();
+}
+
+}  // namespace metro::viewcheck

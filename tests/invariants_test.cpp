@@ -10,8 +10,10 @@
 
 #include <vector>
 
+#include "mq/record_batch.h"
 #include "tensor/workspace.h"
 #include "util/analysis.h"
+#include "util/viewcheck.h"
 
 namespace {
 
@@ -106,5 +108,127 @@ TEST(WorkspaceInvariantsTest, ForeignMarkAborts) {
   Workspace ws;
   EXPECT_DEATH(ws.Rewind(Workspace::Mark{5, 0}), "out of range");
 }
+
+// ------------------- METRO_VIEW_CHECK (runtime half of metrolint v3's
+// invalidation pass; see src/util/viewcheck.h). Debug builds compile the
+// generation stamps in; the default RelWithDebInfo build compiles them out,
+// which the #else block below pins down as genuinely free of aborts.
+
+#if METRO_VIEW_CHECK
+
+TEST(ViewCheckDeathTest, TensorViewUseAfterRewindAborts) {
+  static_assert(metro::viewcheck::kCompiledIn);
+  Workspace ws(1024);
+  const Workspace::Mark m = ws.Position();
+  TensorView v = ws.AllocView(Shape{4});
+  v.CopyFrom(std::vector<float>(4, 1.0f));  // live until the rewind: fine
+  ws.Rewind(m);
+  EXPECT_DEATH((void)v.data(), "view-after-invalidate");
+  EXPECT_DEATH((void)v[0], "view-after-invalidate");
+  EXPECT_DEATH(v.CopyFrom(std::vector<float>(4, 2.0f)),
+               "view-after-invalidate");
+}
+
+TEST(ViewCheckDeathTest, TensorViewUseAfterResetAborts) {
+  Workspace ws(1024);
+  TensorView v = ws.AllocView(Shape{2, 2});
+  ws.Reset();
+  EXPECT_DEATH((void)v.data(), "view-after-invalidate");
+}
+
+TEST(ViewCheckDeathTest, DerivedViewsInheritTheStamp) {
+  Workspace ws(1024);
+  const Workspace::Mark m = ws.Position();
+  TensorView v = ws.AllocView(Shape{4, 2});
+  TensorView slice = v.SliceBatch(1, 3);
+  TensorView reshaped = v.Reshaped(Shape{8});
+  ws.Rewind(m);
+  EXPECT_DEATH((void)slice.data(), "view-after-invalidate");
+  EXPECT_DEATH((void)reshaped.data(), "view-after-invalidate");
+}
+
+TEST(ViewCheck, ReallocationDoesNotResurrectAStaleView) {
+  Workspace ws(1024);
+  const Workspace::Mark m = ws.Position();
+  TensorView stale = ws.AllocView(Shape{4});
+  ws.Rewind(m);
+  // The same floats are handed out again; the old view must still abort
+  // (its generation predates the rewind) while the new one is live.
+  TensorView fresh = ws.AllocView(Shape{4});
+  fresh.CopyFrom(std::vector<float>(4, 3.0f));
+  EXPECT_DEATH((void)stale.data(), "view-after-invalidate");
+}
+
+TEST(ViewCheck, ViewsBelowTheRewindMarkStayLive) {
+  Workspace ws(1024);
+  TensorView survivor = ws.AllocView(Shape{8});
+  const Workspace::Mark m = ws.Position();
+  TensorView scratch = ws.AllocView(Shape{16});
+  (void)scratch;
+  ws.Rewind(m);  // releases only the scratch allocation
+  survivor.CopyFrom(std::vector<float>(8, 1.0f));
+  EXPECT_EQ(survivor.data().size(), 8u);
+}
+
+TEST(ViewCheck, NonArenaViewsAreNeverChecked) {
+  // Views over Tensor storage carry no arena stamp: the checker only covers
+  // Workspace invalidation, not general lifetime (that is METRO_LIFETIME /
+  // metrolint view-escape territory).
+  Tensor t(Shape{2, 2});
+  TensorView v(t);
+  EXPECT_EQ(v.data().size(), 4u);
+}
+
+TEST(ViewCheckDeathTest, RecordViewUseAcrossSealAborts) {
+  metro::mq::RecordBatchBuilder builder;
+  builder.Add("k", "v");
+  const auto batch = builder.Build();
+  const metro::mq::RecordView before = batch->view(0);
+  EXPECT_EQ(before.key(), "k");  // pre-seal reads are fine
+  batch->Seal(100, 42, 7, 0);
+  // The view's derived identity (offset/sequence/timestamp) changed under
+  // it; every accessor must now refuse, payload reads included.
+  EXPECT_DEATH((void)before.offset(), "view-after-invalidate");
+  EXPECT_DEATH((void)before.key(), "view-after-invalidate");
+  const metro::mq::RecordView after = batch->view(0);
+  EXPECT_EQ(after.offset(), 100);
+  EXPECT_EQ(after.value(), "v");
+}
+
+TEST(ViewCheck, DisabledCheckerIsANoOp) {
+  // The runtime kill-switch mirrors what an NDEBUG build compiles out: with
+  // the checker off, a stale view must read without aborting (the storage
+  // itself is retained by the arena, so the read is defined).
+  metro::viewcheck::SetEnabled(false);
+  Workspace ws(1024);
+  const Workspace::Mark m = ws.Position();
+  TensorView v = ws.AllocView(Shape{4});
+  ws.Rewind(m);
+  EXPECT_EQ(v.data().size(), 4u);  // stale, deliberately unreported
+  metro::viewcheck::SetEnabled(true);
+}
+
+#else  // !METRO_VIEW_CHECK
+
+TEST(ViewCheck, ReleaseBuildCompilesStampsOut) {
+  static_assert(!metro::viewcheck::kCompiledIn);
+  // No stamps, no events, no per-access branch: a stale view reads the
+  // retained storage without aborting, exactly as before this checker
+  // existed. (metrolint's invalidation pass still flags it statically.)
+  Workspace ws(1024);
+  const Workspace::Mark m = ws.Position();
+  TensorView v = ws.AllocView(Shape{4});
+  ws.Rewind(m);
+  EXPECT_EQ(v.data().size(), 4u);
+
+  metro::mq::RecordBatchBuilder builder;
+  builder.Add("k", "v");
+  const auto batch = builder.Build();
+  const metro::mq::RecordView before = batch->view(0);
+  batch->Seal(100, 42, 7, 0);
+  EXPECT_EQ(before.offset(), 100);  // derived through the re-sealed batch
+}
+
+#endif  // METRO_VIEW_CHECK
 
 }  // namespace

@@ -47,6 +47,26 @@ struct Config {
   std::vector<std::string> blocking_functions;  // bare tokens (sleep_for)
   std::vector<std::string> blocking_qualified;  // "Class::Method" entries
   std::vector<std::string> callgraph_ignore;    // call names never resolved
+
+  // --- v3 view-ownership / status passes -----------------------------------
+  // Declared borrowed-view types: qualified view type -> qualified owner type
+  // ("tensor::TensorView" -> "tensor::Workspace"). The last :: component is
+  // the lexical token the passes match on.
+  std::map<std::string, std::string> views;
+  // Escape sinks: call tokens whose lambda arguments outlive the caller's
+  // frame (ThreadPool Submit, std::thread, std::async).
+  std::vector<std::string> view_sinks;
+  // "Class::field" / "Func -> sink" -> justification for a by-design borrow.
+  std::map<std::string, std::string> view_exceptions;
+  // "Class::Method" -> what the call frees ("Workspace::Rewind" ->
+  // "releases arena storage past the mark").
+  std::map<std::string, std::string> invalidates;
+  // "Caller::Qual -> view-var" -> justification (guarded use the lexical
+  // path-order approximation cannot see).
+  std::map<std::string, std::string> invalidation_exceptions;
+  // "anchor -> Callee::Qual" -> justification for a (void)-cast Status
+  // discard; anchor is the caller qual, the caller's file, or "*".
+  std::map<std::string, std::string> status_exceptions;
 };
 
 // Minimal TOML-subset parser (defined in metrolint.cpp; also used by the

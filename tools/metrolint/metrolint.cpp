@@ -172,6 +172,8 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
         cfg->blocking_qualified = items;
       } else if (section == "callgraph" && key == "ignore") {
         cfg->callgraph_ignore = items;
+      } else if (section == "views" && key == "sinks") {
+        cfg->view_sinks = items;
       } else {
         return fail("unknown array key '" + section + "." + key + "'");
       }
@@ -205,10 +207,31 @@ bool ParseConfig(const std::string& text, Config* cfg, std::string* err) {
         cfg->locks[key] = info;
         continue;
       }
+      if (section == "views") {
+        // "qualified::ViewType" = "qualified::OwnerType"
+        if (trim(sval).empty()) {
+          return fail("view '" + key + "' needs an owner type");
+        }
+        cfg->views[key] = trim(sval);
+        continue;
+      }
+      if (section == "invalidates") {
+        // "Class::Method" = "what the call frees"
+        if (trim(sval).empty()) {
+          return fail("invalidator '" + key + "' needs a description");
+        }
+        cfg->invalidates[key] = trim(sval);
+        continue;
+      }
       std::map<std::string, std::string>* dst = nullptr;
       if (section == "lockorder_exceptions") dst = &cfg->lockorder_exceptions;
       if (section == "noalloc_exceptions") dst = &cfg->noalloc_exceptions;
       if (section == "blocking_exceptions") dst = &cfg->blocking_exceptions;
+      if (section == "view_exceptions") dst = &cfg->view_exceptions;
+      if (section == "invalidation_exceptions") {
+        dst = &cfg->invalidation_exceptions;
+      }
+      if (section == "status_exceptions") dst = &cfg->status_exceptions;
       if (dst) {
         if (trim(sval).empty()) {
           return fail("exception '" + key + "' needs a justification string");
@@ -447,6 +470,9 @@ struct Options {
   fs::path baseline_path;
   fs::path write_baseline_path;
   fs::path dot_path;
+  fs::path dot_views_path;
+  fs::path report_path;
+  long budget_ms = 0;  // 0 = no budget; otherwise fail if the scan exceeds it
   bool selftest = false;
 };
 
@@ -478,6 +504,7 @@ int RunTree(const Options& opt, const Config& cfg) {
     files.push_back(SourceFile{rel, ss.str()});
   }
 
+  long long total_ms = 0;
   auto timed = [&](const char* pass, auto&& body) {
     const auto t0 = Clock::now();
     const std::size_t before = findings.size();
@@ -485,6 +512,7 @@ int RunTree(const Options& opt, const Config& cfg) {
     const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         Clock::now() - t0)
                         .count();
+    total_ms += ms;
     std::fprintf(stderr, "metrolint: pass %-18s %5lld ms  %zu finding(s)\n",
                  pass, static_cast<long long>(ms), findings.size() - before);
   };
@@ -506,6 +534,25 @@ int RunTree(const Options& opt, const Config& cfg) {
         [&] { metrolint::RunNoallocInterproc(prog, cfg, &findings); });
   timed("blocking-while-locked",
         [&] { metrolint::RunBlockingWhileLocked(prog, cfg, &findings); });
+  std::string dot_views;
+  timed("view-escape", [&] {
+    metrolint::RunViewEscape(prog, cfg, &findings,
+                             opt.dot_views_path.empty() ? nullptr
+                                                        : &dot_views);
+  });
+  timed("invalidation",
+        [&] { metrolint::RunInvalidation(prog, cfg, &findings); });
+  timed("unchecked-status",
+        [&] { metrolint::RunUncheckedStatus(prog, cfg, &findings); });
+
+  std::fprintf(stderr, "metrolint: full scan %lld ms total\n", total_ms);
+  if (opt.budget_ms > 0 && total_ms > opt.budget_ms) {
+    std::fprintf(stderr,
+                 "metrolint: ERROR scan exceeded --budget-ms %ld (took %lld "
+                 "ms) — the static gate must stay cheap\n",
+                 opt.budget_ms, total_ms);
+    return 2;
+  }
 
   if (!opt.dot_path.empty()) {
     std::ofstream dout(opt.dot_path);
@@ -515,6 +562,29 @@ int RunTree(const Options& opt, const Config& cfg) {
       return 2;
     }
     dout << dot;
+  }
+  if (!opt.dot_views_path.empty()) {
+    std::ofstream dout(opt.dot_views_path);
+    if (!dout) {
+      std::fprintf(stderr, "metrolint: cannot write %s\n",
+                   opt.dot_views_path.string().c_str());
+      return 2;
+    }
+    dout << dot_views;
+  }
+  if (!opt.report_path.empty()) {
+    std::ofstream rout(opt.report_path);
+    if (!rout) {
+      std::fprintf(stderr, "metrolint: cannot write %s\n",
+                   opt.report_path.string().c_str());
+      return 2;
+    }
+    rout << "# metrolint findings report (" << rels.size() << " files, "
+         << total_ms << " ms)\n";
+    for (const Finding& f : findings) {
+      rout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+           << "\n";
+    }
   }
 
   if (!opt.write_baseline_path.empty()) {
@@ -661,12 +731,16 @@ int RunSelftest(const Config& cfg) {
 const char kUsage[] =
     "usage: metrolint [--root DIR] [--config FILE] [--selftest]\n"
     "                 [--baseline FILE] [--write-baseline FILE] [--dot FILE]\n"
+    "                 [--dot-views FILE] [--report FILE] [--budget-ms N]\n"
     "  --root DIR            repository root to scan (default: cwd)\n"
     "  --config FILE         rule config (default: ROOT/tools/metrolint/metrolint.toml)\n"
     "  --selftest            run the embedded rule fixtures instead of scanning\n"
     "  --baseline FILE       suppress findings fingerprinted in FILE; fail only on fresh ones\n"
     "  --write-baseline FILE write the current findings' fingerprints and exit 0\n"
-    "  --dot FILE            write the global lock graph in Graphviz DOT form\n";
+    "  --dot FILE            write the global lock graph in Graphviz DOT form\n"
+    "  --dot-views FILE      write the declared view-ownership graph in DOT form\n"
+    "  --report FILE         write every finding (pre-baseline) to FILE\n"
+    "  --budget-ms N         fail if the full scan takes longer than N ms\n";
 
 }  // namespace
 
@@ -687,6 +761,12 @@ int main(int argc, char** argv) {
       opt.write_baseline_path = argv[++i];
     } else if (arg == "--dot" && i + 1 < argc) {
       opt.dot_path = argv[++i];
+    } else if (arg == "--dot-views" && i + 1 < argc) {
+      opt.dot_views_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      opt.report_path = argv[++i];
+    } else if (arg == "--budget-ms" && i + 1 < argc) {
+      opt.budget_ms = std::atol(argv[++i]);
     } else {
       std::fputs(kUsage, stderr);
       return 2;
@@ -712,7 +792,8 @@ int main(int argc, char** argv) {
   }
 
   if (opt.selftest) {
-    const int failures = RunSelftest(cfg) + metrolint::RunSelftestV2();
+    const int failures = RunSelftest(cfg) + metrolint::RunSelftestV2() +
+                         metrolint::RunSelftestV3();
     return failures == 0 ? 0 : 1;
   }
   return RunTree(opt, cfg);

@@ -84,6 +84,7 @@ struct RawFunc {
   std::string head;  // signature text (everything between boundary and '{')
   std::string cls;   // enclosing/explicit class chain, namespaces stripped
   std::string name;
+  std::string ret;   // head text before the (qualified) name
   bool is_lambda = false;
   std::size_t body_begin = 0;
   std::size_t body_end = 0;
@@ -139,9 +140,11 @@ std::string ClassNameFrom(const std::string& head) {
 }
 
 // Function name + explicit class qualifier out of a definition head.
-// Returns false when the head cannot be a function definition.
+// Returns false when the head cannot be a function definition. `name_begin`
+// (optional) receives the offset where the qualified name chain starts —
+// everything before it is the return type.
 bool ParseFuncHead(const std::string& head, std::string* name,
-                   std::string* cls) {
+                   std::string* cls, std::size_t* name_begin = nullptr) {
   int angle = 0;
   std::size_t ppos = std::string::npos;
   for (std::size_t i = 0; i < head.size(); ++i) {
@@ -164,6 +167,7 @@ bool ParseFuncHead(const std::string& head, std::string* name,
   };
   e = skipws(e);
   std::vector<std::string> comps;
+  std::size_t chain_begin = e;
   for (;;) {
     std::size_t b = e;
     while (b > 0 && IsIdentChar(head[b - 1])) --b;
@@ -171,6 +175,7 @@ bool ParseFuncHead(const std::string& head, std::string* name,
     std::string comp = head.substr(b, e - b);
     if (b > 0 && head[b - 1] == '~') comp = "~" + comp;
     comps.insert(comps.begin(), comp);
+    chain_begin = b - (comp[0] == '~' ? 1 : 0);
     std::size_t k = skipws(b - (comp[0] == '~' ? 1 : 0));
     if (k >= 2 && head[k - 1] == ':' && head[k - 2] == ':') {
       e = skipws(k - 2);
@@ -189,6 +194,7 @@ bool ParseFuncHead(const std::string& head, std::string* name,
   }
   if (std::isdigit(static_cast<unsigned char>(last[0]))) return false;
   *name = last;
+  if (name_begin) *name_begin = chain_begin;
   std::string c;
   for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
     if (comps[i] == "std" || comps[i] == "metro") continue;  // namespaces
@@ -263,11 +269,36 @@ void TryMutexFieldDecl(const std::string& rel, const std::string& code,
   decls->push_back(d);
 }
 
+// Records a class/namespace-scope statement without a parameter list as a
+// generic declaration (the v3 passes filter by type token later). Skips the
+// obviously-not-a-field statement shapes so the list stays small.
+void TryFieldDecl(const std::string& rel, const std::string& code,
+                  std::size_t b, std::size_t e, const std::string& cls,
+                  std::vector<FieldDecl>* fields) {
+  for (std::size_t i = b; i < e; ++i) {
+    if (code[i] == '(') return;  // a method/function declaration
+  }
+  std::string text = Trim(code.substr(b, e - b));
+  if (text.empty()) return;
+  for (std::string_view kw :
+       {"using", "typedef", "friend", "template", "extern", "namespace"}) {
+    if (text.compare(0, kw.size(), kw) == 0 &&
+        IsWholeToken(text, 0, kw.size())) {
+      return;
+    }
+  }
+  std::size_t fb = b;
+  while (fb < e && std::isspace(static_cast<unsigned char>(code[fb]))) ++fb;
+  fields->push_back(FieldDecl{cls, std::move(text), rel, LineOf(code, fb)});
+}
+
 // The scope scanner: walks preprocessed `code`, tracking namespace / class /
-// function / other brace frames, and emits RawFuncs + Mutex member decls.
+// function / other brace frames, and emits RawFuncs + Mutex member decls +
+// generic field/static declarations.
 void ScanScopes(const std::string& rel, const std::string& code,
                 const std::string& lit, std::vector<RawFunc>* raws,
-                std::vector<MutexFieldDecl>* decls) {
+                std::vector<MutexFieldDecl>* decls,
+                std::vector<FieldDecl>* fields) {
   struct Frame {
     char kind;  // 'n'amespace, 'c'lass, 'f'unction, 'o'ther
     int raw_idx;
@@ -307,13 +338,16 @@ void ScanScopes(const std::string& rel, const std::string& code,
     } else if (c == ';' && paren == 0) {
       if (innermost() == 'c') {
         TryMutexFieldDecl(rel, code, lit, boundary, i, cls_chain, decls);
+        TryFieldDecl(rel, code, boundary, i, joined_cls(), fields);
+      } else if (innermost() == 'n' || innermost() == 'g') {
+        TryFieldDecl(rel, code, boundary, i, "", fields);
       }
       boundary = i + 1;
     } else if (c == '{') {
       const std::string head = Trim(code.substr(boundary, i - boundary));
       const bool in_func = nearest_func() >= 0;
       char kind = 'o';
-      std::string name, cls;
+      std::string name, cls, ret;
       bool lambda = false;
       if (!head.empty() &&
           (head.back() == ']' || head.find("](") != std::string::npos ||
@@ -337,10 +371,12 @@ void ScanScopes(const std::string& rel, const std::string& code,
         name = ClassNameFrom(head);
       } else if (head.find('(') != std::string::npos) {
         std::string fname, fcls;
-        if (ParseFuncHead(head, &fname, &fcls)) {
+        std::size_t nb = 0;
+        if (ParseFuncHead(head, &fname, &fcls, &nb)) {
           kind = 'f';
           name = fname;
           cls = fcls;
+          ret = Trim(head.substr(0, nb));
         }
       }
 
@@ -348,6 +384,7 @@ void ScanScopes(const std::string& rel, const std::string& code,
       if (kind == 'f') {
         RawFunc rf;
         rf.head = head;
+        rf.ret = ret;
         rf.is_lambda = lambda;
         if (lambda) {
           rf.cls = joined_cls();
@@ -822,7 +859,7 @@ Program BuildProgram(const std::vector<SourceFile>& files, const Config& cfg) {
     codes[fi] =
         StripPreprocessor(StripSource(files[fi].text, /*strip_literals=*/true));
     ScanScopes(files[fi].rel, codes[fi], lits[fi], &raws[fi],
-               &prog.mutex_decls);
+               &prog.mutex_decls, &prog.field_decls);
     if (files[fi].rel == "src/util/lock_ranks.h") {
       // Collect `kName = <int>` constants.
       const std::string& code = codes[fi];
@@ -865,11 +902,16 @@ Program BuildProgram(const std::vector<SourceFile>& files, const Config& cfg) {
       f.cls = rf.cls;
       f.name = rf.name;
       f.qual = rf.cls.empty() ? rf.name : rf.cls + "::" + rf.name;
+      f.ret = rf.ret;
       f.line = rf.line;
       f.is_lambda = rf.is_lambda;
+      f.body_begin = rf.body_begin;
+      f.body_end = rf.body_end;
+      f.lambda_bodies = rf.children;
       ExtractEvents(&f, rf, codes[fi], files[fi].rel, cfg, ix);
       prog.funcs.push_back(std::move(f));
     }
+    prog.code[files[fi].rel] = std::move(codes[fi]);
   }
 
   for (std::size_t i = 0; i < prog.funcs.size(); ++i) {

@@ -83,14 +83,29 @@ struct MutexFieldDecl {
   int line = 0;
 };
 
+// Any class- or namespace-scope declaration statement without a parameter
+// list (fields, statics, globals). The v3 view-escape pass filters these by
+// declared view-type tokens; the raw statement text keeps the pass lexical.
+struct FieldDecl {
+  std::string cls;   // enclosing class chain ("" at namespace/global scope)
+  std::string text;  // trimmed statement text (literals stripped)
+  std::string file;
+  int line = 0;
+};
+
 struct Func {
   std::string file;
   std::string cls;   // enclosing class ("" for free functions)
   std::string name;  // unqualified
   std::string qual;  // cls.empty() ? name : cls + "::" + name
+  std::string ret;   // head text before the (qualified) name: the return type
   int line = 0;
   bool noalloc = false;
   bool is_lambda = false;
+  std::size_t body_begin = 0;  // byte offsets into Program::code[file]
+  std::size_t body_end = 0;
+  // Nested lambda bodies (excluded from this body's own event stream).
+  std::vector<std::pair<std::size_t, std::size_t>> lambda_bodies;
   std::vector<std::string> requires_locks;  // held on entry (METRO_REQUIRES)
   std::vector<LockSite> acquires;
   std::vector<CallSite> calls;
@@ -105,7 +120,11 @@ struct Program {
   std::map<std::string, std::vector<int>> by_qual;  // "Class::name" -> idx
   std::map<std::string, std::set<std::string>> reach;  // file -> visible files
   std::vector<MutexFieldDecl> mutex_decls;
+  std::vector<FieldDecl> field_decls;
   std::map<std::string, int> rank_consts;  // lock_ranks.h: "kX" -> value
+  // Preprocessed, literal-stripped text per file (Func offsets index into
+  // this); kept so the v3 passes can re-scan statement context.
+  std::map<std::string, std::string> code;
 };
 
 // Builds the model and resolves the call graph. Deterministic: files must
@@ -136,5 +155,36 @@ void RunBlockingWhileLocked(const Program& prog, const Config& cfg,
 // Seeded-violation fixtures for the three v2 passes (multi-file programs
 // with an embedded config). Returns the number of failures.
 int RunSelftestV2();
+
+// --- v3 passes (views.cpp) -------------------------------------------------
+//
+// The three view/status passes run over the same Program model. [views] in
+// metrolint.toml declares borrowed-view -> owner type pairs, [invalidates]
+// declares the owner methods that free a view's storage, and
+// [status_exceptions] whitelists (void)-cast Status discards. See DESIGN.md
+// "View ownership & invalidation (metrolint v3)".
+
+// Pass 4: view-escape. Flags declared view types stored into class members /
+// statics / containers, views over a local owner returned out of the frame,
+// and view locals captured by lambdas handed to [views] sinks
+// (ThreadPool::Submit, std::thread, ...). When `dot_out` is non-null it
+// receives the declared view-ownership graph in Graphviz DOT form.
+void RunViewEscape(const Program& prog, const Config& cfg,
+                   std::vector<Finding>* out, std::string* dot_out);
+
+// Pass 5: invalidation. Reports a live view variable used after an
+// [invalidates] method ran on its owner along the lexical path, propagated
+// interprocedurally through callees known to invalidate the owner type.
+void RunInvalidation(const Program& prog, const Config& cfg,
+                     std::vector<Finding>* out);
+
+// Pass 6: unchecked-status. Flags call sites resolving to util::Status /
+// Result returners whose value is discarded; (void)-cast opt-outs must carry
+// a [status_exceptions] entry.
+void RunUncheckedStatus(const Program& prog, const Config& cfg,
+                        std::vector<Finding>* out);
+
+// Seeded fixtures for the v3 passes. Returns the number of failures.
+int RunSelftestV3();
 
 }  // namespace metrolint
